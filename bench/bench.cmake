@@ -1,0 +1,19 @@
+# Bench binaries land directly in ${CMAKE_BINARY_DIR}/bench with no CMake
+# artifacts next to them, so `for b in build/bench/*; do $b; done` runs
+# every experiment.  Included from the top-level CMakeLists.
+function(ntc_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
+  target_link_libraries(${name} PRIVATE ntcmem ${ARGN})
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+file(GLOB ntc_bench_sources CONFIGURE_DEPENDS "${CMAKE_SOURCE_DIR}/bench/*.cpp")
+foreach(src ${ntc_bench_sources})
+  get_filename_component(bench_name ${src} NAME_WE)
+  if(bench_name STREQUAL "ecc_codec_perf")
+    ntc_bench(${bench_name} benchmark::benchmark)
+  else()
+    ntc_bench(${bench_name})
+  endif()
+endforeach()

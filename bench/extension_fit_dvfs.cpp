@@ -1,0 +1,95 @@
+// Extensions beyond the paper's evaluation:
+//  1. System-level FIT budgeting — the paper bounds failures per
+//     transaction; products are specified in failures per 1e9 hours
+//     (FIT).  Composing all platform memories' word-failure rates gives
+//     the single-supply voltage for a given product grade.
+//  2. DVFS policy — constant-throughput (the paper's platform) vs
+//     race-to-idle with power gating, on the same calibrated models.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "energy/dvfs.hpp"
+#include "mitigation/fit_budget.hpp"
+
+using namespace ntc;
+
+namespace {
+
+mitigation::FitContributor contributor(const char* name,
+                                       mitigation::MitigationScheme scheme,
+                                       Hertz rate) {
+  return {name, std::move(scheme), reliability::cell_based_40nm_access(),
+          reliability::cell_based_40nm_retention(), rate, 1.0};
+}
+
+void fit_budget_study() {
+  TextTable table("Extension 1: single supply vs product-grade FIT budget");
+  table.set_header({"Budget [FIT]", "grade", "min VDD no-mit", "min VDD ECC",
+                    "min VDD OCEAN"});
+  struct Grade {
+    double fit;
+    const char* name;
+  };
+  // Platform traffic: IM at the 290 kHz clock + SPM at 0.35 acc/cycle.
+  for (const Grade& grade : {Grade{0.1, "automotive-class"},
+                             Grade{10.0, "industrial"},
+                             Grade{1000.0, "consumer"}}) {
+    std::vector<std::string> row{TextTable::num(grade.fit, 1), grade.name};
+    for (const auto& scheme :
+         {mitigation::no_mitigation(), mitigation::secded_scheme(),
+          mitigation::ocean_scheme()}) {
+      mitigation::SystemFitBudget budget(grade.fit);
+      budget.add(contributor("imem", scheme, kilohertz(290.0)));
+      budget.add(contributor("spm", scheme, kilohertz(101.5)));
+      row.push_back(TextTable::num(budget.min_voltage().value, 2) + " V");
+    }
+    table.add_row(row);
+  }
+  table.add_note("paper's 1e-15/transaction at 290 kHz ~ 1e3 FIT: between industrial and consumer");
+  table.print();
+  std::puts("");
+}
+
+void dvfs_study() {
+  energy::DvfsPlanner planner(
+      energy::arm9_class_core_40nm(),
+      energy::MemoryCalculator(energy::MemoryStyle::CellBasedImec40,
+                               energy::reference_1k_x_32()),
+      tech::platform_logic_timing_40nm(), /*idle_leakage_fraction=*/0.08);
+
+  TextTable table("Extension 2: constant throughput vs race-to-idle (100k-cycle task)");
+  table.set_header({"Deadline [ms]", "CT: VDD/energy [uJ]",
+                    "RTI: VDD/energy [uJ]", "winner", "RTI advantage"});
+  for (double deadline_ms : {1.0, 5.0, 20.0, 100.0, 500.0}) {
+    const Second deadline{deadline_ms * 1e-3};
+    const auto ct = planner.plan(energy::DvfsPolicy::ConstantThroughput,
+                                 100'000, deadline, Volt{0.33});
+    const auto rti = planner.plan(energy::DvfsPolicy::RaceToIdle, 100'000,
+                                  deadline, Volt{0.33});
+    auto cell = [](const energy::DvfsPlan& plan) {
+      if (!plan.feasible) return std::string("infeasible");
+      return TextTable::num(plan.vdd.value, 2) + " V / " +
+             TextTable::num(plan.energy.value * 1e6, 1);
+    };
+    std::string winner = "-", advantage = "-";
+    if (ct.feasible && rti.feasible) {
+      winner = rti.energy.value < ct.energy.value ? "race-to-idle"
+                                                  : "constant";
+      advantage = TextTable::pct(1.0 - rti.energy.value / ct.energy.value);
+    }
+    table.add_row({TextTable::num(deadline_ms, 0), cell(ct), cell(rti), winner,
+                   advantage});
+  }
+  table.add_note("leakage-dominated NTC platform: gating the idle tail beats crawling,");
+  table.add_note("and the advantage grows with slack — the corollary of Figure 1's leak share");
+  table.print();
+}
+
+}  // namespace
+
+int main() {
+  std::puts("Extensions: system FIT budgeting and DVFS policy\n");
+  fit_budget_study();
+  dvfs_study();
+  return 0;
+}

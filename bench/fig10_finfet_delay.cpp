@@ -1,0 +1,64 @@
+// Figure 10 — Inverter delay in finFETs: mean delay and sigma spread vs
+// supply voltage for the 14 nm finFET and 10 nm multi-gate devices,
+// Monte Carlo over local Vt mismatch.
+//
+// Paper's messages: (1) near-ideal subthreshold slope keeps the delay
+// blow-up moderate into the NTV regime, (2) going 14 nm -> 10 nm gives
+// ~2x speed-up, (3) the sigma spread is tightly controlled and improves
+// further at 10 nm.
+#include <cstdio>
+
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "tech/inverter.hpp"
+
+using namespace ntc;
+using namespace ntc::tech;
+
+int main() {
+  std::puts("Reproduction of paper Figure 10 (DATE'14, Gemmeke et al.)");
+  std::puts("Monte-Carlo inverter delay (5000 samples per point)\n");
+
+  InverterModel inv14(node_14nm_finfet());
+  InverterModel inv10(node_10nm_multigate());
+  InverterModel inv40(node_40nm_lp());  // planar reference for contrast
+  Rng rng(1014);
+
+  TextTable table("Fig. 10: inverter delay vs VDD");
+  table.set_header({"VDD [V]", "14nm mean [ps]", "14nm sigma/mean",
+                    "10nm mean [ps]", "10nm sigma/mean", "speedup 14->10",
+                    "40nm planar sigma/mean"});
+  for (double v : linspace(0.30, 0.90, 13)) {
+    const auto d14 = inv14.characterize(Volt{v}, 5000, rng);
+    const auto d10 = inv10.characterize(Volt{v}, 5000, rng);
+    const auto d40 = inv40.characterize(Volt{v}, 5000, rng);
+    table.add_row({TextTable::num(v, 2),
+                   TextTable::num(d14.mean.value * 1e12, 1),
+                   TextTable::pct(d14.sigma_over_mean),
+                   TextTable::num(d10.mean.value * 1e12, 1),
+                   TextTable::pct(d10.sigma_over_mean),
+                   TextTable::num(d14.mean.value / d10.mean.value, 2) + "x",
+                   TextTable::pct(d40.sigma_over_mean)});
+  }
+  table.print();
+
+  // Subthreshold-swing summary the paper attributes the gains to.
+  TextTable swing("Device electrostatics behind Fig. 10");
+  swing.set_header({"Node", "SS [mV/dec]", "Avt [mV*um]", "sigmaVt [mV]"});
+  for (const TechnologyNode& node :
+       {node_40nm_lp(), node_14nm_finfet(), node_10nm_multigate()}) {
+    swing.add_row(
+        {node.name,
+         TextTable::num(subthreshold_swing_mv_dec(node.nmos, Celsius{25.0}), 1),
+         TextTable::num(node.nmos.avt_mv_um, 1),
+         TextTable::num(mismatch_sigma_v(node.nmos) * 1e3, 1)});
+  }
+  swing.print();
+
+  std::puts(
+      "\nShape check vs paper: ~2x mean speed-up from 14 nm to 10 nm across\n"
+      "the sweep; multi-gate sigma spread is below the finFET's, and both\n"
+      "are far below the 40 nm planar reference in the NTV regime.");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 3 — Minimal retention voltage vs. memory location for one
+// instance of the commercial macro (left in the paper) and the
+// cell-based memory (right), rendered as ASCII V_min maps from the
+// virtual test chip.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "reliability/test_chip.hpp"
+
+using namespace ntc;
+using namespace ntc::reliability;
+
+namespace {
+
+void show_instance(const char* title, const TestChipConfig& config) {
+  VirtualTestChip chip(config);
+  const Die& die = chip.die(0);
+  std::printf("%s\n", title);
+  std::printf("  instance V_min (first failing bit): %.0f mV\n",
+              in_millivolts(die.retention_vmin.instance_vmin()));
+  std::printf("  99.9999%% of cells retain below:     %.0f mV\n",
+              in_millivolts(die.retention_vmin.vmin_quantile(0.999999)));
+  std::printf("%s\n",
+              die.retention_vmin
+                  .render_ascii(Volt{0.15}, Volt{0.45}, 96)
+                  .c_str());
+
+  TextTable table("failing bits vs retention supply (die 0)");
+  table.set_header({"VDD [mV]", "failing bits", "of 32768"});
+  for (double v : {0.20, 0.25, 0.30, 0.35, 0.40, 0.45}) {
+    const auto fails = chip.measure_retention_failures(0, Volt{v});
+    table.add_row({TextTable::num(v * 1e3, 0), std::to_string(fails),
+                   TextTable::pct(static_cast<double>(fails) / 32768.0, 3)});
+  }
+  table.print();
+  std::puts("");
+}
+
+}  // namespace
+
+int main() {
+  std::puts("Reproduction of paper Figure 3 (DATE'14, Gemmeke et al.)");
+  std::puts("ASCII shading: ' ' robust ... '#' weakest cell (block-wise worst case)\n");
+
+  TestChipConfig commercial;
+  commercial.seed = 2014;
+  show_instance("Commercial memory IP (one instance):", commercial);
+
+  TestChipConfig cell_based;
+  cell_based.retention = cell_based_40nm_retention();
+  cell_based.access = cell_based_40nm_access();
+  cell_based.seed = 2014;
+  show_instance("Cell-based memory (one instance):", cell_based);
+
+  std::puts(
+      "Shape check vs paper: the commercial macro shows more and stronger\n"
+      "weak cells at higher voltages than the cell-based array, whose\n"
+      "failures only appear near its deeper retention limit.");
+  return 0;
+}

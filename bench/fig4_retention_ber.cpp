@@ -1,0 +1,72 @@
+// Figure 4 — Retention bit error rate vs. supply voltage, cumulative
+// over all 9 tested dies, with the Gaussian noise-margin model (Eq. 4)
+// fitted to the measurements.
+//
+// The virtual test chip *generates* silicon from Eq. (2); the
+// characterisation flow then re-measures and re-fits Eq. (4), closing
+// the loop the paper describes between silicon and model.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "reliability/test_chip.hpp"
+
+using namespace ntc;
+using namespace ntc::reliability;
+
+namespace {
+
+void characterise_style(const char* title, TestChipConfig config) {
+  config.dies = 9;  // the paper measured 9 dies
+  VirtualTestChip chip(config);
+  const Characterization result = characterize(chip, 48);
+
+  TextTable table(title);
+  table.set_header({"VDD [mV]", "failing bits", "tested bits", "BER measured",
+                    "BER fitted Eq.(4)"});
+  for (std::size_t i = 0; i < result.retention_data.size(); i += 4) {
+    const BerPoint& pt = result.retention_data[i];
+    table.add_row({TextTable::num(in_millivolts(pt.vdd), 0),
+                   std::to_string(pt.failures), std::to_string(pt.total),
+                   TextTable::sci(pt.p_hat(), 2),
+                   TextTable::sci(result.retention.p_bit_err(pt.vdd), 2)});
+  }
+  table.print();
+
+  const NoiseMarginModel generator = config.retention;
+  const NoiseMarginModel fitted = result.retention.to_noise_margin();
+  std::printf(
+      "  fitted Eq.(4): d0=%.2f d1=%.3f d2=%.4f  ->  half-fail %.0f mV, "
+      "dV/dsigma %.1f mV (generator: %.0f mV, %.1f mV)\n",
+      result.retention.d0(), result.retention.d1(), result.retention.d2(),
+      in_millivolts(fitted.half_fail_voltage()),
+      fitted.dvdd_dsigma() * 1e3,
+      in_millivolts(generator.half_fail_voltage()),
+      generator.dvdd_dsigma() * 1e3);
+  std::printf(
+      "  Eq.(3) invariant dVDD/dsigma = c2/c0 (constant): fitted %.2f mV "
+      "per sigma\n\n",
+      fitted.dvdd_dsigma() * 1e3);
+}
+
+}  // namespace
+
+int main() {
+  std::puts("Reproduction of paper Figure 4 (DATE'14, Gemmeke et al.)");
+  std::puts("9 virtual dies per style, cumulative retention BER sweep\n");
+
+  TestChipConfig commercial;
+  commercial.seed = 404;
+  characterise_style("Commercial memory IP: retention BER vs VDD", commercial);
+
+  TestChipConfig cell_based;
+  cell_based.retention = cell_based_40nm_retention();
+  cell_based.access = cell_based_40nm_access();
+  cell_based.seed = 404;
+  characterise_style("Cell-based memory: retention BER vs VDD", cell_based);
+
+  std::puts(
+      "Shape check vs paper: BER follows the Gaussian CDF knee; the\n"
+      "cell-based array's knee sits ~80 mV deeper than the commercial\n"
+      "macro's, and the probit slope (Eq. 3) is voltage-independent.");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Figure 9 — Platform power at 11 MHz with the commercial memory
+// macros, per scheme (paper operating points 0.88 / 0.77 / 0.66 V).
+//
+// Paper's claims: 34% OCEAN saving vs no mitigation, 26% vs ECC, and a
+// no-mitigation platform power of ~57 mW — one order of magnitude above
+// the Figure 8 values.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "mitigation/comparison.hpp"
+#include "platform_fft_run.hpp"
+
+using namespace ntc;
+using namespace ntc::benchutil;
+
+namespace {
+
+void report(const char* title, const SchemeRun* runs) {
+  TextTable table(title);
+  table.set_header({"Scheme", "VDD [V]", "core", "IM", "SP", "PM", "codec",
+                    "total", "FFT SNR [dB]"});
+  for (int i = 0; i < 3; ++i) {
+    const SchemeRun& run = runs[i];
+    table.add_row({run.name, TextTable::num(run.vdd.value, 2),
+                   TextTable::num(in_milliwatts(run.power.core), 2),
+                   TextTable::num(in_milliwatts(run.power.imem), 3),
+                   TextTable::num(in_milliwatts(run.power.spm), 3),
+                   TextTable::num(in_milliwatts(run.power.pm), 3),
+                   TextTable::num(in_milliwatts(run.power.codec), 3),
+                   TextTable::num(in_milliwatts(run.power.total()), 2),
+                   TextTable::num(run.snr_db, 1)});
+  }
+  table.print();
+
+  const double p_nomit = runs[0].power.total().value;
+  const double p_ecc = runs[1].power.total().value;
+  const double p_ocean = runs[2].power.total().value;
+  TextTable savings("Savings vs paper");
+  savings.set_header({"Metric", "measured", "paper"});
+  savings.add_row({"no-mitigation platform power",
+                   TextTable::num(p_nomit * 1e3, 1) + " mW", "57 mW"});
+  savings.add_row({"OCEAN vs no mitigation",
+                   TextTable::pct(1 - p_ocean / p_nomit), "34%"});
+  savings.add_row({"OCEAN vs ECC", TextTable::pct(1 - p_ocean / p_ecc), "26%"});
+  savings.print();
+  std::puts("");
+}
+
+}  // namespace
+
+int main() {
+  std::puts("Reproduction of paper Figure 9 (DATE'14, Gemmeke et al.)");
+  std::puts("1K-FFT on the simulated SoC, 11 MHz, commercial memory macros\n");
+
+  const Hertz clock = megahertz(11.0);
+  const energy::MemoryStyle style = energy::MemoryStyle::CommercialMacro40;
+
+  // First at the paper's exact operating points.
+  const SchemeRun paper_runs[] = {
+      run_fft_under_scheme(mitigation::SchemeKind::NoMitigation, style,
+                           Volt{0.88}, clock, 909),
+      run_fft_under_scheme(mitigation::SchemeKind::Secded, style, Volt{0.77},
+                           clock, 909),
+      run_fft_under_scheme(mitigation::SchemeKind::Ocean, style, Volt{0.66},
+                           clock, 909),
+  };
+  report("Fig. 9 at the paper's operating points (0.88/0.77/0.66 V)",
+         paper_runs);
+
+  // Then at the points our own FIT solver selects (cf. table2 bench).
+  auto solver = mitigation::commercial_platform_solver();
+  mitigation::SolverConstraints constraints;
+  constraints.min_frequency = clock;
+  const Volt v_nomit =
+      solver.solve(mitigation::no_mitigation(), constraints).voltage;
+  const Volt v_ecc = solver.solve(mitigation::secded_scheme(), constraints).voltage;
+  const Volt v_ocean = solver.solve(mitigation::ocean_scheme(), constraints).voltage;
+  const SchemeRun solver_runs[] = {
+      run_fft_under_scheme(mitigation::SchemeKind::NoMitigation, style,
+                           v_nomit, clock, 909),
+      run_fft_under_scheme(mitigation::SchemeKind::Secded, style, v_ecc, clock,
+                           909),
+      run_fft_under_scheme(mitigation::SchemeKind::Ocean, style, v_ocean,
+                           clock, 909),
+  };
+  report("Same experiment at our FIT solver's operating points", solver_runs);
+
+  std::puts(
+      "Shape check vs paper: ordering OCEAN < ECC < no-mitigation holds and\n"
+      "the absolute level is mW-scale (vs uW-scale in Fig. 8). Our leakage-\n"
+      "calibrated platform saves more at 0.77/0.66 V than the paper's\n"
+      "dynamic-dominated figures; see EXPERIMENTS.md for the discussion.");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Conclusion headlines — the paper's top-line numbers from one API call:
+//   * "saving energy up to 2x compared to the traditional ECC
+//     approaches, and 3x compared to no mitigation" (introduction);
+//   * "a 3.3x lower dynamic power is achieved beyond the voltage limit
+//     for error free operation" (conclusion).
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/system.hpp"
+
+using namespace ntc;
+using namespace ntc::core;
+
+int main() {
+  std::puts("Headline savings (DATE'14, Gemmeke et al.)\n");
+
+  SystemRequirements requirements;
+  requirements.clock = kilohertz(290.0);
+  NtcSystem system(requirements);
+  const SavingsReport report = system.analyze();
+
+  TextTable table("Scheme operating points and platform power @ 290 kHz");
+  table.set_header({"Scheme", "VDD [V]", "bound", "P core [mW]", "P mem [mW]",
+                    "P codec [mW]", "P total [mW]"});
+  for (const SchemeEstimate& e : report.schemes) {
+    table.add_row(
+        {e.scheme.name, TextTable::num(e.operating_point.voltage.value, 2),
+         e.operating_point.reliability_bound ? "FIT" : "freq",
+         TextTable::num(in_milliwatts(e.power.core), 3),
+         TextTable::num(
+             in_milliwatts(e.power.imem + e.power.spm + e.power.pm), 3),
+         TextTable::num(in_milliwatts(e.power.codec), 3),
+         TextTable::num(in_milliwatts(e.power.total()), 3)});
+  }
+  table.print();
+
+  TextTable headlines("Headline metrics vs paper");
+  headlines.set_header({"Metric", "measured", "paper"});
+  headlines.add_row({"Energy vs ECC",
+                     TextTable::num(report.energy_ratio_ecc_over_ocean, 2) + "x",
+                     "up to 2x"});
+  headlines.add_row(
+      {"Energy vs no mitigation",
+       TextTable::num(report.energy_ratio_no_mitigation_over_ocean, 2) + "x",
+       "up to 3x"});
+  headlines.add_row({"Dynamic power beyond error-free voltage limit",
+                     TextTable::num(report.headline_dynamic_power_ratio, 2) + "x",
+                     "3.3x"});
+  headlines.add_row({"OCEAN saving vs no mitigation",
+                     TextTable::pct(report.ocean_saving_vs_no_mitigation),
+                     "up to 70%"});
+  headlines.add_row({"OCEAN saving vs ECC",
+                     TextTable::pct(report.ocean_saving_vs_ecc), "up to 48%"});
+  headlines.print();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Shared helper for the Figure 8 / Figure 9 benches: run the 1K-point
+// FFT on the simulated Figure-6 platform under one mitigation scheme
+// and collect the per-module power split plus output quality.
+#pragma once
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "mitigation/scheme.hpp"
+#include "ocean/runtime.hpp"
+#include "sim/platform.hpp"
+#include "workloads/fft.hpp"
+#include "workloads/golden.hpp"
+
+namespace ntc::benchutil {
+
+struct SchemeRun {
+  std::string name;
+  Volt vdd{0.0};
+  sim::PlatformEnergyReport power;
+  double snr_db = 0.0;
+  std::uint64_t corrected_words = 0;
+  std::uint64_t ocean_restores = 0;
+  std::uint64_t cycles = 0;
+};
+
+inline std::vector<std::complex<double>> fft_test_signal(std::size_t n) {
+  std::vector<std::complex<double>> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(n);
+    x[i] = 0.28 * std::sin(2.0 * M_PI * 17.0 * t) +
+           0.18 * std::cos(2.0 * M_PI * 101.0 * t);
+  }
+  return x;
+}
+
+inline SchemeRun run_fft_under_scheme(mitigation::SchemeKind scheme,
+                                      energy::MemoryStyle style, Volt vdd,
+                                      Hertz clock, std::uint64_t seed,
+                                      std::size_t repeats = 3) {
+  sim::PlatformConfig config;
+  config.scheme = scheme;
+  config.memory_style = style;
+  config.vdd = vdd;
+  config.clock = clock;
+  config.pm_bytes = 8 * 1024;
+  config.seed = seed;
+  sim::Platform platform(config);
+
+  SchemeRun run;
+  run.name = platform.scheme().name;
+  run.vdd = vdd;
+
+  const auto signal = fft_test_signal(1024);
+  const auto reference = workloads::reference_fft(signal);
+  double snr_acc = 0.0;
+  for (std::size_t r = 0; r < repeats; ++r) {
+    workloads::FixedPointFft fft(1024);
+    fft.set_input(signal);
+    if (scheme == mitigation::SchemeKind::Ocean) {
+      ocean::OceanRuntime runtime(platform);
+      const auto outcome = runtime.run(fft);
+      run.ocean_restores += outcome.stats.restores;
+    } else {
+      ocean::run_unprotected(platform, fft);
+    }
+    auto measured = fft.read_output(platform.spm());
+    for (auto& v : measured) v /= fft.output_scale();
+    snr_acc += workloads::snr_db(measured, reference);
+  }
+  run.snr_db = snr_acc / static_cast<double>(repeats);
+  run.power = platform.energy_report();
+  run.corrected_words = platform.spm().stats().corrected_words +
+                        platform.imem().stats().corrected_words;
+  run.cycles = platform.total_cycles();
+  return run;
+}
+
+}  // namespace ntc::benchutil

@@ -1,0 +1,87 @@
+// FFT streaming — the paper's evaluation workload end to end: run the
+// 1K-point fixed-point FFT on the simulated SoC under each mitigation
+// scheme at its own minimum voltage, and compare quality, energy and
+// the mitigation machinery's activity.
+#include <cmath>
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/ntcmem.hpp"
+#include "workloads/golden.hpp"
+
+using namespace ntc;
+
+namespace {
+
+std::vector<std::complex<double>> chirp(std::size_t n) {
+  std::vector<std::complex<double>> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(n);
+    x[i] = 0.30 * std::sin(2.0 * M_PI * (5.0 + 40.0 * t) * t);
+  }
+  return x;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("== 1K-point FFT under each mitigation scheme ==\n");
+
+  const auto signal = chirp(1024);
+  const auto reference = workloads::reference_fft(signal);
+  const Hertz clock = kilohertz(290.0);
+
+  struct Setup {
+    mitigation::SchemeKind kind;
+    double vdd;
+  };
+  const Setup setups[] = {
+      {mitigation::SchemeKind::NoMitigation, 0.55},
+      {mitigation::SchemeKind::Secded, 0.44},
+      {mitigation::SchemeKind::Ocean, 0.33},
+      {mitigation::SchemeKind::NoMitigation, 0.33},  // OCEAN's V, bare
+  };
+
+  TextTable table("FFT @ 290 kHz, cell-based memories");
+  table.set_header({"Scheme", "VDD [V]", "SNR [dB]", "P total [mW]",
+                    "energy/task [uJ]", "corrections", "restores/re-exec"});
+  for (const Setup& setup : setups) {
+    sim::PlatformConfig config;
+    config.scheme = setup.kind;
+    config.vdd = Volt{setup.vdd};
+    config.clock = clock;
+    config.pm_bytes = 8 * 1024;
+    config.seed = 99;
+    sim::Platform platform(config);
+
+    workloads::FixedPointFft fft(1024);
+    fft.set_input(signal);
+    std::uint64_t restores = 0;
+    if (setup.kind == mitigation::SchemeKind::Ocean) {
+      ocean::OceanRuntime runtime(platform);
+      const auto outcome = runtime.run(fft);
+      restores = outcome.stats.restores + outcome.stats.reexecutions;
+    } else {
+      ocean::run_unprotected(platform, fft);
+    }
+    auto measured = fft.read_output(platform.spm());
+    for (auto& v : measured) v /= fft.output_scale();
+    const double snr = workloads::snr_db(measured, reference);
+
+    const auto power = platform.energy_report();
+    const Joule task_energy = power.total() * platform.elapsed();
+    const std::uint64_t corrections = platform.spm().stats().corrected_words +
+                                      platform.imem().stats().corrected_words;
+    table.add_row({platform.scheme().name, TextTable::num(setup.vdd, 2),
+                   TextTable::num(snr, 1),
+                   TextTable::num(in_milliwatts(power.total()), 3),
+                   TextTable::num(task_energy.value * 1e6, 1),
+                   std::to_string(corrections), std::to_string(restores)});
+  }
+  table.add_note("last row: 0.33 V with NO protection — the transform degrades badly;");
+  table.add_note("OCEAN runs the same supply at full quality. OCEAN's task energy sits");
+  table.add_note("above ECC's at this fixed 290 kHz clock because the checkpoint protocol");
+  table.add_note("stretches the task; its *power* (the paper's Fig. 8 metric) is 2x lower.");
+  table.print();
+  return 0;
+}

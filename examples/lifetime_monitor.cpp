@@ -1,0 +1,55 @@
+// Lifetime monitor — the run-time monitoring & control loop of paper
+// Section IV over a ten-year product life: canary cells age, the
+// controller tracks the true degradation, and the energy advantage over
+// a static worst-case guard band accumulates.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/ntcmem.hpp"
+
+using namespace ntc;
+using namespace ntc::core;
+
+int main() {
+  std::puts("== closed-loop voltage control across a 10-year lifetime ==\n");
+
+  LifetimeConfig config;
+  config.aging = tech::AgingModel(Volt{0.050}, 0.20);  // 50 mV @ 10 years
+  config.initial_vdd = Volt{0.44};
+  config.controller.v_min = Volt{0.40};
+  config.epochs = 400;
+  const LifetimeResult result = simulate_lifetime(config);
+
+  TextTable table("Rail voltage over life (selected epochs)");
+  table.set_header({"age", "canary error rate", "adaptive rail [V]",
+                    "static guard band [V]", "dyn power saving"});
+  const std::size_t n = result.timeline.size();
+  for (std::size_t i = 0; i < n; i += n / 12) {
+    const LifetimePoint& pt = result.timeline[i];
+    char age[32];
+    if (pt.age.value < 3600.0 * 24 * 30)
+      std::snprintf(age, sizeof age, "%.1f days", pt.age.value / 86400.0);
+    else
+      std::snprintf(age, sizeof age, "%.2f years",
+                    pt.age.value / (365.25 * 86400.0));
+    const double saving = 1.0 - (pt.adaptive_vdd.value * pt.adaptive_vdd.value) /
+                                    (pt.static_vdd.value * pt.static_vdd.value);
+    table.add_row({age, TextTable::sci(pt.canary_error_rate, 1),
+                   TextTable::num(pt.adaptive_vdd.value, 2),
+                   TextTable::num(pt.static_vdd.value, 2),
+                   TextTable::pct(saving)});
+  }
+  table.print();
+
+  std::printf(
+      "\nMean dynamic-power saving of the control loop over the static\n"
+      "guard band across the lifetime: %.0f%% (final rail %.2f V vs a\n"
+      "provisioned %.2f V).\n",
+      100.0 * result.mean_dynamic_power_saving,
+      result.final_adaptive_vdd.value, result.static_guardband_vdd.value);
+  std::puts(
+      "\nThe canaries (weakened replicas) fail ~50 mV early, so the rail\n"
+      "steps up just ahead of real degradation — the paper's 'monitoring,\n"
+      "control and run-time error mitigation' loop.");
+  return 0;
+}

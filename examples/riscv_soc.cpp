@@ -1,0 +1,99 @@
+// RISC SoC — run a real program on the simulated platform (the ARM9
+// stand-in core of Figure 6): a dot-product kernel assembled from
+// source, executing from the ECC-protected instruction memory with its
+// data in the ECC-protected scratchpad, at the near-threshold supply.
+#include <cstdio>
+
+#include "core/ntcmem.hpp"
+#include "sim/assembler.hpp"
+#include "sim/disassembler.hpp"
+
+using namespace ntc;
+using namespace ntc::sim;
+
+namespace {
+
+// dot = sum a[i]*b[i] over 64 elements; a[i] = i, b[i] = 2i.
+// Scratchpad starts at byte address 0x40000 (word 0x10000).
+constexpr const char* kProgram = R"(
+        li   t0, 0x40000      # &a[0]
+        li   t1, 0x40100      # &b[0] (64 words later)
+        li   t2, 0            # i
+        li   t3, 64           # n
+init:   slli t4, t2, 2        # i*4
+        add  t5, t0, t4
+        sw   t2, 0(t5)        # a[i] = i
+        add  t5, t1, t4
+        slli t6, t2, 1
+        sw   t6, 0(t5)        # b[i] = 2i
+        addi t2, t2, 1
+        blt  t2, t3, init
+
+        li   t2, 0
+        li   a0, 0            # acc
+loop:   slli t4, t2, 2
+        add  t5, t0, t4
+        lw   t6, 0(t5)        # a[i]
+        add  t5, t1, t4
+        lw   s0, 0(t5)        # b[i]
+        mul  t6, t6, s0
+        add  a0, a0, t6
+        addi t2, t2, 1
+        blt  t2, t3, loop
+        ecall                 # result in a0
+)";
+
+}  // namespace
+
+int main() {
+  std::puts("== RISC core + ECC memories at near-threshold ==\n");
+
+  const AssemblyResult program = assemble(kProgram);
+  if (!program.ok) {
+    std::printf("assembly failed: %s\n", program.error.c_str());
+    return 1;
+  }
+  std::printf("assembled %zu words, %zu labels; first instructions:\n",
+              program.words.size(), program.symbols.size());
+  const auto listing = sim::disassemble_program(program.words);
+  for (std::size_t i = 0; i < 4 && i < listing.size(); ++i)
+    std::printf("  %s\n", listing[i].c_str());
+
+  // Expected: sum i*(2i) for i<64 = 2*sum i^2 = 2*85344 = 170688.
+  const std::uint32_t expected = 170688;
+
+  for (double vdd : {1.1, 0.44, 0.42}) {
+    PlatformConfig config;
+    config.scheme = mitigation::SchemeKind::Secded;
+    config.vdd = Volt{vdd};
+    config.clock = kilohertz(290.0);
+    config.seed = 7;
+    Platform platform(config);
+    platform.load_program(program.words);
+    const CpuHaltReason reason = platform.cpu().run();
+
+    const auto& stats = platform.cpu().stats();
+    std::printf(
+        "\nVDD = %.2f V: halt=%s result=%u (expected %u) | %llu instructions, "
+        "%llu cycles, %llu ECC fix-ups seen by the core\n",
+        vdd,
+        reason == CpuHaltReason::Ecall
+            ? "clean"
+            : (reason == CpuHaltReason::MemoryFault ? "MEMORY FAULT" : "other"),
+        platform.cpu().reg(10), expected,
+        static_cast<unsigned long long>(stats.instructions),
+        static_cast<unsigned long long>(stats.cycles),
+        static_cast<unsigned long long>(stats.corrected_accesses));
+    const auto power = platform.energy_report();
+    std::printf("  platform power at 290 kHz: %.3f mW (core %.3f, memories %.4f, codec %.4f)\n",
+                in_milliwatts(power.total()), in_milliwatts(power.core),
+                in_milliwatts(power.imem + power.spm),
+                in_milliwatts(power.codec));
+  }
+
+  std::puts(
+      "\nAt 0.44 V (the SECDED point of Table 2) the program still computes\n"
+      "the exact dot product — single-bit upsets are corrected in flight —\n"
+      "while the platform burns roughly half the 0.55 V power.");
+  return 0;
+}

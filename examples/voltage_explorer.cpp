@@ -1,0 +1,60 @@
+// Voltage explorer — walk a memory implementation down the supply
+// ladder and watch every figure of merit react: energy, leakage, speed,
+// raw bit error rates, and what each mitigation scheme makes of them.
+//
+// This is the "memory calculator" of paper Section IV as an
+// interactive-style tool.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/ntcmem.hpp"
+
+using namespace ntc;
+
+namespace {
+
+void explore(energy::MemoryStyle style) {
+  energy::MemoryCalculator calc(style, energy::reference_1k_x_32());
+  const auto access = calc.access_model();
+  const auto retention = calc.retention_model();
+
+  TextTable table("Voltage ladder: " + energy::to_string(style));
+  table.set_header({"VDD [V]", "E/read [pJ]", "leak [uW]", "f_max [MHz]",
+                    "p_bit access", "p_bit retention", "no-mit word fail",
+                    "SECDED word fail", "OCEAN word fail"});
+  for (double v = 1.1; v >= 0.25; v -= 0.11) {
+    const auto fig = calc.at(Volt{v});
+    const double pa = access.p_bit_err(Volt{v});
+    const double pr = retention.p_bit_fail(Volt{v});
+    const double p = pa + pr - pa * pr;
+    table.add_row(
+        {TextTable::num(v, 2), TextTable::num(in_picojoules(fig.read_energy), 2),
+         TextTable::num(in_microwatts(fig.leakage), 2),
+         TextTable::num(in_megahertz(fig.fmax), 2), TextTable::sci(pa, 1),
+         TextTable::sci(pr, 1),
+         TextTable::sci(
+             mitigation::word_failure_probability(mitigation::no_mitigation(), p), 1),
+         TextTable::sci(
+             mitigation::word_failure_probability(mitigation::secded_scheme(), p), 1),
+         TextTable::sci(
+             mitigation::word_failure_probability(mitigation::ocean_scheme(), p), 1)});
+  }
+  table.add_note("word failure = probability per transaction; FIT budget is 1e-15");
+  table.print();
+  std::puts("");
+}
+
+}  // namespace
+
+int main() {
+  std::puts("== ntcmem voltage explorer ==\n");
+  explore(energy::MemoryStyle::CommercialMacro40);
+  explore(energy::MemoryStyle::CellBasedImec40);
+
+  std::puts(
+      "Reading the tables: pick the FIT row your scheme tolerates and walk\n"
+      "left — that is the energy/leakage you pay. The cell-based array with\n"
+      "OCEAN stays within budget all the way to 0.33 V; the commercial\n"
+      "macro's access limit (V0 = 0.85 V) keeps even OCEAN near 0.66-0.70 V.");
+  return 0;
+}

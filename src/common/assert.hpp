@@ -1,0 +1,31 @@
+// Contract-checking macros used across the ntcmem libraries.
+//
+// NTC_REQUIRE is for caller contract violations (bad arguments, protocol
+// misuse).  It is always on — reliability modelling code that silently
+// continues on a bad precondition produces plausible-looking garbage,
+// which is worse than an abort.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ntc {
+
+[[noreturn]] inline void contract_failure(const char* expr, const char* file,
+                                          int line, const char* msg) {
+  std::fprintf(stderr, "ntcmem contract violation: %s\n  at %s:%d\n  %s\n",
+               expr, file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace ntc
+
+#define NTC_REQUIRE(expr)                                              \
+  do {                                                                 \
+    if (!(expr)) ::ntc::contract_failure(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define NTC_REQUIRE_MSG(expr, msg)                                     \
+  do {                                                                 \
+    if (!(expr)) ::ntc::contract_failure(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,37 @@
+#include "common/csv.hpp"
+
+#include <cstdio>
+
+namespace ntc {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char ch : cell) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  return quoted + "\"";
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<double>& cells) {
+  char buf[64];
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    std::snprintf(buf, sizeof buf, "%.9g", cells[i]);
+    out_ << buf;
+  }
+  out_ << '\n';
+}
+
+}  // namespace ntc

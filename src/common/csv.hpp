@@ -1,0 +1,30 @@
+// Minimal CSV emitter; benches optionally dump their series for external
+// plotting next to the ASCII tables.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace ntc {
+
+/// Writes rows to a CSV file; quoting is applied when a cell contains a
+/// comma, quote or newline.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`. ok() reports whether the stream is usable.
+  explicit CsvWriter(const std::string& path);
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Convenience for numeric series rows.
+  void write_row(const std::vector<double>& cells);
+
+ private:
+  std::ofstream out_;
+  static std::string escape(const std::string& cell);
+};
+
+}  // namespace ntc

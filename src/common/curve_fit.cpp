@@ -1,0 +1,165 @@
+#include "common/curve_fit.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/math.hpp"
+
+namespace ntc {
+
+bool cholesky_solve(std::vector<double>& a, std::vector<double>& b, std::size_t n) {
+  NTC_REQUIRE(a.size() == n * n && b.size() == n);
+  // In-place Cholesky A = L L^T (lower triangle).
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a[j * n + j];
+    for (std::size_t k = 0; k < j; ++k) d -= a[j * n + k] * a[j * n + k];
+    if (d <= 0.0 || !std::isfinite(d)) return false;
+    const double ljj = std::sqrt(d);
+    a[j * n + j] = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a[i * n + j];
+      for (std::size_t k = 0; k < j; ++k) s -= a[i * n + k] * a[j * n + k];
+      a[i * n + j] = s / ljj;
+    }
+  }
+  // Forward substitution L y = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= a[i * n + k] * b[k];
+    b[i] = s / a[i * n + i];
+  }
+  // Back substitution L^T x = y.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = b[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= a[k * n + ii] * b[k];
+    b[ii] = s / a[ii * n + ii];
+  }
+  return true;
+}
+
+namespace {
+
+double cost_of(const FitModel& model, const std::vector<double>& x,
+               const std::vector<double>& y, const std::vector<double>& w,
+               const std::vector<double>& p) {
+  double c = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double r = y[i] - model(x[i], p);
+    c += w[i] * r * r;
+  }
+  return c;
+}
+
+void clamp_to_box(std::vector<double>& p, const std::vector<double>& lo,
+                  const std::vector<double>& hi) {
+  if (!lo.empty())
+    for (std::size_t j = 0; j < p.size(); ++j) p[j] = std::max(p[j], lo[j]);
+  if (!hi.empty())
+    for (std::size_t j = 0; j < p.size(); ++j) p[j] = std::min(p[j], hi[j]);
+}
+
+}  // namespace
+
+FitResult levenberg_marquardt(const FitModel& model, const std::vector<double>& x,
+                              const std::vector<double>& y,
+                              std::vector<double> initial,
+                              const std::vector<double>& weights,
+                              const std::vector<double>& lower,
+                              const std::vector<double>& upper,
+                              const FitOptions& options) {
+  NTC_REQUIRE(x.size() == y.size() && !x.empty());
+  NTC_REQUIRE(!initial.empty());
+  NTC_REQUIRE(lower.empty() || lower.size() == initial.size());
+  NTC_REQUIRE(upper.empty() || upper.size() == initial.size());
+  const std::size_t m = x.size();
+  const std::size_t np = initial.size();
+
+  std::vector<double> w = weights;
+  if (w.empty()) w.assign(m, 1.0);
+  NTC_REQUIRE(w.size() == m);
+
+  clamp_to_box(initial, lower, upper);
+  std::vector<double> p = initial;
+  double cost = cost_of(model, x, y, w, p);
+  double lambda = options.initial_lambda;
+
+  std::vector<double> jac(m * np);       // Jacobian of residuals wrt params
+  std::vector<double> residual(m);
+  FitResult result;
+
+  int iter = 0;
+  for (; iter < options.max_iterations; ++iter) {
+    // Residuals and numeric Jacobian at p.
+    for (std::size_t i = 0; i < m; ++i) residual[i] = y[i] - model(x[i], p);
+    for (std::size_t j = 0; j < np; ++j) {
+      double h = options.jacobian_step * std::max(1.0, std::abs(p[j]));
+      std::vector<double> pj = p;
+      pj[j] += h;
+      clamp_to_box(pj, lower, upper);
+      double hj = pj[j] - p[j];
+      if (hj == 0.0) {  // pinned at the upper bound: step backwards
+        pj = p;
+        pj[j] -= h;
+        clamp_to_box(pj, lower, upper);
+        hj = pj[j] - p[j];
+      }
+      NTC_REQUIRE_MSG(hj != 0.0, "parameter box has zero width");
+      for (std::size_t i = 0; i < m; ++i) {
+        // d(residual)/dp = -d(model)/dp
+        jac[i * np + j] = -(model(x[i], pj) - model(x[i], p)) / hj;
+      }
+    }
+
+    // Normal equations (J^T W J + lambda diag) dp = -J^T W r  — note the
+    // residual convention r = y - f gives step dp added to p.
+    std::vector<double> jtj(np * np, 0.0), jtr(np, 0.0);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t a = 0; a < np; ++a) {
+        jtr[a] += w[i] * jac[i * np + a] * residual[i];
+        for (std::size_t b = 0; b <= a; ++b)
+          jtj[a * np + b] += w[i] * jac[i * np + a] * jac[i * np + b];
+      }
+    }
+    for (std::size_t a = 0; a < np; ++a)
+      for (std::size_t b = a + 1; b < np; ++b) jtj[a * np + b] = jtj[b * np + a];
+
+    bool improved = false;
+    for (int attempt = 0; attempt < 25 && !improved; ++attempt) {
+      std::vector<double> a_damped = jtj;
+      for (std::size_t d = 0; d < np; ++d)
+        a_damped[d * np + d] += lambda * std::max(jtj[d * np + d], 1e-12);
+      std::vector<double> step(np);
+      for (std::size_t d = 0; d < np; ++d) step[d] = -jtr[d];
+      if (cholesky_solve(a_damped, step, np)) {
+        std::vector<double> cand = p;
+        for (std::size_t d = 0; d < np; ++d) cand[d] += step[d];
+        clamp_to_box(cand, lower, upper);
+        double cand_cost = cost_of(model, x, y, w, cand);
+        if (std::isfinite(cand_cost) && cand_cost < cost) {
+          double rel = (cost - cand_cost) / std::max(cost, 1e-300);
+          p = cand;
+          cost = cand_cost;
+          lambda = std::max(lambda * options.lambda_down, 1e-12);
+          improved = true;
+          if (rel < options.tolerance) {
+            result.converged = true;
+          }
+          break;
+        }
+      }
+      lambda *= options.lambda_up;
+    }
+    if (!improved || result.converged) {
+      result.converged = result.converged || !improved;
+      ++iter;
+      break;
+    }
+  }
+
+  result.params = std::move(p);
+  result.cost = cost;
+  result.iterations = iter;
+  return result;
+}
+
+}  // namespace ntc

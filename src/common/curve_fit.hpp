@@ -1,0 +1,48 @@
+// Nonlinear least-squares fitting (Levenberg-Marquardt with a numeric
+// Jacobian).  The characterisation flows use this to recover the paper's
+// model constants — Eq. (4) retention parameters d0..d2 and Eq. (5)
+// access parameters (A, V0, k) — from (virtual) silicon measurements.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace ntc {
+
+struct FitOptions {
+  int max_iterations = 200;
+  double initial_lambda = 1e-3;   ///< LM damping start value
+  double lambda_up = 10.0;        ///< damping growth on rejected step
+  double lambda_down = 0.35;      ///< damping decay on accepted step
+  double tolerance = 1e-12;       ///< relative cost-improvement stop
+  double jacobian_step = 1e-6;    ///< relative finite-difference step
+};
+
+struct FitResult {
+  std::vector<double> params;
+  double cost = 0.0;        ///< final sum of squared residuals
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Model signature: y = f(x, params).
+using FitModel = std::function<double(double x, const std::vector<double>& params)>;
+
+/// Minimise sum_i w_i * (y_i - f(x_i, p))^2 over p starting from
+/// `initial`.  `weights` may be empty (all ones).  Parameters can be
+/// box-constrained with `lower`/`upper` (empty = unconstrained); steps
+/// are clamped to the box.
+FitResult levenberg_marquardt(const FitModel& model,
+                              const std::vector<double>& x,
+                              const std::vector<double>& y,
+                              std::vector<double> initial,
+                              const std::vector<double>& weights = {},
+                              const std::vector<double>& lower = {},
+                              const std::vector<double>& upper = {},
+                              const FitOptions& options = {});
+
+/// Solve the dense symmetric positive-definite system A x = b in place
+/// via Cholesky; returns false if A is not positive definite.
+bool cholesky_solve(std::vector<double>& a, std::vector<double>& b, std::size_t n);
+
+}  // namespace ntc

@@ -1,0 +1,73 @@
+// Q15 fixed-point arithmetic for the embedded-style workloads (the
+// 1K-point FFT the paper evaluates runs in fixed point on the simulated
+// scratchpad, exactly as it would on the ARM9-class target).
+#pragma once
+
+#include <cstdint>
+
+namespace ntc {
+
+/// Signed Q1.15: range [-1, 1), resolution 2^-15.
+class Q15 {
+ public:
+  constexpr Q15() = default;
+  constexpr explicit Q15(std::int16_t raw) : raw_(raw) {}
+
+  /// Saturating conversion from double in [-1, 1).
+  static constexpr Q15 from_double(double v) {
+    double scaled = v * 32768.0;
+    if (scaled >= 32767.0) return Q15{32767};
+    if (scaled <= -32768.0) return Q15{-32768};
+    return Q15{static_cast<std::int16_t>(scaled >= 0 ? scaled + 0.5 : scaled - 0.5)};
+  }
+
+  constexpr std::int16_t raw() const { return raw_; }
+  constexpr double to_double() const { return static_cast<double>(raw_) / 32768.0; }
+
+  /// Saturating addition.
+  friend constexpr Q15 operator+(Q15 a, Q15 b) {
+    std::int32_t s = std::int32_t{a.raw_} + b.raw_;
+    return Q15{saturate(s)};
+  }
+  friend constexpr Q15 operator-(Q15 a, Q15 b) {
+    std::int32_t s = std::int32_t{a.raw_} - b.raw_;
+    return Q15{saturate(s)};
+  }
+  /// Q15 x Q15 -> Q15 with rounding.
+  friend constexpr Q15 operator*(Q15 a, Q15 b) {
+    std::int32_t p = std::int32_t{a.raw_} * b.raw_;
+    p += 1 << 14;  // round to nearest
+    return Q15{saturate(p >> 15)};
+  }
+  /// Arithmetic shift right (divide by power of two), used for FFT
+  /// per-stage scaling.
+  constexpr Q15 shr(int n) const { return Q15{static_cast<std::int16_t>(raw_ >> n)}; }
+
+  friend constexpr bool operator==(Q15 a, Q15 b) = default;
+
+ private:
+  static constexpr std::int16_t saturate(std::int32_t v) {
+    if (v > 32767) return 32767;
+    if (v < -32768) return -32768;
+    return static_cast<std::int16_t>(v);
+  }
+  std::int16_t raw_ = 0;
+};
+
+/// Complex Q15 sample as stored in the scratchpad (packs to 32 bits).
+struct ComplexQ15 {
+  Q15 re;
+  Q15 im;
+
+  constexpr std::uint32_t pack() const {
+    return (static_cast<std::uint32_t>(static_cast<std::uint16_t>(re.raw()))) |
+           (static_cast<std::uint32_t>(static_cast<std::uint16_t>(im.raw())) << 16);
+  }
+  static constexpr ComplexQ15 unpack(std::uint32_t word) {
+    return ComplexQ15{Q15{static_cast<std::int16_t>(word & 0xffffu)},
+                      Q15{static_cast<std::int16_t>(word >> 16)}};
+  }
+  friend constexpr bool operator==(ComplexQ15, ComplexQ15) = default;
+};
+
+}  // namespace ntc

@@ -1,0 +1,131 @@
+#include "common/math.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace ntc {
+
+double normal_cdf(double x) {
+  return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+double normal_quantile(double p) {
+  NTC_REQUIRE(p > 0.0 && p < 1.0);
+  // Peter Acklam's rational approximation with one Halley refinement.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  double x;
+  if (p < plow) {
+    double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - plow) {
+    double q = p - 0.5, r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // One step of Halley's method against the true CDF.
+  double e = normal_cdf(x) - p;
+  double u = e * std::sqrt(2.0 * M_PI) * std::exp(0.5 * x * x);
+  x = x - u / (1.0 + 0.5 * x * u);
+  return x;
+}
+
+double erf_inv(double x) {
+  NTC_REQUIRE(x > -1.0 && x < 1.0);
+  // erf(y) = 2*Phi(y*sqrt(2)) - 1  =>  erfinv(x) = Phi^-1((x+1)/2)/sqrt(2)
+  return normal_quantile(0.5 * (x + 1.0)) / std::sqrt(2.0);
+}
+
+double log_binomial_coefficient(std::uint64_t n, std::uint64_t k) {
+  NTC_REQUIRE(k <= n);
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double log_sum_exp(double lx, double ly) {
+  if (lx < ly) std::swap(lx, ly);
+  if (ly <= kLogZero) return lx;
+  return lx + std::log1p(std::exp(ly - lx));
+}
+
+double log1m_exp(double x) {
+  NTC_REQUIRE(x <= 0.0);
+  if (x == 0.0) return kLogZero;
+  // Maechler's cutoff for the stable branch choice.
+  return x > -M_LN2 ? std::log(-std::expm1(x)) : std::log1p(-std::exp(x));
+}
+
+double log_binomial_tail_ge(std::uint64_t n, std::uint64_t k, double p) {
+  NTC_REQUIRE(p >= 0.0 && p <= 1.0);
+  if (k == 0) return 0.0;  // log(1)
+  if (k > n || p == 0.0) return kLogZero;
+  if (p == 1.0) return 0.0;
+  const double logp = std::log(p);
+  const double log1mp = std::log1p(-p);
+  // Sum P(X = j) for j = k..n in the log domain.  For the tiny p this
+  // library cares about the series decays geometrically, so stop once a
+  // term is 40 nats below the running sum.
+  double acc = kLogZero;
+  for (std::uint64_t j = k; j <= n; ++j) {
+    double term = log_binomial_coefficient(n, j) +
+                  static_cast<double>(j) * logp +
+                  static_cast<double>(n - j) * log1mp;
+    acc = log_sum_exp(acc, term);
+    if (term < acc - 40.0) break;
+  }
+  return std::min(acc, 0.0);
+}
+
+double binomial_tail_ge(std::uint64_t n, std::uint64_t k, double p) {
+  double l = log_binomial_tail_ge(n, k, p);
+  return l <= kLogZero ? 0.0 : std::exp(l);
+}
+
+double any_of_n(std::uint64_t n, double p) {
+  NTC_REQUIRE(p >= 0.0 && p <= 1.0);
+  if (p == 0.0 || n == 0) return 0.0;
+  if (p == 1.0) return 1.0;
+  return -std::expm1(static_cast<double>(n) * std::log1p(-p));
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  NTC_REQUIRE(n >= 2);
+  std::vector<double> out(n);
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) out[i] = lo + step * static_cast<double>(i);
+  out.back() = hi;
+  return out;
+}
+
+std::vector<double> logspace(double lo, double hi, std::size_t n) {
+  NTC_REQUIRE(lo > 0.0 && hi > 0.0);
+  auto logs = linspace(std::log(lo), std::log(hi), n);
+  for (auto& v : logs) v = std::exp(v);
+  logs.back() = hi;
+  return logs;
+}
+
+double clamp(double x, double lo, double hi) {
+  NTC_REQUIRE(lo <= hi);
+  return std::min(std::max(x, lo), hi);
+}
+
+}  // namespace ntc

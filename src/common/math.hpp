@@ -1,0 +1,93 @@
+// Numerical primitives shared by the reliability and mitigation models.
+//
+// The failure-in-time arithmetic routinely handles probabilities around
+// 1e-15..1e-30, far below where naive (1-p)^n style evaluation loses all
+// precision, so the binomial machinery here works in the log domain.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ntc {
+
+inline constexpr double kLogZero = -1e300;  // stand-in for log(0)
+
+/// Standard normal cumulative distribution function.
+double normal_cdf(double x);
+
+/// Inverse of the standard normal CDF (Acklam's algorithm, |err| < 1e-9).
+double normal_quantile(double p);
+
+/// Inverse error function; erfinv(erf(x)) == x to ~1e-9.
+double erf_inv(double x);
+
+/// log(n choose k) via lgamma; exact-enough for n up to millions.
+double log_binomial_coefficient(std::uint64_t n, std::uint64_t k);
+
+/// log(x + y) given lx = log(x), ly = log(y), without leaving log space.
+double log_sum_exp(double lx, double ly);
+
+/// log1p(-exp(x)) computed stably for x <= 0; log(1 - e^x).
+double log1m_exp(double x);
+
+/// P(X >= k) for X ~ Binomial(n, p), evaluated in the log domain.
+/// Exact summation of the (few) dominant terms; handles p down to 1e-300.
+double binomial_tail_ge(std::uint64_t n, std::uint64_t k, double p);
+
+/// log of binomial_tail_ge; preferred when the tail underflows double.
+double log_binomial_tail_ge(std::uint64_t n, std::uint64_t k, double p);
+
+/// Probability that at least one of n independent events of probability
+/// p occurs, computed stably: 1 - (1-p)^n = -expm1(n*log1p(-p)).
+double any_of_n(std::uint64_t n, double p);
+
+/// n evenly spaced samples from lo to hi inclusive (n >= 2).
+std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+/// n logarithmically spaced samples from lo to hi inclusive (lo, hi > 0).
+std::vector<double> logspace(double lo, double hi, std::size_t n);
+
+/// Clamp helper that tolerates an inverted range in debug contexts.
+double clamp(double x, double lo, double hi);
+
+/// Root of f on [lo, hi] by bisection; requires sign change. Returns the
+/// midpoint after `iters` halvings (53 iterations ~= double precision).
+template <class F>
+double bisect(F&& f, double lo, double hi, int iters = 100) {
+  double flo = f(lo);
+  for (int i = 0; i < iters; ++i) {
+    double mid = 0.5 * (lo + hi);
+    double fm = f(mid);
+    if ((fm < 0.0) == (flo < 0.0)) {
+      lo = mid;
+      flo = fm;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+/// Minimum of a unimodal function on [lo, hi] by golden-section search.
+template <class F>
+double golden_section_min(F&& f, double lo, double hi, int iters = 200) {
+  constexpr double invphi = 0.6180339887498949;
+  double a = lo, b = hi;
+  double c = b - (b - a) * invphi;
+  double d = a + (b - a) * invphi;
+  double fc = f(c), fd = f(d);
+  for (int i = 0; i < iters; ++i) {
+    if (fc < fd) {
+      b = d; d = c; fd = fc;
+      c = b - (b - a) * invphi;
+      fc = f(c);
+    } else {
+      a = c; c = d; fc = fd;
+      d = a + (b - a) * invphi;
+      fd = f(d);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+}  // namespace ntc

@@ -1,0 +1,133 @@
+#include "common/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace ntc {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * nb / (na + nb);
+  m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::mean() const {
+  NTC_REQUIRE(n_ > 0);
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  NTC_REQUIRE(n_ > 1);
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  NTC_REQUIRE(n_ > 0);
+  return min_;
+}
+
+double RunningStats::max() const {
+  NTC_REQUIRE(n_ > 0);
+  return max_;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  NTC_REQUIRE(hi > lo && bins > 0);
+}
+
+void Histogram::add(double x) {
+  double f = (x - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::int64_t>(f * static_cast<double>(counts_.size()));
+  bin = std::clamp<std::int64_t>(bin, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  NTC_REQUIRE(bin < counts_.size());
+  double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(bin) + 0.5) * w;
+}
+
+double Histogram::quantile(double q) const {
+  NTC_REQUIRE(q >= 0.0 && q <= 1.0);
+  NTC_REQUIRE(total_ > 0);
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      double frac = counts_[i] == 0 ? 0.0 : (target - cum) / static_cast<double>(counts_[i]);
+      return lo_ + (static_cast<double>(i) + frac) * w;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+LinearFit linear_fit(const std::vector<double>& x, const std::vector<double>& y) {
+  NTC_REQUIRE(x.size() == y.size() && x.size() >= 2);
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  NTC_REQUIRE_MSG(std::abs(denom) > 1e-30, "degenerate x values in linear_fit");
+  LinearFit fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double r = y[i] - (fit.intercept + fit.slope * x[i]);
+    ss_res += r * r;
+  }
+  fit.r_squared = ss_tot <= 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+double percentile(std::vector<double> samples, double q) {
+  NTC_REQUIRE(!samples.empty());
+  NTC_REQUIRE(q >= 0.0 && q <= 1.0);
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(samples.size() - 1) + 0.5);
+  std::nth_element(samples.begin(),
+                   samples.begin() + static_cast<std::ptrdiff_t>(idx), samples.end());
+  return samples[idx];
+}
+
+}  // namespace ntc

@@ -1,0 +1,62 @@
+// Streaming statistics, histograms and simple regression used by the
+// Monte-Carlo characterisation flows.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ntc {
+
+/// Welford-style running mean/variance/min/max accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const;
+  double variance() const;  ///< unbiased sample variance (n-1)
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the
+/// edge bins so the total count is preserved.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count() const { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const { return counts_[bin]; }
+  std::uint64_t total() const { return total_; }
+  double bin_center(std::size_t bin) const;
+  /// Value below which `q` (in [0,1]) of the mass lies (linear within bin).
+  double quantile(double q) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Ordinary least squares y = a + b*x. Returns {a, b, r2}.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;
+};
+LinearFit linear_fit(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Exact percentile of a sample (copies + nth_element); q in [0, 1].
+double percentile(std::vector<double> samples, double q);
+
+}  // namespace ntc

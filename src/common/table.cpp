@@ -1,0 +1,71 @@
+#include "common/table.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace ntc {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  NTC_REQUIRE(rows_.empty());
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  NTC_REQUIRE_MSG(row.size() == header_.size(), "row width != header width");
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_note(std::string note) { notes_.push_back(std::move(note)); }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto hline = [&] {
+    std::string s = "+";
+    for (auto w : width) s += std::string(w + 2, '-') + "+";
+    return s + "\n";
+  };
+  auto format_row = [&](const std::vector<std::string>& row) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      s += " " + row[c] + std::string(width[c] - row[c].size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+
+  std::ostringstream out;
+  out << "== " << title_ << " ==\n";
+  out << hline() << format_row(header_) << hline();
+  for (const auto& row : rows_) out << format_row(row);
+  out << hline();
+  for (const auto& note : notes_) out << "  " << note << "\n";
+  return out.str();
+}
+
+void TextTable::print() const { std::fputs(render().c_str(), stdout); }
+
+std::string TextTable::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::sci(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*e", precision, v);
+  return buf;
+}
+
+std::string TextTable::pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace ntc

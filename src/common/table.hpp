@@ -1,0 +1,43 @@
+// ASCII table rendering for benchmark output.  Every bench binary prints
+// the rows of its paper table/figure through this, so the output format
+// is uniform and diffable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ntc {
+
+/// Column-aligned text table with a title, header row and footnotes.
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  /// Set the header row; must be called before add_row.
+  void set_header(std::vector<std::string> header);
+
+  /// Append a data row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Append a footnote line rendered below the table.
+  void add_note(std::string note);
+
+  /// Render with box-drawing rules.
+  std::string render() const;
+
+  /// Render to stdout.
+  void print() const;
+
+  // Cell formatting helpers.
+  static std::string num(double v, int precision = 3);
+  static std::string sci(double v, int precision = 2);
+  static std::string pct(double fraction, int precision = 1);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> notes_;
+};
+
+}  // namespace ntc

@@ -1,0 +1,83 @@
+// Strong unit types for the physical quantities the library trades in.
+//
+// A Quantity<Tag> is a thin wrapper over double: same-unit addition,
+// scalar multiplication, and ordered comparison are allowed; mixing two
+// different units requires one of the explicit cross-unit operators
+// below (e.g. Watt * Second -> Joule).  The goal is to make unit bugs
+// (passing a voltage where an energy is expected, mJ-vs-pJ confusion)
+// compile errors rather than wrong benchmark rows.
+#pragma once
+
+#include <cmath>
+#include <compare>
+
+namespace ntc {
+
+template <class Tag>
+struct Quantity {
+  double value = 0.0;
+
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double v) : value(v) {}
+
+  friend constexpr Quantity operator+(Quantity a, Quantity b) { return Quantity{a.value + b.value}; }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) { return Quantity{a.value - b.value}; }
+  constexpr Quantity operator-() const { return Quantity{-value}; }
+  friend constexpr Quantity operator*(Quantity a, double s) { return Quantity{a.value * s}; }
+  friend constexpr Quantity operator*(double s, Quantity a) { return Quantity{a.value * s}; }
+  friend constexpr Quantity operator/(Quantity a, double s) { return Quantity{a.value / s}; }
+  // Ratio of two like quantities is dimensionless.
+  friend constexpr double operator/(Quantity a, Quantity b) { return a.value / b.value; }
+  constexpr Quantity& operator+=(Quantity o) { value += o.value; return *this; }
+  constexpr Quantity& operator-=(Quantity o) { value -= o.value; return *this; }
+  constexpr Quantity& operator*=(double s) { value *= s; return *this; }
+  friend constexpr auto operator<=>(Quantity a, Quantity b) = default;
+};
+
+using Volt = Quantity<struct VoltTag>;      // supply / threshold voltages
+using Ampere = Quantity<struct AmpereTag>;  // currents
+using Joule = Quantity<struct JouleTag>;    // energies
+using Watt = Quantity<struct WattTag>;      // powers
+using Second = Quantity<struct SecondTag>;  // times / delays
+using Hertz = Quantity<struct HertzTag>;    // frequencies
+using SquareMm = Quantity<struct AreaTag>;  // silicon area
+using Celsius = Quantity<struct TempTag>;   // temperature
+
+// Cross-unit physics that the models actually use.
+inline constexpr Joule operator*(Watt p, Second t) { return Joule{p.value * t.value}; }
+inline constexpr Joule operator*(Second t, Watt p) { return p * t; }
+inline constexpr Watt operator/(Joule e, Second t) { return Watt{e.value / t.value}; }
+inline constexpr Second operator/(Joule e, Watt p) { return Second{e.value / p.value}; }
+inline constexpr Watt operator*(Volt v, Ampere i) { return Watt{v.value * i.value}; }
+inline constexpr Watt operator*(Ampere i, Volt v) { return v * i; }
+inline constexpr Second period(Hertz f) { return Second{1.0 / f.value}; }
+inline constexpr Hertz frequency(Second t) { return Hertz{1.0 / t.value}; }
+// Energy per cycle at a given clock.
+inline constexpr Joule operator*(Watt p, Hertz f) = delete;  // common mistake: P*f is not energy
+inline constexpr Joule energy_per_cycle(Watt p, Hertz f) { return Joule{p.value / f.value}; }
+
+// Readability helpers for literals in calibration tables.
+inline constexpr Volt volts(double v) { return Volt{v}; }
+inline constexpr Volt millivolts(double v) { return Volt{v * 1e-3}; }
+inline constexpr Joule picojoules(double v) { return Joule{v * 1e-12}; }
+inline constexpr Joule femtojoules(double v) { return Joule{v * 1e-15}; }
+inline constexpr Watt microwatts(double v) { return Watt{v * 1e-6}; }
+inline constexpr Watt milliwatts(double v) { return Watt{v * 1e-3}; }
+inline constexpr Second nanoseconds(double v) { return Second{v * 1e-9}; }
+inline constexpr Second microseconds(double v) { return Second{v * 1e-6}; }
+inline constexpr Second milliseconds(double v) { return Second{v * 1e-3}; }
+inline constexpr Second seconds(double v) { return Second{v}; }
+inline constexpr Second hours(double v) { return Second{v * 3600.0}; }
+inline constexpr Second years(double v) { return Second{v * 3600.0 * 24.0 * 365.25}; }
+inline constexpr Hertz kilohertz(double v) { return Hertz{v * 1e3}; }
+inline constexpr Hertz megahertz(double v) { return Hertz{v * 1e6}; }
+
+// Formatting conversions (for table printers).
+inline constexpr double in_millivolts(Volt v) { return v.value * 1e3; }
+inline constexpr double in_picojoules(Joule e) { return e.value * 1e12; }
+inline constexpr double in_microwatts(Watt p) { return p.value * 1e6; }
+inline constexpr double in_milliwatts(Watt p) { return p.value * 1e3; }
+inline constexpr double in_megahertz(Hertz f) { return f.value * 1e-6; }
+inline constexpr double in_nanoseconds(Second t) { return t.value * 1e9; }
+
+}  // namespace ntc

@@ -1,0 +1,51 @@
+#include "core/adaptive_memory.hpp"
+
+#include "common/assert.hpp"
+#include "energy/memory_calculator.hpp"
+
+namespace ntc::core {
+
+namespace {
+
+reliability::AccessErrorModel access_model_for(const NtcMemoryConfig& config) {
+  energy::MemoryCalculator calc(config.style,
+                                energy::MemoryGeometry{config.bytes / 4, 32});
+  return calc.access_model();
+}
+
+}  // namespace
+
+AdaptiveNtcMemory::AdaptiveNtcMemory(AdaptiveConfig config)
+    : config_(config),
+      memory_(config.memory),
+      monitor_(access_model_for(config.memory), config.aging, config.monitor),
+      controller_(config.memory.vdd, config.controller) {
+  NTC_REQUIRE(config_.canary_trials_per_tick > 0);
+}
+
+sim::AccessStatus AdaptiveNtcMemory::read_word(std::uint32_t word_index,
+                                               std::uint32_t& data) {
+  return memory_.read_word(word_index, data);
+}
+
+sim::AccessStatus AdaptiveNtcMemory::write_word(std::uint32_t word_index,
+                                                std::uint32_t data) {
+  return memory_.write_word(word_index, data);
+}
+
+Volt AdaptiveNtcMemory::tick(Second age) {
+  NTC_REQUIRE(age.value >= 0.0);
+  ++ticks_;
+  last_canary_rate_ = monitor_.sample_error_rate(
+      controller_.voltage(), age, config_.canary_trials_per_tick);
+  const Volt rail = controller_.update(last_canary_rate_);
+  if (rail.value != memory_.vdd().value) {
+    memory_.set_vdd(rail);
+    // A changed rail also changes how close the aged cells are to their
+    // limits; a scrub flushes anything the transition disturbed.
+    memory_.scrub();
+  }
+  return rail;
+}
+
+}  // namespace ntc::core

@@ -1,0 +1,60 @@
+// AdaptiveNtcMemory — the complete single-supply story in one object:
+// a mitigated memory, its canary monitor, and the voltage controller,
+// closed into the run-time loop the paper's abstract promises
+// ("advanced monitoring, control and run-time error mitigation schemes
+// enable the operation of these memories at the same optimal near-Vt
+// voltage level as the digital logic").
+//
+// The host calls tick() at its monitoring cadence (e.g. once per
+// second of device operation); the loop samples the canaries at the
+// device's current age, steps the rail, and propagates the new supply
+// into the memory's fault models.
+#pragma once
+
+#include "core/controller.hpp"
+#include "core/monitor.hpp"
+#include "core/ntc_memory.hpp"
+#include "tech/aging.hpp"
+
+namespace ntc::core {
+
+struct AdaptiveConfig {
+  NtcMemoryConfig memory = {};
+  MonitorConfig monitor = {};
+  ControllerConfig controller = {};
+  tech::AgingModel aging = tech::AgingModel();
+  std::size_t canary_trials_per_tick = 64;
+};
+
+class AdaptiveNtcMemory final : public sim::MemoryPort {
+ public:
+  explicit AdaptiveNtcMemory(AdaptiveConfig config);
+
+  // MemoryPort: plain data-plane access at the controlled rail.
+  sim::AccessStatus read_word(std::uint32_t word_index,
+                              std::uint32_t& data) override;
+  sim::AccessStatus write_word(std::uint32_t word_index,
+                               std::uint32_t data) override;
+  std::uint32_t word_count() const override { return memory_.word_count(); }
+
+  /// One monitoring epoch at device age `age`: sample canaries, update
+  /// the controller, apply the (possibly changed) rail to the memory
+  /// AND its own aging-shifted fault models.  Returns the applied rail.
+  Volt tick(Second age);
+
+  Volt vdd() const { return memory_.vdd(); }
+  const NtcMemory& memory() const { return memory_; }
+  const VoltageController& controller() const { return controller_; }
+  double last_canary_rate() const { return last_canary_rate_; }
+  std::uint64_t ticks() const { return ticks_; }
+
+ private:
+  AdaptiveConfig config_;
+  NtcMemory memory_;
+  CanaryMonitor monitor_;
+  VoltageController controller_;
+  double last_canary_rate_ = 0.0;
+  std::uint64_t ticks_ = 0;
+};
+
+}  // namespace ntc::core

@@ -1,0 +1,37 @@
+#include "core/controller.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace ntc::core {
+
+VoltageController::VoltageController(Volt initial, ControllerConfig config)
+    : config_(config), vdd_(initial) {
+  NTC_REQUIRE(config.step.value > 0.0);
+  NTC_REQUIRE(config.v_min.value < config.v_max.value);
+  NTC_REQUIRE(config.rate_low < config.rate_high);
+  vdd_ = Volt{std::clamp(initial.value, config.v_min.value, config.v_max.value)};
+}
+
+Volt VoltageController::update(double canary_error_rate) {
+  NTC_REQUIRE(canary_error_rate >= 0.0 && canary_error_rate <= 1.0);
+  if (canary_error_rate > config_.rate_high) {
+    // Degradation visible: step up immediately (safety direction).
+    vdd_ = Volt{std::min(vdd_.value + config_.step.value, config_.v_max.value)};
+    ++up_steps_;
+    quiet_epochs_ = 0;
+  } else if (canary_error_rate < config_.rate_low) {
+    // Excess margin: step down only after a calm dwell period.
+    if (++quiet_epochs_ >= config_.down_dwell) {
+      vdd_ = Volt{std::max(vdd_.value - config_.step.value, config_.v_min.value)};
+      ++down_steps_;
+      quiet_epochs_ = 0;
+    }
+  } else {
+    quiet_epochs_ = 0;  // in band: hold
+  }
+  return vdd_;
+}
+
+}  // namespace ntc::core

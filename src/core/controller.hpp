@@ -1,0 +1,50 @@
+// Closed-loop supply-voltage controller.
+//
+// Keeps the canary error rate inside a target band by stepping the
+// (single) supply rail up or down on the regulator's 10 mV ladder: the
+// run-time knob of the paper's monitoring/control/mitigation scheme.
+// Because the canaries fail ~50 mV early, the functional array keeps a
+// calibrated guard band at all times, while the rail tracks process,
+// temperature and aging instead of carrying a worst-case lifetime
+// margin.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace ntc::core {
+
+struct ControllerConfig {
+  Volt step{0.01};          ///< regulator ladder pitch
+  Volt v_min{0.25};
+  Volt v_max{1.10};
+  /// Canary error-rate band: above `rate_high` the rail steps up,
+  /// below `rate_low` it steps down, inside it holds.
+  double rate_high = 1e-3;
+  double rate_low = 1e-5;
+  /// Consecutive in-band epochs required before a down-step (prevents
+  /// hunting on noisy canary samples).
+  unsigned down_dwell = 3;
+};
+
+class VoltageController {
+ public:
+  VoltageController(Volt initial, ControllerConfig config = {});
+
+  /// Feed one monitoring epoch; returns the (possibly updated) rail.
+  Volt update(double canary_error_rate);
+
+  Volt voltage() const { return vdd_; }
+  std::uint64_t up_steps() const { return up_steps_; }
+  std::uint64_t down_steps() const { return down_steps_; }
+
+ private:
+  ControllerConfig config_;
+  Volt vdd_;
+  unsigned quiet_epochs_ = 0;
+  std::uint64_t up_steps_ = 0;
+  std::uint64_t down_steps_ = 0;
+};
+
+}  // namespace ntc::core

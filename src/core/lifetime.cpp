@@ -1,0 +1,49 @@
+#include "core/lifetime.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace ntc::core {
+
+LifetimeResult simulate_lifetime(const LifetimeConfig& config) {
+  NTC_REQUIRE(config.epochs >= 2);
+  NTC_REQUIRE(config.lifetime.value > 0.0);
+
+  CanaryMonitor monitor(config.access, config.aging, config.monitor);
+  VoltageController controller(config.initial_vdd, config.controller);
+
+  // Static design point: provision the end-of-life drift on top of the
+  // initial requirement (what a design without monitoring must do).
+  const Volt eol_drift = config.aging.drift(config.lifetime);
+  const Volt static_vdd = config.initial_vdd + eol_drift;
+
+  LifetimeResult result;
+  result.static_guardband_vdd = static_vdd;
+  double sum_v2 = 0.0;
+
+  for (std::size_t e = 0; e < config.epochs; ++e) {
+    // Square-root spacing: dense early, sparse late.
+    const double frac = static_cast<double>(e) / (config.epochs - 1);
+    const Second age{config.lifetime.value * frac * frac};
+
+    const double rate = monitor.sample_error_rate(controller.voltage(), age);
+    const Volt vdd = controller.update(rate);
+
+    LifetimePoint point;
+    point.age = age;
+    point.adaptive_vdd = vdd;
+    point.static_vdd = static_vdd;
+    point.canary_error_rate = rate;
+    result.timeline.push_back(point);
+    sum_v2 += vdd.value * vdd.value;
+  }
+
+  const double mean_v2 = sum_v2 / static_cast<double>(config.epochs);
+  result.mean_dynamic_power_saving =
+      1.0 - mean_v2 / (static_vdd.value * static_vdd.value);
+  result.final_adaptive_vdd = result.timeline.back().adaptive_vdd;
+  return result;
+}
+
+}  // namespace ntc::core

@@ -1,0 +1,51 @@
+#include "core/monitor.hpp"
+
+#include "common/assert.hpp"
+
+namespace ntc::core {
+
+CanaryMonitor::CanaryMonitor(reliability::AccessErrorModel access,
+                             tech::AgingModel aging, MonitorConfig config)
+    : access_(std::move(access)),
+      aging_(aging),
+      config_(config),
+      rng_(config.seed) {
+  NTC_REQUIRE(config_.canary_cells > 0);
+  NTC_REQUIRE(config_.weakening.value >= 0.0);
+}
+
+double CanaryMonitor::true_error_probability(Volt vdd, Second age) const {
+  // Aging raises the access limit; the weakening margin makes canaries
+  // see an effectively lower rail.
+  const reliability::AccessErrorModel aged = access_.aged(aging_.drift(age));
+  const double v_eff = vdd.value - config_.weakening.value;
+  if (v_eff <= 0.0) return 1.0;
+  return aged.p_bit_err(Volt{v_eff});
+}
+
+std::uint64_t CanaryMonitor::sample_errors(Volt vdd, Second age,
+                                           std::size_t trials_per_cell) {
+  NTC_REQUIRE(trials_per_cell > 0);
+  const double p = true_error_probability(vdd, age);
+  std::uint64_t errors = 0;
+  const std::uint64_t trials =
+      static_cast<std::uint64_t>(config_.canary_cells) * trials_per_cell;
+  // Poisson approximation is exact enough for p*trials << trials and
+  // keeps epochs cheap; fall back to Bernoulli when p is large.
+  if (p < 0.05) {
+    errors = rng_.poisson(p * static_cast<double>(trials));
+    if (errors > trials) errors = trials;
+  } else {
+    for (std::uint64_t i = 0; i < trials; ++i) errors += rng_.bernoulli(p);
+  }
+  return errors;
+}
+
+double CanaryMonitor::sample_error_rate(Volt vdd, Second age,
+                                        std::size_t trials_per_cell) {
+  const double trials =
+      static_cast<double>(config_.canary_cells) * trials_per_cell;
+  return static_cast<double>(sample_errors(vdd, age, trials_per_cell)) / trials;
+}
+
+}  // namespace ntc::core

@@ -1,0 +1,54 @@
+// Canary-cell degradation monitor.
+//
+// Section IV: "the minimal voltage will change over lifetime of a
+// product requiring a monitoring and control loop that adjusts run-time
+// knobs such as the supply voltage level."  The monitor is a small
+// replica array whose cells are deliberately weakened by a margin
+// offset, so they start failing *before* the functional array does;
+// sampling their error rate tells the controller how much slack the
+// real memory has left at the current supply and age.
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "reliability/access_model.hpp"
+#include "tech/aging.hpp"
+
+namespace ntc::core {
+
+struct MonitorConfig {
+  std::size_t canary_cells = 256;
+  /// The canaries behave as if the supply were this much lower than the
+  /// functional array's rail — the early-warning margin.
+  Volt weakening{0.05};
+  std::uint64_t seed = 0xCA11A12;
+};
+
+class CanaryMonitor {
+ public:
+  CanaryMonitor(reliability::AccessErrorModel access, tech::AgingModel aging,
+                MonitorConfig config = {});
+
+  /// One monitoring epoch: exercise every canary cell `trials_per_cell`
+  /// times at the given supply and device age; returns observed errors.
+  std::uint64_t sample_errors(Volt vdd, Second age,
+                              std::size_t trials_per_cell = 16);
+
+  /// Observed canary error rate in [0, 1] for the same epoch inputs.
+  double sample_error_rate(Volt vdd, Second age,
+                           std::size_t trials_per_cell = 16);
+
+  /// The underlying (true) canary error probability — for tests and
+  /// for the analytic lifetime study.
+  double true_error_probability(Volt vdd, Second age) const;
+
+  const MonitorConfig& config() const { return config_; }
+
+ private:
+  reliability::AccessErrorModel access_;
+  tech::AgingModel aging_;
+  MonitorConfig config_;
+  Rng rng_;
+};
+
+}  // namespace ntc::core

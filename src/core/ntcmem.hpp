@@ -1,0 +1,24 @@
+// Umbrella header: the ntcmem public API in one include.
+//
+//   #include "core/ntcmem.hpp"
+//
+// pulls in the flagship wrapper (NtcMemory), the monitor/controller
+// loop, the system-level configurator (NtcSystem), and the underlying
+// model layers a downstream user typically touches.
+#pragma once
+
+#include "core/adaptive_memory.hpp"   // closed-loop monitored memory
+#include "core/controller.hpp"        // run-time voltage control loop
+#include "core/lifetime.hpp"          // aging vs closed-loop study
+#include "core/monitor.hpp"           // canary degradation monitor
+#include "core/ntc_memory.hpp"        // single-supply memory wrapper
+#include "core/system.hpp"            // platform configurator / savings
+#include "ecc/bch.hpp"                // OCEAN protected-buffer code
+#include "ecc/hamming.hpp"            // SECDED(39,32)
+#include "energy/memory_calculator.hpp"
+#include "mitigation/comparison.hpp"  // Table 2 style scheme comparison
+#include "ocean/optimizer.hpp"        // OCEAN EPA optimiser
+#include "ocean/runtime.hpp"          // checkpoint/rollback runtime
+#include "reliability/test_chip.hpp"  // virtual silicon + fits
+#include "sim/platform.hpp"           // the Figure 6 SoC
+#include "workloads/fft.hpp"          // the 1K-point evaluation workload

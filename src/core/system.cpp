@@ -1,0 +1,141 @@
+#include "core/system.hpp"
+
+#include "common/assert.hpp"
+#include "ecc/bch.hpp"
+#include "ecc/hamming.hpp"
+#include "tech/node.hpp"
+
+namespace ntc::core {
+
+namespace {
+
+mitigation::MinVoltageSolver make_solver(const SystemRequirements& req) {
+  energy::MemoryCalculator calc(req.memory_style, energy::reference_1k_x_32());
+  return mitigation::MinVoltageSolver(calc.access_model(),
+                                      calc.retention_model(),
+                                      tech::platform_logic_timing_40nm());
+}
+
+}  // namespace
+
+NtcSystem::NtcSystem(SystemRequirements requirements)
+    : requirements_(requirements),
+      solver_(make_solver(requirements)),
+      core_(energy::arm9_class_core_40nm()) {
+  NTC_REQUIRE(requirements.clock.value > 0.0);
+}
+
+sim::PlatformEnergyReport NtcSystem::estimate_power(
+    const mitigation::MitigationScheme& scheme, Volt vdd) const {
+  const SystemRequirements& req = requirements_;
+  const Hertz f = req.clock;
+  const auto node = tech::node_40nm_lp();
+
+  const energy::MemoryCalculator imem_calc(
+      req.memory_style, energy::MemoryGeometry{req.imem_bytes / 4, 32});
+  const energy::MemoryCalculator spm_calc(
+      req.memory_style, energy::MemoryGeometry{req.spm_bytes / 4, 32});
+  const energy::MemoryCalculator pm_calc(
+      req.memory_style, energy::MemoryGeometry{req.pm_bytes / 4, 32});
+  const energy::MemoryFigures imem = imem_calc.at(vdd);
+  const energy::MemoryFigures spm = spm_calc.at(vdd);
+  const energy::MemoryFigures pm = pm_calc.at(vdd);
+
+  const bool ocean = scheme.kind == mitigation::SchemeKind::Ocean;
+  const bool secded = scheme.kind == mitigation::SchemeKind::Secded;
+
+  sim::PlatformEnergyReport report;
+
+  // Protocol overhead stretches the cycle count under OCEAN (CRC + DMA
+  // run on the core).
+  const double cycle_stretch =
+      ocean ? 1.0 + req.ocean_checkpoint_fraction * req.spm_accesses_per_cycle
+            : 1.0;
+  const double cycles_per_s = f.value * cycle_stretch;
+  report.core = Watt{core_.dynamic_energy_per_cycle(vdd).value * cycles_per_s} +
+                core_.leakage(vdd);
+
+  // Instruction memory: SECDED codewords under ECC and OCEAN.
+  const double imem_width = (secded || ocean) ? 39.0 / 32.0 : 1.0;
+  const double fetches_per_s = req.fetches_per_cycle * cycles_per_s;
+  report.imem =
+      Watt{imem.read_energy.value * imem_width * fetches_per_s} + imem.leakage;
+
+  // Scratchpad: SECDED widening under ECC; raw + checkpoint reads under
+  // OCEAN.
+  const double spm_width = secded ? 39.0 / 32.0 : 1.0;
+  const double spm_accesses_per_s =
+      req.spm_accesses_per_cycle * f.value *
+      (ocean ? 1.0 + req.ocean_checkpoint_fraction : 1.0);
+  report.spm =
+      Watt{spm.read_energy.value * spm_width * spm_accesses_per_s} + spm.leakage;
+
+  // Protected memory: OCEAN only; BCH codewords are 56/32 wide.
+  if (ocean) {
+    const double pm_accesses_per_s = req.spm_accesses_per_cycle * f.value *
+                                     req.ocean_checkpoint_fraction;
+    report.pm =
+        Watt{pm.write_energy.value * (56.0 / 32.0) * pm_accesses_per_s} +
+        pm.leakage;
+  }
+
+  // Codec hardware.
+  if (secded || ocean) {
+    const ecc::CodecOverhead secded_oh =
+        ecc::estimate_codec_overhead(ecc::HammingSecded(32), node);
+    double codec_j_per_s =
+        secded_oh.decode_energy(vdd).value * fetches_per_s;  // IM fetches
+    if (secded)
+      codec_j_per_s += secded_oh.decode_energy(vdd).value * spm_accesses_per_s;
+    if (ocean) {
+      const ecc::CodecOverhead bch_oh =
+          ecc::estimate_codec_overhead(ecc::ocean_buffer_code(), node);
+      codec_j_per_s += bch_oh.encode_energy(vdd).value *
+                       (req.spm_accesses_per_cycle * f.value *
+                        req.ocean_checkpoint_fraction);
+    }
+    const energy::LogicModel codec_logic =
+        ocean ? energy::ocean_hw_logic_40nm()
+              : energy::secded_codec_logic_40nm();
+    report.codec = Watt{codec_j_per_s} + codec_logic.leakage(vdd);
+  }
+  return report;
+}
+
+SavingsReport NtcSystem::analyze() const {
+  SavingsReport report;
+  mitigation::SolverConstraints constraints;
+  constraints.fit_per_transaction = requirements_.fit_per_transaction;
+  constraints.min_frequency = requirements_.clock;
+
+  for (const mitigation::MitigationScheme& scheme :
+       {mitigation::no_mitigation(), mitigation::secded_scheme(),
+        mitigation::ocean_scheme()}) {
+    SchemeEstimate estimate;
+    estimate.scheme = scheme;
+    estimate.operating_point = solver_.solve(scheme, constraints);
+    estimate.power = estimate_power(scheme, estimate.operating_point.voltage);
+    report.schemes.push_back(std::move(estimate));
+  }
+
+  const double p_nomit = report.schemes[0].power.total().value;
+  const double p_ecc = report.schemes[1].power.total().value;
+  const double p_ocean = report.schemes[2].power.total().value;
+  report.ecc_saving_vs_no_mitigation = 1.0 - p_ecc / p_nomit;
+  report.ocean_saving_vs_no_mitigation = 1.0 - p_ocean / p_nomit;
+  report.ocean_saving_vs_ecc = 1.0 - p_ocean / p_ecc;
+  report.energy_ratio_no_mitigation_over_ocean = p_nomit / p_ocean;
+  report.energy_ratio_ecc_over_ocean = p_ecc / p_ocean;
+
+  // Headline: dynamic power vs the error-free voltage limit with a PVT
+  // margin of ~50 mV (0.55 V + margin ~= 0.6 V for the cell-based
+  // array), against the OCEAN supply.
+  const Volt error_free_limit =
+      report.schemes[0].operating_point.voltage + Volt{0.05};
+  const Volt ocean_v = report.schemes[2].operating_point.voltage;
+  report.headline_dynamic_power_ratio =
+      mitigation::dynamic_power_ratio(error_free_limit, ocean_v);
+  return report;
+}
+
+}  // namespace ntc::core

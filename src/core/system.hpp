@@ -1,0 +1,75 @@
+// NtcSystem — single-supply platform configurator and savings reporter.
+//
+// Answers the paper's top-level question for a given application
+// requirement (clock, FIT budget, memory style): at which voltage can
+// each mitigation scheme run the whole platform on ONE supply, and what
+// platform power results.  The analytic model mirrors the simulator's
+// per-module accounting (core / IM / SPM / PM / codec) with a fixed
+// access-rate profile, so quick API queries agree with the Figure 8/9
+// simulation benches on shape.
+#pragma once
+
+#include <vector>
+
+#include "ecc/codec_overhead.hpp"
+#include "energy/logic_model.hpp"
+#include "energy/memory_calculator.hpp"
+#include "mitigation/comparison.hpp"
+#include "sim/platform.hpp"
+
+namespace ntc::core {
+
+struct SystemRequirements {
+  Hertz clock{290.0e3};
+  double fit_per_transaction = 1e-15;
+  energy::MemoryStyle memory_style = energy::MemoryStyle::CellBasedImec40;
+  std::uint32_t imem_bytes = 4 * 1024;
+  std::uint32_t spm_bytes = 8 * 1024;
+  std::uint32_t pm_bytes = 8 * 1024;
+  /// Access-rate profile (per core cycle).
+  double fetches_per_cycle = 1.0;
+  double spm_accesses_per_cycle = 0.35;
+  /// OCEAN protocol traffic as a fraction of SPM accesses.
+  double ocean_checkpoint_fraction = 0.15;
+};
+
+struct SchemeEstimate {
+  mitigation::MitigationScheme scheme;
+  mitigation::OperatingPoint operating_point;
+  sim::PlatformEnergyReport power;
+};
+
+struct SavingsReport {
+  std::vector<SchemeEstimate> schemes;  ///< no-mitigation, ECC, OCEAN
+
+  double ecc_saving_vs_no_mitigation = 0.0;    ///< 1 - P_ecc/P_nomit
+  double ocean_saving_vs_no_mitigation = 0.0;  ///< paper: up to 70%
+  double ocean_saving_vs_ecc = 0.0;            ///< paper: up to 48%
+  /// Energy ratios (the intro's "2x vs ECC, 3x vs no mitigation").
+  double energy_ratio_no_mitigation_over_ocean = 0.0;
+  double energy_ratio_ecc_over_ocean = 0.0;
+  /// Conclusion headline: dynamic power reduction beyond the error-free
+  /// voltage limit (error-free V0 + margin vs the OCEAN supply).
+  double headline_dynamic_power_ratio = 0.0;
+};
+
+class NtcSystem {
+ public:
+  explicit NtcSystem(SystemRequirements requirements);
+
+  /// Per-scheme operating points and platform power, plus ratios.
+  SavingsReport analyze() const;
+
+  /// Analytic platform power for one scheme at a given supply.
+  sim::PlatformEnergyReport estimate_power(
+      const mitigation::MitigationScheme& scheme, Volt vdd) const;
+
+  const SystemRequirements& requirements() const { return requirements_; }
+
+ private:
+  SystemRequirements requirements_;
+  mitigation::MinVoltageSolver solver_;
+  energy::LogicModel core_;
+};
+
+}  // namespace ntc::core

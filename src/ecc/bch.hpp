@@ -1,0 +1,51 @@
+// Binary BCH codes over GF(2^m) with Berlekamp-Massey decoding.
+//
+// OCEAN stores checkpoint words in a buffer "with quadruple error
+// correction capability" so that only a quintuple-bit error defeats the
+// scheme.  The shortened BCH(t=4) instance over GF(2^6) provides
+// exactly that: t = 4 guaranteed correction, failure only at >= 5
+// errors.  t is a constructor parameter (1..5) so the mitigation
+// ablations can sweep correction strength.
+#pragma once
+
+#include <vector>
+
+#include "ecc/code.hpp"
+#include "ecc/galois.hpp"
+
+namespace ntc::ecc {
+
+class BchCode final : public BlockCode {
+ public:
+  /// Shortened binary BCH over GF(2^m): full length n = 2^m - 1,
+  /// shortened to carry `data_bits` (<= k of the full code, <= 64).
+  BchCode(unsigned m, unsigned t, std::size_t data_bits);
+
+  std::string name() const override;
+  std::size_t data_bits() const override { return data_bits_; }
+  std::size_t code_bits() const override { return data_bits_ + parity_bits_; }
+  std::size_t correct_capability() const override { return t_; }
+  std::size_t detect_capability() const override { return t_; }
+
+  Bits encode(std::uint64_t data) const override;
+  DecodeResult decode(const Bits& received) const override;
+
+  std::size_t parity_bits() const { return parity_bits_; }
+  /// Generator polynomial (GF(2), LSB-first).
+  std::uint64_t generator() const { return generator_; }
+
+ private:
+  std::uint64_t parity_of(std::uint64_t data) const;
+
+  GaloisField field_;
+  unsigned t_;
+  std::size_t data_bits_;
+  std::size_t parity_bits_;
+  std::uint64_t generator_ = 0;
+};
+
+/// The OCEAN protected-buffer code: 32 data bits, t = 4, 24 parity bits
+/// (shortened BCH(63,39) -> (56,32)).
+BchCode ocean_buffer_code();
+
+}  // namespace ntc::ecc

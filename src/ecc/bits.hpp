@@ -1,0 +1,75 @@
+// Fixed-capacity bit vector for codewords (up to 256 bits).
+//
+// All codes in this library describe codewords as Bits with LSB-first
+// indexing: bit 0 is the first transmitted/stored bit.  The capacity
+// covers the largest codeword in use (4-way interleaved SECDED(39,32) =
+// 156 bits) with headroom.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace ntc::ecc {
+
+class Bits {
+ public:
+  static constexpr std::size_t kCapacity = 256;
+
+  constexpr Bits() = default;
+
+  static constexpr Bits from_u64(std::uint64_t value) {
+    Bits b;
+    b.words_[0] = value;
+    return b;
+  }
+
+  bool get(std::size_t i) const {
+    NTC_REQUIRE(i < kCapacity);
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  void set(std::size_t i, bool value) {
+    NTC_REQUIRE(i < kCapacity);
+    const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+    if (value)
+      words_[i >> 6] |= mask;
+    else
+      words_[i >> 6] &= ~mask;
+  }
+
+  void flip(std::size_t i) {
+    NTC_REQUIRE(i < kCapacity);
+    words_[i >> 6] ^= std::uint64_t{1} << (i & 63);
+  }
+
+  /// Number of set bits.
+  std::size_t popcount() const {
+    std::size_t n = 0;
+    for (auto w : words_) n += static_cast<std::size_t>(std::popcount(w));
+    return n;
+  }
+
+  bool any() const {
+    for (auto w : words_)
+      if (w) return true;
+    return false;
+  }
+
+  /// Low 64 bits (the data word for codes with <= 64 data bits).
+  std::uint64_t to_u64() const { return words_[0]; }
+
+  friend Bits operator^(Bits a, const Bits& b) {
+    for (std::size_t i = 0; i < a.words_.size(); ++i) a.words_[i] ^= b.words_[i];
+    return a;
+  }
+
+  friend bool operator==(const Bits&, const Bits&) = default;
+
+ private:
+  std::array<std::uint64_t, kCapacity / 64> words_{};
+};
+
+}  // namespace ntc::ecc

@@ -1,0 +1,48 @@
+// Common interface of the block codes used as memory-protection
+// wrappers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "ecc/bits.hpp"
+
+namespace ntc::ecc {
+
+/// What the decoder concluded about a retrieved codeword.
+enum class DecodeStatus {
+  Ok,                      ///< clean codeword, no correction applied
+  Corrected,               ///< error(s) found and corrected
+  DetectedUncorrectable,   ///< error detected but beyond correction
+};
+
+struct DecodeResult {
+  std::uint64_t data = 0;  ///< best-effort decoded data word
+  DecodeStatus status = DecodeStatus::Ok;
+  int corrected_bits = 0;  ///< number of bit corrections applied
+};
+
+/// A systematic binary block code protecting up to 64 data bits.
+class BlockCode {
+ public:
+  virtual ~BlockCode() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::size_t data_bits() const = 0;
+  virtual std::size_t code_bits() const = 0;
+  /// Guaranteed correction capability t (bits per codeword).
+  virtual std::size_t correct_capability() const = 0;
+  /// Guaranteed detection capability (bits per codeword; >= t).
+  virtual std::size_t detect_capability() const = 0;
+
+  virtual Bits encode(std::uint64_t data) const = 0;
+  virtual DecodeResult decode(const Bits& received) const = 0;
+
+  /// Storage overhead: code_bits / data_bits.
+  double overhead() const {
+    return static_cast<double>(code_bits()) / static_cast<double>(data_bits());
+  }
+};
+
+}  // namespace ntc::ecc

@@ -1,0 +1,55 @@
+#include "ecc/codec_overhead.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace ntc::ecc {
+
+Joule CodecOverhead::encode_energy(Volt vdd) const {
+  NTC_REQUIRE(vdd.value > 0.0);
+  return Joule{0.5 * encode_gate_equiv * gate_cap_f * vdd.value * vdd.value};
+}
+
+Joule CodecOverhead::decode_energy(Volt vdd) const {
+  NTC_REQUIRE(vdd.value > 0.0);
+  return Joule{0.5 * decode_gate_equiv * gate_cap_f * vdd.value * vdd.value};
+}
+
+Watt CodecOverhead::leakage(Volt vdd) const {
+  return Watt{(encode_gate_equiv + decode_gate_equiv) * gate_leak_a_per_gate *
+              vdd.value};
+}
+
+CodecOverhead estimate_codec_overhead(const BlockCode& code,
+                                      const tech::TechnologyNode& node) {
+  CodecOverhead overhead;
+  const double n = static_cast<double>(code.code_bits());
+  const double k = static_cast<double>(code.data_bits());
+  const double r = n - k;
+  const double t = static_cast<double>(code.correct_capability());
+
+  if (t <= 1.0) {
+    // SECDED-class: encoder = r parity trees over ~k/2 inputs each;
+    // decoder = same trees + syndrome match (n comparators of r bits).
+    overhead.encode_gate_equiv = r * (k / 2.0);
+    overhead.decode_gate_equiv = r * (k / 2.0) + n * (r / 2.0);
+  } else {
+    // BCH-class: LFSR encoder of r flops (~4 gate-equivalents each);
+    // decoder = 2t syndrome evaluators over n positions + BM datapath
+    // (~2t^2 GF multipliers of ~m^2 gates) + Chien search.
+    const double m = std::ceil(std::log2(n + 1.0));
+    overhead.encode_gate_equiv = 4.0 * r;
+    overhead.decode_gate_equiv =
+        2.0 * t * n + 2.0 * t * t * m * m + (t + 1.0) * n;
+  }
+  overhead.storage_overhead = code.overhead();
+  overhead.gate_cap_f = 2.0 * node.logic_fo4_load_ff * 1e-15;
+  // Leakage per gate from the node's logic device at nominal conditions.
+  overhead.gate_leak_a_per_gate =
+      2.0 * tech::leakage_current(node.nmos, node.vdd_nominal.value,
+                                  Celsius{25.0}).value;
+  return overhead;
+}
+
+}  // namespace ntc::ecc

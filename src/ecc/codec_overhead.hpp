@@ -1,0 +1,42 @@
+// Energy/area overhead model of ECC codec hardware.
+//
+// The paper's Section V explicitly charges the SECDED scheme for
+// reading/writing 39 bits instead of 32 *plus* the energy to generate
+// the code word, check the syndrome, and correct.  This model estimates
+// those costs from the code structure (XOR-tree sizes) and the
+// technology node's gate energy, so every mitigation comparison carries
+// its codec overhead consistently.
+#pragma once
+
+#include "common/units.hpp"
+#include "ecc/code.hpp"
+#include "tech/node.hpp"
+
+namespace ntc::ecc {
+
+struct CodecOverhead {
+  double encode_gate_equiv = 0.0;  ///< XOR2-equivalents in the encoder
+  double decode_gate_equiv = 0.0;  ///< XOR2-equivalents in the decoder
+  double storage_overhead = 1.0;   ///< code_bits / data_bits
+
+  /// Switching energy of one encode / decode operation at `vdd`
+  /// (activity ~0.5 across the trees).
+  Joule encode_energy(Volt vdd) const;
+  Joule decode_energy(Volt vdd) const;
+
+  /// Static power of the codec logic.
+  Watt leakage(Volt vdd) const;
+
+  /// Per-gate energy/leakage coefficients (from the node).
+  double gate_cap_f = 1.2e-15;
+  double gate_leak_a_per_gate = 2.0e-12;
+};
+
+/// Estimate the overhead of a code on the given node.  Gate counts are
+/// derived from the code parameters: parity trees of (n-k) x ~k/2 XORs
+/// for the linear codes; BCH decoders add the syndrome/BM/Chien datapath
+/// (dominant term, estimated from t and m).
+CodecOverhead estimate_codec_overhead(const BlockCode& code,
+                                      const tech::TechnologyNode& node);
+
+}  // namespace ntc::ecc

@@ -1,0 +1,36 @@
+#include "ecc/crc.hpp"
+
+namespace ntc::ecc {
+
+Crc32::Crc32() {
+  constexpr std::uint32_t kPoly = 0xEDB88320u;  // reflected 0x04C11DB7
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit)
+      c = (c & 1u) ? (kPoly ^ (c >> 1)) : (c >> 1);
+    table_[i] = c;
+  }
+}
+
+std::uint32_t Crc32::update(std::uint32_t state, std::uint8_t byte) const {
+  return table_[(state ^ byte) & 0xFFu] ^ (state >> 8);
+}
+
+std::uint32_t Crc32::compute(std::span<const std::uint8_t> bytes) const {
+  std::uint32_t state = initial();
+  for (std::uint8_t b : bytes) state = update(state, b);
+  return finalize(state);
+}
+
+std::uint32_t Crc32::compute_words(std::span<const std::uint32_t> words) const {
+  std::uint32_t state = initial();
+  for (std::uint32_t w : words) {
+    state = update(state, static_cast<std::uint8_t>(w));
+    state = update(state, static_cast<std::uint8_t>(w >> 8));
+    state = update(state, static_cast<std::uint8_t>(w >> 16));
+    state = update(state, static_cast<std::uint8_t>(w >> 24));
+  }
+  return finalize(state);
+}
+
+}  // namespace ntc::ecc

@@ -1,0 +1,33 @@
+// CRC-32 (IEEE 802.3, reflected) for checkpoint-chunk integrity checks.
+//
+// OCEAN detects corrupted scratchpad chunks before consuming them; the
+// software routine is a CRC over the chunk, which detects any burst up
+// to 32 bits and any odd number of bit errors — far beyond the error
+// multiplicities the FIT target allows to survive.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace ntc::ecc {
+
+class Crc32 {
+ public:
+  Crc32();
+
+  /// CRC of a byte span (init 0xFFFFFFFF, final xor 0xFFFFFFFF).
+  std::uint32_t compute(std::span<const std::uint8_t> bytes) const;
+
+  /// CRC of a span of 32-bit words (little-endian byte order).
+  std::uint32_t compute_words(std::span<const std::uint32_t> words) const;
+
+  /// Streaming interface.
+  std::uint32_t update(std::uint32_t state, std::uint8_t byte) const;
+  static std::uint32_t initial() { return 0xFFFFFFFFu; }
+  static std::uint32_t finalize(std::uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t table_[256];
+};
+
+}  // namespace ntc::ecc

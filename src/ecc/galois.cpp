@@ -1,0 +1,108 @@
+#include "ecc/galois.hpp"
+
+#include "common/assert.hpp"
+
+namespace ntc::ecc {
+
+namespace {
+// Standard primitive polynomials (Lin & Costello, Appendix A).
+unsigned primitive_poly(unsigned m) {
+  switch (m) {
+    case 3: return 0x0B;    // x^3 + x + 1
+    case 4: return 0x13;    // x^4 + x + 1
+    case 5: return 0x25;    // x^5 + x^2 + 1
+    case 6: return 0x43;    // x^6 + x + 1
+    case 7: return 0x89;    // x^7 + x^3 + 1
+    case 8: return 0x11D;   // x^8 + x^4 + x^3 + x^2 + 1
+    case 9: return 0x211;   // x^9 + x^4 + 1
+    case 10: return 0x409;  // x^10 + x^3 + 1
+    case 11: return 0x805;  // x^11 + x^2 + 1
+    case 12: return 0x1053; // x^12 + x^6 + x^4 + x + 1
+    default: NTC_REQUIRE_MSG(false, "unsupported GF(2^m) size"); return 0;
+  }
+}
+}  // namespace
+
+GaloisField::GaloisField(unsigned m) : m_(m) {
+  NTC_REQUIRE(m >= 3 && m <= 12);
+  const unsigned q = 1u << m;
+  const unsigned poly = primitive_poly(m);
+  exp_.assign(2 * q, 0);
+  log_.assign(q, 0);
+  unsigned x = 1;
+  for (unsigned i = 0; i < q - 1; ++i) {
+    exp_[i] = x;
+    log_[x] = i;
+    x <<= 1;
+    if (x & q) x ^= poly;
+  }
+  // Duplicate so exp_[i + (q-1)] == exp_[i]: avoids a modulo in mul().
+  for (unsigned i = 0; i < q - 1; ++i) exp_[i + q - 1] = exp_[i];
+}
+
+unsigned GaloisField::mul(unsigned a, unsigned b) const {
+  if (a == 0 || b == 0) return 0;
+  return exp_[log_[a] + log_[b]];
+}
+
+unsigned GaloisField::div(unsigned a, unsigned b) const {
+  NTC_REQUIRE(b != 0);
+  if (a == 0) return 0;
+  return exp_[log_[a] + order() - log_[b]];
+}
+
+unsigned GaloisField::inv(unsigned a) const {
+  NTC_REQUIRE(a != 0);
+  return exp_[order() - log_[a]];
+}
+
+unsigned GaloisField::pow(unsigned a, long long e) const {
+  NTC_REQUIRE(a != 0);
+  const long long n = order();
+  long long le = ((e % n) + n) % n;
+  return exp_[static_cast<unsigned>(
+      (static_cast<long long>(log_[a]) * le) % n)];
+}
+
+unsigned GaloisField::alpha_pow(long long e) const {
+  const long long n = order();
+  long long le = ((e % n) + n) % n;
+  return exp_[static_cast<unsigned>(le)];
+}
+
+unsigned GaloisField::log(unsigned a) const {
+  NTC_REQUIRE(a != 0 && a < (1u << m_));
+  return log_[a];
+}
+
+namespace gf2poly {
+
+int degree(std::uint64_t p) {
+  if (p == 0) return -1;
+  return 63 - __builtin_clzll(p);
+}
+
+std::uint64_t multiply(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t out = 0;
+  while (b) {
+    if (b & 1) out ^= a;
+    a <<= 1;
+    b >>= 1;
+  }
+  return out;
+}
+
+std::uint64_t mod(std::uint64_t a, std::uint64_t b) {
+  NTC_REQUIRE(b != 0);
+  const int db = degree(b);
+  int da = degree(a);
+  while (da >= db) {
+    a ^= b << (da - db);
+    da = degree(a);
+  }
+  return a;
+}
+
+}  // namespace gf2poly
+
+}  // namespace ntc::ecc

@@ -1,0 +1,51 @@
+// GF(2^m) arithmetic with log/antilog tables (m in [3, 12]).
+//
+// Substrate for the BCH codes that protect the OCEAN checkpoint buffer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ntc::ecc {
+
+class GaloisField {
+ public:
+  /// Field GF(2^m) built over a standard primitive polynomial.
+  explicit GaloisField(unsigned m);
+
+  unsigned m() const { return m_; }
+  unsigned size() const { return static_cast<unsigned>(exp_.size()) / 2; }
+  unsigned order() const { return size() - 1; }  ///< multiplicative order
+
+  unsigned add(unsigned a, unsigned b) const { return a ^ b; }
+  unsigned mul(unsigned a, unsigned b) const;
+  unsigned div(unsigned a, unsigned b) const;
+  unsigned inv(unsigned a) const;
+  /// a^e with e taken modulo the multiplicative order (a != 0).
+  unsigned pow(unsigned a, long long e) const;
+  /// alpha^e for the primitive element alpha.
+  unsigned alpha_pow(long long e) const;
+  /// Discrete log base alpha (a != 0).
+  unsigned log(unsigned a) const;
+
+ private:
+  unsigned m_;
+  std::vector<unsigned> exp_;  // 2*(2^m) entries, wrap-free indexing
+  std::vector<unsigned> log_;
+};
+
+/// Polynomials over GF(2) packed LSB-first (bit i = coeff of x^i).
+namespace gf2poly {
+
+/// Degree of p (p != 0); degree of 0 defined as -1.
+int degree(std::uint64_t p);
+
+/// Product of two GF(2) polynomials.
+std::uint64_t multiply(std::uint64_t a, std::uint64_t b);
+
+/// Remainder of a modulo b (b != 0).
+std::uint64_t mod(std::uint64_t a, std::uint64_t b);
+
+}  // namespace gf2poly
+
+}  // namespace ntc::ecc

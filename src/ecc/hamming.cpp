@@ -1,0 +1,106 @@
+#include "ecc/hamming.hpp"
+
+#include <bit>
+
+namespace ntc::ecc {
+
+namespace {
+
+std::size_t parity_bits_for(std::size_t k) {
+  std::size_t r = 2;
+  while ((std::size_t{1} << r) < k + r + 1) ++r;
+  return r;
+}
+
+}  // namespace
+
+HammingSecded::HammingSecded(std::size_t data_bits) : k_(data_bits) {
+  NTC_REQUIRE(data_bits >= 4 && data_bits <= 64);
+  r_ = parity_bits_for(k_);
+  n_ = k_ + r_ + 1;
+}
+
+std::string HammingSecded::name() const {
+  return "SECDED(" + std::to_string(n_) + "," + std::to_string(k_) + ")";
+}
+
+bool HammingSecded::is_parity_position(std::size_t pos) const {
+  return std::has_single_bit(pos);
+}
+
+Bits HammingSecded::encode(std::uint64_t data) const {
+  if (k_ < 64) NTC_REQUIRE((data >> k_) == 0);
+  Bits code;
+  // Scatter data into non-power-of-two Hamming positions 3,5,6,7,...
+  std::size_t bit = 0;
+  const std::size_t m = k_ + r_;
+  for (std::size_t pos = 1; pos <= m; ++pos) {
+    if (is_parity_position(pos)) continue;
+    code.set(pos, (data >> bit) & 1u);
+    ++bit;
+  }
+  // Parity bit at position 2^j covers every position with bit j set.
+  for (std::size_t j = 0; j < r_; ++j) {
+    const std::size_t p = std::size_t{1} << j;
+    bool parity = false;
+    for (std::size_t pos = 1; pos <= m; ++pos) {
+      if (pos == p || !(pos & p)) continue;
+      parity ^= code.get(pos);
+    }
+    code.set(p, parity);
+  }
+  // Overall parity over the whole word (position 0) makes total even.
+  bool overall = false;
+  for (std::size_t pos = 1; pos <= m; ++pos) overall ^= code.get(pos);
+  code.set(0, overall);
+  return code;
+}
+
+DecodeResult HammingSecded::decode(const Bits& received) const {
+  const std::size_t m = k_ + r_;
+  // Syndrome: XOR of the positions of all set bits.
+  std::size_t syndrome = 0;
+  bool overall = received.get(0);
+  for (std::size_t pos = 1; pos <= m; ++pos) {
+    if (received.get(pos)) {
+      syndrome ^= pos;
+      overall ^= true;
+    }
+  }
+  Bits corrected = received;
+  DecodeResult result;
+  if (syndrome == 0 && !overall) {
+    result.status = DecodeStatus::Ok;
+  } else if (syndrome == 0 && overall) {
+    // The overall parity bit itself flipped.
+    corrected.flip(0);
+    result.status = DecodeStatus::Corrected;
+    result.corrected_bits = 1;
+  } else if (overall) {
+    // Odd number of errors with a nonzero syndrome: treat as single
+    // error at `syndrome` (a triple error mis-corrects here — the
+    // SECDED failure mode).
+    if (syndrome <= m) {
+      corrected.flip(syndrome);
+      result.status = DecodeStatus::Corrected;
+      result.corrected_bits = 1;
+    } else {
+      result.status = DecodeStatus::DetectedUncorrectable;
+    }
+  } else {
+    // Even parity with nonzero syndrome: double error, detected.
+    result.status = DecodeStatus::DetectedUncorrectable;
+  }
+  // Gather data bits back out.
+  std::uint64_t data = 0;
+  std::size_t bit = 0;
+  for (std::size_t pos = 1; pos <= m; ++pos) {
+    if (is_parity_position(pos)) continue;
+    data |= static_cast<std::uint64_t>(corrected.get(pos)) << bit;
+    ++bit;
+  }
+  result.data = data;
+  return result;
+}
+
+}  // namespace ntc::ecc

@@ -1,0 +1,46 @@
+// Hamming SECDED codes (single-error-correcting, double-error-detecting)
+// for arbitrary data widths up to 64 bits.
+//
+// This is the paper's ECC reference scheme: the (39,32) instance
+// protects each 32-bit memory word; Hsiao's variant (hsiao.hpp) is the
+// implementation usually synthesised in hardware.  A triple-bit error
+// aliases to a valid single-error syndrome and mis-corrects — exactly
+// the failure mode that sets the SECDED minimum voltage in Table 2.
+#pragma once
+
+#include "ecc/code.hpp"
+
+namespace ntc::ecc {
+
+class HammingSecded final : public BlockCode {
+ public:
+  /// Construct for `data_bits` in [4, 64].  (39,32) and (72,64) are the
+  /// common memory configurations.
+  explicit HammingSecded(std::size_t data_bits);
+
+  std::string name() const override;
+  std::size_t data_bits() const override { return k_; }
+  std::size_t code_bits() const override { return n_; }
+  std::size_t correct_capability() const override { return 1; }
+  std::size_t detect_capability() const override { return 2; }
+
+  Bits encode(std::uint64_t data) const override;
+  DecodeResult decode(const Bits& received) const override;
+
+  /// Number of parity bits excluding the overall parity.
+  std::size_t hamming_parity_bits() const { return r_; }
+
+ private:
+  // Codeword layout: bit 0 = overall parity; bits 1..k_+r_ are the
+  // classic Hamming positions (powers of two hold parity).
+  bool is_parity_position(std::size_t pos) const;
+
+  std::size_t k_;  // data bits
+  std::size_t r_;  // Hamming parity bits
+  std::size_t n_;  // total bits = k + r + 1
+};
+
+/// The paper's memory-word configuration.
+inline HammingSecded secded_39_32() { return HammingSecded(32); }
+
+}  // namespace ntc::ecc

@@ -1,0 +1,106 @@
+#include "ecc/hsiao.hpp"
+
+#include <bit>
+
+namespace ntc::ecc {
+
+HsiaoSecded::HsiaoSecded(std::size_t data_bits) : k_(data_bits) {
+  NTC_REQUIRE(data_bits >= 4 && data_bits <= 64);
+  // Smallest r such that the number of odd-weight-(>=3) columns covers k.
+  r_ = 4;
+  auto capacity = [](std::size_t r) {
+    // C(r,3) + C(r,5) + ... (odd weights >= 3)
+    std::size_t total = 0;
+    for (std::size_t w = 3; w <= r; w += 2) {
+      std::size_t c = 1;
+      for (std::size_t i = 0; i < w; ++i) c = c * (r - i) / (i + 1);
+      total += c;
+    }
+    return total;
+  };
+  while (capacity(r_) < k_) ++r_;
+  // Assign data columns: all odd-weight (>=3) masks in increasing weight
+  // then numeric order — the canonical Hsiao construction keeps per-row
+  // weight balanced well enough for the energy model.
+  for (std::size_t weight = 3; weight <= r_ && column_.size() < k_; weight += 2) {
+    for (std::size_t mask = 1; mask < (std::size_t{1} << r_) && column_.size() < k_;
+         ++mask) {
+      if (std::popcount(mask) == static_cast<int>(weight))
+        column_.push_back(static_cast<std::uint8_t>(mask));
+    }
+  }
+  NTC_REQUIRE(column_.size() == k_);
+}
+
+std::string HsiaoSecded::name() const {
+  return "Hsiao(" + std::to_string(k_ + r_) + "," + std::to_string(k_) + ")";
+}
+
+std::size_t HsiaoSecded::h_matrix_ones() const {
+  std::size_t ones = 0;
+  for (auto c : column_) ones += static_cast<std::size_t>(std::popcount(c));
+  return ones;
+}
+
+Bits HsiaoSecded::encode(std::uint64_t data) const {
+  if (k_ < 64) NTC_REQUIRE((data >> k_) == 0);
+  Bits code;
+  // Systematic layout: data bits at [0, k), check bits at [k, k+r).
+  std::uint8_t checks = 0;
+  for (std::size_t i = 0; i < k_; ++i) {
+    const bool bit = (data >> i) & 1u;
+    code.set(i, bit);
+    if (bit) checks ^= column_[i];
+  }
+  for (std::size_t j = 0; j < r_; ++j) code.set(k_ + j, (checks >> j) & 1u);
+  return code;
+}
+
+std::uint8_t HsiaoSecded::syndrome_of(const Bits& word) const {
+  std::uint8_t syndrome = 0;
+  for (std::size_t i = 0; i < k_; ++i)
+    if (word.get(i)) syndrome ^= column_[i];
+  for (std::size_t j = 0; j < r_; ++j)
+    if (word.get(k_ + j)) syndrome ^= static_cast<std::uint8_t>(1u << j);
+  return syndrome;
+}
+
+DecodeResult HsiaoSecded::decode(const Bits& received) const {
+  DecodeResult result;
+  Bits corrected = received;
+  const std::uint8_t syndrome = syndrome_of(received);
+  if (syndrome == 0) {
+    result.status = DecodeStatus::Ok;
+  } else if (std::popcount(syndrome) % 2 == 1) {
+    // Odd-weight syndrome: single error (or mis-corrected triple).
+    bool matched = false;
+    for (std::size_t i = 0; i < k_; ++i) {
+      if (column_[i] == syndrome) {
+        corrected.flip(i);
+        matched = true;
+        break;
+      }
+    }
+    if (!matched && std::has_single_bit(syndrome)) {
+      corrected.flip(k_ + static_cast<std::size_t>(std::countr_zero(syndrome)));
+      matched = true;
+    }
+    if (matched) {
+      result.status = DecodeStatus::Corrected;
+      result.corrected_bits = 1;
+    } else {
+      // Odd syndrome matching no column: >= 3 errors, detected.
+      result.status = DecodeStatus::DetectedUncorrectable;
+    }
+  } else {
+    // Even-weight nonzero syndrome: double error.
+    result.status = DecodeStatus::DetectedUncorrectable;
+  }
+  std::uint64_t data = 0;
+  for (std::size_t i = 0; i < k_; ++i)
+    data |= static_cast<std::uint64_t>(corrected.get(i)) << i;
+  result.data = data;
+  return result;
+}
+
+}  // namespace ntc::ecc

@@ -1,0 +1,43 @@
+// Hsiao odd-weight-column SECDED code.
+//
+// Functionally equivalent to Hamming SECDED but with a parity-check
+// matrix whose columns all have odd weight (minimum 3 for data bits),
+// which balances the XOR trees and makes double-error detection a
+// simple even-weight-syndrome check — the form actually synthesised in
+// memory controllers (used by the codec-overhead model and the codec
+// microbenchmarks).
+#pragma once
+
+#include <vector>
+
+#include "ecc/code.hpp"
+
+namespace ntc::ecc {
+
+class HsiaoSecded final : public BlockCode {
+ public:
+  /// Data widths up to 64 (needs C(r,3)+C(r,5)+... >= data_bits).
+  explicit HsiaoSecded(std::size_t data_bits);
+
+  std::string name() const override;
+  std::size_t data_bits() const override { return k_; }
+  std::size_t code_bits() const override { return k_ + r_; }
+  std::size_t correct_capability() const override { return 1; }
+  std::size_t detect_capability() const override { return 2; }
+
+  Bits encode(std::uint64_t data) const override;
+  DecodeResult decode(const Bits& received) const override;
+
+  /// Total number of ones in H over the data columns — the XOR-tree
+  /// size, which the codec energy model consumes.
+  std::size_t h_matrix_ones() const;
+
+ private:
+  std::uint8_t syndrome_of(const Bits& word) const;
+
+  std::size_t k_;
+  std::size_t r_;
+  std::vector<std::uint8_t> column_;  ///< H column per data bit (bitmask of checks)
+};
+
+}  // namespace ntc::ecc

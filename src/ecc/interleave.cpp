@@ -1,0 +1,98 @@
+#include "ecc/interleave.hpp"
+
+#include "common/assert.hpp"
+#include "ecc/hamming.hpp"
+
+namespace ntc::ecc {
+
+InterleavedCode::InterleavedCode(std::vector<std::unique_ptr<BlockCode>> lanes)
+    : lanes_(std::move(lanes)) {
+  NTC_REQUIRE(!lanes_.empty());
+  for (const auto& lane : lanes_) {
+    NTC_REQUIRE(lane != nullptr);
+    NTC_REQUIRE(lane->data_bits() == lanes_[0]->data_bits());
+    NTC_REQUIRE(lane->code_bits() == lanes_[0]->code_bits());
+  }
+  NTC_REQUIRE(data_bits() <= 64);
+  NTC_REQUIRE(code_bits() <= Bits::kCapacity);
+}
+
+std::string InterleavedCode::name() const {
+  return std::to_string(lanes_.size()) + "x-" + lanes_[0]->name();
+}
+
+std::size_t InterleavedCode::data_bits() const {
+  return lanes_.size() * lanes_[0]->data_bits();
+}
+
+std::size_t InterleavedCode::code_bits() const {
+  return lanes_.size() * lanes_[0]->code_bits();
+}
+
+std::size_t InterleavedCode::correct_capability() const {
+  return lanes_[0]->correct_capability();
+}
+
+std::size_t InterleavedCode::detect_capability() const {
+  return lanes_[0]->detect_capability();
+}
+
+std::size_t InterleavedCode::burst_correct_capability() const {
+  return lanes_.size() * lanes_[0]->correct_capability();
+}
+
+Bits InterleavedCode::encode(std::uint64_t data) const {
+  const std::size_t ways = lanes_.size();
+  const std::size_t lane_k = lanes_[0]->data_bits();
+  const std::size_t lane_n = lanes_[0]->code_bits();
+  Bits out;
+  for (std::size_t lane = 0; lane < ways; ++lane) {
+    // Lane takes data bits lane, lane+ways, lane+2*ways, ...
+    std::uint64_t lane_data = 0;
+    for (std::size_t i = 0; i < lane_k; ++i) {
+      const std::size_t src = lane + i * ways;
+      lane_data |= static_cast<std::uint64_t>((data >> src) & 1u) << i;
+    }
+    const Bits lane_code = lanes_[lane]->encode(lane_data);
+    // Lane codeword bit i lives at interleaved position lane + i*ways.
+    for (std::size_t i = 0; i < lane_n; ++i)
+      out.set(lane + i * ways, lane_code.get(i));
+  }
+  return out;
+}
+
+DecodeResult InterleavedCode::decode(const Bits& received) const {
+  const std::size_t ways = lanes_.size();
+  const std::size_t lane_k = lanes_[0]->data_bits();
+  const std::size_t lane_n = lanes_[0]->code_bits();
+  DecodeResult result;
+  result.status = DecodeStatus::Ok;
+  std::uint64_t data = 0;
+  for (std::size_t lane = 0; lane < ways; ++lane) {
+    Bits lane_code;
+    for (std::size_t i = 0; i < lane_n; ++i)
+      lane_code.set(i, received.get(lane + i * ways));
+    const DecodeResult lane_result = lanes_[lane]->decode(lane_code);
+    for (std::size_t i = 0; i < lane_k; ++i) {
+      data |= static_cast<std::uint64_t>((lane_result.data >> i) & 1u)
+              << (lane + i * ways);
+    }
+    result.corrected_bits += lane_result.corrected_bits;
+    if (lane_result.status == DecodeStatus::DetectedUncorrectable) {
+      result.status = DecodeStatus::DetectedUncorrectable;
+    } else if (lane_result.status == DecodeStatus::Corrected &&
+               result.status == DecodeStatus::Ok) {
+      result.status = DecodeStatus::Corrected;
+    }
+  }
+  result.data = data;
+  return result;
+}
+
+InterleavedCode interleaved_secded_4x16() {
+  std::vector<std::unique_ptr<BlockCode>> lanes;
+  for (int i = 0; i < 4; ++i) lanes.push_back(std::make_unique<HammingSecded>(16));
+  return InterleavedCode(std::move(lanes));
+}
+
+}  // namespace ntc::ecc

@@ -1,0 +1,182 @@
+#include "energy/cacti_lite.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace ntc::energy {
+
+CellParameters cell_parameters(MemoryStyle style) {
+  CellParameters p;
+  switch (style) {
+    case MemoryStyle::CommercialMacro40:
+      // Dense pushed-rule 6T: Table 1 area anchor 0.01 mm^2 / 32 kb.
+      p.area_um2 = 0.30;
+      p.width_um = 0.60;
+      p.height_um = 0.50;
+      p.full_swing_bitlines = false;
+      p.sense_swing_v = 0.15;
+      break;
+    case MemoryStyle::CustomSram40:
+      p.area_um2 = 0.72;  // 0.024 mm^2 anchor
+      p.width_um = 0.95;
+      p.height_um = 0.76;
+      p.full_swing_bitlines = false;
+      p.sense_swing_v = 0.12;
+      break;
+    case MemoryStyle::CellBased65:
+      p.area_um2 = 5.7;  // 0.19 mm^2 anchor (65 nm + standard cells)
+      p.width_um = 2.7;
+      p.height_um = 2.1;
+      p.junction_ff = 0.08;
+      p.gate_ff = 0.16;
+      p.full_swing_bitlines = true;
+      break;
+    case MemoryStyle::CellBasedImec40:
+      p.area_um2 = 1.74;  // 0.058 mm^2 anchor
+      p.width_um = 1.7;
+      p.height_um = 1.0;
+      p.junction_ff = 0.055;
+      p.gate_ff = 0.11;
+      p.full_swing_bitlines = true;
+      break;
+  }
+  return p;
+}
+
+CactiLite::CactiLite(MemoryGeometry geometry, tech::TechnologyNode node,
+                     CellParameters cell)
+    : geometry_(geometry), node_(std::move(node)), cell_(cell) {
+  org_ = optimize(geometry_, node_, cell_);
+}
+
+namespace {
+
+struct OrgCosts {
+  double read_j;
+  double io_wire_mm;
+};
+
+OrgCosts read_cost(const MemoryGeometry& g, const tech::TechnologyNode& node,
+                   const CellParameters& cell, const ArrayOrganization& org,
+                   double vdd) {
+  const double v2 = vdd * vdd;
+  const double wire_f_per_um = node.wire_cap_ff_um * 1e-15;
+  // Decoder: predecode + row decode, ~4 gates per address bit plus the
+  // wordline driver; modelled as equivalent inverter caps.
+  const double addr_bits = std::log2(static_cast<double>(org.rows));
+  const double inv_cap = node.logic_fo4_load_ff * 1e-15;
+  const double e_decoder = (4.0 * addr_bits + 8.0) * inv_cap * v2;
+  // Wordline: every cell on the row loads its pass gates plus the wire.
+  const double c_wl = org.cols * (cell.gate_ff * 1e-15 +
+                                  cell.width_um * wire_f_per_um);
+  const double e_wordline = c_wl * v2;
+  // Bitlines: all columns of the bank precharge/swing on a read.
+  const double c_bl_per_col =
+      org.rows * (cell.junction_ff * 1e-15 + cell.height_um * wire_f_per_um);
+  const double swing = cell.full_swing_bitlines
+                           ? vdd
+                           : std::min(cell.sense_swing_v, vdd);
+  const double e_bitline = org.cols * c_bl_per_col * vdd * swing;
+  // Sense amps: one per output bit (after the column mux).
+  const double e_sense = g.bits_per_word * (2.0e-15) * v2;
+  // Global I/O: H-tree across the banks; length ~ sqrt of total area.
+  const double total_area_um2 =
+      static_cast<double>(g.total_bits()) * cell.area_um2;
+  const double io_wire_um =
+      std::sqrt(total_area_um2) * (1.0 + 0.5 * std::log2(org.banks));
+  const double e_io =
+      g.bits_per_word * io_wire_um * wire_f_per_um * v2 * 0.25;
+
+  return OrgCosts{e_decoder + e_wordline + e_bitline + e_sense + e_io,
+                  io_wire_um * 1e-3};
+}
+
+}  // namespace
+
+ArrayOrganization CactiLite::optimize(const MemoryGeometry& geometry,
+                                      const tech::TechnologyNode& node,
+                                      const CellParameters& cell) {
+  ArrayOrganization best;
+  double best_cost = 1e300;
+  const double vdd = node.vdd_nominal.value;
+  for (std::uint32_t banks : {1u, 2u, 4u, 8u, 16u}) {
+    if (banks > geometry.words) continue;
+    const std::uint64_t words_per_bank = geometry.words / banks;
+    for (std::uint32_t mux : {1u, 2u, 4u, 8u}) {
+      const std::uint64_t rows = words_per_bank / mux;
+      const std::uint64_t cols =
+          static_cast<std::uint64_t>(geometry.bits_per_word) * mux;
+      if (rows < 16 || rows > 1024 || cols > 1024) continue;
+      if (rows * mux != words_per_bank) continue;
+      ArrayOrganization org{banks, static_cast<std::uint32_t>(rows),
+                            static_cast<std::uint32_t>(cols), mux};
+      const double cost = read_cost(geometry, node, cell, org, vdd).read_j;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = org;
+      }
+    }
+  }
+  NTC_REQUIRE_MSG(best_cost < 1e300, "no feasible array organisation");
+  return best;
+}
+
+AccessEnergyBreakdown CactiLite::read_energy(Volt vdd) const {
+  NTC_REQUIRE(vdd.value > 0.0);
+  const double v2 = vdd.value * vdd.value;
+  const double wire_f_per_um = node_.wire_cap_ff_um * 1e-15;
+  AccessEnergyBreakdown out;
+
+  const double addr_bits = std::log2(static_cast<double>(org_.rows));
+  const double inv_cap = node_.logic_fo4_load_ff * 1e-15;
+  out.decoder = Joule{(4.0 * addr_bits + 8.0) * inv_cap * v2};
+
+  const double c_wl = org_.cols * (cell_.gate_ff * 1e-15 +
+                                   cell_.width_um * wire_f_per_um);
+  out.wordline = Joule{c_wl * v2};
+
+  const double c_bl_per_col = org_.rows * (cell_.junction_ff * 1e-15 +
+                                           cell_.height_um * wire_f_per_um);
+  const double swing = cell_.full_swing_bitlines
+                           ? vdd.value
+                           : std::min(cell_.sense_swing_v, vdd.value);
+  out.bitline = Joule{org_.cols * c_bl_per_col * vdd.value * swing};
+
+  out.senseamp = Joule{geometry_.bits_per_word * 2.0e-15 * v2};
+
+  const double total_area_um2 =
+      static_cast<double>(geometry_.total_bits()) * cell_.area_um2;
+  const double io_wire_um =
+      std::sqrt(total_area_um2) * (1.0 + 0.5 * std::log2(org_.banks));
+  out.global_io = Joule{geometry_.bits_per_word * io_wire_um * wire_f_per_um *
+                        v2 * 0.25};
+  return out;
+}
+
+Joule CactiLite::write_energy(Volt vdd) const {
+  // Writes drive the bitlines rail-to-rail regardless of sensing style.
+  AccessEnergyBreakdown read = read_energy(vdd);
+  const double c_bl_per_col = org_.rows * (cell_.junction_ff * 1e-15 +
+                                           cell_.height_um * node_.wire_cap_ff_um * 1e-15);
+  const Joule full_swing_bl{org_.cols * c_bl_per_col * vdd.value * vdd.value};
+  return read.decoder + read.wordline + full_swing_bl + read.global_io;
+}
+
+Watt CactiLite::leakage(Volt vdd, Celsius temperature) const {
+  // Two leaking paths per cell through the HVT device stack.
+  const Ampere per_cell =
+      tech::leakage_current(node_.hvt_nmos, vdd.value, temperature);
+  const double i_total = 2.0 * per_cell.value *
+                         static_cast<double>(geometry_.total_bits());
+  return Watt{vdd.value * i_total};
+}
+
+SquareMm CactiLite::area() const {
+  constexpr double kArrayEfficiency = 0.70;
+  const double cells_um2 =
+      static_cast<double>(geometry_.total_bits()) * cell_.area_um2;
+  return SquareMm{cells_um2 / kArrayEfficiency * 1e-6};
+}
+
+}  // namespace ntc::energy

@@ -1,0 +1,86 @@
+// CACTI-style array-organisation model (the substitution for CACTI 6.0
+// plus the authors' internal 40 nm database).
+//
+// A memory instance is decomposed into banks of a rows x cols cell
+// array plus decoder, wordline drivers, bitlines, sense amplifiers and
+// global I/O routing.  Access energy is the sum of the switched
+// capacitances; the organisation (bank count, column mux) is chosen by
+// exhaustive search to minimise read energy — the "hierarchical
+// subdivision" technique Section III describes for limiting switching
+// activity to short local lines.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "energy/memory_spec.hpp"
+#include "tech/node.hpp"
+
+namespace ntc::energy {
+
+struct ArrayOrganization {
+  std::uint32_t banks = 1;
+  std::uint32_t rows = 1024;       ///< rows per bank
+  std::uint32_t cols = 32;         ///< columns per bank
+  std::uint32_t column_mux = 1;    ///< columns sharing one sense amp
+};
+
+struct AccessEnergyBreakdown {
+  Joule decoder{0.0};
+  Joule wordline{0.0};
+  Joule bitline{0.0};
+  Joule senseamp{0.0};
+  Joule global_io{0.0};
+
+  Joule total() const {
+    return decoder + wordline + bitline + senseamp + global_io;
+  }
+};
+
+/// Style-dependent physical cell parameters.
+struct CellParameters {
+  double area_um2 = 0.30;      ///< effective footprint incl. overheads
+  double width_um = 0.60;      ///< cell pitch along the wordline
+  double height_um = 0.50;     ///< cell pitch along the bitline
+  double junction_ff = 0.040;  ///< bitline junction cap per cell [fF]
+  double gate_ff = 0.080;      ///< wordline gate cap per cell [fF]
+  bool full_swing_bitlines = false;  ///< cell-based arrays swing rail-to-rail
+  double sense_swing_v = 0.15;       ///< bitline swing when sensed
+};
+
+/// Published-class cell parameters per implementation style.
+CellParameters cell_parameters(MemoryStyle style);
+
+class CactiLite {
+ public:
+  /// Organisation defaults to the energy-optimal one (see optimize()).
+  CactiLite(MemoryGeometry geometry, tech::TechnologyNode node,
+            CellParameters cell);
+
+  const ArrayOrganization& organization() const { return org_; }
+
+  /// Read access energy split by component at the given supply.
+  AccessEnergyBreakdown read_energy(Volt vdd) const;
+
+  /// Write access energy (always full-swing bitlines).
+  Joule write_energy(Volt vdd) const;
+
+  /// Array leakage (all cells leak regardless of banking).
+  Watt leakage(Volt vdd, Celsius temperature = Celsius{25.0}) const;
+
+  /// Total silicon area (cells / array efficiency).
+  SquareMm area() const;
+
+  /// Exhaustive organisation search minimising read energy at vdd_nom.
+  static ArrayOrganization optimize(const MemoryGeometry& geometry,
+                                    const tech::TechnologyNode& node,
+                                    const CellParameters& cell);
+
+ private:
+  MemoryGeometry geometry_;
+  tech::TechnologyNode node_;
+  CellParameters cell_;
+  ArrayOrganization org_;
+};
+
+}  // namespace ntc::energy

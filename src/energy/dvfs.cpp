@@ -1,0 +1,80 @@
+#include "energy/dvfs.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace ntc::energy {
+
+DvfsPlanner::DvfsPlanner(LogicModel core, MemoryCalculator memory,
+                         tech::LogicTiming timing,
+                         double idle_leakage_fraction,
+                         double memory_accesses_per_cycle)
+    : core_(std::move(core)),
+      memory_(std::move(memory)),
+      timing_(std::move(timing)),
+      idle_leakage_fraction_(idle_leakage_fraction),
+      accesses_per_cycle_(memory_accesses_per_cycle) {
+  NTC_REQUIRE(idle_leakage_fraction >= 0.0 && idle_leakage_fraction <= 1.0);
+  NTC_REQUIRE(memory_accesses_per_cycle >= 0.0);
+}
+
+DvfsPlan DvfsPlanner::evaluate(Volt vdd, std::uint64_t task_cycles,
+                               Second deadline, bool race_to_idle) const {
+  NTC_REQUIRE(task_cycles > 0);
+  NTC_REQUIRE(deadline.value > 0.0);
+  DvfsPlan plan;
+  plan.vdd = vdd;
+  plan.policy = race_to_idle ? DvfsPolicy::RaceToIdle
+                             : DvfsPolicy::ConstantThroughput;
+
+  const Hertz fmax = timing_.fmax(vdd);
+  const double cycles = static_cast<double>(task_cycles);
+  const Hertz clock = race_to_idle ? fmax : Hertz{cycles / deadline.value};
+  if (fmax < clock) return plan;  // cannot sustain the required clock
+
+  plan.clock = clock;
+  plan.active_time = Second{cycles / clock.value};
+  if (plan.active_time > deadline) return plan;
+  const Second idle_time = deadline - plan.active_time;
+
+  const MemoryFigures mem = memory_.at(vdd);
+  const Watt active_leak = core_.leakage(vdd) + mem.leakage;
+  Joule energy = core_.dynamic_energy_per_cycle(vdd) * cycles;
+  energy += mem.read_energy * (accesses_per_cycle_ * cycles);
+  energy += active_leak * plan.active_time;
+  energy += (active_leak * idle_leakage_fraction_) * idle_time;
+  plan.energy = energy;
+  plan.feasible = true;
+  return plan;
+}
+
+DvfsPlan DvfsPlanner::plan(DvfsPolicy policy, std::uint64_t task_cycles,
+                           Second deadline, Volt voltage_floor) const {
+  DvfsPlan best;
+  double best_energy = 1e300;
+  for (double v = voltage_floor.value; v <= 1.10 + 1e-9; v += 0.01) {
+    const DvfsPlan candidate =
+        evaluate(Volt{v}, task_cycles, deadline,
+                 policy == DvfsPolicy::RaceToIdle);
+    if (!candidate.feasible) continue;
+    if (candidate.energy.value < best_energy) {
+      best_energy = candidate.energy.value;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+DvfsPlan DvfsPlanner::best(std::uint64_t task_cycles, Second deadline,
+                           Volt voltage_floor) const {
+  const DvfsPlan constant =
+      plan(DvfsPolicy::ConstantThroughput, task_cycles, deadline, voltage_floor);
+  const DvfsPlan race =
+      plan(DvfsPolicy::RaceToIdle, task_cycles, deadline, voltage_floor);
+  if (!constant.feasible) return race;
+  if (!race.feasible) return constant;
+  return race.energy.value < constant.energy.value ? race : constant;
+}
+
+}  // namespace ntc::energy

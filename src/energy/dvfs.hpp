@@ -1,0 +1,61 @@
+// DVFS operating-point planning for NTC platforms.
+//
+// Given a task (cycles) and a deadline, two classic policies compete:
+//   * constant throughput — clock exactly fast enough to finish at the
+//     deadline, at the lowest supply that sustains that clock (what the
+//     paper's platform does);
+//   * race to idle — run at a higher point, finish early, and power
+//     gate for the remainder (keeping only retention).
+// In strongly leakage-dominated NTC designs race-to-idle can win; the
+// planner evaluates both against the same energy models and reports the
+// crossover, which the ablation bench sweeps.
+#pragma once
+
+#include "energy/logic_model.hpp"
+#include "energy/memory_calculator.hpp"
+#include "tech/logic_timing.hpp"
+
+namespace ntc::energy {
+
+enum class DvfsPolicy { ConstantThroughput, RaceToIdle };
+
+struct DvfsPlan {
+  bool feasible = false;
+  DvfsPolicy policy = DvfsPolicy::ConstantThroughput;
+  Volt vdd{0.0};
+  Hertz clock{0.0};
+  Second active_time{0.0};  ///< time actually computing
+  Joule energy{0.0};        ///< total over the full deadline window
+};
+
+class DvfsPlanner {
+ public:
+  /// Platform = core + memories whose leakage persists while active;
+  /// during power-gated idle only `idle_leakage_fraction` of the active
+  /// leakage remains (retention rails, always-on logic).
+  DvfsPlanner(LogicModel core, MemoryCalculator memory,
+              tech::LogicTiming timing, double idle_leakage_fraction = 0.08,
+              double memory_accesses_per_cycle = 0.5);
+
+  /// Best plan under one policy.  Voltage floor models the reliability
+  /// limit from the mitigation solver (pass its result in).
+  DvfsPlan plan(DvfsPolicy policy, std::uint64_t task_cycles, Second deadline,
+                Volt voltage_floor) const;
+
+  /// The cheaper of the two policies.
+  DvfsPlan best(std::uint64_t task_cycles, Second deadline,
+                Volt voltage_floor) const;
+
+  /// Energy of one fully specified configuration (for sweeps).
+  DvfsPlan evaluate(Volt vdd, std::uint64_t task_cycles, Second deadline,
+                    bool race_to_idle) const;
+
+ private:
+  LogicModel core_;
+  MemoryCalculator memory_;
+  tech::LogicTiming timing_;
+  double idle_leakage_fraction_;
+  double accesses_per_cycle_;
+};
+
+}  // namespace ntc::energy

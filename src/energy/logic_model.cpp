@@ -1,0 +1,78 @@
+#include "energy/logic_model.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace ntc::energy {
+
+LogicModel::LogicModel(std::string name, double ceff_pf, Watt leak_anchor,
+                       Volt leak_anchor_vdd, double leak_gamma)
+    : name_(std::move(name)),
+      ceff_f_(ceff_pf * 1e-12),
+      leak_anchor_w_(leak_anchor.value),
+      leak_anchor_v_(leak_anchor_vdd.value),
+      leak_gamma_(leak_gamma) {
+  NTC_REQUIRE(ceff_pf >= 0.0);
+  NTC_REQUIRE(leak_anchor.value >= 0.0);
+  NTC_REQUIRE(leak_anchor_vdd.value > 0.0);
+  NTC_REQUIRE(leak_gamma >= 0.0);
+}
+
+Joule LogicModel::dynamic_energy_per_cycle(Volt vdd) const {
+  NTC_REQUIRE(vdd.value > 0.0);
+  return Joule{ceff_f_ * vdd.value * vdd.value};
+}
+
+Watt LogicModel::leakage(Volt vdd, Celsius temperature) const {
+  NTC_REQUIRE(vdd.value > 0.0);
+  const double v_shape = (vdd.value / leak_anchor_v_) *
+                         std::exp(leak_gamma_ * (vdd.value - leak_anchor_v_));
+  const double t_shape = std::pow(2.0, (temperature.value - 25.0) / 20.0);
+  return Watt{leak_anchor_w_ * v_shape * t_shape};
+}
+
+Watt LogicModel::power(Volt vdd, Hertz clock, double activity,
+                       Celsius temperature) const {
+  NTC_REQUIRE(activity >= 0.0 && activity <= 1.0);
+  const double dyn =
+      dynamic_energy_per_cycle(vdd).value * clock.value * activity;
+  return Watt{dyn + leakage(vdd, temperature).value};
+}
+
+namespace {
+// Leakage voltage sensitivity shared by the 40 nm LP presets:
+// DIBL of ~0.14 V/V over n*vT ~ 39 mV.
+constexpr double kGamma40Lp = 3.6;
+}  // namespace
+
+LogicModel arm9_class_core_40nm() {
+  // Ceff 25 pF (~30 pJ/cycle at 1.1 V, ARM9-class); leakage anchored so
+  // the Figure 9 platform total lands at the published 57 mW:
+  // the core dominates platform leakage (see platform_power.cpp).
+  return LogicModel("arm9-core", 25.0, milliwatts(56.5), Volt{0.88},
+                    kGamma40Lp);
+}
+
+LogicModel secded_codec_logic_40nm() {
+  // ~500 XOR-class gates of encode/decode tree; leakage is a tiny
+  // fraction of the core.
+  return LogicModel("secded-codec", 0.9, microwatts(40.0), Volt{0.88},
+                    kGamma40Lp);
+}
+
+LogicModel ocean_hw_logic_40nm() {
+  // Checkpoint DMA + BCH codec + rollback control (Figure 6, red).
+  return LogicModel("ocean-hw", 2.2, microwatts(110.0), Volt{0.88},
+                    kGamma40Lp);
+}
+
+LogicModel signal_processor_logic_40nm() {
+  // The ExG-class signal processor of Figure 1 [3]: a low-leakage
+  // always-on design (power gating, HVT-heavy), so its energy/cycle
+  // curve shows the classic NTC minimum near 0.5-0.6 V.
+  return LogicModel("exg-dsp", 18.0, microwatts(65.0), Volt{1.1},
+                    kGamma40Lp);
+}
+
+}  // namespace ntc::energy

@@ -1,0 +1,62 @@
+// Digital-logic (processor core) power model.
+//
+// Dynamic energy per clock follows Ceff*V^2; leakage follows the
+// device-model subthreshold current with its DIBL exponential, anchored
+// at a calibration point.  The ARM9-class preset is calibrated so the
+// platform totals of the paper's Figures 8/9 are reproduced (its 57 mW
+// no-mitigation anchor at 0.88 V / 11 MHz); the signal-processor preset
+// reproduces the energy-per-cycle breakdown of Figure 1.
+#pragma once
+
+#include <string>
+
+#include "common/units.hpp"
+#include "tech/node.hpp"
+
+namespace ntc::energy {
+
+class LogicModel {
+ public:
+  /// `ceff_pf`: switched capacitance per cycle [pF];
+  /// `leak_anchor`: leakage power at `leak_anchor_vdd`;
+  /// `leak_gamma`: exponential voltage sensitivity of leakage [1/V]
+  /// (DIBL + stacking; leakage ~ V * exp(gamma * V)).
+  LogicModel(std::string name, double ceff_pf, Watt leak_anchor,
+             Volt leak_anchor_vdd, double leak_gamma);
+
+  const std::string& name() const { return name_; }
+
+  /// Switching energy of one clock cycle at the given supply.
+  Joule dynamic_energy_per_cycle(Volt vdd) const;
+
+  /// Static power at the given supply (temperature via Arrhenius-like
+  /// doubling every 20 C above the 25 C anchor).
+  Watt leakage(Volt vdd, Celsius temperature = Celsius{25.0}) const;
+
+  /// Total power at an operating point.
+  Watt power(Volt vdd, Hertz clock, double activity = 1.0,
+             Celsius temperature = Celsius{25.0}) const;
+
+ private:
+  std::string name_;
+  double ceff_f_;          // farads
+  double leak_anchor_w_;
+  double leak_anchor_v_;
+  double leak_gamma_;
+};
+
+/// The evaluated platform's 32-bit core (ARM9-class, 40 nm LP).
+/// Leakage anchor reproduces the paper's 57 mW no-mitigation platform
+/// power at 0.88 V / 11 MHz (Figure 9).
+LogicModel arm9_class_core_40nm();
+
+/// ECC codec logic: (39,32) SECDED encoder+decoder tree.
+LogicModel secded_codec_logic_40nm();
+
+/// OCEAN hardware: checkpoint DMA engine + BCH codec + control.
+LogicModel ocean_hw_logic_40nm();
+
+/// The Figure 1 signal processor's logic domain (ExG-class SoC [3]).
+LogicModel signal_processor_logic_40nm();
+
+}  // namespace ntc::energy

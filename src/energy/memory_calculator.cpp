@@ -1,0 +1,146 @@
+#include "energy/memory_calculator.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace ntc::energy {
+
+namespace {
+
+// Memory access-time voltage shape: CV/I through the node's HVT device.
+double mem_delay_factor(const tech::TechnologyNode& node, double vdd,
+                        Celsius temperature) {
+  const Ampere i = tech::drain_current(node.hvt_nmos, vdd, vdd, temperature);
+  NTC_REQUIRE(i.value > 0.0);
+  return vdd / i.value;
+}
+
+// Leakage voltage shape: V * Ileak(V) through the HVT device (includes
+// the DIBL exponential).
+double leak_power_factor(const tech::TechnologyNode& node, double vdd,
+                         Celsius temperature) {
+  return vdd * tech::leakage_current(node.hvt_nmos, vdd, temperature).value;
+}
+
+}  // namespace
+
+MemoryCalculator::MemoryCalculator(MemoryStyle style, MemoryGeometry geometry)
+    : style_(style), geometry_(geometry) {
+  NTC_REQUIRE(geometry.words > 0 && geometry.bits_per_word > 0);
+  switch (style_) {
+    case MemoryStyle::CommercialMacro40:
+      node_ = tech::node_40nm_lp();
+      anchor_vdd_ = 1.1;
+      anchor_read_pj_ = 12.0;
+      anchor_leak_uw_ = 2.2;
+      anchor_fmax_mhz_ = 820.0;
+      anchor_area_mm2_ = 0.01;
+      vendor_vmin_ = 0.7;  // compiler stops guaranteeing below this
+      break;
+    case MemoryStyle::CustomSram40:
+      node_ = tech::node_40nm_lp();
+      anchor_vdd_ = 1.1;
+      anchor_read_pj_ = 3.6;
+      anchor_leak_uw_ = 11.0;
+      anchor_fmax_mhz_ = 454.0;
+      anchor_area_mm2_ = 0.024;
+      vendor_vmin_ = 0.6;  // charge-pump assisted design [12]
+      break;
+    case MemoryStyle::CellBased65:
+      node_ = tech::node_65nm_lp();
+      anchor_vdd_ = 0.65;  // published operating point: 9.5 MHz @ 0.65 V
+      anchor_read_pj_ = 0.93 * (0.65 * 0.65) / (0.4 * 0.4);  // from 0.93 pJ @ 0.4 V
+      anchor_leak_uw_ = 8.0 * 2.2;  // from 8 uW @ 0.35 V, scaled up in V
+      anchor_fmax_mhz_ = 9.5;
+      anchor_area_mm2_ = 0.19;
+      vendor_vmin_ = 0.25;  // retention-limited, sub-Vt capable
+      break;
+    case MemoryStyle::CellBasedImec40:
+      node_ = tech::node_40nm_lp();
+      anchor_vdd_ = 1.1;
+      anchor_read_pj_ = 1.4;
+      anchor_leak_uw_ = 5.9;
+      anchor_fmax_mhz_ = 96.0;
+      anchor_area_mm2_ = 0.058;
+      vendor_vmin_ = 0.32;  // retention-limited
+      break;
+  }
+}
+
+double MemoryCalculator::width_scale() const {
+  return static_cast<double>(geometry_.bits_per_word) / 32.0;
+}
+
+double MemoryCalculator::depth_scale() const {
+  // Decoder/wordline cost grows ~ log2(words); bitline length with
+  // words per column.  Net effect on access energy is sub-linear; use
+  // sqrt scaling around the 1k anchor, the CACTI-lite module provides
+  // the detailed decomposition.
+  return std::sqrt(static_cast<double>(geometry_.words) / 1024.0);
+}
+
+double MemoryCalculator::bits_scale() const {
+  return static_cast<double>(geometry_.total_bits()) / (1024.0 * 32.0);
+}
+
+MemoryFigures MemoryCalculator::at(Volt vdd, Celsius temperature) const {
+  NTC_REQUIRE(vdd.value > 0.0);
+  MemoryFigures out;
+  // Dynamic energy: CV^2 around the anchor.
+  const double v_ratio_sq = (vdd.value * vdd.value) / (anchor_vdd_ * anchor_vdd_);
+  const double read_pj =
+      anchor_read_pj_ * v_ratio_sq * width_scale() * depth_scale();
+  out.read_energy = picojoules(read_pj);
+  out.write_energy = picojoules(read_pj * write_read_ratio_);
+  // Leakage: device-shaped in V, proportional to bit count.
+  const double leak_shape = leak_power_factor(node_, vdd.value, temperature) /
+                            leak_power_factor(node_, anchor_vdd_, Celsius{25.0});
+  out.leakage = microwatts(anchor_leak_uw_ * leak_shape * bits_scale());
+  // Timing: HVT-device-shaped around the anchor frequency.
+  const double delay_shape = mem_delay_factor(node_, vdd.value, temperature) /
+                             mem_delay_factor(node_, anchor_vdd_, Celsius{25.0});
+  out.fmax = megahertz(anchor_fmax_mhz_ / (delay_shape * depth_scale()));
+  out.area = SquareMm{anchor_area_mm2_ * bits_scale()};
+  return out;
+}
+
+Volt MemoryCalculator::vendor_min_voltage() const { return Volt{vendor_vmin_}; }
+
+reliability::NoiseMarginModel MemoryCalculator::retention_model() const {
+  switch (style_) {
+    case MemoryStyle::CommercialMacro40:
+      return reliability::commercial_40nm_retention();
+    case MemoryStyle::CustomSram40:
+      // Custom 6T with assist: between the commercial macro and the
+      // cell-based array.
+      return reliability::NoiseMarginModel(1.0, -0.24, 0.028);
+    case MemoryStyle::CellBased65:
+      return reliability::cell_based_65nm_retention();
+    case MemoryStyle::CellBasedImec40:
+      return reliability::cell_based_40nm_retention();
+  }
+  NTC_REQUIRE(false);
+  return reliability::commercial_40nm_retention();
+}
+
+reliability::AccessErrorModel MemoryCalculator::access_model() const {
+  switch (style_) {
+    case MemoryStyle::CommercialMacro40:
+      return reliability::commercial_40nm_access();
+    case MemoryStyle::CustomSram40:
+      return reliability::AccessErrorModel(5.0, 6.0, Volt{0.70});
+    case MemoryStyle::CellBased65:
+      return reliability::cell_based_65nm_access();
+    case MemoryStyle::CellBasedImec40:
+      return reliability::cell_based_40nm_access();
+  }
+  NTC_REQUIRE(false);
+  return reliability::commercial_40nm_access();
+}
+
+Volt MemoryCalculator::retention_vmin(double p_bit) const {
+  return retention_model().vdd_for_p_fail(p_bit);
+}
+
+}  // namespace ntc::energy

@@ -1,0 +1,75 @@
+// The paper's "memory calculator": key figures of merit of a memory
+// instance over a wide supply range, calibrated against the published
+// Table 1 anchors (the substitution for the confidential memory
+// generator database; see DESIGN.md).
+//
+// Scaling model:
+//   * dynamic energy per access: CV^2 from the style's 1.1 V anchor,
+//     scaled with word width (direct) and weakly with depth (decoder);
+//   * leakage: per-bit leakage current with DIBL exponential voltage
+//     dependence, taken from the style's anchor at nominal VDD;
+//   * f_max: memory timing path through the node's HVT device, pinned
+//     to the style's anchor frequency at its anchor voltage;
+//   * area: per-bit area from the Table 1 instance.
+#pragma once
+
+#include "common/units.hpp"
+#include "energy/memory_spec.hpp"
+#include "reliability/access_model.hpp"
+#include "reliability/noise_margin.hpp"
+#include "tech/node.hpp"
+
+namespace ntc::energy {
+
+/// Figures of merit at one operating point.
+struct MemoryFigures {
+  Joule read_energy{0.0};   ///< per 32b-word read access
+  Joule write_energy{0.0};  ///< per 32b-word write access
+  Watt leakage{0.0};        ///< active leakage of the whole instance
+  Hertz fmax{0.0};          ///< maximum access rate
+  SquareMm area{0.0};       ///< instance area (voltage independent)
+};
+
+class MemoryCalculator {
+ public:
+  MemoryCalculator(MemoryStyle style, MemoryGeometry geometry);
+
+  MemoryStyle style() const { return style_; }
+  const MemoryGeometry& geometry() const { return geometry_; }
+
+  /// All figures of merit at the given supply.
+  MemoryFigures at(Volt vdd, Celsius temperature = Celsius{25.0}) const;
+
+  /// The supply below which the style's vendor/datasheet no longer
+  /// guarantees operation (commercial macros stop at 0.7 V in the
+  /// paper's Figure 1 platform; cell-based arrays scale to their V0).
+  Volt vendor_min_voltage() const;
+
+  /// Reliability models of this style (retention Eq. 2/4, access Eq. 5).
+  reliability::NoiseMarginModel retention_model() const;
+  reliability::AccessErrorModel access_model() const;
+
+  /// Lowest supply at which data is retained with per-bit failure
+  /// probability <= p (no mitigation).
+  Volt retention_vmin(double p_bit = 1e-9) const;
+
+ private:
+  MemoryStyle style_;
+  MemoryGeometry geometry_;
+  tech::TechnologyNode node_;
+
+  // Calibration anchors for the reference 1k x 32 instance.
+  double anchor_vdd_ = 1.1;        // V
+  double anchor_read_pj_ = 12.0;   // pJ per access at anchor_vdd
+  double write_read_ratio_ = 1.1;  // writes cost slightly more
+  double anchor_leak_uw_ = 2.2;    // uW at anchor_vdd
+  double anchor_fmax_mhz_ = 820.0; // MHz at anchor_vdd
+  double anchor_area_mm2_ = 0.01;  // mm^2 for 32 kb
+  double vendor_vmin_ = 0.7;       // V
+
+  double depth_scale() const;   // decoder growth with words
+  double width_scale() const;   // direct growth with word width
+  double bits_scale() const;    // leakage/area growth with total bits
+};
+
+}  // namespace ntc::energy

@@ -1,0 +1,88 @@
+#include "energy/node_projection.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace ntc::energy {
+
+namespace {
+
+double hvt_delay_factor(const tech::TechnologyNode& node) {
+  // CV/I at the node's nominal point: load capacitance shrinks with the
+  // node, drive current grows — both contribute to the speed scale.
+  const double v = node.vdd_nominal.value;
+  const double c = node.logic_fo4_load_ff;
+  return c * v / tech::drain_current(node.hvt_nmos, v, v, Celsius{25.0}).value;
+}
+
+double hvt_leak_per_um(const tech::TechnologyNode& node) {
+  return tech::leakage_current(node.hvt_nmos, node.vdd_nominal.value,
+                               Celsius{25.0}).value /
+         node.hvt_nmos.width_um;
+}
+
+}  // namespace
+
+ProjectedMemory project_to_node(MemoryStyle style,
+                                const tech::TechnologyNode& target) {
+  NTC_REQUIRE_MSG(style == MemoryStyle::CommercialMacro40 ||
+                      style == MemoryStyle::CellBasedImec40,
+                  "projection is calibrated for the 40 nm styles");
+  const tech::TechnologyNode base = tech::node_40nm_lp();
+  MemoryCalculator base_calc(style, reference_1k_x_32());
+
+  ProjectedMemory out{target,
+                      1.0,
+                      1.0,
+                      1.0,
+                      1.0,
+                      base_calc.access_model(),
+                      base_calc.retention_model()};
+
+  // Dynamic energy: wire cap per um times line length (feature size).
+  out.dynamic_energy_scale = (target.wire_cap_ff_um / base.wire_cap_ff_um) *
+                             (target.feature_nm / base.feature_nm);
+  // Speed: CV/I of the memory timing device at nominal conditions.
+  out.speed_scale = hvt_delay_factor(base) / hvt_delay_factor(target);
+  // Leakage per bit: device leakage per um (cells use near-minimum
+  // widths at both nodes).
+  out.leakage_scale = hvt_leak_per_um(target) / hvt_leak_per_um(base);
+  // Area: classic ~0.5x per node against the feature-size square.
+  const double f = target.feature_nm / base.feature_nm;
+  out.area_scale = f * f;
+
+  // Reliability: Vt shift plus the variability improvement.
+  const double dvt = target.hvt_nmos.vt0 - base.hvt_nmos.vt0;
+  const double sigma_base = tech::mismatch_sigma_v(base.nmos);
+  const double sigma_target = tech::mismatch_sigma_v(target.nmos);
+  const double dv_sigma = 4.0 * (sigma_target - sigma_base);  // < 0: tighter
+  const double dv0 = dvt + dv_sigma;
+
+  const auto base_access = base_calc.access_model();
+  out.access = reliability::AccessErrorModel(
+      base_access.a(), base_access.k(),
+      Volt{std::max(base_access.v0().value + dv0, 0.10)});
+
+  const auto base_ret = base_calc.retention_model();
+  const double sigma_scale = target.nmos.avt_mv_um / base.nmos.avt_mv_um;
+  // Shift the half-fail voltage by dv0 and shrink the spread.
+  out.retention = reliability::NoiseMarginModel(
+      base_ret.c0(),
+      base_ret.c1() - base_ret.c0() * dv0,
+      base_ret.c2() * sigma_scale);
+  return out;
+}
+
+MemoryFigures ProjectedMemory::at(const MemoryCalculator& baseline_calc,
+                                  Volt vdd, Celsius temperature) const {
+  MemoryFigures fig = baseline_calc.at(vdd, temperature);
+  fig.read_energy = fig.read_energy * dynamic_energy_scale;
+  fig.write_energy = fig.write_energy * dynamic_energy_scale;
+  fig.leakage = fig.leakage * leakage_scale;
+  fig.fmax = Hertz{fig.fmax.value * speed_scale};
+  fig.area = SquareMm{fig.area.value * area_scale};
+  return fig;
+}
+
+}  // namespace ntc::energy

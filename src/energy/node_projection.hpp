@@ -1,0 +1,45 @@
+// Technology projection of the NTC memory subsystem (paper Section VI).
+//
+// Section VI argues the approach gains further at 14 nm finFET and
+// 10 nm multi-gate: smaller wire capacitance (dynamic energy), higher
+// drive (speed), and tightly controlled Avt (which directly lowers the
+// minimum operational voltage of the memory).  This module projects a
+// 40 nm-calibrated memory instance onto a target node:
+//
+//   * dynamic energy scales with the wire-capacitance-per-length ratio
+//     times the linear feature-size ratio (shorter lines);
+//   * f_max scales with the HVT device's CV/I delay factor at each
+//     node's nominal point;
+//   * leakage scales with the HVT device leakage per bit;
+//   * the access V0 shifts by the HVT Vt difference plus 4 sigma of the
+//     mismatch improvement (the variability term of the V_min);
+//   * the retention model's half-fail voltage shifts the same way and
+//     its sigma scales with the Avt ratio.
+#pragma once
+
+#include "energy/memory_calculator.hpp"
+#include "tech/node.hpp"
+
+namespace ntc::energy {
+
+struct ProjectedMemory {
+  tech::TechnologyNode node;
+  /// Scale factors applied to the 40 nm baseline figures.
+  double dynamic_energy_scale = 1.0;
+  double leakage_scale = 1.0;
+  double speed_scale = 1.0;   ///< f_max multiplier
+  double area_scale = 1.0;
+  reliability::AccessErrorModel access;
+  reliability::NoiseMarginModel retention;
+
+  /// Figures of merit of the projected instance at a supply.
+  MemoryFigures at(const MemoryCalculator& baseline_calc, Volt vdd,
+                   Celsius temperature = Celsius{25.0}) const;
+};
+
+/// Project a 40 nm style onto a target node.  The baseline style must
+/// be 40 nm-calibrated (CommercialMacro40 / CellBasedImec40).
+ProjectedMemory project_to_node(MemoryStyle style,
+                                const tech::TechnologyNode& target);
+
+}  // namespace ntc::energy

@@ -1,0 +1,43 @@
+#include "energy/platform_power.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace ntc::energy {
+
+SignalProcessorPlatform::SignalProcessorPlatform(Config config)
+    : config_(config),
+      logic_(signal_processor_logic_40nm()),
+      timing_(tech::platform_logic_timing_40nm()),
+      memory_(config.memory_style, config.geometry) {
+  NTC_REQUIRE(config_.instances > 0);
+  NTC_REQUIRE(config_.accesses_per_cycle > 0.0);
+}
+
+Volt SignalProcessorPlatform::memory_voltage(Volt logic_vdd) const {
+  return std::max(logic_vdd, config_.memory_voltage_floor);
+}
+
+Hertz SignalProcessorPlatform::clock_at(Volt logic_vdd) const {
+  return timing_.fmax(logic_vdd);
+}
+
+EnergyPerCycleBreakdown SignalProcessorPlatform::energy_per_cycle(
+    Volt logic_vdd) const {
+  NTC_REQUIRE(logic_vdd.value > 0.0);
+  const Hertz f = clock_at(logic_vdd);
+  const Volt vmem = memory_voltage(logic_vdd);
+  const MemoryFigures mem = memory_.at(vmem);
+
+  EnergyPerCycleBreakdown out;
+  out.logic_dynamic = logic_.dynamic_energy_per_cycle(logic_vdd);
+  out.logic_leakage = ntc::energy_per_cycle(logic_.leakage(logic_vdd), f);
+  // The access stream hits one instance at a time; reads dominate.
+  out.memory_dynamic = mem.read_energy * config_.accesses_per_cycle;
+  out.memory_leakage = ntc::energy_per_cycle(
+      mem.leakage * static_cast<double>(config_.instances), f);
+  return out;
+}
+
+}  // namespace ntc::energy

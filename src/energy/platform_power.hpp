@@ -1,0 +1,70 @@
+// Platform-level energy-per-cycle aggregation (paper Figure 1).
+//
+// Models the measured signal-processor SoC of [3]: a logic domain that
+// scales all the way into near-threshold, and commercial memory macros
+// whose supply cannot follow below the vendor limit (0.7 V).  The
+// energy-per-cycle breakdown over VDD shows the memory bottleneck the
+// paper opens with: memory dynamic energy stops scaling at 0.7 V and
+// leakage energy per cycle blows up as the clock slows below 0.6 V.
+#pragma once
+
+#include "energy/logic_model.hpp"
+#include "energy/memory_calculator.hpp"
+#include "tech/logic_timing.hpp"
+
+namespace ntc::energy {
+
+struct EnergyPerCycleBreakdown {
+  Joule logic_dynamic{0.0};
+  Joule logic_leakage{0.0};
+  Joule memory_dynamic{0.0};
+  Joule memory_leakage{0.0};
+
+  Joule total() const {
+    return logic_dynamic + logic_leakage + memory_dynamic + memory_leakage;
+  }
+  double memory_share() const {
+    const double t = total().value;
+    return t == 0.0 ? 0.0 : (memory_dynamic + memory_leakage).value / t;
+  }
+  double leakage_share() const {
+    const double t = total().value;
+    return t == 0.0 ? 0.0 : (logic_leakage + memory_leakage).value / t;
+  }
+};
+
+class SignalProcessorPlatform {
+ public:
+  struct Config {
+    MemoryStyle memory_style = MemoryStyle::CommercialMacro40;
+    /// Memories cannot operate below this supply; their rail clamps
+    /// here while logic keeps scaling (0 = memories track logic fully).
+    Volt memory_voltage_floor{0.7};
+    /// Memory accesses per clock cycle (instruction + data streams).
+    double accesses_per_cycle = 1.2;
+    /// Two 32 kb instances: instruction and data memory.
+    MemoryGeometry geometry = reference_1k_x_32();
+    std::size_t instances = 2;
+  };
+
+  SignalProcessorPlatform() : SignalProcessorPlatform(Config{}) {}
+  explicit SignalProcessorPlatform(Config config);
+
+  /// Breakdown at one logic supply point; the platform clocks at the
+  /// logic domain's f_max for that supply (as in the measurement of
+  /// Figure 1).
+  EnergyPerCycleBreakdown energy_per_cycle(Volt logic_vdd) const;
+
+  /// The memory rail actually applied for a given logic supply.
+  Volt memory_voltage(Volt logic_vdd) const;
+
+  Hertz clock_at(Volt logic_vdd) const;
+
+ private:
+  Config config_;
+  LogicModel logic_;
+  tech::LogicTiming timing_;
+  MemoryCalculator memory_;
+};
+
+}  // namespace ntc::energy

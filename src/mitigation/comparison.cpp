@@ -1,0 +1,31 @@
+#include "mitigation/comparison.hpp"
+
+#include "common/assert.hpp"
+
+namespace ntc::mitigation {
+
+std::vector<FrequencyComparison> compare_schemes(
+    const MinVoltageSolver& solver, const std::vector<Hertz>& frequencies,
+    const SolverConstraints& base_constraints) {
+  std::vector<FrequencyComparison> out;
+  out.reserve(frequencies.size());
+  for (Hertz f : frequencies) {
+    FrequencyComparison row;
+    row.frequency = f;
+    SolverConstraints constraints = base_constraints;
+    constraints.min_frequency = f;
+    for (const MitigationScheme& scheme :
+         {no_mitigation(), secded_scheme(), ocean_scheme()}) {
+      row.schemes.push_back({scheme, solver.solve(scheme, constraints)});
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+double dynamic_power_ratio(Volt v_ref, Volt v) {
+  NTC_REQUIRE(v.value > 0.0 && v_ref.value > 0.0);
+  return (v_ref.value * v_ref.value) / (v.value * v.value);
+}
+
+}  // namespace ntc::mitigation

@@ -1,0 +1,33 @@
+// Scheme-by-scheme operating-point comparison (Table 2 and the
+// headline savings ratios of the conclusion).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mitigation/voltage_solver.hpp"
+
+namespace ntc::mitigation {
+
+struct SchemeOperatingPoint {
+  MitigationScheme scheme;
+  OperatingPoint point;
+};
+
+struct FrequencyComparison {
+  Hertz frequency{0.0};
+  std::vector<SchemeOperatingPoint> schemes;  // no-mit, ECC, OCEAN order
+};
+
+/// Operating points of the three paper schemes at each frequency
+/// requirement (the rows of Table 2).
+std::vector<FrequencyComparison> compare_schemes(
+    const MinVoltageSolver& solver, const std::vector<Hertz>& frequencies,
+    const SolverConstraints& base_constraints = {});
+
+/// Dynamic-power ratio between two supplies: (v_ref / v)^2 — the
+/// paper's conclusion metric ("3.3x lower dynamic power ... beyond the
+/// voltage limit for error free operation": (0.6 V / 0.33 V)^2 = 3.3).
+double dynamic_power_ratio(Volt v_ref, Volt v);
+
+}  // namespace ntc::mitigation

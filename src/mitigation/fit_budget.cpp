@@ -1,0 +1,58 @@
+#include "mitigation/fit_budget.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/math.hpp"
+
+namespace ntc::mitigation {
+
+SystemFitBudget::SystemFitBudget(double budget_fit) : budget_fit_(budget_fit) {
+  NTC_REQUIRE(budget_fit > 0.0);
+}
+
+void SystemFitBudget::add(FitContributor contributor) {
+  NTC_REQUIRE(contributor.transaction_rate.value >= 0.0);
+  contributors_.push_back(std::move(contributor));
+}
+
+std::vector<double> SystemFitBudget::contributions_per_hour(Volt vdd) const {
+  std::vector<double> out;
+  out.reserve(contributors_.size());
+  for (const FitContributor& c : contributors_) {
+    const double p_bit = combined_bit_error_probability(
+        c.access, c.retention, vdd, c.retention_weight);
+    const double per_transaction = word_failure_probability(c.scheme, p_bit);
+    out.push_back(per_transaction * c.transaction_rate.value * 3600.0);
+  }
+  return out;
+}
+
+double SystemFitBudget::failures_per_hour(Volt vdd) const {
+  double total = 0.0;
+  for (double c : contributions_per_hour(vdd)) total += c;
+  return total;
+}
+
+double SystemFitBudget::fit(Volt vdd) const {
+  return failures_per_hour(vdd) * 1e9;
+}
+
+Volt SystemFitBudget::min_voltage(Volt lo, Volt hi) const {
+  NTC_REQUIRE(!contributors_.empty());
+  NTC_REQUIRE(lo.value < hi.value);
+  const double budget_per_hour = budget_fit_ * 1e-9;
+  if (failures_per_hour(hi) > budget_per_hour) return hi;  // infeasible
+  if (failures_per_hour(lo) <= budget_per_hour) return lo;
+  const double v = bisect(
+      [&](double vdd) {
+        // Work in log space: rates span hundreds of decades.
+        const double rate = failures_per_hour(Volt{vdd});
+        const double lr = rate > 0.0 ? std::log(rate) : -1e6;
+        return lr - std::log(budget_per_hour);
+      },
+      lo.value, hi.value);
+  return Volt{std::ceil(v * 100.0 - 1e-9) / 100.0};
+}
+
+}  // namespace ntc::mitigation

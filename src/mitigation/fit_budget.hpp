@@ -1,0 +1,57 @@
+// System-level FIT budgeting across multiple memories.
+//
+// The paper applies a per-transaction acceptance bound (1e-15).  A real
+// product spec is a system failure rate over time (classic FIT =
+// failures per 1e9 device-hours), which depends on how often each
+// memory is actually accessed.  This module composes the word-failure
+// probabilities of every memory in the platform, weighted by its
+// transaction rate, into a system failure rate — and solves the single
+// shared supply that meets a system budget, distributing the budget
+// optimally by construction (one rail, one knob).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mitigation/voltage_solver.hpp"
+
+namespace ntc::mitigation {
+
+/// One memory's contribution to the system failure rate.
+struct FitContributor {
+  std::string name;
+  MitigationScheme scheme;
+  reliability::AccessErrorModel access;
+  reliability::NoiseMarginModel retention;
+  Hertz transaction_rate{0.0};  ///< average accesses per second
+  double retention_weight = 1.0;
+};
+
+class SystemFitBudget {
+ public:
+  /// `budget_fit` in classic units: failures per 1e9 hours.
+  explicit SystemFitBudget(double budget_fit = 1.0);
+
+  void add(FitContributor contributor);
+  std::size_t contributor_count() const { return contributors_.size(); }
+
+  /// System failure rate at a shared supply [failures/hour].
+  double failures_per_hour(Volt vdd) const;
+
+  /// Same in classic FIT units (failures per 1e9 hours).
+  double fit(Volt vdd) const;
+
+  /// Per-contributor split at a supply (sums to failures_per_hour).
+  std::vector<double> contributions_per_hour(Volt vdd) const;
+
+  /// Lowest shared supply meeting the budget (10 mV grid snap-up).
+  Volt min_voltage(Volt lo = Volt{0.20}, Volt hi = Volt{1.20}) const;
+
+  double budget_fit() const { return budget_fit_; }
+
+ private:
+  double budget_fit_;
+  std::vector<FitContributor> contributors_;
+};
+
+}  // namespace ntc::mitigation

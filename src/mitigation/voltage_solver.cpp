@@ -1,0 +1,81 @@
+#include "mitigation/voltage_solver.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/math.hpp"
+
+namespace ntc::mitigation {
+
+MinVoltageSolver::MinVoltageSolver(reliability::AccessErrorModel access,
+                                   reliability::NoiseMarginModel retention,
+                                   tech::LogicTiming timing)
+    : access_(std::move(access)),
+      retention_(std::move(retention)),
+      timing_(std::move(timing)) {}
+
+double MinVoltageSolver::p_bit(Volt vdd, double retention_weight) const {
+  return combined_bit_error_probability(access_, retention_, vdd,
+                                        retention_weight);
+}
+
+OperatingPoint MinVoltageSolver::solve(
+    const MitigationScheme& scheme, const SolverConstraints& constraints) const {
+  NTC_REQUIRE(constraints.fit_per_transaction > 0.0);
+  NTC_REQUIRE(constraints.supply_grid.value > 0.0);
+
+  const double log_fit = std::log(constraints.fit_per_transaction);
+  auto log_margin = [&](double v) {
+    const double p = p_bit(Volt{v}, constraints.retention_weight);
+    return log_word_failure_probability(scheme, p) - log_fit;
+  };
+
+  // Reliability limit: the failure probability is monotone decreasing
+  // in VDD, reaching exactly 0 (log -> -inf) at the access V0 when the
+  // retention term has already vanished.
+  const double v_hi = access_.v0().value + 0.30;
+  double v_rel;
+  if (log_margin(v_hi) > 0.0) {
+    // Even far above V0 the FIT cannot be met (retention-limited
+    // configuration) — report the ceiling.
+    v_rel = v_hi;
+  } else {
+    double lo = 0.02;
+    if (log_margin(lo) <= 0.0) {
+      v_rel = lo;  // constraint met everywhere
+    } else {
+      v_rel = bisect(log_margin, lo, v_hi);
+    }
+  }
+
+  // Performance limit from the logic timing.
+  Volt v_freq{0.0};
+  if (constraints.min_frequency.value > 0.0) {
+    v_freq = timing_.min_voltage_for(constraints.min_frequency);
+  }
+
+  OperatingPoint out;
+  out.reliability_limit = Volt{v_rel};
+  out.performance_limit = v_freq;
+  const double v_raw = std::max(v_rel, v_freq.value);
+  const double grid = constraints.supply_grid.value;
+  out.voltage = Volt{std::ceil(v_raw / grid - 1e-9) * grid};
+  out.reliability_bound = v_rel >= v_freq.value;
+  out.p_bit = p_bit(out.voltage, constraints.retention_weight);
+  out.word_failure = word_failure_probability(scheme, out.p_bit);
+  return out;
+}
+
+MinVoltageSolver cell_based_platform_solver() {
+  return MinVoltageSolver(reliability::cell_based_40nm_access(),
+                          reliability::cell_based_40nm_retention(),
+                          tech::platform_logic_timing_40nm());
+}
+
+MinVoltageSolver commercial_platform_solver() {
+  return MinVoltageSolver(reliability::commercial_40nm_access(),
+                          reliability::commercial_40nm_retention(),
+                          tech::platform_logic_timing_40nm());
+}
+
+}  // namespace ntc::mitigation

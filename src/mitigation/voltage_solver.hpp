@@ -1,0 +1,63 @@
+// Minimum-voltage solver under FIT and frequency constraints (Table 2).
+//
+// For each mitigation scheme the lowest usable supply is the larger of
+//   * the reliability limit: smallest VDD where the per-transaction
+//     failure probability meets the FIT target, and
+//   * the performance limit: smallest VDD where the logic still makes
+//     the required clock,
+// snapped up to the platform's supply-step grid (10 mV here).  With the
+// cell-based array this reproduces the paper's Table 2 ladder exactly:
+// 0.55 / 0.44 / 0.33 V at 290 kHz and 0.55 / 0.44 / 0.44 V at 1.96 MHz.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "mitigation/word_failure.hpp"
+#include "tech/logic_timing.hpp"
+
+namespace ntc::mitigation {
+
+struct SolverConstraints {
+  double fit_per_transaction = 1e-15;  ///< paper's acceptance bound
+  Hertz min_frequency{0.0};            ///< performance requirement
+  Volt supply_grid{0.01};              ///< regulator step (snap up)
+  double retention_weight = 1.0;       ///< see combined_bit_error_probability
+};
+
+struct OperatingPoint {
+  Volt voltage{0.0};          ///< chosen supply (grid-snapped)
+  Volt reliability_limit{0.0};///< FIT-driven bound before snapping
+  Volt performance_limit{0.0};///< frequency-driven bound before snapping
+  double p_bit = 0.0;         ///< per-bit error probability at `voltage`
+  double word_failure = 0.0;  ///< per-transaction failure at `voltage`
+  bool reliability_bound = false;  ///< which constraint was binding
+};
+
+class MinVoltageSolver {
+ public:
+  MinVoltageSolver(reliability::AccessErrorModel access,
+                   reliability::NoiseMarginModel retention,
+                   tech::LogicTiming timing);
+
+  /// Minimum operating point for one scheme.
+  OperatingPoint solve(const MitigationScheme& scheme,
+                       const SolverConstraints& constraints) const;
+
+  /// Per-bit error probability at a supply (access + retention terms).
+  double p_bit(Volt vdd, double retention_weight = 1.0) const;
+
+ private:
+  reliability::AccessErrorModel access_;
+  reliability::NoiseMarginModel retention_;
+  tech::LogicTiming timing_;
+};
+
+/// The solver configured for the paper's cell-based 40 nm platform.
+MinVoltageSolver cell_based_platform_solver();
+
+/// The solver configured for the commercial-macro platform (the 11 MHz
+/// scenario of Figure 9).
+MinVoltageSolver commercial_platform_solver();
+
+}  // namespace ntc::mitigation

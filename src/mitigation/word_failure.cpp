@@ -1,0 +1,37 @@
+#include "mitigation/word_failure.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/math.hpp"
+
+namespace ntc::mitigation {
+
+double word_failure_probability(const MitigationScheme& scheme, double p_bit) {
+  return binomial_tail_ge(scheme.stored_bits, scheme.failure_threshold, p_bit);
+}
+
+double log_word_failure_probability(const MitigationScheme& scheme,
+                                    double p_bit) {
+  return log_binomial_tail_ge(scheme.stored_bits, scheme.failure_threshold,
+                              p_bit);
+}
+
+double combined_bit_error_probability(
+    const reliability::AccessErrorModel& access,
+    const reliability::NoiseMarginModel& retention, Volt vdd,
+    double retention_weight) {
+  NTC_REQUIRE(retention_weight >= 0.0 && retention_weight <= 1.0);
+  const double pa = access.p_bit_err(vdd);
+  const double pr = retention_weight * retention.p_bit_fail(vdd);
+  // Independent mechanisms: 1 - (1-pa)(1-pr).
+  return pa + pr - pa * pr;
+}
+
+double failures_per_second(const MitigationScheme& scheme, double p_bit,
+                           Hertz transaction_rate) {
+  NTC_REQUIRE(transaction_rate.value >= 0.0);
+  return word_failure_probability(scheme, p_bit) * transaction_rate.value;
+}
+
+}  // namespace ntc::mitigation

@@ -1,0 +1,39 @@
+// Word-level failure (FIT) arithmetic.
+//
+// The paper's acceptance criterion: at most 1e-15 failures per
+// read/write transaction.  A transaction fails when at least
+// `failure_threshold` of the word's stored bits are simultaneously in
+// error; with independent per-bit error probability p this is the
+// binomial tail, which must be evaluated in the log domain at these
+// magnitudes.
+#pragma once
+
+#include "common/units.hpp"
+#include "mitigation/scheme.hpp"
+#include "reliability/access_model.hpp"
+#include "reliability/noise_margin.hpp"
+
+namespace ntc::mitigation {
+
+/// Probability that one transaction on a word fails under `scheme`
+/// given per-bit error probability `p_bit`.
+double word_failure_probability(const MitigationScheme& scheme, double p_bit);
+
+/// Log-domain variant for tails far below DBL_MIN.
+double log_word_failure_probability(const MitigationScheme& scheme,
+                                    double p_bit);
+
+/// Combined per-bit error probability at a supply point: access errors
+/// (Eq. 5) plus retention errors accumulated since the last refresh of
+/// the bit (read-back exposes both).  `retention_weight` derates the
+/// retention term for frequently rewritten data (1 = static data).
+double combined_bit_error_probability(
+    const reliability::AccessErrorModel& access,
+    const reliability::NoiseMarginModel& retention, Volt vdd,
+    double retention_weight = 1.0);
+
+/// Expected system failure rate per second of operation.
+double failures_per_second(const MitigationScheme& scheme, double p_bit,
+                           Hertz transaction_rate);
+
+}  // namespace ntc::mitigation

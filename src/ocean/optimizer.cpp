@@ -1,0 +1,113 @@
+#include "ocean/optimizer.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/math.hpp"
+
+namespace ntc::ocean {
+
+namespace {
+
+mitigation::MinVoltageSolver make_solver(energy::MemoryStyle style) {
+  energy::MemoryCalculator calc(style, energy::reference_1k_x_32());
+  return mitigation::MinVoltageSolver(calc.access_model(),
+                                      calc.retention_model(),
+                                      tech::platform_logic_timing_40nm());
+}
+
+}  // namespace
+
+EpaOptimizer::EpaOptimizer(energy::MemoryStyle style,
+                           mitigation::SolverConstraints constraints)
+    : style_(style),
+      constraints_(constraints),
+      solver_(make_solver(style)),
+      core_(energy::arm9_class_core_40nm()),
+      timing_(tech::platform_logic_timing_40nm()) {}
+
+OceanPlan EpaOptimizer::evaluate(const TaskProfile& profile, Volt vdd,
+                                 std::size_t phases, Second deadline) const {
+  NTC_REQUIRE(phases >= 1);
+  NTC_REQUIRE(profile.compute_cycles > 0 && profile.chunk_words > 0);
+  NTC_REQUIRE(deadline.value > 0.0);
+  OceanPlan plan;
+  plan.vdd = vdd;
+  plan.phases = phases;
+
+  const energy::MemoryCalculator spm_calc(style_,
+                                          energy::MemoryGeometry{2048, 32});
+  const energy::MemoryCalculator pm_calc(style_,
+                                         energy::MemoryGeometry{1024, 32});
+  const energy::MemoryFigures spm = spm_calc.at(vdd);
+  const energy::MemoryFigures pm = pm_calc.at(vdd);
+
+  const double words = profile.chunk_words;
+  const double p_word_err =
+      any_of_n(32, solver_.p_bit(vdd, constraints_.retention_weight));
+  // A chunk validation reads every word; a mismatch triggers a restore.
+  const double p_chunk_dirty = any_of_n(profile.chunk_words, p_word_err);
+  plan.expected_restores_per_phase = p_chunk_dirty;
+
+  // Cycle budget: compute + per-phase protocol (CRC ~4 cy/word, DMA
+  // 2 cy/word, restore 2 cy/word weighted by its probability).
+  const double n_phases = static_cast<double>(phases);
+  const double protocol_cycles =
+      n_phases * words * (4.0 + 2.0 + p_chunk_dirty * 2.0);
+  const double total_cycles =
+      static_cast<double>(profile.compute_cycles) + protocol_cycles;
+  plan.protocol_overhead =
+      protocol_cycles / static_cast<double>(profile.compute_cycles);
+
+  // Constant-throughput operation: the clock is set so the task ends
+  // exactly at the deadline; vdd must sustain that clock.
+  const Hertz f_needed{total_cycles / deadline.value};
+  if (timing_.fmax(vdd) < f_needed) {
+    plan.feasible = false;
+    return plan;
+  }
+  plan.duration = deadline;
+
+  // Energy: core dynamic + SPM traffic + PM checkpoint traffic (BCH
+  // codewords are 56/32 wider) + platform leakage over the duration.
+  const double spm_accesses =
+      static_cast<double>(profile.spm_accesses) +
+      n_phases * words * (2.0 + p_chunk_dirty);
+  const double pm_accesses = n_phases * words * (1.0 + p_chunk_dirty);
+  const double pm_width_factor = 56.0 / 32.0;
+
+  Joule energy = core_.dynamic_energy_per_cycle(vdd) * total_cycles;
+  energy += spm.read_energy * spm_accesses;
+  energy += pm.write_energy * (pm_accesses * pm_width_factor);
+  const Watt leak = core_.leakage(vdd) + spm.leakage + pm.leakage;
+  energy += leak * plan.duration;
+  plan.energy = energy;
+  plan.feasible = true;
+  return plan;
+}
+
+OceanPlan EpaOptimizer::optimize(const TaskProfile& profile,
+                                 Second deadline) const {
+  NTC_REQUIRE(deadline.value > 0.0);
+  // FIT feasibility floor from the quintuple-error threshold.
+  mitigation::SolverConstraints constraints = constraints_;
+  constraints.min_frequency = Hertz{0.0};
+  const mitigation::OperatingPoint fit_floor =
+      solver_.solve(mitigation::ocean_scheme(), constraints);
+
+  OceanPlan best;
+  double best_energy = 1e300;
+  for (double v = fit_floor.voltage.value; v <= 1.10 + 1e-9; v += 0.01) {
+    for (std::size_t phases : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+      OceanPlan plan = evaluate(profile, Volt{v}, phases, deadline);
+      if (!plan.feasible) continue;  // cannot make the deadline at v
+      if (plan.energy.value < best_energy) {
+        best_energy = plan.energy.value;
+        best = plan;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace ntc::ocean

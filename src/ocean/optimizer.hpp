@@ -1,0 +1,60 @@
+// OCEAN's energy-performance-area optimiser.
+//
+// The paper: "OCEAN applies nonlinear programming to achieve the
+// minimal energy overhead possible."  The decision variables are the
+// operating voltage and the phase granularity (how finely the task is
+// chunked); the objective is total task energy including the protocol
+// overheads; the constraints are the FIT bound (quintuple-error
+// threshold) and the task deadline.  The feasible region is small and
+// the objective cheap, so the solver is an exact grid sweep over the
+// 10 mV supply ladder crossed with power-of-two phase counts.
+#pragma once
+
+#include "energy/logic_model.hpp"
+#include "energy/memory_calculator.hpp"
+#include "mitigation/voltage_solver.hpp"
+
+namespace ntc::ocean {
+
+/// Static profile of a streaming task.
+struct TaskProfile {
+  std::uint64_t compute_cycles = 0;  ///< pure compute, all phases
+  std::uint32_t chunk_words = 0;     ///< live data set checkpointed per phase
+  std::uint64_t spm_accesses = 0;    ///< workload data accesses, all phases
+};
+
+struct OceanPlan {
+  bool feasible = false;
+  Volt vdd{0.0};
+  std::size_t phases = 1;
+  Joule energy{0.0};
+  Second duration{0.0};
+  double expected_restores_per_phase = 0.0;
+  double protocol_overhead = 0.0;  ///< protocol cycles / compute cycles
+};
+
+class EpaOptimizer {
+ public:
+  EpaOptimizer(energy::MemoryStyle style,
+               mitigation::SolverConstraints constraints = {});
+
+  /// Minimise task energy subject to FIT and `deadline`.
+  OceanPlan optimize(const TaskProfile& profile, Second deadline) const;
+
+  /// Energy/duration of one concrete configuration (exposed for the
+  /// ablation bench that sweeps phase counts at fixed voltage).
+  /// Constant-throughput semantics, matching the paper's platform: the
+  /// task is clocked to finish exactly at `deadline` (leakage is paid
+  /// over the whole period); infeasible if even f_max(vdd) misses it.
+  OceanPlan evaluate(const TaskProfile& profile, Volt vdd, std::size_t phases,
+                     Second deadline) const;
+
+ private:
+  energy::MemoryStyle style_;
+  mitigation::SolverConstraints constraints_;
+  mitigation::MinVoltageSolver solver_;
+  energy::LogicModel core_;
+  tech::LogicTiming timing_;
+};
+
+}  // namespace ntc::ocean

@@ -1,0 +1,51 @@
+#include "ocean/protected_buffer.hpp"
+
+#include "common/assert.hpp"
+
+namespace ntc::ocean {
+
+ProtectedBuffer::ProtectedBuffer(sim::EccMemory& pm) : pm_(pm) {
+  NTC_REQUIRE_MSG(pm.code() != nullptr,
+                  "the protected buffer requires a coded memory");
+  NTC_REQUIRE_MSG(pm.word_count() >= 2, "PM too small for two slots");
+}
+
+ProtectedBuffer::SaveResult ProtectedBuffer::save_with_crc(
+    sim::MemoryPort& spm, workloads::ChunkRef chunk, const ecc::Crc32& crc) {
+  NTC_REQUIRE_MSG(chunk.words <= slot_capacity_words(),
+                  "chunk exceeds checkpoint slot capacity");
+  const std::uint32_t base = slot_base(current_slot_ ^ 1u);  // idle slot
+  SaveResult result;
+  std::uint32_t state = ecc::Crc32::initial();
+  for (std::uint32_t i = 0; i < chunk.words; ++i) {
+    std::uint32_t word = 0;
+    if (spm.read_word(chunk.word_offset + i, word) ==
+        sim::AccessStatus::DetectedUncorrectable)
+      ++result.uncorrectable_words;
+    pm_.write_word(base + i, word);
+    state = crc.update(state, static_cast<std::uint8_t>(word));
+    state = crc.update(state, static_cast<std::uint8_t>(word >> 8));
+    state = crc.update(state, static_cast<std::uint8_t>(word >> 16));
+    state = crc.update(state, static_cast<std::uint8_t>(word >> 24));
+  }
+  result.crc = ecc::Crc32::finalize(state);
+  return result;
+}
+
+RestoreResult ProtectedBuffer::restore(sim::MemoryPort& spm,
+                                       workloads::ChunkRef chunk) {
+  NTC_REQUIRE(chunk.words <= slot_capacity_words());
+  const std::uint32_t base = slot_base(current_slot_);
+  RestoreResult result;
+  for (std::uint32_t i = 0; i < chunk.words; ++i) {
+    std::uint32_t word = 0;
+    const sim::AccessStatus status = pm_.read_word(base + i, word);
+    if (status == sim::AccessStatus::DetectedUncorrectable)
+      ++result.uncorrectable_words;
+    spm.write_word(chunk.word_offset + i, word);
+    ++result.words_restored;
+  }
+  return result;
+}
+
+}  // namespace ntc::ocean

@@ -1,0 +1,132 @@
+#include "ocean/runtime.hpp"
+
+#include "common/assert.hpp"
+
+namespace ntc::ocean {
+
+OceanRuntime::OceanRuntime(sim::Platform& platform, OceanConfig config)
+    : platform_(platform), config_(config) {
+  NTC_REQUIRE_MSG(platform.pm() != nullptr,
+                  "OCEAN runtime needs a platform with a protected memory");
+}
+
+void OceanRuntime::charge(std::uint64_t cycles) {
+  platform_.add_compute_cycles(cycles, /*fetches_per_cycle=*/0.25);
+}
+
+std::uint32_t OceanRuntime::crc_of_chunk(workloads::ChunkRef chunk) {
+  std::uint32_t state = ecc::Crc32::initial();
+  sim::MemoryPort& spm = platform_.spm();
+  for (std::uint32_t i = 0; i < chunk.words; ++i) {
+    std::uint32_t word = 0;
+    spm.read_word(chunk.word_offset + i, word);
+    state = crc_.update(state, static_cast<std::uint8_t>(word));
+    state = crc_.update(state, static_cast<std::uint8_t>(word >> 8));
+    state = crc_.update(state, static_cast<std::uint8_t>(word >> 16));
+    state = crc_.update(state, static_cast<std::uint8_t>(word >> 24));
+  }
+  return ecc::Crc32::finalize(state);
+}
+
+OceanRunOutcome OceanRuntime::run(workloads::StreamingTask& task) {
+  OceanRunOutcome outcome;
+  ProtectedBuffer buffer(*platform_.pm());
+  sim::MemoryPort& spm = platform_.spm();
+
+  auto charge_checkpoint = [&](workloads::ChunkRef c) {
+    const std::uint64_t cycles = ProtectedBuffer::copy_cycles(c) +
+                                 config_.crc_cycles_per_word * c.words;
+    outcome.stats.protocol_cycles += cycles;
+    charge(cycles);
+  };
+
+  // Stage in the input and checkpoint it; a dirty read-back during the
+  // copy means the staging writes failed — redo them.
+  workloads::ChunkRef chunk = task.initialize(spm);
+  ProtectedBuffer::SaveResult saved;
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    saved = buffer.save_with_crc(spm, chunk, crc_);
+    outcome.stats.checkpoint_words += chunk.words;
+    charge_checkpoint(chunk);
+    if (saved.clean() || attempt >= config_.max_restore_attempts) break;
+    chunk = task.initialize(spm);
+  }
+  buffer.commit();
+  std::uint32_t expected_crc = saved.crc;
+
+  for (std::size_t phase = 0; phase < task.phase_count(); ++phase) {
+    // 1. Consume-time validation: the checkpoint holds exactly the last
+    // output chunk, so the check applies when this phase consumes that
+    // chunk (always true for classic streaming pipelines; disjoint
+    // producer/consumer layouts skip it).
+    const workloads::ChunkRef input = task.input_chunk(phase);
+    const bool has_checkpoint = input.word_offset == chunk.word_offset &&
+                                input.words == chunk.words;
+    for (std::uint32_t attempt = 0; has_checkpoint; ++attempt) {
+      ++outcome.stats.crc_checks;
+      const std::uint64_t check_cycles =
+          config_.crc_cycles_per_word * input.words;
+      outcome.stats.protocol_cycles += check_cycles;
+      charge(check_cycles);
+      if (crc_of_chunk(input) == expected_crc) break;
+      ++outcome.stats.crc_mismatches;
+      if (attempt >= config_.max_restore_attempts) break;  // best effort
+      ++outcome.stats.restores;
+      const RestoreResult restored = buffer.restore(spm, input);
+      outcome.stats.restore_uncorrectable_words += restored.uncorrectable_words;
+      if (!restored.ok()) outcome.system_failure = true;
+      const std::uint64_t restore_cycles = ProtectedBuffer::copy_cycles(input);
+      outcome.stats.protocol_cycles += restore_cycles;
+      charge(restore_cycles);
+    }
+
+    // 2. Produce: run the phase and checkpoint its output into the idle
+    // slot, validating while copying.  A mid-phase detected-uncorrectable
+    // access or a dirty output chunk triggers rollback: restore the
+    // input from the still-committed previous checkpoint and re-execute
+    // the producer.
+    workloads::PhaseResult result;
+    for (std::uint32_t attempt = 0;; ++attempt) {
+      result = task.run_phase(phase, spm);
+      ++outcome.stats.phases_run;
+      platform_.add_compute_cycles(result.compute_cycles,
+                                   config_.fetches_per_cycle);
+      saved = buffer.save_with_crc(spm, result.output, crc_);
+      outcome.stats.checkpoint_words += result.output.words;
+      charge_checkpoint(result.output);
+      const bool good = !result.memory_fault && saved.clean();
+      if (good || attempt >= config_.max_restore_attempts) break;
+      ++outcome.stats.reexecutions;
+      if (!has_checkpoint) break;  // producer inputs not recoverable
+      ++outcome.stats.restores;
+      const RestoreResult restored = buffer.restore(spm, input);
+      outcome.stats.restore_uncorrectable_words += restored.uncorrectable_words;
+      if (!restored.ok()) outcome.system_failure = true;
+      const std::uint64_t restore_cycles = ProtectedBuffer::copy_cycles(input);
+      outcome.stats.protocol_cycles += restore_cycles;
+      charge(restore_cycles);
+    }
+    buffer.commit();
+    chunk = result.output;
+    expected_crc = saved.crc;
+  }
+
+  outcome.completed = true;
+  return outcome;
+}
+
+std::uint64_t run_unprotected(sim::Platform& platform,
+                              workloads::StreamingTask& task,
+                              double fetches_per_cycle) {
+  sim::MemoryPort& spm = platform.spm();
+  task.initialize(spm);
+  std::uint64_t faulted_phases = 0;
+  for (std::size_t phase = 0; phase < task.phase_count(); ++phase) {
+    const workloads::PhaseResult result = task.run_phase(phase, spm);
+    platform.add_compute_cycles(result.compute_cycles, fetches_per_cycle);
+    if (result.memory_fault) ++faulted_phases;
+  }
+  return faulted_phases;
+}
+
+}  // namespace ntc::ocean

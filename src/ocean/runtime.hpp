@@ -1,0 +1,71 @@
+// OCEAN checkpoint/rollback runtime (paper Figure 7).
+//
+// Drives a StreamingTask on the simulated platform with the OCEAN
+// protocol: after each phase the output chunk is DMA-copied into the
+// BCH-protected buffer together with a CRC-32 signature; before each
+// phase the input chunk's CRC is re-checked, and on mismatch the chunk
+// is restored from the protected buffer instead of re-running its
+// producer.  All checkpoint, check and restore work is charged to the
+// platform's cycle/energy accounting.
+#pragma once
+
+#include "ecc/crc.hpp"
+#include "ocean/protected_buffer.hpp"
+#include "sim/platform.hpp"
+#include "workloads/streaming.hpp"
+
+namespace ntc::ocean {
+
+struct OceanConfig {
+  std::uint32_t max_restore_attempts = 3;
+  /// Software CRC cost (core cycles per 32-bit word checked).
+  std::uint64_t crc_cycles_per_word = 4;
+  /// Instruction fetches charged per compute cycle of the workload.
+  double fetches_per_cycle = 1.0;
+};
+
+struct OceanRunStats {
+  std::uint64_t phases_run = 0;
+  std::uint64_t crc_checks = 0;
+  std::uint64_t crc_mismatches = 0;
+  std::uint64_t restores = 0;
+  std::uint64_t reexecutions = 0;  ///< phases re-run after detected errors
+  std::uint64_t restore_uncorrectable_words = 0;  ///< quintuple-error hits
+  std::uint64_t checkpoint_words = 0;
+  std::uint64_t protocol_cycles = 0;  ///< CRC + DMA overhead cycles
+};
+
+struct OceanRunOutcome {
+  bool completed = false;
+  /// True if a restore met an uncorrectable protected-buffer word — the
+  /// OCEAN system-failure condition (quintuple bit error).
+  bool system_failure = false;
+  OceanRunStats stats;
+};
+
+class OceanRuntime {
+ public:
+  /// The platform must be built with SchemeKind::Ocean (it owns the PM).
+  OceanRuntime(sim::Platform& platform, OceanConfig config = {});
+
+  /// Run the task to completion under OCEAN protection.
+  OceanRunOutcome run(workloads::StreamingTask& task);
+
+ private:
+  std::uint32_t crc_of_chunk(workloads::ChunkRef chunk);
+  void charge(std::uint64_t cycles);
+
+  sim::Platform& platform_;
+  OceanConfig config_;
+  ecc::Crc32 crc_;
+};
+
+/// Baseline runner for the No-mitigation and plain-ECC configurations:
+/// phases execute back to back with no checkpoint protocol; compute
+/// cycles and fetches are charged identically.  Returns the number of
+/// phases that reported an uncorrectable memory fault.
+std::uint64_t run_unprotected(sim::Platform& platform,
+                              workloads::StreamingTask& task,
+                              double fetches_per_cycle = 1.0);
+
+}  // namespace ntc::ocean

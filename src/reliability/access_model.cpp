@@ -1,0 +1,95 @@
+#include "reliability/access_model.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/math.hpp"
+#include "common/statistics.hpp"
+
+namespace ntc::reliability {
+
+AccessErrorModel::AccessErrorModel(double a, double k, Volt v0)
+    : a_(a), k_(k), v0_(v0.value) {
+  NTC_REQUIRE(a > 0.0);
+  NTC_REQUIRE(k > 0.0);
+  NTC_REQUIRE(v0.value > 0.0);
+}
+
+double AccessErrorModel::p_bit_err(Volt vdd) const {
+  NTC_REQUIRE(vdd.value >= 0.0);
+  const double margin = v0_ - vdd.value;
+  if (margin <= 0.0) return 0.0;
+  return clamp(a_ * std::pow(margin, k_), 0.0, 1.0);
+}
+
+Volt AccessErrorModel::vdd_for_p(double p) const {
+  NTC_REQUIRE(p > 0.0 && p <= 1.0);
+  return Volt{v0_ - std::pow(p / a_, 1.0 / k_)};
+}
+
+Volt AccessErrorModel::cell_access_vmin(double u) const {
+  NTC_REQUIRE(u >= 0.0 && u < 1.0);
+  // CCDF of cell V_min: P(Vmin > V) = min(1, A (V0 - V)^k).
+  // Inverse sampling: Vmin = V0 - ((1 - u)/A)^(1/k), clamped at >= 0.
+  const double v = v0_ - std::pow((1.0 - u) / a_, 1.0 / k_);
+  return Volt{std::max(v, 0.0)};
+}
+
+AccessErrorModel AccessErrorModel::aged(Volt drift) const {
+  NTC_REQUIRE(drift.value >= 0.0);
+  return AccessErrorModel(a_, k_, Volt{v0_ + drift.value});
+}
+
+AccessErrorModel commercial_40nm_access() {
+  return AccessErrorModel(6.0, 6.14, Volt{0.85});
+}
+
+AccessErrorModel cell_based_40nm_access() {
+  // V0 = 0.55 V as measured (paper Section IV).  A and k are the
+  // virtual-test-chip fit; with these constants the FIT <= 1e-15 solver
+  // lands on the paper's Table 2 ladder (0.55 / 0.44 / 0.33 V).
+  return AccessErrorModel(3.38, 7.20, Volt{0.55});
+}
+
+AccessErrorModel cell_based_65nm_access() {
+  return AccessErrorModel(2.0, 5.0, Volt{0.45});
+}
+
+AccessErrorModel fit_access_model(const std::vector<BerPoint>& data) {
+  std::vector<double> xs, ps;
+  double vmax_with_failures = 0.0;
+  for (const auto& pt : data) {
+    if (pt.total == 0 || pt.failures == 0) continue;
+    xs.push_back(pt.vdd.value);
+    ps.push_back(std::log(pt.p_hat()));
+    vmax_with_failures = std::max(vmax_with_failures, pt.vdd.value);
+  }
+  NTC_REQUIRE_MSG(xs.size() >= 3, "need >= 3 sweep points with failures");
+
+  // Given V0, log p = log A + k log(V0 - V) is linear; scan V0.
+  auto cost_at = [&](double v0) {
+    std::vector<double> lx;
+    lx.reserve(xs.size());
+    for (double v : xs) {
+      const double margin = v0 - v;
+      if (margin <= 1e-6) return 1e18;  // V0 must exceed every failing V
+      lx.push_back(std::log(margin));
+    }
+    auto fit = linear_fit(lx, ps);
+    double cost = 0.0;
+    for (std::size_t i = 0; i < lx.size(); ++i) {
+      const double r = ps[i] - (fit.intercept + fit.slope * lx[i]);
+      cost += r * r;
+    }
+    return cost;
+  };
+  const double v0 = golden_section_min(cost_at, vmax_with_failures + 1e-4,
+                                       vmax_with_failures + 0.5);
+  std::vector<double> lx;
+  for (double v : xs) lx.push_back(std::log(v0 - v));
+  auto fit = linear_fit(lx, ps);
+  NTC_REQUIRE_MSG(fit.slope > 0.0, "p must fall as VDD approaches V0");
+  return AccessErrorModel(std::exp(fit.intercept), fit.slope, Volt{v0});
+}
+
+}  // namespace ntc::reliability

@@ -1,0 +1,74 @@
+#include "reliability/fault_map.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace ntc::reliability {
+
+FaultMap::FaultMap(std::size_t width, std::size_t height)
+    : width_(width), height_(height), vmin_(width * height, 0.0) {
+  NTC_REQUIRE(width > 0 && height > 0);
+}
+
+std::size_t FaultMap::index(std::size_t x, std::size_t y) const {
+  NTC_REQUIRE(x < width_ && y < height_);
+  return y * width_ + x;
+}
+
+Volt FaultMap::vmin(std::size_t x, std::size_t y) const {
+  return Volt{vmin_[index(x, y)]};
+}
+
+void FaultMap::set_vmin(std::size_t x, std::size_t y, Volt v) {
+  vmin_[index(x, y)] = v.value;
+}
+
+std::uint64_t FaultMap::failing_cells_at(Volt vdd) const {
+  std::uint64_t n = 0;
+  for (double v : vmin_) n += (v > vdd.value);
+  return n;
+}
+
+Volt FaultMap::instance_vmin() const {
+  return Volt{*std::max_element(vmin_.begin(), vmin_.end())};
+}
+
+Volt FaultMap::vmin_quantile(double quantile) const {
+  NTC_REQUIRE(quantile >= 0.0 && quantile <= 1.0);
+  std::vector<double> sorted = vmin_;
+  const auto idx = static_cast<std::size_t>(
+      quantile * static_cast<double>(sorted.size() - 1) + 0.5);
+  std::nth_element(sorted.begin(), sorted.begin() + static_cast<std::ptrdiff_t>(idx),
+                   sorted.end());
+  return Volt{sorted[idx]};
+}
+
+std::string FaultMap::render_ascii(Volt lo, Volt hi, std::size_t max_cols) const {
+  NTC_REQUIRE(hi.value > lo.value);
+  NTC_REQUIRE(max_cols >= 8);
+  static const char kShades[] = " .:-=+*#";  // robust ... weakest
+  const std::size_t n_shades = sizeof(kShades) - 1;
+  // Downsample blocks: each character shows the *worst* cell of its
+  // block (weak bits must stay visible after downsampling).
+  const std::size_t bx = std::max<std::size_t>(1, (width_ + max_cols - 1) / max_cols);
+  const std::size_t by = std::max<std::size_t>(1, 2 * bx);  // chars are ~2x tall
+  std::string out;
+  for (std::size_t y0 = 0; y0 < height_; y0 += by) {
+    for (std::size_t x0 = 0; x0 < width_; x0 += bx) {
+      double worst = lo.value;
+      for (std::size_t y = y0; y < std::min(y0 + by, height_); ++y)
+        for (std::size_t x = x0; x < std::min(x0 + bx, width_); ++x)
+          worst = std::max(worst, vmin_[y * width_ + x]);
+      double f = (worst - lo.value) / (hi.value - lo.value);
+      auto shade = static_cast<std::size_t>(f * static_cast<double>(n_shades));
+      shade = std::min(shade, n_shades - 1);
+      out += kShades[shade];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ntc::reliability

@@ -1,0 +1,53 @@
+// Per-cell minimum-voltage maps (paper Figure 3).
+//
+// A FaultMap stores, for every (x, y) bit-cell location of one memory
+// instance, the minimum supply at which that cell still works (retains
+// its state, or completes a read/write access).  It is produced by the
+// virtual test chip and rendered as the voltage-coded location map the
+// paper shows for one commercial and one cell-based instance.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace ntc::reliability {
+
+class FaultMap {
+ public:
+  FaultMap(std::size_t width, std::size_t height);
+
+  std::size_t width() const { return width_; }
+  std::size_t height() const { return height_; }
+  std::size_t cell_count() const { return vmin_.size(); }
+
+  Volt vmin(std::size_t x, std::size_t y) const;
+  void set_vmin(std::size_t x, std::size_t y, Volt v);
+
+  /// Number of cells whose V_min exceeds the given supply (= failing
+  /// bits when operating at `vdd`).
+  std::uint64_t failing_cells_at(Volt vdd) const;
+
+  /// Instance-level minimum operating voltage: the largest per-cell
+  /// V_min (first failing bit defines the instance limit).
+  Volt instance_vmin() const;
+
+  /// V_min below which `quantile` of the cells work; e.g. 0.999999
+  /// tolerating one-per-million weak cells under error mitigation.
+  Volt vmin_quantile(double quantile) const;
+
+  /// ASCII rendering: one character per `cell_step` cells, coded by
+  /// V_min bands between `lo` and `hi` (' ' robust ... '#' weakest).
+  /// This is the textual equivalent of the paper's colour maps.
+  std::string render_ascii(Volt lo, Volt hi, std::size_t max_cols = 96) const;
+
+ private:
+  std::size_t index(std::size_t x, std::size_t y) const;
+
+  std::size_t width_, height_;
+  std::vector<double> vmin_;
+};
+
+}  // namespace ntc::reliability

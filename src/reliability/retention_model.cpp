@@ -1,0 +1,85 @@
+#include "reliability/retention_model.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/math.hpp"
+#include "common/statistics.hpp"
+
+namespace ntc::reliability {
+
+RetentionErrorModel::RetentionErrorModel(double d0, double d1, double d2)
+    : d0_(d0), d1_(d1), d2_(d2) {
+  NTC_REQUIRE_MSG(d0 != 0.0, "d0 scales VDD and cannot be zero");
+  NTC_REQUIRE_MSG(d2 != 0.0, "d2 is the spread and cannot be zero");
+  // Failure probability must *fall* with rising VDD: the erf argument's
+  // dVDD slope is 1/(d0*|d2|), so d0 must be negative.
+  NTC_REQUIRE_MSG(d0 < 0.0, "d0 must be negative for p to fall with VDD");
+}
+
+double RetentionErrorModel::p_bit_err(Volt vdd) const {
+  const double arg = (vdd.value / d0_ - d1_) / std::abs(d2_);
+  return 0.5 * (1.0 + std::erf(arg));
+}
+
+Volt RetentionErrorModel::vdd_for_p(double p) const {
+  NTC_REQUIRE(p > 0.0 && p < 1.0);
+  const double arg = erf_inv(2.0 * p - 1.0);
+  return Volt{(arg * std::abs(d2_) + d1_) * d0_};
+}
+
+RetentionErrorModel RetentionErrorModel::from_noise_margin(
+    const NoiseMarginModel& nm) {
+  // p(V) = Phi(-(c0 V + c1)/c2) = 0.5[1 + erf((V/d0 - d1)/|d2|)]
+  // with d0 = -1, d1 = c1/c0 * (c0/ (c2 sqrt2))... solved directly:
+  // erf arg must equal -(c0 V + c1)/(c2 sqrt 2).
+  //   V/d0 - d1 = -(c0/c2/sqrt2) * V - c1/(c2 sqrt2)  with |d2| = 1
+  // Keeping the paper's three-parameter shape, choose d0 = -1 V so the
+  // spread lives in d2: arg = (-V - d1)/|d2| = (Vhalf - V)/(s sqrt2)
+  //   => d1 = -Vhalf, |d2| = s*sqrt(2), with Vhalf = -c1/c0, s = c2/c0.
+  const double vhalf = nm.half_fail_voltage().value;
+  const double s = nm.dvdd_dsigma();
+  return RetentionErrorModel(-1.0, -vhalf, s * std::sqrt(2.0));
+}
+
+NoiseMarginModel RetentionErrorModel::to_noise_margin() const {
+  // Inverse of from_noise_margin with c0 = 1 (only Vhalf and the sigma
+  // scale are observable from BER data).
+  const double vhalf = -d1_ * (-d0_);
+  const double s = std::abs(d2_) * (-d0_) / std::sqrt(2.0);
+  return NoiseMarginModel(1.0, -vhalf, s);
+}
+
+RetentionErrorModel fit_retention_model(const std::vector<BerPoint>& data) {
+  // Probit transform: Phi^-1(p) = (Vhalf - V)/s is linear in V.
+  // Weighted by failure count (binomial variance of the probit estimate
+  // scales ~ 1/failures for small p).
+  std::vector<double> xs, ys, ws;
+  for (const auto& pt : data) {
+    if (pt.total == 0 || pt.failures == 0 || pt.failures == pt.total) continue;
+    xs.push_back(pt.vdd.value);
+    ys.push_back(normal_quantile(pt.p_hat()));
+    ws.push_back(static_cast<double>(pt.failures));
+  }
+  NTC_REQUIRE_MSG(xs.size() >= 2,
+                  "need at least two sweep points with partial failures");
+  // Weighted least squares on y = a + b x.
+  double sw = 0, swx = 0, swy = 0, swxx = 0, swxy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sw += ws[i];
+    swx += ws[i] * xs[i];
+    swy += ws[i] * ys[i];
+    swxx += ws[i] * xs[i] * xs[i];
+    swxy += ws[i] * xs[i] * ys[i];
+  }
+  const double denom = sw * swxx - swx * swx;
+  NTC_REQUIRE_MSG(std::abs(denom) > 1e-30, "degenerate sweep voltages");
+  const double b = (sw * swxy - swx * swy) / denom;  // = -1/s
+  const double a = (swy - b * swx) / sw;             // = Vhalf/s
+  NTC_REQUIRE_MSG(b < 0.0, "BER must fall with VDD");
+  const double s = -1.0 / b;
+  const double vhalf = a * s;
+  return RetentionErrorModel::from_noise_margin(NoiseMarginModel(1.0, -vhalf, s));
+}
+
+}  // namespace ntc::reliability

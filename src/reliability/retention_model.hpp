@@ -1,0 +1,63 @@
+// Retention bit-error-rate model, paper Eq. (4):
+//
+//   p_bit,err(VDD) = 0.5 * [1 + erf((VDD/d0 - d1) / sqrt(d2^2))]
+//
+// with d0..d2 fitted to measurement.  This is the closed form of the
+// Gaussian noise-margin population model; both directions of the
+// correspondence are provided so fitted constants can be sanity-checked
+// against the generating NoiseMarginModel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "reliability/noise_margin.hpp"
+
+namespace ntc::reliability {
+
+/// One point of a bit-error-rate sweep: `failures` failing bits out of
+/// `total` tested at supply `vdd`.
+struct BerPoint {
+  Volt vdd{0.0};
+  std::uint64_t failures = 0;
+  std::uint64_t total = 0;
+
+  double p_hat() const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(failures) / static_cast<double>(total);
+  }
+};
+
+class RetentionErrorModel {
+ public:
+  RetentionErrorModel(double d0, double d1, double d2);
+
+  double d0() const { return d0_; }
+  double d1() const { return d1_; }
+  double d2() const { return d2_; }
+
+  /// Bit error probability at the given supply (Eq. 4).
+  double p_bit_err(Volt vdd) const;
+
+  /// Supply at which the bit error probability equals `p`.
+  Volt vdd_for_p(double p) const;
+
+  /// Exact closed-form from the generating noise-margin model.
+  static RetentionErrorModel from_noise_margin(const NoiseMarginModel& nm);
+
+  /// Equivalent noise-margin view of this model (c0 normalised to 1).
+  NoiseMarginModel to_noise_margin() const;
+
+ private:
+  double d0_, d1_, d2_;
+};
+
+/// Fit Eq. (4) to measured BER data by probit regression: on the probit
+/// scale the model is exactly linear in VDD, so the fit is a weighted
+/// least-squares line — robust even when only a handful of sweep points
+/// have nonzero failure counts.  Points with zero failures or zero
+/// totals are skipped.
+RetentionErrorModel fit_retention_model(const std::vector<BerPoint>& data);
+
+}  // namespace ntc::reliability

@@ -1,0 +1,135 @@
+#include "reliability/test_chip.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/math.hpp"
+
+namespace ntc::reliability {
+
+namespace {
+
+/// Systematic across-die bow: weakest (highest V_min) at the array
+/// corners, strongest at the center — the radial pattern visible in the
+/// paper's Figure 3 maps.
+double spatial_bow(double amplitude, std::size_t x, std::size_t y,
+                   std::size_t w, std::size_t h) {
+  const double fx = (static_cast<double>(x) / static_cast<double>(w - 1)) - 0.5;
+  const double fy = (static_cast<double>(y) / static_cast<double>(h - 1)) - 0.5;
+  return amplitude * 2.0 * (fx * fx + fy * fy);  // 0 center, +amp/2 corners
+}
+
+}  // namespace
+
+VirtualTestChip::VirtualTestChip(TestChipConfig config)
+    : config_(std::move(config)) {
+  NTC_REQUIRE(config_.dies > 0);
+  NTC_REQUIRE(config_.rows > 1 && config_.cols > 1);
+  Rng master(config_.seed);
+  dies_.reserve(config_.dies);
+  for (std::size_t d = 0; d < config_.dies; ++d) {
+    Rng die_rng = master.fork(d);
+    Die die(config_.cols, config_.rows);
+    die.die_offset_v = die_rng.normal(0.0, config_.die_sigma_v);
+    for (std::size_t y = 0; y < config_.rows; ++y) {
+      for (std::size_t x = 0; x < config_.cols; ++x) {
+        const double bow = spatial_bow(config_.spatial_bow_v, x, y,
+                                       config_.cols, config_.rows);
+        // Retention: Gaussian noise-margin deviate per cell (Eq. 2).
+        const double sigma_cell = die_rng.normal();
+        const double ret_vmin =
+            config_.retention.cell_retention_vmin(sigma_cell).value +
+            die.die_offset_v + bow;
+        die.retention_vmin.set_vmin(x, y, Volt{std::max(ret_vmin, 0.0)});
+        // Access: power-law CCDF per cell (Eq. 5 as a V_min population).
+        const double u = die_rng.uniform();
+        const double acc_vmin = config_.access.cell_access_vmin(u).value +
+                                die.die_offset_v + bow;
+        die.access_vmin.set_vmin(x, y, Volt{std::max(acc_vmin, 0.0)});
+      }
+    }
+    dies_.push_back(std::move(die));
+  }
+}
+
+const Die& VirtualTestChip::die(std::size_t i) const {
+  NTC_REQUIRE(i < dies_.size());
+  return dies_[i];
+}
+
+std::uint64_t VirtualTestChip::bits_per_die() const {
+  return static_cast<std::uint64_t>(config_.rows) * config_.cols;
+}
+
+std::uint64_t VirtualTestChip::measure_retention_failures(std::size_t die_index,
+                                                          Volt vdd) const {
+  return die(die_index).retention_vmin.failing_cells_at(vdd);
+}
+
+std::uint64_t VirtualTestChip::measure_access_failures(std::size_t die_index,
+                                                       Volt vdd) const {
+  return die(die_index).access_vmin.failing_cells_at(vdd);
+}
+
+std::vector<BerPoint> VirtualTestChip::retention_sweep(
+    const std::vector<double>& voltages) const {
+  std::vector<BerPoint> out;
+  out.reserve(voltages.size());
+  for (double v : voltages) {
+    BerPoint pt;
+    pt.vdd = Volt{v};
+    pt.total = bits_per_die() * dies_.size();
+    for (std::size_t d = 0; d < dies_.size(); ++d)
+      pt.failures += measure_retention_failures(d, Volt{v});
+    out.push_back(pt);
+  }
+  return out;
+}
+
+std::vector<BerPoint> VirtualTestChip::access_sweep(
+    const std::vector<double>& voltages) const {
+  std::vector<BerPoint> out;
+  out.reserve(voltages.size());
+  for (double v : voltages) {
+    BerPoint pt;
+    pt.vdd = Volt{v};
+    pt.total = bits_per_die() * dies_.size();
+    for (std::size_t d = 0; d < dies_.size(); ++d)
+      pt.failures += measure_access_failures(d, Volt{v});
+    out.push_back(pt);
+  }
+  return out;
+}
+
+Characterization characterize(const VirtualTestChip& chip,
+                              std::size_t sweep_points) {
+  NTC_REQUIRE(sweep_points >= 8);
+  // Derive sweep windows from the silicon itself: start just above the
+  // weakest instance limit, end where a sizeable fraction of bits fail.
+  double ret_hi = 0.0, acc_hi = 0.0;
+  for (std::size_t d = 0; d < chip.die_count(); ++d) {
+    ret_hi = std::max(ret_hi, chip.die(d).retention_vmin.instance_vmin().value);
+    acc_hi = std::max(acc_hi, chip.die(d).access_vmin.instance_vmin().value);
+  }
+  // Retention knee: sweep from far below the median-fail point up past
+  // the weakest bit.
+  const double ret_lo =
+      chip.die(0).retention_vmin.vmin_quantile(0.25).value - 0.02;
+  const double acc_lo = chip.die(0).access_vmin.vmin_quantile(0.25).value - 0.02;
+
+  Characterization result{
+      RetentionErrorModel(-1.0, -0.3, 0.05),  // placeholders, overwritten
+      AccessErrorModel(1.0, 1.0, Volt{1.0}),
+      {},
+      {}};
+  result.retention_data =
+      chip.retention_sweep(linspace(std::max(ret_lo, 0.01), ret_hi + 0.02,
+                                    sweep_points));
+  result.access_data = chip.access_sweep(
+      linspace(std::max(acc_lo, 0.01), acc_hi + 0.02, sweep_points));
+  result.retention = fit_retention_model(result.retention_data);
+  result.access = fit_access_model(result.access_data);
+  return result;
+}
+
+}  // namespace ntc::reliability

@@ -1,0 +1,89 @@
+// Virtual 40 nm test chip (the substitution for the paper's silicon).
+//
+// The paper characterises two memory instances — one commercial 6T
+// macro and one standard-cell-based array — across 9 dies, measuring
+// per-cell minimum retention voltage and quasi-static read/write access
+// failures.  That measurement data is proprietary, so this module
+// generates synthetic silicon from the paper's own published model
+// forms: per-cell noise margins are drawn from the Gaussian model of
+// Eq. (2) with die-to-die offsets and a systematic across-die bow, and
+// per-cell access limits from the power-law CCDF of Eq. (5).  All
+// measurement procedures then operate on the synthetic dies exactly as
+// the silicon flow would, and the characterisation fit recovers the
+// generating constants (validated in tests and in bench/fig4/fig5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "reliability/access_model.hpp"
+#include "reliability/fault_map.hpp"
+#include "reliability/noise_margin.hpp"
+#include "reliability/retention_model.hpp"
+
+namespace ntc::reliability {
+
+struct TestChipConfig {
+  std::size_t rows = 128;   ///< bit-cell rows per instance
+  std::size_t cols = 256;   ///< bit-cell columns per instance (128x256 = 32 kb)
+  std::size_t dies = 9;     ///< dies measured (the paper tested 9)
+  NoiseMarginModel retention = commercial_40nm_retention();
+  AccessErrorModel access = commercial_40nm_access();
+  double die_sigma_v = 0.008;        ///< die-to-die V_min offset sigma [V]
+  double spatial_bow_v = 0.012;      ///< systematic center-to-edge bow [V]
+  std::uint64_t seed = 0x5eedu;
+};
+
+/// One fabricated die: per-cell retention and access V_min maps.
+struct Die {
+  FaultMap retention_vmin;
+  FaultMap access_vmin;
+  double die_offset_v = 0.0;  ///< this die's global V_min shift
+
+  Die(std::size_t w, std::size_t h) : retention_vmin(w, h), access_vmin(w, h) {}
+};
+
+class VirtualTestChip {
+ public:
+  explicit VirtualTestChip(TestChipConfig config);
+
+  const TestChipConfig& config() const { return config_; }
+  std::size_t die_count() const { return dies_.size(); }
+  const Die& die(std::size_t i) const;
+
+  /// Bits per instance.
+  std::uint64_t bits_per_die() const;
+
+  /// Failing bits of one die when *retaining* at the given supply.
+  std::uint64_t measure_retention_failures(std::size_t die_index, Volt vdd) const;
+
+  /// Failing bits of one die under quasi-static read/write at `vdd`.
+  std::uint64_t measure_access_failures(std::size_t die_index, Volt vdd) const;
+
+  /// Cumulative retention BER sweep across all dies (paper Figure 4).
+  std::vector<BerPoint> retention_sweep(const std::vector<double>& voltages) const;
+
+  /// Cumulative access BER sweep across all dies (paper Figure 5).
+  std::vector<BerPoint> access_sweep(const std::vector<double>& voltages) const;
+
+ private:
+  TestChipConfig config_;
+  std::vector<Die> dies_;
+};
+
+/// Full characterisation flow: sweep, then fit Eq. (4) and Eq. (5).
+struct Characterization {
+  RetentionErrorModel retention;
+  AccessErrorModel access;
+  std::vector<BerPoint> retention_data;
+  std::vector<BerPoint> access_data;
+};
+
+/// Runs the measurement flow of Section IV on a virtual chip.  Sweep
+/// ranges are derived from the chip's own instance limits so the flow
+/// needs no prior knowledge of the generating constants.
+Characterization characterize(const VirtualTestChip& chip,
+                              std::size_t sweep_points = 40);
+
+}  // namespace ntc::reliability

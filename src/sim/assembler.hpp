@@ -1,0 +1,30 @@
+// Two-pass assembler for the RV32I-subset core.
+//
+// Lets the tests, examples and workloads express programs as readable
+// assembly instead of hand-packed machine words.  Supports labels,
+// `.word` data, ABI register names, comments (# or //) and the common
+// pseudo-instructions (li, mv, j, nop, ret, beqz, bnez, halt).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ntc::sim {
+
+struct AssemblyResult {
+  bool ok = false;
+  std::string error;               ///< first error, with line number
+  std::vector<std::uint32_t> words;
+  std::map<std::string, std::uint32_t> symbols;  ///< label -> byte address
+};
+
+/// Assemble `source` with the first instruction at byte address
+/// `origin` (labels and branches are resolved relative to it).
+AssemblyResult assemble(const std::string& source, std::uint32_t origin = 0);
+
+/// Parse a register name ("x7", "a0", "sp", ...); returns -1 if invalid.
+int parse_register(const std::string& token);
+
+}  // namespace ntc::sim

@@ -1,0 +1,68 @@
+#include "sim/bus.hpp"
+
+#include "common/assert.hpp"
+
+namespace ntc::sim {
+
+Bus::Bus(std::uint32_t wait_states) : wait_states_(wait_states) {}
+
+void Bus::map(std::string name, std::uint32_t base_word, MemoryPort* port) {
+  NTC_REQUIRE(port != nullptr);
+  const std::uint64_t new_lo = base_word;
+  const std::uint64_t new_hi = new_lo + port->word_count();
+  NTC_REQUIRE(new_hi <= (std::uint64_t{1} << 32));
+  for (const auto& region : regions_) {
+    const std::uint64_t lo = region.base_word;
+    const std::uint64_t hi = lo + region.port->word_count();
+    NTC_REQUIRE_MSG(new_hi <= lo || new_lo >= hi, "bus regions overlap");
+  }
+  regions_.push_back(BusRegion{std::move(name), base_word, port, 0, 0});
+}
+
+BusRegion* Bus::find(std::uint32_t word_index) {
+  for (auto& region : regions_) {
+    const std::uint64_t lo = region.base_word;
+    const std::uint64_t hi = lo + region.port->word_count();
+    if (word_index >= lo && word_index < hi) return &region;
+  }
+  return nullptr;
+}
+
+bool Bus::decodes(std::uint32_t word_index) const {
+  return const_cast<Bus*>(this)->find(word_index) != nullptr;
+}
+
+AccessStatus Bus::read_word(std::uint32_t word_index, std::uint32_t& data) {
+  BusRegion* region = find(word_index);
+  cycles_ += 1 + wait_states_;
+  if (region == nullptr) {
+    // Decode miss: an AHB error response (errant software at deep NTV
+    // can compute wild addresses; the master sees a bus fault).
+    ++decode_errors_;
+    data = 0;
+    return AccessStatus::DetectedUncorrectable;
+  }
+  ++region->reads;
+  return region->port->read_word(word_index - region->base_word, data);
+}
+
+AccessStatus Bus::write_word(std::uint32_t word_index, std::uint32_t data) {
+  BusRegion* region = find(word_index);
+  cycles_ += 1 + wait_states_;
+  if (region == nullptr) {
+    ++decode_errors_;
+    return AccessStatus::DetectedUncorrectable;
+  }
+  ++region->writes;
+  return region->port->write_word(word_index - region->base_word, data);
+}
+
+std::uint32_t Bus::word_count() const {
+  std::uint64_t hi = 0;
+  for (const auto& region : regions_)
+    hi = std::max(hi, static_cast<std::uint64_t>(region.base_word) +
+                          region.port->word_count());
+  return static_cast<std::uint32_t>(hi);
+}
+
+}  // namespace ntc::sim

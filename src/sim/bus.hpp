@@ -1,0 +1,58 @@
+// AMBA-AHB-class single-master bus with a flat address map.
+//
+// The Figure 6 platform hangs the instruction memory, scratchpad and
+// (for OCEAN) the protected memory off one bus; the model adds the
+// per-transfer wait states of a simple AHB fabric and counts traffic
+// per slave for the energy accounting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/memory_port.hpp"
+
+namespace ntc::sim {
+
+struct BusRegion {
+  std::string name;
+  std::uint32_t base_word = 0;  ///< first word index of the region
+  MemoryPort* port = nullptr;   ///< not owned
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+};
+
+class Bus final : public MemoryPort {
+ public:
+  /// `wait_states`: extra cycles charged per transfer (AHB setup).
+  explicit Bus(std::uint32_t wait_states = 0);
+
+  /// Map `port` at [base_word, base_word + port->word_count()).
+  /// Regions must not overlap; mapping order is irrelevant.
+  void map(std::string name, std::uint32_t base_word, MemoryPort* port);
+
+  AccessStatus read_word(std::uint32_t word_index, std::uint32_t& data) override;
+  AccessStatus write_word(std::uint32_t word_index, std::uint32_t data) override;
+  std::uint32_t word_count() const override;
+
+  /// Total bus cycles consumed by traffic so far.
+  std::uint64_t cycles_consumed() const { return cycles_; }
+  const std::vector<BusRegion>& regions() const { return regions_; }
+
+  /// Accesses that decoded to no slave (answered with an AHB-style
+  /// error response, surfaced as DetectedUncorrectable to the master).
+  std::uint64_t decode_errors() const { return decode_errors_; }
+
+  /// True if `word_index` decodes to a mapped region.
+  bool decodes(std::uint32_t word_index) const;
+
+ private:
+  BusRegion* find(std::uint32_t word_index);
+
+  std::uint32_t wait_states_;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t decode_errors_ = 0;
+  std::vector<BusRegion> regions_;
+};
+
+}  // namespace ntc::sim

@@ -1,0 +1,257 @@
+#include "sim/cpu.hpp"
+
+#include "common/assert.hpp"
+
+namespace ntc::sim {
+
+namespace {
+inline std::int32_t sign_extend_bits(std::uint32_t value, unsigned bits) {
+  const std::uint32_t m = 1u << (bits - 1);
+  return static_cast<std::int32_t>((value ^ m) - m);
+}
+}  // namespace
+
+Cpu::Cpu(MemoryPort& memory) : memory_(memory) {}
+
+void Cpu::reset(std::uint32_t pc) {
+  regs_.fill(0);
+  pc_ = pc;
+  halt_ = CpuHaltReason::Running;
+  stats_ = CpuStats{};
+}
+
+std::uint32_t Cpu::reg(std::size_t index) const {
+  NTC_REQUIRE(index < 32);
+  return regs_[index];
+}
+
+void Cpu::set_reg(std::size_t index, std::uint32_t value) {
+  NTC_REQUIRE(index < 32);
+  if (index != 0) regs_[index] = value;
+}
+
+std::uint32_t Cpu::load(std::uint32_t addr, unsigned bytes, bool sign, bool& fault) {
+  std::uint32_t word = 0;
+  const AccessStatus status = memory_.read_word(addr >> 2, word);
+  if (status == AccessStatus::DetectedUncorrectable) {
+    fault = true;
+    return 0;
+  }
+  if (status == AccessStatus::CorrectedError) ++stats_.corrected_accesses;
+  const unsigned offset = (addr & 3u) * 8;
+  std::uint32_t value;
+  switch (bytes) {
+    case 1: value = (word >> offset) & 0xFFu; break;
+    case 2: value = (word >> offset) & 0xFFFFu; break;
+    default: value = word; break;
+  }
+  if (sign && bytes < 4)
+    value = static_cast<std::uint32_t>(sign_extend_bits(value, bytes * 8));
+  return value;
+}
+
+void Cpu::store(std::uint32_t addr, std::uint32_t value, unsigned bytes,
+                bool& fault) {
+  if (bytes == 4) {
+    if (memory_.write_word(addr >> 2, value) ==
+        AccessStatus::DetectedUncorrectable)
+      fault = true;
+    return;
+  }
+  // Sub-word store: read-modify-write the containing word.
+  std::uint32_t word = 0;
+  const AccessStatus status = memory_.read_word(addr >> 2, word);
+  if (status == AccessStatus::DetectedUncorrectable) {
+    fault = true;
+    return;
+  }
+  if (status == AccessStatus::CorrectedError) ++stats_.corrected_accesses;
+  const unsigned offset = (addr & 3u) * 8;
+  const std::uint32_t mask = (bytes == 1 ? 0xFFu : 0xFFFFu) << offset;
+  word = (word & ~mask) | ((value << offset) & mask);
+  if (memory_.write_word(addr >> 2, word) == AccessStatus::DetectedUncorrectable)
+    fault = true;
+}
+
+bool Cpu::step() {
+  if (halt_ != CpuHaltReason::Running) return false;
+
+  std::uint32_t inst = 0;
+  const AccessStatus fstat = memory_.read_word(pc_ >> 2, inst);
+  ++stats_.fetches;
+  if (fstat == AccessStatus::DetectedUncorrectable) {
+    halt_ = CpuHaltReason::MemoryFault;
+    return false;
+  }
+  if (fstat == AccessStatus::CorrectedError) ++stats_.corrected_accesses;
+
+  const std::uint32_t opcode = inst & 0x7Fu;
+  const std::uint32_t rd = (inst >> 7) & 0x1Fu;
+  const std::uint32_t funct3 = (inst >> 12) & 0x7u;
+  const std::uint32_t rs1 = (inst >> 15) & 0x1Fu;
+  const std::uint32_t rs2 = (inst >> 20) & 0x1Fu;
+  const std::uint32_t funct7 = inst >> 25;
+  const std::uint32_t a = regs_[rs1];
+  const std::uint32_t b = regs_[rs2];
+
+  std::uint32_t next_pc = pc_ + 4;
+  std::uint64_t cost = 1;
+  bool fault = false;
+
+  switch (opcode) {
+    case 0x37:  // LUI
+      set_reg(rd, inst & 0xFFFFF000u);
+      break;
+    case 0x17:  // AUIPC
+      set_reg(rd, pc_ + (inst & 0xFFFFF000u));
+      break;
+    case 0x6F: {  // JAL
+      std::uint32_t imm = ((inst >> 31) << 20) | (((inst >> 12) & 0xFFu) << 12) |
+                          (((inst >> 20) & 1u) << 11) | (((inst >> 21) & 0x3FFu) << 1);
+      set_reg(rd, pc_ + 4);
+      next_pc = pc_ + static_cast<std::uint32_t>(sign_extend_bits(imm, 21));
+      cost = 2;
+      ++stats_.taken_branches;
+      break;
+    }
+    case 0x67: {  // JALR
+      const std::int32_t imm = sign_extend_bits(inst >> 20, 12);
+      const std::uint32_t target = (a + static_cast<std::uint32_t>(imm)) & ~1u;
+      set_reg(rd, pc_ + 4);
+      next_pc = target;
+      cost = 2;
+      ++stats_.taken_branches;
+      break;
+    }
+    case 0x63: {  // branches
+      std::uint32_t imm = ((inst >> 31) << 12) | (((inst >> 7) & 1u) << 11) |
+                          (((inst >> 25) & 0x3Fu) << 5) | (((inst >> 8) & 0xFu) << 1);
+      const std::int32_t offset = sign_extend_bits(imm, 13);
+      bool taken = false;
+      switch (funct3) {
+        case 0: taken = (a == b); break;
+        case 1: taken = (a != b); break;
+        case 4: taken = (static_cast<std::int32_t>(a) < static_cast<std::int32_t>(b)); break;
+        case 5: taken = (static_cast<std::int32_t>(a) >= static_cast<std::int32_t>(b)); break;
+        case 6: taken = (a < b); break;
+        case 7: taken = (a >= b); break;
+        default: halt_ = CpuHaltReason::IllegalOpcode; return false;
+      }
+      if (taken) {
+        next_pc = pc_ + static_cast<std::uint32_t>(offset);
+        cost = 2;
+        ++stats_.taken_branches;
+      }
+      break;
+    }
+    case 0x03: {  // loads
+      const std::int32_t imm = sign_extend_bits(inst >> 20, 12);
+      const std::uint32_t addr = a + static_cast<std::uint32_t>(imm);
+      ++stats_.loads;
+      cost = 2;
+      switch (funct3) {
+        case 0: set_reg(rd, load(addr, 1, true, fault)); break;
+        case 1: set_reg(rd, load(addr, 2, true, fault)); break;
+        case 2: set_reg(rd, load(addr, 4, false, fault)); break;
+        case 4: set_reg(rd, load(addr, 1, false, fault)); break;
+        case 5: set_reg(rd, load(addr, 2, false, fault)); break;
+        default: halt_ = CpuHaltReason::IllegalOpcode; return false;
+      }
+      break;
+    }
+    case 0x23: {  // stores
+      std::uint32_t imm = ((inst >> 25) << 5) | ((inst >> 7) & 0x1Fu);
+      const std::uint32_t addr = a + static_cast<std::uint32_t>(sign_extend_bits(imm, 12));
+      ++stats_.stores;
+      cost = 2;
+      switch (funct3) {
+        case 0: store(addr, b, 1, fault); break;
+        case 1: store(addr, b, 2, fault); break;
+        case 2: store(addr, b, 4, fault); break;
+        default: halt_ = CpuHaltReason::IllegalOpcode; return false;
+      }
+      break;
+    }
+    case 0x13: {  // ALU immediate
+      const std::int32_t imm = sign_extend_bits(inst >> 20, 12);
+      const std::uint32_t ui = static_cast<std::uint32_t>(imm);
+      const std::uint32_t shamt = rs2;
+      switch (funct3) {
+        case 0: set_reg(rd, a + ui); break;
+        case 2: set_reg(rd, static_cast<std::int32_t>(a) < imm ? 1 : 0); break;
+        case 3: set_reg(rd, a < ui ? 1 : 0); break;
+        case 4: set_reg(rd, a ^ ui); break;
+        case 6: set_reg(rd, a | ui); break;
+        case 7: set_reg(rd, a & ui); break;
+        case 1: set_reg(rd, a << shamt); break;
+        case 5:
+          if (funct7 & 0x20u)
+            set_reg(rd, static_cast<std::uint32_t>(static_cast<std::int32_t>(a) >> shamt));
+          else
+            set_reg(rd, a >> shamt);
+          break;
+        default: halt_ = CpuHaltReason::IllegalOpcode; return false;
+      }
+      break;
+    }
+    case 0x33: {  // ALU register
+      if (funct7 == 0x01u) {  // M extension: MUL only
+        if (funct3 == 0) {
+          set_reg(rd, a * b);
+          cost = 3;
+        } else {
+          halt_ = CpuHaltReason::IllegalOpcode;
+          return false;
+        }
+        break;
+      }
+      switch (funct3) {
+        case 0: set_reg(rd, (funct7 & 0x20u) ? a - b : a + b); break;
+        case 1: set_reg(rd, a << (b & 31u)); break;
+        case 2: set_reg(rd, static_cast<std::int32_t>(a) < static_cast<std::int32_t>(b) ? 1 : 0); break;
+        case 3: set_reg(rd, a < b ? 1 : 0); break;
+        case 4: set_reg(rd, a ^ b); break;
+        case 5:
+          if (funct7 & 0x20u)
+            set_reg(rd, static_cast<std::uint32_t>(static_cast<std::int32_t>(a) >> (b & 31u)));
+          else
+            set_reg(rd, a >> (b & 31u));
+          break;
+        case 6: set_reg(rd, a | b); break;
+        case 7: set_reg(rd, a & b); break;
+        default: halt_ = CpuHaltReason::IllegalOpcode; return false;
+      }
+      break;
+    }
+    case 0x73:  // ECALL / EBREAK -> clean halt
+      halt_ = CpuHaltReason::Ecall;
+      ++stats_.instructions;
+      ++stats_.cycles;
+      return false;
+    default:
+      halt_ = CpuHaltReason::IllegalOpcode;
+      return false;
+  }
+
+  if (fault) {
+    halt_ = CpuHaltReason::MemoryFault;
+    return false;
+  }
+  pc_ = next_pc;
+  ++stats_.instructions;
+  stats_.cycles += cost;
+  return true;
+}
+
+CpuHaltReason Cpu::run(std::uint64_t max_cycles) {
+  while (halt_ == CpuHaltReason::Running) {
+    if (stats_.cycles >= max_cycles) {
+      halt_ = CpuHaltReason::CycleLimit;
+      break;
+    }
+    step();
+  }
+  return halt_;
+}
+
+}  // namespace ntc::sim

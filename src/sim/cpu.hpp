@@ -1,0 +1,70 @@
+// 32-bit in-order RISC core (RV32I subset + MUL).
+//
+// Stand-in for the ARM9 of the paper's platform (Figure 6): the
+// experiments need a realistic instruction/data access stream and cycle
+// counts, not ARM ISA fidelity — see DESIGN.md.  The core fetches from
+// whatever the bus maps at its reset PC and issues data accesses
+// through the same port, so every fetch and load/store traverses the
+// fault-injecting memory models.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "sim/memory_port.hpp"
+
+namespace ntc::sim {
+
+enum class CpuHaltReason {
+  Running,
+  Ecall,            ///< clean program exit
+  MemoryFault,      ///< uncorrectable memory error signalled on the bus
+  IllegalOpcode,
+  CycleLimit,
+};
+
+struct CpuStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t fetches = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t taken_branches = 0;
+  std::uint64_t corrected_accesses = 0;  ///< ECC fix-ups seen by the core
+};
+
+class Cpu {
+ public:
+  /// The core fetches and loads/stores through `memory` (byte
+  /// addressing; the port is word-based, sub-word ops read-modify-write).
+  explicit Cpu(MemoryPort& memory);
+
+  void reset(std::uint32_t pc);
+
+  /// Execute one instruction; returns false once halted.
+  bool step();
+
+  /// Run until ecall/fault or the cycle limit.
+  CpuHaltReason run(std::uint64_t max_cycles = 10'000'000);
+
+  std::uint32_t reg(std::size_t index) const;
+  void set_reg(std::size_t index, std::uint32_t value);
+  std::uint32_t pc() const { return pc_; }
+  CpuHaltReason halt_reason() const { return halt_; }
+  const CpuStats& stats() const { return stats_; }
+
+ private:
+  std::uint32_t load(std::uint32_t addr, unsigned bytes, bool sign_extend,
+                     bool& fault);
+  void store(std::uint32_t addr, std::uint32_t value, unsigned bytes,
+             bool& fault);
+
+  MemoryPort& memory_;
+  std::array<std::uint32_t, 32> regs_{};
+  std::uint32_t pc_ = 0;
+  CpuHaltReason halt_ = CpuHaltReason::Running;
+  CpuStats stats_;
+};
+
+}  // namespace ntc::sim

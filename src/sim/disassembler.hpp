@@ -1,0 +1,25 @@
+// RV32I(+MUL) disassembler — the inverse of the assembler, for
+// debugging traces and for round-trip property testing of the
+// instruction encoders.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ntc::sim {
+
+/// Disassemble one instruction word into assembler-compatible syntax
+/// ("addi x1, x0, 5").  Branch/jump targets are rendered as pc-relative
+/// byte offsets ("beq x1, x2, 8").  Unknown encodings render as
+/// ".word 0x........".
+std::string disassemble(std::uint32_t instruction);
+
+/// Whether the word decodes to an instruction the core executes.
+bool is_decodable(std::uint32_t instruction);
+
+/// Disassemble a program image, one line per word, with addresses.
+std::vector<std::string> disassemble_program(
+    const std::vector<std::uint32_t>& words, std::uint32_t base_address = 0);
+
+}  // namespace ntc::sim

@@ -1,0 +1,120 @@
+#include "sim/drowsy_memory.hpp"
+
+#include "common/assert.hpp"
+#include "ecc/hamming.hpp"
+
+namespace ntc::sim {
+
+DrowsyMemory::DrowsyMemory(DrowsyConfig config)
+    : config_(config),
+      bank_calc_(config.style,
+                 energy::MemoryGeometry{config.words_per_bank, 32}) {
+  NTC_REQUIRE(config_.banks >= 1);
+  NTC_REQUIRE(config_.words_per_bank >= 1);
+  NTC_REQUIRE(config_.drowsy_vdd.value > 0.0);
+  NTC_REQUIRE(config_.drowsy_vdd.value <= config_.active_vdd.value);
+
+  std::shared_ptr<const ecc::BlockCode> code =
+      config_.protect_with_secded ? std::make_shared<ecc::HammingSecded>(32)
+                                  : nullptr;
+  const std::uint32_t stored = code ? 39u : 32u;
+  for (std::uint32_t b = 0; b < config_.banks; ++b) {
+    auto array = std::make_unique<SramModule>(
+        "bank" + std::to_string(b), config_.words_per_bank, stored,
+        bank_calc_.access_model(), bank_calc_.retention_model(),
+        config_.active_vdd, Rng(config_.seed).fork(b), config_.inject_faults);
+    banks_.push_back(std::make_unique<EccMemory>(std::move(array), code));
+    modes_.push_back(BankMode::Active);
+  }
+}
+
+std::uint32_t DrowsyMemory::word_count() const {
+  return config_.banks * config_.words_per_bank;
+}
+
+std::uint32_t DrowsyMemory::bank_of(std::uint32_t word_index) const {
+  NTC_REQUIRE(word_index < word_count());
+  return word_index / config_.words_per_bank;
+}
+
+BankMode DrowsyMemory::bank_mode(std::uint32_t bank) const {
+  NTC_REQUIRE(bank < config_.banks);
+  return modes_[bank];
+}
+
+EccMemory& DrowsyMemory::bank(std::uint32_t index) {
+  NTC_REQUIRE(index < config_.banks);
+  return *banks_[index];
+}
+
+void DrowsyMemory::set_bank_mode(std::uint32_t bank, BankMode mode) {
+  NTC_REQUIRE(bank < config_.banks);
+  if (modes_[bank] == mode) return;
+  switch (mode) {
+    case BankMode::Active:
+      banks_[bank]->array().set_vdd(config_.active_vdd);
+      break;
+    case BankMode::Drowsy:
+      banks_[bank]->array().set_vdd(config_.drowsy_vdd);
+      break;
+    case BankMode::Off:
+      // Power collapse destroys the content; model as dropping to a
+      // rail far below any retention limit.
+      banks_[bank]->array().set_vdd(Volt{0.01});
+      break;
+  }
+  modes_[bank] = mode;
+}
+
+void DrowsyMemory::sleep_all_except(std::uint32_t keep_active) {
+  NTC_REQUIRE(keep_active < config_.banks);
+  for (std::uint32_t b = 0; b < config_.banks; ++b)
+    set_bank_mode(b, b == keep_active ? BankMode::Active : BankMode::Drowsy);
+}
+
+void DrowsyMemory::wake(std::uint32_t bank) {
+  if (modes_[bank] == BankMode::Active) return;
+  set_bank_mode(bank, BankMode::Active);
+  ++stats_.wakeups;
+  stats_.wake_cycles_spent += config_.wake_cycles;
+}
+
+AccessStatus DrowsyMemory::read_word(std::uint32_t word_index,
+                                     std::uint32_t& data) {
+  const std::uint32_t b = bank_of(word_index);
+  wake(b);
+  ++stats_.accesses;
+  return banks_[b]->read_word(word_index % config_.words_per_bank, data);
+}
+
+AccessStatus DrowsyMemory::write_word(std::uint32_t word_index,
+                                      std::uint32_t data) {
+  const std::uint32_t b = bank_of(word_index);
+  wake(b);
+  ++stats_.accesses;
+  return banks_[b]->write_word(word_index % config_.words_per_bank, data);
+}
+
+Watt DrowsyMemory::leakage_power() const {
+  Watt total{0.0};
+  for (std::uint32_t b = 0; b < config_.banks; ++b) {
+    switch (modes_[b]) {
+      case BankMode::Active:
+        total += bank_calc_.at(config_.active_vdd).leakage;
+        break;
+      case BankMode::Drowsy:
+        total += bank_calc_.at(config_.drowsy_vdd).leakage;
+        break;
+      case BankMode::Off:
+        break;  // power-collapsed banks leak (approximately) nothing
+    }
+  }
+  return total;
+}
+
+Watt DrowsyMemory::all_active_leakage() const {
+  return bank_calc_.at(config_.active_vdd).leakage *
+         static_cast<double>(config_.banks);
+}
+
+}  // namespace ntc::sim

@@ -1,0 +1,87 @@
+// Banked memory with per-bank standby modes (paper Sections II/III).
+//
+// "Applications benefitting from NTC typically have significant standby
+// times.  Whereas digital logic can largely be powered off, memories
+// have to retain their content."  The classic answer is drowsy
+// operation: idle banks drop to a retention-only supply (near or below
+// threshold, [6][9]) and wake to the active rail on access — Section
+// III's hierarchical subdivision makes the bank the natural granule.
+//
+// Each bank is a full EccMemory (array + optional SECDED), so retention
+// failures in too-drowsy banks surface exactly like any other bit
+// error.  Accesses to a non-active bank auto-wake it, charging a
+// wake-up latency; the power report integrates per-bank leakage at each
+// bank's actual rail.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "energy/memory_calculator.hpp"
+#include "mitigation/scheme.hpp"
+#include "sim/ecc_memory.hpp"
+
+namespace ntc::sim {
+
+enum class BankMode { Active, Drowsy, Off };
+
+struct DrowsyConfig {
+  energy::MemoryStyle style = energy::MemoryStyle::CellBasedImec40;
+  std::uint32_t banks = 8;
+  std::uint32_t words_per_bank = 1024;
+  Volt active_vdd{0.44};
+  Volt drowsy_vdd{0.32};  ///< retention-only rail for idle banks
+  std::uint32_t wake_cycles = 2;  ///< rail-switch latency per wake-up
+  bool protect_with_secded = true;
+  std::uint64_t seed = 1;
+  bool inject_faults = true;
+};
+
+struct DrowsyStats {
+  std::uint64_t wakeups = 0;
+  std::uint64_t wake_cycles_spent = 0;
+  std::uint64_t accesses = 0;
+};
+
+class DrowsyMemory final : public MemoryPort {
+ public:
+  explicit DrowsyMemory(DrowsyConfig config);
+
+  AccessStatus read_word(std::uint32_t word_index, std::uint32_t& data) override;
+  AccessStatus write_word(std::uint32_t word_index, std::uint32_t data) override;
+  std::uint32_t word_count() const override;
+
+  std::uint32_t banks() const { return config_.banks; }
+  BankMode bank_mode(std::uint32_t bank) const;
+
+  /// Put a bank into a mode.  Active -> Drowsy drops its rail to the
+  /// drowsy supply (weak cells lose their data per the retention
+  /// model); Drowsy/Off -> Active restores the rail.  Off clears the
+  /// bank entirely (power collapsed).
+  void set_bank_mode(std::uint32_t bank, BankMode mode);
+
+  /// Drop every bank except `keep_active` to drowsy.
+  void sleep_all_except(std::uint32_t keep_active);
+
+  /// Leakage power with the current mode mix (off banks leak nothing).
+  Watt leakage_power() const;
+
+  /// Leakage if every bank were held at the active rail (baseline for
+  /// the standby-savings experiments).
+  Watt all_active_leakage() const;
+
+  const DrowsyStats& stats() const { return stats_; }
+  EccMemory& bank(std::uint32_t index);
+
+ private:
+  std::uint32_t bank_of(std::uint32_t word_index) const;
+  void wake(std::uint32_t bank);
+
+  DrowsyConfig config_;
+  energy::MemoryCalculator bank_calc_;
+  std::vector<std::unique_ptr<EccMemory>> banks_;
+  std::vector<BankMode> modes_;
+  DrowsyStats stats_;
+};
+
+}  // namespace ntc::sim

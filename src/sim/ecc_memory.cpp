@@ -1,0 +1,79 @@
+#include "sim/ecc_memory.hpp"
+
+#include "common/assert.hpp"
+
+namespace ntc::sim {
+
+std::uint64_t pack_codeword(const ecc::Bits& code, std::size_t bits) {
+  NTC_REQUIRE(bits <= 64);
+  std::uint64_t out = 0;
+  for (std::size_t i = 0; i < bits; ++i)
+    out |= static_cast<std::uint64_t>(code.get(i)) << i;
+  return out;
+}
+
+ecc::Bits unpack_codeword(std::uint64_t raw, std::size_t bits) {
+  NTC_REQUIRE(bits <= 64);
+  ecc::Bits out;
+  for (std::size_t i = 0; i < bits; ++i) out.set(i, (raw >> i) & 1u);
+  return out;
+}
+
+EccMemory::EccMemory(std::unique_ptr<SramModule> array,
+                     std::shared_ptr<const ecc::BlockCode> code)
+    : array_(std::move(array)), code_(std::move(code)) {
+  NTC_REQUIRE(array_ != nullptr);
+  if (code_) {
+    NTC_REQUIRE(code_->data_bits() == 32);
+    NTC_REQUIRE_MSG(array_->stored_bits() == code_->code_bits(),
+                    "array word width must match the codeword width");
+  } else {
+    NTC_REQUIRE(array_->stored_bits() == 32);
+  }
+}
+
+AccessStatus EccMemory::read_word(std::uint32_t word_index, std::uint32_t& data) {
+  const std::uint64_t raw = array_->read_raw(word_index);
+  if (!code_) {
+    data = static_cast<std::uint32_t>(raw);
+    return AccessStatus::Ok;
+  }
+  const ecc::DecodeResult result =
+      code_->decode(unpack_codeword(raw, code_->code_bits()));
+  data = static_cast<std::uint32_t>(result.data);
+  switch (result.status) {
+    case ecc::DecodeStatus::Ok:
+      return AccessStatus::Ok;
+    case ecc::DecodeStatus::Corrected:
+      ++stats_.corrected_words;
+      stats_.corrected_bits += static_cast<std::uint64_t>(result.corrected_bits);
+      return AccessStatus::CorrectedError;
+    case ecc::DecodeStatus::DetectedUncorrectable:
+      ++stats_.uncorrectable_words;
+      return AccessStatus::DetectedUncorrectable;
+  }
+  return AccessStatus::Ok;
+}
+
+AccessStatus EccMemory::write_word(std::uint32_t word_index, std::uint32_t data) {
+  if (!code_) {
+    array_->write_raw(word_index, data);
+    return AccessStatus::Ok;
+  }
+  array_->write_raw(word_index, pack_codeword(code_->encode(data), code_->code_bits()));
+  return AccessStatus::Ok;
+}
+
+std::uint64_t EccMemory::scrub() {
+  ++stats_.scrub_passes;
+  std::uint64_t uncorrectable = 0;
+  for (std::uint32_t w = 0; w < array_->words(); ++w) {
+    std::uint32_t data = 0;
+    const AccessStatus status = read_word(w, data);
+    if (status == AccessStatus::DetectedUncorrectable) ++uncorrectable;
+    write_word(w, data);
+  }
+  return uncorrectable;
+}
+
+}  // namespace ntc::sim

@@ -1,0 +1,58 @@
+// Block-code wrapper around an SRAM array: the "digital wrapper around
+// existing commercially available memories" of the paper's abstract.
+//
+// Writes encode the 32-bit data word into the code's codeword; reads
+// decode and transparently correct.  Correction/detection counters are
+// exposed for the monitor, and a scrub() pass rewrites every word
+// through the codec so accumulated soft/stuck errors cannot pile up
+// beyond the code's correction capability.
+#pragma once
+
+#include <memory>
+
+#include "ecc/code.hpp"
+#include "sim/memory_port.hpp"
+#include "sim/sram_module.hpp"
+
+namespace ntc::sim {
+
+struct EccMemoryStats {
+  std::uint64_t corrected_words = 0;
+  std::uint64_t corrected_bits = 0;
+  std::uint64_t uncorrectable_words = 0;
+  std::uint64_t scrub_passes = 0;
+};
+
+class EccMemory final : public MemoryPort {
+ public:
+  /// `code` may be null for an unprotected (no-mitigation) memory; the
+  /// array must then store exactly 32 bits per word.
+  EccMemory(std::unique_ptr<SramModule> array,
+            std::shared_ptr<const ecc::BlockCode> code);
+
+  AccessStatus read_word(std::uint32_t word_index, std::uint32_t& data) override;
+  AccessStatus write_word(std::uint32_t word_index, std::uint32_t data) override;
+  std::uint32_t word_count() const override { return array_->words(); }
+
+  /// Rewrite every word through the codec (corrects what is
+  /// correctable).  Returns the number of uncorrectable words met.
+  std::uint64_t scrub();
+
+  SramModule& array() { return *array_; }
+  const SramModule& array() const { return *array_; }
+  const ecc::BlockCode* code() const { return code_.get(); }
+  const EccMemoryStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = EccMemoryStats{}; }
+
+ private:
+  std::unique_ptr<SramModule> array_;
+  std::shared_ptr<const ecc::BlockCode> code_;
+  EccMemoryStats stats_;
+};
+
+/// Pack the low `bits` of a Bits codeword into a uint64 (and back) for
+/// storage in the SRAM array.
+std::uint64_t pack_codeword(const ecc::Bits& code, std::size_t bits);
+ecc::Bits unpack_codeword(std::uint64_t raw, std::size_t bits);
+
+}  // namespace ntc::sim

@@ -1,0 +1,30 @@
+// Word-addressed memory port: the interface between execution engines
+// (the RISC core, the execution-driven workloads) and the simulated
+// memory subsystem.
+#pragma once
+
+#include <cstdint>
+
+namespace ntc::sim {
+
+/// Status of one memory transaction as seen by the initiator.
+enum class AccessStatus {
+  Ok,
+  CorrectedError,        ///< ECC corrected on the fly
+  DetectedUncorrectable, ///< error detected, data invalid (trap/rollback)
+};
+
+class MemoryPort {
+ public:
+  virtual ~MemoryPort() = default;
+
+  /// Word index addressing (not bytes); the platform's bus handles the
+  /// address map.
+  virtual AccessStatus read_word(std::uint32_t word_index,
+                                 std::uint32_t& data) = 0;
+  virtual AccessStatus write_word(std::uint32_t word_index,
+                                  std::uint32_t data) = 0;
+  virtual std::uint32_t word_count() const = 0;
+};
+
+}  // namespace ntc::sim

@@ -1,0 +1,92 @@
+// Fault-injecting SRAM array model.
+//
+// Stores raw codewords of up to 64 bits per word and injects the two
+// silicon error mechanisms of Section IV at the configured supply:
+//   * retention faults — cells whose retention V_min exceeds the supply
+//     are stuck at a random value (sampled from the Gaussian
+//     noise-margin population, Eq. 2);
+//   * access faults — on every read each stored bit flips transiently
+//     with p = Eq. 5's access error probability; on every write each
+//     bit fails to latch with the same probability (persistent until
+//     rewritten).
+// Access/leakage counters feed the energy meter.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "reliability/access_model.hpp"
+#include "reliability/noise_margin.hpp"
+
+namespace ntc::sim {
+
+struct SramStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t injected_read_flips = 0;
+  std::uint64_t injected_write_flips = 0;
+  std::uint64_t stuck_bits = 0;  ///< retention-failed cells at this supply
+};
+
+class SramModule {
+ public:
+  /// `stored_bits` <= 64 per word (39 for SECDED codewords, 56 for the
+  /// BCH-protected buffer).  Fault injection can be disabled for
+  /// golden-reference runs.
+  SramModule(std::string name, std::uint32_t words, std::uint32_t stored_bits,
+             reliability::AccessErrorModel access,
+             reliability::NoiseMarginModel retention, Volt vdd, Rng rng,
+             bool inject_faults = true);
+
+  const std::string& name() const { return name_; }
+  std::uint32_t words() const { return static_cast<std::uint32_t>(data_.size()); }
+  std::uint32_t stored_bits() const { return stored_bits_; }
+  Volt vdd() const { return vdd_; }
+
+  /// Change the supply: re-derives stuck cells and error probabilities.
+  /// Raising the voltage heals stuck cells; cells keep whatever value
+  /// the stuck state imposed (as real silicon would).
+  void set_vdd(Volt vdd);
+
+  /// Raw codeword access with fault injection.
+  std::uint64_t read_raw(std::uint32_t index);
+  void write_raw(std::uint32_t index, std::uint64_t value);
+
+  const SramStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = SramStats{}; }
+
+  /// Current per-bit access error probability.
+  double access_error_probability() const { return p_access_; }
+
+ private:
+  std::uint64_t mask() const {
+    return stored_bits_ == 64 ? ~std::uint64_t{0}
+                              : ((std::uint64_t{1} << stored_bits_) - 1);
+  }
+  std::uint64_t apply_stuck_bits(std::uint32_t index, std::uint64_t value) const;
+  std::uint64_t random_flips(std::uint64_t value, std::uint64_t& flip_count);
+  void derive_fault_state();
+
+  std::string name_;
+  std::uint32_t stored_bits_;
+  reliability::AccessErrorModel access_;
+  reliability::NoiseMarginModel retention_;
+  Volt vdd_;
+  Rng rng_;
+  bool inject_faults_;
+  double p_access_ = 0.0;
+  double p_no_flip_ = 1.0;  ///< (1 - p_access)^stored_bits, fast path
+
+  std::vector<std::uint64_t> data_;
+  /// Per-word masks of retention-failed cells and their stuck values.
+  std::vector<std::uint64_t> stuck_mask_;
+  std::vector<std::uint64_t> stuck_value_;
+  /// Per-cell mismatch deviates (fixed per instance, like silicon).
+  std::vector<float> cell_sigma_;
+  SramStats stats_;
+};
+
+}  // namespace ntc::sim

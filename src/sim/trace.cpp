@@ -1,0 +1,81 @@
+#include "sim/trace.hpp"
+
+#include <istream>
+#include <ostream>
+#include <set>
+#include <string>
+
+#include "common/assert.hpp"
+
+namespace ntc::sim {
+
+std::uint64_t AccessTrace::read_count() const {
+  std::uint64_t n = 0;
+  for (const auto& e : entries_) n += (e.kind == TraceEntry::Kind::Read);
+  return n;
+}
+
+std::uint64_t AccessTrace::write_count() const {
+  return entries_.size() - read_count();
+}
+
+std::uint64_t AccessTrace::footprint_words() const {
+  std::set<std::uint32_t> words;
+  for (const auto& e : entries_) words.insert(e.word_index);
+  return words.size();
+}
+
+void AccessTrace::save(std::ostream& out) const {
+  for (const auto& e : entries_) {
+    out << (e.kind == TraceEntry::Kind::Read ? 'R' : 'W') << ' '
+        << e.word_index << ' ' << e.data << '\n';
+  }
+}
+
+AccessTrace AccessTrace::load(std::istream& in) {
+  AccessTrace trace;
+  char kind;
+  std::uint32_t index, data;
+  while (in >> kind >> index >> data) {
+    NTC_REQUIRE_MSG(kind == 'R' || kind == 'W', "malformed trace line");
+    trace.append({kind == 'R' ? TraceEntry::Kind::Read : TraceEntry::Kind::Write,
+                  index, data});
+  }
+  return trace;
+}
+
+AccessStatus TracingPort::read_word(std::uint32_t word_index,
+                                    std::uint32_t& data) {
+  const AccessStatus status = inner_.read_word(word_index, data);
+  trace_.append({TraceEntry::Kind::Read, word_index, data});
+  return status;
+}
+
+AccessStatus TracingPort::write_word(std::uint32_t word_index,
+                                     std::uint32_t data) {
+  trace_.append({TraceEntry::Kind::Write, word_index, data});
+  return inner_.write_word(word_index, data);
+}
+
+ReplayResult replay(const AccessTrace& trace, MemoryPort& target) {
+  ReplayResult result;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const TraceEntry& entry = trace[i];
+    ++result.transactions;
+    if (entry.kind == TraceEntry::Kind::Write) {
+      const AccessStatus status = target.write_word(entry.word_index, entry.data);
+      if (status == AccessStatus::DetectedUncorrectable) ++result.uncorrectable;
+    } else {
+      std::uint32_t data = 0;
+      const AccessStatus status = target.read_word(entry.word_index, data);
+      if (status == AccessStatus::CorrectedError) ++result.corrected;
+      if (status == AccessStatus::DetectedUncorrectable)
+        ++result.uncorrectable;
+      else if (data != entry.data)
+        ++result.wrong_reads;
+    }
+  }
+  return result;
+}
+
+}  // namespace ntc::sim

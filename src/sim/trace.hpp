@@ -1,0 +1,78 @@
+// Memory access tracing: record the transaction stream of a workload
+// and replay it later — against a different memory configuration,
+// voltage, or fault seed.
+//
+// This is the standard simulator workflow for memory studies: capture a
+// trace once (expensive execution-driven run), then sweep the memory
+// design space trace-driven.  The Figure 8/9 benches run execution-
+// driven; the trace infrastructure backs the design-space example and
+// lets users bring their own workloads as traces.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "sim/memory_port.hpp"
+
+namespace ntc::sim {
+
+struct TraceEntry {
+  enum class Kind : std::uint8_t { Read, Write };
+  Kind kind = Kind::Read;
+  std::uint32_t word_index = 0;
+  std::uint32_t data = 0;  ///< written data (writes) / observed data (reads)
+};
+
+/// A recorded transaction stream.
+class AccessTrace {
+ public:
+  void append(TraceEntry entry) { entries_.push_back(entry); }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const TraceEntry& operator[](std::size_t i) const { return entries_[i]; }
+
+  std::uint64_t read_count() const;
+  std::uint64_t write_count() const;
+  /// Number of distinct words touched (the trace's footprint).
+  std::uint64_t footprint_words() const;
+
+  /// Text serialisation: one "R addr data" / "W addr data" line each.
+  void save(std::ostream& out) const;
+  static AccessTrace load(std::istream& in);
+
+ private:
+  std::vector<TraceEntry> entries_;
+};
+
+/// Pass-through port that records every transaction.
+class TracingPort final : public MemoryPort {
+ public:
+  explicit TracingPort(MemoryPort& inner) : inner_(inner) {}
+
+  AccessStatus read_word(std::uint32_t word_index, std::uint32_t& data) override;
+  AccessStatus write_word(std::uint32_t word_index, std::uint32_t data) override;
+  std::uint32_t word_count() const override { return inner_.word_count(); }
+
+  const AccessTrace& trace() const { return trace_; }
+  AccessTrace take_trace() { return std::move(trace_); }
+
+ private:
+  MemoryPort& inner_;
+  AccessTrace trace_;
+};
+
+/// Replay statistics: how the target memory behaved under the trace.
+struct ReplayResult {
+  std::uint64_t transactions = 0;
+  std::uint64_t corrected = 0;
+  std::uint64_t uncorrectable = 0;
+  /// Reads whose data differed from the recorded (golden) value.
+  std::uint64_t wrong_reads = 0;
+};
+
+/// Drive `target` with the trace.  Writes use the recorded data; reads
+/// compare against the recorded data (golden-trace checking).
+ReplayResult replay(const AccessTrace& trace, MemoryPort& target);
+
+}  // namespace ntc::sim

@@ -1,0 +1,28 @@
+#include "tech/aging.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace ntc::tech {
+
+AgingModel::AgingModel(Volt drift_at_10_years, double exponent)
+    : drift_10y_v_(drift_at_10_years.value), exponent_(exponent) {
+  NTC_REQUIRE(drift_10y_v_ >= 0.0);
+  NTC_REQUIRE(exponent > 0.0 && exponent < 1.0);
+}
+
+Volt AgingModel::drift(Second age) const {
+  NTC_REQUIRE(age.value >= 0.0);
+  if (age.value == 0.0) return Volt{0.0};
+  return Volt{drift_10y_v_ * std::pow(age.value / kTenYearsSeconds, exponent_)};
+}
+
+Second AgingModel::time_to_drift(Volt shift) const {
+  NTC_REQUIRE(shift.value >= 0.0);
+  if (drift_10y_v_ == 0.0) return Second{1e300};
+  return Second{kTenYearsSeconds *
+                std::pow(shift.value / drift_10y_v_, 1.0 / exponent_)};
+}
+
+}  // namespace ntc::tech

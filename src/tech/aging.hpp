@@ -1,0 +1,34 @@
+// Lifetime threshold-voltage drift (BTI-class power law).
+//
+// Section IV of the paper notes that the minimal operating voltage of a
+// memory changes over the lifetime of a product, which is what motivates
+// the run-time monitoring and control loop of the core library.  This
+// model supplies that drift: a Vt shift that grows as a power law of
+// stress time, which translates one-for-one into a shift of the
+// retention and access voltage limits.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace ntc::tech {
+
+class AgingModel {
+ public:
+  /// `drift_at_10_years` is the Vt/Vmin shift accumulated after ten
+  /// years of stress; `exponent` is the BTI time exponent (~0.16-0.25).
+  explicit AgingModel(Volt drift_at_10_years = Volt{0.040},
+                      double exponent = 0.20);
+
+  /// Accumulated voltage-limit shift after `age` of stress.
+  Volt drift(Second age) const;
+
+  /// Inverse: stress time after which the drift reaches `shift`.
+  Second time_to_drift(Volt shift) const;
+
+ private:
+  double drift_10y_v_;
+  double exponent_;
+  static constexpr double kTenYearsSeconds = 10.0 * 365.25 * 24.0 * 3600.0;
+};
+
+}  // namespace ntc::tech

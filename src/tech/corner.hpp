@@ -1,0 +1,55 @@
+// Process / voltage / temperature corner descriptors.
+#pragma once
+
+#include <string>
+
+#include "common/units.hpp"
+
+namespace ntc::tech {
+
+/// Global process corner (affects threshold voltage of N and P devices).
+enum class Corner { TT, SS, FF, SF, FS };
+
+/// Threshold-voltage shift of the N device at a given corner, as a
+/// multiple of the node's corner sigma (slow = higher Vt).
+constexpr double corner_nmos_sigma(Corner c) {
+  switch (c) {
+    case Corner::TT: return 0.0;
+    case Corner::SS: return +3.0;
+    case Corner::FF: return -3.0;
+    case Corner::SF: return +3.0;
+    case Corner::FS: return -3.0;
+  }
+  return 0.0;
+}
+
+constexpr double corner_pmos_sigma(Corner c) {
+  switch (c) {
+    case Corner::TT: return 0.0;
+    case Corner::SS: return +3.0;
+    case Corner::FF: return -3.0;
+    case Corner::SF: return -3.0;
+    case Corner::FS: return +3.0;
+  }
+  return 0.0;
+}
+
+inline std::string to_string(Corner c) {
+  switch (c) {
+    case Corner::TT: return "TT";
+    case Corner::SS: return "SS";
+    case Corner::FF: return "FF";
+    case Corner::SF: return "SF";
+    case Corner::FS: return "FS";
+  }
+  return "??";
+}
+
+/// Full operating condition.
+struct OperatingPoint {
+  Corner corner = Corner::TT;
+  Volt vdd{1.1};
+  Celsius temperature{25.0};
+};
+
+}  // namespace ntc::tech

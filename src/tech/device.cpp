@@ -1,0 +1,59 @@
+#include "tech/device.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace ntc::tech {
+
+double thermal_voltage(Celsius temperature) {
+  const double kelvin = temperature.value + 273.15;
+  NTC_REQUIRE(kelvin > 0.0);
+  return 8.617333262e-5 * kelvin;  // k/q in V/K
+}
+
+double mismatch_sigma_v(const DeviceParams& p) {
+  NTC_REQUIRE(p.width_um > 0.0 && p.length_um > 0.0);
+  return p.avt_mv_um * 1e-3 / std::sqrt(p.width_um * p.length_um);
+}
+
+double effective_vt(const DeviceParams& p, double vds, Celsius temperature,
+                    double corner_sigmas, double delta_vt) {
+  return p.vt0 - p.dibl * vds + p.vt_tempco * (temperature.value - 25.0) +
+         corner_sigmas * p.corner_sigma_v + delta_vt;
+}
+
+Ampere drain_current(const DeviceParams& p, double vgs, double vds,
+                     Celsius temperature, double corner_sigmas,
+                     double delta_vt) {
+  NTC_REQUIRE(vgs >= 0.0 && vds >= 0.0);
+  const double vt_th = thermal_voltage(temperature);
+  const double vt_eff = effective_vt(p, vds, temperature, corner_sigmas, delta_vt);
+  // EKV forward current: i = ln^2(1 + exp((vgs - vt)/(2 n vT))).
+  // Sub-threshold limit: exp((vgs-vt)/(n vT)) / 4-ish; strong inversion:
+  // ((vgs-vt)/(2 n vT))^2 -> square law.  i_spec is the current at
+  // vgs = vt (where the interpolation equals ln^2(2)).
+  const double x = (vgs - vt_eff) / (2.0 * p.n * vt_th);
+  double lns;
+  if (x > 30.0) {
+    lns = x;  // log1p(exp(x)) ~ x, avoids overflow
+  } else {
+    lns = std::log1p(std::exp(x));
+  }
+  const double i_norm = lns * lns / (M_LN2 * M_LN2);  // == 1 at vgs = vt
+  // Drain saturation factor; full current once vds exceeds a few vT.
+  const double sat = -std::expm1(-vds / vt_th);
+  const double i_ua = p.i_spec_ua_um * p.width_um * i_norm * sat;
+  return Ampere{i_ua * 1e-6};
+}
+
+Ampere leakage_current(const DeviceParams& p, double vdd, Celsius temperature,
+                       double corner_sigmas, double delta_vt) {
+  return drain_current(p, 0.0, vdd, temperature, corner_sigmas, delta_vt);
+}
+
+double subthreshold_swing_mv_dec(const DeviceParams& p, Celsius temperature) {
+  return p.n * thermal_voltage(temperature) * std::log(10.0) * 1e3;
+}
+
+}  // namespace ntc::tech

@@ -1,0 +1,51 @@
+// Compact MOS device model valid from sub-threshold through strong
+// inversion (EKV-style interpolation).  This is the physical core that
+// every delay, leakage and minimum-voltage estimate in the library rests
+// on; it trades SPICE accuracy for a smooth, monotonic, analytically
+// well-behaved I(V) suitable for near-threshold exploration.
+#pragma once
+
+#include "common/units.hpp"
+#include "tech/corner.hpp"
+
+namespace ntc::tech {
+
+/// Device-class parameters (one set per transistor flavour per node).
+struct DeviceParams {
+  double vt0 = 0.45;          ///< nominal threshold voltage at 25 C [V]
+  double n = 1.5;             ///< subthreshold slope factor (SS = n*vT*ln10)
+  double i_spec_ua_um = 0.6;  ///< specific current at vgs = vt0 [uA/um]
+  double dibl = 0.10;         ///< Vt reduction per volt of vds [V/V]
+  double vt_tempco = -1.0e-3; ///< Vt drift per kelvin [V/K]
+  double avt_mv_um = 3.5;     ///< Pelgrom mismatch coefficient [mV*um]
+  double width_um = 0.12;     ///< drawn width of the reference device
+  double length_um = 0.04;    ///< drawn length of the reference device
+  double corner_sigma_v = 0.015;  ///< global-corner Vt sigma [V]
+};
+
+/// Thermal voltage kT/q at the given temperature.
+double thermal_voltage(Celsius temperature);
+
+/// Random local-mismatch sigma of Vt for this device geometry
+/// (Pelgrom: Avt / sqrt(W*L)).
+double mismatch_sigma_v(const DeviceParams& p);
+
+/// Effective threshold voltage including corner shift, temperature and
+/// DIBL, plus an explicit local mismatch offset `delta_vt`.
+double effective_vt(const DeviceParams& p, double vds, Celsius temperature,
+                    double corner_sigmas, double delta_vt);
+
+/// Drain current [A] of the reference-width device.  Continuous EKV
+/// interpolation: exponential below Vt, square-law above, smooth at Vt.
+Ampere drain_current(const DeviceParams& p, double vgs, double vds,
+                     Celsius temperature, double corner_sigmas = 0.0,
+                     double delta_vt = 0.0);
+
+/// Subthreshold leakage current [A] at vgs = 0, vds = vdd.
+Ampere leakage_current(const DeviceParams& p, double vdd, Celsius temperature,
+                       double corner_sigmas = 0.0, double delta_vt = 0.0);
+
+/// Subthreshold swing [mV/decade] at the given temperature.
+double subthreshold_swing_mv_dec(const DeviceParams& p, Celsius temperature);
+
+}  // namespace ntc::tech

@@ -1,0 +1,58 @@
+#include "tech/inverter.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace ntc::tech {
+
+InverterModel::InverterModel(TechnologyNode node) : node_(std::move(node)) {}
+
+Second InverterModel::delay_with_mismatch(Volt vdd, double dvt_n, double dvt_p,
+                                          Celsius temperature) const {
+  NTC_REQUIRE(vdd.value > 0.0);
+  const double c_load = node_.logic_fo4_load_ff * 1e-15;  // F
+  // CV/I for each edge; the stage delay alternates edges, so average.
+  const Ampere i_n =
+      drain_current(node_.nmos, vdd.value, vdd.value, temperature, 0.0, dvt_n);
+  const Ampere i_p =
+      drain_current(node_.pmos, vdd.value, vdd.value, temperature, 0.0, dvt_p);
+  NTC_REQUIRE(i_n.value > 0.0 && i_p.value > 0.0);
+  const double t_fall = c_load * vdd.value / i_n.value;
+  const double t_rise = c_load * vdd.value / i_p.value;
+  return Second{0.5 * (t_fall + t_rise)};
+}
+
+Second InverterModel::delay(Volt vdd, Celsius temperature) const {
+  return delay_with_mismatch(vdd, 0.0, 0.0, temperature);
+}
+
+Second InverterModel::sample_delay(Volt vdd, Rng& rng,
+                                   Celsius temperature) const {
+  const double dvt_n = rng.normal(0.0, mismatch_sigma_v(node_.nmos));
+  const double dvt_p = rng.normal(0.0, mismatch_sigma_v(node_.pmos));
+  return delay_with_mismatch(vdd, dvt_n, dvt_p, temperature);
+}
+
+DelayDistribution InverterModel::characterize(Volt vdd, std::size_t samples,
+                                              Rng& rng,
+                                              Celsius temperature) const {
+  NTC_REQUIRE(samples >= 2);
+  RunningStats stats;
+  std::vector<double> values;
+  values.reserve(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double d = sample_delay(vdd, rng, temperature).value;
+    stats.add(d);
+    values.push_back(d);
+  }
+  DelayDistribution dist;
+  dist.mean = Second{stats.mean()};
+  dist.sigma = Second{stats.stddev()};
+  dist.p99 = Second{percentile(std::move(values), 0.99)};
+  dist.sigma_over_mean = dist.sigma.value / dist.mean.value;
+  return dist;
+}
+
+}  // namespace ntc::tech

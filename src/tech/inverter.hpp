@@ -1,0 +1,47 @@
+// Inverter delay model with local-mismatch Monte Carlo.
+//
+// Reproduces Figure 10 of the paper: mean FO4-class inverter delay and
+// its sigma spread as the supply is scaled into the near-threshold
+// regime, for each technology node.
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/statistics.hpp"
+#include "tech/node.hpp"
+
+namespace ntc::tech {
+
+/// Mean/sigma characterisation of delay at one supply point.
+struct DelayDistribution {
+  Second mean{0.0};
+  Second sigma{0.0};
+  Second p99{0.0};  ///< 99th percentile (timing-closure proxy)
+  double sigma_over_mean = 0.0;
+};
+
+class InverterModel {
+ public:
+  explicit InverterModel(TechnologyNode node);
+
+  const TechnologyNode& node() const { return node_; }
+
+  /// Nominal (mismatch-free, TT) propagation delay at `vdd`.
+  Second delay(Volt vdd, Celsius temperature = Celsius{25.0}) const;
+
+  /// One Monte-Carlo delay sample with random Vt mismatch on the N and P
+  /// devices.
+  Second sample_delay(Volt vdd, Rng& rng,
+                      Celsius temperature = Celsius{25.0}) const;
+
+  /// Monte-Carlo characterisation at one supply point.
+  DelayDistribution characterize(Volt vdd, std::size_t samples, Rng& rng,
+                                 Celsius temperature = Celsius{25.0}) const;
+
+ private:
+  Second delay_with_mismatch(Volt vdd, double dvt_n, double dvt_p,
+                             Celsius temperature) const;
+
+  TechnologyNode node_;
+};
+
+}  // namespace ntc::tech

@@ -1,0 +1,50 @@
+#include "tech/logic_timing.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/math.hpp"
+
+namespace ntc::tech {
+
+LogicTiming::LogicTiming(TechnologyNode node, double stages, double margin)
+    : inverter_(std::move(node)), stages_(stages), margin_(margin) {
+  NTC_REQUIRE(stages > 0.0 && margin >= 0.0 && margin < 1.0);
+}
+
+Second LogicTiming::critical_path_delay(Volt vdd, Celsius temperature) const {
+  const Second fo4 = inverter_.delay(vdd, temperature);
+  return Second{stages_ * fo4.value / (1.0 - margin_)};
+}
+
+Hertz LogicTiming::fmax(Volt vdd, Celsius temperature) const {
+  return frequency(critical_path_delay(vdd, temperature));
+}
+
+Volt LogicTiming::min_voltage_for(Hertz f, Volt lo, Volt hi,
+                                  Celsius temperature) const {
+  NTC_REQUIRE(lo.value < hi.value);
+  if (fmax(hi, temperature) < f) return hi;
+  if (fmax(lo, temperature) >= f) return lo;
+  double v = bisect(
+      [&](double vdd) { return fmax(Volt{vdd}, temperature).value - f.value; },
+      lo.value, hi.value);
+  return Volt{v};
+}
+
+LogicTiming platform_logic_timing_40nm() {
+  // Calibration: the paper's platform bottoms out at 290 kHz at its
+  // lowest operating voltage, 0.33 V.  With the 40 nm LP inverter model
+  // the stage count that satisfies fmax(0.33 V) = 290 kHz is computed
+  // here once rather than hard-coded, so device-model tweaks cannot
+  // silently break the anchor.
+  TechnologyNode node = node_40nm_lp();
+  InverterModel inv(node);
+  const double fo4_at_anchor = inv.delay(Volt{0.33}).value;
+  const double margin = 0.10;
+  const double target_period = 1.0 / 290.0e3;
+  const double stages = target_period * (1.0 - margin) / fo4_at_anchor;
+  return LogicTiming(node, stages, margin);
+}
+
+}  // namespace ntc::tech

@@ -1,0 +1,46 @@
+// Critical-path timing of the digital logic domain.
+//
+// The platform studies (Table 2, Figures 8/9) need f_max(VDD) for the
+// processor pipeline: the solver combines the reliability-driven minimum
+// voltage with the frequency-driven one.  The path is modelled as N
+// FO4-equivalent stages plus margin, and is calibrated so the anchor the
+// paper states — the platform just sustains 290 kHz at the lowest
+// usable supply (0.33 V) — holds.
+#pragma once
+
+#include "tech/inverter.hpp"
+
+namespace ntc::tech {
+
+class LogicTiming {
+ public:
+  /// `stages` is the FO4 depth of the critical path; `margin` is the
+  /// fraction of the cycle reserved for clocking overheads/jitter.
+  LogicTiming(TechnologyNode node, double stages, double margin = 0.10);
+
+  /// Maximum clock at the given supply.
+  Hertz fmax(Volt vdd, Celsius temperature = Celsius{25.0}) const;
+
+  /// Critical-path delay (incl. margin) at the given supply.
+  Second critical_path_delay(Volt vdd, Celsius temperature = Celsius{25.0}) const;
+
+  /// Lowest supply that sustains `f`, searched on [lo, hi]; returns hi
+  /// if even hi is too slow. fmax is monotonic in VDD.
+  Volt min_voltage_for(Hertz f, Volt lo = Volt{0.25}, Volt hi = Volt{1.2},
+                       Celsius temperature = Celsius{25.0}) const;
+
+  const TechnologyNode& node() const { return inverter_.node(); }
+
+ private:
+  InverterModel inverter_;
+  double stages_;
+  double margin_;
+};
+
+/// The evaluated NTC platform's logic timing in 40 nm LP: FO4 depth
+/// calibrated such that fmax(0.33 V) ~= 290 kHz, giving
+/// fmax(0.44 V) ~= 2.3 MHz and fmax(0.66 V) ~= 29 MHz — consistent with
+/// the operating points of Table 2 and the 11 MHz scenario.
+LogicTiming platform_logic_timing_40nm();
+
+}  // namespace ntc::tech

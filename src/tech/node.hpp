@@ -1,0 +1,48 @@
+// Technology node descriptors with calibrated presets.
+//
+// Presets cover the nodes the paper touches: the 40 nm low-power planar
+// process of the test chip, the 65 nm node of the cell-based reference
+// design [13], and the 14 nm finFET / 10 nm multi-gate outlook devices
+// of Section VI.  Parameters are public-domain-class values chosen so
+// the derived figures (subthreshold swing, mismatch sigma, delay ratios)
+// reproduce the trends the paper reports.
+#pragma once
+
+#include <string>
+
+#include "tech/device.hpp"
+
+namespace ntc::tech {
+
+enum class DeviceArchitecture { PlanarBulk, FinFet, MultiGateNanowire };
+
+struct TechnologyNode {
+  std::string name;
+  double feature_nm = 40.0;
+  DeviceArchitecture architecture = DeviceArchitecture::PlanarBulk;
+  Volt vdd_nominal{1.1};
+
+  DeviceParams nmos;  ///< logic NMOS flavour
+  DeviceParams pmos;  ///< logic PMOS flavour (|Vt|, current magnitudes)
+  /// High-Vt flavour used on memory bit-cell / timing paths; slower but
+  /// lower leakage than the logic device.
+  DeviceParams hvt_nmos;
+
+  double gate_cap_ff_um = 0.9;    ///< gate capacitance per um width [fF/um]
+  double wire_cap_ff_um = 0.20;   ///< wire capacitance per um length [fF/um]
+  double logic_fo4_load_ff = 0.6; ///< typical FO4 load of a min inverter [fF]
+};
+
+/// imec-class 40 nm low-power planar bulk (the paper's test-chip node).
+TechnologyNode node_40nm_lp();
+
+/// 65 nm low-power planar bulk (cell-based reference design [13]).
+TechnologyNode node_65nm_lp();
+
+/// 14 nm finFET outlook device (Section VI).
+TechnologyNode node_14nm_finfet();
+
+/// 10 nm multi-gate / nanowire outlook device (Section VI).
+TechnologyNode node_10nm_multigate();
+
+}  // namespace ntc::tech

@@ -1,0 +1,101 @@
+#include "tech/sram_cell.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace ntc::tech {
+
+SramCellModel::SramCellModel(TechnologyNode node) : node_(std::move(node)) {
+  // The margin sigma tracks device mismatch: roughly a third of the
+  // pull-down Vt sigma propagates into the SNM (butterfly-curve
+  // sensitivity of a 6T cell).
+  sigma_v_ = 0.35 * mismatch_sigma_v(node_.nmos);
+}
+
+reliability::NoiseMarginModel SramCellModel::margin_model(
+    SramMode mode, const AssistConfig& assist) const {
+  NTC_REQUIRE(assist.wl_underdrive_v >= 0.0);
+  NTC_REQUIRE(assist.negative_bitline_v >= 0.0);
+  NTC_REQUIRE(assist.cell_vdd_boost_v >= 0.0);
+  NTC_REQUIRE(assist.cell_vdd_droop_v >= 0.0);
+  NTC_REQUIRE(assist.wl_write_boost_v >= 0.0);
+
+  // Baseline linear margins of a 6T cell (typical 40 nm LP butterfly
+  // sensitivities); the mismatch term scales with the node's Avt so
+  // finFET cells are automatically tighter.
+  double c0, c1;
+  switch (mode) {
+    case SramMode::Hold:
+      c0 = 0.30;
+      c1 = -0.040;
+      break;
+    case SramMode::Read:
+      // Worst margin: the access transistor disturbs the storage node.
+      c0 = 0.25;
+      c1 = -0.050;
+      break;
+    case SramMode::Write:
+      c0 = 0.28;
+      c1 = -0.045;
+      break;
+    default:
+      NTC_REQUIRE(false);
+      c0 = c1 = 0;
+  }
+
+  // Assist effects (paper Section III: "strengthen the cell during the
+  // access by (temporarily) deviating from the nominal voltage levels
+  // on the supply rails, bit-lines, and/or word-lines").
+  switch (mode) {
+    case SramMode::Hold:
+      c1 += c0 * assist.cell_vdd_boost_v;  // boosted cell rail
+      break;
+    case SramMode::Read:
+      c1 += 0.5 * assist.wl_underdrive_v;  // weaker access transistor
+      c1 += c0 * assist.cell_vdd_boost_v;  // stronger latch
+      break;
+    case SramMode::Write:
+      c1 -= 0.7 * assist.wl_underdrive_v;  // underdrive HURTS writes
+      c1 += 0.8 * assist.negative_bitline_v;
+      c1 += 0.8 * c0 * assist.cell_vdd_droop_v;  // weakened latch
+      c1 += 0.6 * assist.wl_write_boost_v;
+      break;
+  }
+  return reliability::NoiseMarginModel(c0, c1, sigma_v_);
+}
+
+Volt SramCellModel::vmin(SramMode mode, double sigma,
+                         const AssistConfig& assist) const {
+  NTC_REQUIRE(sigma >= 0.0);
+  // A cell `sigma` deviations weak: margin reduced by sigma * c2.
+  return margin_model(mode, assist).cell_retention_vmin(-sigma);
+}
+
+SramMode SramCellModel::binding_mode(double sigma,
+                                     const AssistConfig& assist) const {
+  SramMode worst = SramMode::Hold;
+  double v_worst = -1.0;
+  for (SramMode mode : {SramMode::Hold, SramMode::Read, SramMode::Write}) {
+    const double v = vmin(mode, sigma, assist).value;
+    if (v > v_worst) {
+      v_worst = v;
+      worst = mode;
+    }
+  }
+  return worst;
+}
+
+double SramCellModel::assist_energy_overhead(const AssistConfig& assist) const {
+  const double vdd = node_.vdd_nominal.value;
+  // Each knob switches an extra rail or needs a charge pump; costs are
+  // proportional to the level deviation relative to VDD.
+  return 0.30 * assist.wl_underdrive_v / vdd +
+         0.50 * assist.negative_bitline_v / vdd +
+         0.60 * assist.cell_vdd_boost_v / vdd +
+         0.30 * assist.cell_vdd_droop_v / vdd +
+         0.50 * assist.wl_write_boost_v / vdd;
+}
+
+}  // namespace ntc::tech

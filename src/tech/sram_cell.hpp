@@ -1,0 +1,75 @@
+// 6T SRAM cell stability margins and periphery assist techniques
+// (paper Section III).
+//
+// The three operating modes of an SRAM — read, write, hold — each have
+// their own minimum supply, set by different margin mechanisms:
+//   * hold:  the cross-coupled pair's static noise margin (SNM);
+//   * read:  the worst margin — the access transistor disturbs the
+//     internal node while the wordline is high;
+//   * write: the ability of the bitline driver to overpower the pull-up.
+// All margins are modelled in the paper's linear-Gaussian form
+// (Eq. 2: NM = c0·VDD + c1 + c2·sigma), so every margin yields a
+// NoiseMarginModel usable by the rest of the library.
+//
+// Section III's assist techniques act on these margins by (temporarily)
+// deviating the wordline/bitline/cell-supply levels; the AssistConfig
+// captures the standard knobs and their margin effect, letting the
+// ablation bench quantify how much supply headroom each assist buys.
+#pragma once
+
+#include "reliability/noise_margin.hpp"
+#include "tech/node.hpp"
+
+namespace ntc::tech {
+
+enum class SramMode { Hold, Read, Write };
+
+/// Periphery assist knobs (all voltages in volts, all >= 0).
+struct AssistConfig {
+  /// Wordline underdrive: WL high level reduced below VDD during reads;
+  /// weakens the access transistor -> improves read margin, degrades
+  /// write margin.
+  double wl_underdrive_v = 0.0;
+  /// Negative bitline during writes: BL driven below ground; strengthens
+  /// the write driver -> improves write margin only.
+  double negative_bitline_v = 0.0;
+  /// Cell-supply boost during reads (or droop during writes): raising
+  /// the cell rail strengthens the latch -> improves read/hold margins;
+  /// the complementary write droop improves write margin.
+  double cell_vdd_boost_v = 0.0;
+  double cell_vdd_droop_v = 0.0;
+  /// Wordline boost above VDD during writes (improves write margin,
+  /// costs a charge pump).
+  double wl_write_boost_v = 0.0;
+};
+
+/// Margin model of a 6T cell in one mode on a given node.
+class SramCellModel {
+ public:
+  /// `cell_sigma_v` is the per-cell margin sigma from mismatch
+  /// (Pelgrom on the six devices, dominated by the pull-down pair).
+  explicit SramCellModel(TechnologyNode node);
+
+  /// Linear-Gaussian margin model for a mode under given assists.
+  reliability::NoiseMarginModel margin_model(
+      SramMode mode, const AssistConfig& assist = {}) const;
+
+  /// Minimum supply at which the margin of `mode` holds for a cell at
+  /// `sigma` deviations (e.g. 5-6 sigma for Mb-class arrays).
+  Volt vmin(SramMode mode, double sigma,
+            const AssistConfig& assist = {}) const;
+
+  /// The binding mode (largest vmin) without/with assists.
+  SramMode binding_mode(double sigma, const AssistConfig& assist = {}) const;
+
+  /// Energy overhead per access of an assist configuration, as a
+  /// fraction of the baseline access energy (charge pumps, extra rail
+  /// switching).
+  double assist_energy_overhead(const AssistConfig& assist) const;
+
+ private:
+  TechnologyNode node_;
+  double sigma_v_;  // per-cell margin sigma
+};
+
+}  // namespace ntc::tech

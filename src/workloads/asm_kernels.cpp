@@ -1,0 +1,197 @@
+#include "workloads/asm_kernels.hpp"
+
+#include "common/assert.hpp"
+
+namespace ntc::workloads::kernels {
+
+namespace {
+constexpr std::uint32_t kSpmByteBase = 0x40000;  // word 0x10000 on the bus
+
+std::string num(std::uint32_t v) { return std::to_string(v); }
+}  // namespace
+
+std::string dot_product(std::uint32_t n) {
+  NTC_REQUIRE(n >= 1 && n <= 512);
+  return R"(
+        li   t0, )" + num(kSpmByteBase) + R"(
+        li   t1, )" + num(kSpmByteBase + 4 * n) + R"(
+        li   t2, 0
+        li   t3, )" + num(n) + R"(
+init:   slli t4, t2, 2
+        add  t5, t0, t4
+        sw   t2, 0(t5)
+        add  t5, t1, t4
+        slli t6, t2, 1
+        sw   t6, 0(t5)
+        addi t2, t2, 1
+        blt  t2, t3, init
+        li   t2, 0
+        li   a0, 0
+loop:   slli t4, t2, 2
+        add  t5, t0, t4
+        lw   t6, 0(t5)
+        add  t5, t1, t4
+        lw   s0, 0(t5)
+        mul  t6, t6, s0
+        add  a0, a0, t6
+        addi t2, t2, 1
+        blt  t2, t3, loop
+        ecall
+)";
+}
+
+std::uint32_t dot_product_expected(std::uint32_t n) {
+  std::uint32_t acc = 0;
+  for (std::uint32_t i = 0; i < n; ++i) acc += i * (2 * i);
+  return acc;
+}
+
+std::string memcpy_check(std::uint32_t n, std::uint32_t seed) {
+  NTC_REQUIRE(n >= 1 && n <= 512);
+  return R"(
+        li   t0, )" + num(kSpmByteBase) + R"(
+        li   t1, )" + num(kSpmByteBase + 4 * n) + R"(
+        li   t2, 0
+        li   t3, )" + num(n) + R"(
+        li   s0, )" + num(seed) + R"(
+fill:   slli t4, t2, 2
+        add  t5, t0, t4
+        mul  t6, t2, s0
+        addi t6, t6, 17
+        sw   t6, 0(t5)
+        addi t2, t2, 1
+        blt  t2, t3, fill
+        li   t2, 0
+copy:   slli t4, t2, 2
+        add  t5, t0, t4
+        lw   t6, 0(t5)
+        add  t5, t1, t4
+        sw   t6, 0(t5)
+        addi t2, t2, 1
+        blt  t2, t3, copy
+        li   a0, 0
+        li   t2, 0
+verify: slli t4, t2, 2
+        add  t5, t0, t4
+        lw   t6, 0(t5)
+        add  t5, t1, t4
+        lw   s1, 0(t5)
+        beq  t6, s1, match
+        addi a0, a0, 1
+match:  addi t2, t2, 1
+        blt  t2, t3, verify
+        ecall
+)";
+}
+
+std::string fibonacci(std::uint32_t n) {
+  NTC_REQUIRE(n <= 47);
+  return R"(
+        li   t0, 0          # fib(i)
+        li   t1, 1          # fib(i+1)
+        li   t2, 0          # i
+        li   t3, )" + num(n) + R"(
+        beq  t2, t3, done
+step:   add  t4, t0, t1
+        mv   t0, t1
+        mv   t1, t4
+        addi t2, t2, 1
+        blt  t2, t3, step
+done:   mv   a0, t0
+        ecall
+)";
+}
+
+std::uint32_t fibonacci_expected(std::uint32_t n) {
+  std::uint32_t a = 0, b = 1;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t next = a + b;
+    a = b;
+    b = next;
+  }
+  return a;
+}
+
+std::string bubble_sort_check(std::uint32_t n, std::uint32_t seed) {
+  NTC_REQUIRE(n >= 2 && n <= 64);
+  return R"(
+        li   t0, )" + num(kSpmByteBase) + R"(
+        li   t1, )" + num(n) + R"(
+        li   t2, 0
+        li   s0, )" + num(seed | 1u) + R"(
+        li   t5, 1103515245
+        li   t6, 12345
+fill:   mul  s0, s0, t5
+        add  s0, s0, t6
+        slli t3, t2, 2
+        add  t3, t3, t0
+        sw   s0, 0(t3)
+        addi t2, t2, 1
+        blt  t2, t1, fill
+        li   t6, )" + num(n - 1) + R"(
+        li   t2, 0
+pass:   li   s1, 0
+inner:  slli t3, s1, 2
+        add  t3, t3, t0
+        lw   t4, 0(t3)
+        lw   t5, 4(t3)
+        bgeu t5, t4, noswap
+        sw   t5, 0(t3)
+        sw   t4, 4(t3)
+noswap: addi s1, s1, 1
+        blt  s1, t6, inner
+        addi t2, t2, 1
+        blt  t2, t6, pass
+        li   a0, 0
+        li   s1, 0
+verify: slli t3, s1, 2
+        add  t3, t3, t0
+        lw   t4, 0(t3)
+        lw   t5, 4(t3)
+        bgeu t5, t4, ordered
+        addi a0, a0, 1
+ordered: addi s1, s1, 1
+        blt  s1, t6, verify
+        ecall
+)";
+}
+
+std::string checksum(std::uint32_t n) {
+  NTC_REQUIRE(n >= 1 && n <= 512);
+  return R"(
+        li   t0, )" + num(kSpmByteBase) + R"(
+        li   t1, )" + num(n) + R"(
+        li   t2, 0
+        li   t5, 2654435761
+fill:   mul  t4, t2, t5
+        slli t3, t2, 2
+        add  t3, t3, t0
+        sw   t4, 0(t3)
+        addi t2, t2, 1
+        blt  t2, t1, fill
+        li   a0, 0
+        li   t2, 0
+sum:    slli t3, t2, 2
+        add  t3, t3, t0
+        lw   t4, 0(t3)
+        slli t5, a0, 1
+        srli t6, a0, 31
+        or   a0, t5, t6
+        add  a0, a0, t4
+        addi t2, t2, 1
+        blt  t2, t1, sum
+        ecall
+)";
+}
+
+std::uint32_t checksum_expected(std::uint32_t n) {
+  std::uint32_t acc = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t value = i * 2654435761u;
+    acc = (acc << 1) | (acc >> 31);
+    acc += value;
+  }
+  return acc;
+}
+
+}  // namespace ntc::workloads::kernels

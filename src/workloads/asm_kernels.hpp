@@ -1,0 +1,37 @@
+// Assembly kernel library for the RISC core.
+//
+// Small, self-checking programs (source text for the assembler) that
+// exercise the core and the protected memories together; each kernel
+// leaves its result in a0 and halts with ecall.  Used by the platform
+// integration tests and by examples that want "real software" on the
+// simulated SoC without bringing a compiler into the build.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ntc::workloads::kernels {
+
+/// Sum of a[i]*b[i], i < n, with a[i] = i and b[i] = 2i, built in the
+/// scratchpad.  Expected result: 2 * sum i^2.
+std::string dot_product(std::uint32_t n);
+std::uint32_t dot_product_expected(std::uint32_t n);
+
+/// Word-wise memcpy of n words (pattern seed*i) followed by a
+/// verification loop; a0 = number of mismatching words (0 = pass).
+std::string memcpy_check(std::uint32_t n, std::uint32_t seed);
+
+/// Iterative Fibonacci; a0 = fib(n) (n <= 47 to stay in 32 bits).
+std::string fibonacci(std::uint32_t n);
+std::uint32_t fibonacci_expected(std::uint32_t n);
+
+/// In-place bubble sort of n pseudo-random words in the scratchpad,
+/// then a sortedness check; a0 = number of inversions left (0 = pass).
+std::string bubble_sort_check(std::uint32_t n, std::uint32_t seed);
+
+/// 32-bit checksum (additive, with rotation via shifts) over n words of
+/// scratchpad initialised to a known pattern; a0 = checksum.
+std::string checksum(std::uint32_t n);
+std::uint32_t checksum_expected(std::uint32_t n);
+
+}  // namespace ntc::workloads::kernels

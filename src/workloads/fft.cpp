@@ -1,0 +1,131 @@
+#include "workloads/fft.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace ntc::workloads {
+
+namespace {
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+std::size_t ilog2(std::size_t n) {
+  std::size_t l = 0;
+  while ((std::size_t{1} << l) < n) ++l;
+  return l;
+}
+
+}  // namespace
+
+FixedPointFft::FixedPointFft(std::size_t points, std::uint32_t spm_word_offset)
+    : points_(points), log2n_(ilog2(points)), base_(spm_word_offset) {
+  NTC_REQUIRE(is_power_of_two(points) && points >= 4);
+}
+
+std::string FixedPointFft::name() const {
+  return std::to_string(points_) + "-point Q15 FFT";
+}
+
+std::size_t FixedPointFft::phase_count() const { return log2n_ + 1; }
+
+void FixedPointFft::set_input(std::vector<std::complex<double>> input) {
+  NTC_REQUIRE(input.size() == points_);
+  input_ = std::move(input);
+}
+
+ChunkRef FixedPointFft::initialize(sim::MemoryPort& spm) {
+  NTC_REQUIRE_MSG(!input_.empty(), "set_input() before initialize()");
+  for (std::size_t i = 0; i < points_; ++i) {
+    const ComplexQ15 sample{Q15::from_double(input_[i].real()),
+                            Q15::from_double(input_[i].imag())};
+    spm.write_word(base_ + static_cast<std::uint32_t>(i), sample.pack());
+  }
+  return ChunkRef{base_, static_cast<std::uint32_t>(points_)};
+}
+
+ChunkRef FixedPointFft::input_chunk(std::size_t index) const {
+  NTC_REQUIRE(index < phase_count());
+  // In-place transform: every phase consumes (and overwrites) the whole
+  // working buffer.
+  return ChunkRef{base_, static_cast<std::uint32_t>(points_)};
+}
+
+ComplexQ15 FixedPointFft::twiddle(std::size_t k, std::size_t len) const {
+  const double angle = -2.0 * M_PI * static_cast<double>(k) /
+                       static_cast<double>(len);
+  return ComplexQ15{Q15::from_double(std::cos(angle)),
+                    Q15::from_double(std::sin(angle))};
+}
+
+PhaseResult FixedPointFft::run_phase(std::size_t index, sim::MemoryPort& spm) {
+  NTC_REQUIRE(index < phase_count());
+  PhaseResult result;
+  result.output = ChunkRef{base_, static_cast<std::uint32_t>(points_)};
+  bool fault = false;
+
+  auto load = [&](std::size_t i) {
+    std::uint32_t raw = 0;
+    if (spm.read_word(base_ + static_cast<std::uint32_t>(i), raw) ==
+        sim::AccessStatus::DetectedUncorrectable)
+      fault = true;
+    return ComplexQ15::unpack(raw);
+  };
+  auto store = [&](std::size_t i, ComplexQ15 value) {
+    if (spm.write_word(base_ + static_cast<std::uint32_t>(i), value.pack()) ==
+        sim::AccessStatus::DetectedUncorrectable)
+      fault = true;
+  };
+
+  if (index == 0) {
+    // Bit-reverse permutation.
+    for (std::size_t i = 1, j = 0; i < points_; ++i) {
+      std::size_t bit = points_ >> 1;
+      for (; j & bit; bit >>= 1) j ^= bit;
+      j ^= bit;
+      if (i < j) {
+        const ComplexQ15 a = load(i);
+        const ComplexQ15 b = load(j);
+        store(i, b);
+        store(j, a);
+      }
+      result.compute_cycles += kCyclesPerPermute;
+    }
+  } else {
+    // Butterfly stage `index`: len = 2^index; scale outputs by 1/2 to
+    // keep Q15 in range (block-floating behaviour of embedded FFTs).
+    const std::size_t len = std::size_t{1} << index;
+    for (std::size_t i = 0; i < points_; i += len) {
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const ComplexQ15 w = twiddle(k, len);
+        const ComplexQ15 u = load(i + k);
+        const ComplexQ15 v = load(i + k + len / 2);
+        // v * w (complex Q15 multiply).
+        const Q15 vr = v.re * w.re - v.im * w.im;
+        const Q15 vi = v.re * w.im + v.im * w.re;
+        // Scaled butterfly: (u ± vw) / 2.
+        const ComplexQ15 out0{(u.re + vr).shr(1), (u.im + vi).shr(1)};
+        const ComplexQ15 out1{(u.re - vr).shr(1), (u.im - vi).shr(1)};
+        store(i + k, out0);
+        store(i + k + len / 2, out1);
+        result.compute_cycles += kCyclesPerButterfly;
+      }
+    }
+  }
+  result.memory_fault = fault;
+  return result;
+}
+
+std::vector<std::complex<double>> FixedPointFft::read_output(
+    sim::MemoryPort& spm) const {
+  std::vector<std::complex<double>> out(points_);
+  for (std::size_t i = 0; i < points_; ++i) {
+    std::uint32_t raw = 0;
+    spm.read_word(base_ + static_cast<std::uint32_t>(i), raw);
+    const ComplexQ15 sample = ComplexQ15::unpack(raw);
+    out[i] = {sample.re.to_double(), sample.im.to_double()};
+  }
+  return out;
+}
+
+}  // namespace ntc::workloads

@@ -1,0 +1,58 @@
+// 1K-point fixed-point FFT, execution-driven against the simulated
+// scratchpad — the paper's evaluation workload.
+//
+// The transform runs in-place on packed complex Q15 samples living in
+// the scratchpad: every butterfly's loads and stores traverse the
+// fault-injecting memory model, so bit errors corrupt the numerics
+// exactly as they would on the silicon platform.  Stages are the
+// streaming phases OCEAN checkpoints: phase 0 is the bit-reverse
+// permutation, phases 1..log2(N) the butterfly stages, each scaling by
+// 1/2 to prevent overflow (total output scaling 1/N).
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "common/fixed_point.hpp"
+#include "workloads/streaming.hpp"
+
+namespace ntc::workloads {
+
+class FixedPointFft final : public StreamingTask {
+ public:
+  /// `points` must be a power of two (the paper uses 1024);
+  /// `spm_word_offset` locates the working buffer in the scratchpad.
+  explicit FixedPointFft(std::size_t points, std::uint32_t spm_word_offset = 0);
+
+  std::string name() const override;
+  std::size_t phase_count() const override;  // 1 + log2(points)
+  ChunkRef initialize(sim::MemoryPort& spm) override;
+  ChunkRef input_chunk(std::size_t index) const override;
+  PhaseResult run_phase(std::size_t index, sim::MemoryPort& spm) override;
+
+  /// Set the time-domain input (applied at initialize()).  Values must
+  /// be within Q15 range.
+  void set_input(std::vector<std::complex<double>> input);
+
+  /// Read the transform result back out of the scratchpad.
+  std::vector<std::complex<double>> read_output(sim::MemoryPort& spm) const;
+
+  /// The scaling the fixed-point pipeline applies (1/N), needed when
+  /// comparing against an unscaled reference FFT.
+  double output_scale() const { return 1.0 / static_cast<double>(points_); }
+
+  /// Cycle cost model (ARM9-class): per butterfly and per permutation
+  /// element, used to charge core cycles.
+  static constexpr std::uint64_t kCyclesPerButterfly = 18;
+  static constexpr std::uint64_t kCyclesPerPermute = 6;
+
+ private:
+  std::size_t points_;
+  std::size_t log2n_;
+  std::uint32_t base_;
+  std::vector<std::complex<double>> input_;
+
+  ComplexQ15 twiddle(std::size_t k, std::size_t len) const;
+};
+
+}  // namespace ntc::workloads

@@ -1,0 +1,112 @@
+#include "workloads/fir.hpp"
+
+#include "common/assert.hpp"
+
+namespace ntc::workloads {
+
+FirFilter::FirFilter(std::vector<double> taps, std::vector<double> input,
+                     std::size_t block_samples, std::uint32_t spm_word_offset)
+    : taps_(std::move(taps)),
+      input_(std::move(input)),
+      block_samples_(block_samples),
+      base_(spm_word_offset) {
+  NTC_REQUIRE(!taps_.empty() && !input_.empty());
+  NTC_REQUIRE(block_samples_ > 0);
+  NTC_REQUIRE(input_.size() % block_samples_ == 0);
+}
+
+std::string FirFilter::name() const {
+  return std::to_string(taps_.size()) + "-tap Q15 FIR";
+}
+
+std::size_t FirFilter::phase_count() const {
+  return input_.size() / block_samples_;
+}
+
+std::uint32_t FirFilter::input_base() const {
+  return base_ + static_cast<std::uint32_t>(taps_.size());
+}
+
+std::uint32_t FirFilter::output_base() const {
+  return input_base() + static_cast<std::uint32_t>(input_.size());
+}
+
+ChunkRef FirFilter::initialize(sim::MemoryPort& spm) {
+  // Q15 samples stored one per 32-bit word (low half), coefficients
+  // first so a burst of weak cells cannot silently hit both.
+  for (std::size_t i = 0; i < taps_.size(); ++i) {
+    spm.write_word(coeff_base() + static_cast<std::uint32_t>(i),
+                   static_cast<std::uint16_t>(Q15::from_double(taps_[i]).raw()));
+  }
+  for (std::size_t i = 0; i < input_.size(); ++i) {
+    spm.write_word(input_base() + static_cast<std::uint32_t>(i),
+                   static_cast<std::uint16_t>(Q15::from_double(input_[i]).raw()));
+  }
+  return ChunkRef{input_base(), static_cast<std::uint32_t>(input_.size())};
+}
+
+ChunkRef FirFilter::input_chunk(std::size_t index) const {
+  NTC_REQUIRE(index < phase_count());
+  return ChunkRef{
+      input_base() + static_cast<std::uint32_t>(index * block_samples_),
+      static_cast<std::uint32_t>(block_samples_)};
+}
+
+PhaseResult FirFilter::run_phase(std::size_t index, sim::MemoryPort& spm) {
+  NTC_REQUIRE(index < phase_count());
+  PhaseResult result;
+  bool fault = false;
+  auto load_q15 = [&](std::uint32_t word) {
+    std::uint32_t raw = 0;
+    if (spm.read_word(word, raw) == sim::AccessStatus::DetectedUncorrectable)
+      fault = true;
+    return Q15{static_cast<std::int16_t>(raw & 0xFFFFu)};
+  };
+  const std::size_t begin = index * block_samples_;
+  for (std::size_t n = begin; n < begin + block_samples_; ++n) {
+    Q15 acc{0};
+    for (std::size_t t = 0; t < taps_.size(); ++t) {
+      if (n < t) break;
+      const Q15 coeff = load_q15(coeff_base() + static_cast<std::uint32_t>(t));
+      const Q15 sample =
+          load_q15(input_base() + static_cast<std::uint32_t>(n - t));
+      acc = acc + coeff * sample;
+      result.compute_cycles += kCyclesPerTap;
+    }
+    if (spm.write_word(output_base() + static_cast<std::uint32_t>(n),
+                       static_cast<std::uint16_t>(acc.raw())) ==
+        sim::AccessStatus::DetectedUncorrectable)
+      fault = true;
+  }
+  result.output =
+      ChunkRef{output_base() + static_cast<std::uint32_t>(begin),
+               static_cast<std::uint32_t>(block_samples_)};
+  result.memory_fault = fault;
+  return result;
+}
+
+std::vector<double> FirFilter::read_output(sim::MemoryPort& spm) const {
+  std::vector<double> out(input_.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    std::uint32_t raw = 0;
+    spm.read_word(output_base() + static_cast<std::uint32_t>(i), raw);
+    out[i] = Q15{static_cast<std::int16_t>(raw & 0xFFFFu)}.to_double();
+  }
+  return out;
+}
+
+std::vector<double> FirFilter::reference_output() const {
+  std::vector<double> out(input_.size(), 0.0);
+  for (std::size_t n = 0; n < input_.size(); ++n) {
+    double acc = 0.0;
+    for (std::size_t t = 0; t < taps_.size() && t <= n; ++t) {
+      // Quantised coefficients/samples to match the Q15 pipeline.
+      acc += Q15::from_double(taps_[t]).to_double() *
+             Q15::from_double(input_[n - t]).to_double();
+    }
+    out[n] = acc;
+  }
+  return out;
+}
+
+}  // namespace ntc::workloads

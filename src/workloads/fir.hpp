@@ -1,0 +1,49 @@
+// Streaming FIR filter over scratchpad-resident blocks.
+//
+// The paper notes the analysis "is applicable to other streaming
+// applications as well" — this 32-tap Q15 FIR processes the input in
+// block-sized phases, giving a second workload with a different
+// compute/access ratio for the mitigation comparisons.
+#pragma once
+
+#include <vector>
+
+#include "common/fixed_point.hpp"
+#include "workloads/streaming.hpp"
+
+namespace ntc::workloads {
+
+class FirFilter final : public StreamingTask {
+ public:
+  /// `taps` Q15 coefficients; input of `blocks` x `block_samples`
+  /// samples processed one block per phase.  Layout in the scratchpad:
+  /// [coefficients | input | output].
+  FirFilter(std::vector<double> taps, std::vector<double> input,
+            std::size_t block_samples, std::uint32_t spm_word_offset = 0);
+
+  std::string name() const override;
+  std::size_t phase_count() const override;
+  ChunkRef initialize(sim::MemoryPort& spm) override;
+  ChunkRef input_chunk(std::size_t index) const override;
+  PhaseResult run_phase(std::size_t index, sim::MemoryPort& spm) override;
+
+  /// Filtered output read back from the scratchpad.
+  std::vector<double> read_output(sim::MemoryPort& spm) const;
+
+  /// Double-precision reference for quality comparison.
+  std::vector<double> reference_output() const;
+
+  static constexpr std::uint64_t kCyclesPerTap = 3;  // MAC + load + index
+
+ private:
+  std::uint32_t coeff_base() const { return base_; }
+  std::uint32_t input_base() const;
+  std::uint32_t output_base() const;
+
+  std::vector<double> taps_;
+  std::vector<double> input_;
+  std::size_t block_samples_;
+  std::uint32_t base_;
+};
+
+}  // namespace ntc::workloads

@@ -1,0 +1,69 @@
+#include "workloads/golden.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace ntc::workloads {
+
+namespace {
+
+void fft_in_place(std::vector<std::complex<double>>& x) {
+  const std::size_t n = x.size();
+  if (n <= 1) return;
+  // Bit-reverse permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = -2.0 * M_PI / static_cast<double>(len);
+    const std::complex<double> wn(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = x[i + k];
+        const std::complex<double> v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wn;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::complex<double>> reference_fft(
+    std::vector<std::complex<double>> input) {
+  NTC_REQUIRE((input.size() & (input.size() - 1)) == 0);
+  fft_in_place(input);
+  return input;
+}
+
+double snr_db(const std::vector<std::complex<double>>& measured,
+              const std::vector<std::complex<double>>& reference) {
+  NTC_REQUIRE(measured.size() == reference.size() && !measured.empty());
+  double signal = 0.0, noise = 0.0;
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    signal += std::norm(reference[i]);
+    noise += std::norm(measured[i] - reference[i]);
+  }
+  if (noise == 0.0) return 300.0;
+  if (signal == 0.0) return 0.0;
+  return 10.0 * std::log10(signal / noise);
+}
+
+double rmse(const std::vector<double>& a, const std::vector<double>& b) {
+  NTC_REQUIRE(a.size() == b.size() && !a.empty());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(a.size()));
+}
+
+}  // namespace ntc::workloads

@@ -1,0 +1,22 @@
+// Golden-model quality metrics for the streaming workloads.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace ntc::workloads {
+
+/// Reference DFT in double precision (O(n log n) recursive radix-2;
+/// n must be a power of two).
+std::vector<std::complex<double>> reference_fft(
+    std::vector<std::complex<double>> input);
+
+/// Signal-to-noise ratio [dB] of `measured` against `reference`
+/// (10*log10(signal power / error power)); +inf is clamped to 300 dB.
+double snr_db(const std::vector<std::complex<double>>& measured,
+              const std::vector<std::complex<double>>& reference);
+
+/// Root-mean-square error between two real sequences of equal length.
+double rmse(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace ntc::workloads

@@ -1,0 +1,86 @@
+#include "workloads/matmul.hpp"
+
+#include "common/assert.hpp"
+
+namespace ntc::workloads {
+
+MatMul::MatMul(std::vector<std::int32_t> a, std::vector<std::int32_t> b,
+               std::size_t n, std::uint32_t spm_word_offset)
+    : a_(std::move(a)), b_(std::move(b)), n_(n), base_(spm_word_offset) {
+  NTC_REQUIRE(n_ > 0);
+  NTC_REQUIRE(a_.size() == n_ * n_ && b_.size() == n_ * n_);
+}
+
+std::string MatMul::name() const {
+  return std::to_string(n_) + "x" + std::to_string(n_) + " int matmul";
+}
+
+ChunkRef MatMul::initialize(sim::MemoryPort& spm) {
+  for (std::size_t i = 0; i < a_.size(); ++i)
+    spm.write_word(a_base() + static_cast<std::uint32_t>(i),
+                   static_cast<std::uint32_t>(a_[i]));
+  for (std::size_t i = 0; i < b_.size(); ++i)
+    spm.write_word(b_base() + static_cast<std::uint32_t>(i),
+                   static_cast<std::uint32_t>(b_[i]));
+  return ChunkRef{a_base(), static_cast<std::uint32_t>(2 * n_ * n_)};
+}
+
+ChunkRef MatMul::input_chunk(std::size_t index) const {
+  NTC_REQUIRE(index < n_);
+  // Every phase re-reads both operands; the chunk OCEAN checkpoints is
+  // the full operand region.
+  return ChunkRef{a_base(), static_cast<std::uint32_t>(2 * n_ * n_)};
+}
+
+PhaseResult MatMul::run_phase(std::size_t index, sim::MemoryPort& spm) {
+  NTC_REQUIRE(index < n_);
+  PhaseResult result;
+  bool fault = false;
+  auto load = [&](std::uint32_t word) {
+    std::uint32_t raw = 0;
+    if (spm.read_word(word, raw) == sim::AccessStatus::DetectedUncorrectable)
+      fault = true;
+    return static_cast<std::int32_t>(raw);
+  };
+  for (std::size_t j = 0; j < n_; ++j) {
+    std::int64_t acc = 0;
+    for (std::size_t k = 0; k < n_; ++k) {
+      const std::int32_t av = load(a_base() + static_cast<std::uint32_t>(index * n_ + k));
+      const std::int32_t bv = load(b_base() + static_cast<std::uint32_t>(k * n_ + j));
+      acc += static_cast<std::int64_t>(av) * bv;
+      result.compute_cycles += kCyclesPerMac;
+    }
+    if (spm.write_word(c_base() + static_cast<std::uint32_t>(index * n_ + j),
+                       static_cast<std::uint32_t>(static_cast<std::int32_t>(acc))) ==
+        sim::AccessStatus::DetectedUncorrectable)
+      fault = true;
+  }
+  result.output = ChunkRef{c_base() + static_cast<std::uint32_t>(index * n_),
+                           static_cast<std::uint32_t>(n_)};
+  result.memory_fault = fault;
+  return result;
+}
+
+std::vector<std::int32_t> MatMul::read_output(sim::MemoryPort& spm) const {
+  std::vector<std::int32_t> out(n_ * n_);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    std::uint32_t raw = 0;
+    spm.read_word(c_base() + static_cast<std::uint32_t>(i), raw);
+    out[i] = static_cast<std::int32_t>(raw);
+  }
+  return out;
+}
+
+std::vector<std::int32_t> MatMul::reference_output() const {
+  std::vector<std::int32_t> out(n_ * n_, 0);
+  for (std::size_t i = 0; i < n_; ++i)
+    for (std::size_t j = 0; j < n_; ++j) {
+      std::int64_t acc = 0;
+      for (std::size_t k = 0; k < n_; ++k)
+        acc += static_cast<std::int64_t>(a_[i * n_ + k]) * b_[k * n_ + j];
+      out[i * n_ + j] = static_cast<std::int32_t>(acc);
+    }
+  return out;
+}
+
+}  // namespace ntc::workloads

@@ -1,0 +1,44 @@
+// Integer matrix multiply over scratchpad-resident operands.
+//
+// Third workload class: dense compute with heavy operand reuse (each
+// input element is read N times), stressing read-disturb style access
+// errors differently from the FFT's streaming passes.  One output row
+// per phase.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/streaming.hpp"
+
+namespace ntc::workloads {
+
+class MatMul final : public StreamingTask {
+ public:
+  /// C = A * B with n x n int16 operands (values in [-2^14, 2^14)).
+  /// Layout in the scratchpad: [A | B | C], one element per word.
+  MatMul(std::vector<std::int32_t> a, std::vector<std::int32_t> b,
+         std::size_t n, std::uint32_t spm_word_offset = 0);
+
+  std::string name() const override;
+  std::size_t phase_count() const override { return n_; }
+  ChunkRef initialize(sim::MemoryPort& spm) override;
+  ChunkRef input_chunk(std::size_t index) const override;
+  PhaseResult run_phase(std::size_t index, sim::MemoryPort& spm) override;
+
+  std::vector<std::int32_t> read_output(sim::MemoryPort& spm) const;
+  std::vector<std::int32_t> reference_output() const;
+
+  static constexpr std::uint64_t kCyclesPerMac = 4;
+
+ private:
+  std::uint32_t a_base() const { return base_; }
+  std::uint32_t b_base() const { return base_ + static_cast<std::uint32_t>(n_ * n_); }
+  std::uint32_t c_base() const { return base_ + static_cast<std::uint32_t>(2 * n_ * n_); }
+
+  std::vector<std::int32_t> a_, b_;
+  std::size_t n_;
+  std::uint32_t base_;
+};
+
+}  // namespace ntc::workloads

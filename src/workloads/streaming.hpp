@@ -1,0 +1,50 @@
+// Phase-structured streaming computation (the application model of
+// OCEAN, paper Figure 7).
+//
+// A StreamingTask splits into phases; each phase consumes the chunk the
+// previous phase produced in scratchpad memory and produces its own
+// output chunk.  OCEAN exploits exactly this structure: a phase's
+// output chunk is what gets checkpointed into the protected buffer, and
+// a corrupted input chunk can be restored from there instead of
+// re-running the producer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/memory_port.hpp"
+
+namespace ntc::workloads {
+
+/// A contiguous span of 32-bit words in the scratchpad.
+struct ChunkRef {
+  std::uint32_t word_offset = 0;
+  std::uint32_t words = 0;
+};
+
+struct PhaseResult {
+  ChunkRef output;                  ///< chunk produced by this phase
+  std::uint64_t compute_cycles = 0; ///< core cycles to charge
+  bool memory_fault = false;        ///< uncorrectable access met mid-phase
+};
+
+class StreamingTask {
+ public:
+  virtual ~StreamingTask() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::size_t phase_count() const = 0;
+
+  /// Write the initial input chunk into the scratchpad.  Returns the
+  /// chunk that phase 0 consumes.
+  virtual ChunkRef initialize(sim::MemoryPort& spm) = 0;
+
+  /// The chunk phase `index` consumes (the previous phase's output for
+  /// classic streaming pipelines).
+  virtual ChunkRef input_chunk(std::size_t index) const = 0;
+
+  /// Execute one phase against the scratchpad.
+  virtual PhaseResult run_phase(std::size_t index, sim::MemoryPort& spm) = 0;
+};
+
+}  // namespace ntc::workloads

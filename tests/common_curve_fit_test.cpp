@@ -1,0 +1,104 @@
+#include "common/curve_fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace ntc {
+namespace {
+
+TEST(CholeskySolve, SolvesSpdSystem) {
+  // A = [[4,2],[2,3]], b = [10, 9] -> x = [1.5, 2].
+  std::vector<double> a{4, 2, 2, 3};
+  std::vector<double> b{10, 9};
+  ASSERT_TRUE(cholesky_solve(a, b, 2));
+  EXPECT_NEAR(b[0], 1.5, 1e-12);
+  EXPECT_NEAR(b[1], 2.0, 1e-12);
+}
+
+TEST(CholeskySolve, RejectsIndefiniteMatrix) {
+  std::vector<double> a{1, 2, 2, 1};  // eigenvalues 3, -1
+  std::vector<double> b{1, 1};
+  EXPECT_FALSE(cholesky_solve(a, b, 2));
+}
+
+TEST(LevenbergMarquardt, FitsExponentialDecay) {
+  // y = a * exp(-b x)
+  auto model = [](double x, const std::vector<double>& p) {
+    return p[0] * std::exp(-p[1] * x);
+  };
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 50; ++i) {
+    double x = i * 0.1;
+    xs.push_back(x);
+    ys.push_back(2.5 * std::exp(-1.3 * x));
+  }
+  auto result = levenberg_marquardt(model, xs, ys, {1.0, 1.0});
+  ASSERT_EQ(result.params.size(), 2u);
+  EXPECT_NEAR(result.params[0], 2.5, 1e-6);
+  EXPECT_NEAR(result.params[1], 1.3, 1e-6);
+  EXPECT_LT(result.cost, 1e-12);
+}
+
+TEST(LevenbergMarquardt, FitsPowerLawLikeEq5) {
+  // The access-error model of the paper: p = A * (V0 - V)^k, fitted on
+  // log-probability (as the characterisation flow does).
+  const double A = 6.0, k = 6.14, V0 = 0.85;
+  auto model = [](double v, const std::vector<double>& p) {
+    double margin = p[2] - v;
+    if (margin <= 0.0) return -700.0;
+    return std::log(p[0]) + p[1] * std::log(margin);
+  };
+  std::vector<double> xs, ys;
+  for (double v = 0.45; v <= 0.80; v += 0.01) {
+    xs.push_back(v);
+    ys.push_back(std::log(A) + k * std::log(V0 - v));
+  }
+  auto result = levenberg_marquardt(model, xs, ys, {2.0, 4.0, 0.9},
+                                    /*weights=*/{},
+                                    /*lower=*/{1e-3, 1.0, 0.81},
+                                    /*upper=*/{100.0, 12.0, 1.2});
+  EXPECT_NEAR(result.params[0], A, 0.15);
+  EXPECT_NEAR(result.params[1], k, 0.05);
+  EXPECT_NEAR(result.params[2], V0, 0.005);
+}
+
+TEST(LevenbergMarquardt, ToleratesNoise) {
+  auto model = [](double x, const std::vector<double>& p) {
+    return p[0] + p[1] * x * x;
+  };
+  Rng rng(9);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 100; ++i) {
+    double x = -1.0 + 0.02 * i;
+    xs.push_back(x);
+    ys.push_back(0.7 + 2.0 * x * x + rng.normal(0.0, 0.01));
+  }
+  auto result = levenberg_marquardt(model, xs, ys, {0.0, 1.0});
+  EXPECT_NEAR(result.params[0], 0.7, 0.01);
+  EXPECT_NEAR(result.params[1], 2.0, 0.03);
+}
+
+TEST(LevenbergMarquardt, RespectsBoxConstraints) {
+  auto model = [](double x, const std::vector<double>& p) { return p[0] * x; };
+  std::vector<double> xs{1, 2, 3}, ys{10, 20, 30};  // true slope 10
+  auto result = levenberg_marquardt(model, xs, ys, {1.0}, {}, {0.0}, {5.0});
+  EXPECT_LE(result.params[0], 5.0 + 1e-12);
+  EXPECT_NEAR(result.params[0], 5.0, 1e-6);  // pinned at the bound
+}
+
+TEST(LevenbergMarquardt, WeightsBiasTheFit) {
+  auto model = [](double x, const std::vector<double>& p) {
+    (void)x;
+    return p[0];
+  };
+  std::vector<double> xs{0, 1}, ys{0.0, 10.0};
+  // All weight on the second point -> fit approaches 10.
+  auto result = levenberg_marquardt(model, xs, ys, {5.0}, {1e-6, 1.0});
+  EXPECT_NEAR(result.params[0], 10.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace ntc

@@ -1,0 +1,131 @@
+#include "common/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ntc {
+namespace {
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-9);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.024997895148220435, 1e-9);
+  EXPECT_NEAR(normal_cdf(6.0), 1.0 - 9.865876450377018e-10, 1e-12);
+}
+
+TEST(NormalQuantile, RoundTripsWithCdf) {
+  for (double p : {1e-9, 1e-6, 0.01, 0.25, 0.5, 0.75, 0.99, 1.0 - 1e-6}) {
+    double x = normal_quantile(p);
+    EXPECT_NEAR(normal_cdf(x), p, 1e-9 + p * 1e-7) << "p=" << p;
+  }
+}
+
+TEST(ErfInv, RoundTripsWithErf) {
+  for (double x : {-0.999, -0.5, -0.1, 0.0, 0.1, 0.5, 0.999}) {
+    if (x == 0.0) {
+      EXPECT_NEAR(erf_inv(0.0), 0.0, 1e-9);
+    } else {
+      EXPECT_NEAR(std::erf(erf_inv(x)), x, 1e-8) << "x=" << x;
+    }
+  }
+}
+
+TEST(LogBinomialCoefficient, SmallExactValues) {
+  EXPECT_NEAR(std::exp(log_binomial_coefficient(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_binomial_coefficient(39, 3)), 9139.0, 1e-6);
+  EXPECT_NEAR(std::exp(log_binomial_coefficient(39, 5)), 575757.0, 1e-4);
+  EXPECT_NEAR(std::exp(log_binomial_coefficient(10, 0)), 1.0, 1e-12);
+  EXPECT_NEAR(std::exp(log_binomial_coefficient(10, 10)), 1.0, 1e-12);
+}
+
+TEST(LogSumExp, AgreesWithDirectComputation) {
+  double l = log_sum_exp(std::log(3.0), std::log(4.0));
+  EXPECT_NEAR(std::exp(l), 7.0, 1e-12);
+}
+
+TEST(LogSumExp, HandlesLogZeroIdentity) {
+  EXPECT_NEAR(log_sum_exp(kLogZero, std::log(2.0)), std::log(2.0), 1e-12);
+  EXPECT_NEAR(log_sum_exp(std::log(2.0), kLogZero), std::log(2.0), 1e-12);
+}
+
+TEST(Log1mExp, MatchesReference) {
+  for (double x : {-1e-8, -0.1, -1.0, -10.0, -50.0}) {
+    double expected = std::log1p(-std::exp(x));
+    EXPECT_NEAR(log1m_exp(x), expected, std::abs(expected) * 1e-10 + 1e-12);
+  }
+}
+
+TEST(BinomialTail, DegenerateCases) {
+  EXPECT_DOUBLE_EQ(binomial_tail_ge(10, 0, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_tail_ge(10, 11, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_tail_ge(10, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_tail_ge(10, 3, 1.0), 1.0);
+}
+
+TEST(BinomialTail, MatchesExactSmallCase) {
+  // X ~ Bin(4, 0.5): P(X >= 2) = 11/16.
+  EXPECT_NEAR(binomial_tail_ge(4, 2, 0.5), 11.0 / 16.0, 1e-12);
+}
+
+TEST(BinomialTail, DominantTermApproximationForTinyP) {
+  // For tiny p, P(X >= k) ~ C(n,k) p^k.
+  const double p = 1e-6;
+  const double approx = 9139.0 * std::pow(p, 3);  // C(39,3) p^3
+  EXPECT_NEAR(binomial_tail_ge(39, 3, p) / approx, 1.0, 1e-3);
+}
+
+TEST(BinomialTail, LogDomainHandlesUnderflowingTails) {
+  // p = 1e-12, k = 5, n = 39: tail ~ C(39,5) * 1e-60 = 5.8e-55 —
+  // representable, but the per-term products underflow naive math.
+  double l = log_binomial_tail_ge(39, 5, 1e-12);
+  EXPECT_NEAR(l, std::log(575757.0) + 5.0 * std::log(1e-12), 1e-6);
+}
+
+TEST(AnyOfN, MatchesComplementRule) {
+  EXPECT_NEAR(any_of_n(10, 0.1), 1.0 - std::pow(0.9, 10), 1e-12);
+  EXPECT_DOUBLE_EQ(any_of_n(0, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(any_of_n(10, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(any_of_n(10, 1.0), 1.0);
+}
+
+TEST(AnyOfN, StableForTinyProbabilities) {
+  // 1 - (1-1e-18)^1000 ~ 1e-15; naive evaluation returns 0.
+  EXPECT_NEAR(any_of_n(1000, 1e-18), 1e-15, 1e-18);
+}
+
+TEST(Linspace, EndpointsAndSpacing) {
+  auto v = linspace(0.0, 1.0, 5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v.front(), 0.0);
+  EXPECT_DOUBLE_EQ(v.back(), 1.0);
+  EXPECT_DOUBLE_EQ(v[2], 0.5);
+}
+
+TEST(Logspace, EndpointsAndGeometricSpacing) {
+  auto v = logspace(1.0, 100.0, 3);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_NEAR(v[0], 1.0, 1e-12);
+  EXPECT_NEAR(v[1], 10.0, 1e-9);
+  EXPECT_NEAR(v[2], 100.0, 1e-12);
+}
+
+TEST(Bisect, FindsRootOfMonotonicFunction) {
+  double root = bisect([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  EXPECT_NEAR(root, std::sqrt(2.0), 1e-10);
+}
+
+TEST(GoldenSection, FindsMinimumOfParabola) {
+  double x = golden_section_min([](double v) { return (v - 0.7) * (v - 0.7); },
+                                0.0, 2.0);
+  EXPECT_NEAR(x, 0.7, 1e-6);
+}
+
+TEST(Clamp, ClampsBothSides) {
+  EXPECT_DOUBLE_EQ(clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+}  // namespace
+}  // namespace ntc

@@ -1,0 +1,121 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/statistics.hpp"
+
+namespace ntc {
+namespace {
+
+TEST(Rng, IsDeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.next_u64() == b.next_u64());
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, UniformStaysInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.uniform(-2.5, 3.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 3.5);
+  }
+}
+
+TEST(Rng, UniformU64IsUnbiasedAcrossSmallRange) {
+  Rng rng(11);
+  std::array<int, 5> counts{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[rng.uniform_u64(5)]++;
+  for (int c : counts) EXPECT_NEAR(c, n / 5, 1000);
+}
+
+TEST(Rng, NormalMomentsMatchStandardNormal) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.normal());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.01);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.01);
+}
+
+TEST(Rng, NormalScalesMeanAndSigma) {
+  Rng rng(17);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.normal(3.0, 0.5));
+  EXPECT_NEAR(stats.mean(), 3.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliHandlesDegenerateProbabilities) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-1.0));
+    EXPECT_TRUE(rng.bernoulli(2.0));
+  }
+}
+
+TEST(Rng, PoissonMeanMatchesLambdaSmall) {
+  Rng rng(29);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i)
+    stats.add(static_cast<double>(rng.poisson(2.5)));
+  EXPECT_NEAR(stats.mean(), 2.5, 0.05);
+}
+
+TEST(Rng, PoissonMeanMatchesLambdaLarge) {
+  Rng rng(31);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i)
+    stats.add(static_cast<double>(rng.poisson(200.0)));
+  EXPECT_NEAR(stats.mean(), 200.0, 1.0);
+}
+
+TEST(Rng, PoissonZeroLambdaIsZero) {
+  Rng rng(37);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, ForkProducesIndependentButDeterministicStreams) {
+  Rng base(99);
+  Rng f1 = base.fork(1);
+  Rng f2 = base.fork(2);
+  Rng f1_again = Rng(99).fork(1);
+  EXPECT_EQ(f1.next_u64(), f1_again.next_u64());
+  // Streams with different tags differ.
+  Rng g1 = base.fork(1), g2 = base.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (g1.next_u64() == g2.next_u64());
+  EXPECT_LE(equal, 1);
+  (void)f2;
+}
+
+}  // namespace
+}  // namespace ntc

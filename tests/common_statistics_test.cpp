@@ -1,0 +1,101 @@
+#include "common/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace ntc {
+namespace {
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSinglePass) {
+  Rng rng(5);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.normal(1.0, 2.0);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(Histogram, CountsAndClampsToEdges) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-100.0);  // clamps into first bin
+  h.add(100.0);   // clamps into last bin
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(9), 2u);
+}
+
+TEST(Histogram, BinCenters) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_center(9), 9.5);
+}
+
+TEST(Histogram, QuantileOfUniformFill) {
+  Histogram h(0.0, 1.0, 100);
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) h.add(rng.uniform());
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+}
+
+TEST(LinearFit, RecoversExactLine) {
+  std::vector<double> x{0, 1, 2, 3, 4}, y;
+  for (double v : x) y.push_back(2.0 + 3.0 * v);
+  auto fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.intercept, 2.0, 1e-12);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearFit, NoisyLineHasHighR2) {
+  Rng rng(7);
+  std::vector<double> x, y;
+  for (int i = 0; i < 200; ++i) {
+    x.push_back(i * 0.1);
+    y.push_back(1.0 - 0.5 * i * 0.1 + rng.normal(0.0, 0.05));
+  }
+  auto fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, -0.5, 0.02);
+  EXPECT_GT(fit.r_squared, 0.95);
+}
+
+TEST(Percentile, MedianAndExtremes) {
+  std::vector<double> v{5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 5.0);
+}
+
+}  // namespace
+}  // namespace ntc

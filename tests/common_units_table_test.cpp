@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/fixed_point.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace ntc {
+namespace {
+
+TEST(Units, SameUnitArithmetic) {
+  Volt a{0.4}, b{0.2};
+  EXPECT_DOUBLE_EQ((a + b).value, 0.6);
+  EXPECT_DOUBLE_EQ((a - b).value, 0.2);
+  EXPECT_DOUBLE_EQ((a * 2.0).value, 0.8);
+  EXPECT_DOUBLE_EQ(a / b, 2.0);
+  EXPECT_LT(b, a);
+}
+
+TEST(Units, CrossUnitPhysics) {
+  Watt p = milliwatts(2.0);
+  Second t = milliseconds(3.0);
+  EXPECT_DOUBLE_EQ((p * t).value, 6e-6);              // J
+  EXPECT_DOUBLE_EQ((Joule{6e-6} / t).value, 2e-3);    // W
+  EXPECT_DOUBLE_EQ((Volt{2.0} * Ampere{3.0}).value, 6.0);
+  EXPECT_DOUBLE_EQ(period(megahertz(1.0)).value, 1e-6);
+  EXPECT_DOUBLE_EQ(frequency(microseconds(1.0)).value, 1e6);
+  EXPECT_DOUBLE_EQ(energy_per_cycle(Watt{1e-3}, kilohertz(1.0)).value, 1e-6);
+}
+
+TEST(Units, LiteralHelpersScaleCorrectly) {
+  EXPECT_DOUBLE_EQ(millivolts(850.0).value, 0.85);
+  EXPECT_DOUBLE_EQ(picojoules(12.0).value, 12e-12);
+  EXPECT_DOUBLE_EQ(microwatts(2.2).value, 2.2e-6);
+  EXPECT_DOUBLE_EQ(in_megahertz(megahertz(820.0)), 820.0);
+  EXPECT_DOUBLE_EQ(in_picojoules(picojoules(1.4)), 1.4);
+  EXPECT_NEAR(years(10.0).value, 3.156e8, 1e6);
+}
+
+TEST(TextTable, RendersAlignedRowsAndNotes) {
+  TextTable t("Demo");
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  t.add_note("*1 a note");
+  std::string s = t.render();
+  EXPECT_NE(s.find("== Demo =="), std::string::npos);
+  EXPECT_NE(s.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(s.find("*1 a note"), std::string::npos);
+}
+
+TEST(TextTable, Formatters) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::sci(0.000123, 2), "1.23e-04");
+  EXPECT_EQ(TextTable::pct(0.375, 1), "37.5%");
+}
+
+TEST(CsvWriter, EscapesAndWritesRows) {
+  const char* path = "/tmp/ntc_csv_test.csv";
+  {
+    CsvWriter w(path);
+    ASSERT_TRUE(w.ok());
+    w.write_row(std::vector<std::string>{"a,b", "plain", "qu\"ote"});
+    w.write_row(std::vector<double>{1.5, 2.0});
+  }
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), "\"a,b\",plain,\"qu\"\"ote\"\n1.5,2\n");
+  std::remove(path);
+}
+
+TEST(Q15, ConversionRoundTrip) {
+  Q15 half = Q15::from_double(0.5);
+  EXPECT_NEAR(half.to_double(), 0.5, 1e-4);
+  EXPECT_EQ(Q15::from_double(1.5).raw(), 32767);   // saturates high
+  EXPECT_EQ(Q15::from_double(-2.0).raw(), -32768); // saturates low
+}
+
+TEST(Q15, SaturatingAddition) {
+  Q15 big = Q15::from_double(0.9);
+  EXPECT_EQ((big + big).raw(), 32767);
+  Q15 neg = Q15::from_double(-0.9);
+  EXPECT_EQ((neg + neg).raw(), -32768);
+  EXPECT_NEAR((Q15::from_double(0.25) + Q15::from_double(0.5)).to_double(),
+              0.75, 1e-4);
+}
+
+TEST(Q15, MultiplicationMatchesDouble) {
+  Q15 a = Q15::from_double(0.5), b = Q15::from_double(-0.25);
+  EXPECT_NEAR((a * b).to_double(), -0.125, 1e-4);
+}
+
+TEST(ComplexQ15, PackUnpackRoundTrip) {
+  ComplexQ15 c{Q15::from_double(0.7), Q15::from_double(-0.3)};
+  EXPECT_EQ(ComplexQ15::unpack(c.pack()), c);
+}
+
+}  // namespace
+}  // namespace ntc

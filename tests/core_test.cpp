@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "core/ntcmem.hpp"
+
+namespace ntc::core {
+namespace {
+
+TEST(CanaryMonitor, CanariesFailBeforeTheArray) {
+  CanaryMonitor monitor(reliability::cell_based_40nm_access(),
+                        tech::AgingModel());
+  const double canary = monitor.true_error_probability(Volt{0.50}, Second{0});
+  const double array =
+      reliability::cell_based_40nm_access().p_bit_err(Volt{0.50});
+  EXPECT_GT(canary, array);  // early warning by construction
+}
+
+TEST(CanaryMonitor, ErrorRateGrowsWithAge) {
+  CanaryMonitor monitor(reliability::cell_based_40nm_access(),
+                        tech::AgingModel(Volt{0.060}, 0.2));
+  double young = monitor.true_error_probability(Volt{0.50}, Second{0});
+  double old = monitor.true_error_probability(Volt{0.50}, years(10.0));
+  EXPECT_GT(old, young * 2.0);
+}
+
+TEST(CanaryMonitor, SampleTracksTrueProbability) {
+  CanaryMonitor monitor(reliability::cell_based_40nm_access(),
+                        tech::AgingModel());
+  const Volt v{0.38};  // canaries see 0.33 V effective: p ~ 6e-5
+  const double p = monitor.true_error_probability(v, Second{0});
+  ASSERT_GT(p, 1e-5);  // measurable at this margin
+  double rate = monitor.sample_error_rate(v, Second{0}, 4096);
+  EXPECT_NEAR(rate / p, 1.0, 0.3);
+}
+
+TEST(VoltageController, StepsUpOnHighErrorRate) {
+  VoltageController controller(Volt{0.40});
+  Volt v = controller.update(0.01);
+  EXPECT_NEAR(v.value, 0.41, 1e-12);
+  EXPECT_EQ(controller.up_steps(), 1u);
+}
+
+TEST(VoltageController, StepsDownOnlyAfterDwell) {
+  ControllerConfig config;
+  config.down_dwell = 3;
+  VoltageController controller(Volt{0.50}, config);
+  EXPECT_NEAR(controller.update(0.0).value, 0.50, 1e-12);
+  EXPECT_NEAR(controller.update(0.0).value, 0.50, 1e-12);
+  EXPECT_NEAR(controller.update(0.0).value, 0.49, 1e-12);  // third epoch
+  EXPECT_EQ(controller.down_steps(), 1u);
+}
+
+TEST(VoltageController, HoldsInsideTheBand) {
+  VoltageController controller(Volt{0.45});
+  for (int i = 0; i < 10; ++i) controller.update(1e-4);  // in band
+  EXPECT_NEAR(controller.voltage().value, 0.45, 1e-12);
+}
+
+TEST(VoltageController, RespectsRailLimits) {
+  ControllerConfig config;
+  config.v_min = Volt{0.40};
+  config.v_max = Volt{0.44};
+  VoltageController controller(Volt{0.42}, config);
+  for (int i = 0; i < 20; ++i) controller.update(0.5);
+  EXPECT_NEAR(controller.voltage().value, 0.44, 1e-12);
+  for (int i = 0; i < 100; ++i) controller.update(0.0);
+  EXPECT_NEAR(controller.voltage().value, 0.40, 1e-12);
+}
+
+TEST(NtcMemory, RoundTripWithSecdedAtOperatingPoint) {
+  NtcMemoryConfig config;
+  config.vdd = Volt{0.44};  // the paper's ECC point
+  config.seed = 3;
+  NtcMemory memory(config);
+  for (std::uint32_t i = 0; i < 64; ++i) memory.write_word(i, i * 2654435761u);
+  int wrong = 0;
+  for (int pass = 0; pass < 200; ++pass) {
+    for (std::uint32_t i = 0; i < 64; ++i) {
+      std::uint32_t v = 0;
+      if (memory.read_word(i, v) != sim::AccessStatus::DetectedUncorrectable &&
+          v != i * 2654435761u)
+        ++wrong;
+    }
+  }
+  EXPECT_EQ(wrong, 0);
+}
+
+TEST(NtcMemory, AutoScrubFiresOnSchedule) {
+  NtcMemoryConfig config;
+  config.scrub_interval_accesses = 100;
+  config.inject_faults = false;
+  NtcMemory memory(config);
+  std::uint32_t v;
+  for (int i = 0; i < 350; ++i) memory.read_word(0, v);
+  EXPECT_EQ(memory.scrubs_performed(), 3u);
+}
+
+TEST(NtcMemory, FiguresTrackVoltageKnob) {
+  NtcMemoryConfig config;
+  config.inject_faults = false;
+  NtcMemory memory(config);
+  memory.set_vdd(Volt{0.33});
+  const double low = memory.figures().read_energy.value;
+  memory.set_vdd(Volt{0.55});
+  const double high = memory.figures().read_energy.value;
+  EXPECT_NEAR(high / low, (0.55 * 0.55) / (0.33 * 0.33), 1e-9);
+}
+
+TEST(Lifetime, ControllerTracksAgingAndSavesPower) {
+  LifetimeConfig config;
+  config.controller.v_min = Volt{0.40};
+  config.initial_vdd = Volt{0.44};
+  LifetimeResult result = simulate_lifetime(config);
+  ASSERT_FALSE(result.timeline.empty());
+  // The static guard band carries the full end-of-life drift.
+  EXPECT_GT(result.static_guardband_vdd.value, config.initial_vdd.value);
+  // Closed loop ends below the static point but above where it started
+  // stepping from (it must have stepped up as the device aged).
+  EXPECT_LT(result.final_adaptive_vdd.value,
+            result.static_guardband_vdd.value + 1e-9);
+  EXPECT_GT(result.mean_dynamic_power_saving, 0.05);
+}
+
+TEST(Lifetime, AdaptiveRailNeverExceedsStaticProvision) {
+  LifetimeConfig config;
+  LifetimeResult result = simulate_lifetime(config);
+  for (const auto& point : result.timeline) {
+    EXPECT_LE(point.adaptive_vdd.value,
+              result.static_guardband_vdd.value + 0.011);
+  }
+}
+
+TEST(NtcSystem, SchemeOrderingMatchesPaperAt290kHz) {
+  SystemRequirements requirements;
+  requirements.clock = kilohertz(290.0);
+  NtcSystem system(requirements);
+  SavingsReport report = system.analyze();
+  ASSERT_EQ(report.schemes.size(), 3u);
+  // Table 2 voltages.
+  EXPECT_NEAR(report.schemes[0].operating_point.voltage.value, 0.55, 1e-9);
+  EXPECT_NEAR(report.schemes[1].operating_point.voltage.value, 0.44, 1e-9);
+  EXPECT_NEAR(report.schemes[2].operating_point.voltage.value, 0.33, 1e-9);
+  // Power ordering and the paper's savings bands.
+  const double p0 = report.schemes[0].power.total().value;
+  const double p1 = report.schemes[1].power.total().value;
+  const double p2 = report.schemes[2].power.total().value;
+  EXPECT_GT(p0, p1);
+  EXPECT_GT(p1, p2);
+  EXPECT_GT(report.ocean_saving_vs_no_mitigation, 0.5);
+  EXPECT_GT(report.ocean_saving_vs_ecc, 0.25);
+  EXPECT_GT(report.headline_dynamic_power_ratio, 2.5);
+  EXPECT_LT(report.headline_dynamic_power_ratio, 4.0);
+}
+
+TEST(NtcSystem, EstimatePowerChargesSchemeOverheads) {
+  SystemRequirements requirements;
+  NtcSystem system(requirements);
+  // Same voltage: protection must cost extra power.
+  const double bare =
+      system.estimate_power(mitigation::no_mitigation(), Volt{0.55}).total().value;
+  const double ecc =
+      system.estimate_power(mitigation::secded_scheme(), Volt{0.55}).total().value;
+  EXPECT_GT(ecc, bare);
+}
+
+}  // namespace
+}  // namespace ntc::core

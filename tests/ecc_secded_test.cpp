@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ecc/hamming.hpp"
+#include "ecc/hsiao.hpp"
+
+namespace ntc::ecc {
+namespace {
+
+class SecdedBothTest : public ::testing::TestWithParam<int> {
+ protected:
+  std::unique_ptr<BlockCode> make(std::size_t k) const {
+    if (GetParam() == 0) return std::make_unique<HammingSecded>(k);
+    return std::make_unique<HsiaoSecded>(k);
+  }
+};
+
+TEST_P(SecdedBothTest, ParametersMatch3932) {
+  auto code = make(32);
+  EXPECT_EQ(code->data_bits(), 32u);
+  EXPECT_EQ(code->code_bits(), 39u);  // the paper's (39,32)
+  EXPECT_EQ(code->correct_capability(), 1u);
+  EXPECT_EQ(code->detect_capability(), 2u);
+  EXPECT_NEAR(code->overhead(), 39.0 / 32.0, 1e-12);
+}
+
+TEST_P(SecdedBothTest, CleanRoundTrip) {
+  auto code = make(32);
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    std::uint64_t data = rng.next_u64() & 0xFFFFFFFFull;
+    auto result = code->decode(code->encode(data));
+    EXPECT_EQ(result.data, data);
+    EXPECT_EQ(result.status, DecodeStatus::Ok);
+    EXPECT_EQ(result.corrected_bits, 0);
+  }
+}
+
+TEST_P(SecdedBothTest, CorrectsEverySingleBitErrorExhaustively) {
+  auto code = make(32);
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::uint64_t data = rng.next_u64() & 0xFFFFFFFFull;
+    Bits clean = code->encode(data);
+    for (std::size_t pos = 0; pos < code->code_bits(); ++pos) {
+      Bits corrupted = clean;
+      corrupted.flip(pos);
+      auto result = code->decode(corrupted);
+      EXPECT_EQ(result.data, data) << "pos=" << pos;
+      EXPECT_EQ(result.status, DecodeStatus::Corrected);
+      EXPECT_EQ(result.corrected_bits, 1);
+    }
+  }
+}
+
+TEST_P(SecdedBothTest, DetectsEveryDoubleBitErrorExhaustively) {
+  auto code = make(32);
+  Rng rng(3);
+  const std::uint64_t data = rng.next_u64() & 0xFFFFFFFFull;
+  Bits clean = code->encode(data);
+  for (std::size_t p1 = 0; p1 < code->code_bits(); ++p1) {
+    for (std::size_t p2 = p1 + 1; p2 < code->code_bits(); ++p2) {
+      Bits corrupted = clean;
+      corrupted.flip(p1);
+      corrupted.flip(p2);
+      auto result = code->decode(corrupted);
+      EXPECT_EQ(result.status, DecodeStatus::DetectedUncorrectable)
+          << "p1=" << p1 << " p2=" << p2;
+    }
+  }
+}
+
+TEST_P(SecdedBothTest, TripleErrorsDefeatTheCode) {
+  // The paper: "In the case of SECDED, a triple-bit error would lead to
+  // system failure."  Verify that triples are NOT reliably handled:
+  // a substantial fraction mis-correct (silent data corruption).
+  auto code = make(32);
+  Rng rng(4);
+  int silent = 0, trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    std::uint64_t data = rng.next_u64() & 0xFFFFFFFFull;
+    Bits corrupted = code->encode(data);
+    std::size_t p1 = rng.uniform_u64(39), p2, p3;
+    do { p2 = rng.uniform_u64(39); } while (p2 == p1);
+    do { p3 = rng.uniform_u64(39); } while (p3 == p1 || p3 == p2);
+    corrupted.flip(p1);
+    corrupted.flip(p2);
+    corrupted.flip(p3);
+    auto result = code->decode(corrupted);
+    if (result.status != DecodeStatus::DetectedUncorrectable &&
+        result.data != data) {
+      ++silent;
+    }
+  }
+  EXPECT_GT(silent, trials / 10);  // triples frequently corrupt silently
+}
+
+TEST_P(SecdedBothTest, SupportsWideWords) {
+  auto code = make(64);
+  EXPECT_EQ(code->code_bits(), 72u);  // the DIMM-style (72,64)
+  Rng rng(5);
+  std::uint64_t data = rng.next_u64();
+  Bits corrupted = code->encode(data);
+  corrupted.flip(70);
+  auto result = code->decode(corrupted);
+  EXPECT_EQ(result.data, data);
+  EXPECT_EQ(result.status, DecodeStatus::Corrected);
+}
+
+INSTANTIATE_TEST_SUITE_P(HammingAndHsiao, SecdedBothTest,
+                         ::testing::Values(0, 1),
+                         [](const auto& info) {
+                           return info.param == 0 ? "Hamming" : "Hsiao";
+                         });
+
+TEST(Hsiao, HMatrixOnesBoundsXorTree) {
+  HsiaoSecded code(32);
+  // 32 data columns of weight 3 = 96 ones — the minimal odd-weight
+  // construction.
+  EXPECT_EQ(code.h_matrix_ones(), 96u);
+}
+
+TEST(Hamming, ParityBitCount) {
+  EXPECT_EQ(HammingSecded(32).hamming_parity_bits(), 6u);
+  EXPECT_EQ(HammingSecded(64).hamming_parity_bits(), 7u);
+  EXPECT_EQ(HammingSecded(16).hamming_parity_bits(), 5u);
+  EXPECT_EQ(HammingSecded(8).hamming_parity_bits(), 4u);
+}
+
+TEST(Bits, SetGetFlipPopcount) {
+  Bits b;
+  EXPECT_FALSE(b.any());
+  b.set(0, true);
+  b.set(63, true);
+  b.set(64, true);
+  b.set(255, true);
+  EXPECT_EQ(b.popcount(), 4u);
+  EXPECT_TRUE(b.get(64));
+  b.flip(64);
+  EXPECT_FALSE(b.get(64));
+  EXPECT_EQ(b.popcount(), 3u);
+}
+
+TEST(Bits, XorAndEquality) {
+  Bits a = Bits::from_u64(0xF0F0);
+  Bits b = Bits::from_u64(0x0FF0);
+  Bits c = a ^ b;
+  EXPECT_EQ(c.to_u64(), 0xFF00u);
+  EXPECT_EQ(a ^ a, Bits{});
+}
+
+}  // namespace
+}  // namespace ntc::ecc

@@ -1,0 +1,199 @@
+// Property suite for the memory calculator and CACTI-lite, swept over
+// every implementation style.
+#include <gtest/gtest.h>
+
+#include "energy/cacti_lite.hpp"
+#include "energy/memory_calculator.hpp"
+#include "energy/platform_power.hpp"
+
+namespace ntc::energy {
+namespace {
+
+class CalculatorPerStyle : public ::testing::TestWithParam<MemoryStyle> {
+ protected:
+  MemoryStyle style() const { return GetParam(); }
+  double anchor_v() const {
+    return style() == MemoryStyle::CellBased65 ? 0.65 : 1.1;
+  }
+};
+
+TEST_P(CalculatorPerStyle, DynamicEnergyIsQuadraticInVoltage) {
+  MemoryCalculator calc(style(), reference_1k_x_32());
+  const double e1 = calc.at(Volt{0.4}).read_energy.value;
+  const double e2 = calc.at(Volt{0.8}).read_energy.value;
+  EXPECT_NEAR(e2 / e1, 4.0, 1e-9);
+}
+
+TEST_P(CalculatorPerStyle, LeakageAndSpeedMonotonicInVoltage) {
+  MemoryCalculator calc(style(), reference_1k_x_32());
+  double prev_leak = 0.0, prev_fmax = 0.0;
+  for (double v = 0.3; v <= 1.1; v += 0.1) {
+    const MemoryFigures fig = calc.at(Volt{v});
+    EXPECT_GT(fig.leakage.value, prev_leak) << "v=" << v;
+    EXPECT_GT(fig.fmax.value, prev_fmax) << "v=" << v;
+    prev_leak = fig.leakage.value;
+    prev_fmax = fig.fmax.value;
+  }
+}
+
+TEST_P(CalculatorPerStyle, LeakageAndAreaScaleWithBits) {
+  MemoryCalculator small(style(), MemoryGeometry{1024, 32});
+  MemoryCalculator big(style(), MemoryGeometry{4096, 32});
+  const Volt v{anchor_v()};
+  EXPECT_NEAR(big.at(v).leakage.value / small.at(v).leakage.value, 4.0, 1e-9);
+  EXPECT_NEAR(big.at(v).area.value / small.at(v).area.value, 4.0, 1e-9);
+}
+
+TEST_P(CalculatorPerStyle, WiderWordsCostProportionalEnergy) {
+  MemoryCalculator narrow(style(), MemoryGeometry{1024, 32});
+  MemoryCalculator wide(style(), MemoryGeometry{1024, 64});
+  const Volt v{anchor_v()};
+  EXPECT_NEAR(wide.at(v).read_energy.value / narrow.at(v).read_energy.value,
+              2.0, 1e-9);
+}
+
+TEST_P(CalculatorPerStyle, DeeperArraysAreSlower) {
+  MemoryCalculator shallow(style(), MemoryGeometry{1024, 32});
+  MemoryCalculator deep(style(), MemoryGeometry{16384, 32});
+  const Volt v{anchor_v()};
+  EXPECT_LT(deep.at(v).fmax.value, shallow.at(v).fmax.value);
+}
+
+TEST_P(CalculatorPerStyle, WritesCostMoreThanReads) {
+  MemoryCalculator calc(style(), reference_1k_x_32());
+  const MemoryFigures fig = calc.at(Volt{anchor_v()});
+  EXPECT_GT(fig.write_energy.value, fig.read_energy.value);
+}
+
+TEST_P(CalculatorPerStyle, TemperatureRaisesLeakage) {
+  MemoryCalculator calc(style(), reference_1k_x_32());
+  const Volt v{anchor_v()};
+  EXPECT_GT(calc.at(v, Celsius{85.0}).leakage.value,
+            calc.at(v, Celsius{25.0}).leakage.value * 3.0);
+}
+
+TEST_P(CalculatorPerStyle, ReliabilityModelsAreSelfConsistent) {
+  MemoryCalculator calc(style(), reference_1k_x_32());
+  // Access V0 must sit above the retention limit (the paper: access
+  // fails "a few 10mV above the retention voltage" or higher).
+  EXPECT_GT(calc.access_model().v0().value,
+            calc.retention_vmin(1e-6).value);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Styles, CalculatorPerStyle,
+    ::testing::Values(MemoryStyle::CommercialMacro40, MemoryStyle::CustomSram40,
+                      MemoryStyle::CellBased65, MemoryStyle::CellBasedImec40),
+    [](const auto& info) {
+      switch (info.param) {
+        case MemoryStyle::CommercialMacro40: return "Cots40";
+        case MemoryStyle::CustomSram40: return "Custom40";
+        case MemoryStyle::CellBased65: return "Cell65";
+        case MemoryStyle::CellBasedImec40: return "CellImec40";
+      }
+      return "Unknown";
+    });
+
+TEST(CactiLite, BankingReducesReadEnergyForDeepArrays) {
+  const MemoryGeometry deep{16384, 32};
+  auto node = tech::node_40nm_lp();
+  auto cell = cell_parameters(MemoryStyle::CommercialMacro40);
+  CactiLite optimized(deep, node, cell);
+  EXPECT_GT(optimized.organization().banks, 1u);
+}
+
+TEST(CactiLite, BreakdownComponentsArePositive) {
+  CactiLite model(reference_1k_x_32(), tech::node_40nm_lp(),
+                  cell_parameters(MemoryStyle::CommercialMacro40));
+  const auto breakdown = model.read_energy(Volt{1.1});
+  EXPECT_GT(breakdown.decoder.value, 0.0);
+  EXPECT_GT(breakdown.wordline.value, 0.0);
+  EXPECT_GT(breakdown.bitline.value, 0.0);
+  EXPECT_GT(breakdown.senseamp.value, 0.0);
+  EXPECT_GT(breakdown.global_io.value, 0.0);
+  EXPECT_NEAR(breakdown.total().value,
+              breakdown.decoder.value + breakdown.wordline.value +
+                  breakdown.bitline.value + breakdown.senseamp.value +
+                  breakdown.global_io.value,
+              1e-18);
+}
+
+TEST(CactiLite, FullSwingBitlinesDominateCellBasedReads) {
+  CactiLite model(reference_1k_x_32(), tech::node_40nm_lp(),
+                  cell_parameters(MemoryStyle::CellBasedImec40));
+  const auto breakdown = model.read_energy(Volt{1.1});
+  EXPECT_GT(breakdown.bitline.value, breakdown.decoder.value);
+  EXPECT_GT(breakdown.bitline.value, breakdown.wordline.value);
+}
+
+TEST(CactiLite, WriteAtLeastAsExpensiveAsSensedRead) {
+  CactiLite model(reference_1k_x_32(), tech::node_40nm_lp(),
+                  cell_parameters(MemoryStyle::CommercialMacro40));
+  EXPECT_GE(model.write_energy(Volt{1.1}).value,
+            model.read_energy(Volt{1.1}).bitline.value);
+}
+
+TEST(CactiLite, LeakageProportionalToBits) {
+  auto node = tech::node_40nm_lp();
+  auto cell = cell_parameters(MemoryStyle::CommercialMacro40);
+  CactiLite small(MemoryGeometry{1024, 32}, node, cell);
+  CactiLite big(MemoryGeometry{2048, 32}, node, cell);
+  EXPECT_NEAR(big.leakage(Volt{1.1}).value / small.leakage(Volt{1.1}).value,
+              2.0, 1e-9);
+}
+
+TEST(SignalProcessorPlatform, MemoryVoltageClampsAtFloor) {
+  SignalProcessorPlatform platform;
+  EXPECT_DOUBLE_EQ(platform.memory_voltage(Volt{0.4}).value, 0.7);
+  EXPECT_DOUBLE_EQ(platform.memory_voltage(Volt{0.9}).value, 0.9);
+}
+
+TEST(SignalProcessorPlatform, MemoryDynamicEnergyFlatBelowFloor) {
+  SignalProcessorPlatform platform;
+  const double e1 = platform.energy_per_cycle(Volt{0.4}).memory_dynamic.value;
+  const double e2 = platform.energy_per_cycle(Volt{0.6}).memory_dynamic.value;
+  EXPECT_NEAR(e1, e2, e1 * 1e-9);  // clamped: no scaling below 0.7 V
+}
+
+TEST(SignalProcessorPlatform, NtcMemoriesKeepScaling) {
+  SignalProcessorPlatform::Config config;
+  config.memory_style = MemoryStyle::CellBasedImec40;
+  config.memory_voltage_floor = Volt{0.0};
+  SignalProcessorPlatform platform(config);
+  const double e1 = platform.energy_per_cycle(Volt{0.4}).memory_dynamic.value;
+  const double e2 = platform.energy_per_cycle(Volt{0.6}).memory_dynamic.value;
+  EXPECT_LT(e1, e2 * 0.6);  // quadratic scaling persists
+}
+
+TEST(SignalProcessorPlatform, EnergyMinimumSitsInNtvRegion) {
+  SignalProcessorPlatform platform;
+  double best_v = 0.0, best_e = 1e300;
+  for (double v = 0.35; v <= 1.1; v += 0.01) {
+    const double e = platform.energy_per_cycle(Volt{v}).total().value;
+    if (e < best_e) {
+      best_e = e;
+      best_v = v;
+    }
+  }
+  EXPECT_GT(best_v, 0.38);
+  EXPECT_LT(best_v, 0.65);
+}
+
+TEST(LogicModel, PowerCombinesDynamicAndLeakage) {
+  LogicModel core = arm9_class_core_40nm();
+  const Volt v{0.55};
+  const Hertz f = kilohertz(290.0);
+  const double expected = core.dynamic_energy_per_cycle(v).value * f.value +
+                          core.leakage(v).value;
+  EXPECT_NEAR(core.power(v, f).value, expected, expected * 1e-12);
+  // Activity derates only the dynamic part.
+  EXPECT_LT(core.power(v, f, 0.5).value, core.power(v, f, 1.0).value);
+}
+
+TEST(LogicModel, LeakageAnchorsReproduce) {
+  LogicModel core = arm9_class_core_40nm();
+  EXPECT_NEAR(core.leakage(Volt{0.88}).value, 56.5e-3, 1e-6);
+}
+
+}  // namespace
+}  // namespace ntc::energy

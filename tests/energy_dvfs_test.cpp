@@ -1,0 +1,87 @@
+#include "energy/dvfs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ntc::energy {
+namespace {
+
+DvfsPlanner make_planner(double idle_fraction = 0.08) {
+  return DvfsPlanner(arm9_class_core_40nm(),
+                     MemoryCalculator(MemoryStyle::CellBasedImec40,
+                                      reference_1k_x_32()),
+                     tech::platform_logic_timing_40nm(), idle_fraction);
+}
+
+TEST(DvfsPlanner, EvaluateRejectsUnreachableClock) {
+  DvfsPlanner planner = make_planner();
+  // 1e6 cycles in 1 ms needs 1 GHz — beyond this platform at any V.
+  auto plan = planner.evaluate(Volt{1.1}, 1'000'000, Second{1e-3}, false);
+  EXPECT_FALSE(plan.feasible);
+}
+
+TEST(DvfsPlanner, ConstantThroughputUsesExactlyTheDeadline) {
+  DvfsPlanner planner = make_planner();
+  auto plan = planner.evaluate(Volt{0.44}, 100'000, Second{0.5}, false);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_NEAR(plan.active_time.value, 0.5, 1e-9);
+  EXPECT_NEAR(plan.clock.value, 200'000.0, 1.0);
+}
+
+TEST(DvfsPlanner, RaceToIdleRunsAtFmax) {
+  DvfsPlanner planner = make_planner();
+  auto plan = planner.evaluate(Volt{0.44}, 100'000, Second{0.5}, true);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_LT(plan.active_time.value, 0.1);  // finishes early, idles after
+}
+
+TEST(DvfsPlanner, RaceToIdleWinsWhenLeakageDominates) {
+  // This ARM9-class platform is heavily leakage-dominated at NTV, so
+  // racing and gating beats crawling at the deadline clock.
+  DvfsPlanner planner = make_planner(/*idle_fraction=*/0.05);
+  auto best = planner.best(100'000, Second{0.5}, Volt{0.33});
+  ASSERT_TRUE(best.feasible);
+  EXPECT_EQ(best.policy, DvfsPolicy::RaceToIdle);
+}
+
+TEST(DvfsPlanner, PoorPowerGatingFlipsTheDecision) {
+  // If idle leaks nearly as much as active, racing buys nothing and the
+  // lowest-voltage crawl wins.
+  DvfsPlanner planner = make_planner(/*idle_fraction=*/1.0);
+  auto constant =
+      planner.plan(DvfsPolicy::ConstantThroughput, 100'000, Second{0.5},
+                   Volt{0.33});
+  auto race = planner.plan(DvfsPolicy::RaceToIdle, 100'000, Second{0.5},
+                           Volt{0.33});
+  ASSERT_TRUE(constant.feasible && race.feasible);
+  EXPECT_LE(constant.energy.value, race.energy.value * 1.001);
+}
+
+TEST(DvfsPlanner, VoltageFloorIsRespected) {
+  DvfsPlanner planner = make_planner();
+  auto plan =
+      planner.plan(DvfsPolicy::ConstantThroughput, 100'000, Second{0.5},
+                   Volt{0.50});
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_GE(plan.vdd.value, 0.50 - 1e-9);
+}
+
+TEST(DvfsPlanner, LongerIdleTailCostsIdleLeakage) {
+  // Energy is accounted over the whole deadline window, so with
+  // imperfect power gating a longer window means more idle leakage.
+  DvfsPlanner planner = make_planner(/*idle_fraction=*/0.08);
+  auto short_window = planner.evaluate(Volt{0.55}, 100'000, Second{0.1}, true);
+  auto long_window = planner.evaluate(Volt{0.55}, 100'000, Second{1.0}, true);
+  ASSERT_TRUE(short_window.feasible && long_window.feasible);
+  EXPECT_GT(long_window.energy.value, short_window.energy.value);
+}
+
+TEST(DvfsPlanner, PerfectGatingMakesRaceEnergyWindowIndependent) {
+  DvfsPlanner planner = make_planner(/*idle_fraction=*/0.0);
+  auto a = planner.evaluate(Volt{0.55}, 100'000, Second{0.1}, true);
+  auto b = planner.evaluate(Volt{0.55}, 100'000, Second{1.0}, true);
+  ASSERT_TRUE(a.feasible && b.feasible);
+  EXPECT_NEAR(a.energy.value, b.energy.value, a.energy.value * 1e-9);
+}
+
+}  // namespace
+}  // namespace ntc::energy

@@ -1,0 +1,69 @@
+#include "energy/node_projection.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ntc::energy {
+namespace {
+
+TEST(NodeProjection, DynamicEnergyShrinksWithFeatureSize) {
+  auto p14 = project_to_node(MemoryStyle::CellBasedImec40,
+                             tech::node_14nm_finfet());
+  auto p10 = project_to_node(MemoryStyle::CellBasedImec40,
+                             tech::node_10nm_multigate());
+  EXPECT_LT(p14.dynamic_energy_scale, 0.5);
+  EXPECT_LT(p10.dynamic_energy_scale, p14.dynamic_energy_scale);
+}
+
+TEST(NodeProjection, SpeedupRoughlyTwoXFrom14To10) {
+  auto p14 = project_to_node(MemoryStyle::CellBasedImec40,
+                             tech::node_14nm_finfet());
+  auto p10 = project_to_node(MemoryStyle::CellBasedImec40,
+                             tech::node_10nm_multigate());
+  const double ratio = p10.speed_scale / p14.speed_scale;
+  EXPECT_GT(ratio, 1.3);
+  EXPECT_LT(ratio, 3.0);
+}
+
+TEST(NodeProjection, TighterAvtLowersAccessV0) {
+  auto base = MemoryCalculator(MemoryStyle::CellBasedImec40,
+                               reference_1k_x_32());
+  auto p14 = project_to_node(MemoryStyle::CellBasedImec40,
+                             tech::node_14nm_finfet());
+  EXPECT_LT(p14.access.v0().value, base.access_model().v0().value);
+  // Power-law steepness is preserved.
+  EXPECT_DOUBLE_EQ(p14.access.k(), base.access_model().k());
+}
+
+TEST(NodeProjection, RetentionSpreadScalesWithAvt) {
+  auto base = MemoryCalculator(MemoryStyle::CellBasedImec40,
+                               reference_1k_x_32());
+  auto p10 = project_to_node(MemoryStyle::CellBasedImec40,
+                             tech::node_10nm_multigate());
+  EXPECT_LT(p10.retention.dvdd_dsigma(),
+            base.retention_model().dvdd_dsigma());
+  EXPECT_LT(p10.retention.half_fail_voltage().value,
+            base.retention_model().half_fail_voltage().value);
+}
+
+TEST(NodeProjection, ProjectedFiguresApplyAllScales) {
+  MemoryCalculator base(MemoryStyle::CellBasedImec40, reference_1k_x_32());
+  auto p14 = project_to_node(MemoryStyle::CellBasedImec40,
+                             tech::node_14nm_finfet());
+  const Volt v{0.4};
+  const MemoryFigures b = base.at(v);
+  const MemoryFigures f = p14.at(base, v);
+  EXPECT_NEAR(f.read_energy.value / b.read_energy.value,
+              p14.dynamic_energy_scale, 1e-12);
+  EXPECT_NEAR(f.leakage.value / b.leakage.value, p14.leakage_scale, 1e-12);
+  EXPECT_NEAR(f.fmax.value / b.fmax.value, p14.speed_scale, 1e-9);
+  EXPECT_NEAR(f.area.value / b.area.value, p14.area_scale, 1e-12);
+}
+
+TEST(NodeProjection, RejectsNon40nmBaselines) {
+  EXPECT_DEATH(project_to_node(MemoryStyle::CellBased65,
+                               tech::node_14nm_finfet()),
+               "40 nm");
+}
+
+}  // namespace
+}  // namespace ntc::energy

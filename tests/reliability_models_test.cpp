@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math.hpp"
+#include "reliability/access_model.hpp"
+#include "reliability/noise_margin.hpp"
+#include "reliability/retention_model.hpp"
+
+namespace ntc::reliability {
+namespace {
+
+TEST(NoiseMargin, LinearInVddAndSigma) {
+  NoiseMarginModel nm(1.0, -0.28, 0.030);
+  EXPECT_NEAR(nm.noise_margin(Volt{0.5}, 0.0), 0.22, 1e-12);
+  EXPECT_NEAR(nm.noise_margin(Volt{0.5}, -2.0), 0.16, 1e-12);
+}
+
+TEST(NoiseMargin, CellVminIsZeroCrossing) {
+  NoiseMarginModel nm(1.0, -0.28, 0.030);
+  for (double s : {-3.0, -1.0, 0.0, 1.0, 3.0}) {
+    Volt v = nm.cell_retention_vmin(s);
+    EXPECT_NEAR(nm.noise_margin(v, s), 0.0, 1e-12) << "sigma=" << s;
+  }
+}
+
+TEST(NoiseMargin, HalfFailAtMedianVoltage) {
+  NoiseMarginModel nm = commercial_40nm_retention();
+  EXPECT_NEAR(nm.p_bit_fail(nm.half_fail_voltage()), 0.5, 1e-12);
+}
+
+TEST(NoiseMargin, PFailMonotonicallyFallsWithVdd) {
+  NoiseMarginModel nm = commercial_40nm_retention();
+  double prev = 1.0;
+  for (double v = 0.2; v <= 0.6; v += 0.02) {
+    double p = nm.p_bit_fail(Volt{v});
+    EXPECT_LT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(NoiseMargin, VddForPFailInverts) {
+  NoiseMarginModel nm = cell_based_40nm_retention();
+  for (double p : {1e-9, 1e-6, 1e-3, 0.1, 0.5}) {
+    EXPECT_NEAR(nm.p_bit_fail(nm.vdd_for_p_fail(p)), p, p * 1e-6)
+        << "p=" << p;
+  }
+}
+
+TEST(NoiseMargin, Eq3ConstantSlope) {
+  // Eq. (3): dVDD/dsigma = c2/c0 is constant — fixing NM at failure,
+  // moving the limiting sigma by ds moves the voltage by (c2/c0)*ds.
+  NoiseMarginModel nm = commercial_40nm_retention();
+  const double s = nm.dvdd_dsigma();
+  Volt v1 = nm.vdd_for_p_fail(normal_cdf(-4.0));  // 4-sigma cell limit
+  Volt v2 = nm.vdd_for_p_fail(normal_cdf(-5.0));  // 5-sigma cell limit
+  EXPECT_NEAR(v2.value - v1.value, s, 1e-9);
+}
+
+TEST(NoiseMargin, AgingRaisesVmin) {
+  NoiseMarginModel nm = cell_based_40nm_retention();
+  NoiseMarginModel old = nm.aged(Volt{0.03});
+  EXPECT_NEAR(old.half_fail_voltage().value,
+              nm.half_fail_voltage().value + 0.03, 1e-12);
+  EXPECT_GT(old.p_bit_fail(Volt{0.3}), nm.p_bit_fail(Volt{0.3}));
+}
+
+TEST(NoiseMargin, PresetsOrderedByRobustness) {
+  // 65nm sub-Vt design retains deepest, commercial macro shallowest.
+  Volt commercial = commercial_40nm_retention().vdd_for_p_fail(1e-6);
+  Volt cell40 = cell_based_40nm_retention().vdd_for_p_fail(1e-6);
+  Volt cell65 = cell_based_65nm_retention().vdd_for_p_fail(1e-6);
+  EXPECT_GT(commercial.value, cell40.value);
+  EXPECT_GT(cell40.value, cell65.value);
+}
+
+TEST(RetentionModel, MatchesGeneratingNoiseMargin) {
+  NoiseMarginModel nm = commercial_40nm_retention();
+  RetentionErrorModel model = RetentionErrorModel::from_noise_margin(nm);
+  for (double v = 0.2; v <= 0.5; v += 0.05) {
+    EXPECT_NEAR(model.p_bit_err(Volt{v}), nm.p_bit_fail(Volt{v}), 1e-12)
+        << "v=" << v;
+  }
+}
+
+TEST(RetentionModel, RoundTripThroughNoiseMargin) {
+  RetentionErrorModel m(-1.0, -0.28, 0.0425);
+  NoiseMarginModel nm = m.to_noise_margin();
+  RetentionErrorModel back = RetentionErrorModel::from_noise_margin(nm);
+  EXPECT_NEAR(back.d1(), m.d1(), 1e-12);
+  EXPECT_NEAR(back.d2(), m.d2(), 1e-12);
+}
+
+TEST(RetentionModel, VddForPInverts) {
+  RetentionErrorModel m =
+      RetentionErrorModel::from_noise_margin(cell_based_40nm_retention());
+  for (double p : {1e-9, 1e-5, 1e-2}) {
+    EXPECT_NEAR(m.p_bit_err(m.vdd_for_p(p)), p, p * 1e-5);
+  }
+}
+
+TEST(AccessModel, ZeroAboveV0) {
+  AccessErrorModel m = commercial_40nm_access();
+  EXPECT_DOUBLE_EQ(m.p_bit_err(Volt{0.85}), 0.0);
+  EXPECT_DOUBLE_EQ(m.p_bit_err(Volt{1.1}), 0.0);
+  EXPECT_GT(m.p_bit_err(Volt{0.84}), 0.0);
+}
+
+TEST(AccessModel, PublishedCommercialConstants) {
+  AccessErrorModel m = commercial_40nm_access();
+  // Spot values of Eq. (5) with A=6, k=6.14, V0=0.85.
+  EXPECT_NEAR(m.p_bit_err(Volt{0.77}), 6.0 * std::pow(0.08, 6.14), 1e-12);
+  EXPECT_NEAR(m.p_bit_err(Volt{0.66}), 6.0 * std::pow(0.19, 6.14), 1e-12);
+}
+
+TEST(AccessModel, ClampsToProbabilityOne) {
+  AccessErrorModel m(1e6, 2.0, Volt{0.9});
+  EXPECT_DOUBLE_EQ(m.p_bit_err(Volt{0.1}), 1.0);
+}
+
+TEST(AccessModel, VddForPInverts) {
+  AccessErrorModel m = cell_based_40nm_access();
+  for (double p : {1e-12, 1e-8, 1e-4}) {
+    EXPECT_NEAR(m.p_bit_err(m.vdd_for_p(p)), p, p * 1e-9) << "p=" << p;
+  }
+}
+
+TEST(AccessModel, CellVminCcdfMatchesEq5) {
+  // Sampling cells via cell_access_vmin(u) must reproduce Eq. (5) as the
+  // population failure fraction.
+  AccessErrorModel m = commercial_40nm_access();
+  const int n = 200000;
+  int failing_at_070 = 0;
+  for (int i = 0; i < n; ++i) {
+    double u = (i + 0.5) / n;  // stratified
+    if (m.cell_access_vmin(u).value > 0.70) ++failing_at_070;
+  }
+  EXPECT_NEAR(static_cast<double>(failing_at_070) / n,
+              m.p_bit_err(Volt{0.70}), 5e-5);
+}
+
+TEST(AccessModel, AgingShiftsV0) {
+  AccessErrorModel m = cell_based_40nm_access();
+  AccessErrorModel old = m.aged(Volt{0.02});
+  EXPECT_NEAR(old.v0().value, 0.57, 1e-12);
+  EXPECT_GT(old.p_bit_err(Volt{0.5}), m.p_bit_err(Volt{0.5}));
+}
+
+TEST(AccessModel, CellBasedMinAccessVoltageMatchesPaper) {
+  // Paper: "In case of the cell based memory, the minimal access
+  // voltage is V0 = 0.55".
+  EXPECT_DOUBLE_EQ(cell_based_40nm_access().v0().value, 0.55);
+}
+
+}  // namespace
+}  // namespace ntc::reliability

@@ -1,0 +1,164 @@
+#include "reliability/test_chip.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "reliability/fault_map.hpp"
+
+namespace ntc::reliability {
+namespace {
+
+TestChipConfig small_config() {
+  TestChipConfig cfg;
+  cfg.rows = 64;
+  cfg.cols = 64;
+  cfg.dies = 4;
+  cfg.seed = 77;
+  return cfg;
+}
+
+TEST(FaultMap, SetGetAndFailureCount) {
+  FaultMap map(4, 2);
+  map.set_vmin(0, 0, Volt{0.3});
+  map.set_vmin(3, 1, Volt{0.5});
+  EXPECT_DOUBLE_EQ(map.vmin(0, 0).value, 0.3);
+  EXPECT_EQ(map.failing_cells_at(Volt{0.4}), 1u);   // only the 0.5 cell
+  EXPECT_EQ(map.failing_cells_at(Volt{0.25}), 2u);
+  EXPECT_EQ(map.failing_cells_at(Volt{0.6}), 0u);
+  EXPECT_DOUBLE_EQ(map.instance_vmin().value, 0.5);
+}
+
+TEST(FaultMap, QuantileOrdering) {
+  FaultMap map(10, 10);
+  for (std::size_t y = 0; y < 10; ++y)
+    for (std::size_t x = 0; x < 10; ++x)
+      map.set_vmin(x, y, Volt{0.01 * static_cast<double>(y * 10 + x)});
+  EXPECT_NEAR(map.vmin_quantile(0.5).value, 0.50, 0.011);
+  EXPECT_LE(map.vmin_quantile(0.1).value, map.vmin_quantile(0.9).value);
+}
+
+TEST(FaultMap, AsciiRenderShowsWeakCells) {
+  FaultMap map(32, 32);
+  for (std::size_t y = 0; y < 32; ++y)
+    for (std::size_t x = 0; x < 32; ++x) map.set_vmin(x, y, Volt{0.2});
+  map.set_vmin(16, 16, Volt{0.59});
+  std::string art = map.render_ascii(Volt{0.2}, Volt{0.6}, 32);
+  EXPECT_NE(art.find('#'), std::string::npos);  // the weak cell shows
+  EXPECT_NE(art.find(' '), std::string::npos);  // background is robust
+}
+
+TEST(VirtualTestChip, Deterministic) {
+  VirtualTestChip a(small_config()), b(small_config());
+  for (std::size_t d = 0; d < a.die_count(); ++d) {
+    EXPECT_DOUBLE_EQ(a.die(d).retention_vmin.instance_vmin().value,
+                     b.die(d).retention_vmin.instance_vmin().value);
+  }
+}
+
+TEST(VirtualTestChip, DiesDiffer) {
+  VirtualTestChip chip(small_config());
+  EXPECT_NE(chip.die(0).retention_vmin.instance_vmin().value,
+            chip.die(1).retention_vmin.instance_vmin().value);
+}
+
+TEST(VirtualTestChip, RetentionFailuresMonotonicInVoltage) {
+  VirtualTestChip chip(small_config());
+  std::uint64_t prev = chip.bits_per_die();
+  for (double v = 0.15; v <= 0.5; v += 0.05) {
+    auto fails = chip.measure_retention_failures(0, Volt{v});
+    EXPECT_LE(fails, prev);
+    prev = fails;
+  }
+  EXPECT_EQ(chip.measure_retention_failures(0, Volt{1.0}), 0u);
+}
+
+TEST(VirtualTestChip, RetentionPopulationTracksModel) {
+  TestChipConfig cfg = small_config();
+  cfg.rows = 128;
+  cfg.cols = 256;
+  cfg.dies = 9;
+  cfg.die_sigma_v = 0.0;  // isolate the cell-level population
+  cfg.spatial_bow_v = 0.0;
+  VirtualTestChip chip(cfg);
+  auto sweep = chip.retention_sweep({0.24, 0.28, 0.32});
+  for (const auto& pt : sweep) {
+    double expect = cfg.retention.p_bit_fail(pt.vdd);
+    double tolerance = 4.0 * std::sqrt(expect * (1 - expect) /
+                                       static_cast<double>(pt.total)) + 1e-4;
+    EXPECT_NEAR(pt.p_hat(), expect, tolerance) << "V=" << pt.vdd.value;
+  }
+}
+
+TEST(VirtualTestChip, AccessPopulationTracksEq5) {
+  TestChipConfig cfg = small_config();
+  cfg.rows = 128;
+  cfg.cols = 256;
+  cfg.dies = 9;
+  cfg.die_sigma_v = 0.0;
+  cfg.spatial_bow_v = 0.0;
+  VirtualTestChip chip(cfg);
+  for (double v : {0.70, 0.75, 0.80}) {
+    auto sweep = chip.access_sweep({v});
+    double expect = cfg.access.p_bit_err(Volt{v});
+    double tol = 4.0 * std::sqrt(expect / static_cast<double>(sweep[0].total)) +
+                 2e-5;
+    EXPECT_NEAR(sweep[0].p_hat(), expect, tol) << "V=" << v;
+  }
+}
+
+TEST(VirtualTestChip, SpatialBowMakesCornersWeaker) {
+  TestChipConfig cfg = small_config();
+  cfg.die_sigma_v = 0.0;
+  cfg.spatial_bow_v = 0.10;  // exaggerate for the test
+  VirtualTestChip chip(cfg);
+  const auto& map = chip.die(0).retention_vmin;
+  // Average corner block vs center block V_min.
+  double corner = 0.0, center = 0.0;
+  int n = 0;
+  for (std::size_t i = 0; i < 8; ++i)
+    for (std::size_t j = 0; j < 8; ++j) {
+      corner += map.vmin(i, j).value;
+      center += map.vmin(28 + i, 28 + j).value;
+      ++n;
+    }
+  EXPECT_GT(corner / n, center / n + 0.02);
+}
+
+TEST(Characterization, RecoversRetentionConstants) {
+  TestChipConfig cfg;
+  cfg.rows = 128;
+  cfg.cols = 256;
+  cfg.dies = 9;
+  cfg.seed = 3;
+  VirtualTestChip chip(cfg);
+  auto result = characterize(chip);
+  // The fitted Eq. (4) must reproduce the generating Gaussian within the
+  // die-to-die/systematic noise floor (compare knee voltages).
+  Volt fit_v = result.retention.vdd_for_p(1e-4);
+  Volt gen_v = cfg.retention.vdd_for_p_fail(1e-4);
+  EXPECT_NEAR(fit_v.value, gen_v.value, 0.02);
+}
+
+TEST(Characterization, RecoversAccessConstantsNearPublished) {
+  TestChipConfig cfg;
+  cfg.rows = 128;
+  cfg.cols = 256;
+  cfg.dies = 9;
+  cfg.seed = 3;
+  VirtualTestChip chip(cfg);
+  auto result = characterize(chip);
+  // Paper publishes A=6, k=6.14, V0=0.85 for the commercial macro; the
+  // virtual flow must land in that neighbourhood.
+  EXPECT_NEAR(result.access.v0().value, 0.85, 0.03);
+  EXPECT_NEAR(result.access.k(), 6.14, 1.2);
+  // Functional agreement at the voltages that matter for Table 2.
+  for (double v : {0.70, 0.75, 0.80}) {
+    double fit_p = result.access.p_bit_err(Volt{v});
+    double gen_p = cfg.access.p_bit_err(Volt{v});
+    EXPECT_LT(std::abs(std::log10(fit_p / gen_p)), 0.5) << "V=" << v;
+  }
+}
+
+}  // namespace
+}  // namespace ntc::reliability

@@ -1,0 +1,98 @@
+// Golden encodings: the assembler's output checked bit-for-bit against
+// hand-assembled RISC-V machine words (so the CPU tests aren't just
+// validating the assembler against itself).
+#include <gtest/gtest.h>
+
+#include "sim/assembler.hpp"
+
+namespace ntc::sim {
+namespace {
+
+std::uint32_t first_word(const std::string& source) {
+  const AssemblyResult result = assemble(source);
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_GE(result.words.size(), 1u);
+  return result.words.empty() ? 0 : result.words[0];
+}
+
+TEST(Encoding, ItypeArithmetic) {
+  EXPECT_EQ(first_word("addi x1, x0, 5"), 0x00500093u);
+  EXPECT_EQ(first_word("addi x1, x0, -1"), 0xFFF00093u);
+  EXPECT_EQ(first_word("xori x4, x3, -1"), 0xFFF1C213u);
+  EXPECT_EQ(first_word("andi a0, a0, 0xff"), 0x0FF57513u);
+  EXPECT_EQ(first_word("sltiu x1, x2, 10"), 0x00A13093u);
+}
+
+TEST(Encoding, RtypeArithmetic) {
+  EXPECT_EQ(first_word("add x3, x1, x2"), 0x002081B3u);
+  EXPECT_EQ(first_word("sub x3, x1, x2"), 0x402081B3u);
+  EXPECT_EQ(first_word("and x5, x6, x7"), 0x007372B3u);
+  EXPECT_EQ(first_word("sltu x1, x2, x3"), 0x003130B3u);
+  EXPECT_EQ(first_word("mul x3, x1, x2"), 0x022081B3u);  // M extension
+}
+
+TEST(Encoding, Shifts) {
+  EXPECT_EQ(first_word("slli x2, x1, 3"), 0x00309113u);
+  EXPECT_EQ(first_word("srli x2, x1, 3"), 0x0030D113u);
+  EXPECT_EQ(first_word("srai x2, x1, 3"), 0x4030D113u);
+  EXPECT_EQ(first_word("sll x3, x1, x2"), 0x002091B3u);
+}
+
+TEST(Encoding, LoadsAndStores) {
+  EXPECT_EQ(first_word("lw x5, 8(x2)"), 0x00812283u);
+  EXPECT_EQ(first_word("lb x5, 0(x2)"), 0x00010283u);
+  EXPECT_EQ(first_word("lbu x5, 0(x2)"), 0x00014283u);
+  EXPECT_EQ(first_word("lhu x5, 2(x2)"), 0x00215283u);
+  EXPECT_EQ(first_word("sw x5, 12(x2)"), 0x00512623u);
+  EXPECT_EQ(first_word("sb x5, 1(x2)"), 0x005100A3u);
+  EXPECT_EQ(first_word("sw x5, -4(x2)"), 0xFE512E23u);
+}
+
+TEST(Encoding, BranchesExact) {
+  // Branch forward by 8 bytes (over one instruction).
+  EXPECT_EQ(first_word("beq x1, x2, skip\nnop\nskip: nop"), 0x00208463u);
+  EXPECT_EQ(first_word("bne x1, x2, skip\nnop\nskip: nop"), 0x00209463u);
+  EXPECT_EQ(first_word("blt x1, x2, skip\nnop\nskip: nop"), 0x0020C463u);
+  EXPECT_EQ(first_word("bgeu x1, x2, skip\nnop\nskip: nop"), 0x0020F463u);
+  // Backward branch to self-4: label at 0, branch at 4 -> offset -4.
+  const AssemblyResult r = assemble("top: nop\nbeq x0, x0, top\n");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.words[1], 0xFE000EE3u);
+}
+
+TEST(Encoding, UtypeAndJumps) {
+  EXPECT_EQ(first_word("lui x5, 0x12345"), 0x123452B7u);
+  EXPECT_EQ(first_word("auipc x5, 1"), 0x00001297u);
+  // jal x1, +16 (three instructions ahead + 4).
+  EXPECT_EQ(first_word("jal x1, target\nnop\nnop\nnop\ntarget: nop"),
+            0x010000EFu);
+  EXPECT_EQ(first_word("jalr x1, 4(x2)"), 0x004100E7u);
+}
+
+TEST(Encoding, SystemAndPseudo) {
+  EXPECT_EQ(first_word("ecall"), 0x00000073u);
+  EXPECT_EQ(first_word("nop"), 0x00000013u);           // addi x0,x0,0
+  EXPECT_EQ(first_word("ret"), 0x00008067u);           // jalr x0,0(ra)
+  EXPECT_EQ(first_word("mv x5, x6"), 0x00030293u);     // addi x5,x6,0
+  EXPECT_EQ(first_word("li x5, 100"), 0x06400293u);    // addi x5,x0,100
+}
+
+TEST(Encoding, LiLongFormSplitsCorrectly) {
+  const AssemblyResult r = assemble("li x5, 0x12345678");
+  ASSERT_TRUE(r.ok);
+  ASSERT_EQ(r.words.size(), 2u);
+  EXPECT_EQ(r.words[0], 0x123452B7u);  // lui x5, 0x12345
+  EXPECT_EQ(r.words[1], 0x67828293u);  // addi x5, x5, 0x678
+}
+
+TEST(Encoding, NegativeLiLongForm) {
+  // -12345678 = 0xFF439EB2; hi = 0xFF43A000 (rounded), lo = -0x14E.
+  const AssemblyResult r = assemble("li a0, -12345678");
+  ASSERT_TRUE(r.ok);
+  ASSERT_EQ(r.words.size(), 2u);
+  EXPECT_EQ(r.words[0], 0xFF43A537u);  // lui a0, 0xFF43A
+  EXPECT_EQ(r.words[1], 0xEB250513u);  // addi a0, a0, -334
+}
+
+}  // namespace
+}  // namespace ntc::sim

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "sim/assembler.hpp"
+#include "sim/cpu.hpp"
+#include "sim/platform.hpp"
+
+namespace ntc::sim {
+namespace {
+
+/// Assemble, load into a fault-free platform, run, and return the CPU.
+struct RunResult {
+  CpuHaltReason reason;
+  std::uint32_t a0;
+  CpuStats stats;
+};
+
+RunResult run_program(const std::string& source) {
+  PlatformConfig config;
+  config.inject_faults = false;
+  Platform platform(config);
+  AssemblyResult assembled = assemble(source);
+  EXPECT_TRUE(assembled.ok) << assembled.error;
+  platform.load_program(assembled.words);
+  const CpuHaltReason reason = platform.cpu().run();
+  return {reason, platform.cpu().reg(10), platform.cpu().stats()};
+}
+
+TEST(Assembler, ParsesRegistersInBothConventions) {
+  EXPECT_EQ(parse_register("x0"), 0);
+  EXPECT_EQ(parse_register("x31"), 31);
+  EXPECT_EQ(parse_register("zero"), 0);
+  EXPECT_EQ(parse_register("ra"), 1);
+  EXPECT_EQ(parse_register("sp"), 2);
+  EXPECT_EQ(parse_register("a0"), 10);
+  EXPECT_EQ(parse_register("t6"), 31);
+  EXPECT_EQ(parse_register("fp"), 8);
+  EXPECT_EQ(parse_register("x32"), -1);
+  EXPECT_EQ(parse_register("q3"), -1);
+}
+
+TEST(Assembler, ReportsErrorsWithLineNumbers) {
+  AssemblyResult r = assemble("nop\nbogus x1, x2\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("line 2"), std::string::npos);
+}
+
+TEST(Assembler, RejectsDuplicateLabels) {
+  AssemblyResult r = assemble("dup:\nnop\ndup:\nnop\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("duplicate"), std::string::npos);
+}
+
+TEST(Assembler, ResolvesForwardAndBackwardLabels) {
+  AssemblyResult r = assemble(R"(
+      start: addi x1, x0, 1
+             j end
+             addi x1, x0, 99
+      end:   beq x0, x0, start
+  )");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.symbols.at("start"), 0u);
+  EXPECT_EQ(r.symbols.at("end"), 12u);
+}
+
+TEST(Cpu, ArithmeticAndLogicOps) {
+  RunResult r = run_program(R"(
+      li   t0, 21
+      li   t1, 2
+      mul  a0, t0, t1       # 42
+      addi a0, a0, 10       # 52
+      li   t2, 12
+      sub  a0, a0, t2       # 40
+      ori  a0, a0, 3        # 43
+      andi a0, a0, 0x7f
+      ecall
+  )");
+  EXPECT_EQ(r.reason, CpuHaltReason::Ecall);
+  EXPECT_EQ(r.a0, 43u);
+}
+
+TEST(Cpu, LiHandlesLargeImmediates) {
+  RunResult r = run_program(R"(
+      li a0, 0x12345678
+      ecall
+  )");
+  EXPECT_EQ(r.a0, 0x12345678u);
+  RunResult neg = run_program("li a0, -12345678\n ecall\n");
+  EXPECT_EQ(static_cast<std::int32_t>(neg.a0), -12345678);
+}
+
+TEST(Cpu, ShiftsAndComparisons) {
+  RunResult r = run_program(R"(
+      li   t0, -16
+      srai t1, t0, 2        # -4
+      srli t2, t0, 28       # 15
+      slt  t3, t0, x0       # 1 (negative < 0)
+      sltu t4, x0, t0       # 1 (unsigned huge)
+      add  a0, t1, t2       # 11
+      add  a0, a0, t3       # 12
+      add  a0, a0, t4       # 13
+      ecall
+  )");
+  EXPECT_EQ(static_cast<std::int32_t>(r.a0), 13);
+}
+
+TEST(Cpu, LoopSumsWithBranches) {
+  // Sum 1..10 = 55.
+  RunResult r = run_program(R"(
+      li   a0, 0
+      li   t0, 1
+      li   t1, 11
+  loop:
+      add  a0, a0, t0
+      addi t0, t0, 1
+      blt  t0, t1, loop
+      ecall
+  )");
+  EXPECT_EQ(r.a0, 55u);
+  EXPECT_GT(r.stats.taken_branches, 8u);
+}
+
+TEST(Cpu, ScratchpadLoadsAndStores) {
+  // SPM starts at word 0x10000 -> byte 0x40000.
+  RunResult r = run_program(R"(
+      li   t0, 0x40000
+      li   t1, 1234
+      sw   t1, 0(t0)
+      sw   t1, 4(t0)
+      lw   t2, 0(t0)
+      lw   t3, 4(t0)
+      add  a0, t2, t3
+      sh   t1, 8(t0)        # sub-word store
+      lhu  t4, 8(t0)
+      add  a0, a0, t4       # 1234*3 = 3702
+      ecall
+  )");
+  EXPECT_EQ(r.reason, CpuHaltReason::Ecall);
+  EXPECT_EQ(r.a0, 3702u);
+  EXPECT_GT(r.stats.loads, 2u);
+  EXPECT_GT(r.stats.stores, 2u);
+}
+
+TEST(Cpu, ByteAccessWithSignExtension) {
+  RunResult r = run_program(R"(
+      li  t0, 0x40000
+      li  t1, 0xff
+      sb  t1, 0(t0)
+      lb  a0, 0(t0)   # sign-extended -1
+      ecall
+  )");
+  EXPECT_EQ(static_cast<std::int32_t>(r.a0), -1);
+}
+
+TEST(Cpu, FunctionCallAndReturn) {
+  RunResult r = run_program(R"(
+      li   a0, 5
+      jal  ra, double_it
+      jal  ra, double_it
+      ecall
+  double_it:
+      add  a0, a0, a0
+      ret
+  )");
+  EXPECT_EQ(r.a0, 20u);
+}
+
+TEST(Cpu, IllegalOpcodeHalts) {
+  PlatformConfig config;
+  config.inject_faults = false;
+  Platform platform(config);
+  platform.load_program({0xFFFFFFFFu});
+  EXPECT_EQ(platform.cpu().run(), CpuHaltReason::IllegalOpcode);
+}
+
+TEST(Cpu, CycleLimitStopsRunaway) {
+  PlatformConfig config;
+  config.inject_faults = false;
+  Platform platform(config);
+  AssemblyResult assembled = assemble("spin: j spin\n");
+  ASSERT_TRUE(assembled.ok);
+  platform.load_program(assembled.words);
+  EXPECT_EQ(platform.cpu().run(1000), CpuHaltReason::CycleLimit);
+  EXPECT_LE(platform.cpu().stats().cycles, 1002u);
+}
+
+TEST(Cpu, X0IsHardwiredToZero) {
+  RunResult r = run_program(R"(
+      addi x0, x0, 5
+      add  a0, x0, x0
+      ecall
+  )");
+  EXPECT_EQ(r.a0, 0u);
+}
+
+TEST(Cpu, CyclesExceedInstructions) {
+  RunResult r = run_program(R"(
+      li t0, 0x40000
+      sw t0, 0(t0)
+      lw t1, 0(t0)
+      ecall
+  )");
+  EXPECT_GT(r.stats.cycles, r.stats.instructions);
+}
+
+}  // namespace
+}  // namespace ntc::sim

@@ -1,0 +1,150 @@
+// Platform-level properties across all three mitigation configurations.
+#include <gtest/gtest.h>
+
+#include "mitigation/scheme.hpp"
+#include "sim/platform.hpp"
+
+namespace ntc::sim {
+namespace {
+
+class PlatformPerScheme
+    : public ::testing::TestWithParam<mitigation::SchemeKind> {
+ protected:
+  PlatformConfig config_for(double vdd) const {
+    PlatformConfig config;
+    config.scheme = GetParam();
+    config.vdd = Volt{vdd};
+    config.pm_bytes = 8 * 1024;
+    config.seed = 4;
+    return config;
+  }
+};
+
+TEST_P(PlatformPerScheme, MemoryWidthsMatchScheme) {
+  Platform platform(config_for(0.55));
+  switch (GetParam()) {
+    case mitigation::SchemeKind::NoMitigation:
+      EXPECT_EQ(platform.imem().array().stored_bits(), 32u);
+      EXPECT_EQ(platform.spm().array().stored_bits(), 32u);
+      EXPECT_EQ(platform.pm(), nullptr);
+      break;
+    case mitigation::SchemeKind::Secded:
+      EXPECT_EQ(platform.imem().array().stored_bits(), 39u);
+      EXPECT_EQ(platform.spm().array().stored_bits(), 39u);
+      EXPECT_EQ(platform.pm(), nullptr);
+      break;
+    case mitigation::SchemeKind::Ocean:
+      EXPECT_EQ(platform.imem().array().stored_bits(), 39u);
+      EXPECT_EQ(platform.spm().array().stored_bits(), 39u);
+      ASSERT_NE(platform.pm(), nullptr);
+      EXPECT_EQ(platform.pm()->array().stored_bits(), 56u);  // BCH t=4
+      break;
+    default:
+      break;
+  }
+}
+
+TEST_P(PlatformPerScheme, EnergyReportRespondsToActivity) {
+  Platform platform(config_for(0.55));
+  platform.add_compute_cycles(1000, 1.0);
+  const auto report = platform.energy_report();
+  EXPECT_GT(report.core.value, 0.0);
+  EXPECT_GT(report.imem.value, 0.0);
+  EXPECT_GT(report.spm.value, 0.0);
+  EXPECT_GT(report.total().value, report.core.value);
+}
+
+TEST_P(PlatformPerScheme, LowerVoltageLowersPower) {
+  Platform high(config_for(0.55));
+  Platform low(config_for(0.44));
+  high.add_compute_cycles(1000, 1.0);
+  low.add_compute_cycles(1000, 1.0);
+  EXPECT_LT(low.energy_report().total().value,
+            high.energy_report().total().value);
+}
+
+TEST_P(PlatformPerScheme, SetVddPropagatesToAllArrays) {
+  Platform platform(config_for(0.55));
+  platform.set_vdd(Volt{0.40});
+  EXPECT_DOUBLE_EQ(platform.imem().array().vdd().value, 0.40);
+  EXPECT_DOUBLE_EQ(platform.spm().array().vdd().value, 0.40);
+  if (platform.pm() != nullptr) {
+    EXPECT_DOUBLE_EQ(platform.pm()->array().vdd().value, 0.40);
+  }
+}
+
+TEST_P(PlatformPerScheme, ElapsedTracksCyclesAndClock) {
+  PlatformConfig config = config_for(0.55);
+  config.clock = megahertz(1.0);
+  Platform platform(config);
+  platform.add_compute_cycles(1'000'000, 0.0);
+  EXPECT_NEAR(platform.elapsed().value, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, PlatformPerScheme,
+                         ::testing::Values(mitigation::SchemeKind::NoMitigation,
+                                           mitigation::SchemeKind::Secded,
+                                           mitigation::SchemeKind::Ocean),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case mitigation::SchemeKind::NoMitigation:
+                               return "NoMitigation";
+                             case mitigation::SchemeKind::Secded:
+                               return "Secded";
+                             case mitigation::SchemeKind::Ocean:
+                               return "Ocean";
+                             default:
+                               return "Custom";
+                           }
+                         });
+
+TEST(Platform, ProtectionCostsPowerAtEqualVoltage) {
+  // At the SAME voltage the protected platform must burn more than the
+  // bare one (codec energy + wider words) — the overhead the paper says
+  // is "superseded by the gains from lowering the operational voltage".
+  auto run = [](mitigation::SchemeKind kind) {
+    PlatformConfig config;
+    config.scheme = kind;
+    config.vdd = Volt{0.55};
+    config.seed = 5;
+    config.inject_faults = false;
+    Platform platform(config);
+    // Equal traffic on both.
+    for (int i = 0; i < 2000; ++i) {
+      std::uint32_t v;
+      platform.spm().write_word(i % 512, i);
+      platform.spm().read_word(i % 512, v);
+    }
+    platform.add_compute_cycles(4000, 1.0);
+    return platform.energy_report().total().value;
+  };
+  EXPECT_GT(run(mitigation::SchemeKind::Secded),
+            run(mitigation::SchemeKind::NoMitigation));
+}
+
+TEST(Platform, LoadProgramRestoresRunVoltage) {
+  PlatformConfig config;
+  config.vdd = Volt{0.44};
+  config.scheme = mitigation::SchemeKind::Secded;
+  Platform platform(config);
+  platform.load_program({0x73});  // ecall
+  EXPECT_DOUBLE_EQ(platform.imem().array().vdd().value, 0.44);
+  EXPECT_EQ(platform.cpu().pc(), 0u);
+}
+
+TEST(Platform, BusMapMatchesConfiguredSizes) {
+  PlatformConfig config;
+  config.scheme = mitigation::SchemeKind::Ocean;
+  config.imem_bytes = 4096;
+  config.spm_bytes = 8192;
+  config.pm_bytes = 8192;
+  Platform platform(config);
+  EXPECT_TRUE(platform.bus().decodes(PlatformMap::kImemBase));
+  EXPECT_TRUE(platform.bus().decodes(PlatformMap::kImemBase + 1023));
+  EXPECT_FALSE(platform.bus().decodes(PlatformMap::kImemBase + 1024));
+  EXPECT_TRUE(platform.bus().decodes(PlatformMap::kSpmBase + 2047));
+  EXPECT_TRUE(platform.bus().decodes(PlatformMap::kPmBase + 2047));
+}
+
+}  // namespace
+}  // namespace ntc::sim

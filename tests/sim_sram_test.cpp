@@ -1,0 +1,107 @@
+#include "sim/sram_module.hpp"
+
+#include <gtest/gtest.h>
+
+#include "reliability/access_model.hpp"
+#include "reliability/noise_margin.hpp"
+
+namespace ntc::sim {
+namespace {
+
+SramModule make_sram(Volt vdd, bool inject = true, std::uint64_t seed = 1,
+                     std::uint32_t words = 256, std::uint32_t bits = 32) {
+  return SramModule("test", words, bits, reliability::cell_based_40nm_access(),
+                    reliability::cell_based_40nm_retention(), vdd, Rng(seed),
+                    inject);
+}
+
+TEST(SramModule, CleanRoundTripAtSafeVoltage) {
+  SramModule sram = make_sram(Volt{1.1});
+  for (std::uint32_t i = 0; i < sram.words(); ++i)
+    sram.write_raw(i, i * 2654435761u & 0xFFFFFFFFull);
+  for (std::uint32_t i = 0; i < sram.words(); ++i)
+    EXPECT_EQ(sram.read_raw(i), (i * 2654435761u) & 0xFFFFFFFFull);
+  EXPECT_EQ(sram.stats().injected_read_flips, 0u);
+  EXPECT_EQ(sram.stats().stuck_bits, 0u);
+}
+
+TEST(SramModule, NoFaultsWhenInjectionDisabled) {
+  SramModule sram = make_sram(Volt{0.10}, /*inject=*/false);
+  sram.write_raw(0, 0xDEADBEEF);
+  EXPECT_EQ(sram.read_raw(0), 0xDEADBEEFu);
+  EXPECT_EQ(sram.stats().stuck_bits, 0u);
+  EXPECT_DOUBLE_EQ(sram.access_error_probability(), 0.0);
+}
+
+TEST(SramModule, StuckCellsAppearBelowRetentionLimit) {
+  // At 0.15 V a cell-based array (half-fail 0.20 V) has most cells dead.
+  SramModule sram = make_sram(Volt{0.15});
+  EXPECT_GT(sram.stats().stuck_bits, sram.words() * 32 / 10);
+  // At 0.44 V essentially none.
+  SramModule healthy = make_sram(Volt{0.44});
+  EXPECT_EQ(healthy.stats().stuck_bits, 0u);
+}
+
+TEST(SramModule, RaisingVoltageHealsStuckCells) {
+  SramModule sram = make_sram(Volt{0.18});
+  ASSERT_GT(sram.stats().stuck_bits, 0u);
+  sram.set_vdd(Volt{0.6});
+  EXPECT_EQ(sram.stats().stuck_bits, 0u);
+}
+
+TEST(SramModule, StuckCellsDeterministicPerSeed) {
+  SramModule a = make_sram(Volt{0.18}, true, 42);
+  SramModule b = make_sram(Volt{0.18}, true, 42);
+  SramModule c = make_sram(Volt{0.18}, true, 43);
+  EXPECT_EQ(a.stats().stuck_bits, b.stats().stuck_bits);
+  EXPECT_NE(a.stats().stuck_bits, c.stats().stuck_bits);  // different die
+}
+
+TEST(SramModule, ReadFlipRateTracksAccessModel) {
+  // At 0.40 V the cell-based access model predicts a measurable rate.
+  SramModule sram = make_sram(Volt{0.40}, true, 7, 64);
+  const double p = reliability::cell_based_40nm_access().p_bit_err(Volt{0.40});
+  sram.write_raw(0, 0);
+  const int reads = 200000;
+  for (int i = 0; i < reads; ++i) (void)sram.read_raw(0);
+  const double expected_flips = p * 32 * reads;
+  const double observed =
+      static_cast<double>(sram.stats().injected_read_flips);
+  EXPECT_NEAR(observed / expected_flips, 1.0, 0.15);
+}
+
+TEST(SramModule, WriteFailuresPersistUntilRewrite) {
+  // Run deep below V0 so write errors are frequent.
+  SramModule sram = make_sram(Volt{0.30}, true, 9, 16);
+  int persistent = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    sram.write_raw(0, 0xAAAAAAAA);
+    // Two reads: a persistent (written-wrong) bit differs on both reads
+    // in the same position; transient read flips are uncorrelated.
+    std::uint64_t r1 = sram.read_raw(0) ^ 0xAAAAAAAAull;
+    std::uint64_t r2 = sram.read_raw(0) ^ 0xAAAAAAAAull;
+    if (r1 & r2) ++persistent;
+  }
+  EXPECT_GT(persistent, 0);
+}
+
+TEST(SramModule, StatsCountAccesses) {
+  SramModule sram = make_sram(Volt{1.1});
+  sram.write_raw(1, 5);
+  (void)sram.read_raw(1);
+  (void)sram.read_raw(2);
+  EXPECT_EQ(sram.stats().writes, 1u);
+  EXPECT_EQ(sram.stats().reads, 2u);
+  sram.reset_stats();
+  EXPECT_EQ(sram.stats().reads, 0u);
+}
+
+TEST(SramModule, WideWordsSupported) {
+  SramModule sram = make_sram(Volt{1.1}, true, 1, 64, 56);
+  const std::uint64_t v = 0x00FFEEDDCCBBAAull;
+  sram.write_raw(3, v);
+  EXPECT_EQ(sram.read_raw(3), v);
+}
+
+}  // namespace
+}  // namespace ntc::sim

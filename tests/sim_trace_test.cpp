@@ -1,0 +1,122 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ecc/hamming.hpp"
+#include "sim/ecc_memory.hpp"
+#include "workloads/fft.hpp"
+#include "workloads/golden.hpp"
+
+namespace ntc::sim {
+namespace {
+
+std::unique_ptr<EccMemory> make_memory(Volt vdd, bool inject,
+                                       std::uint64_t seed = 3,
+                                       std::uint32_t words = 4096) {
+  auto array = std::make_unique<SramModule>(
+      "spm", words, 32, reliability::cell_based_40nm_access(),
+      reliability::cell_based_40nm_retention(), vdd, Rng(seed), inject);
+  return std::make_unique<EccMemory>(std::move(array), nullptr);
+}
+
+TEST(AccessTrace, CountsAndFootprint) {
+  AccessTrace trace;
+  trace.append({TraceEntry::Kind::Write, 5, 100});
+  trace.append({TraceEntry::Kind::Read, 5, 100});
+  trace.append({TraceEntry::Kind::Read, 9, 0});
+  EXPECT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.read_count(), 2u);
+  EXPECT_EQ(trace.write_count(), 1u);
+  EXPECT_EQ(trace.footprint_words(), 2u);
+}
+
+TEST(AccessTrace, SaveLoadRoundTrip) {
+  AccessTrace trace;
+  trace.append({TraceEntry::Kind::Write, 1, 0xDEADBEEF});
+  trace.append({TraceEntry::Kind::Read, 1, 0xDEADBEEF});
+  std::stringstream stream;
+  trace.save(stream);
+  AccessTrace loaded = AccessTrace::load(stream);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].kind, TraceEntry::Kind::Write);
+  EXPECT_EQ(loaded[0].word_index, 1u);
+  EXPECT_EQ(loaded[0].data, 0xDEADBEEFu);
+  EXPECT_EQ(loaded[1].kind, TraceEntry::Kind::Read);
+}
+
+TEST(TracingPort, RecordsWorkloadTransactions) {
+  auto memory = make_memory(Volt{1.1}, false);
+  TracingPort tracer(*memory);
+  workloads::FixedPointFft fft(256);
+  std::vector<std::complex<double>> input(256, 0.1);
+  fft.set_input(input);
+  fft.initialize(tracer);
+  for (std::size_t p = 0; p < fft.phase_count(); ++p)
+    (void)fft.run_phase(p, tracer);
+  const AccessTrace& trace = tracer.trace();
+  EXPECT_GT(trace.size(), 2000u);
+  EXPECT_EQ(trace.footprint_words(), 256u);
+  EXPECT_GT(trace.write_count(), 256u);
+}
+
+TEST(Replay, GoldenTraceIsCleanOnHealthyMemory) {
+  // Record on a clean memory, replay on another clean one: no wrongs.
+  auto recorder_mem = make_memory(Volt{1.1}, false, 1);
+  TracingPort tracer(*recorder_mem);
+  for (std::uint32_t i = 0; i < 64; ++i) tracer.write_word(i, i * 7);
+  std::uint32_t v;
+  for (std::uint32_t i = 0; i < 64; ++i) tracer.read_word(i, v);
+
+  auto target = make_memory(Volt{1.1}, false, 2);
+  ReplayResult result = replay(tracer.trace(), *target);
+  EXPECT_EQ(result.transactions, 128u);
+  EXPECT_EQ(result.wrong_reads, 0u);
+  EXPECT_EQ(result.uncorrectable, 0u);
+}
+
+TEST(Replay, DetectsCorruptionAtLowVoltage) {
+  auto recorder_mem = make_memory(Volt{1.1}, false, 1);
+  TracingPort tracer(*recorder_mem);
+  for (std::uint32_t i = 0; i < 512; ++i) tracer.write_word(i, i * 2654435761u);
+  std::uint32_t v;
+  for (int pass = 0; pass < 10; ++pass)
+    for (std::uint32_t i = 0; i < 512; ++i) tracer.read_word(i, v);
+
+  // Replay the same stream on a deeply stressed raw memory.
+  auto target = make_memory(Volt{0.30}, true, 5);
+  ReplayResult result = replay(tracer.trace(), *target);
+  EXPECT_GT(result.wrong_reads, 0u);
+}
+
+TEST(Replay, EccTargetCorrectsWhatRawCannot) {
+  auto recorder_mem = make_memory(Volt{1.1}, false, 1);
+  TracingPort tracer(*recorder_mem);
+  for (std::uint32_t i = 0; i < 512; ++i) tracer.write_word(i, i ^ 0x5A5A5A5A);
+  std::uint32_t v;
+  for (int pass = 0; pass < 40; ++pass)
+    for (std::uint32_t i = 0; i < 512; ++i) tracer.read_word(i, v);
+  const AccessTrace trace = tracer.trace();
+
+  auto make_target = [](bool ecc) {
+    // 0.36 V: p_bit ~ 2e-5 -> ~14 expected single-bit read flips over
+    // the trace; doubles (what ECC cannot fix) stay << 1.
+    auto array = std::make_unique<SramModule>(
+        "t", 4096, ecc ? 39u : 32u, reliability::cell_based_40nm_access(),
+        reliability::cell_based_40nm_retention(), Volt{0.36}, Rng(9), true);
+    return std::make_unique<EccMemory>(
+        std::move(array),
+        ecc ? std::make_shared<ecc::HammingSecded>(32) : nullptr);
+  };
+  auto raw = make_target(false);
+  auto protected_mem = make_target(true);
+  const ReplayResult raw_result = replay(trace, *raw);
+  const ReplayResult ecc_result = replay(trace, *protected_mem);
+  EXPECT_GT(raw_result.wrong_reads, 0u);
+  EXPECT_EQ(ecc_result.wrong_reads, 0u);
+  EXPECT_GT(ecc_result.corrected, 0u);
+}
+
+}  // namespace
+}  // namespace ntc::sim

@@ -1,0 +1,102 @@
+#include "tech/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tech/node.hpp"
+
+namespace ntc::tech {
+namespace {
+
+TEST(ThermalVoltage, RoomTemperature) {
+  EXPECT_NEAR(thermal_voltage(Celsius{25.0}), 0.02569, 1e-4);
+  EXPECT_NEAR(thermal_voltage(Celsius{125.0}), 0.03431, 1e-4);
+}
+
+TEST(MismatchSigma, PelgromScaling) {
+  DeviceParams p;
+  p.avt_mv_um = 3.5;
+  p.width_um = 0.12;
+  p.length_um = 0.04;
+  EXPECT_NEAR(mismatch_sigma_v(p), 3.5e-3 / std::sqrt(0.0048), 1e-6);
+  // Quadrupling the area halves sigma.
+  DeviceParams big = p;
+  big.width_um *= 4.0;
+  EXPECT_NEAR(mismatch_sigma_v(big), mismatch_sigma_v(p) / 2.0, 1e-9);
+}
+
+TEST(DrainCurrent, MonotonicInGateVoltage) {
+  auto node = node_40nm_lp();
+  double prev = 0.0;
+  for (double vgs = 0.1; vgs <= 1.1; vgs += 0.05) {
+    double i = drain_current(node.nmos, vgs, vgs, Celsius{25.0}).value;
+    EXPECT_GT(i, prev) << "vgs=" << vgs;
+    prev = i;
+  }
+}
+
+TEST(DrainCurrent, SubthresholdSlopeMatchesSwing) {
+  auto node = node_40nm_lp();
+  // Deep subthreshold: current should change by 10x per SS of gate drive.
+  const double ss = subthreshold_swing_mv_dec(node.nmos, Celsius{25.0}) * 1e-3;
+  double i1 = drain_current(node.nmos, 0.10, 1.0, Celsius{25.0}).value;
+  double i2 = drain_current(node.nmos, 0.10 + ss, 1.0, Celsius{25.0}).value;
+  // The EKV interpolation approaches the ideal exponential slope
+  // asymptotically, so allow ~10% at this bias.
+  EXPECT_NEAR(i2 / i1, 10.0, 1.0);
+}
+
+TEST(DrainCurrent, HigherVtMeansLessCurrent) {
+  auto node = node_40nm_lp();
+  double lvt = drain_current(node.nmos, 0.4, 0.4, Celsius{25.0}).value;
+  double hvt = drain_current(node.hvt_nmos, 0.4, 0.4, Celsius{25.0}).value;
+  EXPECT_GT(lvt, hvt);
+}
+
+TEST(DrainCurrent, MismatchShiftActsAsVtShift) {
+  auto node = node_40nm_lp();
+  // +delta_vt at the gate == -delta on vgs in subthreshold.
+  double shifted =
+      drain_current(node.nmos, 0.30, 1.0, Celsius{25.0}, 0.0, 0.05).value;
+  double moved = drain_current(node.nmos, 0.25, 1.0, Celsius{25.0}).value;
+  EXPECT_NEAR(shifted / moved, 1.0, 0.02);
+}
+
+TEST(DrainCurrent, CornerShiftsCurrent) {
+  auto node = node_40nm_lp();
+  double tt = drain_current(node.nmos, 0.4, 0.4, Celsius{25.0},
+                            corner_nmos_sigma(Corner::TT)).value;
+  double ss = drain_current(node.nmos, 0.4, 0.4, Celsius{25.0},
+                            corner_nmos_sigma(Corner::SS)).value;
+  double ff = drain_current(node.nmos, 0.4, 0.4, Celsius{25.0},
+                            corner_nmos_sigma(Corner::FF)).value;
+  EXPECT_LT(ss, tt);
+  EXPECT_GT(ff, tt);
+}
+
+TEST(LeakageCurrent, GrowsWithTemperature) {
+  auto node = node_40nm_lp();
+  double cold = leakage_current(node.nmos, 1.1, Celsius{25.0}).value;
+  double hot = leakage_current(node.nmos, 1.1, Celsius{125.0}).value;
+  EXPECT_GT(hot / cold, 5.0);  // leakage explodes with temperature
+}
+
+TEST(LeakageCurrent, DiblIncreasesLeakageWithVdd) {
+  auto node = node_40nm_lp();
+  double low = leakage_current(node.nmos, 0.4, Celsius{25.0}).value;
+  double high = leakage_current(node.nmos, 1.1, Celsius{25.0}).value;
+  EXPECT_GT(high, low);
+}
+
+TEST(SubthresholdSwing, FinFetBeatsPlanar) {
+  double planar = subthreshold_swing_mv_dec(node_40nm_lp().nmos, Celsius{25.0});
+  double finfet = subthreshold_swing_mv_dec(node_14nm_finfet().nmos, Celsius{25.0});
+  double gaa = subthreshold_swing_mv_dec(node_10nm_multigate().nmos, Celsius{25.0});
+  EXPECT_GT(planar, 85.0);  // LP planar ~ 90 mV/dec
+  EXPECT_LT(finfet, 72.0);  // finFET ~ 70 mV/dec
+  EXPECT_LT(gaa, finfet);   // multi-gate is best
+}
+
+}  // namespace
+}  // namespace ntc::tech

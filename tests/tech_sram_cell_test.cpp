@@ -1,0 +1,94 @@
+#include "tech/sram_cell.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ntc::tech {
+namespace {
+
+TEST(SramCell, ReadIsTheBindingMarginWithoutAssists) {
+  SramCellModel cell(node_40nm_lp());
+  EXPECT_EQ(cell.binding_mode(6.0), SramMode::Read);
+  EXPECT_GT(cell.vmin(SramMode::Read, 6.0).value,
+            cell.vmin(SramMode::Hold, 6.0).value);
+  EXPECT_GT(cell.vmin(SramMode::Read, 6.0).value,
+            cell.vmin(SramMode::Write, 6.0).value);
+}
+
+TEST(SramCell, VminGrowsWithSigmaTarget) {
+  // Bigger arrays need more sigma coverage -> higher V_min (why Mb
+  // macros are spec'd so conservatively).
+  SramCellModel cell(node_40nm_lp());
+  double prev = 0.0;
+  for (double sigma : {3.0, 4.0, 5.0, 6.0, 7.0}) {
+    const double v = cell.vmin(SramMode::Read, sigma).value;
+    EXPECT_GT(v, prev) << "sigma=" << sigma;
+    prev = v;
+  }
+}
+
+TEST(SramCell, WordlineUnderdriveHelpsReadHurtsWrite) {
+  SramCellModel cell(node_40nm_lp());
+  AssistConfig assist;
+  assist.wl_underdrive_v = 0.08;
+  EXPECT_LT(cell.vmin(SramMode::Read, 6.0, assist).value,
+            cell.vmin(SramMode::Read, 6.0).value);
+  EXPECT_GT(cell.vmin(SramMode::Write, 6.0, assist).value,
+            cell.vmin(SramMode::Write, 6.0).value);
+}
+
+TEST(SramCell, NegativeBitlineHelpsWriteOnly) {
+  SramCellModel cell(node_40nm_lp());
+  AssistConfig assist;
+  assist.negative_bitline_v = 0.10;
+  EXPECT_LT(cell.vmin(SramMode::Write, 6.0, assist).value,
+            cell.vmin(SramMode::Write, 6.0).value);
+  EXPECT_DOUBLE_EQ(cell.vmin(SramMode::Read, 6.0, assist).value,
+                   cell.vmin(SramMode::Read, 6.0).value);
+  EXPECT_DOUBLE_EQ(cell.vmin(SramMode::Hold, 6.0, assist).value,
+                   cell.vmin(SramMode::Hold, 6.0).value);
+}
+
+TEST(SramCell, CombinedAssistsExtendTheOperatingWindow) {
+  SramCellModel cell(node_40nm_lp());
+  AssistConfig assist;
+  assist.wl_underdrive_v = 0.08;
+  assist.negative_bitline_v = 0.12;  // compensates the write penalty
+  assist.cell_vdd_boost_v = 0.05;
+  double bare = 0.0, assisted = 0.0;
+  for (SramMode mode : {SramMode::Hold, SramMode::Read, SramMode::Write}) {
+    bare = std::max(bare, cell.vmin(mode, 6.0).value);
+    assisted = std::max(assisted, cell.vmin(mode, 6.0, assist).value);
+  }
+  EXPECT_LT(assisted, bare - 0.05);  // >= 50 mV of headroom bought
+}
+
+TEST(SramCell, AssistEnergyOverheadScalesWithKnobs) {
+  SramCellModel cell(node_40nm_lp());
+  EXPECT_DOUBLE_EQ(cell.assist_energy_overhead({}), 0.0);
+  AssistConfig small, big;
+  small.negative_bitline_v = 0.05;
+  big.negative_bitline_v = 0.15;
+  big.wl_underdrive_v = 0.08;
+  EXPECT_GT(cell.assist_energy_overhead(big),
+            cell.assist_energy_overhead(small));
+}
+
+TEST(SramCell, FinFetCellsAreTighterThanPlanar) {
+  SramCellModel planar(node_40nm_lp());
+  SramCellModel finfet(node_14nm_finfet());
+  // Same sigma target, lower V_min at matched margins: the Avt benefit
+  // of Section VI translated to the cell.
+  EXPECT_LT(finfet.vmin(SramMode::Read, 6.0).value,
+            planar.vmin(SramMode::Read, 6.0).value);
+}
+
+TEST(SramCell, MarginModelExposesGaussianForm) {
+  SramCellModel cell(node_40nm_lp());
+  auto model = cell.margin_model(SramMode::Hold);
+  // p_fail at the 6-sigma V_min should be ~the 6-sigma tail.
+  const Volt v6 = cell.vmin(SramMode::Hold, 6.0);
+  EXPECT_NEAR(model.p_bit_fail(v6), 9.87e-10, 5e-10);
+}
+
+}  // namespace
+}  // namespace ntc::tech

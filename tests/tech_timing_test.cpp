@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tech/aging.hpp"
+#include "tech/inverter.hpp"
+#include "tech/logic_timing.hpp"
+
+namespace ntc::tech {
+namespace {
+
+TEST(InverterModel, DelayDecreasesWithVoltage) {
+  InverterModel inv(node_40nm_lp());
+  double prev = 1e9;
+  for (double v = 0.3; v <= 1.1; v += 0.1) {
+    double d = inv.delay(Volt{v}).value;
+    EXPECT_LT(d, prev) << "v=" << v;
+    prev = d;
+  }
+}
+
+TEST(InverterModel, NearThresholdDelayExplodes) {
+  InverterModel inv(node_40nm_lp());
+  double d_nom = inv.delay(Volt{1.1}).value;
+  double d_ntv = inv.delay(Volt{0.35}).value;
+  EXPECT_GT(d_ntv / d_nom, 50.0);  // orders of magnitude slower near Vt
+}
+
+TEST(InverterModel, MonteCarloSigmaGrowsTowardThreshold) {
+  InverterModel inv(node_40nm_lp());
+  Rng rng(1);
+  auto low = inv.characterize(Volt{0.35}, 2000, rng);
+  auto high = inv.characterize(Volt{1.0}, 2000, rng);
+  EXPECT_GT(low.sigma_over_mean, high.sigma_over_mean * 3.0);
+}
+
+TEST(InverterModel, TenNmIsAboutTwiceAsFastAsFourteen) {
+  // The paper: "Going from 14nm to 10nm results in a 2x speed-up".
+  InverterModel inv14(node_14nm_finfet());
+  InverterModel inv10(node_10nm_multigate());
+  for (double v : {0.4, 0.5, 0.6, 0.7}) {
+    double ratio = inv14.delay(Volt{v}).value / inv10.delay(Volt{v}).value;
+    EXPECT_GT(ratio, 1.5) << "v=" << v;
+    EXPECT_LT(ratio, 3.5) << "v=" << v;
+  }
+}
+
+TEST(InverterModel, FinFetSigmaTighterThanPlanar) {
+  InverterModel planar(node_40nm_lp());
+  InverterModel finfet(node_14nm_finfet());
+  Rng rng(2);
+  auto p = planar.characterize(Volt{0.4}, 3000, rng);
+  auto f = finfet.characterize(Volt{0.4}, 3000, rng);
+  EXPECT_LT(f.sigma_over_mean, p.sigma_over_mean);
+}
+
+TEST(LogicTiming, FmaxMonotonicInVoltage) {
+  auto timing = platform_logic_timing_40nm();
+  EXPECT_LT(timing.fmax(Volt{0.4}).value, timing.fmax(Volt{0.6}).value);
+  EXPECT_LT(timing.fmax(Volt{0.6}).value, timing.fmax(Volt{1.1}).value);
+}
+
+TEST(LogicTiming, CalibrationAnchors) {
+  // Anchors from the paper's evaluation: 290 kHz at 0.33 V (exact by
+  // construction), ~2 MHz at 0.44 V, >= 11 MHz at 0.66 V.
+  auto timing = platform_logic_timing_40nm();
+  EXPECT_NEAR(in_megahertz(timing.fmax(Volt{0.33})), 0.29, 0.01);
+  EXPECT_GT(in_megahertz(timing.fmax(Volt{0.44})), 1.96);
+  EXPECT_LT(in_megahertz(timing.fmax(Volt{0.33})), 1.96);
+  EXPECT_GT(in_megahertz(timing.fmax(Volt{0.66})), 11.0);
+}
+
+TEST(LogicTiming, MinVoltageForInvertsFmax) {
+  auto timing = platform_logic_timing_40nm();
+  Volt v = timing.min_voltage_for(megahertz(1.96));
+  EXPECT_NEAR(in_megahertz(timing.fmax(v)), 1.96, 0.01);
+  // Below-floor requests return the floor.
+  EXPECT_DOUBLE_EQ(timing.min_voltage_for(Hertz{1.0}, Volt{0.25}).value, 0.25);
+}
+
+TEST(AgingModel, PowerLawDrift) {
+  AgingModel aging(Volt{0.040}, 0.20);
+  EXPECT_DOUBLE_EQ(aging.drift(Second{0.0}).value, 0.0);
+  EXPECT_NEAR(aging.drift(years(10.0)).value, 0.040, 1e-9);
+  // One year: (0.1)^0.2 = 0.631 of the 10-year drift.
+  EXPECT_NEAR(aging.drift(years(1.0)).value, 0.040 * 0.631, 1e-3);
+}
+
+TEST(AgingModel, TimeToDriftInvertsDrift) {
+  AgingModel aging(Volt{0.040}, 0.20);
+  Second t = aging.time_to_drift(Volt{0.020});
+  EXPECT_NEAR(aging.drift(t).value, 0.020, 1e-9);
+}
+
+TEST(AgingModel, MonotonicInTime) {
+  AgingModel aging;
+  double prev = -1.0;
+  for (double y : {0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0}) {
+    double d = aging.drift(years(y)).value;
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+}
+
+}  // namespace
+}  // namespace ntc::tech

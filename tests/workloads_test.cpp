@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/platform.hpp"
+#include "workloads/fft.hpp"
+#include "workloads/fir.hpp"
+#include "workloads/golden.hpp"
+#include "workloads/matmul.hpp"
+
+namespace ntc::workloads {
+namespace {
+
+sim::Platform clean_platform() {
+  sim::PlatformConfig config;
+  config.inject_faults = false;
+  config.spm_bytes = 16 * 1024;  // room for the larger test layouts
+  return sim::Platform(config);
+}
+
+std::vector<std::complex<double>> two_tone(std::size_t n) {
+  std::vector<std::complex<double>> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i);
+    x[i] = 0.30 * std::sin(2.0 * M_PI * 17.0 * t / static_cast<double>(n)) +
+           0.20 * std::cos(2.0 * M_PI * 83.0 * t / static_cast<double>(n));
+  }
+  return x;
+}
+
+TEST(GoldenFft, MatchesDirectDftOnImpulse) {
+  // FFT of a unit impulse is all ones.
+  std::vector<std::complex<double>> x(64, 0.0);
+  x[0] = 1.0;
+  auto spectrum = reference_fft(x);
+  for (const auto& bin : spectrum) {
+    EXPECT_NEAR(bin.real(), 1.0, 1e-12);
+    EXPECT_NEAR(bin.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(GoldenFft, SingleToneLandsInOneBin) {
+  const std::size_t n = 256;
+  std::vector<std::complex<double>> x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = std::cos(2.0 * M_PI * 5.0 * static_cast<double>(i) / n);
+  auto spectrum = reference_fft(x);
+  EXPECT_NEAR(std::abs(spectrum[5]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(spectrum[n - 5]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(spectrum[9]), 0.0, 1e-9);
+}
+
+TEST(SnrDb, PerfectAndNoisySignals) {
+  std::vector<std::complex<double>> ref{{1, 0}, {0, 1}, {-1, 0}};
+  EXPECT_DOUBLE_EQ(snr_db(ref, ref), 300.0);
+  auto noisy = ref;
+  noisy[0] += 0.01;
+  EXPECT_GT(snr_db(noisy, ref), 30.0);
+  EXPECT_LT(snr_db(noisy, ref), 60.0);
+}
+
+TEST(FixedPointFft, FaultFreeMatchesReference) {
+  sim::Platform platform = clean_platform();
+  FixedPointFft fft(1024);
+  EXPECT_EQ(fft.phase_count(), 11u);  // permutation + 10 stages
+  fft.set_input(two_tone(1024));
+
+  fft.initialize(platform.spm());
+  for (std::size_t phase = 0; phase < fft.phase_count(); ++phase) {
+    auto result = fft.run_phase(phase, platform.spm());
+    EXPECT_FALSE(result.memory_fault);
+    EXPECT_GT(result.compute_cycles, 0u);
+  }
+  auto measured = fft.read_output(platform.spm());
+  auto reference = reference_fft(two_tone(1024));
+  // Undo the fixed-point pipeline's 1/N scaling.
+  for (auto& v : measured) v /= fft.output_scale();
+  // Q15 with per-stage scaling: ~40+ dB for this signal level.
+  EXPECT_GT(snr_db(measured, reference), 35.0);
+}
+
+TEST(FixedPointFft, AccessCountsMatchAlgorithm) {
+  sim::Platform platform = clean_platform();
+  FixedPointFft fft(256);
+  fft.set_input(two_tone(256));
+  fft.initialize(platform.spm());
+  platform.spm().array().reset_stats();
+  (void)fft.run_phase(1, platform.spm());  // first butterfly stage
+  // 128 butterflies x (2 loads + 2 stores).
+  EXPECT_EQ(platform.spm().array().stats().reads, 256u);
+  EXPECT_EQ(platform.spm().array().stats().writes, 256u);
+}
+
+TEST(FixedPointFft, ChunksCoverWholeWorkingSet) {
+  FixedPointFft fft(1024, 128);
+  for (std::size_t p = 0; p < fft.phase_count(); ++p) {
+    ChunkRef chunk = fft.input_chunk(p);
+    EXPECT_EQ(chunk.word_offset, 128u);
+    EXPECT_EQ(chunk.words, 1024u);
+  }
+}
+
+TEST(FirFilter, FaultFreeMatchesReference) {
+  sim::Platform platform = clean_platform();
+  // Simple low-pass: boxcar of 8 taps.
+  std::vector<double> taps(8, 0.12);
+  std::vector<double> input(512);
+  for (std::size_t i = 0; i < input.size(); ++i)
+    input[i] = 0.4 * std::sin(2.0 * M_PI * i / 64.0);
+  FirFilter fir(taps, input, 64);
+  EXPECT_EQ(fir.phase_count(), 8u);
+
+  fir.initialize(platform.spm());
+  for (std::size_t p = 0; p < fir.phase_count(); ++p) {
+    auto result = fir.run_phase(p, platform.spm());
+    EXPECT_FALSE(result.memory_fault);
+  }
+  EXPECT_LT(rmse(fir.read_output(platform.spm()), fir.reference_output()),
+            2e-3);
+}
+
+TEST(MatMul, FaultFreeMatchesReference) {
+  sim::Platform platform = clean_platform();
+  const std::size_t n = 12;
+  std::vector<std::int32_t> a(n * n), b(n * n);
+  for (std::size_t i = 0; i < n * n; ++i) {
+    a[i] = static_cast<std::int32_t>((i * 7) % 100) - 50;
+    b[i] = static_cast<std::int32_t>((i * 13) % 90) - 45;
+  }
+  MatMul mm(a, b, n);
+  mm.initialize(platform.spm());
+  for (std::size_t p = 0; p < mm.phase_count(); ++p)
+    (void)mm.run_phase(p, platform.spm());
+  EXPECT_EQ(mm.read_output(platform.spm()), mm.reference_output());
+}
+
+TEST(MatMul, FaultsCorruptResultsAtLowVoltage) {
+  // Property check of the whole fault chain: deep below V0 the matmul
+  // result must differ from the golden one.
+  sim::PlatformConfig config;
+  config.vdd = Volt{0.30};
+  config.spm_bytes = 16 * 1024;
+  config.seed = 5;
+  sim::Platform platform(config);
+  const std::size_t n = 12;
+  std::vector<std::int32_t> a(n * n, 3), b(n * n, 4);
+  MatMul mm(a, b, n);
+  mm.initialize(platform.spm());
+  for (std::size_t p = 0; p < mm.phase_count(); ++p)
+    (void)mm.run_phase(p, platform.spm());
+  EXPECT_NE(mm.read_output(platform.spm()), mm.reference_output());
+}
+
+}  // namespace
+}  // namespace ntc::workloads
