@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_assist.dir/bench/ablation_assist.cpp.o"
+  "CMakeFiles/ablation_assist.dir/bench/ablation_assist.cpp.o.d"
+  "bench/ablation_assist"
+  "bench/ablation_assist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_assist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

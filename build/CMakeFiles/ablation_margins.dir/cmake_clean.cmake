@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_margins.dir/bench/ablation_margins.cpp.o"
+  "CMakeFiles/ablation_margins.dir/bench/ablation_margins.cpp.o.d"
+  "bench/ablation_margins"
+  "bench/ablation_margins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_margins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_monitor.dir/bench/ablation_monitor.cpp.o"
+  "CMakeFiles/ablation_monitor.dir/bench/ablation_monitor.cpp.o.d"
+  "bench/ablation_monitor"
+  "bench/ablation_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecc_codec_perf.dir/bench/ecc_codec_perf.cpp.o"
+  "CMakeFiles/ecc_codec_perf.dir/bench/ecc_codec_perf.cpp.o.d"
+  "bench/ecc_codec_perf"
+  "bench/ecc_codec_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecc_codec_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_finfet_memory.dir/bench/extension_finfet_memory.cpp.o"
+  "CMakeFiles/extension_finfet_memory.dir/bench/extension_finfet_memory.cpp.o.d"
+  "bench/extension_finfet_memory"
+  "bench/extension_finfet_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_finfet_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_fit_dvfs.dir/bench/extension_fit_dvfs.cpp.o"
+  "CMakeFiles/extension_fit_dvfs.dir/bench/extension_fit_dvfs.cpp.o.d"
+  "bench/extension_fit_dvfs"
+  "bench/extension_fit_dvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_fit_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_parallelism.dir/bench/extension_parallelism.cpp.o"
+  "CMakeFiles/extension_parallelism.dir/bench/extension_parallelism.cpp.o.d"
+  "bench/extension_parallelism"
+  "bench/extension_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

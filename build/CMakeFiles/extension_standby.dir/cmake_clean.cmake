@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_standby.dir/bench/extension_standby.cpp.o"
+  "CMakeFiles/extension_standby.dir/bench/extension_standby.cpp.o.d"
+  "bench/extension_standby"
+  "bench/extension_standby.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_standby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

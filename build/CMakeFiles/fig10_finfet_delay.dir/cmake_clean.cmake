@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_finfet_delay.dir/bench/fig10_finfet_delay.cpp.o"
+  "CMakeFiles/fig10_finfet_delay.dir/bench/fig10_finfet_delay.cpp.o.d"
+  "bench/fig10_finfet_delay"
+  "bench/fig10_finfet_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_finfet_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_energy_per_cycle.dir/bench/fig1_energy_per_cycle.cpp.o"
+  "CMakeFiles/fig1_energy_per_cycle.dir/bench/fig1_energy_per_cycle.cpp.o.d"
+  "bench/fig1_energy_per_cycle"
+  "bench/fig1_energy_per_cycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_energy_per_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig1_energy_per_cycle.
+# This may be replaced when dependencies are built.

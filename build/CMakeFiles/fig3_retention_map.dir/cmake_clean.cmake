@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_retention_map.dir/bench/fig3_retention_map.cpp.o"
+  "CMakeFiles/fig3_retention_map.dir/bench/fig3_retention_map.cpp.o.d"
+  "bench/fig3_retention_map"
+  "bench/fig3_retention_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_retention_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

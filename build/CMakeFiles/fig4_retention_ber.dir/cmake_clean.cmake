@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_retention_ber.dir/bench/fig4_retention_ber.cpp.o"
+  "CMakeFiles/fig4_retention_ber.dir/bench/fig4_retention_ber.cpp.o.d"
+  "bench/fig4_retention_ber"
+  "bench/fig4_retention_ber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_retention_ber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

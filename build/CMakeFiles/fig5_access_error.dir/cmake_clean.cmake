@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_access_error.dir/bench/fig5_access_error.cpp.o"
+  "CMakeFiles/fig5_access_error.dir/bench/fig5_access_error.cpp.o.d"
+  "bench/fig5_access_error"
+  "bench/fig5_access_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_access_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_power_290khz.dir/bench/fig8_power_290khz.cpp.o"
+  "CMakeFiles/fig8_power_290khz.dir/bench/fig8_power_290khz.cpp.o.d"
+  "bench/fig8_power_290khz"
+  "bench/fig8_power_290khz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_power_290khz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_power_290khz.
+# This may be replaced when dependencies are built.

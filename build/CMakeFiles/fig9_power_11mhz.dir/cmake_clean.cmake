@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_power_11mhz.dir/bench/fig9_power_11mhz.cpp.o"
+  "CMakeFiles/fig9_power_11mhz.dir/bench/fig9_power_11mhz.cpp.o.d"
+  "bench/fig9_power_11mhz"
+  "bench/fig9_power_11mhz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_power_11mhz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

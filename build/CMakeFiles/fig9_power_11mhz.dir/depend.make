@@ -1,0 +1,2 @@
+# Empty dependencies file for fig9_power_11mhz.
+# This may be replaced when dependencies are built.

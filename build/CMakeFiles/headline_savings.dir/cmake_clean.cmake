@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/headline_savings.dir/bench/headline_savings.cpp.o"
+  "CMakeFiles/headline_savings.dir/bench/headline_savings.cpp.o.d"
+  "bench/headline_savings"
+  "bench/headline_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headline_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

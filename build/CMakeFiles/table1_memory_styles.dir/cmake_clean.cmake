@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_memory_styles.dir/bench/table1_memory_styles.cpp.o"
+  "CMakeFiles/table1_memory_styles.dir/bench/table1_memory_styles.cpp.o.d"
+  "bench/table1_memory_styles"
+  "bench/table1_memory_styles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_memory_styles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_min_voltage.dir/bench/table2_min_voltage.cpp.o"
+  "CMakeFiles/table2_min_voltage.dir/bench/table2_min_voltage.cpp.o.d"
+  "bench/table2_min_voltage"
+  "bench/table2_min_voltage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_min_voltage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_design_space.dir/design_space.cpp.o"
+  "CMakeFiles/example_design_space.dir/design_space.cpp.o.d"
+  "example_design_space"
+  "example_design_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_design_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

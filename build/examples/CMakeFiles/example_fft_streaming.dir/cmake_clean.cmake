@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fft_streaming.dir/fft_streaming.cpp.o"
+  "CMakeFiles/example_fft_streaming.dir/fft_streaming.cpp.o.d"
+  "example_fft_streaming"
+  "example_fft_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fft_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_lifetime_monitor.dir/lifetime_monitor.cpp.o"
+  "CMakeFiles/example_lifetime_monitor.dir/lifetime_monitor.cpp.o.d"
+  "example_lifetime_monitor"
+  "example_lifetime_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_lifetime_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_riscv_soc.dir/riscv_soc.cpp.o"
+  "CMakeFiles/example_riscv_soc.dir/riscv_soc.cpp.o.d"
+  "example_riscv_soc"
+  "example_riscv_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_riscv_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_standby_banking.dir/standby_banking.cpp.o"
+  "CMakeFiles/example_standby_banking.dir/standby_banking.cpp.o.d"
+  "example_standby_banking"
+  "example_standby_banking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_standby_banking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_standby_banking.
+# This may be replaced when dependencies are built.

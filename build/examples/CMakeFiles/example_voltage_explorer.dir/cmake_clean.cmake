@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_voltage_explorer.dir/voltage_explorer.cpp.o"
+  "CMakeFiles/example_voltage_explorer.dir/voltage_explorer.cpp.o.d"
+  "example_voltage_explorer"
+  "example_voltage_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_voltage_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/csv.cpp" "src/CMakeFiles/ntc_common.dir/common/csv.cpp.o" "gcc" "src/CMakeFiles/ntc_common.dir/common/csv.cpp.o.d"
+  "/root/repo/src/common/curve_fit.cpp" "src/CMakeFiles/ntc_common.dir/common/curve_fit.cpp.o" "gcc" "src/CMakeFiles/ntc_common.dir/common/curve_fit.cpp.o.d"
+  "/root/repo/src/common/math.cpp" "src/CMakeFiles/ntc_common.dir/common/math.cpp.o" "gcc" "src/CMakeFiles/ntc_common.dir/common/math.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/ntc_common.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/ntc_common.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/statistics.cpp" "src/CMakeFiles/ntc_common.dir/common/statistics.cpp.o" "gcc" "src/CMakeFiles/ntc_common.dir/common/statistics.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/ntc_common.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/ntc_common.dir/common/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

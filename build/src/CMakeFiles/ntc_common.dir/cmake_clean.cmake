@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntc_common.dir/common/csv.cpp.o"
+  "CMakeFiles/ntc_common.dir/common/csv.cpp.o.d"
+  "CMakeFiles/ntc_common.dir/common/curve_fit.cpp.o"
+  "CMakeFiles/ntc_common.dir/common/curve_fit.cpp.o.d"
+  "CMakeFiles/ntc_common.dir/common/math.cpp.o"
+  "CMakeFiles/ntc_common.dir/common/math.cpp.o.d"
+  "CMakeFiles/ntc_common.dir/common/rng.cpp.o"
+  "CMakeFiles/ntc_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/ntc_common.dir/common/statistics.cpp.o"
+  "CMakeFiles/ntc_common.dir/common/statistics.cpp.o.d"
+  "CMakeFiles/ntc_common.dir/common/table.cpp.o"
+  "CMakeFiles/ntc_common.dir/common/table.cpp.o.d"
+  "libntc_common.a"
+  "libntc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

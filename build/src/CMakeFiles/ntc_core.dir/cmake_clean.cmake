@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntc_core.dir/core/adaptive_memory.cpp.o"
+  "CMakeFiles/ntc_core.dir/core/adaptive_memory.cpp.o.d"
+  "CMakeFiles/ntc_core.dir/core/controller.cpp.o"
+  "CMakeFiles/ntc_core.dir/core/controller.cpp.o.d"
+  "CMakeFiles/ntc_core.dir/core/lifetime.cpp.o"
+  "CMakeFiles/ntc_core.dir/core/lifetime.cpp.o.d"
+  "CMakeFiles/ntc_core.dir/core/monitor.cpp.o"
+  "CMakeFiles/ntc_core.dir/core/monitor.cpp.o.d"
+  "CMakeFiles/ntc_core.dir/core/ntc_memory.cpp.o"
+  "CMakeFiles/ntc_core.dir/core/ntc_memory.cpp.o.d"
+  "CMakeFiles/ntc_core.dir/core/system.cpp.o"
+  "CMakeFiles/ntc_core.dir/core/system.cpp.o.d"
+  "libntc_core.a"
+  "libntc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libntc_core.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ecc/bch.cpp" "src/CMakeFiles/ntc_ecc.dir/ecc/bch.cpp.o" "gcc" "src/CMakeFiles/ntc_ecc.dir/ecc/bch.cpp.o.d"
+  "/root/repo/src/ecc/codec_overhead.cpp" "src/CMakeFiles/ntc_ecc.dir/ecc/codec_overhead.cpp.o" "gcc" "src/CMakeFiles/ntc_ecc.dir/ecc/codec_overhead.cpp.o.d"
+  "/root/repo/src/ecc/crc.cpp" "src/CMakeFiles/ntc_ecc.dir/ecc/crc.cpp.o" "gcc" "src/CMakeFiles/ntc_ecc.dir/ecc/crc.cpp.o.d"
+  "/root/repo/src/ecc/galois.cpp" "src/CMakeFiles/ntc_ecc.dir/ecc/galois.cpp.o" "gcc" "src/CMakeFiles/ntc_ecc.dir/ecc/galois.cpp.o.d"
+  "/root/repo/src/ecc/hamming.cpp" "src/CMakeFiles/ntc_ecc.dir/ecc/hamming.cpp.o" "gcc" "src/CMakeFiles/ntc_ecc.dir/ecc/hamming.cpp.o.d"
+  "/root/repo/src/ecc/hsiao.cpp" "src/CMakeFiles/ntc_ecc.dir/ecc/hsiao.cpp.o" "gcc" "src/CMakeFiles/ntc_ecc.dir/ecc/hsiao.cpp.o.d"
+  "/root/repo/src/ecc/interleave.cpp" "src/CMakeFiles/ntc_ecc.dir/ecc/interleave.cpp.o" "gcc" "src/CMakeFiles/ntc_ecc.dir/ecc/interleave.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ntc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntc_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntc_reliability.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntc_ecc.dir/ecc/bch.cpp.o"
+  "CMakeFiles/ntc_ecc.dir/ecc/bch.cpp.o.d"
+  "CMakeFiles/ntc_ecc.dir/ecc/codec_overhead.cpp.o"
+  "CMakeFiles/ntc_ecc.dir/ecc/codec_overhead.cpp.o.d"
+  "CMakeFiles/ntc_ecc.dir/ecc/crc.cpp.o"
+  "CMakeFiles/ntc_ecc.dir/ecc/crc.cpp.o.d"
+  "CMakeFiles/ntc_ecc.dir/ecc/galois.cpp.o"
+  "CMakeFiles/ntc_ecc.dir/ecc/galois.cpp.o.d"
+  "CMakeFiles/ntc_ecc.dir/ecc/hamming.cpp.o"
+  "CMakeFiles/ntc_ecc.dir/ecc/hamming.cpp.o.d"
+  "CMakeFiles/ntc_ecc.dir/ecc/hsiao.cpp.o"
+  "CMakeFiles/ntc_ecc.dir/ecc/hsiao.cpp.o.d"
+  "CMakeFiles/ntc_ecc.dir/ecc/interleave.cpp.o"
+  "CMakeFiles/ntc_ecc.dir/ecc/interleave.cpp.o.d"
+  "libntc_ecc.a"
+  "libntc_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntc_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

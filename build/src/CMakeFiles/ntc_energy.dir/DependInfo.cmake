@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/energy/cacti_lite.cpp" "src/CMakeFiles/ntc_energy.dir/energy/cacti_lite.cpp.o" "gcc" "src/CMakeFiles/ntc_energy.dir/energy/cacti_lite.cpp.o.d"
+  "/root/repo/src/energy/dvfs.cpp" "src/CMakeFiles/ntc_energy.dir/energy/dvfs.cpp.o" "gcc" "src/CMakeFiles/ntc_energy.dir/energy/dvfs.cpp.o.d"
+  "/root/repo/src/energy/logic_model.cpp" "src/CMakeFiles/ntc_energy.dir/energy/logic_model.cpp.o" "gcc" "src/CMakeFiles/ntc_energy.dir/energy/logic_model.cpp.o.d"
+  "/root/repo/src/energy/memory_calculator.cpp" "src/CMakeFiles/ntc_energy.dir/energy/memory_calculator.cpp.o" "gcc" "src/CMakeFiles/ntc_energy.dir/energy/memory_calculator.cpp.o.d"
+  "/root/repo/src/energy/node_projection.cpp" "src/CMakeFiles/ntc_energy.dir/energy/node_projection.cpp.o" "gcc" "src/CMakeFiles/ntc_energy.dir/energy/node_projection.cpp.o.d"
+  "/root/repo/src/energy/platform_power.cpp" "src/CMakeFiles/ntc_energy.dir/energy/platform_power.cpp.o" "gcc" "src/CMakeFiles/ntc_energy.dir/energy/platform_power.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ntc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntc_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntc_reliability.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntc_energy.dir/energy/cacti_lite.cpp.o"
+  "CMakeFiles/ntc_energy.dir/energy/cacti_lite.cpp.o.d"
+  "CMakeFiles/ntc_energy.dir/energy/dvfs.cpp.o"
+  "CMakeFiles/ntc_energy.dir/energy/dvfs.cpp.o.d"
+  "CMakeFiles/ntc_energy.dir/energy/logic_model.cpp.o"
+  "CMakeFiles/ntc_energy.dir/energy/logic_model.cpp.o.d"
+  "CMakeFiles/ntc_energy.dir/energy/memory_calculator.cpp.o"
+  "CMakeFiles/ntc_energy.dir/energy/memory_calculator.cpp.o.d"
+  "CMakeFiles/ntc_energy.dir/energy/node_projection.cpp.o"
+  "CMakeFiles/ntc_energy.dir/energy/node_projection.cpp.o.d"
+  "CMakeFiles/ntc_energy.dir/energy/platform_power.cpp.o"
+  "CMakeFiles/ntc_energy.dir/energy/platform_power.cpp.o.d"
+  "libntc_energy.a"
+  "libntc_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntc_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

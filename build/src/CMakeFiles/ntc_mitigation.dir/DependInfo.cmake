@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mitigation/comparison.cpp" "src/CMakeFiles/ntc_mitigation.dir/mitigation/comparison.cpp.o" "gcc" "src/CMakeFiles/ntc_mitigation.dir/mitigation/comparison.cpp.o.d"
+  "/root/repo/src/mitigation/fit_budget.cpp" "src/CMakeFiles/ntc_mitigation.dir/mitigation/fit_budget.cpp.o" "gcc" "src/CMakeFiles/ntc_mitigation.dir/mitigation/fit_budget.cpp.o.d"
+  "/root/repo/src/mitigation/scheme.cpp" "src/CMakeFiles/ntc_mitigation.dir/mitigation/scheme.cpp.o" "gcc" "src/CMakeFiles/ntc_mitigation.dir/mitigation/scheme.cpp.o.d"
+  "/root/repo/src/mitigation/voltage_solver.cpp" "src/CMakeFiles/ntc_mitigation.dir/mitigation/voltage_solver.cpp.o" "gcc" "src/CMakeFiles/ntc_mitigation.dir/mitigation/voltage_solver.cpp.o.d"
+  "/root/repo/src/mitigation/word_failure.cpp" "src/CMakeFiles/ntc_mitigation.dir/mitigation/word_failure.cpp.o" "gcc" "src/CMakeFiles/ntc_mitigation.dir/mitigation/word_failure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ntc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntc_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntc_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntc_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntc_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

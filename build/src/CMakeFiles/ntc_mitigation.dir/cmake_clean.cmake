@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntc_mitigation.dir/mitigation/comparison.cpp.o"
+  "CMakeFiles/ntc_mitigation.dir/mitigation/comparison.cpp.o.d"
+  "CMakeFiles/ntc_mitigation.dir/mitigation/fit_budget.cpp.o"
+  "CMakeFiles/ntc_mitigation.dir/mitigation/fit_budget.cpp.o.d"
+  "CMakeFiles/ntc_mitigation.dir/mitigation/scheme.cpp.o"
+  "CMakeFiles/ntc_mitigation.dir/mitigation/scheme.cpp.o.d"
+  "CMakeFiles/ntc_mitigation.dir/mitigation/voltage_solver.cpp.o"
+  "CMakeFiles/ntc_mitigation.dir/mitigation/voltage_solver.cpp.o.d"
+  "CMakeFiles/ntc_mitigation.dir/mitigation/word_failure.cpp.o"
+  "CMakeFiles/ntc_mitigation.dir/mitigation/word_failure.cpp.o.d"
+  "libntc_mitigation.a"
+  "libntc_mitigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntc_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

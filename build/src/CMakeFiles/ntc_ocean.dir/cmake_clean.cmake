@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntc_ocean.dir/ocean/optimizer.cpp.o"
+  "CMakeFiles/ntc_ocean.dir/ocean/optimizer.cpp.o.d"
+  "CMakeFiles/ntc_ocean.dir/ocean/protected_buffer.cpp.o"
+  "CMakeFiles/ntc_ocean.dir/ocean/protected_buffer.cpp.o.d"
+  "CMakeFiles/ntc_ocean.dir/ocean/runtime.cpp.o"
+  "CMakeFiles/ntc_ocean.dir/ocean/runtime.cpp.o.d"
+  "libntc_ocean.a"
+  "libntc_ocean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntc_ocean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reliability/access_model.cpp" "src/CMakeFiles/ntc_reliability.dir/reliability/access_model.cpp.o" "gcc" "src/CMakeFiles/ntc_reliability.dir/reliability/access_model.cpp.o.d"
+  "/root/repo/src/reliability/fault_map.cpp" "src/CMakeFiles/ntc_reliability.dir/reliability/fault_map.cpp.o" "gcc" "src/CMakeFiles/ntc_reliability.dir/reliability/fault_map.cpp.o.d"
+  "/root/repo/src/reliability/noise_margin.cpp" "src/CMakeFiles/ntc_reliability.dir/reliability/noise_margin.cpp.o" "gcc" "src/CMakeFiles/ntc_reliability.dir/reliability/noise_margin.cpp.o.d"
+  "/root/repo/src/reliability/retention_model.cpp" "src/CMakeFiles/ntc_reliability.dir/reliability/retention_model.cpp.o" "gcc" "src/CMakeFiles/ntc_reliability.dir/reliability/retention_model.cpp.o.d"
+  "/root/repo/src/reliability/test_chip.cpp" "src/CMakeFiles/ntc_reliability.dir/reliability/test_chip.cpp.o" "gcc" "src/CMakeFiles/ntc_reliability.dir/reliability/test_chip.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ntc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

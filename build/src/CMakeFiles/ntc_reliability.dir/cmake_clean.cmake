@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntc_reliability.dir/reliability/access_model.cpp.o"
+  "CMakeFiles/ntc_reliability.dir/reliability/access_model.cpp.o.d"
+  "CMakeFiles/ntc_reliability.dir/reliability/fault_map.cpp.o"
+  "CMakeFiles/ntc_reliability.dir/reliability/fault_map.cpp.o.d"
+  "CMakeFiles/ntc_reliability.dir/reliability/noise_margin.cpp.o"
+  "CMakeFiles/ntc_reliability.dir/reliability/noise_margin.cpp.o.d"
+  "CMakeFiles/ntc_reliability.dir/reliability/retention_model.cpp.o"
+  "CMakeFiles/ntc_reliability.dir/reliability/retention_model.cpp.o.d"
+  "CMakeFiles/ntc_reliability.dir/reliability/test_chip.cpp.o"
+  "CMakeFiles/ntc_reliability.dir/reliability/test_chip.cpp.o.d"
+  "libntc_reliability.a"
+  "libntc_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntc_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/assembler.cpp" "src/CMakeFiles/ntc_sim.dir/sim/assembler.cpp.o" "gcc" "src/CMakeFiles/ntc_sim.dir/sim/assembler.cpp.o.d"
+  "/root/repo/src/sim/bus.cpp" "src/CMakeFiles/ntc_sim.dir/sim/bus.cpp.o" "gcc" "src/CMakeFiles/ntc_sim.dir/sim/bus.cpp.o.d"
+  "/root/repo/src/sim/cpu.cpp" "src/CMakeFiles/ntc_sim.dir/sim/cpu.cpp.o" "gcc" "src/CMakeFiles/ntc_sim.dir/sim/cpu.cpp.o.d"
+  "/root/repo/src/sim/disassembler.cpp" "src/CMakeFiles/ntc_sim.dir/sim/disassembler.cpp.o" "gcc" "src/CMakeFiles/ntc_sim.dir/sim/disassembler.cpp.o.d"
+  "/root/repo/src/sim/drowsy_memory.cpp" "src/CMakeFiles/ntc_sim.dir/sim/drowsy_memory.cpp.o" "gcc" "src/CMakeFiles/ntc_sim.dir/sim/drowsy_memory.cpp.o.d"
+  "/root/repo/src/sim/ecc_memory.cpp" "src/CMakeFiles/ntc_sim.dir/sim/ecc_memory.cpp.o" "gcc" "src/CMakeFiles/ntc_sim.dir/sim/ecc_memory.cpp.o.d"
+  "/root/repo/src/sim/platform.cpp" "src/CMakeFiles/ntc_sim.dir/sim/platform.cpp.o" "gcc" "src/CMakeFiles/ntc_sim.dir/sim/platform.cpp.o.d"
+  "/root/repo/src/sim/sram_module.cpp" "src/CMakeFiles/ntc_sim.dir/sim/sram_module.cpp.o" "gcc" "src/CMakeFiles/ntc_sim.dir/sim/sram_module.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/ntc_sim.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/ntc_sim.dir/sim/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ntc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntc_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntc_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntc_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntc_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

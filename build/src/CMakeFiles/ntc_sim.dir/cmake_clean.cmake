@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntc_sim.dir/sim/assembler.cpp.o"
+  "CMakeFiles/ntc_sim.dir/sim/assembler.cpp.o.d"
+  "CMakeFiles/ntc_sim.dir/sim/bus.cpp.o"
+  "CMakeFiles/ntc_sim.dir/sim/bus.cpp.o.d"
+  "CMakeFiles/ntc_sim.dir/sim/cpu.cpp.o"
+  "CMakeFiles/ntc_sim.dir/sim/cpu.cpp.o.d"
+  "CMakeFiles/ntc_sim.dir/sim/disassembler.cpp.o"
+  "CMakeFiles/ntc_sim.dir/sim/disassembler.cpp.o.d"
+  "CMakeFiles/ntc_sim.dir/sim/drowsy_memory.cpp.o"
+  "CMakeFiles/ntc_sim.dir/sim/drowsy_memory.cpp.o.d"
+  "CMakeFiles/ntc_sim.dir/sim/ecc_memory.cpp.o"
+  "CMakeFiles/ntc_sim.dir/sim/ecc_memory.cpp.o.d"
+  "CMakeFiles/ntc_sim.dir/sim/platform.cpp.o"
+  "CMakeFiles/ntc_sim.dir/sim/platform.cpp.o.d"
+  "CMakeFiles/ntc_sim.dir/sim/sram_module.cpp.o"
+  "CMakeFiles/ntc_sim.dir/sim/sram_module.cpp.o.d"
+  "CMakeFiles/ntc_sim.dir/sim/trace.cpp.o"
+  "CMakeFiles/ntc_sim.dir/sim/trace.cpp.o.d"
+  "libntc_sim.a"
+  "libntc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

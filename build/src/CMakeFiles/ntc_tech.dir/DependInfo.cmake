@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tech/aging.cpp" "src/CMakeFiles/ntc_tech.dir/tech/aging.cpp.o" "gcc" "src/CMakeFiles/ntc_tech.dir/tech/aging.cpp.o.d"
+  "/root/repo/src/tech/device.cpp" "src/CMakeFiles/ntc_tech.dir/tech/device.cpp.o" "gcc" "src/CMakeFiles/ntc_tech.dir/tech/device.cpp.o.d"
+  "/root/repo/src/tech/inverter.cpp" "src/CMakeFiles/ntc_tech.dir/tech/inverter.cpp.o" "gcc" "src/CMakeFiles/ntc_tech.dir/tech/inverter.cpp.o.d"
+  "/root/repo/src/tech/logic_timing.cpp" "src/CMakeFiles/ntc_tech.dir/tech/logic_timing.cpp.o" "gcc" "src/CMakeFiles/ntc_tech.dir/tech/logic_timing.cpp.o.d"
+  "/root/repo/src/tech/node.cpp" "src/CMakeFiles/ntc_tech.dir/tech/node.cpp.o" "gcc" "src/CMakeFiles/ntc_tech.dir/tech/node.cpp.o.d"
+  "/root/repo/src/tech/sram_cell.cpp" "src/CMakeFiles/ntc_tech.dir/tech/sram_cell.cpp.o" "gcc" "src/CMakeFiles/ntc_tech.dir/tech/sram_cell.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ntc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntc_reliability.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

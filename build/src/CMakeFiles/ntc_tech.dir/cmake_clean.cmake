@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntc_tech.dir/tech/aging.cpp.o"
+  "CMakeFiles/ntc_tech.dir/tech/aging.cpp.o.d"
+  "CMakeFiles/ntc_tech.dir/tech/device.cpp.o"
+  "CMakeFiles/ntc_tech.dir/tech/device.cpp.o.d"
+  "CMakeFiles/ntc_tech.dir/tech/inverter.cpp.o"
+  "CMakeFiles/ntc_tech.dir/tech/inverter.cpp.o.d"
+  "CMakeFiles/ntc_tech.dir/tech/logic_timing.cpp.o"
+  "CMakeFiles/ntc_tech.dir/tech/logic_timing.cpp.o.d"
+  "CMakeFiles/ntc_tech.dir/tech/node.cpp.o"
+  "CMakeFiles/ntc_tech.dir/tech/node.cpp.o.d"
+  "CMakeFiles/ntc_tech.dir/tech/sram_cell.cpp.o"
+  "CMakeFiles/ntc_tech.dir/tech/sram_cell.cpp.o.d"
+  "libntc_tech.a"
+  "libntc_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntc_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/asm_kernels.cpp" "src/CMakeFiles/ntc_workloads.dir/workloads/asm_kernels.cpp.o" "gcc" "src/CMakeFiles/ntc_workloads.dir/workloads/asm_kernels.cpp.o.d"
+  "/root/repo/src/workloads/fft.cpp" "src/CMakeFiles/ntc_workloads.dir/workloads/fft.cpp.o" "gcc" "src/CMakeFiles/ntc_workloads.dir/workloads/fft.cpp.o.d"
+  "/root/repo/src/workloads/fir.cpp" "src/CMakeFiles/ntc_workloads.dir/workloads/fir.cpp.o" "gcc" "src/CMakeFiles/ntc_workloads.dir/workloads/fir.cpp.o.d"
+  "/root/repo/src/workloads/golden.cpp" "src/CMakeFiles/ntc_workloads.dir/workloads/golden.cpp.o" "gcc" "src/CMakeFiles/ntc_workloads.dir/workloads/golden.cpp.o.d"
+  "/root/repo/src/workloads/matmul.cpp" "src/CMakeFiles/ntc_workloads.dir/workloads/matmul.cpp.o" "gcc" "src/CMakeFiles/ntc_workloads.dir/workloads/matmul.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ntc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntc_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntc_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntc_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntc_reliability.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

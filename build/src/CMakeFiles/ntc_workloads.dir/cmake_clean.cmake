@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntc_workloads.dir/workloads/asm_kernels.cpp.o"
+  "CMakeFiles/ntc_workloads.dir/workloads/asm_kernels.cpp.o.d"
+  "CMakeFiles/ntc_workloads.dir/workloads/fft.cpp.o"
+  "CMakeFiles/ntc_workloads.dir/workloads/fft.cpp.o.d"
+  "CMakeFiles/ntc_workloads.dir/workloads/fir.cpp.o"
+  "CMakeFiles/ntc_workloads.dir/workloads/fir.cpp.o.d"
+  "CMakeFiles/ntc_workloads.dir/workloads/golden.cpp.o"
+  "CMakeFiles/ntc_workloads.dir/workloads/golden.cpp.o.d"
+  "CMakeFiles/ntc_workloads.dir/workloads/matmul.cpp.o"
+  "CMakeFiles/ntc_workloads.dir/workloads/matmul.cpp.o.d"
+  "libntc_workloads.a"
+  "libntc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_math_test.dir/common_math_test.cpp.o"
+  "CMakeFiles/common_math_test.dir/common_math_test.cpp.o.d"
+  "common_math_test"
+  "common_math_test.pdb"
+  "common_math_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_math_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_statistics_test.dir/common_statistics_test.cpp.o"
+  "CMakeFiles/common_statistics_test.dir/common_statistics_test.cpp.o.d"
+  "common_statistics_test"
+  "common_statistics_test.pdb"
+  "common_statistics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_statistics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_adaptive_test.dir/core_adaptive_test.cpp.o"
+  "CMakeFiles/core_adaptive_test.dir/core_adaptive_test.cpp.o.d"
+  "core_adaptive_test"
+  "core_adaptive_test.pdb"
+  "core_adaptive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_adaptive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

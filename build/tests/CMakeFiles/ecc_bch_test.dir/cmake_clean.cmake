@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecc_bch_test.dir/ecc_bch_test.cpp.o"
+  "CMakeFiles/ecc_bch_test.dir/ecc_bch_test.cpp.o.d"
+  "ecc_bch_test"
+  "ecc_bch_test.pdb"
+  "ecc_bch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecc_bch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecc_conformance_test.dir/ecc_conformance_test.cpp.o"
+  "CMakeFiles/ecc_conformance_test.dir/ecc_conformance_test.cpp.o.d"
+  "ecc_conformance_test"
+  "ecc_conformance_test.pdb"
+  "ecc_conformance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecc_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

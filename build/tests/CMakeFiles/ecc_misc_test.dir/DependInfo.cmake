@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ecc_misc_test.cpp" "tests/CMakeFiles/ecc_misc_test.dir/ecc_misc_test.cpp.o" "gcc" "tests/CMakeFiles/ecc_misc_test.dir/ecc_misc_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ntc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntc_ocean.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntc_mitigation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntc_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntc_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntc_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntc_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ntc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_projection_test.dir/energy_projection_test.cpp.o"
+  "CMakeFiles/energy_projection_test.dir/energy_projection_test.cpp.o.d"
+  "energy_projection_test"
+  "energy_projection_test.pdb"
+  "energy_projection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_projection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

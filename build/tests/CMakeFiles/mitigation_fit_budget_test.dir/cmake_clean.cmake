@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitigation_fit_budget_test.dir/mitigation_fit_budget_test.cpp.o"
+  "CMakeFiles/mitigation_fit_budget_test.dir/mitigation_fit_budget_test.cpp.o.d"
+  "mitigation_fit_budget_test"
+  "mitigation_fit_budget_test.pdb"
+  "mitigation_fit_budget_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitigation_fit_budget_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

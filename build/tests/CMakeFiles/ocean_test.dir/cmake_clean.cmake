@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocean_test.dir/ocean_test.cpp.o"
+  "CMakeFiles/ocean_test.dir/ocean_test.cpp.o.d"
+  "ocean_test"
+  "ocean_test.pdb"
+  "ocean_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocean_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliability_models_test.dir/reliability_models_test.cpp.o"
+  "CMakeFiles/reliability_models_test.dir/reliability_models_test.cpp.o.d"
+  "reliability_models_test"
+  "reliability_models_test.pdb"
+  "reliability_models_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliability_models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_assembler_encoding_test.dir/sim_assembler_encoding_test.cpp.o"
+  "CMakeFiles/sim_assembler_encoding_test.dir/sim_assembler_encoding_test.cpp.o.d"
+  "sim_assembler_encoding_test"
+  "sim_assembler_encoding_test.pdb"
+  "sim_assembler_encoding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_assembler_encoding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

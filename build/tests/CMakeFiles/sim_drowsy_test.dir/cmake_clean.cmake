@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_drowsy_test.dir/sim_drowsy_test.cpp.o"
+  "CMakeFiles/sim_drowsy_test.dir/sim_drowsy_test.cpp.o.d"
+  "sim_drowsy_test"
+  "sim_drowsy_test.pdb"
+  "sim_drowsy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_drowsy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

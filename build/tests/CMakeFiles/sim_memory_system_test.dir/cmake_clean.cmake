@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_memory_system_test.dir/sim_memory_system_test.cpp.o"
+  "CMakeFiles/sim_memory_system_test.dir/sim_memory_system_test.cpp.o.d"
+  "sim_memory_system_test"
+  "sim_memory_system_test.pdb"
+  "sim_memory_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_memory_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_sram_test.dir/sim_sram_test.cpp.o"
+  "CMakeFiles/sim_sram_test.dir/sim_sram_test.cpp.o.d"
+  "sim_sram_test"
+  "sim_sram_test.pdb"
+  "sim_sram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_sram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

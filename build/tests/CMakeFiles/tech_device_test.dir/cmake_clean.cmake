@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tech_device_test.dir/tech_device_test.cpp.o"
+  "CMakeFiles/tech_device_test.dir/tech_device_test.cpp.o.d"
+  "tech_device_test"
+  "tech_device_test.pdb"
+  "tech_device_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tech_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

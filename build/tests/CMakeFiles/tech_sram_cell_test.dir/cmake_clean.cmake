@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tech_sram_cell_test.dir/tech_sram_cell_test.cpp.o"
+  "CMakeFiles/tech_sram_cell_test.dir/tech_sram_cell_test.cpp.o.d"
+  "tech_sram_cell_test"
+  "tech_sram_cell_test.pdb"
+  "tech_sram_cell_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tech_sram_cell_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tech_timing_test.dir/tech_timing_test.cpp.o"
+  "CMakeFiles/tech_timing_test.dir/tech_timing_test.cpp.o.d"
+  "tech_timing_test"
+  "tech_timing_test.pdb"
+  "tech_timing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tech_timing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_asm_kernels_test.dir/workloads_asm_kernels_test.cpp.o"
+  "CMakeFiles/workloads_asm_kernels_test.dir/workloads_asm_kernels_test.cpp.o.d"
+  "workloads_asm_kernels_test"
+  "workloads_asm_kernels_test.pdb"
+  "workloads_asm_kernels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_asm_kernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
