@@ -25,7 +25,59 @@ AdaptiveNtcMemory::AdaptiveNtcMemory(AdaptiveConfig config)
 
 sim::AccessStatus AdaptiveNtcMemory::read_word(std::uint32_t word_index,
                                                std::uint32_t& data) {
-  return memory_.read_word(word_index, data);
+  const sim::AccessStatus status = memory_.read_word(word_index, data);
+  if (status != sim::AccessStatus::DetectedUncorrectable ||
+      !config_.recovery.enabled)
+    return status;
+  return recover_read(word_index, data);
+}
+
+sim::AccessStatus AdaptiveNtcMemory::recover_read(std::uint32_t word_index,
+                                                  std::uint32_t& data) {
+  ++recovery_stats_.uncorrectable_reads;
+
+  // 1. Bounded re-read: transient read flips decorrelate between
+  // attempts, so a marginal word often decodes on the second try.
+  for (std::uint32_t r = 0; r < config_.recovery.max_read_retries; ++r) {
+    ++recovery_stats_.read_retries;
+    if (memory_.read_word(word_index, data) !=
+        sim::AccessStatus::DetectedUncorrectable) {
+      ++recovery_stats_.retry_recoveries;
+      return sim::AccessStatus::CorrectedError;
+    }
+  }
+
+  // 2. Scrub-and-retry: rewrite the array through the codec so
+  // accumulated correctable upsets stop stacking on top of the failing
+  // word's own errors.
+  for (std::uint32_t s = 0; s < config_.recovery.max_scrub_retries; ++s) {
+    ++recovery_stats_.scrub_retries;
+    memory_.scrub();
+    if (memory_.read_word(word_index, data) !=
+        sim::AccessStatus::DetectedUncorrectable) {
+      ++recovery_stats_.scrub_recoveries;
+      return sim::AccessStatus::CorrectedError;
+    }
+  }
+
+  // 3. Voltage-bump escalation: step the (single) rail up the regulator
+  // ladder — marginal stuck cells heal, access-error rates collapse —
+  // scrub, and retry.  The canary loop walks the rail back down later.
+  for (std::uint32_t b = 0; b < config_.recovery.max_voltage_bumps; ++b) {
+    const Volt rail = controller_.escalate();
+    if (rail.value <= memory_.vdd().value) break;  // ladder capped
+    ++recovery_stats_.voltage_bumps;
+    memory_.set_vdd(rail);
+    memory_.scrub();
+    if (memory_.read_word(word_index, data) !=
+        sim::AccessStatus::DetectedUncorrectable) {
+      ++recovery_stats_.bump_recoveries;
+      return sim::AccessStatus::CorrectedError;
+    }
+  }
+
+  ++recovery_stats_.unrecovered_reads;
+  return sim::AccessStatus::DetectedUncorrectable;
 }
 
 sim::AccessStatus AdaptiveNtcMemory::write_word(std::uint32_t word_index,

@@ -14,6 +14,14 @@ VoltageController::VoltageController(Volt initial, ControllerConfig config)
   vdd_ = Volt{std::clamp(initial.value, config.v_min.value, config.v_max.value)};
 }
 
+Volt VoltageController::escalate() {
+  vdd_ = Volt{std::min(vdd_.value + config_.step.value, config_.v_max.value)};
+  ++up_steps_;
+  ++escalations_;
+  quiet_epochs_ = 0;
+  return vdd_;
+}
+
 Volt VoltageController::update(double canary_error_rate) {
   NTC_REQUIRE(canary_error_rate >= 0.0 && canary_error_rate <= 1.0);
   if (canary_error_rate > config_.rate_high) {

@@ -35,9 +35,16 @@ class VoltageController {
   /// Feed one monitoring epoch; returns the (possibly updated) rail.
   Volt update(double canary_error_rate);
 
+  /// Immediate safety escalation outside the canary loop: an
+  /// uncorrectable access was met, step the rail up one notch right now
+  /// (the canary loop will walk it back down once the danger passes).
+  /// Returns the (possibly clamped) rail.
+  Volt escalate();
+
   Volt voltage() const { return vdd_; }
   std::uint64_t up_steps() const { return up_steps_; }
   std::uint64_t down_steps() const { return down_steps_; }
+  std::uint64_t escalations() const { return escalations_; }
 
  private:
   ControllerConfig config_;
@@ -45,6 +52,7 @@ class VoltageController {
   unsigned quiet_epochs_ = 0;
   std::uint64_t up_steps_ = 0;
   std::uint64_t down_steps_ = 0;
+  std::uint64_t escalations_ = 0;
 };
 
 }  // namespace ntc::core

@@ -50,6 +50,10 @@ class NtcMemory final : public sim::MemoryPort {
   const sim::EccMemoryStats& ecc_stats() const { return inner_->stats(); }
   const sim::SramStats& array_stats() const { return inner_->array().stats(); }
 
+  /// Mutable access to the ECC wrapper and its array — the seam for
+  /// attaching scripted fault injectors (faultsim) in campaigns/tests.
+  sim::EccMemory& ecc() { return *inner_; }
+
   /// Force a scrub pass now; returns uncorrectable words encountered.
   std::uint64_t scrub();
   std::uint64_t scrubs_performed() const { return scrubs_; }

@@ -1,0 +1,298 @@
+#include "faultsim/campaign.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <ostream>
+#include <thread>
+
+#include "common/assert.hpp"
+#include "common/fixed_point.hpp"
+#include "sim/platform.hpp"
+#include "workloads/fft.hpp"
+#include "workloads/golden.hpp"
+
+namespace ntc::faultsim {
+
+namespace {
+
+/// The two-tone test signal of the Figure 8/9 benches.
+std::vector<std::complex<double>> campaign_signal(std::size_t n) {
+  std::vector<std::complex<double>> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(n);
+    x[i] = 0.28 * std::sin(2.0 * M_PI * 17.0 * t) +
+           0.18 * std::cos(2.0 * M_PI * 101.0 * t);
+  }
+  return x;
+}
+
+std::string escape_json(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(RunOutcome outcome) {
+  switch (outcome) {
+    case RunOutcome::Clean: return "clean";
+    case RunOutcome::Corrected: return "corrected";
+    case RunOutcome::DetectedUncorrectable: return "detected-uncorrectable";
+    case RunOutcome::SilentDataCorruption: return "silent-data-corruption";
+    case RunOutcome::SystemFailure: return "system-failure";
+  }
+  return "?";
+}
+
+CampaignRunner::CampaignRunner(CampaignConfig config)
+    : config_(std::move(config)) {
+  NTC_REQUIRE(!config_.voltages.empty());
+  NTC_REQUIRE(!config_.schemes.empty());
+  NTC_REQUIRE(config_.seeds_per_cell >= 1);
+  NTC_REQUIRE(config_.fft_points >= 4 &&
+              (config_.fft_points & (config_.fft_points - 1)) == 0);
+  if (config_.scenarios.empty())
+    config_.scenarios.push_back(Scenario{"background", {}, {}, {}});
+  signal_ = campaign_signal(config_.fft_points);
+  reference_ = workloads::reference_fft(signal_);
+}
+
+void CampaignRunner::compute_golden() {
+  // Fault-free reference pass: the fixed-point pipeline is
+  // deterministic, so one golden image serves every grid cell.
+  sim::PlatformConfig pc;
+  pc.scheme = mitigation::SchemeKind::NoMitigation;
+  pc.memory_style = config_.style;
+  pc.vdd = config_.voltages.front();
+  pc.clock = config_.clock;
+  pc.spm_bytes = std::max<std::uint32_t>(
+      8 * 1024, static_cast<std::uint32_t>(config_.fft_points) * 4);
+  pc.seed = config_.base_seed;
+  pc.inject_faults = false;
+  sim::Platform platform(pc);
+
+  workloads::FixedPointFft fft(config_.fft_points);
+  fft.set_input(signal_);
+  ocean::run_unprotected(platform, fft);
+
+  golden_.resize(config_.fft_points);
+  for (std::size_t i = 0; i < config_.fft_points; ++i)
+    platform.spm().read_word(static_cast<std::uint32_t>(i), golden_[i]);
+}
+
+RunRecord CampaignRunner::execute_one(const Scenario& scenario,
+                                      mitigation::SchemeKind scheme, Volt vdd,
+                                      std::uint64_t seed) const {
+  RunRecord record;
+  record.scenario = scenario.name;
+  record.vdd = vdd.value;
+  record.seed = seed;
+
+  sim::PlatformConfig pc;
+  pc.scheme = scheme;
+  pc.memory_style = config_.style;
+  pc.vdd = vdd;
+  pc.clock = config_.clock;
+  pc.spm_bytes = std::max<std::uint32_t>(
+      8 * 1024, static_cast<std::uint32_t>(config_.fft_points) * 4);
+  pc.pm_bytes = static_cast<std::uint32_t>(config_.fft_points) * 8;
+  pc.seed = seed;
+  pc.inject_faults = config_.stochastic_background;
+  sim::Platform platform(pc);
+  record.scheme = platform.scheme().name;
+
+  auto spm_injector = std::make_shared<ScenarioInjector>(scenario.spm_events);
+  auto imem_injector = std::make_shared<ScenarioInjector>(scenario.imem_events);
+  std::shared_ptr<ScenarioInjector> pm_injector;
+  platform.spm().array().attach_injector(spm_injector);
+  platform.imem().array().attach_injector(imem_injector);
+  if (platform.pm() != nullptr) {
+    pm_injector = std::make_shared<ScenarioInjector>(scenario.pm_events);
+    platform.pm()->array().attach_injector(pm_injector);
+  }
+
+  workloads::FixedPointFft fft(config_.fft_points);
+  fft.set_input(signal_);
+
+  bool system_failure = false;
+  std::uint64_t faulted_phases = 0;
+  if (scheme == mitigation::SchemeKind::Ocean) {
+    ocean::OceanRuntime runtime(platform, config_.ocean);
+    const ocean::OceanRunOutcome outcome = runtime.run(fft);
+    system_failure = outcome.system_failure;
+    record.ocean_restores = outcome.stats.restores;
+    record.ocean_voltage_escalations = outcome.stats.voltage_escalations;
+    faulted_phases = outcome.stats.crc_mismatches;
+  } else {
+    faulted_phases = ocean::run_unprotected(platform, fft);
+  }
+
+  // One readback pass serves both the golden comparison and the SNR —
+  // it traverses the faulty memory path, so read-time corruption of the
+  // result is classified like any other fault.
+  std::vector<std::uint32_t> measured_words(config_.fft_points);
+  std::vector<std::complex<double>> measured(config_.fft_points);
+  for (std::size_t i = 0; i < config_.fft_points; ++i) {
+    platform.spm().read_word(static_cast<std::uint32_t>(i), measured_words[i]);
+    const ComplexQ15 q = ComplexQ15::unpack(measured_words[i]);
+    measured[i] = std::complex<double>(q.re.to_double(), q.im.to_double()) /
+                  fft.output_scale();
+  }
+  record.snr_db = workloads::snr_db(measured, reference_);
+  record.cycles = platform.total_cycles();
+
+  auto tally = [&](const sim::EccMemory* mem) {
+    if (mem == nullptr) return;
+    record.corrected_words += mem->stats().corrected_words;
+    record.uncorrectable_words += mem->stats().uncorrectable_words;
+    record.injected_flips += mem->array().stats().injected_read_flips +
+                             mem->array().stats().injected_write_flips;
+    record.stuck_bits += mem->array().stats().stuck_bits;
+  };
+  tally(&platform.spm());
+  tally(&platform.imem());
+  tally(platform.pm());
+  record.scenario_events_fired =
+      spm_injector->events_fired() + imem_injector->events_fired() +
+      (pm_injector ? pm_injector->events_fired() : 0);
+
+  const bool output_ok = measured_words == golden_;
+  const bool detected = record.uncorrectable_words > 0 || faulted_phases > 0;
+  const bool any_fault_activity =
+      detected || record.corrected_words > 0 || record.injected_flips > 0 ||
+      record.stuck_bits > 0 || record.scenario_events_fired > 0 ||
+      record.ocean_restores > 0;
+  if (system_failure) {
+    record.outcome = RunOutcome::SystemFailure;
+  } else if (!output_ok) {
+    record.outcome = detected ? RunOutcome::DetectedUncorrectable
+                              : RunOutcome::SilentDataCorruption;
+  } else {
+    record.outcome =
+        any_fault_activity ? RunOutcome::Corrected : RunOutcome::Clean;
+  }
+  return record;
+}
+
+const std::vector<RunRecord>& CampaignRunner::run() {
+  compute_golden();
+
+  struct Cell {
+    const Scenario* scenario;
+    mitigation::SchemeKind scheme;
+    Volt vdd;
+    std::uint64_t seed;
+  };
+  std::vector<Cell> grid;
+  for (const Scenario& scenario : config_.scenarios)
+    for (mitigation::SchemeKind scheme : config_.schemes)
+      for (Volt vdd : config_.voltages)
+        for (std::uint32_t s = 0; s < config_.seeds_per_cell; ++s)
+          grid.push_back(Cell{&scenario, scheme, vdd, config_.base_seed + s});
+
+  records_.assign(grid.size(), RunRecord{});
+  unsigned threads = config_.threads != 0 ? config_.threads
+                                          : std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  threads = static_cast<unsigned>(
+      std::min<std::size_t>(threads, grid.size()));
+
+  // Every run owns its platform, so the ledger is identical whatever
+  // the thread count — workers just pull the next free grid index.
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    for (std::size_t i = next.fetch_add(1); i < grid.size();
+         i = next.fetch_add(1)) {
+      const Cell& cell = grid[i];
+      records_[i] =
+          execute_one(*cell.scenario, cell.scheme, cell.vdd, cell.seed);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return records_;
+}
+
+CampaignSummary CampaignRunner::summary() const {
+  CampaignSummary s;
+  s.runs = records_.size();
+  for (const RunRecord& r : records_) {
+    switch (r.outcome) {
+      case RunOutcome::Clean: ++s.clean; break;
+      case RunOutcome::Corrected: ++s.corrected; break;
+      case RunOutcome::DetectedUncorrectable: ++s.detected_uncorrectable; break;
+      case RunOutcome::SilentDataCorruption: ++s.silent_data_corruption; break;
+      case RunOutcome::SystemFailure: ++s.system_failure; break;
+    }
+  }
+  return s;
+}
+
+namespace {
+
+// RFC 4180 quoting: scheme names such as "ECC (SECDED 39,32)" contain
+// commas and would otherwise shift every following column.
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string quoted = "\"";
+  for (char c : s) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+void CampaignRunner::write_csv(std::ostream& out) const {
+  out << "scenario,scheme,vdd,seed,outcome,snr_db,corrected_words,"
+         "uncorrectable_words,injected_flips,stuck_bits,"
+         "scenario_events_fired,ocean_restores,ocean_voltage_escalations,"
+         "cycles\n";
+  for (const RunRecord& r : records_) {
+    out << csv_field(r.scenario) << ',' << csv_field(r.scheme) << ','
+        << r.vdd << ',' << r.seed
+        << ',' << to_string(r.outcome) << ',' << r.snr_db << ','
+        << r.corrected_words << ',' << r.uncorrectable_words << ','
+        << r.injected_flips << ',' << r.stuck_bits << ','
+        << r.scenario_events_fired << ',' << r.ocean_restores << ','
+        << r.ocean_voltage_escalations << ',' << r.cycles << '\n';
+  }
+}
+
+void CampaignRunner::write_json(std::ostream& out) const {
+  const CampaignSummary s = summary();
+  out << "{\n  \"summary\": {\"runs\": " << s.runs
+      << ", \"clean\": " << s.clean << ", \"corrected\": " << s.corrected
+      << ", \"detected_uncorrectable\": " << s.detected_uncorrectable
+      << ", \"silent_data_corruption\": " << s.silent_data_corruption
+      << ", \"system_failure\": " << s.system_failure << "},\n  \"runs\": [";
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const RunRecord& r = records_[i];
+    out << (i == 0 ? "\n" : ",\n")
+        << "    {\"scenario\": \"" << escape_json(r.scenario)
+        << "\", \"scheme\": \"" << escape_json(r.scheme)
+        << "\", \"vdd\": " << r.vdd << ", \"seed\": " << r.seed
+        << ", \"outcome\": \"" << to_string(r.outcome)
+        << "\", \"snr_db\": " << r.snr_db
+        << ", \"corrected_words\": " << r.corrected_words
+        << ", \"uncorrectable_words\": " << r.uncorrectable_words
+        << ", \"injected_flips\": " << r.injected_flips
+        << ", \"stuck_bits\": " << r.stuck_bits
+        << ", \"scenario_events_fired\": " << r.scenario_events_fired
+        << ", \"ocean_restores\": " << r.ocean_restores
+        << ", \"ocean_voltage_escalations\": " << r.ocean_voltage_escalations
+        << ", \"cycles\": " << r.cycles << "}";
+  }
+  out << "\n  ]\n}\n";
+}
+
+}  // namespace ntc::faultsim

@@ -1,0 +1,119 @@
+// Seed-swept Monte-Carlo fault-injection campaigns.
+//
+// A campaign executes the paper's evaluation workload (the fixed-point
+// FFT, execution-driven through the simulated platform) across a
+// voltage x mitigation-scheme x fault-scenario grid, several seeds per
+// cell, and classifies every run against a fault-free golden reference:
+//
+//   Clean                  — no fault activity, output exact;
+//   Corrected              — faults occurred, mitigation absorbed them,
+//                            output exact;
+//   DetectedUncorrectable  — output wrong but the scheme flagged it
+//                            (trap/rollback possible at system level);
+//   SilentDataCorruption   — output wrong and nothing flagged it: the
+//                            outcome mitigation exists to prevent;
+//   SystemFailure          — OCEAN restore met an uncorrectable
+//                            protected-buffer word (quintuple error).
+//
+// Runs execute std::thread-parallel (each owns its platform instance,
+// so results are independent of the thread count) and the ledger is
+// exported as CSV or JSON for the bench harness.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "energy/memory_calculator.hpp"
+#include "faultsim/scenario.hpp"
+#include "mitigation/scheme.hpp"
+#include "ocean/runtime.hpp"
+
+namespace ntc::faultsim {
+
+enum class RunOutcome {
+  Clean,
+  Corrected,
+  DetectedUncorrectable,
+  SilentDataCorruption,
+  SystemFailure,
+};
+
+const char* to_string(RunOutcome outcome);
+
+struct CampaignConfig {
+  std::vector<Volt> voltages{Volt{0.44}};
+  std::vector<mitigation::SchemeKind> schemes{mitigation::SchemeKind::Secded};
+  /// Scripted scenarios; when empty a single no-event "background"
+  /// scenario runs (stochastic model only).
+  std::vector<Scenario> scenarios;
+  std::uint64_t base_seed = 1;
+  std::uint32_t seeds_per_cell = 4;
+  std::size_t fft_points = 256;  ///< paper uses 1024; tests shrink it
+  energy::MemoryStyle style = energy::MemoryStyle::CellBasedImec40;
+  Hertz clock{290.0e3};
+  /// Keep the analytic stochastic fault model active underneath the
+  /// scripted events (false = scripted faults only).
+  bool stochastic_background = true;
+  /// OCEAN protocol knobs, including the voltage-escalation path.
+  ocean::OceanConfig ocean;
+  unsigned threads = 0;  ///< 0 = hardware concurrency
+};
+
+struct RunRecord {
+  std::string scenario;
+  std::string scheme;
+  double vdd = 0.0;
+  std::uint64_t seed = 0;
+  RunOutcome outcome = RunOutcome::Clean;
+  double snr_db = 0.0;
+  std::uint64_t corrected_words = 0;
+  std::uint64_t uncorrectable_words = 0;
+  std::uint64_t injected_flips = 0;  ///< stochastic read+write flips, all arrays
+  std::uint64_t stuck_bits = 0;
+  std::uint64_t scenario_events_fired = 0;
+  std::uint64_t ocean_restores = 0;
+  std::uint64_t ocean_voltage_escalations = 0;
+  std::uint64_t cycles = 0;
+};
+
+struct CampaignSummary {
+  std::uint64_t runs = 0;
+  std::uint64_t clean = 0;
+  std::uint64_t corrected = 0;
+  std::uint64_t detected_uncorrectable = 0;
+  std::uint64_t silent_data_corruption = 0;
+  std::uint64_t system_failure = 0;
+};
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(CampaignConfig config);
+
+  /// Execute the full grid; returns the ledger ordered by grid cell.
+  const std::vector<RunRecord>& run();
+
+  const std::vector<RunRecord>& records() const { return records_; }
+  CampaignSummary summary() const;
+
+  /// Machine-readable ledger exports for the bench harness.
+  void write_csv(std::ostream& out) const;
+  void write_json(std::ostream& out) const;
+
+ private:
+  RunRecord execute_one(const Scenario& scenario,
+                        mitigation::SchemeKind scheme, Volt vdd,
+                        std::uint64_t seed) const;
+  void compute_golden();
+
+  CampaignConfig config_;
+  std::vector<std::complex<double>> signal_;
+  std::vector<std::complex<double>> reference_;  ///< double-precision FFT
+  std::vector<std::uint32_t> golden_;            ///< fault-free output words
+  std::vector<RunRecord> records_;
+};
+
+}  // namespace ntc::faultsim

@@ -1,5 +1,7 @@
 #include "ocean/runtime.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 
 namespace ntc::ocean {
@@ -12,6 +14,41 @@ OceanRuntime::OceanRuntime(sim::Platform& platform, OceanConfig config)
 
 void OceanRuntime::charge(std::uint64_t cycles) {
   platform_.add_compute_cycles(cycles, /*fetches_per_cycle=*/0.25);
+}
+
+RestoreResult OceanRuntime::restore_with_escalation(ProtectedBuffer& buffer,
+                                                    sim::MemoryPort& spm,
+                                                    workloads::ChunkRef chunk,
+                                                    OceanRunOutcome& outcome) {
+  RestoreResult restored = buffer.restore(spm, chunk);
+  outcome.stats.restore_uncorrectable_words += restored.uncorrectable_words;
+  const std::uint64_t copy_cycles = ProtectedBuffer::copy_cycles(chunk);
+  outcome.stats.protocol_cycles += copy_cycles;
+  charge(copy_cycles);
+  while (!restored.ok() &&
+         outcome.stats.voltage_escalations < config_.max_voltage_escalations) {
+    // Bump the single rail one step: marginal PM cells heal (set_vdd
+    // re-derives the stuck population), a scrub rewrites what just
+    // became correctable, and the restore is retried at the safer
+    // operating point.
+    const Volt bumped{std::min(
+        platform_.config().vdd.value + config_.escalation_step.value,
+        config_.escalation_vmax.value)};
+    if (bumped.value <= platform_.config().vdd.value) break;  // rail capped
+    ++outcome.stats.voltage_escalations;
+    platform_.set_vdd(bumped);
+    platform_.pm()->scrub();
+    const std::uint64_t scrub_cycles = 2ull * platform_.pm()->word_count();
+    outcome.stats.protocol_cycles += scrub_cycles;
+    charge(scrub_cycles);
+    restored = buffer.restore(spm, chunk);
+    outcome.stats.restore_uncorrectable_words += restored.uncorrectable_words;
+    outcome.stats.protocol_cycles += copy_cycles;
+    charge(copy_cycles);
+    if (restored.ok()) ++outcome.stats.escalation_recoveries;
+  }
+  if (!restored.ok()) outcome.system_failure = true;
+  return restored;
 }
 
 std::uint32_t OceanRuntime::crc_of_chunk(workloads::ChunkRef chunk) {
@@ -72,12 +109,7 @@ OceanRunOutcome OceanRuntime::run(workloads::StreamingTask& task) {
       ++outcome.stats.crc_mismatches;
       if (attempt >= config_.max_restore_attempts) break;  // best effort
       ++outcome.stats.restores;
-      const RestoreResult restored = buffer.restore(spm, input);
-      outcome.stats.restore_uncorrectable_words += restored.uncorrectable_words;
-      if (!restored.ok()) outcome.system_failure = true;
-      const std::uint64_t restore_cycles = ProtectedBuffer::copy_cycles(input);
-      outcome.stats.protocol_cycles += restore_cycles;
-      charge(restore_cycles);
+      restore_with_escalation(buffer, spm, input, outcome);
     }
 
     // 2. Produce: run the phase and checkpoint its output into the idle
@@ -99,12 +131,7 @@ OceanRunOutcome OceanRuntime::run(workloads::StreamingTask& task) {
       ++outcome.stats.reexecutions;
       if (!has_checkpoint) break;  // producer inputs not recoverable
       ++outcome.stats.restores;
-      const RestoreResult restored = buffer.restore(spm, input);
-      outcome.stats.restore_uncorrectable_words += restored.uncorrectable_words;
-      if (!restored.ok()) outcome.system_failure = true;
-      const std::uint64_t restore_cycles = ProtectedBuffer::copy_cycles(input);
-      outcome.stats.protocol_cycles += restore_cycles;
-      charge(restore_cycles);
+      restore_with_escalation(buffer, spm, input, outcome);
     }
     buffer.commit();
     chunk = result.output;

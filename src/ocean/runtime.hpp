@@ -22,6 +22,14 @@ struct OceanConfig {
   std::uint64_t crc_cycles_per_word = 4;
   /// Instruction fetches charged per compute cycle of the workload.
   double fetches_per_cycle = 1.0;
+  /// Graceful degradation on an uncorrectable protected-buffer word:
+  /// before declaring system failure, bump the (single) rail one
+  /// regulator step at a time — healing marginal cells, as
+  /// SramModule::set_vdd models — scrub the PM and retry the restore.
+  /// 0 keeps the legacy fail-fast behaviour.
+  std::uint32_t max_voltage_escalations = 0;
+  Volt escalation_step{0.05};
+  Volt escalation_vmax{1.10};
 };
 
 struct OceanRunStats {
@@ -33,6 +41,8 @@ struct OceanRunStats {
   std::uint64_t restore_uncorrectable_words = 0;  ///< quintuple-error hits
   std::uint64_t checkpoint_words = 0;
   std::uint64_t protocol_cycles = 0;  ///< CRC + DMA overhead cycles
+  std::uint64_t voltage_escalations = 0;   ///< rail bumps on failed restores
+  std::uint64_t escalation_recoveries = 0; ///< restores saved by a bump
 };
 
 struct OceanRunOutcome {
@@ -54,6 +64,12 @@ class OceanRuntime {
  private:
   std::uint32_t crc_of_chunk(workloads::ChunkRef chunk);
   void charge(std::uint64_t cycles);
+  /// Restore `chunk` from `buffer`, escalating the rail on uncorrectable
+  /// words when configured; sets system_failure when out of options.
+  RestoreResult restore_with_escalation(ProtectedBuffer& buffer,
+                                        sim::MemoryPort& spm,
+                                        workloads::ChunkRef chunk,
+                                        OceanRunOutcome& outcome);
 
   sim::Platform& platform_;
   OceanConfig config_;

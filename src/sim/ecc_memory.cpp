@@ -70,7 +70,14 @@ std::uint64_t EccMemory::scrub() {
   for (std::uint32_t w = 0; w < array_->words(); ++w) {
     std::uint32_t data = 0;
     const AccessStatus status = read_word(w, data);
-    if (status == AccessStatus::DetectedUncorrectable) ++uncorrectable;
+    if (status == AccessStatus::DetectedUncorrectable) {
+      // Do NOT write back: re-encoding a best-effort decode would turn a
+      // detected error into a valid codeword of wrong data (silent
+      // corruption), and discard raw bits a later retry at a healthier
+      // operating point could still recover.
+      ++uncorrectable;
+      continue;
+    }
     write_word(w, data);
   }
   return uncorrectable;

@@ -35,7 +35,10 @@ class EccMemory final : public MemoryPort {
   std::uint32_t word_count() const override { return array_->words(); }
 
   /// Rewrite every word through the codec (corrects what is
-  /// correctable).  Returns the number of uncorrectable words met.
+  /// correctable).  Uncorrectable words are counted but left untouched:
+  /// their raw bits stay available for recovery at a healthier
+  /// operating point instead of being laundered into a valid codeword
+  /// of wrong data.  Returns the number of uncorrectable words met.
   std::uint64_t scrub();
 
   SramModule& array() { return *array_; }

@@ -1,8 +1,7 @@
 #include "sim/sram_module.hpp"
 
-#include <cmath>
-
 #include "common/assert.hpp"
+#include "sim/stochastic_injector.hpp"
 
 namespace ntc::sim {
 
@@ -16,47 +15,61 @@ SramModule::SramModule(std::string name, std::uint32_t words,
       access_(std::move(access)),
       retention_(std::move(retention)),
       vdd_(vdd),
-      rng_(rng),
       inject_faults_(inject_faults),
-      data_(words, 0),
-      stuck_mask_(words, 0),
-      stuck_value_(words, 0) {
+      data_(words, 0) {
   NTC_REQUIRE(words > 0);
   NTC_REQUIRE(stored_bits >= 1 && stored_bits <= 64);
-  // Per-cell mismatch deviates are the silicon fingerprint of this
-  // instance; they persist across voltage changes.
-  cell_sigma_.resize(static_cast<std::size_t>(words) * stored_bits_);
-  Rng sigma_rng = rng_.fork(0x51d3);
-  for (auto& s : cell_sigma_) s = static_cast<float>(sigma_rng.normal());
+  if (inject_faults_) {
+    stochastic_ = std::make_shared<StochasticInjector>(access_, retention_, rng,
+                                                       words, stored_bits_);
+    injectors_.push_back(stochastic_);
+  }
   derive_fault_state();
 }
 
-void SramModule::derive_fault_state() {
-  p_access_ = inject_faults_ ? access_.p_bit_err(vdd_) : 0.0;
-  p_no_flip_ = std::pow(1.0 - p_access_, static_cast<double>(stored_bits_));
-  stats_.stuck_bits = 0;
-  if (!inject_faults_) {
-    for (auto& m : stuck_mask_) m = 0;
-    return;
+FaultContext SramModule::context() const {
+  FaultContext ctx;
+  ctx.words = words();
+  ctx.stored_bits = stored_bits_;
+  ctx.vdd = vdd_;
+  ctx.access_count = stats_.reads + stats_.writes;
+  return ctx;
+}
+
+void SramModule::merged_overlay(std::uint32_t index, const FaultContext& ctx,
+                                std::uint64_t& mask_bits,
+                                std::uint64_t& value_bits) const {
+  mask_bits = 0;
+  value_bits = 0;
+  for (const auto& injector : injectors_) {
+    std::uint64_t m = 0, v = 0;
+    injector->stuck_overlay(index, ctx, m, v);
+    value_bits |= v & m & ~mask_bits;
+    mask_bits |= m;
   }
-  Rng stuck_rng = rng_.fork(0x57);
+}
+
+std::uint64_t SramModule::gather_flips(AccessKind kind, std::uint32_t index,
+                                       const FaultContext& ctx) {
+  std::uint64_t flips = 0;
+  for (const auto& injector : injectors_)
+    flips ^= injector->access_flips(kind, index, ctx);
+  return flips;
+}
+
+void SramModule::derive_fault_state() {
+  const FaultContext ctx = context();
+  for (const auto& injector : injectors_) injector->on_operating_point(ctx);
+  stats_.stuck_bits = 0;
   for (std::uint32_t w = 0; w < words(); ++w) {
-    std::uint64_t mask_bits = 0, value_bits = 0;
-    for (std::uint32_t b = 0; b < stored_bits_; ++b) {
-      const double sigma =
-          cell_sigma_[static_cast<std::size_t>(w) * stored_bits_ + b];
-      if (retention_.cell_retention_vmin(sigma) > vdd_) {
-        mask_bits |= std::uint64_t{1} << b;
-        if (stuck_rng.bernoulli(0.5)) value_bits |= std::uint64_t{1} << b;
-      }
-    }
-    stuck_mask_[w] = mask_bits;
-    stuck_value_[w] = value_bits;
-    // The cell physically flips to its preferred state below its
-    // retention limit: commit the loss so data stays corrupted even if
-    // the rail is raised again later (drowsy-mode data loss is real).
-    data_[w] = (data_[w] & ~mask_bits) | (value_bits & mask_bits);
-    stats_.stuck_bits += static_cast<std::uint64_t>(__builtin_popcountll(mask_bits));
+    std::uint64_t m = 0, v = 0;
+    merged_overlay(w, ctx, m, v);
+    // A forced cell physically flips to its imposed state: commit the
+    // loss so data stays corrupted even if the rail is raised again
+    // later (drowsy-mode data loss is real).
+    data_[w] = (data_[w] & ~m) | (v & m);
+    stats_.stuck_bits +=
+        static_cast<std::uint64_t>(__builtin_popcountll(m));
   }
 }
 
@@ -66,44 +79,38 @@ void SramModule::set_vdd(Volt vdd) {
   derive_fault_state();
 }
 
-std::uint64_t SramModule::apply_stuck_bits(std::uint32_t index,
-                                           std::uint64_t value) const {
-  const std::uint64_t m = stuck_mask_[index];
-  return (value & ~m) | (stuck_value_[index] & m);
+void SramModule::attach_injector(std::shared_ptr<FaultInjector> injector) {
+  NTC_REQUIRE(injector != nullptr);
+  injectors_.push_back(std::move(injector));
+  derive_fault_state();
 }
 
-std::uint64_t SramModule::random_flips(std::uint64_t value,
-                                       std::uint64_t& flip_count) {
-  if (p_access_ <= 0.0) return value;
-  // Fast path: with probability (1-p)^bits nothing flips — one uniform
-  // draw.  Otherwise rejection-sample the (rare) nonzero flip mask,
-  // which preserves the exact per-bit Bernoulli distribution.
-  if (rng_.uniform() < p_no_flip_) return value;
-  std::uint64_t flips = 0;
-  do {
-    flips = 0;
-    for (std::uint32_t b = 0; b < stored_bits_; ++b) {
-      if (rng_.bernoulli(p_access_)) flips |= std::uint64_t{1} << b;
-    }
-  } while (flips == 0);
-  flip_count += static_cast<std::uint64_t>(__builtin_popcountll(flips));
-  return value ^ flips;
+double SramModule::access_error_probability() const {
+  return stochastic_ ? stochastic_->p_access() : 0.0;
 }
 
 std::uint64_t SramModule::read_raw(std::uint32_t index) {
   NTC_REQUIRE(index < words());
   ++stats_.reads;
-  std::uint64_t value = apply_stuck_bits(index, data_[index]);
-  value = random_flips(value, stats_.injected_read_flips);
-  return value & mask();
+  const FaultContext ctx = context();
+  std::uint64_t m = 0, v = 0;
+  merged_overlay(index, ctx, m, v);
+  std::uint64_t value = (data_[index] & ~m) | (v & m);
+  const std::uint64_t flips = gather_flips(AccessKind::Read, index, ctx);
+  stats_.injected_read_flips +=
+      static_cast<std::uint64_t>(__builtin_popcountll(flips));
+  return (value ^ flips) & mask();
 }
 
 void SramModule::write_raw(std::uint32_t index, std::uint64_t value) {
   NTC_REQUIRE(index < words());
   NTC_REQUIRE((value & ~mask()) == 0);
   ++stats_.writes;
-  value = random_flips(value, stats_.injected_write_flips);
-  data_[index] = value & mask();
+  const FaultContext ctx = context();
+  const std::uint64_t flips = gather_flips(AccessKind::Write, index, ctx);
+  stats_.injected_write_flips +=
+      static_cast<std::uint64_t>(__builtin_popcountll(flips));
+  data_[index] = (value ^ flips) & mask();
 }
 
 }  // namespace ntc::sim

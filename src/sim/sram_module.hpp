@@ -1,18 +1,15 @@
 // Fault-injecting SRAM array model.
 //
-// Stores raw codewords of up to 64 bits per word and injects the two
-// silicon error mechanisms of Section IV at the configured supply:
-//   * retention faults — cells whose retention V_min exceeds the supply
-//     are stuck at a random value (sampled from the Gaussian
-//     noise-margin population, Eq. 2);
-//   * access faults — on every read each stored bit flips transiently
-//     with p = Eq. 5's access error probability; on every write each
-//     bit fails to latch with the same probability (persistent until
-//     rewritten).
-// Access/leakage counters feed the energy meter.
+// Stores raw codewords of up to 64 bits per word; every error mechanism
+// is delegated to a chain of FaultInjector implementations.  The
+// default chain holds the silicon-calibrated StochasticInjector
+// (Section IV retention + access faults at the configured supply);
+// scripted scenario injectors can be attached on top for deterministic
+// campaigns.  Access/leakage counters feed the energy meter.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,6 +17,7 @@
 #include "common/units.hpp"
 #include "reliability/access_model.hpp"
 #include "reliability/noise_margin.hpp"
+#include "sim/fault_injector.hpp"
 
 namespace ntc::sim {
 
@@ -28,14 +26,14 @@ struct SramStats {
   std::uint64_t writes = 0;
   std::uint64_t injected_read_flips = 0;
   std::uint64_t injected_write_flips = 0;
-  std::uint64_t stuck_bits = 0;  ///< retention-failed cells at this supply
+  std::uint64_t stuck_bits = 0;  ///< persistently forced cells at this supply
 };
 
 class SramModule {
  public:
   /// `stored_bits` <= 64 per word (39 for SECDED codewords, 56 for the
   /// BCH-protected buffer).  Fault injection can be disabled for
-  /// golden-reference runs.
+  /// golden-reference runs (no stochastic injector is attached then).
   SramModule(std::string name, std::uint32_t words, std::uint32_t stored_bits,
              reliability::AccessErrorModel access,
              reliability::NoiseMarginModel retention, Volt vdd, Rng rng,
@@ -51,6 +49,11 @@ class SramModule {
   /// the stuck state imposed (as real silicon would).
   void set_vdd(Volt vdd);
 
+  /// Append a scripted injector to the fault chain (after the
+  /// stochastic model, if any).  Re-derives the persistent fault state
+  /// so already-active stuck events take hold immediately.
+  void attach_injector(std::shared_ptr<FaultInjector> injector);
+
   /// Raw codeword access with fault injection.
   std::uint64_t read_raw(std::uint32_t index);
   void write_raw(std::uint32_t index, std::uint64_t value);
@@ -58,16 +61,23 @@ class SramModule {
   const SramStats& stats() const { return stats_; }
   void reset_stats() { stats_ = SramStats{}; }
 
-  /// Current per-bit access error probability.
-  double access_error_probability() const { return p_access_; }
+  /// Current per-bit access error probability of the stochastic model
+  /// (0 when fault injection is disabled).
+  double access_error_probability() const;
 
  private:
   std::uint64_t mask() const {
     return stored_bits_ == 64 ? ~std::uint64_t{0}
                               : ((std::uint64_t{1} << stored_bits_) - 1);
   }
-  std::uint64_t apply_stuck_bits(std::uint32_t index, std::uint64_t value) const;
-  std::uint64_t random_flips(std::uint64_t value, std::uint64_t& flip_count);
+  FaultContext context() const;
+  /// Merged stuck overlay for `index` (earlier injectors win on
+  /// overlapping bits).
+  void merged_overlay(std::uint32_t index, const FaultContext& ctx,
+                      std::uint64_t& mask_bits, std::uint64_t& value_bits) const;
+  /// Flip mask for the access in flight, summed over the chain.
+  std::uint64_t gather_flips(AccessKind kind, std::uint32_t index,
+                             const FaultContext& ctx);
   void derive_fault_state();
 
   std::string name_;
@@ -75,17 +85,11 @@ class SramModule {
   reliability::AccessErrorModel access_;
   reliability::NoiseMarginModel retention_;
   Volt vdd_;
-  Rng rng_;
   bool inject_faults_;
-  double p_access_ = 0.0;
-  double p_no_flip_ = 1.0;  ///< (1 - p_access)^stored_bits, fast path
 
   std::vector<std::uint64_t> data_;
-  /// Per-word masks of retention-failed cells and their stuck values.
-  std::vector<std::uint64_t> stuck_mask_;
-  std::vector<std::uint64_t> stuck_value_;
-  /// Per-cell mismatch deviates (fixed per instance, like silicon).
-  std::vector<float> cell_sigma_;
+  std::shared_ptr<class StochasticInjector> stochastic_;
+  std::vector<std::shared_ptr<FaultInjector>> injectors_;
   SramStats stats_;
 };
 

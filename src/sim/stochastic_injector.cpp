@@ -1,0 +1,75 @@
+#include "sim/stochastic_injector.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace ntc::sim {
+
+StochasticInjector::StochasticInjector(reliability::AccessErrorModel access,
+                                       reliability::NoiseMarginModel retention,
+                                       Rng rng, std::uint32_t words,
+                                       std::uint32_t stored_bits)
+    : access_(std::move(access)),
+      retention_(std::move(retention)),
+      rng_(rng),
+      stored_bits_(stored_bits),
+      stuck_mask_(words, 0),
+      stuck_value_(words, 0) {
+  NTC_REQUIRE(words > 0);
+  NTC_REQUIRE(stored_bits >= 1 && stored_bits <= 64);
+  // Per-cell mismatch deviates are the silicon fingerprint of this
+  // instance; they persist across voltage changes.
+  cell_sigma_.resize(static_cast<std::size_t>(words) * stored_bits_);
+  Rng sigma_rng = rng_.fork(0x51d3);
+  for (auto& s : cell_sigma_) s = static_cast<float>(sigma_rng.normal());
+}
+
+void StochasticInjector::on_operating_point(const FaultContext& ctx) {
+  p_access_ = access_.p_bit_err(ctx.vdd);
+  p_no_flip_ = std::pow(1.0 - p_access_, static_cast<double>(stored_bits_));
+  Rng stuck_rng = rng_.fork(0x57);
+  for (std::uint32_t w = 0; w < ctx.words; ++w) {
+    std::uint64_t mask_bits = 0, value_bits = 0;
+    for (std::uint32_t b = 0; b < stored_bits_; ++b) {
+      const double sigma =
+          cell_sigma_[static_cast<std::size_t>(w) * stored_bits_ + b];
+      if (retention_.cell_retention_vmin(sigma) > ctx.vdd) {
+        mask_bits |= std::uint64_t{1} << b;
+        if (stuck_rng.bernoulli(0.5)) value_bits |= std::uint64_t{1} << b;
+      }
+    }
+    stuck_mask_[w] = mask_bits;
+    stuck_value_[w] = value_bits;
+  }
+}
+
+void StochasticInjector::stuck_overlay(std::uint32_t index,
+                                       const FaultContext& ctx,
+                                       std::uint64_t& mask,
+                                       std::uint64_t& value) {
+  (void)ctx;
+  mask = stuck_mask_[index];
+  value = stuck_value_[index] & stuck_mask_[index];
+}
+
+std::uint64_t StochasticInjector::access_flips(AccessKind kind,
+                                               std::uint32_t index,
+                                               const FaultContext& ctx) {
+  (void)kind, (void)index, (void)ctx;
+  if (p_access_ <= 0.0) return 0;
+  // Fast path: with probability (1-p)^bits nothing flips — one uniform
+  // draw.  Otherwise rejection-sample the (rare) nonzero flip mask,
+  // which preserves the exact per-bit Bernoulli distribution.
+  if (rng_.uniform() < p_no_flip_) return 0;
+  std::uint64_t flips = 0;
+  do {
+    flips = 0;
+    for (std::uint32_t b = 0; b < stored_bits_; ++b) {
+      if (rng_.bernoulli(p_access_)) flips |= std::uint64_t{1} << b;
+    }
+  } while (flips == 0);
+  return flips;
+}
+
+}  // namespace ntc::sim

@@ -1,0 +1,57 @@
+// The silicon-calibrated stochastic fault model of Section IV as a
+// FaultInjector:
+//   * retention faults — cells whose retention V_min exceeds the supply
+//     are stuck at a random value (sampled from the Gaussian
+//     noise-margin population, Eq. 2);
+//   * access faults — on every read each stored bit flips transiently
+//     with p = Eq. 5's access error probability; on every write each
+//     bit fails to latch with the same probability (persistent until
+//     rewritten).
+// Per-cell mismatch deviates are drawn once at construction (the
+// silicon fingerprint of the instance) and persist across voltage
+// changes, so the same cells fail first every time the rail droops.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "reliability/access_model.hpp"
+#include "reliability/noise_margin.hpp"
+#include "sim/fault_injector.hpp"
+
+namespace ntc::sim {
+
+class StochasticInjector final : public FaultInjector {
+ public:
+  StochasticInjector(reliability::AccessErrorModel access,
+                     reliability::NoiseMarginModel retention, Rng rng,
+                     std::uint32_t words, std::uint32_t stored_bits);
+
+  std::string name() const override { return "stochastic"; }
+  void stuck_overlay(std::uint32_t index, const FaultContext& ctx,
+                     std::uint64_t& mask, std::uint64_t& value) override;
+  std::uint64_t access_flips(AccessKind kind, std::uint32_t index,
+                             const FaultContext& ctx) override;
+  void on_operating_point(const FaultContext& ctx) override;
+
+  /// Current per-bit access error probability (Eq. 5 at the last-seen
+  /// supply).
+  double p_access() const { return p_access_; }
+
+ private:
+  reliability::AccessErrorModel access_;
+  reliability::NoiseMarginModel retention_;
+  Rng rng_;
+  std::uint32_t stored_bits_;
+  double p_access_ = 0.0;
+  double p_no_flip_ = 1.0;  ///< (1 - p_access)^stored_bits, fast path
+
+  /// Per-word masks of retention-failed cells and their stuck values.
+  std::vector<std::uint64_t> stuck_mask_;
+  std::vector<std::uint64_t> stuck_value_;
+  /// Per-cell mismatch deviates (fixed per instance, like silicon).
+  std::vector<float> cell_sigma_;
+};
+
+}  // namespace ntc::sim

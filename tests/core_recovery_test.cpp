@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/adaptive_memory.hpp"
+#include "faultsim/scenario.hpp"
+
+namespace ntc::core {
+namespace {
+
+// Recovery tests run scripted-only: the stochastic model is off, so
+// every escalation step below is exercised deterministically.
+AdaptiveConfig base_config() {
+  AdaptiveConfig config;
+  config.memory.bytes = 1024;
+  config.memory.scheme = mitigation::SchemeKind::Secded;
+  config.memory.vdd = Volt{0.44};
+  config.memory.inject_faults = false;
+  return config;
+}
+
+void attach(AdaptiveNtcMemory& adaptive,
+            std::vector<faultsim::FaultEvent> events) {
+  adaptive.memory().ecc().array().attach_injector(
+      std::make_shared<faultsim::ScenarioInjector>(std::move(events)));
+}
+
+TEST(Recovery, DisabledRecoverySurfacesUncorrectableReads) {
+  AdaptiveConfig config = base_config();
+  config.recovery.enabled = false;
+  AdaptiveNtcMemory adaptive(config);
+  attach(adaptive, {faultsim::FaultEvent::read_burst(5, 36, 3)});
+  ASSERT_EQ(adaptive.write_word(5, 0xABCD1234), sim::AccessStatus::Ok);
+  std::uint32_t data = 0;
+  EXPECT_EQ(adaptive.read_word(5, data),
+            sim::AccessStatus::DetectedUncorrectable);
+  EXPECT_EQ(adaptive.recovery_stats().uncorrectable_reads, 0u);
+  EXPECT_EQ(adaptive.vdd().value, 0.44);  // no escalation happened
+}
+
+TEST(Recovery, ReReadRecoversTransientDoubleFlip) {
+  // A one-shot double flip is the transient case re-reads exist for:
+  // the first read fails decode, the retry sees the clean word.
+  AdaptiveNtcMemory adaptive(base_config());
+  attach(adaptive, {faultsim::FaultEvent::transient_flip(5, 0b11)});
+  ASSERT_EQ(adaptive.write_word(5, 0xABCD1234), sim::AccessStatus::Ok);
+  std::uint32_t data = 0;
+  EXPECT_EQ(adaptive.read_word(5, data), sim::AccessStatus::CorrectedError);
+  EXPECT_EQ(data, 0xABCD1234u);
+  EXPECT_EQ(adaptive.recovery_stats().uncorrectable_reads, 1u);
+  EXPECT_EQ(adaptive.recovery_stats().retry_recoveries, 1u);
+  EXPECT_EQ(adaptive.recovery_stats().voltage_bumps, 0u);
+  EXPECT_EQ(adaptive.vdd().value, 0.44);  // no escalation needed
+}
+
+TEST(Recovery, VoltageBumpEscalationHealsMarginalBurst) {
+  // A persistent triple-bit burst from marginal cells that heal at
+  // 0.46 V: re-reads and scrubs cannot help, so the controller steps
+  // the rail up its 10 mV ladder until the burst disappears.
+  AdaptiveNtcMemory adaptive(base_config());
+  attach(adaptive,
+         {faultsim::FaultEvent::read_burst(5, 36, 3, /*heal_at_v=*/0.46)});
+  ASSERT_EQ(adaptive.write_word(5, 0xABCD1234), sim::AccessStatus::Ok);
+  std::uint32_t data = 0;
+  EXPECT_EQ(adaptive.read_word(5, data), sim::AccessStatus::CorrectedError);
+  EXPECT_EQ(data, 0xABCD1234u);
+
+  const RecoveryStats& stats = adaptive.recovery_stats();
+  EXPECT_EQ(stats.retry_recoveries, 0u);
+  EXPECT_EQ(stats.scrub_recoveries, 0u);
+  EXPECT_EQ(stats.voltage_bumps, 2u);  // 0.44 -> 0.45 -> 0.46
+  EXPECT_EQ(stats.bump_recoveries, 1u);
+  EXPECT_NEAR(adaptive.vdd().value, 0.46, 1e-9);
+  EXPECT_EQ(adaptive.controller().escalations(), 2u);
+  // Subsequent reads at the healed rail are clean.
+  EXPECT_EQ(adaptive.read_word(5, data), sim::AccessStatus::Ok);
+}
+
+TEST(Recovery, HardDefectExhaustsEscalationAndIsReported) {
+  AdaptiveConfig config = base_config();
+  config.recovery.max_voltage_bumps = 3;
+  AdaptiveNtcMemory adaptive(config);
+  attach(adaptive, {faultsim::FaultEvent::read_burst(5, 36, 3)});  // no heal
+  ASSERT_EQ(adaptive.write_word(5, 0xABCD1234), sim::AccessStatus::Ok);
+  std::uint32_t data = 0;
+  EXPECT_EQ(adaptive.read_word(5, data),
+            sim::AccessStatus::DetectedUncorrectable);
+
+  const RecoveryStats& stats = adaptive.recovery_stats();
+  EXPECT_EQ(stats.read_retries, config.recovery.max_read_retries);
+  EXPECT_EQ(stats.scrub_retries, config.recovery.max_scrub_retries);
+  EXPECT_EQ(stats.voltage_bumps, 3u);
+  EXPECT_EQ(stats.bump_recoveries, 0u);
+  EXPECT_EQ(stats.unrecovered_reads, 1u);
+  // Other words are unaffected throughout the whole ordeal.
+  ASSERT_EQ(adaptive.write_word(6, 0x5555AAAA), sim::AccessStatus::Ok);
+  EXPECT_EQ(adaptive.read_word(6, data), sim::AccessStatus::Ok);
+  EXPECT_EQ(data, 0x5555AAAAu);
+}
+
+}  // namespace
+}  // namespace ntc::core

@@ -1,0 +1,203 @@
+#include "faultsim/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ntc::faultsim {
+namespace {
+
+// All campaign tests run scripted-only (stochastic_background = false):
+// the fixed-point pipeline and the fault scripts are both deterministic,
+// so every classification below is exact, for every seed.
+constexpr std::size_t kPoints = 64;  // PM gets 2 slots of 64 words each
+
+Scenario background() { return Scenario{"background", {}, {}, {}}; }
+
+// A persistent triple-bit burst on SPM word 3 (codeword bits 36..38:
+// syndrome 36^37^38 = 39 points past the 39-bit SECDED codeword, forcing
+// detection rather than miscorrection).
+Scenario spm_triple_burst() {
+  Scenario s;
+  s.name = "spm-triple-burst";
+  s.spm_events.push_back(FaultEvent::read_burst(3, 36, 3));
+  return s;
+}
+
+// The OCEAN killer: the SPM burst forces rollback-restores, and a
+// quintuple-bit burst in *both* protected-buffer slots exhausts the
+// BCH t=4 code whichever slot the restore reads.
+Scenario pm_quintuple_burst() {
+  Scenario s = spm_triple_burst();
+  s.name = "pm-quintuple-burst";
+  s.pm_events.push_back(FaultEvent::read_burst(3, 10, 5));
+  s.pm_events.push_back(FaultEvent::read_burst(3 + kPoints, 10, 5));
+  return s;
+}
+
+CampaignConfig base_config() {
+  CampaignConfig config;
+  config.fft_points = kPoints;
+  config.seeds_per_cell = 2;
+  config.stochastic_background = false;
+  config.threads = 2;
+  return config;
+}
+
+const RunRecord* find(const std::vector<RunRecord>& records,
+                      const std::string& scenario, const std::string& scheme,
+                      std::uint64_t seed) {
+  for (const RunRecord& r : records)
+    if (r.scenario == scenario && r.scheme == scheme && r.seed == seed)
+      return &r;
+  return nullptr;
+}
+
+TEST(Campaign, ClassifiesScriptedScenariosAcrossTheGrid) {
+  CampaignConfig config = base_config();
+  config.schemes = {mitigation::SchemeKind::Secded,
+                    mitigation::SchemeKind::Ocean};
+  config.scenarios = {background(), spm_triple_burst(), pm_quintuple_burst()};
+  CampaignRunner runner(config);
+  const auto& records = runner.run();
+  ASSERT_EQ(records.size(), 3u * 2u * 2u);  // scenarios x schemes x seeds
+
+  for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+    // No events, no stochastic model: both schemes run clean.
+    const RunRecord* r = find(records, "background", "ECC (SECDED 39,32)", seed);
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->outcome, RunOutcome::Clean);
+    r = find(records, "background", "OCEAN", seed);
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->outcome, RunOutcome::Clean);
+
+    // The triple burst defeats SECDED: wrong output, but flagged.
+    r = find(records, "spm-triple-burst", "ECC (SECDED 39,32)", seed);
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->outcome, RunOutcome::DetectedUncorrectable);
+    EXPECT_GT(r->uncorrectable_words, 0u);
+
+    // The quintuple PM burst is OCEAN's system-failure condition.
+    r = find(records, "pm-quintuple-burst", "OCEAN", seed);
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->outcome, RunOutcome::SystemFailure);
+    EXPECT_GT(r->ocean_restores, 0u);
+  }
+
+  // The framework's reason to exist: mitigation never lies. Every wrong
+  // output in this grid was detected.
+  EXPECT_EQ(runner.summary().silent_data_corruption, 0u);
+  EXPECT_EQ(runner.summary().runs, records.size());
+}
+
+TEST(Campaign, NoMitigationSuffersSilentDataCorruption) {
+  // Control experiment for the SDC accounting itself: a burst on a bare
+  // 32-bit memory corrupts the output with nothing to flag it.
+  CampaignConfig config = base_config();
+  config.schemes = {mitigation::SchemeKind::NoMitigation};
+  Scenario s;
+  s.name = "bare-burst";
+  s.spm_events.push_back(FaultEvent::read_burst(3, 4, 3));
+  config.scenarios = {s};
+  CampaignRunner runner(config);
+  runner.run();
+  EXPECT_EQ(runner.summary().silent_data_corruption, runner.summary().runs);
+}
+
+TEST(Campaign, VoltageEscalationRecoversOtherwiseFatalRun) {
+  // A marginal-cell fault population: a transient double flip on SPM
+  // word 3 (armed after the initial checkpoint committed) forces a
+  // rollback, and quintuple bursts in both PM slots defeat the restore
+  // at 0.44 V — but every burst heals at/above 0.50 V.
+  Scenario s;
+  s.name = "healable-pm-burst";
+  FaultEvent trigger = FaultEvent::transient_flip(3, 0b11, /*at_access=*/200);
+  s.spm_events.push_back(trigger);
+  s.pm_events.push_back(FaultEvent::read_burst(3, 10, 5, /*heal_at_v=*/0.50));
+  s.pm_events.push_back(
+      FaultEvent::read_burst(3 + kPoints, 10, 5, /*heal_at_v=*/0.50));
+
+  CampaignConfig config = base_config();
+  config.schemes = {mitigation::SchemeKind::Ocean};
+  config.scenarios = {s};
+
+  // Legacy fail-fast protocol: the restore meets the uncorrectable PM
+  // words and the run is lost.
+  CampaignConfig fail_fast = config;
+  fail_fast.ocean.max_voltage_escalations = 0;
+  CampaignRunner baseline(fail_fast);
+  baseline.run();
+  EXPECT_EQ(baseline.summary().system_failure, baseline.summary().runs);
+
+  // Graceful degradation: bump the rail (0.44 -> 0.49 -> 0.54), scrub,
+  // retry — the healed PM restores the clean checkpoint and the re-run
+  // completes with an exact output.
+  CampaignConfig graceful = config;
+  graceful.ocean.max_voltage_escalations = 3;
+  CampaignRunner recovered(graceful);
+  const auto& records = recovered.run();
+  EXPECT_EQ(recovered.summary().system_failure, 0u);
+  for (const RunRecord& r : records) {
+    EXPECT_EQ(r.outcome, RunOutcome::Corrected) << r.scenario << " seed "
+                                                << r.seed;
+    EXPECT_GE(r.ocean_voltage_escalations, 1u);
+    EXPECT_GE(r.ocean_restores, 1u);
+  }
+}
+
+TEST(Campaign, LedgerIsDeterministicAcrossThreadCounts) {
+  CampaignConfig config = base_config();
+  config.schemes = {mitigation::SchemeKind::Secded,
+                    mitigation::SchemeKind::Ocean};
+  config.scenarios = {background(), spm_triple_burst()};
+  config.stochastic_background = true;  // exercise the layered model too
+  config.threads = 4;
+  CampaignRunner a(config);
+  config.threads = 1;
+  CampaignRunner b(config);
+  const auto& ra = a.run();
+  const auto& rb = b.run();
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].scenario, rb[i].scenario);
+    EXPECT_EQ(ra[i].seed, rb[i].seed);
+    EXPECT_EQ(ra[i].outcome, rb[i].outcome);
+    EXPECT_EQ(ra[i].snr_db, rb[i].snr_db);
+    EXPECT_EQ(ra[i].corrected_words, rb[i].corrected_words);
+    EXPECT_EQ(ra[i].uncorrectable_words, rb[i].uncorrectable_words);
+    EXPECT_EQ(ra[i].injected_flips, rb[i].injected_flips);
+    EXPECT_EQ(ra[i].cycles, rb[i].cycles);
+  }
+}
+
+TEST(Campaign, ExportsMachineReadableLedgers) {
+  CampaignConfig config = base_config();
+  config.seeds_per_cell = 1;
+  config.scenarios = {spm_triple_burst()};
+  CampaignRunner runner(config);
+  runner.run();
+
+  std::ostringstream csv;
+  runner.write_csv(csv);
+  const std::string csv_text = csv.str();
+  EXPECT_NE(csv_text.find("scenario,scheme,vdd,seed,outcome"),
+            std::string::npos);
+  EXPECT_NE(csv_text.find("spm-triple-burst"), std::string::npos);
+  EXPECT_NE(csv_text.find("detected-uncorrectable"), std::string::npos);
+  // The SECDED scheme name contains a comma and must be RFC 4180 quoted,
+  // or every later column in the row shifts.
+  EXPECT_NE(csv_text.find("\"ECC (SECDED 39,32)\""), std::string::npos);
+  EXPECT_EQ(csv_text.find("32),"), std::string::npos);
+
+  std::ostringstream json;
+  runner.write_json(json);
+  const std::string json_text = json.str();
+  EXPECT_NE(json_text.find("\"summary\""), std::string::npos);
+  EXPECT_NE(json_text.find("\"detected_uncorrectable\": 1"),
+            std::string::npos);
+  EXPECT_NE(json_text.find("\"outcome\": \"detected-uncorrectable\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace ntc::faultsim

@@ -1,0 +1,208 @@
+#include "faultsim/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ecc/bch.hpp"
+#include "ecc/hamming.hpp"
+#include "reliability/access_model.hpp"
+#include "reliability/noise_margin.hpp"
+#include "sim/ecc_memory.hpp"
+#include "sim/sram_module.hpp"
+
+namespace ntc::faultsim {
+namespace {
+
+// A fault-free array: scripted events are the only fault source, so
+// every expectation below is exact.
+sim::SramModule make_sram(std::uint32_t bits = 32, std::uint32_t words = 64,
+                          Volt vdd = Volt{0.44}) {
+  return sim::SramModule("test", words, bits,
+                         reliability::cell_based_40nm_access(),
+                         reliability::cell_based_40nm_retention(), vdd, Rng(1),
+                         /*inject_faults=*/false);
+}
+
+std::unique_ptr<sim::EccMemory> make_secded_memory(std::uint32_t words = 64) {
+  auto code = std::make_shared<ecc::HammingSecded>(32);
+  auto array = std::make_unique<sim::SramModule>(
+      "secded", words, static_cast<std::uint32_t>(code->code_bits()),
+      reliability::cell_based_40nm_access(),
+      reliability::cell_based_40nm_retention(), Volt{0.44}, Rng(1),
+      /*inject_faults=*/false);
+  return std::make_unique<sim::EccMemory>(std::move(array), std::move(code));
+}
+
+std::unique_ptr<sim::EccMemory> make_bch_memory(std::uint32_t words = 64) {
+  auto code = std::make_shared<ecc::BchCode>(ecc::ocean_buffer_code());
+  auto array = std::make_unique<sim::SramModule>(
+      "bch", words, static_cast<std::uint32_t>(code->code_bits()),
+      reliability::cell_based_40nm_access(),
+      reliability::cell_based_40nm_retention(), Volt{0.44}, Rng(1),
+      /*inject_faults=*/false);
+  return std::make_unique<sim::EccMemory>(std::move(array), std::move(code));
+}
+
+TEST(ScenarioInjector, StuckAtForcesBitsOnEveryRead) {
+  sim::SramModule sram = make_sram();
+  sram.attach_injector(std::make_shared<ScenarioInjector>(
+      std::vector<FaultEvent>{FaultEvent::stuck_at(5, 0b1100, 0b0100)}));
+  EXPECT_EQ(sram.stats().stuck_bits, 2u);
+  // Writes after the attach keep the true value in the cell array; the
+  // overlay corrupts what reads observe.
+  sram.write_raw(5, 0xFFFF);
+  EXPECT_EQ(sram.read_raw(5), (0xFFFFull & ~0b1100ull) | 0b0100ull);
+  sram.write_raw(6, 0xFFFF);
+  EXPECT_EQ(sram.read_raw(6), 0xFFFFull);  // untouched word
+}
+
+TEST(ScenarioInjector, AttachCommitsDataLossLikePhysicalCells) {
+  sim::SramModule sram = make_sram();
+  sram.write_raw(5, 0xFFFF);
+  sram.attach_injector(std::make_shared<ScenarioInjector>(
+      std::vector<FaultEvent>{FaultEvent::stuck_at(5, 0b11, 0b00,
+                                                   /*heal_at_v=*/0.50)}));
+  // Healing re-enables the cells but cannot resurrect the value they
+  // held when they failed: the loss was committed at derive time.
+  sram.set_vdd(Volt{0.6});
+  EXPECT_EQ(sram.stats().stuck_bits, 0u);
+  EXPECT_EQ(sram.read_raw(5), 0xFFFFull & ~0b11ull);
+}
+
+TEST(ScenarioInjector, HealingVoltageDeactivatesStuckOverlay) {
+  sim::SramModule sram = make_sram();
+  sram.attach_injector(std::make_shared<ScenarioInjector>(
+      std::vector<FaultEvent>{FaultEvent::stuck_at(7, 0b111, 0b000,
+                                                   /*heal_at_v=*/0.50)}));
+  sram.write_raw(7, 0b111);  // written after attach: true data survives
+  EXPECT_EQ(sram.read_raw(7), 0b000ull);
+  sram.set_vdd(Volt{0.55});
+  EXPECT_EQ(sram.stats().stuck_bits, 0u);
+  EXPECT_EQ(sram.read_raw(7), 0b111ull);  // healed: reads see true data
+  sram.set_vdd(Volt{0.44});
+  EXPECT_EQ(sram.read_raw(7), 0b000ull);  // droop re-activates the fault
+}
+
+TEST(ScenarioInjector, RowAndColumnFaultsCoverTheirSpan) {
+  sim::SramModule sram = make_sram();
+  sram.attach_injector(std::make_shared<ScenarioInjector>(
+      std::vector<FaultEvent>{FaultEvent::row_stuck(8, 4, 0b1, 0b1)}));
+  EXPECT_EQ(sram.stats().stuck_bits, 4u);
+  for (std::uint32_t w = 8; w < 12; ++w) EXPECT_EQ(sram.read_raw(w) & 1u, 1u);
+  EXPECT_EQ(sram.read_raw(12) & 1u, 0u);
+
+  sim::SramModule column = make_sram();
+  column.attach_injector(std::make_shared<ScenarioInjector>(
+      std::vector<FaultEvent>{FaultEvent::column_stuck(3, true)}));
+  EXPECT_EQ(column.stats().stuck_bits, column.words());
+  for (std::uint32_t w = 0; w < column.words(); ++w)
+    EXPECT_EQ(column.read_raw(w) & 0b1000u, 0b1000u);
+}
+
+TEST(ScenarioInjector, TransientFlipFiresExactlyOnce) {
+  sim::SramModule sram = make_sram();
+  auto injector = std::make_shared<ScenarioInjector>(
+      std::vector<FaultEvent>{FaultEvent::transient_flip(2, 0b101)});
+  sram.attach_injector(injector);
+  sram.write_raw(2, 0);
+  EXPECT_EQ(sram.read_raw(2), 0b101ull);  // the one-shot hit
+  EXPECT_EQ(sram.read_raw(2), 0b000ull);  // consumed
+  EXPECT_EQ(injector->events_fired(), 1u);
+  EXPECT_EQ(sram.stats().injected_read_flips, 2u);
+}
+
+TEST(ScenarioInjector, AccessWindowArmsAndDisarmsEvents) {
+  sim::SramModule sram = make_sram();
+  FaultEvent e = FaultEvent::read_burst(0, 0, 2);
+  // The counter includes the in-flight access: the first write below is
+  // access 1, so the burst is live for accesses 3 and 4 only.
+  e.arm_at_access = 3;
+  e.disarm_at_access = 5;
+  sram.attach_injector(
+      std::make_shared<ScenarioInjector>(std::vector<FaultEvent>{e}));
+  sram.write_raw(0, 0);             // access 1
+  EXPECT_EQ(sram.read_raw(0), 0u);  // access 2: not armed yet
+  EXPECT_EQ(sram.read_raw(0), 0b11ull);  // access 3: armed
+  EXPECT_EQ(sram.read_raw(0), 0b11ull);  // access 4: armed
+  EXPECT_EQ(sram.read_raw(0), 0u);       // access 5: disarmed
+}
+
+TEST(ScenarioInjector, WriteBurstLatchesIntoTheArray) {
+  sim::SramModule sram = make_sram();
+  sram.attach_injector(std::make_shared<ScenarioInjector>(
+      std::vector<FaultEvent>{FaultEvent::write_burst(4, 0b110)}));
+  sram.write_raw(4, 0);
+  EXPECT_EQ(sram.stats().injected_write_flips, 2u);
+  // The corruption happened at the latch: both reads see it.
+  EXPECT_EQ(sram.read_raw(4), 0b110ull);
+  EXPECT_EQ(sram.read_raw(4), 0b110ull);
+  EXPECT_EQ(sram.stats().injected_read_flips, 0u);
+}
+
+TEST(ScenarioInjector, EarlierInjectorWinsOverlappingStuckCells) {
+  sim::SramModule sram = make_sram();
+  sram.attach_injector(std::make_shared<ScenarioInjector>(
+      std::vector<FaultEvent>{FaultEvent::stuck_at(1, 0b1, 0b1)}));
+  sram.attach_injector(std::make_shared<ScenarioInjector>(
+      std::vector<FaultEvent>{FaultEvent::stuck_at(1, 0b11, 0b00)}));
+  sram.write_raw(1, 0);
+  // Bit 0 stays forced to 1 (first injector), bit 1 forced to 0.
+  EXPECT_EQ(sram.read_raw(1), 0b01ull);
+  EXPECT_EQ(sram.stats().stuck_bits, 2u);  // union, not double-counted
+}
+
+TEST(ScenarioInjector, TripleBitBurstDefeatsSecded) {
+  auto mem = make_secded_memory();
+  // Codeword bits 36^37^38 = 39 > 38: the syndrome points past the
+  // codeword, so SECDED is forced to *detect* rather than miscorrect.
+  mem->array().attach_injector(std::make_shared<ScenarioInjector>(
+      std::vector<FaultEvent>{FaultEvent::read_burst(9, 36, 3)}));
+  ASSERT_EQ(mem->write_word(9, 0xCAFEF00D), sim::AccessStatus::Ok);
+  std::uint32_t data = 0;
+  EXPECT_EQ(mem->read_word(9, data), sim::AccessStatus::DetectedUncorrectable);
+  EXPECT_EQ(mem->stats().uncorrectable_words, 1u);
+}
+
+TEST(ScenarioInjector, SingleAndDoubleBurstsStayWithinSecdedCapability) {
+  auto mem = make_secded_memory();
+  mem->array().attach_injector(std::make_shared<ScenarioInjector>(
+      std::vector<FaultEvent>{FaultEvent::read_burst(3, 10, 1),
+                              FaultEvent::read_burst(4, 10, 2)}));
+  ASSERT_EQ(mem->write_word(3, 0x12345678), sim::AccessStatus::Ok);
+  ASSERT_EQ(mem->write_word(4, 0x9ABCDEF0), sim::AccessStatus::Ok);
+  std::uint32_t data = 0;
+  EXPECT_EQ(mem->read_word(3, data), sim::AccessStatus::CorrectedError);
+  EXPECT_EQ(data, 0x12345678u);  // single error corrected
+  EXPECT_EQ(mem->read_word(4, data), sim::AccessStatus::DetectedUncorrectable);
+}
+
+TEST(ScenarioInjector, QuintupleBitBurstDefeatsOceanBch) {
+  auto mem = make_bch_memory();
+  // BCH t=4 corrects the quadruple burst; five errors exhaust it.
+  mem->array().attach_injector(std::make_shared<ScenarioInjector>(
+      std::vector<FaultEvent>{FaultEvent::read_burst(2, 10, 4),
+                              FaultEvent::read_burst(5, 10, 5)}));
+  ASSERT_EQ(mem->write_word(2, 0x600DDA7A), sim::AccessStatus::Ok);
+  ASSERT_EQ(mem->write_word(5, 0x600DDA7A), sim::AccessStatus::Ok);
+  std::uint32_t data = 0;
+  EXPECT_EQ(mem->read_word(2, data), sim::AccessStatus::CorrectedError);
+  EXPECT_EQ(data, 0x600DDA7Au);
+  EXPECT_EQ(mem->read_word(5, data), sim::AccessStatus::DetectedUncorrectable);
+}
+
+TEST(ScenarioInjector, ScriptedEventsApplyWithoutStochasticBackground) {
+  // The seam is independent of inject_faults: campaigns can run purely
+  // scripted (deterministic) or layered on the analytic model.
+  sim::SramModule sram = make_sram();
+  EXPECT_DOUBLE_EQ(sram.access_error_probability(), 0.0);
+  auto injector = std::make_shared<ScenarioInjector>(
+      std::vector<FaultEvent>{FaultEvent::read_burst(0, 0, 1)});
+  sram.attach_injector(injector);
+  sram.write_raw(0, 0);
+  EXPECT_EQ(sram.read_raw(0), 1u);
+  EXPECT_EQ(injector->events_fired(), 1u);
+}
+
+}  // namespace
+}  // namespace ntc::faultsim

@@ -1,0 +1,85 @@
+// Write/read fault-accounting symmetry (the seam's stats contract):
+// write-latch failures land in SramStats.injected_write_flips exactly
+// as read upsets land in injected_read_flips, for scripted and
+// stochastic injectors alike.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "faultsim/scenario.hpp"
+#include "reliability/access_model.hpp"
+#include "reliability/noise_margin.hpp"
+#include "sim/sram_module.hpp"
+
+namespace ntc::sim {
+namespace {
+
+SramModule make_sram(Volt vdd, bool inject, std::uint64_t seed = 1,
+                     std::uint32_t words = 64) {
+  return SramModule("test", words, 32, reliability::cell_based_40nm_access(),
+                    reliability::cell_based_40nm_retention(), vdd, Rng(seed),
+                    inject);
+}
+
+TEST(InjectorStats, ScriptedWriteFlipsCountedSymmetrically) {
+  SramModule sram = make_sram(Volt{0.44}, /*inject=*/false);
+  sram.attach_injector(std::make_shared<faultsim::ScenarioInjector>(
+      std::vector<faultsim::FaultEvent>{
+          faultsim::FaultEvent::write_burst(2, 0b111),
+          faultsim::FaultEvent::read_burst(7, 0, 2)}));
+
+  sram.write_raw(2, 0);
+  EXPECT_EQ(sram.stats().injected_write_flips, 3u);
+  EXPECT_EQ(sram.stats().injected_read_flips, 0u);
+  EXPECT_EQ(sram.read_raw(2), 0b111ull);  // latched, not a read flip
+  EXPECT_EQ(sram.stats().injected_read_flips, 0u);
+
+  sram.write_raw(7, 0);
+  (void)sram.read_raw(7);
+  EXPECT_EQ(sram.stats().injected_read_flips, 2u);
+  EXPECT_EQ(sram.stats().injected_write_flips, 3u);  // unchanged
+}
+
+TEST(InjectorStats, StochasticWriteFlipRateMatchesReadFlipRate) {
+  // Same word, same access count, same model: the two counters must
+  // estimate the same per-access flip rate (Eq. 5 applies to the latch
+  // on both directions of the port).
+  const Volt vdd{0.40};
+  const double p = reliability::cell_based_40nm_access().p_bit_err(vdd);
+  const int accesses = 100000;
+
+  SramModule reader = make_sram(vdd, /*inject=*/true, 7);
+  reader.write_raw(0, 0);
+  for (int i = 0; i < accesses; ++i) (void)reader.read_raw(0);
+
+  SramModule writer = make_sram(vdd, /*inject=*/true, 7);
+  for (int i = 0; i < accesses; ++i) writer.write_raw(0, 0);
+
+  const double expected = p * 32 * accesses;
+  EXPECT_NEAR(static_cast<double>(reader.stats().injected_read_flips) /
+                  expected,
+              1.0, 0.15);
+  EXPECT_NEAR(static_cast<double>(writer.stats().injected_write_flips) /
+                  expected,
+              1.0, 0.15);
+  EXPECT_EQ(reader.stats().injected_write_flips, 0u);
+  EXPECT_EQ(writer.stats().injected_read_flips, 0u);
+}
+
+TEST(InjectorStats, ResetClearsBothDirections) {
+  SramModule sram = make_sram(Volt{0.44}, /*inject=*/false);
+  sram.attach_injector(std::make_shared<faultsim::ScenarioInjector>(
+      std::vector<faultsim::FaultEvent>{
+          faultsim::FaultEvent::write_burst(0, 0b1),
+          faultsim::FaultEvent::read_burst(0, 1, 1)}));
+  sram.write_raw(0, 0);
+  (void)sram.read_raw(0);
+  EXPECT_EQ(sram.stats().injected_write_flips, 1u);
+  EXPECT_EQ(sram.stats().injected_read_flips, 1u);
+  sram.reset_stats();
+  EXPECT_EQ(sram.stats().injected_write_flips, 0u);
+  EXPECT_EQ(sram.stats().injected_read_flips, 0u);
+}
+
+}  // namespace
+}  // namespace ntc::sim

@@ -1,0 +1,108 @@
+// Scrubbing under accumulating faults: a scrub pass flushes latched
+// correctable errors *before* a second fault arrives in the same word,
+// keeping the error count below SECDED's correction capability — and it
+// counts (but does not touch) the words where accumulation already won.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ecc/hamming.hpp"
+#include "faultsim/scenario.hpp"
+#include "reliability/access_model.hpp"
+#include "reliability/noise_margin.hpp"
+#include "sim/ecc_memory.hpp"
+
+namespace ntc::sim {
+namespace {
+
+constexpr std::uint32_t kWords = 8;
+constexpr std::uint32_t kVictims = 4;  // words 0..3 take the faults
+
+std::unique_ptr<EccMemory> make_memory() {
+  auto code = std::make_shared<ecc::HammingSecded>(32);
+  auto array = std::make_unique<SramModule>(
+      "secded", kWords, static_cast<std::uint32_t>(code->code_bits()),
+      reliability::cell_based_40nm_access(),
+      reliability::cell_based_40nm_retention(), Volt{0.44}, Rng(1),
+      /*inject_faults=*/false);
+  return std::make_unique<EccMemory>(std::move(array), std::move(code));
+}
+
+std::uint32_t pattern(std::uint32_t w) { return 0x1234 * (w + 1); }
+
+// First fault wave: a one-shot write-latch failure on codeword bit 3 of
+// every victim word (fires on the rewrite below).
+void latch_first_error(EccMemory& mem) {
+  std::vector<faultsim::FaultEvent> events;
+  for (std::uint32_t w = 0; w < kVictims; ++w)
+    events.push_back(faultsim::FaultEvent::write_burst(w, 1ull << 3,
+                                                       /*once=*/true));
+  mem.array().attach_injector(
+      std::make_shared<faultsim::ScenarioInjector>(std::move(events)));
+  for (std::uint32_t w = 0; w < kVictims; ++w)
+    ASSERT_EQ(mem.write_word(w, pattern(w)), AccessStatus::Ok);
+}
+
+// Second fault wave: codeword bit 7 of every victim word sticks at the
+// complement of its correct value (a guaranteed additional error).
+void stick_second_error(EccMemory& mem) {
+  std::vector<faultsim::FaultEvent> events;
+  for (std::uint32_t w = 0; w < kVictims; ++w) {
+    const bool correct = mem.code()->encode(pattern(w)).get(7);
+    events.push_back(faultsim::FaultEvent::stuck_at(
+        w, 1ull << 7, correct ? 0 : (1ull << 7)));
+  }
+  mem.array().attach_injector(
+      std::make_shared<faultsim::ScenarioInjector>(std::move(events)));
+}
+
+TEST(ScrubAccumulation, ScrubBetweenFaultWavesKeepsWordsCorrectable) {
+  auto mem = make_memory();
+  for (std::uint32_t w = 0; w < kWords; ++w)
+    ASSERT_EQ(mem->write_word(w, pattern(w)), AccessStatus::Ok);
+  latch_first_error(*mem);
+
+  // One latched error per victim: correctable, and the scrub flushes it.
+  std::uint32_t data = 0;
+  for (std::uint32_t w = 0; w < kVictims; ++w) {
+    EXPECT_EQ(mem->read_word(w, data), AccessStatus::CorrectedError);
+    EXPECT_EQ(data, pattern(w));
+  }
+  EXPECT_EQ(mem->scrub(), 0u);
+
+  // The second fault now lands in a *clean* word: still one error.
+  stick_second_error(*mem);
+  for (std::uint32_t w = 0; w < kVictims; ++w) {
+    EXPECT_EQ(mem->read_word(w, data), AccessStatus::CorrectedError);
+    EXPECT_EQ(data, pattern(w));
+  }
+  EXPECT_EQ(mem->stats().uncorrectable_words, 0u);
+}
+
+TEST(ScrubAccumulation, WithoutScrubErrorsPileUpBeyondCorrection) {
+  auto mem = make_memory();
+  for (std::uint32_t w = 0; w < kWords; ++w)
+    ASSERT_EQ(mem->write_word(w, pattern(w)), AccessStatus::Ok);
+  latch_first_error(*mem);
+  stick_second_error(*mem);  // no scrub in between
+
+  // Two errors per victim word: beyond SECDED correction, and the scrub
+  // pass reports every one of them exactly once.
+  EXPECT_EQ(mem->scrub(), kVictims);
+  EXPECT_EQ(mem->stats().uncorrectable_words, kVictims);
+  // The new scrub contract: uncorrectable words are left untouched, so
+  // a second pass still sees (and still reports) them.
+  EXPECT_EQ(mem->scrub(), kVictims);
+
+  std::uint32_t data = 0;
+  for (std::uint32_t w = 0; w < kVictims; ++w)
+    EXPECT_EQ(mem->read_word(w, data), AccessStatus::DetectedUncorrectable);
+  // Non-victim words sailed through both waves and both scrubs.
+  for (std::uint32_t w = kVictims; w < kWords; ++w) {
+    EXPECT_EQ(mem->read_word(w, data), AccessStatus::Ok);
+    EXPECT_EQ(data, pattern(w));
+  }
+}
+
+}  // namespace
+}  // namespace ntc::sim
