@@ -17,3 +17,10 @@ foreach(src ${ntc_bench_sources})
     ntc_bench(${bench_name})
   endif()
 endforeach()
+
+# Tier-2 smoke: the perf-regression harness must at least run to
+# completion and emit well-formed JSON in every build (full timing runs
+# go through scripts/run_benches.sh against a Release build).
+add_test(NAME bench_smoke_perf_suite
+         COMMAND perf_suite --quick --out ${CMAKE_BINARY_DIR}/perf_suite_smoke.json)
+set_tests_properties(bench_smoke_perf_suite PROPERTIES LABELS tier2)

@@ -1,0 +1,294 @@
+// Perf-regression suite: the repo's tracked hot-path timings.
+//
+// Times the transaction-path kernels every power run and fault campaign
+// funnels through — ECC encode/decode for each protection code, raw
+// SRAM access with and without fault injection, full ECC-memory
+// read/write, and a small campaign-grid slice — and writes the results
+// to BENCH_perf.json (name, ns_per_op, ops_per_sec).  Every perf PR is
+// measured against the previous run of this suite:
+//
+//   ./bench/perf_suite [--quick] [--out FILE] [--baseline FILE]
+//
+// --quick shrinks iteration counts so the tier-2 ctest smoke label can
+// execute the binary in milliseconds; --baseline annotates each entry
+// with the speedup over a previous BENCH_perf.json.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ecc/bch.hpp"
+#include "ecc/hamming.hpp"
+#include "ecc/hsiao.hpp"
+#include "ecc/interleave.hpp"
+#include "faultsim/campaign.hpp"
+#include "reliability/access_model.hpp"
+#include "reliability/noise_margin.hpp"
+#include "sim/ecc_memory.hpp"
+#include "sim/sram_module.hpp"
+
+namespace {
+
+using namespace ntc;
+
+template <class T>
+inline void do_not_optimize(T const& value) {
+  asm volatile("" : : "g"(&value) : "memory");
+}
+
+struct BenchResult {
+  std::string name;
+  double ns_per_op = 0.0;
+  double ops_per_sec = 0.0;
+  double baseline_ns_per_op = 0.0;  // 0 = no baseline entry
+};
+
+class Suite {
+ public:
+  explicit Suite(double min_time_s) : min_time_s_(min_time_s) {}
+
+  /// Run `op(i)` repeatedly until at least min_time_s has elapsed (with
+  /// batch doubling) and record the mean ns per call.
+  void run(const std::string& name, const std::function<void(std::uint64_t)>& op) {
+    using clock = std::chrono::steady_clock;
+    // Warm caches and let the first-touch page faults happen off-clock.
+    op(0);
+    std::uint64_t batch = 1;
+    double elapsed_s = 0.0;
+    std::uint64_t total_ops = 0;
+    std::uint64_t i = 1;
+    while (elapsed_s < min_time_s_) {
+      const auto start = clock::now();
+      for (std::uint64_t b = 0; b < batch; ++b) op(i++);
+      elapsed_s += std::chrono::duration<double>(clock::now() - start).count();
+      total_ops += batch;
+      if (batch < (std::uint64_t{1} << 30)) batch *= 2;
+    }
+    BenchResult result;
+    result.name = name;
+    result.ns_per_op = elapsed_s * 1e9 / static_cast<double>(total_ops);
+    result.ops_per_sec = static_cast<double>(total_ops) / elapsed_s;
+    results_.push_back(result);
+    std::printf("%-34s %12.2f ns/op %14.0f ops/s\n", name.c_str(),
+                result.ns_per_op, result.ops_per_sec);
+  }
+
+  std::vector<BenchResult>& results() { return results_; }
+
+ private:
+  double min_time_s_;
+  std::vector<BenchResult> results_;
+};
+
+std::unique_ptr<sim::SramModule> make_array(std::uint32_t words,
+                                            std::uint32_t stored_bits, Volt vdd,
+                                            bool inject, std::uint64_t seed) {
+  return std::make_unique<sim::SramModule>(
+      "bench", words, stored_bits, reliability::cell_based_40nm_access(),
+      reliability::cell_based_40nm_retention(), vdd, Rng(seed), inject);
+}
+
+void bench_codecs(Suite& suite) {
+  const ecc::HammingSecded hamming(32);
+  const ecc::HsiaoSecded hsiao(32);
+  const ecc::BchCode bch = ecc::ocean_buffer_code();
+  const ecc::InterleavedCode interleaved = ecc::interleaved_secded_4x16();
+
+  auto data_at = [](std::uint64_t i, std::size_t k) {
+    const std::uint64_t x = i * 6364136223846793005ull + 1442695040888963407ull;
+    return x & (k == 64 ? ~0ull : (1ull << k) - 1);
+  };
+
+  suite.run("hamming39_encode", [&](std::uint64_t i) {
+    do_not_optimize(hamming.encode(data_at(i, 32)));
+  });
+  suite.run("hsiao39_encode", [&](std::uint64_t i) {
+    do_not_optimize(hsiao.encode(data_at(i, 32)));
+  });
+  suite.run("bch56_encode", [&](std::uint64_t i) {
+    do_not_optimize(bch.encode(data_at(i, 32)));
+  });
+
+  // Decode over a ring of prepared codewords: clean words plus
+  // single/double-error variants so branchy decode paths stay exercised.
+  auto decode_bench = [&](const std::string& name, const ecc::BlockCode& code,
+                          int errors) {
+    std::vector<ecc::Bits> words;
+    Rng rng(0xDEC0DE);
+    for (int w = 0; w < 64; ++w) {
+      ecc::Bits word = code.encode(data_at(static_cast<std::uint64_t>(w),
+                                           code.data_bits()));
+      std::vector<std::size_t> hit;
+      for (int e = 0; e < errors; ++e) {
+        std::size_t p;
+        do {
+          p = rng.uniform_u64(code.code_bits());
+        } while (std::find(hit.begin(), hit.end(), p) != hit.end());
+        hit.push_back(p);
+        word.flip(p);
+      }
+      words.push_back(word);
+    }
+    suite.run(name, [&, words](std::uint64_t i) {
+      do_not_optimize(code.decode(words[i & 63]));
+    });
+  };
+
+  decode_bench("hamming39_decode_clean", hamming, 0);
+  decode_bench("hamming39_decode_1err", hamming, 1);
+  decode_bench("hsiao39_decode_clean", hsiao, 0);
+  decode_bench("hsiao39_decode_1err", hsiao, 1);
+  decode_bench("bch56_decode_clean", bch, 0);
+  decode_bench("bch56_decode_2err", bch, 2);
+  decode_bench("interleaved4x16_decode_clean", interleaved, 0);
+  decode_bench("interleaved4x16_decode_4err", interleaved, 4);
+}
+
+void bench_raw_access(Suite& suite) {
+  constexpr std::uint32_t kWords = 1024;
+
+  auto golden = make_array(kWords, 39, Volt{0.6}, /*inject=*/false, 1);
+  suite.run("sram_write_raw_faultfree", [&](std::uint64_t i) {
+    golden->write_raw(static_cast<std::uint32_t>(i) & (kWords - 1),
+                      i & ((1ull << 39) - 1));
+  });
+  suite.run("sram_read_raw_faultfree", [&](std::uint64_t i) {
+    do_not_optimize(golden->read_raw(static_cast<std::uint32_t>(i) & (kWords - 1)));
+  });
+
+  // Stochastic model active at a voltage with stuck cells and a nonzero
+  // access error rate: the slow path every campaign run pays.
+  auto faulty = make_array(kWords, 39, Volt{0.42}, /*inject=*/true, 1);
+  suite.run("sram_read_raw_stochastic_0v42", [&](std::uint64_t i) {
+    do_not_optimize(faulty->read_raw(static_cast<std::uint32_t>(i) & (kWords - 1)));
+  });
+
+  // Above the access-error knee the stochastic model contributes no
+  // flips: the overlay-cache / known-zero fast path target.
+  auto healthy = make_array(kWords, 39, Volt{0.6}, /*inject=*/true, 1);
+  suite.run("sram_read_raw_stochastic_0v60", [&](std::uint64_t i) {
+    do_not_optimize(healthy->read_raw(static_cast<std::uint32_t>(i) & (kWords - 1)));
+  });
+}
+
+void bench_ecc_memory(Suite& suite) {
+  constexpr std::uint32_t kWords = 1024;
+  auto code = std::make_shared<ecc::HsiaoSecded>(32);
+  sim::EccMemory memory(
+      make_array(kWords, static_cast<std::uint32_t>(code->code_bits()),
+                 Volt{0.6}, /*inject=*/false, 1),
+      code);
+  for (std::uint32_t w = 0; w < kWords; ++w) memory.write_word(w, w * 2654435761u);
+
+  suite.run("eccmem_write_faultfree", [&](std::uint64_t i) {
+    memory.write_word(static_cast<std::uint32_t>(i) & (kWords - 1),
+                      static_cast<std::uint32_t>(i));
+  });
+  suite.run("eccmem_read_faultfree", [&](std::uint64_t i) {
+    std::uint32_t data = 0;
+    do_not_optimize(memory.read_word(static_cast<std::uint32_t>(i) & (kWords - 1),
+                                     data));
+    do_not_optimize(data);
+  });
+}
+
+void bench_campaign_slice(Suite& suite, bool quick) {
+  faultsim::CampaignConfig config;
+  config.voltages = {Volt{0.44}};
+  config.schemes = {mitigation::SchemeKind::Secded};
+  config.seeds_per_cell = 1;
+  config.fft_points = quick ? 16 : 64;
+  config.threads = 1;
+  suite.run("campaign_grid_slice", [&](std::uint64_t i) {
+    faultsim::CampaignConfig run_config = config;
+    run_config.base_seed = i + 1;
+    faultsim::CampaignRunner runner(run_config);
+    do_not_optimize(runner.run());
+  });
+}
+
+/// Minimal extraction of {"name": ..., "ns_per_op": ...} pairs from a
+/// previous BENCH_perf.json (written by this program, so the layout is
+/// known; this is not a general JSON parser).
+void annotate_baseline(std::vector<BenchResult>& results,
+                       const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "warning: baseline %s not readable, skipping\n",
+                 path.c_str());
+    return;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  for (auto& result : results) {
+    const std::string key = "\"name\": \"" + result.name + "\"";
+    const std::size_t at = text.find(key);
+    if (at == std::string::npos) continue;
+    const std::string field = "\"ns_per_op\": ";
+    const std::size_t value_at = text.find(field, at);
+    if (value_at == std::string::npos) continue;
+    result.baseline_ns_per_op = std::strtod(
+        text.c_str() + value_at + field.size(), nullptr);
+  }
+}
+
+void write_json(const std::vector<BenchResult>& results,
+                const std::string& path) {
+  std::ofstream out(path);
+  out << "[\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    out << "  {\"name\": \"" << r.name << "\", \"ns_per_op\": " << r.ns_per_op
+        << ", \"ops_per_sec\": " << r.ops_per_sec;
+    if (r.baseline_ns_per_op > 0.0) {
+      out << ", \"baseline_ns_per_op\": " << r.baseline_ns_per_op
+          << ", \"speedup_vs_baseline\": "
+          << r.baseline_ns_per_op / r.ns_per_op;
+    }
+    out << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+  std::printf("wrote %zu results to %s\n", results.size(), path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_perf.json";
+  std::string baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--out FILE] [--baseline FILE]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  Suite suite(quick ? 1e-4 : 0.25);
+  bench_codecs(suite);
+  bench_raw_access(suite);
+  bench_ecc_memory(suite);
+  bench_campaign_slice(suite, quick);
+
+  if (!baseline_path.empty()) annotate_baseline(suite.results(), baseline_path);
+  write_json(suite.results(), out_path);
+  return 0;
+}

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Build the perf-regression suite in Release mode and refresh
+# BENCH_perf.json at the repo root.  If a previous BENCH_perf.json
+# exists it is passed as the baseline, so the new file carries
+# per-benchmark speedup_vs_baseline annotations.
+#
+# Usage: scripts/run_benches.sh [extra perf_suite args...]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build-bench"
+out_json="${repo_root}/BENCH_perf.json"
+
+cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release > /dev/null
+cmake --build "${build_dir}" -j --target perf_suite > /dev/null
+
+baseline_args=()
+if [[ -f "${out_json}" ]]; then
+  cp "${out_json}" "${out_json}.baseline.tmp"
+  baseline_args=(--baseline "${out_json}.baseline.tmp")
+fi
+
+"${build_dir}/bench/perf_suite" --out "${out_json}.tmp" \
+  "${baseline_args[@]}" "$@"
+mv "${out_json}.tmp" "${out_json}"
+rm -f "${out_json}.baseline.tmp"
+echo "wrote ${out_json}"

@@ -73,6 +73,34 @@ BchCode::BchCode(unsigned m, unsigned t, std::size_t data_bits)
   const std::size_t n_full = field_.order();
   NTC_REQUIRE_MSG(data_bits_ + parity_bits_ <= n_full,
                   "data does not fit the BCH code; increase m");
+
+  // Per-position syndrome contributions: visiting only the set bits of
+  // a received word and XORing these rows replaces 2t * n alpha_pow
+  // evaluations per decode.
+  const std::size_t n_used = code_bits();
+  syndrome_rows_.resize(n_used * 2 * t_);
+  for (std::size_t j = 0; j < n_used; ++j)
+    for (unsigned i = 1; i <= 2 * t_; ++i)
+      syndrome_rows_[j * 2 * t_ + i - 1] =
+          field_.alpha_pow(static_cast<long long>(i) * static_cast<long long>(j));
+
+  // Byte-wise remainder table for the systematic encoder (the standard
+  // CRC table construction over g(x)); needs r >= 8 so a whole input
+  // byte fits above the remainder top.
+  if (parity_bits_ >= 8) {
+    const std::uint64_t mask = (std::uint64_t{1} << parity_bits_) - 1;
+    encode_table_.resize(256);
+    for (unsigned byte = 0; byte < 256; ++byte) {
+      std::uint64_t rem = static_cast<std::uint64_t>(byte)
+                          << (parity_bits_ - 8);
+      for (int step = 0; step < 8; ++step) {
+        const std::uint64_t top = (rem >> (parity_bits_ - 1)) & 1u;
+        rem = (rem << 1) & mask;
+        if (top) rem ^= generator_ & mask;
+      }
+      encode_table_[byte] = rem;
+    }
+  }
 }
 
 std::string BchCode::name() const {
@@ -85,12 +113,24 @@ std::uint64_t BchCode::parity_of(std::uint64_t data) const {
   // data_bits_ + parity_bits_ can exceed 64, so shift via repeated
   // modular reduction: process data MSB-first accumulating the CRC-like
   // remainder.
+  const std::uint64_t mask = (std::uint64_t{1} << parity_bits_) - 1;
   std::uint64_t rem = 0;
-  for (std::size_t i = data_bits_; i-- > 0;) {
-    const unsigned in_bit = (data >> i) & 1u;
-    const unsigned top = static_cast<unsigned>((rem >> (parity_bits_ - 1)) & 1u);
-    rem = (rem << 1) & ((std::uint64_t{1} << parity_bits_) - 1);
-    if (top ^ in_bit) rem ^= generator_ & ((std::uint64_t{1} << parity_bits_) - 1);
+  std::size_t i = data_bits_;
+  // Leading bits that do not fill a whole byte go through the bit-serial
+  // step; the byte table then consumes eight bits per iteration.
+  std::size_t head = encode_table_.empty() ? data_bits_ : data_bits_ % 8;
+  while (head-- > 0) {
+    --i;
+    const std::uint64_t in_bit = (data >> i) & 1u;
+    const std::uint64_t top = (rem >> (parity_bits_ - 1)) & 1u;
+    rem = (rem << 1) & mask;
+    if (top ^ in_bit) rem ^= generator_ & mask;
+  }
+  while (i > 0) {
+    i -= 8;
+    const std::uint64_t byte = (data >> i) & 0xFFu;
+    rem = ((rem << 8) & mask) ^
+          encode_table_[((rem >> (parity_bits_ - 8)) ^ byte) & 0xFFu];
   }
   return rem;
 }
@@ -108,26 +148,35 @@ Bits BchCode::encode(std::uint64_t data) const {
   return code;
 }
 
+std::vector<unsigned> BchCode::syndromes(const Bits& received) const {
+  const std::size_t n_used = code_bits();
+  // Syndromes S_i = r(alpha^i), i = 1..2t: visit only the set codeword
+  // bits word-parallel and accumulate their precomputed rows.
+  std::vector<unsigned> syndrome(2 * t_ + 1, 0);
+  const std::size_t words = (n_used + 63) / 64;
+  for (std::size_t wi = 0; wi < words; ++wi) {
+    const std::size_t width = std::min<std::size_t>(64, n_used - wi * 64);
+    std::uint64_t w = received.word(wi) & (~std::uint64_t{0} >> (64 - width));
+    while (w) {
+      const std::size_t j = wi * 64 +
+                            static_cast<std::size_t>(std::countr_zero(w));
+      w &= w - 1;
+      const unsigned* row = &syndrome_rows_[j * 2 * t_];
+      for (unsigned i = 1; i <= 2 * t_; ++i) syndrome[i] ^= row[i - 1];
+    }
+  }
+  return syndrome;
+}
+
 DecodeResult BchCode::decode(const Bits& received) const {
   const std::size_t n_used = code_bits();
-  // Syndromes S_i = r(alpha^i), i = 1..2t.
-  std::vector<unsigned> syndrome(2 * t_ + 1, 0);
+  const std::vector<unsigned> syndrome = syndromes(received);
   bool all_zero = true;
-  for (unsigned i = 1; i <= 2 * t_; ++i) {
-    unsigned s = 0;
-    for (std::size_t j = 0; j < n_used; ++j) {
-      if (received.get(j))
-        s ^= field_.alpha_pow(static_cast<long long>(i) * static_cast<long long>(j));
-    }
-    syndrome[i] = s;
-    if (s) all_zero = false;
-  }
+  for (unsigned i = 1; i <= 2 * t_; ++i)
+    if (syndrome[i]) all_zero = false;
 
   auto extract_data = [&](const Bits& word) {
-    std::uint64_t data = 0;
-    for (std::size_t i = 0; i < data_bits_; ++i)
-      data |= static_cast<std::uint64_t>(word.get(parity_bits_ + i)) << i;
-    return data;
+    return word.extract(parity_bits_, data_bits_);
   };
 
   DecodeResult result;
@@ -176,17 +225,22 @@ DecodeResult BchCode::decode(const Bits& received) const {
   }
 
   // Chien search over the *used* positions (shortened code: an error
-  // located beyond n_used means the decode is invalid).
+  // located beyond n_used means the decode is invalid).  Incremental:
+  // term c starts at sigma_c and is multiplied by alpha^-c per step, so
+  // each candidate position costs |sigma| table multiplies.
   Bits corrected = received;
   int found = 0;
+  std::vector<unsigned> term(sigma.size()), step(sigma.size());
+  for (std::size_t c = 0; c < sigma.size(); ++c) {
+    term[c] = sigma[c];
+    step[c] = field_.alpha_pow(-static_cast<long long>(c));
+  }
   for (std::size_t j = 0; j < static_cast<std::size_t>(field_.order()); ++j) {
     // sigma(alpha^-j) == 0  <=>  error at position j.
     unsigned value = 0;
     for (std::size_t c = 0; c < sigma.size(); ++c) {
-      if (sigma[c] == 0) continue;
-      value ^= field_.mul(
-          sigma[c], field_.alpha_pow(-static_cast<long long>(c) *
-                                     static_cast<long long>(j)));
+      value ^= term[c];
+      term[c] = field_.mul(term[c], step[c]);
     }
     if (value == 0) {
       if (j >= n_used) {

@@ -34,6 +34,13 @@ class BchCode final : public BlockCode {
   /// Generator polynomial (GF(2), LSB-first).
   std::uint64_t generator() const { return generator_; }
 
+  /// Syndromes S_1..S_2t of a received word (index 0 unused) — the
+  /// values Berlekamp-Massey consumes.  Computed word-parallel: only
+  /// the set bits of the codeword are visited, each adding a
+  /// precomputed alpha-power row.  Exposed so the equivalence suite can
+  /// check it against the per-position reference loop.
+  std::vector<unsigned> syndromes(const Bits& received) const;
+
  private:
   std::uint64_t parity_of(std::uint64_t data) const;
 
@@ -42,6 +49,13 @@ class BchCode final : public BlockCode {
   std::size_t data_bits_;
   std::size_t parity_bits_;
   std::uint64_t generator_ = 0;
+
+  /// syndrome_rows_[j * 2t + (i-1)] = alpha^(i*j): position j's
+  /// contribution to syndrome S_i.
+  std::vector<unsigned> syndrome_rows_;
+  /// CRC-style byte table for the systematic parity (parity_bits_ >= 8
+  /// only): remainder update for eight data bits at once.
+  std::vector<std::uint64_t> encode_table_;
 };
 
 /// The OCEAN protected-buffer code: 32 data bits, t = 4, 24 parity bits

@@ -52,6 +52,36 @@ class Bits {
     return n;
   }
 
+  /// Number of 64-bit storage words.
+  static constexpr std::size_t word_count() { return kCapacity / 64; }
+
+  /// Raw 64-bit storage word `w` (bits [64w, 64w+64)).
+  std::uint64_t word(std::size_t w) const {
+    NTC_REQUIRE(w < word_count());
+    return words_[w];
+  }
+
+  /// Overwrite storage word `w` wholesale (bulk codeword assembly).
+  void set_word(std::size_t w, std::uint64_t value) {
+    NTC_REQUIRE(w < word_count());
+    words_[w] = value;
+  }
+
+  /// Extract bits [pos, pos + count) as a uint64, LSB-first.  Branch
+  /// free: the double shift keeps the cross-word funnel defined for
+  /// every alignment, and the trailing mask discards the self-aliased
+  /// high word in the pos >= 192 case.
+  std::uint64_t extract(std::size_t pos, std::size_t count) const {
+    NTC_REQUIRE(count >= 1 && count <= 64);
+    NTC_REQUIRE(pos + count <= kCapacity);
+    const std::size_t w = pos >> 6;
+    const std::size_t sh = pos & 63;
+    const std::size_t hi_idx = (w + 1 < word_count()) ? w + 1 : w;
+    const std::uint64_t lo = words_[w] >> sh;
+    const std::uint64_t hi = (words_[hi_idx] << 1) << (63 - sh);
+    return (lo | hi) & (~std::uint64_t{0} >> (64 - count));
+  }
+
   bool any() const {
     for (auto w : words_)
       if (w) return true;

@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "ecc/bitops.hpp"
+
 namespace ntc::ecc {
 
 namespace {
@@ -18,6 +20,51 @@ HammingSecded::HammingSecded(std::size_t data_bits) : k_(data_bits) {
   NTC_REQUIRE(data_bits >= 4 && data_bits <= 64);
   r_ = parity_bits_for(k_);
   n_ = k_ + r_ + 1;
+  NTC_REQUIRE(r_ <= 8 && n_ <= 128);
+
+  const std::size_t m = k_ + r_;
+  auto lo_bit = [](std::size_t pos) {
+    return pos < 64 ? std::uint64_t{1} << pos : 0;
+  };
+  auto hi_bit = [](std::size_t pos) {
+    return pos >= 64 ? std::uint64_t{1} << (pos - 64) : 0;
+  };
+
+  // Contiguous data runs between parity powers of two, and the
+  // overall-parity cover mask.
+  std::size_t bit = 0;
+  for (std::size_t pos = 1; pos <= m; ++pos) {
+    if (!is_parity_position(pos)) {
+      const bool extend = !runs_.empty() &&
+                          runs_.back().word == (pos >> 6) &&
+                          runs_.back().shift + std::popcount(runs_.back().mask) ==
+                              static_cast<int>(pos & 63);
+      if (extend) {
+        runs_.back().mask = (runs_.back().mask << 1) | 1u;
+      } else {
+        runs_.push_back(Run{static_cast<std::uint8_t>(pos >> 6),
+                            static_cast<std::uint8_t>(pos & 63),
+                            static_cast<std::uint8_t>(bit), 1u});
+      }
+      ++bit;
+    }
+    all_lo_ |= lo_bit(pos);
+    all_hi_ |= hi_bit(pos);
+  }
+  all_lo_ |= 1u;  // overall parity covers position 0 too
+
+  // Per-byte XOR-of-positions tables.  Bit j of the accumulated XOR is
+  // the parity of the count of set positions with bit j — i.e. the
+  // syndrome (and, applied to the scattered data alone, parity bit j).
+  code_bytes_ = (m + 8) / 8;  // positions 0..m
+  for (std::size_t b = 0; b < code_bytes_; ++b) {
+    for (std::size_t v = 1; v < 256; ++v) {
+      const std::size_t pos = b * 8 + static_cast<std::size_t>(std::countr_zero(v));
+      const std::uint8_t contrib =
+          (pos >= 1 && pos <= m) ? static_cast<std::uint8_t>(pos) : 0;
+      syn_tab_[b][v] = static_cast<std::uint8_t>(syn_tab_[b][v & (v - 1)] ^ contrib);
+    }
+  }
 }
 
 std::string HammingSecded::name() const {
@@ -30,50 +77,48 @@ bool HammingSecded::is_parity_position(std::size_t pos) const {
 
 Bits HammingSecded::encode(std::uint64_t data) const {
   if (k_ < 64) NTC_REQUIRE((data >> k_) == 0);
-  Bits code;
   // Scatter data into non-power-of-two Hamming positions 3,5,6,7,...
-  std::size_t bit = 0;
-  const std::size_t m = k_ + r_;
-  for (std::size_t pos = 1; pos <= m; ++pos) {
-    if (is_parity_position(pos)) continue;
-    code.set(pos, (data >> bit) & 1u);
-    ++bit;
+  std::uint64_t w[2] = {0, 0};
+  for (const Run& run : runs_)
+    w[run.word] |= ((data >> run.bit) & run.mask) << run.shift;
+  // Parity bit at position 2^j covers every data position with bit j
+  // set, so it is bit j of the XOR of the set data positions.
+  std::uint64_t parities = 0;
+  for (std::size_t b = 0; b < code_bytes_; ++b) {
+    const std::uint64_t word = b < 8 ? w[0] : w[1];
+    parities ^= syn_tab_[b][(word >> ((b & 7) * 8)) & 0xFFu];
   }
-  // Parity bit at position 2^j covers every position with bit j set.
   for (std::size_t j = 0; j < r_; ++j) {
     const std::size_t p = std::size_t{1} << j;
-    bool parity = false;
-    for (std::size_t pos = 1; pos <= m; ++pos) {
-      if (pos == p || !(pos & p)) continue;
-      parity ^= code.get(pos);
-    }
-    code.set(p, parity);
+    w[p >> 6] |= ((parities >> j) & 1u) << (p & 63);
   }
   // Overall parity over the whole word (position 0) makes total even.
-  bool overall = false;
-  for (std::size_t pos = 1; pos <= m; ++pos) overall ^= code.get(pos);
-  code.set(0, overall);
+  w[0] |= parity128(w[0], w[1]);
+  Bits code;
+  code.set_word(0, w[0]);
+  code.set_word(1, w[1]);
   return code;
 }
 
 DecodeResult HammingSecded::decode(const Bits& received) const {
-  const std::size_t m = k_ + r_;
-  // Syndrome: XOR of the positions of all set bits.
-  std::size_t syndrome = 0;
-  bool overall = received.get(0);
-  for (std::size_t pos = 1; pos <= m; ++pos) {
-    if (received.get(pos)) {
-      syndrome ^= pos;
-      overall ^= true;
-    }
+  const std::uint64_t w0 = received.word(0) & all_lo_;
+  const std::uint64_t w1 = received.word(1) & all_hi_;
+  // Syndrome: XOR of the positions of all set bits; overall parity of
+  // the whole word including position 0.
+  std::uint64_t syndrome = 0;
+  for (std::size_t b = 0; b < code_bytes_; ++b) {
+    const std::uint64_t w = b < 8 ? w0 : w1;
+    syndrome ^= syn_tab_[b][(w >> ((b & 7) * 8)) & 0xFFu];
   }
-  Bits corrected = received;
+  const bool overall = parity128(w0, w1) != 0;
+
+  const std::size_t m = k_ + r_;
+  std::uint64_t c[2] = {w0, w1};
   DecodeResult result;
   if (syndrome == 0 && !overall) {
     result.status = DecodeStatus::Ok;
   } else if (syndrome == 0 && overall) {
-    // The overall parity bit itself flipped.
-    corrected.flip(0);
+    // The overall parity bit itself flipped; data is untouched.
     result.status = DecodeStatus::Corrected;
     result.corrected_bits = 1;
   } else if (overall) {
@@ -81,7 +126,7 @@ DecodeResult HammingSecded::decode(const Bits& received) const {
     // error at `syndrome` (a triple error mis-corrects here — the
     // SECDED failure mode).
     if (syndrome <= m) {
-      corrected.flip(syndrome);
+      c[syndrome >> 6] ^= std::uint64_t{1} << (syndrome & 63);
       result.status = DecodeStatus::Corrected;
       result.corrected_bits = 1;
     } else {
@@ -91,14 +136,10 @@ DecodeResult HammingSecded::decode(const Bits& received) const {
     // Even parity with nonzero syndrome: double error, detected.
     result.status = DecodeStatus::DetectedUncorrectable;
   }
-  // Gather data bits back out.
+  // Gather data bits back out through the run shifts.
   std::uint64_t data = 0;
-  std::size_t bit = 0;
-  for (std::size_t pos = 1; pos <= m; ++pos) {
-    if (is_parity_position(pos)) continue;
-    data |= static_cast<std::uint64_t>(corrected.get(pos)) << bit;
-    ++bit;
-  }
+  for (const Run& run : runs_)
+    data |= ((c[run.word] >> run.shift) & run.mask) << run.bit;
   result.data = data;
   return result;
 }

@@ -6,7 +6,19 @@
 // implementation usually synthesised in hardware.  A triple-bit error
 // aliases to a valid single-error syndrome and mis-corrects — exactly
 // the failure mode that sets the SECDED minimum voltage in Table 2.
+//
+// The kernels are bit-parallel: data scatters into the Hamming
+// positions through precomputed contiguous-run shifts (the data
+// positions between consecutive parity powers of two are contiguous),
+// and the syndrome is the XOR of per-byte position tables (the XOR of
+// the positions of all set bits; bit j of that XOR is exactly parity
+// bit j, so the encoder shares the tables).  tests/ecc_reference.hpp
+// keeps the original bit-serial kernels for the exhaustive equivalence
+// suite.
 #pragma once
+
+#include <array>
+#include <vector>
 
 #include "ecc/code.hpp"
 
@@ -35,9 +47,28 @@ class HammingSecded final : public BlockCode {
   // classic Hamming positions (powers of two hold parity).
   bool is_parity_position(std::size_t pos) const;
 
+  /// A maximal run of data positions between two parity powers of two:
+  /// codeword bits [pos, pos+len) hold data bits [bit, bit+len).
+  struct Run {
+    std::uint8_t word;   ///< codeword storage word (0 or 1)
+    std::uint8_t shift;  ///< bit offset within that word
+    std::uint8_t bit;    ///< first data-bit index
+    std::uint64_t mask;  ///< (1 << len) - 1
+  };
+
   std::size_t k_;  // data bits
   std::size_t r_;  // Hamming parity bits
   std::size_t n_;  // total bits = k + r + 1
+
+  // Bit-parallel kernel state (fixed by the layout at construction).
+  // syn_tab_[b][v] is the XOR of the codeword positions selected by the
+  // set bits of byte b holding value v (position 0 and positions beyond
+  // the codeword contribute zero).
+  std::vector<Run> runs_;
+  std::size_t code_bytes_ = 0;  // ceil(n_ / 8)
+  std::array<std::array<std::uint8_t, 256>, 9> syn_tab_{};
+  std::uint64_t all_lo_ = 0;  // positions 0..m (overall parity cover)
+  std::uint64_t all_hi_ = 0;
 };
 
 /// The paper's memory-word configuration.

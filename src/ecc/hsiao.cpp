@@ -2,7 +2,25 @@
 
 #include <bit>
 
+#include "ecc/bitops.hpp"
+
 namespace ntc::ecc {
+
+namespace {
+
+/// Split a single bit positioned at `offset` of a 128-bit codeword into
+/// its word-0 / word-1 halves.  Branch free: the double shifts stay
+/// defined for offset 0 and 64.
+inline std::uint64_t field_lo(std::uint64_t field, std::size_t offset) {
+  return (field << (offset & 63)) * static_cast<std::uint64_t>(offset < 64);
+}
+
+inline std::uint64_t field_hi(std::uint64_t field, std::size_t offset) {
+  if (offset >= 64) return field << (offset - 64);
+  return (field >> 1) >> (63 - offset);
+}
+
+}  // namespace
 
 HsiaoSecded::HsiaoSecded(std::size_t data_bits) : k_(data_bits) {
   NTC_REQUIRE(data_bits >= 4 && data_bits <= 64);
@@ -19,6 +37,7 @@ HsiaoSecded::HsiaoSecded(std::size_t data_bits) : k_(data_bits) {
     return total;
   };
   while (capacity(r_) < k_) ++r_;
+  NTC_REQUIRE(r_ <= 8);  // flip_lut_/syndrome tables assume 8-bit syndromes
   // Assign data columns: all odd-weight (>=3) masks in increasing weight
   // then numeric order — the canonical Hsiao construction keeps per-row
   // weight balanced well enough for the energy model.
@@ -30,6 +49,35 @@ HsiaoSecded::HsiaoSecded(std::size_t data_bits) : k_(data_bits) {
     }
   }
   NTC_REQUIRE(column_.size() == k_);
+
+  data_mask_ = ~std::uint64_t{0} >> (64 - k_);
+  data_bytes_ = (k_ + 7) / 8;
+  code_bytes_ = (k_ + r_ + 7) / 8;
+
+  // Per-byte column-contribution tables.  Column of codeword position
+  // p: H column for data bits (p < k), unit vector for check bits
+  // (k <= p < k+r), zero beyond the codeword.
+  auto column_at = [&](std::size_t pos) -> std::uint8_t {
+    if (pos < k_) return column_[pos];
+    if (pos < k_ + r_) return static_cast<std::uint8_t>(1u << (pos - k_));
+    return 0;
+  };
+  for (std::size_t b = 0; b < code_bytes_; ++b) {
+    for (std::size_t v = 1; v < 256; ++v) {
+      const std::size_t low = static_cast<std::size_t>(std::countr_zero(v));
+      syn_tab_[b][v] = static_cast<std::uint8_t>(syn_tab_[b][v & (v - 1)] ^
+                                                 column_at(b * 8 + low));
+    }
+  }
+
+  // Syndrome -> flip position.  Data columns have odd weight >= 3 and
+  // check columns are the weight-1 unit vectors, so the two key sets
+  // cannot collide; every other syndrome maps to "no single-bit match".
+  flip_lut_.fill(kNoFlip);
+  for (std::size_t i = 0; i < k_; ++i)
+    flip_lut_[column_[i]] = static_cast<std::uint8_t>(i);
+  for (std::size_t j = 0; j < r_; ++j)
+    flip_lut_[std::size_t{1} << j] = static_cast<std::uint8_t>(k_ + j);
 }
 
 std::string HsiaoSecded::name() const {
@@ -44,48 +92,42 @@ std::size_t HsiaoSecded::h_matrix_ones() const {
 
 Bits HsiaoSecded::encode(std::uint64_t data) const {
   if (k_ < 64) NTC_REQUIRE((data >> k_) == 0);
-  Bits code;
   // Systematic layout: data bits at [0, k), check bits at [k, k+r).
-  std::uint8_t checks = 0;
-  for (std::size_t i = 0; i < k_; ++i) {
-    const bool bit = (data >> i) & 1u;
-    code.set(i, bit);
-    if (bit) checks ^= column_[i];
-  }
-  for (std::size_t j = 0; j < r_; ++j) code.set(k_ + j, (checks >> j) & 1u);
+  // The check bits are the XOR of the data columns, which is exactly
+  // the syndrome of the data bytes alone.
+  std::uint64_t checks = 0;
+  for (std::size_t b = 0; b < data_bytes_; ++b)
+    checks ^= syn_tab_[b][(data >> (b * 8)) & 0xFFu];
+  Bits code;
+  code.set_word(0, data | field_lo(checks, k_));
+  code.set_word(1, field_hi(checks, k_));
   return code;
 }
 
 std::uint8_t HsiaoSecded::syndrome_of(const Bits& word) const {
-  std::uint8_t syndrome = 0;
-  for (std::size_t i = 0; i < k_; ++i)
-    if (word.get(i)) syndrome ^= column_[i];
-  for (std::size_t j = 0; j < r_; ++j)
-    if (word.get(k_ + j)) syndrome ^= static_cast<std::uint8_t>(1u << j);
-  return syndrome;
+  const std::uint64_t w0 = word.word(0);
+  const std::uint64_t w1 = word.word(1);
+  std::uint64_t syndrome = 0;
+  for (std::size_t b = 0; b < code_bytes_; ++b) {
+    const std::uint64_t w = b < 8 ? w0 : w1;
+    syndrome ^= syn_tab_[b][(w >> ((b & 7) * 8)) & 0xFFu];
+  }
+  return static_cast<std::uint8_t>(syndrome);
 }
 
 DecodeResult HsiaoSecded::decode(const Bits& received) const {
   DecodeResult result;
-  Bits corrected = received;
+  std::uint64_t w0 = received.word(0);
   const std::uint8_t syndrome = syndrome_of(received);
   if (syndrome == 0) {
     result.status = DecodeStatus::Ok;
-  } else if (std::popcount(syndrome) % 2 == 1) {
+  } else if (parity64(syndrome) != 0) {
     // Odd-weight syndrome: single error (or mis-corrected triple).
-    bool matched = false;
-    for (std::size_t i = 0; i < k_; ++i) {
-      if (column_[i] == syndrome) {
-        corrected.flip(i);
-        matched = true;
-        break;
-      }
-    }
-    if (!matched && std::has_single_bit(syndrome)) {
-      corrected.flip(k_ + static_cast<std::size_t>(std::countr_zero(syndrome)));
-      matched = true;
-    }
-    if (matched) {
+    const std::uint8_t pos = flip_lut_[syndrome];
+    if (pos != kNoFlip) {
+      // Only a data-bit flip (< 64) can change the extracted word; the
+      // trailing data_mask_ discards check-bit flips branch-free.
+      w0 ^= field_lo(1, pos);
       result.status = DecodeStatus::Corrected;
       result.corrected_bits = 1;
     } else {
@@ -96,10 +138,7 @@ DecodeResult HsiaoSecded::decode(const Bits& received) const {
     // Even-weight nonzero syndrome: double error.
     result.status = DecodeStatus::DetectedUncorrectable;
   }
-  std::uint64_t data = 0;
-  for (std::size_t i = 0; i < k_; ++i)
-    data |= static_cast<std::uint64_t>(corrected.get(i)) << i;
-  result.data = data;
+  result.data = w0 & data_mask_;
   return result;
 }
 

@@ -1,6 +1,7 @@
 #include "ecc/interleave.hpp"
 
 #include "common/assert.hpp"
+#include "ecc/bitops.hpp"
 #include "ecc/hamming.hpp"
 
 namespace ntc::ecc {
@@ -15,6 +16,32 @@ InterleavedCode::InterleavedCode(std::vector<std::unique_ptr<BlockCode>> lanes)
   }
   NTC_REQUIRE(data_bits() <= 64);
   NTC_REQUIRE(code_bits() <= Bits::kCapacity);
+
+  // Precompute the lane scatter/gather masks (see LaneMap).
+  const std::size_t ways = lanes_.size();
+  const std::size_t lane_k = lanes_[0]->data_bits();
+  const std::size_t lane_n = lanes_[0]->code_bits();
+  if (lane_n <= 64) {
+    maps_.resize(ways);
+    for (std::size_t lane = 0; lane < ways; ++lane) {
+      LaneMap& map = maps_[lane];
+      for (std::size_t i = 0; i < lane_k; ++i)
+        map.data_mask |= std::uint64_t{1} << (lane + i * ways);
+      // Lane codeword bits land in storage-word order, so the running
+      // offset says how many lane bits earlier words consumed.
+      std::size_t consumed = 0;
+      for (std::size_t w = 0; w < map.code_mask.size(); ++w) {
+        map.code_offset[w] = static_cast<std::uint8_t>(consumed);
+        for (std::size_t i = 0; i < lane_n; ++i) {
+          const std::size_t pos = lane + i * ways;
+          if (pos >> 6 == w) {
+            map.code_mask[w] |= std::uint64_t{1} << (pos & 63);
+            ++consumed;
+          }
+        }
+      }
+    }
+  }
 }
 
 std::string InterleavedCode::name() const {
@@ -46,6 +73,19 @@ Bits InterleavedCode::encode(std::uint64_t data) const {
   const std::size_t lane_k = lanes_[0]->data_bits();
   const std::size_t lane_n = lanes_[0]->code_bits();
   Bits out;
+  if (!maps_.empty()) {
+    for (std::size_t lane = 0; lane < ways; ++lane) {
+      const LaneMap& map = maps_[lane];
+      const Bits lane_code = lanes_[lane]->encode(pext64(data, map.data_mask));
+      const std::uint64_t bits = lane_code.word(0);
+      for (std::size_t w = 0; w < map.code_mask.size(); ++w) {
+        if (!map.code_mask[w]) continue;
+        out.set_word(w, out.word(w) |
+                            pdep64(bits >> map.code_offset[w], map.code_mask[w]));
+      }
+    }
+    return out;
+  }
   for (std::size_t lane = 0; lane < ways; ++lane) {
     // Lane takes data bits lane, lane+ways, lane+2*ways, ...
     std::uint64_t lane_data = 0;
@@ -70,12 +110,26 @@ DecodeResult InterleavedCode::decode(const Bits& received) const {
   std::uint64_t data = 0;
   for (std::size_t lane = 0; lane < ways; ++lane) {
     Bits lane_code;
-    for (std::size_t i = 0; i < lane_n; ++i)
-      lane_code.set(i, received.get(lane + i * ways));
+    if (!maps_.empty()) {
+      const LaneMap& map = maps_[lane];
+      std::uint64_t bits = 0;
+      for (std::size_t w = 0; w < map.code_mask.size(); ++w) {
+        if (!map.code_mask[w]) continue;
+        bits |= pext64(received.word(w), map.code_mask[w]) << map.code_offset[w];
+      }
+      lane_code.set_word(0, bits);
+    } else {
+      for (std::size_t i = 0; i < lane_n; ++i)
+        lane_code.set(i, received.get(lane + i * ways));
+    }
     const DecodeResult lane_result = lanes_[lane]->decode(lane_code);
-    for (std::size_t i = 0; i < lane_k; ++i) {
-      data |= static_cast<std::uint64_t>((lane_result.data >> i) & 1u)
-              << (lane + i * ways);
+    if (!maps_.empty()) {
+      data |= pdep64(lane_result.data, maps_[lane].data_mask);
+    } else {
+      for (std::size_t i = 0; i < lane_k; ++i) {
+        data |= static_cast<std::uint64_t>((lane_result.data >> i) & 1u)
+                << (lane + i * ways);
+      }
     }
     result.corrected_bits += lane_result.corrected_bits;
     if (lane_result.status == DecodeStatus::DetectedUncorrectable) {

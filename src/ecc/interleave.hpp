@@ -8,6 +8,7 @@
 // one lane — the bench quantifies the difference.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <vector>
 
@@ -36,7 +37,20 @@ class InterleavedCode final : public BlockCode {
   DecodeResult decode(const Bits& received) const override;
 
  private:
+  /// Per-lane scatter/gather masks: lane codeword bit i lives at
+  /// interleaved position lane + i*ways, so the lane's bits within each
+  /// 64-bit storage word of the interleaved codeword form a fixed mask
+  /// and one pext/pdep per word moves them all at once.  Usable when
+  /// the lane codeword fits one word (every composition in the library;
+  /// a 1-way lane wider than 64 bits falls back to the bit loop).
+  struct LaneMap {
+    std::uint64_t data_mask = 0;  ///< lane's data bits within the data word
+    std::array<std::uint64_t, Bits::kCapacity / 64> code_mask{};
+    std::array<std::uint8_t, Bits::kCapacity / 64> code_offset{};
+  };
+
   std::vector<std::unique_ptr<BlockCode>> lanes_;
+  std::vector<LaneMap> maps_;  ///< empty when the fast path is unusable
 };
 
 /// 4-way interleaved SECDED(22,16): 64 data bits, 88 code bits.

@@ -71,7 +71,13 @@ FaultEvent FaultEvent::write_burst(std::uint32_t word, std::uint64_t bit_mask,
 
 ScenarioInjector::ScenarioInjector(std::vector<FaultEvent> events) {
   events_.reserve(events.size());
-  for (auto& e : events) events_.push_back(Armed{std::move(e), false});
+  for (auto& e : events) {
+    if (stuck_kind(e.kind) &&
+        (e.arm_at_access != 0 ||
+         e.disarm_at_access != std::numeric_limits<std::uint64_t>::max()))
+      overlay_stationary_ = false;
+    events_.push_back(Armed{std::move(e), false});
+  }
 }
 
 bool ScenarioInjector::stuck_kind(FaultEvent::Kind kind) {

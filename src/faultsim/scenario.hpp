@@ -97,6 +97,10 @@ class ScenarioInjector final : public sim::FaultInjector {
                      std::uint64_t& mask, std::uint64_t& value) override;
   std::uint64_t access_flips(sim::AccessKind kind, std::uint32_t index,
                              const sim::FaultContext& ctx) override;
+  /// True when no stuck event is windowed on the access counter, so the
+  /// overlay only changes with the supply (voltage healing is fine: the
+  /// array re-derives its cache on every set_vdd).
+  bool overlay_is_stationary() const override { return overlay_stationary_; }
 
   /// Number of transient/burst flip activations so far.
   std::uint64_t events_fired() const { return events_fired_; }
@@ -117,6 +121,7 @@ class ScenarioInjector final : public sim::FaultInjector {
 
   std::vector<Armed> events_;
   std::uint64_t events_fired_ = 0;
+  bool overlay_stationary_ = true;
 };
 
 }  // namespace ntc::faultsim

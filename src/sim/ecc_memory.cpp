@@ -5,17 +5,14 @@
 namespace ntc::sim {
 
 std::uint64_t pack_codeword(const ecc::Bits& code, std::size_t bits) {
-  NTC_REQUIRE(bits <= 64);
-  std::uint64_t out = 0;
-  for (std::size_t i = 0; i < bits; ++i)
-    out |= static_cast<std::uint64_t>(code.get(i)) << i;
-  return out;
+  NTC_REQUIRE(bits >= 1 && bits <= 64);
+  return code.extract(0, bits);
 }
 
 ecc::Bits unpack_codeword(std::uint64_t raw, std::size_t bits) {
-  NTC_REQUIRE(bits <= 64);
+  NTC_REQUIRE(bits >= 1 && bits <= 64);
   ecc::Bits out;
-  for (std::size_t i = 0; i < bits; ++i) out.set(i, (raw >> i) & 1u);
+  out.set_word(0, raw & (~std::uint64_t{0} >> (64 - bits)));
   return out;
 }
 

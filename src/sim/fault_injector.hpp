@@ -62,6 +62,13 @@ class FaultInjector {
   /// The supply (or the injector chain) changed; re-derive any
   /// voltage-dependent fault state before the next stuck_overlay().
   virtual void on_operating_point(const FaultContext& ctx) { (void)ctx; }
+
+  /// True when stuck_overlay() cannot change between on_operating_point
+  /// calls (no dependence on the access counter).  Lets SramModule
+  /// cache the merged overlay per word instead of re-walking the chain
+  /// on every access; injectors with access-armed stuck events must
+  /// keep the default false.
+  virtual bool overlay_is_stationary() const { return false; }
 };
 
 }  // namespace ntc::sim

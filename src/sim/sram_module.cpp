@@ -27,15 +27,6 @@ SramModule::SramModule(std::string name, std::uint32_t words,
   derive_fault_state();
 }
 
-FaultContext SramModule::context() const {
-  FaultContext ctx;
-  ctx.words = words();
-  ctx.stored_bits = stored_bits_;
-  ctx.vdd = vdd_;
-  ctx.access_count = stats_.reads + stats_.writes;
-  return ctx;
-}
-
 void SramModule::merged_overlay(std::uint32_t index, const FaultContext& ctx,
                                 std::uint64_t& mask_bits,
                                 std::uint64_t& value_bits) const {
@@ -58,18 +49,56 @@ std::uint64_t SramModule::gather_flips(AccessKind kind, std::uint32_t index,
 }
 
 void SramModule::derive_fault_state() {
-  const FaultContext ctx = context();
-  for (const auto& injector : injectors_) injector->on_operating_point(ctx);
+  ctx_.words = words();
+  ctx_.stored_bits = stored_bits_;
+  ctx_.vdd = vdd_;
+  ctx_.access_count = stats_.reads + stats_.writes;
+  for (const auto& injector : injectors_) injector->on_operating_point(ctx_);
+
+  // The merged overlay can be cached per word only while no injector's
+  // overlay depends on the access counter; it is re-derived here on
+  // every operating-point or chain change, so voltage-dependent stuck
+  // state (healing) stays exact.
+  overlay_cached_ = true;
+  for (const auto& injector : injectors_)
+    if (!injector->overlay_is_stationary()) overlay_cached_ = false;
+  if (overlay_cached_) {
+    overlay_mask_.assign(words(), 0);
+    overlay_value_.assign(words(), 0);
+  } else {
+    overlay_mask_.clear();
+    overlay_value_.clear();
+  }
+
   stats_.stuck_bits = 0;
+  bool any_overlay = false;
   for (std::uint32_t w = 0; w < words(); ++w) {
     std::uint64_t m = 0, v = 0;
-    merged_overlay(w, ctx, m, v);
+    merged_overlay(w, ctx_, m, v);
     // A forced cell physically flips to its imposed state: commit the
     // loss so data stays corrupted even if the rail is raised again
     // later (drowsy-mode data loss is real).
     data_[w] = (data_[w] & ~m) | (v & m);
     stats_.stuck_bits +=
         static_cast<std::uint64_t>(__builtin_popcountll(m));
+    if (overlay_cached_) {
+      overlay_mask_[w] = m;
+      overlay_value_[w] = v & m;
+    }
+    any_overlay = any_overlay || m != 0;
+  }
+  overlay_zero_ = overlay_cached_ && !any_overlay;
+
+  // Access flips are possible whenever the stochastic rate is nonzero
+  // or any scripted injector is attached (its burst events arm on the
+  // access counter, so assume the worst).
+  flips_possible_ = false;
+  for (const auto& injector : injectors_) {
+    if (injector == stochastic_) {
+      if (stochastic_->p_access() > 0.0) flips_possible_ = true;
+    } else {
+      flips_possible_ = true;
+    }
   }
 }
 
@@ -92,13 +121,30 @@ double SramModule::access_error_probability() const {
 std::uint64_t SramModule::read_raw(std::uint32_t index) {
   NTC_REQUIRE(index < words());
   ++stats_.reads;
-  const FaultContext ctx = context();
+  ++ctx_.access_count;
+  if (!flips_possible_) {
+    // Fault-free fast path: no transient flips pending and the stuck
+    // overlay is known, so the access is a plain array load.
+    if (overlay_zero_) return data_[index] & mask();
+    if (overlay_cached_) {
+      const std::uint64_t m = overlay_mask_[index];
+      return ((data_[index] & ~m) | overlay_value_[index]) & mask();
+    }
+  }
   std::uint64_t m = 0, v = 0;
-  merged_overlay(index, ctx, m, v);
-  std::uint64_t value = (data_[index] & ~m) | (v & m);
-  const std::uint64_t flips = gather_flips(AccessKind::Read, index, ctx);
-  stats_.injected_read_flips +=
-      static_cast<std::uint64_t>(__builtin_popcountll(flips));
+  if (overlay_cached_) {
+    m = overlay_mask_[index];
+    v = overlay_value_[index];
+  } else {
+    merged_overlay(index, ctx_, m, v);
+  }
+  const std::uint64_t value = (data_[index] & ~m) | v;
+  std::uint64_t flips = 0;
+  if (flips_possible_) {
+    flips = gather_flips(AccessKind::Read, index, ctx_);
+    stats_.injected_read_flips +=
+        static_cast<std::uint64_t>(__builtin_popcountll(flips));
+  }
   return (value ^ flips) & mask();
 }
 
@@ -106,8 +152,12 @@ void SramModule::write_raw(std::uint32_t index, std::uint64_t value) {
   NTC_REQUIRE(index < words());
   NTC_REQUIRE((value & ~mask()) == 0);
   ++stats_.writes;
-  const FaultContext ctx = context();
-  const std::uint64_t flips = gather_flips(AccessKind::Write, index, ctx);
+  ++ctx_.access_count;
+  if (!flips_possible_) {
+    data_[index] = value;
+    return;
+  }
+  const std::uint64_t flips = gather_flips(AccessKind::Write, index, ctx_);
   stats_.injected_write_flips +=
       static_cast<std::uint64_t>(__builtin_popcountll(flips));
   data_[index] = (value ^ flips) & mask();

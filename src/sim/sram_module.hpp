@@ -59,7 +59,12 @@ class SramModule {
   void write_raw(std::uint32_t index, std::uint64_t value);
 
   const SramStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = SramStats{}; }
+  void reset_stats() {
+    stats_ = SramStats{};
+    // The access counter arming scripted events is derived from the
+    // stats, so it restarts with them.
+    ctx_.access_count = 0;
+  }
 
   /// Current per-bit access error probability of the stochastic model
   /// (0 when fault injection is disabled).
@@ -70,7 +75,6 @@ class SramModule {
     return stored_bits_ == 64 ? ~std::uint64_t{0}
                               : ((std::uint64_t{1} << stored_bits_) - 1);
   }
-  FaultContext context() const;
   /// Merged stuck overlay for `index` (earlier injectors win on
   /// overlapping bits).
   void merged_overlay(std::uint32_t index, const FaultContext& ctx,
@@ -91,6 +95,18 @@ class SramModule {
   std::shared_ptr<class StochasticInjector> stochastic_;
   std::vector<std::shared_ptr<FaultInjector>> injectors_;
   SramStats stats_;
+
+  /// Context handed to the injector hooks, updated incrementally per
+  /// access instead of being rebuilt from the stats every time.
+  FaultContext ctx_;
+  /// Per-word merged overlay cache, valid while every injector reports
+  /// a stationary overlay (invalidated by derive_fault_state, i.e. on
+  /// every set_vdd/attach_injector).
+  std::vector<std::uint64_t> overlay_mask_;
+  std::vector<std::uint64_t> overlay_value_;
+  bool overlay_cached_ = false;
+  bool overlay_zero_ = false;      ///< cache valid and entirely empty
+  bool flips_possible_ = false;    ///< some injector may flip accesses
 };
 
 }  // namespace ntc::sim

@@ -1,5 +1,6 @@
 #include "sim/stochastic_injector.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/assert.hpp"
@@ -19,22 +20,42 @@ StochasticInjector::StochasticInjector(reliability::AccessErrorModel access,
   NTC_REQUIRE(words > 0);
   NTC_REQUIRE(stored_bits >= 1 && stored_bits <= 64);
   // Per-cell mismatch deviates are the silicon fingerprint of this
-  // instance; they persist across voltage changes.
-  cell_sigma_.resize(static_cast<std::size_t>(words) * stored_bits_);
+  // instance; they persist across voltage changes, so fold them into
+  // per-cell retention V_min once.  The deviates pass through float
+  // like the original per-access model evaluation did, keeping the
+  // derived V_min bit-identical.
+  const std::size_t cells = static_cast<std::size_t>(words) * stored_bits_;
+  cell_vmin_.resize(cells);
   Rng sigma_rng = rng_.fork(0x51d3);
-  for (auto& s : cell_sigma_) s = static_cast<float>(sigma_rng.normal());
+  for (auto& vmin : cell_vmin_) {
+    const double sigma = static_cast<float>(sigma_rng.normal());
+    vmin = retention_.cell_retention_vmin(sigma).value;
+  }
 }
 
 void StochasticInjector::on_operating_point(const FaultContext& ctx) {
   p_access_ = access_.p_bit_err(ctx.vdd);
   p_no_flip_ = std::pow(1.0 - p_access_, static_cast<double>(stored_bits_));
+  // The failing set {V_min > vdd} is monotone in the supply, so sets at
+  // two voltages are nested and equal counts mean an identical set —
+  // and, because the value stream is forked fresh per operating point
+  // and consumed in cell order, identical stuck values too: skip the
+  // redraw entirely.
+  const double vdd = ctx.vdd.value;
+  const std::size_t count = static_cast<std::size_t>(std::count_if(
+      cell_vmin_.begin(), cell_vmin_.end(),
+      [vdd](double vmin) { return vmin > vdd; }));
+  if (count == stuck_count_) return;
+  stuck_count_ = count;
+
+  // Redraw in ascending cell order — the order the full words x bits
+  // rescan visited the failing cells — so results stay bit-exact.
   Rng stuck_rng = rng_.fork(0x57);
-  for (std::uint32_t w = 0; w < ctx.words; ++w) {
+  const double* vmin = cell_vmin_.data();
+  for (std::size_t w = 0; w < stuck_mask_.size(); ++w) {
     std::uint64_t mask_bits = 0, value_bits = 0;
-    for (std::uint32_t b = 0; b < stored_bits_; ++b) {
-      const double sigma =
-          cell_sigma_[static_cast<std::size_t>(w) * stored_bits_ + b];
-      if (retention_.cell_retention_vmin(sigma) > ctx.vdd) {
+    for (std::uint32_t b = 0; b < stored_bits_; ++b, ++vmin) {
+      if (*vmin > vdd) {
         mask_bits |= std::uint64_t{1} << b;
         if (stuck_rng.bernoulli(0.5)) value_bits |= std::uint64_t{1} << b;
       }

@@ -10,6 +10,12 @@
 // Per-cell mismatch deviates are drawn once at construction (the
 // silicon fingerprint of the instance) and persist across voltage
 // changes, so the same cells fail first every time the rail droops.
+// The deviates are folded into per-cell retention V_min at
+// construction, so a supply change is one vectorisable threshold count
+// instead of a full words x bits model evaluation; the stuck-value
+// redraw is skipped entirely when the failing set did not change
+// (bit-exact with the full rescan, which forks a fresh value stream
+// per operating point).
 #pragma once
 
 #include <cstdint>
@@ -34,6 +40,9 @@ class StochasticInjector final : public FaultInjector {
   std::uint64_t access_flips(AccessKind kind, std::uint32_t index,
                              const FaultContext& ctx) override;
   void on_operating_point(const FaultContext& ctx) override;
+  /// Retention stuck state depends only on the supply, never on the
+  /// access counter.
+  bool overlay_is_stationary() const override { return true; }
 
   /// Current per-bit access error probability (Eq. 5 at the last-seen
   /// supply).
@@ -50,8 +59,12 @@ class StochasticInjector final : public FaultInjector {
   /// Per-word masks of retention-failed cells and their stuck values.
   std::vector<std::uint64_t> stuck_mask_;
   std::vector<std::uint64_t> stuck_value_;
-  /// Per-cell mismatch deviates (fixed per instance, like silicon).
-  std::vector<float> cell_sigma_;
+  /// Per-cell retention V_min derived from the mismatch deviates
+  /// (fixed per instance, like silicon).  The failing set at any supply
+  /// is {cells with V_min > vdd}; it is monotone in vdd, so an equal
+  /// count means an identical set and the size alone detects changes.
+  std::vector<double> cell_vmin_;
+  std::size_t stuck_count_ = 0;  ///< current failing-set size
 };
 
 }  // namespace ntc::sim

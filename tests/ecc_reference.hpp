@@ -1,0 +1,310 @@
+// Bit-serial reference kernels for the ECC equivalence suite.
+//
+// These are the original per-bit encode/syndrome/decode loops the
+// production codecs used before the bit-parallel rewrite (byte-indexed
+// syndrome tables, contiguous-run scatter/gather, pext/pdep lane
+// moves).  They re-derive their own construction from scratch so a
+// table-building bug in the production path cannot hide: the
+// equivalence tests compare the two implementations bit-exactly over
+// exhaustive error patterns.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ecc/bch.hpp"
+#include "ecc/code.hpp"
+#include "ecc/galois.hpp"
+
+namespace ntc::ecc::reference {
+
+/// Bit-serial Hamming SECDED: overall parity at position 0, parity bits
+/// at the powers of two, data at the remaining positions.
+class ReferenceHamming final : public BlockCode {
+ public:
+  explicit ReferenceHamming(std::size_t data_bits) : k_(data_bits) {
+    r_ = 2;
+    while ((std::size_t{1} << r_) < k_ + r_ + 1) ++r_;
+    n_ = k_ + r_ + 1;
+  }
+
+  std::string name() const override { return "ref-secded"; }
+  std::size_t data_bits() const override { return k_; }
+  std::size_t code_bits() const override { return n_; }
+  std::size_t correct_capability() const override { return 1; }
+  std::size_t detect_capability() const override { return 2; }
+
+  Bits encode(std::uint64_t data) const override {
+    Bits code;
+    std::size_t bit = 0;
+    const std::size_t m = k_ + r_;
+    for (std::size_t pos = 1; pos <= m; ++pos) {
+      if (std::has_single_bit(pos)) continue;
+      code.set(pos, (data >> bit) & 1u);
+      ++bit;
+    }
+    for (std::size_t j = 0; j < r_; ++j) {
+      const std::size_t p = std::size_t{1} << j;
+      bool parity = false;
+      for (std::size_t pos = 1; pos <= m; ++pos) {
+        if (pos == p || !(pos & p)) continue;
+        parity ^= code.get(pos);
+      }
+      code.set(p, parity);
+    }
+    bool overall = false;
+    for (std::size_t pos = 1; pos <= m; ++pos) overall ^= code.get(pos);
+    code.set(0, overall);
+    return code;
+  }
+
+  DecodeResult decode(const Bits& received) const override {
+    const std::size_t m = k_ + r_;
+    std::size_t syndrome = 0;
+    bool overall = received.get(0);
+    for (std::size_t pos = 1; pos <= m; ++pos) {
+      if (received.get(pos)) {
+        syndrome ^= pos;
+        overall ^= true;
+      }
+    }
+    Bits corrected = received;
+    DecodeResult result;
+    if (syndrome == 0 && !overall) {
+      result.status = DecodeStatus::Ok;
+    } else if (syndrome == 0 && overall) {
+      corrected.flip(0);
+      result.status = DecodeStatus::Corrected;
+      result.corrected_bits = 1;
+    } else if (overall) {
+      if (syndrome <= m) {
+        corrected.flip(syndrome);
+        result.status = DecodeStatus::Corrected;
+        result.corrected_bits = 1;
+      } else {
+        result.status = DecodeStatus::DetectedUncorrectable;
+      }
+    } else {
+      result.status = DecodeStatus::DetectedUncorrectable;
+    }
+    std::uint64_t data = 0;
+    std::size_t bit = 0;
+    for (std::size_t pos = 1; pos <= m; ++pos) {
+      if (std::has_single_bit(pos)) continue;
+      data |= static_cast<std::uint64_t>(corrected.get(pos)) << bit;
+      ++bit;
+    }
+    result.data = data;
+    return result;
+  }
+
+ private:
+  std::size_t k_, r_, n_;
+};
+
+/// Bit-serial Hsiao SECDED with the canonical odd-weight-column
+/// assignment (same construction order as the production codec).
+class ReferenceHsiao final : public BlockCode {
+ public:
+  explicit ReferenceHsiao(std::size_t data_bits) : k_(data_bits) {
+    r_ = 4;
+    auto capacity = [](std::size_t r) {
+      std::size_t total = 0;
+      for (std::size_t w = 3; w <= r; w += 2) {
+        std::size_t c = 1;
+        for (std::size_t i = 0; i < w; ++i) c = c * (r - i) / (i + 1);
+        total += c;
+      }
+      return total;
+    };
+    while (capacity(r_) < k_) ++r_;
+    for (std::size_t weight = 3; weight <= r_ && column_.size() < k_;
+         weight += 2) {
+      for (std::size_t mask = 1;
+           mask < (std::size_t{1} << r_) && column_.size() < k_; ++mask) {
+        if (std::popcount(mask) == static_cast<int>(weight))
+          column_.push_back(static_cast<std::uint8_t>(mask));
+      }
+    }
+  }
+
+  std::string name() const override { return "ref-hsiao"; }
+  std::size_t data_bits() const override { return k_; }
+  std::size_t code_bits() const override { return k_ + r_; }
+  std::size_t correct_capability() const override { return 1; }
+  std::size_t detect_capability() const override { return 2; }
+
+  Bits encode(std::uint64_t data) const override {
+    Bits code;
+    std::uint8_t checks = 0;
+    for (std::size_t i = 0; i < k_; ++i) {
+      const bool bit = (data >> i) & 1u;
+      code.set(i, bit);
+      if (bit) checks ^= column_[i];
+    }
+    for (std::size_t j = 0; j < r_; ++j) code.set(k_ + j, (checks >> j) & 1u);
+    return code;
+  }
+
+  std::uint8_t syndrome_of(const Bits& word) const {
+    std::uint8_t syndrome = 0;
+    for (std::size_t i = 0; i < k_; ++i)
+      if (word.get(i)) syndrome ^= column_[i];
+    for (std::size_t j = 0; j < r_; ++j)
+      if (word.get(k_ + j)) syndrome ^= static_cast<std::uint8_t>(1u << j);
+    return syndrome;
+  }
+
+  DecodeResult decode(const Bits& received) const override {
+    DecodeResult result;
+    Bits corrected = received;
+    const std::uint8_t syndrome = syndrome_of(received);
+    if (syndrome == 0) {
+      result.status = DecodeStatus::Ok;
+    } else if (std::popcount(syndrome) % 2 == 1) {
+      bool matched = false;
+      for (std::size_t i = 0; i < k_; ++i) {
+        if (column_[i] == syndrome) {
+          corrected.flip(i);
+          matched = true;
+          break;
+        }
+      }
+      if (!matched && std::has_single_bit(syndrome)) {
+        corrected.flip(k_ +
+                       static_cast<std::size_t>(std::countr_zero(syndrome)));
+        matched = true;
+      }
+      if (matched) {
+        result.status = DecodeStatus::Corrected;
+        result.corrected_bits = 1;
+      } else {
+        result.status = DecodeStatus::DetectedUncorrectable;
+      }
+    } else {
+      result.status = DecodeStatus::DetectedUncorrectable;
+    }
+    std::uint64_t data = 0;
+    for (std::size_t i = 0; i < k_; ++i)
+      data |= static_cast<std::uint64_t>(corrected.get(i)) << i;
+    result.data = data;
+    return result;
+  }
+
+ private:
+  std::size_t k_, r_ = 0;
+  std::vector<std::uint8_t> column_;
+};
+
+/// Bit-serial interleaving wrapper: per-bit scatter/gather between the
+/// interleaved word and the lanes (the production code moves whole lane
+/// masks with pext/pdep).
+class ReferenceInterleaved final : public BlockCode {
+ public:
+  explicit ReferenceInterleaved(std::vector<std::unique_ptr<BlockCode>> lanes)
+      : lanes_(std::move(lanes)) {}
+
+  std::string name() const override { return "ref-interleaved"; }
+  std::size_t data_bits() const override {
+    return lanes_.size() * lanes_[0]->data_bits();
+  }
+  std::size_t code_bits() const override {
+    return lanes_.size() * lanes_[0]->code_bits();
+  }
+  std::size_t correct_capability() const override {
+    return lanes_[0]->correct_capability();
+  }
+  std::size_t detect_capability() const override {
+    return lanes_[0]->detect_capability();
+  }
+
+  Bits encode(std::uint64_t data) const override {
+    const std::size_t ways = lanes_.size();
+    const std::size_t lane_k = lanes_[0]->data_bits();
+    const std::size_t lane_n = lanes_[0]->code_bits();
+    Bits out;
+    for (std::size_t lane = 0; lane < ways; ++lane) {
+      std::uint64_t lane_data = 0;
+      for (std::size_t i = 0; i < lane_k; ++i) {
+        const std::size_t src = lane + i * ways;
+        lane_data |= static_cast<std::uint64_t>((data >> src) & 1u) << i;
+      }
+      const Bits lane_code = lanes_[lane]->encode(lane_data);
+      for (std::size_t i = 0; i < lane_n; ++i)
+        out.set(lane + i * ways, lane_code.get(i));
+    }
+    return out;
+  }
+
+  DecodeResult decode(const Bits& received) const override {
+    const std::size_t ways = lanes_.size();
+    const std::size_t lane_k = lanes_[0]->data_bits();
+    const std::size_t lane_n = lanes_[0]->code_bits();
+    DecodeResult result;
+    result.status = DecodeStatus::Ok;
+    std::uint64_t data = 0;
+    for (std::size_t lane = 0; lane < ways; ++lane) {
+      Bits lane_code;
+      for (std::size_t i = 0; i < lane_n; ++i)
+        lane_code.set(i, received.get(lane + i * ways));
+      const DecodeResult lane_result = lanes_[lane]->decode(lane_code);
+      for (std::size_t i = 0; i < lane_k; ++i) {
+        data |= static_cast<std::uint64_t>((lane_result.data >> i) & 1u)
+                << (lane + i * ways);
+      }
+      result.corrected_bits += lane_result.corrected_bits;
+      if (lane_result.status == DecodeStatus::DetectedUncorrectable) {
+        result.status = DecodeStatus::DetectedUncorrectable;
+      } else if (lane_result.status == DecodeStatus::Corrected &&
+                 result.status == DecodeStatus::Ok) {
+        result.status = DecodeStatus::Corrected;
+      }
+    }
+    result.data = data;
+    return result;
+  }
+
+ private:
+  std::vector<std::unique_ptr<BlockCode>> lanes_;
+};
+
+/// Bit-serial systematic BCH parity: long division of data(x) * x^r by
+/// the generator, one data bit per step (the production encoder folds
+/// eight bits per step through a byte table).
+inline std::uint64_t bch_parity(const BchCode& code, std::uint64_t data) {
+  const std::size_t r = code.parity_bits();
+  const std::uint64_t mask = (std::uint64_t{1} << r) - 1;
+  std::uint64_t rem = 0;
+  for (std::size_t i = code.data_bits(); i-- > 0;) {
+    const std::uint64_t in_bit = (data >> i) & 1u;
+    const std::uint64_t top = (rem >> (r - 1)) & 1u;
+    rem = (rem << 1) & mask;
+    if (top ^ in_bit) rem ^= code.generator() & mask;
+  }
+  return rem;
+}
+
+/// Per-position BCH syndromes S_1..S_2t (index 0 unused): evaluate the
+/// received polynomial at alpha^i position by position (the production
+/// path visits only the set bits with precomputed rows).
+inline std::vector<unsigned> bch_syndromes(const BchCode& code,
+                                           const GaloisField& field,
+                                           const Bits& received) {
+  const std::size_t n_used = code.code_bits();
+  const unsigned two_t = 2 * static_cast<unsigned>(code.correct_capability());
+  std::vector<unsigned> syndrome(two_t + 1, 0);
+  for (unsigned i = 1; i <= two_t; ++i) {
+    unsigned s = 0;
+    for (std::size_t j = 0; j < n_used; ++j) {
+      if (received.get(j))
+        s ^= field.alpha_pow(static_cast<long long>(i) *
+                             static_cast<long long>(j));
+    }
+    syndrome[i] = s;
+  }
+  return syndrome;
+}
+
+}  // namespace ntc::ecc::reference
