@@ -34,6 +34,7 @@
 #include "reliability/access_model.hpp"
 #include "reliability/noise_margin.hpp"
 #include "sim/ecc_memory.hpp"
+#include "sim/platform.hpp"
 #include "sim/sram_module.hpp"
 
 namespace {
@@ -216,6 +217,37 @@ void bench_campaign_slice(Suite& suite, bool quick) {
   });
 }
 
+void bench_platform_reset(Suite& suite) {
+  // Arena reuse: Platform::reset to a fresh (seed, vdd) state versus the
+  // full construction the campaign layer used to pay per grid cell.
+  sim::PlatformConfig pc;
+  pc.scheme = mitigation::SchemeKind::Secded;
+  pc.vdd = Volt{0.44};
+  sim::Platform platform(pc);
+  suite.run("platform_reset", [&](std::uint64_t i) {
+    platform.reset(i + 1, Volt{0.44});
+    do_not_optimize(platform.total_cycles());
+  });
+}
+
+void bench_campaign_throughput(Suite& suite, bool quick) {
+  // Steady-state campaign throughput: one persistent runner executing
+  // its grid over and over, reusing parked executor workers and pooled
+  // platforms — versus campaign_grid_slice's cold-start cost per run.
+  faultsim::CampaignConfig config;
+  config.voltages = {Volt{0.40}, Volt{0.44}};
+  config.schemes = {mitigation::SchemeKind::Secded};
+  config.seeds_per_cell = 2;
+  config.fft_points = quick ? 16 : 64;
+  config.threads = 1;
+  faultsim::CampaignRunner runner(config);
+  runner.run();  // warm: executor spawned, pools filled, golden cached
+  suite.run("campaign_throughput", [&](std::uint64_t i) {
+    (void)i;
+    do_not_optimize(runner.run());
+  });
+}
+
 /// Minimal extraction of {"name": ..., "ns_per_op": ...} pairs from a
 /// previous BENCH_perf.json (written by this program, so the layout is
 /// known; this is not a general JSON parser).
@@ -240,6 +272,24 @@ void annotate_baseline(std::vector<BenchResult>& results,
     result.baseline_ns_per_op = std::strtod(
         text.c_str() + value_at + field.size(), nullptr);
   }
+}
+
+/// Count benchmarks slower than baseline * (1 + pct/100); entries
+/// without a baseline (new benchmarks) are skipped.
+int count_regressions(const std::vector<BenchResult>& results, double pct) {
+  int regressed = 0;
+  for (const BenchResult& r : results) {
+    if (r.baseline_ns_per_op <= 0.0) continue;
+    const double limit = r.baseline_ns_per_op * (1.0 + pct / 100.0);
+    if (r.ns_per_op > limit) {
+      std::fprintf(stderr,
+                   "REGRESSION: %s at %.2f ns/op exceeds baseline %.2f ns/op "
+                   "by more than %.0f%%\n",
+                   r.name.c_str(), r.ns_per_op, r.baseline_ns_per_op, pct);
+      ++regressed;
+    }
+  }
+  return regressed;
 }
 
 void write_json(const std::vector<BenchResult>& results,
@@ -267,6 +317,7 @@ int main(int argc, char** argv) {
   bool quick = false;
   std::string out_path = "BENCH_perf.json";
   std::string baseline_path;
+  double regression_pct = -1.0;  // < 0 = no regression gate
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
@@ -274,9 +325,12 @@ int main(int argc, char** argv) {
       out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
       baseline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--check-regression") == 0 && i + 1 < argc) {
+      regression_pct = std::strtod(argv[++i], nullptr);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--quick] [--out FILE] [--baseline FILE]\n",
+                   "usage: %s [--quick] [--out FILE] [--baseline FILE] "
+                   "[--check-regression PCT]\n",
                    argv[0]);
       return 2;
     }
@@ -287,8 +341,13 @@ int main(int argc, char** argv) {
   bench_raw_access(suite);
   bench_ecc_memory(suite);
   bench_campaign_slice(suite, quick);
+  bench_platform_reset(suite);
+  bench_campaign_throughput(suite, quick);
 
   if (!baseline_path.empty()) annotate_baseline(suite.results(), baseline_path);
   write_json(suite.results(), out_path);
+  if (regression_pct >= 0.0 &&
+      count_regressions(suite.results(), regression_pct) > 0)
+    return 1;
   return 0;
 }

@@ -2,7 +2,9 @@
 # Build the perf-regression suite in Release mode and refresh
 # BENCH_perf.json at the repo root.  If a previous BENCH_perf.json
 # exists it is passed as the baseline, so the new file carries
-# per-benchmark speedup_vs_baseline annotations.
+# per-benchmark speedup_vs_baseline annotations — and the run acts as a
+# regression gate: the script exits non-zero when any benchmark is more
+# than ${NTC_BENCH_REGRESSION_PCT:-20}% slower than its baseline entry.
 #
 # Usage: scripts/run_benches.sh [extra perf_suite args...]
 set -euo pipefail
@@ -10,6 +12,7 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${repo_root}/build-bench"
 out_json="${repo_root}/BENCH_perf.json"
+regression_pct="${NTC_BENCH_REGRESSION_PCT:-20}"
 
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release > /dev/null
 cmake --build "${build_dir}" -j --target perf_suite > /dev/null
@@ -17,11 +20,18 @@ cmake --build "${build_dir}" -j --target perf_suite > /dev/null
 baseline_args=()
 if [[ -f "${out_json}" ]]; then
   cp "${out_json}" "${out_json}.baseline.tmp"
-  baseline_args=(--baseline "${out_json}.baseline.tmp")
+  baseline_args=(--baseline "${out_json}.baseline.tmp"
+                 --check-regression "${regression_pct}")
 fi
 
+status=0
 "${build_dir}/bench/perf_suite" --out "${out_json}.tmp" \
-  "${baseline_args[@]}" "$@"
-mv "${out_json}.tmp" "${out_json}"
+  "${baseline_args[@]}" "$@" || status=$?
+# Refresh the tracked results even when the gate trips, so the failing
+# numbers are visible in the diff; the non-zero exit still propagates.
+if [[ -f "${out_json}.tmp" ]]; then
+  mv "${out_json}.tmp" "${out_json}"
+  echo "wrote ${out_json}"
+fi
 rm -f "${out_json}.baseline.tmp"
-echo "wrote ${out_json}"
+exit "${status}"

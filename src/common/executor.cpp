@@ -1,0 +1,108 @@
+#include "common/executor.hpp"
+
+#include "common/assert.hpp"
+
+namespace ntc {
+
+Executor::Executor(unsigned threads) {
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  workers_ = threads;
+  deques_.reserve(workers_);
+  for (unsigned w = 0; w < workers_; ++w)
+    deques_.push_back(std::make_unique<Deque>());
+  // Worker 0 is the calling thread; only 1..workers_-1 are spawned.
+  threads_.reserve(workers_ - 1);
+  for (unsigned w = 1; w < workers_; ++w)
+    threads_.emplace_back([this, w] { worker_loop(w); });
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  job_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+bool Executor::pop_own(unsigned self, std::size_t& index) {
+  Deque& d = *deques_[self];
+  std::lock_guard<std::mutex> lock(d.mutex);
+  if (d.head >= d.tail) return false;
+  index = d.head++;
+  return true;
+}
+
+bool Executor::steal(unsigned self, std::size_t& index) {
+  // Scan victims round-robin from self+1 so thieves spread out instead
+  // of all hammering worker 0's deque.
+  for (unsigned off = 1; off < workers_; ++off) {
+    Deque& d = *deques_[(self + off) % workers_];
+    std::lock_guard<std::mutex> lock(d.mutex);
+    if (d.head >= d.tail) continue;
+    index = --d.tail;
+    return true;
+  }
+  return false;
+}
+
+void Executor::work(unsigned self,
+                    const std::function<void(std::size_t, unsigned)>& fn) {
+  std::size_t index;
+  while (pop_own(self, index) || steal(self, index)) fn(index, self);
+}
+
+void Executor::worker_loop(unsigned self) {
+  std::uint64_t seen = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ++idle_;
+      idle_cv_.notify_all();
+      job_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      --idle_;
+    }
+    // job_ is stable outside the parked window: the next overwrite
+    // requires every spawned worker parked again first.
+    work(self, job_);
+    // Parking (++idle_) happens at the top of the next iteration; the
+    // caller's completion wait requires idle_ == spawned workers, so it
+    // cannot return — and thus cannot start the next job — while any
+    // worker is still inside work().
+  }
+}
+
+void Executor::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, unsigned)>& fn) {
+  if (n == 0) return;
+  if (workers_ == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i, 0);
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // A worker late to park from the previous job would race the deque
+    // refill below; generation g+1 is only published once all spawned
+    // workers sit parked.
+    idle_cv_.wait(lock, [&] { return idle_ == workers_ - 1; });
+    for (unsigned w = 0; w < workers_; ++w) {
+      Deque& d = *deques_[w];
+      std::lock_guard<std::mutex> dlock(d.mutex);
+      d.head = n * w / workers_;
+      d.tail = n * (w + 1) / workers_;
+    }
+    job_ = fn;
+    ++generation_;
+  }
+  job_cv_.notify_all();
+  work(0, fn);
+  // The caller found every deque empty; wait for in-flight stolen or
+  // owned cells on the spawned workers to finish (they park after).
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [&] { return idle_ == workers_ - 1; });
+}
+
+}  // namespace ntc

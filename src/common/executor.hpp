@@ -1,0 +1,81 @@
+// Persistent work-stealing executor for index-parallel jobs.
+//
+// The Monte-Carlo campaign layer runs the same shape of job thousands
+// of times: N independent grid cells, each writing its result to slot i.
+// Spawning a fresh std::thread pool per run() wastes milliseconds per
+// invocation and gives the OS no chance to keep workers warm, so this
+// executor keeps its workers parked on a condition variable between
+// jobs and hands each one a contiguous per-worker range (a deque of
+// indices it pops from the front); a worker whose own deque drains
+// steals from the back of a victim's range.  Determinism is structural:
+// parallel_for(n, fn) promises only that fn(i, worker) runs exactly
+// once per index, so callers that write results by index produce output
+// independent of the worker count and of who stole what.
+//
+// The calling thread participates as worker 0, so an Executor built
+// with `threads = 1` spawns nothing and runs inline.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ntc {
+
+class Executor {
+ public:
+  /// `threads` = total workers including the caller; 0 picks
+  /// std::thread::hardware_concurrency().
+  explicit Executor(unsigned threads = 0);
+  ~Executor();
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  unsigned worker_count() const { return workers_; }
+
+  /// Invoke fn(index, worker) exactly once for every index in [0, n),
+  /// with worker in [0, worker_count()); blocks until all indices have
+  /// completed.  Reusable: repeated calls reuse the parked workers.
+  /// Not reentrant — one job at a time per Executor.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, unsigned)>& fn);
+
+ private:
+  /// One worker's share of [0, n): the owner pops `head` forward,
+  /// thieves pull `tail` backward.  A mutex per deque keeps the
+  /// two-ended protocol trivially correct; the per-index cost is
+  /// negligible against the millisecond-scale cells it schedules.
+  struct Deque {
+    std::mutex mutex;
+    std::size_t head = 0;
+    std::size_t tail = 0;  ///< one past the last owned index
+  };
+
+  bool pop_own(unsigned self, std::size_t& index);
+  bool steal(unsigned self, std::size_t& index);
+  /// Drain every deque (own first, then steal) with the given function.
+  void work(unsigned self, const std::function<void(std::size_t, unsigned)>& fn);
+  void worker_loop(unsigned self);
+
+  unsigned workers_;
+  std::vector<std::unique_ptr<Deque>> deques_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable job_cv_;   ///< workers wait here between jobs
+  std::condition_variable idle_cv_;  ///< caller waits for workers to park
+  /// Held by value: a worker waking late (even spuriously) must never
+  /// chase a pointer into a caller frame that already returned.  The
+  /// publish overwrites it only while every spawned worker is parked.
+  std::function<void(std::size_t, unsigned)> job_;
+  std::uint64_t generation_ = 0;
+  unsigned idle_ = 0;  ///< spawned workers currently parked
+  bool shutdown_ = false;
+};
+
+}  // namespace ntc

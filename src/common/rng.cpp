@@ -103,6 +103,18 @@ std::uint64_t Rng::poisson(double lambda) {
   return x <= 0.0 ? 0 : static_cast<std::uint64_t>(x + 0.5);
 }
 
+double Rng::max_normal_magnitude() {
+  // normal() draws u1 = 1 - uniform(), and uniform() is k * 2^-53 with
+  // k < 2^53, so u1 >= 2^-53 exactly (the subtraction is lossless at
+  // that magnitude).  The Box-Muller radius sqrt(-2 ln u1) is therefore
+  // at most sqrt(106 ln 2), and |sin|, |cos| <= 1 keeps both deviates
+  // of the pair inside it.  The absolute pad swallows several ulps of
+  // libm rounding plus a float round-up by any consumer that narrows.
+  static const double bound =
+      std::sqrt(-2.0 * std::log(0x1.0p-53)) * (1.0 + 1e-12) + 1e-6;
+  return bound;
+}
+
 Rng Rng::fork(std::uint64_t tag) const {
   std::uint64_t sm = seed_ ^ (0x5851f42d4c957f2dull * (tag + 1));
   return Rng(splitmix64(sm));

@@ -48,6 +48,19 @@ class Rng {
   /// Derive an independent substream. Deterministic in (this seed, tag).
   Rng fork(std::uint64_t tag) const;
 
+  /// The seed this engine was constructed with: together with the draw
+  /// history it identifies the stream, so immutable per-seed tables
+  /// (e.g. the shared retention fingerprints) can key on it.
+  std::uint64_t seed() const { return seed_; }
+
+  /// Conservative upper bound on |normal()|: Box-Muller over 53-bit
+  /// uniforms caps the radius at sqrt(-2 ln 2^-53) ~ 8.5716, so no
+  /// deviate this class can ever produce exceeds the returned value
+  /// (which pads that bound for the rounding of log/sqrt/sin/cos and a
+  /// later float cast).  Lets consumers prove "no cell beyond k sigma"
+  /// without drawing the population.
+  static double max_normal_magnitude();
+
  private:
   std::uint64_t s_[4];
   std::uint64_t seed_;

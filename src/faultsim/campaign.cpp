@@ -1,14 +1,15 @@
 #include "faultsim/campaign.hpp"
 
-#include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <memory>
 #include <ostream>
-#include <thread>
 
 #include "common/assert.hpp"
 #include "common/fixed_point.hpp"
+#include "reliability/model_tables.hpp"
 #include "sim/platform.hpp"
+#include "sim/platform_pool.hpp"
 #include "workloads/fft.hpp"
 #include "workloads/golden.hpp"
 
@@ -30,11 +31,33 @@ std::vector<std::complex<double>> campaign_signal(std::size_t n) {
 std::string escape_json(const std::string& s) {
   std::string out;
   for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
   }
   return out;
 }
+
+/// The scripted injectors living on a pooled platform's arrays, rearmed
+/// per grid cell (kept alive through the pool slot's client_state).
+struct InjectorSet {
+  std::shared_ptr<ScenarioInjector> spm;
+  std::shared_ptr<ScenarioInjector> imem;
+  std::shared_ptr<ScenarioInjector> pm;  ///< null unless the platform has a PM
+};
 
 }  // namespace
 
@@ -50,7 +73,8 @@ const char* to_string(RunOutcome outcome) {
 }
 
 CampaignRunner::CampaignRunner(CampaignConfig config)
-    : config_(std::move(config)) {
+    : config_(std::move(config)),
+      tables_(std::make_shared<reliability::ModelTableCache>()) {
   NTC_REQUIRE(!config_.voltages.empty());
   NTC_REQUIRE(!config_.schemes.empty());
   NTC_REQUIRE(config_.seeds_per_cell >= 1);
@@ -62,17 +86,30 @@ CampaignRunner::CampaignRunner(CampaignConfig config)
   reference_ = workloads::reference_fft(signal_);
 }
 
-void CampaignRunner::compute_golden() {
-  // Fault-free reference pass: the fixed-point pipeline is
-  // deterministic, so one golden image serves every grid cell.
+CampaignRunner::~CampaignRunner() = default;
+
+sim::PlatformConfig CampaignRunner::platform_base_config() const {
   sim::PlatformConfig pc;
-  pc.scheme = mitigation::SchemeKind::NoMitigation;
   pc.memory_style = config_.style;
   pc.vdd = config_.voltages.front();
   pc.clock = config_.clock;
   pc.spm_bytes = std::max<std::uint32_t>(
       8 * 1024, static_cast<std::uint32_t>(config_.fft_points) * 4);
+  pc.pm_bytes = static_cast<std::uint32_t>(config_.fft_points) * 8;
   pc.seed = config_.base_seed;
+  pc.inject_faults = config_.stochastic_background;
+  pc.tables = tables_;
+  return pc;
+}
+
+void CampaignRunner::compute_golden() {
+  // Fault-free reference pass: the fixed-point pipeline is
+  // deterministic, so one golden image serves every grid cell (and, the
+  // config being fixed at construction, every run() call).
+  if (golden_computed_) return;
+  sim::PlatformConfig pc = platform_base_config();
+  pc.scheme = mitigation::SchemeKind::NoMitigation;
+  pc.pm_bytes = 1024;  // no PM in the reference platform
   pc.inject_faults = false;
   sim::Platform platform(pc);
 
@@ -83,38 +120,49 @@ void CampaignRunner::compute_golden() {
   golden_.resize(config_.fft_points);
   for (std::size_t i = 0; i < config_.fft_points; ++i)
     platform.spm().read_word(static_cast<std::uint32_t>(i), golden_[i]);
+  golden_computed_ = true;
 }
 
 RunRecord CampaignRunner::execute_one(const Scenario& scenario,
                                       mitigation::SchemeKind scheme, Volt vdd,
-                                      std::uint64_t seed) const {
+                                      std::uint64_t seed,
+                                      sim::PlatformPool& pool) const {
   RunRecord record;
   record.scenario = scenario.name;
   record.vdd = vdd.value;
   record.seed = seed;
 
-  sim::PlatformConfig pc;
-  pc.scheme = scheme;
-  pc.memory_style = config_.style;
-  pc.vdd = vdd;
-  pc.clock = config_.clock;
-  pc.spm_bytes = std::max<std::uint32_t>(
-      8 * 1024, static_cast<std::uint32_t>(config_.fft_points) * 4);
-  pc.pm_bytes = static_cast<std::uint32_t>(config_.fft_points) * 8;
-  pc.seed = seed;
-  pc.inject_faults = config_.stochastic_background;
-  sim::Platform platform(pc);
-  record.scheme = platform.scheme().name;
-
-  auto spm_injector = std::make_shared<ScenarioInjector>(scenario.spm_events);
-  auto imem_injector = std::make_shared<ScenarioInjector>(scenario.imem_events);
-  std::shared_ptr<ScenarioInjector> pm_injector;
-  platform.spm().array().attach_injector(spm_injector);
-  platform.imem().array().attach_injector(imem_injector);
-  if (platform.pm() != nullptr) {
-    pm_injector = std::make_shared<ScenarioInjector>(scenario.pm_events);
-    platform.pm()->array().attach_injector(pm_injector);
+  // A pooled platform plus rearm/reset is observationally identical to
+  // the fresh platform-per-run this replaces: the scripted injectors
+  // are reprogrammed with this cell's script, then reset re-derives the
+  // whole fault state over this cell's seed and supply.
+  sim::PlatformPool::Slot& slot = pool.acquire(scheme);
+  sim::Platform& platform = *slot.platform;
+  if (!slot.client_state) {
+    auto injectors = std::make_shared<InjectorSet>();
+    injectors->spm =
+        std::make_shared<ScenarioInjector>(std::vector<FaultEvent>{});
+    injectors->imem =
+        std::make_shared<ScenarioInjector>(std::vector<FaultEvent>{});
+    platform.spm().array().attach_injector(injectors->spm);
+    platform.imem().array().attach_injector(injectors->imem);
+    if (platform.pm() != nullptr) {
+      injectors->pm =
+          std::make_shared<ScenarioInjector>(std::vector<FaultEvent>{});
+      platform.pm()->array().attach_injector(injectors->pm);
+    }
+    slot.client_state = injectors;
   }
+  InjectorSet& injectors =
+      *static_cast<InjectorSet*>(slot.client_state.get());
+  ScenarioInjector& spm_injector = *injectors.spm;
+  ScenarioInjector& imem_injector = *injectors.imem;
+  ScenarioInjector* pm_injector = injectors.pm.get();
+  spm_injector.rearm(scenario.spm_events);
+  imem_injector.rearm(scenario.imem_events);
+  if (pm_injector != nullptr) pm_injector->rearm(scenario.pm_events);
+  platform.reset(seed, vdd);
+  record.scheme = platform.scheme().name;
 
   workloads::FixedPointFft fft(config_.fft_points);
   fft.set_input(signal_);
@@ -158,8 +206,8 @@ RunRecord CampaignRunner::execute_one(const Scenario& scenario,
   tally(&platform.imem());
   tally(platform.pm());
   record.scenario_events_fired =
-      spm_injector->events_fired() + imem_injector->events_fired() +
-      (pm_injector ? pm_injector->events_fired() : 0);
+      spm_injector.events_fired() + imem_injector.events_fired() +
+      (pm_injector != nullptr ? pm_injector->events_fired() : 0);
 
   const bool output_ok = measured_words == golden_;
   const bool detected = record.uncorrectable_words > 0 || faulted_phases > 0;
@@ -196,27 +244,24 @@ const std::vector<RunRecord>& CampaignRunner::run() {
           grid.push_back(Cell{&scenario, scheme, vdd, config_.base_seed + s});
 
   records_.assign(grid.size(), RunRecord{});
-  unsigned threads = config_.threads != 0 ? config_.threads
-                                          : std::thread::hardware_concurrency();
-  if (threads == 0) threads = 1;
-  threads = static_cast<unsigned>(
-      std::min<std::size_t>(threads, grid.size()));
 
-  // Every run owns its platform, so the ledger is identical whatever
-  // the thread count — workers just pull the next free grid index.
-  std::atomic<std::size_t> next{0};
-  auto worker = [&]() {
-    for (std::size_t i = next.fetch_add(1); i < grid.size();
-         i = next.fetch_add(1)) {
-      const Cell& cell = grid[i];
-      records_[i] =
-          execute_one(*cell.scenario, cell.scheme, cell.vdd, cell.seed);
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
+  // Workers and their platform pools persist across run() calls: the
+  // executor parks between jobs instead of being respawned, and each
+  // worker resets its pooled platforms rather than rebuilding them.
+  if (!executor_) {
+    executor_ = std::make_unique<Executor>(config_.threads);
+    pools_.resize(executor_->worker_count());
+  }
+  // Each record is a pure function of its grid cell (platforms are
+  // reset to a seed-determined state before every run), so the ledger
+  // is identical whatever the worker count and whoever stole what.
+  executor_->parallel_for(grid.size(), [&](std::size_t i, unsigned worker) {
+    auto& pool = pools_[worker];
+    if (!pool) pool = std::make_unique<sim::PlatformPool>(platform_base_config());
+    const Cell& cell = grid[i];
+    records_[i] =
+        execute_one(*cell.scenario, cell.scheme, cell.vdd, cell.seed, *pool);
+  });
   return records_;
 }
 
@@ -281,8 +326,15 @@ void CampaignRunner::write_json(std::ostream& out) const {
         << "    {\"scenario\": \"" << escape_json(r.scenario)
         << "\", \"scheme\": \"" << escape_json(r.scheme)
         << "\", \"vdd\": " << r.vdd << ", \"seed\": " << r.seed
-        << ", \"outcome\": \"" << to_string(r.outcome)
-        << "\", \"snr_db\": " << r.snr_db
+        << ", \"outcome\": \"" << to_string(r.outcome) << "\", \"snr_db\": ";
+    // JSON has no nan/inf literal; a fully-destroyed output (zero or
+    // NaN-adjacent SNR) must not render the whole ledger unparseable.
+    if (std::isfinite(r.snr_db)) {
+      out << r.snr_db;
+    } else {
+      out << "null";
+    }
+    out
         << ", \"corrected_words\": " << r.corrected_words
         << ", \"uncorrectable_words\": " << r.uncorrectable_words
         << ", \"injected_flips\": " << r.injected_flips

@@ -15,22 +15,38 @@
 //   SystemFailure          — OCEAN restore met an uncorrectable
 //                            protected-buffer word (quintuple error).
 //
-// Runs execute std::thread-parallel (each owns its platform instance,
-// so results are independent of the thread count) and the ledger is
-// exported as CSV or JSON for the bench harness.
+// Runs execute on a persistent work-stealing Executor; each worker owns
+// a private PlatformPool (platform arenas are reused across grid cells
+// via Platform::reset) and every platform shares one immutable
+// ModelTableCache, so throughput scales with the grid instead of with
+// platform construction.  Every run's state is a pure function of its
+// grid cell — a reused platform is reset to exactly the state a fresh
+// one would have — so the ledger is byte-identical whatever the thread
+// count, whoever stole which cell, and however often run() is repeated.
+// The ledger is exported as CSV or JSON for the bench harness.
 #pragma once
 
 #include <complex>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/executor.hpp"
 #include "common/units.hpp"
 #include "energy/memory_calculator.hpp"
 #include "faultsim/scenario.hpp"
 #include "mitigation/scheme.hpp"
 #include "ocean/runtime.hpp"
+
+namespace ntc::reliability {
+class ModelTableCache;
+}
+namespace ntc::sim {
+class PlatformPool;
+struct PlatformConfig;
+}
 
 namespace ntc::faultsim {
 
@@ -92,8 +108,13 @@ struct CampaignSummary {
 class CampaignRunner {
  public:
   explicit CampaignRunner(CampaignConfig config);
+  ~CampaignRunner();
+  CampaignRunner(const CampaignRunner&) = delete;
+  CampaignRunner& operator=(const CampaignRunner&) = delete;
 
   /// Execute the full grid; returns the ledger ordered by grid cell.
+  /// Repeatable: subsequent calls reuse the parked executor workers and
+  /// the pooled platforms and produce an identical ledger.
   const std::vector<RunRecord>& run();
 
   const std::vector<RunRecord>& records() const { return records_; }
@@ -106,14 +127,23 @@ class CampaignRunner {
  private:
   RunRecord execute_one(const Scenario& scenario,
                         mitigation::SchemeKind scheme, Volt vdd,
-                        std::uint64_t seed) const;
+                        std::uint64_t seed, sim::PlatformPool& pool) const;
   void compute_golden();
+  sim::PlatformConfig platform_base_config() const;
 
   CampaignConfig config_;
   std::vector<std::complex<double>> signal_;
   std::vector<std::complex<double>> reference_;  ///< double-precision FFT
   std::vector<std::uint32_t> golden_;            ///< fault-free output words
+  bool golden_computed_ = false;
   std::vector<RunRecord> records_;
+
+  /// Campaign-wide immutable model tables shared by every platform.
+  std::shared_ptr<reliability::ModelTableCache> tables_;
+  /// Parked between run() calls; created on first use.
+  std::unique_ptr<Executor> executor_;
+  /// One private pool per executor worker (index = worker id).
+  std::vector<std::unique_ptr<sim::PlatformPool>> pools_;
 };
 
 }  // namespace ntc::faultsim

@@ -70,7 +70,14 @@ FaultEvent FaultEvent::write_burst(std::uint32_t word, std::uint64_t bit_mask,
 }
 
 ScenarioInjector::ScenarioInjector(std::vector<FaultEvent> events) {
+  rearm(std::move(events));
+}
+
+void ScenarioInjector::rearm(std::vector<FaultEvent> events) {
+  events_.clear();
   events_.reserve(events.size());
+  events_fired_ = 0;
+  overlay_stationary_ = true;
   for (auto& e : events) {
     if (stuck_kind(e.kind) &&
         (e.arm_at_access != 0 ||

@@ -92,6 +92,13 @@ class ScenarioInjector final : public sim::FaultInjector {
  public:
   explicit ScenarioInjector(std::vector<FaultEvent> events);
 
+  /// Replace the script and restart as freshly constructed: one-shot
+  /// consumption and the fired counter are cleared.  Lets a pooled
+  /// platform keep one injector attached per array and reprogram it per
+  /// run instead of rebuilding the injector chain (the owning array's
+  /// fault state must be re-derived afterwards — Platform::reset does).
+  void rearm(std::vector<FaultEvent> events);
+
   std::string name() const override { return "scenario"; }
   void stuck_overlay(std::uint32_t index, const sim::FaultContext& ctx,
                      std::uint64_t& mask, std::uint64_t& value) override;

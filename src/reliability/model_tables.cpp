@@ -1,0 +1,108 @@
+#include "reliability/model_tables.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace ntc::reliability {
+
+std::size_t RetentionVminTable::failing_count(Volt vdd) const {
+  // First entry with vmin <= vdd; everything before it fails.  The
+  // comparison (strict >) matches the per-cell scan this replaces.
+  const double v = vdd.value;
+  const auto it = std::partition_point(
+      vmin_desc.begin(), vmin_desc.end(),
+      [v](double vmin) { return vmin > v; });
+  return static_cast<std::size_t>(it - vmin_desc.begin());
+}
+
+std::shared_ptr<const RetentionVminTable> make_retention_vmin_table(
+    const NoiseMarginModel& retention, std::uint64_t sigma_seed,
+    std::size_t cells) {
+  NTC_REQUIRE(cells > 0);
+  auto table = std::make_shared<RetentionVminTable>();
+  // The deviate stream and its float narrowing reproduce the original
+  // per-instance fingerprint draw exactly; only the storage order (and
+  // the cell_desc inverse) is new.
+  std::vector<double> vmin(cells);
+  Rng sigma_rng(sigma_seed);
+  for (auto& v : vmin) {
+    const double sigma = static_cast<float>(sigma_rng.normal());
+    v = retention.cell_retention_vmin(sigma).value;
+  }
+  std::vector<std::uint32_t> order(cells);
+  for (std::size_t i = 0; i < cells; ++i)
+    order[i] = static_cast<std::uint32_t>(i);
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              if (vmin[a] != vmin[b]) return vmin[a] > vmin[b];
+              return a < b;
+            });
+  table->vmin_desc.resize(cells);
+  table->cell_desc = std::move(order);
+  for (std::size_t i = 0; i < cells; ++i)
+    table->vmin_desc[i] = vmin[table->cell_desc[i]];
+  table->max_vmin = table->vmin_desc.front();
+  return table;
+}
+
+std::size_t ModelTableCache::KeyHash::operator()(const VminKey& key) const {
+  std::uint64_t h = 0x9e3779b97f4a7c15ull;
+  for (std::uint64_t v : {key.c0, key.c1, key.c2, key.sigma_seed, key.cells}) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  }
+  return static_cast<std::size_t>(h);
+}
+
+std::size_t ModelTableCache::KeyHash::operator()(const AccessKey& key) const {
+  std::uint64_t h = 0x517cc1b727220a95ull;
+  for (std::uint64_t v : {key.a, key.k, key.v0, key.vdd}) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  }
+  return static_cast<std::size_t>(h);
+}
+
+std::shared_ptr<const RetentionVminTable> ModelTableCache::retention_vmin(
+    const NoiseMarginModel& retention, std::uint64_t sigma_seed,
+    std::size_t cells) {
+  const VminKey key{std::bit_cast<std::uint64_t>(retention.c0()),
+                    std::bit_cast<std::uint64_t>(retention.c1()),
+                    std::bit_cast<std::uint64_t>(retention.c2()), sigma_seed,
+                    cells};
+  // The draw runs under the lock: a cold key is computed exactly once
+  // even when several workers demand it simultaneously, and the draw is
+  // milliseconds against a campaign of seconds.
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = vmin_.find(key);
+  if (it == vmin_.end())
+    it = vmin_.emplace(key, make_retention_vmin_table(retention, sigma_seed,
+                                                      cells))
+             .first;
+  return it->second;
+}
+
+double ModelTableCache::p_access(const AccessErrorModel& access, Volt vdd) {
+  const AccessKey key{std::bit_cast<std::uint64_t>(access.a()),
+                      std::bit_cast<std::uint64_t>(access.k()),
+                      std::bit_cast<std::uint64_t>(access.v0().value),
+                      std::bit_cast<std::uint64_t>(vdd.value)};
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = access_.find(key);
+  if (it == access_.end())
+    it = access_.emplace(key, access.p_bit_err(vdd)).first;
+  return it->second;
+}
+
+std::size_t ModelTableCache::vmin_tables() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return vmin_.size();
+}
+
+std::size_t ModelTableCache::access_points() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return access_.size();
+}
+
+}  // namespace ntc::reliability

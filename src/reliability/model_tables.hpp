@@ -1,0 +1,99 @@
+// Immutable reliability-model tables shared across platform instances.
+//
+// A voltage x scheme x seed campaign grid re-evaluates the same model
+// curves thousands of times: every SramModule instance with the same
+// Monte-Carlo seed owns an identical per-cell retention-V_min
+// fingerprint (~10^5 Gaussian draws each), and every operating-point
+// change re-evaluates the Eq. 5 access error curve at a supply the grid
+// visits over and over.  Both are pure functions of (model, seed/vdd),
+// so a campaign computes them once here and hands every platform a
+// shared read-only view: a 10-voltage x 4-scheme x 50-seed grid then
+// evaluates each curve once per distinct input instead of once per grid
+// cell.
+//
+// Sharing is bit-exact by construction — the tables memoise the very
+// values the per-instance code computed before, keyed by everything
+// that determines them.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.hpp"
+#include "reliability/access_model.hpp"
+#include "reliability/noise_margin.hpp"
+
+namespace ntc::reliability {
+
+/// Per-cell retention-V_min fingerprint of one SRAM instance, stored
+/// sorted by descending V_min: the failing set at supply V is exactly
+/// the prefix with vmin > V (the population is fixed, the threshold
+/// moves), so a stuck-cell count is a binary search and a stuck-state
+/// rebuild touches only the failing prefix instead of every cell.
+struct RetentionVminTable {
+  /// Cell V_min, descending (ties in arbitrary order — a tie is either
+  /// wholly failing or wholly retained, so the prefix is still exact).
+  std::vector<double> vmin_desc;
+  /// cell index (word * stored_bits + bit) of each vmin_desc entry.
+  std::vector<std::uint32_t> cell_desc;
+  double max_vmin = 0.0;  ///< vmin_desc.front() (0 for an empty table)
+
+  /// Number of cells stuck below `vdd`: |{cells : vmin > vdd}|, with
+  /// the exact comparison the unsorted per-cell scan used.
+  std::size_t failing_count(Volt vdd) const;
+};
+
+/// Draw the fingerprint directly (the uncached path; the cache calls
+/// this on a miss).  `sigma_seed` seeds the deviate stream — the seed
+/// of the Rng the owning injector forks for its silicon fingerprint —
+/// and the deviates pass through float exactly like the original
+/// per-instance draw, so shared and private fingerprints are
+/// bit-identical.
+std::shared_ptr<const RetentionVminTable> make_retention_vmin_table(
+    const NoiseMarginModel& retention, std::uint64_t sigma_seed,
+    std::size_t cells);
+
+/// Thread-safe memoisation of model evaluations, shared by every
+/// platform of a campaign.  All returned values are immutable.
+class ModelTableCache {
+ public:
+  /// The fingerprint for (retention model, sigma_seed, cells); computed
+  /// once, shared by every caller with the same key.
+  std::shared_ptr<const RetentionVminTable> retention_vmin(
+      const NoiseMarginModel& retention, std::uint64_t sigma_seed,
+      std::size_t cells);
+
+  /// Eq. 5 access error probability, memoised per (model, supply).
+  double p_access(const AccessErrorModel& access, Volt vdd);
+
+  /// Entry counts, for ledgers and tests.
+  std::size_t vmin_tables() const;
+  std::size_t access_points() const;
+
+ private:
+  struct VminKey {
+    std::uint64_t c0, c1, c2;  ///< bit patterns of the model constants
+    std::uint64_t sigma_seed;
+    std::uint64_t cells;
+    bool operator==(const VminKey&) const = default;
+  };
+  struct AccessKey {
+    std::uint64_t a, k, v0, vdd;  ///< bit patterns
+    bool operator==(const AccessKey&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const VminKey& key) const;
+    std::size_t operator()(const AccessKey& key) const;
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<VminKey, std::shared_ptr<const RetentionVminTable>,
+                     KeyHash>
+      vmin_;
+  std::unordered_map<AccessKey, double, KeyHash> access_;
+};
+
+}  // namespace ntc::reliability

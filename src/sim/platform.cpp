@@ -13,58 +13,134 @@ energy::MemoryGeometry geometry_for(std::uint32_t bytes) {
   return energy::MemoryGeometry{bytes / 4, 32};
 }
 
+// Process-wide immutable singletons.  Every platform uses the same two
+// codes and codec overheads; the decode/encode paths are const with no
+// mutable state, so sharing them across platforms — and across campaign
+// worker threads — is safe and spares each construction a BCH table
+// build and two codec syntheses.
+const std::shared_ptr<const ecc::BlockCode>& shared_secded_code() {
+  static const std::shared_ptr<const ecc::BlockCode> code =
+      std::make_shared<ecc::HammingSecded>(32);
+  return code;
+}
+
+const std::shared_ptr<const ecc::BlockCode>& shared_bch_code() {
+  static const std::shared_ptr<const ecc::BlockCode> code =
+      std::make_shared<ecc::BchCode>(ecc::ocean_buffer_code());
+  return code;
+}
+
+const ecc::CodecOverhead& shared_secded_overhead() {
+  static const ecc::CodecOverhead overhead = ecc::estimate_codec_overhead(
+      ecc::HammingSecded(32), tech::node_40nm_lp());
+  return overhead;
+}
+
+const ecc::CodecOverhead& shared_bch_overhead() {
+  static const ecc::CodecOverhead overhead = ecc::estimate_codec_overhead(
+      ecc::ocean_buffer_code(), tech::node_40nm_lp());
+  return overhead;
+}
+
+mitigation::MitigationScheme scheme_for(mitigation::SchemeKind kind) {
+  return kind == mitigation::SchemeKind::Secded
+             ? mitigation::secded_scheme()
+             : kind == mitigation::SchemeKind::Ocean
+                   ? mitigation::ocean_scheme()
+                   : mitigation::no_mitigation();
+}
+
+energy::LogicModel codec_model_for(mitigation::SchemeKind kind) {
+  return kind == mitigation::SchemeKind::Ocean
+             ? energy::ocean_hw_logic_40nm()
+             : energy::secded_codec_logic_40nm();
+}
+
 }  // namespace
 
 Platform::Platform(PlatformConfig config)
-    : config_(config),
-      scheme_(config.scheme == mitigation::SchemeKind::Secded
-                  ? mitigation::secded_scheme()
-                  : config.scheme == mitigation::SchemeKind::Ocean
-                        ? mitigation::ocean_scheme()
-                        : mitigation::no_mitigation()),
-      imem_calc_(config.memory_style, geometry_for(config.imem_bytes)),
-      spm_calc_(config.memory_style, geometry_for(config.spm_bytes)),
-      pm_calc_(config.memory_style, geometry_for(config.pm_bytes)),
+    : config_(std::move(config)),
+      scheme_(scheme_for(config_.scheme)),
+      imem_calc_(config_.memory_style, geometry_for(config_.imem_bytes)),
+      spm_calc_(config_.memory_style, geometry_for(config_.spm_bytes)),
+      pm_calc_(config_.memory_style, geometry_for(config_.pm_bytes)),
       core_model_(energy::arm9_class_core_40nm()),
-      codec_model_(config.scheme == mitigation::SchemeKind::Ocean
-                       ? energy::ocean_hw_logic_40nm()
-                       : energy::secded_codec_logic_40nm()),
-      secded_overhead_(ecc::estimate_codec_overhead(ecc::HammingSecded(32),
-                                                    tech::node_40nm_lp())),
-      bch_overhead_(ecc::estimate_codec_overhead(ecc::ocean_buffer_code(),
-                                                 tech::node_40nm_lp())),
+      codec_model_(codec_model_for(config_.scheme)),
+      secded_overhead_(shared_secded_overhead()),
+      bch_overhead_(shared_bch_overhead()),
       bus_(0) {
-  NTC_REQUIRE(config.imem_bytes % 4 == 0 && config.spm_bytes % 4 == 0);
-  NTC_REQUIRE(config.vdd.value > 0.0 && config.clock.value > 0.0);
+  NTC_REQUIRE(config_.imem_bytes % 4 == 0 && config_.spm_bytes % 4 == 0);
+  NTC_REQUIRE(config_.vdd.value > 0.0 && config_.clock.value > 0.0);
+  build_memories();
+}
 
-  const bool secded_memories = config.scheme == mitigation::SchemeKind::Secded;
-  const bool ocean = config.scheme == mitigation::SchemeKind::Ocean;
+void Platform::build_memories() {
+  const bool secded_memories = config_.scheme == mitigation::SchemeKind::Secded;
+  const bool ocean = config_.scheme == mitigation::SchemeKind::Ocean;
 
-  std::shared_ptr<const ecc::BlockCode> secded =
-      std::make_shared<ecc::HammingSecded>(32);
-  std::shared_ptr<const ecc::BlockCode> bch =
-      std::make_shared<ecc::BchCode>(ecc::ocean_buffer_code());
+  const std::shared_ptr<const ecc::BlockCode>& secded = shared_secded_code();
+  const std::shared_ptr<const ecc::BlockCode>& bch = shared_bch_code();
 
   // IM: SECDED under both ECC and OCEAN (fetches must at least detect).
-  imem_ = make_memory("imem", config.imem_bytes,
+  imem_ = make_memory("imem", config_.imem_bytes,
                       (secded_memories || ocean) ? 39 : 32,
                       (secded_memories || ocean) ? secded : nullptr, 0x10);
   // SPM: SECDED under ECC and OCEAN — Figure 6 keeps the ECC module in
   // the OCEAN configuration; OCEAN adds rollback for what SECDED can
   // only *detect*, which is how it tolerates the deeper supply.
-  spm_ = make_memory("spm", config.spm_bytes,
+  spm_ = make_memory("spm", config_.spm_bytes,
                      (secded_memories || ocean) ? 39 : 32,
                      (secded_memories || ocean) ? secded : nullptr, 0x20);
+  pm_.reset();
   if (ocean) {
-    pm_ = make_memory("pm", config.pm_bytes,
+    pm_ = make_memory("pm", config_.pm_bytes,
                       static_cast<std::uint32_t>(bch->code_bits()), bch, 0x30);
   }
 
+  bus_ = Bus(0);
   bus_.map("imem", PlatformMap::kImemBase, imem_.get());
   bus_.map("spm", PlatformMap::kSpmBase, spm_.get());
   if (pm_) bus_.map("pm", PlatformMap::kPmBase, pm_.get());
-  cpu_ = std::make_unique<Cpu>(bus_);
+  // The core references bus_ (the member object, stable across the
+  // assignment above), so it survives rebuilds; it only needs creating
+  // once.
+  if (!cpu_) cpu_ = std::make_unique<Cpu>(bus_);
   cpu_->reset(PlatformMap::kImemBase * 4);
+}
+
+void Platform::reset(std::uint64_t seed, Volt vdd) {
+  NTC_REQUIRE(vdd.value > 0.0);
+  config_.seed = seed;
+  config_.vdd = vdd;
+  // Salts match make_memory's construction-time streams, so a reset
+  // platform draws exactly what a fresh Platform(config) would.
+  imem_->array().reset(vdd, Rng(seed).fork(0x10));
+  imem_->reset_stats();
+  spm_->array().reset(vdd, Rng(seed).fork(0x20));
+  spm_->reset_stats();
+  if (pm_) {
+    pm_->array().reset(vdd, Rng(seed).fork(0x30));
+    pm_->reset_stats();
+  }
+  extra_cycles_ = 0;
+  extra_fetches_ = 0;
+  cpu_->reset(PlatformMap::kImemBase * 4);
+}
+
+void Platform::reset(std::uint64_t seed, Volt vdd,
+                     mitigation::SchemeKind scheme) {
+  if (scheme == config_.scheme) {
+    reset(seed, vdd);
+    return;
+  }
+  config_.scheme = scheme;
+  config_.seed = seed;
+  config_.vdd = vdd;
+  scheme_ = scheme_for(scheme);
+  codec_model_ = codec_model_for(scheme);
+  extra_cycles_ = 0;
+  extra_fetches_ = 0;
+  build_memories();
 }
 
 std::unique_ptr<EccMemory> Platform::make_memory(
@@ -73,7 +149,8 @@ std::unique_ptr<EccMemory> Platform::make_memory(
   energy::MemoryCalculator calc(config_.memory_style, geometry_for(bytes));
   auto array = std::make_unique<SramModule>(
       name, bytes / 4, stored_bits, calc.access_model(), calc.retention_model(),
-      config_.vdd, Rng(config_.seed).fork(salt), config_.inject_faults);
+      config_.vdd, Rng(config_.seed).fork(salt), config_.inject_faults,
+      config_.tables);
   return std::make_unique<EccMemory>(std::move(array), std::move(code));
 }
 

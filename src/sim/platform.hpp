@@ -26,6 +26,10 @@
 #include "sim/cpu.hpp"
 #include "sim/ecc_memory.hpp"
 
+namespace ntc::reliability {
+class ModelTableCache;
+}
+
 namespace ntc::sim {
 
 struct PlatformConfig {
@@ -39,6 +43,10 @@ struct PlatformConfig {
   std::uint32_t pm_bytes = 1024;  ///< OCEAN protected buffer
   std::uint64_t seed = 1;
   bool inject_faults = true;
+  /// Optional campaign-wide cache of immutable model tables (retention
+  /// fingerprints, access-error curve points) shared by every platform
+  /// handed the same cache.  Null keeps the models platform-private.
+  std::shared_ptr<reliability::ModelTableCache> tables;
 };
 
 /// Word-index base addresses on the bus (byte addresses are 4x).
@@ -93,6 +101,20 @@ class Platform {
   /// subsequent activity (the report uses the current supply).
   void set_vdd(Volt vdd);
 
+  /// Fast re-init: return the platform to the state a fresh
+  /// Platform(config) with the given seed/supply would be in, without
+  /// reconstructing the memory arenas.  Memories are zeroed and
+  /// reseeded, counters cleared, the core reset.  Scripted injectors
+  /// attached to the arrays survive (rearm them first); the stochastic
+  /// model is reseeded like a new instance.
+  void reset(std::uint64_t seed, Volt vdd);
+
+  /// As above, additionally switching the mitigation scheme.  A scheme
+  /// change rebuilds the memories and codec models (their geometry and
+  /// codes differ per scheme) — still cheaper than a full construction,
+  /// but attached injectors are dropped with the old arrays.
+  void reset(std::uint64_t seed, Volt vdd, mitigation::SchemeKind scheme);
+
   /// The mitigation scheme descriptor in effect.
   const mitigation::MitigationScheme& scheme() const { return scheme_; }
 
@@ -102,6 +124,9 @@ class Platform {
                                          std::uint32_t stored_bits,
                                          std::shared_ptr<const ecc::BlockCode> code,
                                          std::uint64_t salt);
+  /// Build memories, bus map and core from config_ (construction and
+  /// scheme-change reset share this).
+  void build_memories();
 
   PlatformConfig config_;
   mitigation::MitigationScheme scheme_;

@@ -1,0 +1,23 @@
+#include "sim/platform_pool.hpp"
+
+namespace ntc::sim {
+
+PlatformPool::Slot& PlatformPool::acquire(mitigation::SchemeKind scheme) {
+  const std::size_t index = static_cast<std::size_t>(scheme);
+  if (slots_.size() <= index) slots_.resize(index + 1);
+  Slot& slot = slots_[index];
+  if (!slot.platform) {
+    PlatformConfig config = base_;
+    config.scheme = scheme;
+    slot.platform = std::make_unique<Platform>(std::move(config));
+  }
+  return slot;
+}
+
+std::size_t PlatformPool::size() const {
+  std::size_t count = 0;
+  for (const Slot& slot : slots_) count += slot.platform != nullptr;
+  return count;
+}
+
+}  // namespace ntc::sim

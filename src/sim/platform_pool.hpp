@@ -1,0 +1,55 @@
+// Per-worker pool of reusable Platform instances.
+//
+// A campaign grid cell needs a platform in a specific (scheme, seed,
+// vdd) state; constructing one per cell spends most of the cell's wall
+// clock on arena allocation and model setup.  A PlatformPool keeps one
+// platform per mitigation scheme alive and hands it out for
+// Platform::reset-based reuse.  The pool is intentionally NOT
+// thread-safe: each campaign worker owns a private pool, so pooled
+// platforms are never shared between threads and reuse needs no
+// locking.
+//
+// The pool stores an opaque `client_state` per slot so the owner can
+// keep per-platform companions (e.g. the scenario injectors attached to
+// the platform's arrays) alive and findable across acquisitions.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/platform.hpp"
+
+namespace ntc::sim {
+
+class PlatformPool {
+ public:
+  struct Slot {
+    std::unique_ptr<Platform> platform;
+    /// Owner-defined companion state bound to this platform's lifetime
+    /// (null until the owner sets it on first acquisition).
+    std::shared_ptr<void> client_state;
+  };
+
+  /// `base` supplies everything but the scheme (style, sizes, clock,
+  /// tables, ...); each slot's platform is constructed from it with the
+  /// slot's scheme on first acquisition.
+  explicit PlatformPool(PlatformConfig base) : base_(std::move(base)) {}
+
+  PlatformPool(const PlatformPool&) = delete;
+  PlatformPool& operator=(const PlatformPool&) = delete;
+
+  /// The pooled platform for `scheme`, constructed on first use.  The
+  /// platform keeps whatever state its previous run left; callers rearm
+  /// their injectors and Platform::reset it before use.
+  Slot& acquire(mitigation::SchemeKind scheme);
+
+  /// Platforms constructed so far (for tests and ledgers).
+  std::size_t size() const;
+
+ private:
+  PlatformConfig base_;
+  /// Indexed by SchemeKind; small and fixed, so a flat array beats a map.
+  std::vector<Slot> slots_;
+};
+
+}  // namespace ntc::sim

@@ -1,5 +1,7 @@
 #include "sim/sram_module.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 #include "sim/stochastic_injector.hpp"
 
@@ -9,7 +11,8 @@ SramModule::SramModule(std::string name, std::uint32_t words,
                        std::uint32_t stored_bits,
                        reliability::AccessErrorModel access,
                        reliability::NoiseMarginModel retention, Volt vdd,
-                       Rng rng, bool inject_faults)
+                       Rng rng, bool inject_faults,
+                       std::shared_ptr<reliability::ModelTableCache> tables)
     : name_(std::move(name)),
       stored_bits_(stored_bits),
       access_(std::move(access)),
@@ -20,10 +23,22 @@ SramModule::SramModule(std::string name, std::uint32_t words,
   NTC_REQUIRE(words > 0);
   NTC_REQUIRE(stored_bits >= 1 && stored_bits <= 64);
   if (inject_faults_) {
-    stochastic_ = std::make_shared<StochasticInjector>(access_, retention_, rng,
-                                                       words, stored_bits_);
+    stochastic_ = std::make_shared<StochasticInjector>(
+        access_, retention_, rng, words, stored_bits_, std::move(tables));
     injectors_.push_back(stochastic_);
   }
+  derive_fault_state();
+}
+
+void SramModule::reset(Volt vdd, Rng rng) {
+  NTC_REQUIRE(vdd.value > 0.0);
+  vdd_ = vdd;
+  std::fill(data_.begin(), data_.end(), 0);
+  stats_ = SramStats{};
+  if (stochastic_) stochastic_->reseed(rng);
+  // One derive replays what construction plus injector attachment did:
+  // it re-derives every injector at the new operating point and commits
+  // the merged overlay into the zeroed array.
   derive_fault_state();
 }
 

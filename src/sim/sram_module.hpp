@@ -19,6 +19,10 @@
 #include "reliability/noise_margin.hpp"
 #include "sim/fault_injector.hpp"
 
+namespace ntc::reliability {
+class ModelTableCache;
+}
+
 namespace ntc::sim {
 
 struct SramStats {
@@ -34,10 +38,14 @@ class SramModule {
   /// `stored_bits` <= 64 per word (39 for SECDED codewords, 56 for the
   /// BCH-protected buffer).  Fault injection can be disabled for
   /// golden-reference runs (no stochastic injector is attached then).
+  /// `tables`, when given, is a campaign-wide cache the stochastic
+  /// injector fetches its (immutable) model tables from instead of
+  /// recomputing them per instance.
   SramModule(std::string name, std::uint32_t words, std::uint32_t stored_bits,
              reliability::AccessErrorModel access,
              reliability::NoiseMarginModel retention, Volt vdd, Rng rng,
-             bool inject_faults = true);
+             bool inject_faults = true,
+             std::shared_ptr<reliability::ModelTableCache> tables = nullptr);
 
   const std::string& name() const { return name_; }
   std::uint32_t words() const { return static_cast<std::uint32_t>(data_.size()); }
@@ -48,6 +56,13 @@ class SramModule {
   /// Raising the voltage heals stuck cells; cells keep whatever value
   /// the stuck state imposed (as real silicon would).
   void set_vdd(Volt vdd);
+
+  /// Return to the as-constructed state over a new Monte-Carlo stream:
+  /// zeroed data, cleared counters, a reseeded stochastic model, and the
+  /// fault state re-derived at `vdd`.  Attached scripted injectors stay
+  /// attached — the caller rearms them first — so a pooled array is
+  /// indistinguishable from a freshly constructed one.
+  void reset(Volt vdd, Rng rng);
 
   /// Append a scripted injector to the fault chain (after the
   /// stochastic model, if any).  Re-derives the persistent fault state

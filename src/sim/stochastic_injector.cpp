@@ -7,61 +7,97 @@
 
 namespace ntc::sim {
 
-StochasticInjector::StochasticInjector(reliability::AccessErrorModel access,
-                                       reliability::NoiseMarginModel retention,
-                                       Rng rng, std::uint32_t words,
-                                       std::uint32_t stored_bits)
+StochasticInjector::StochasticInjector(
+    reliability::AccessErrorModel access, reliability::NoiseMarginModel
+    retention, Rng rng, std::uint32_t words, std::uint32_t stored_bits,
+    std::shared_ptr<reliability::ModelTableCache> tables)
     : access_(std::move(access)),
       retention_(std::move(retention)),
       rng_(rng),
       stored_bits_(stored_bits),
+      tables_(std::move(tables)),
       stuck_mask_(words, 0),
       stuck_value_(words, 0) {
   NTC_REQUIRE(words > 0);
   NTC_REQUIRE(stored_bits >= 1 && stored_bits <= 64);
-  // Per-cell mismatch deviates are the silicon fingerprint of this
-  // instance; they persist across voltage changes, so fold them into
-  // per-cell retention V_min once.  The deviates pass through float
-  // like the original per-access model evaluation did, keeping the
-  // derived V_min bit-identical.
-  const std::size_t cells = static_cast<std::size_t>(words) * stored_bits_;
-  cell_vmin_.resize(cells);
-  Rng sigma_rng = rng_.fork(0x51d3);
-  for (auto& vmin : cell_vmin_) {
-    const double sigma = static_cast<float>(sigma_rng.normal());
-    vmin = retention_.cell_retention_vmin(sigma).value;
+  // V_min is affine in the deviate, so its extreme over the population
+  // lies at one of the Box-Muller endpoints; any supply at or above it
+  // provably retains every cell without drawing the fingerprint.
+  const double bound = Rng::max_normal_magnitude();
+  lazy_safe_vdd_ = std::max(retention_.cell_retention_vmin(-bound).value,
+                            retention_.cell_retention_vmin(bound).value);
+}
+
+void StochasticInjector::reseed(Rng rng) {
+  rng_ = rng;
+  // As-if freshly constructed over `rng`: the old fingerprint belongs to
+  // the old seed, and the flip stream restarts from the new engine.
+  vmin_ = nullptr;
+  if (stuck_count_ != 0) {
+    std::fill(stuck_mask_.begin(), stuck_mask_.end(), 0);
+    std::fill(stuck_value_.begin(), stuck_value_.end(), 0);
+    stuck_count_ = 0;
   }
+  p_access_ = 0.0;
+  p_no_flip_ = 1.0;
+}
+
+void StochasticInjector::materialize_fingerprint() {
+  if (vmin_) return;
+  const std::size_t cells = stuck_mask_.size() * stored_bits_;
+  // fork() is const, so keying the table on the forked seed consumes
+  // nothing from rng_ — exactly like the eager draw did.
+  const std::uint64_t sigma_seed = rng_.fork(0x51d3).seed();
+  vmin_ = tables_
+              ? tables_->retention_vmin(retention_, sigma_seed, cells)
+              : reliability::make_retention_vmin_table(retention_, sigma_seed,
+                                                       cells);
 }
 
 void StochasticInjector::on_operating_point(const FaultContext& ctx) {
-  p_access_ = access_.p_bit_err(ctx.vdd);
+  p_access_ = tables_ ? tables_->p_access(access_, ctx.vdd)
+                      : access_.p_bit_err(ctx.vdd);
   p_no_flip_ = std::pow(1.0 - p_access_, static_cast<double>(stored_bits_));
+  if (!vmin_) {
+    if (ctx.vdd.value >= lazy_safe_vdd_) return;  // failing set provably empty
+    materialize_fingerprint();
+  }
   // The failing set {V_min > vdd} is monotone in the supply, so sets at
   // two voltages are nested and equal counts mean an identical set —
   // and, because the value stream is forked fresh per operating point
   // and consumed in cell order, identical stuck values too: skip the
   // redraw entirely.
-  const double vdd = ctx.vdd.value;
-  const std::size_t count = static_cast<std::size_t>(std::count_if(
-      cell_vmin_.begin(), cell_vmin_.end(),
-      [vdd](double vmin) { return vmin > vdd; }));
+  const std::size_t count = vmin_->failing_count(ctx.vdd);
   if (count == stuck_count_) return;
+  rebuild_stuck_state(count);
+}
+
+void StochasticInjector::rebuild_stuck_state(std::size_t count) {
+  // Old and new failing sets are nested prefixes of the sorted table, so
+  // the longer prefix covers every word either set touches: clear those
+  // and rebuild the new prefix, leaving the (vast) retained remainder
+  // untouched.
+  const auto& cell_desc = vmin_->cell_desc;
+  const std::size_t touched = std::max(stuck_count_, count);
+  for (std::size_t i = 0; i < touched; ++i) {
+    const std::uint32_t word = cell_desc[i] / stored_bits_;
+    stuck_mask_[word] = 0;
+    stuck_value_[word] = 0;
+  }
   stuck_count_ = count;
+  if (count == 0) return;
 
   // Redraw in ascending cell order — the order the full words x bits
   // rescan visited the failing cells — so results stay bit-exact.
+  std::vector<std::uint32_t> failing(cell_desc.begin(),
+                                     cell_desc.begin() + count);
+  std::sort(failing.begin(), failing.end());
   Rng stuck_rng = rng_.fork(0x57);
-  const double* vmin = cell_vmin_.data();
-  for (std::size_t w = 0; w < stuck_mask_.size(); ++w) {
-    std::uint64_t mask_bits = 0, value_bits = 0;
-    for (std::uint32_t b = 0; b < stored_bits_; ++b, ++vmin) {
-      if (*vmin > vdd) {
-        mask_bits |= std::uint64_t{1} << b;
-        if (stuck_rng.bernoulli(0.5)) value_bits |= std::uint64_t{1} << b;
-      }
-    }
-    stuck_mask_[w] = mask_bits;
-    stuck_value_[w] = value_bits;
+  for (const std::uint32_t cell : failing) {
+    const std::uint32_t word = cell / stored_bits_;
+    const std::uint64_t bit = std::uint64_t{1} << (cell % stored_bits_);
+    stuck_mask_[word] |= bit;
+    if (stuck_rng.bernoulli(0.5)) stuck_value_[word] |= bit;
   }
 }
 

@@ -7,22 +7,31 @@
 //     with p = Eq. 5's access error probability; on every write each
 //     bit fails to latch with the same probability (persistent until
 //     rewritten).
-// Per-cell mismatch deviates are drawn once at construction (the
-// silicon fingerprint of the instance) and persist across voltage
-// changes, so the same cells fail first every time the rail droops.
-// The deviates are folded into per-cell retention V_min at
-// construction, so a supply change is one vectorisable threshold count
-// instead of a full words x bits model evaluation; the stuck-value
-// redraw is skipped entirely when the failing set did not change
-// (bit-exact with the full rescan, which forks a fresh value stream
-// per operating point).
+// Per-cell mismatch deviates are the silicon fingerprint of the
+// instance and persist across voltage changes, so the same cells fail
+// first every time the rail droops.  The fingerprint is expensive
+// (~10^5 Gaussian draws) and is therefore:
+//   * lazy — Box-Muller deviates over 53-bit uniforms are bounded
+//     (|sigma| <= Rng::max_normal_magnitude()), so any supply above the
+//     V_min that bound implies provably retains every cell and the
+//     fingerprint need not exist at all.  A campaign cell at a healthy
+//     supply never draws it;
+//   * shared — when a reliability::ModelTableCache is attached, the
+//     fingerprint is fetched from it keyed by (model, seed, cells), so
+//     every platform with the same Monte-Carlo seed reuses one
+//     immutable table instead of re-drawing it per grid cell.
+// Both paths are bit-exact against the eager per-instance draw: the
+// deviate stream, the failing set at every supply, and the stuck-value
+// redraw order are preserved by construction.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "reliability/access_model.hpp"
+#include "reliability/model_tables.hpp"
 #include "reliability/noise_margin.hpp"
 #include "sim/fault_injector.hpp"
 
@@ -32,7 +41,9 @@ class StochasticInjector final : public FaultInjector {
  public:
   StochasticInjector(reliability::AccessErrorModel access,
                      reliability::NoiseMarginModel retention, Rng rng,
-                     std::uint32_t words, std::uint32_t stored_bits);
+                     std::uint32_t words, std::uint32_t stored_bits,
+                     std::shared_ptr<reliability::ModelTableCache> tables =
+                         nullptr);
 
   std::string name() const override { return "stochastic"; }
   void stuck_overlay(std::uint32_t index, const FaultContext& ctx,
@@ -48,22 +59,38 @@ class StochasticInjector final : public FaultInjector {
   /// supply).
   double p_access() const { return p_access_; }
 
+  /// Restart as a freshly-constructed instance over `rng`: new silicon
+  /// fingerprint, no stuck cells, untouched flip stream — the
+  /// Platform::reset fast path.  The caller re-derives the operating
+  /// point afterwards.
+  void reseed(Rng rng);
+
+  /// True once the fingerprint has been drawn or fetched (test hook for
+  /// the lazy path).
+  bool fingerprint_materialized() const { return vmin_ != nullptr; }
+
  private:
+  void materialize_fingerprint();
+  void rebuild_stuck_state(std::size_t count);
+
   reliability::AccessErrorModel access_;
   reliability::NoiseMarginModel retention_;
   Rng rng_;
   std::uint32_t stored_bits_;
+  std::shared_ptr<reliability::ModelTableCache> tables_;
   double p_access_ = 0.0;
   double p_no_flip_ = 1.0;  ///< (1 - p_access)^stored_bits, fast path
+
+  /// Supplies at or above this provably retain every cell whatever the
+  /// (undrawn) deviates are: V_min of a cell at the Box-Muller bound.
+  double lazy_safe_vdd_ = 0.0;
+  /// The fingerprint, null until a supply below lazy_safe_vdd_ forces
+  /// it into existence; shared when a table cache is attached.
+  std::shared_ptr<const reliability::RetentionVminTable> vmin_;
 
   /// Per-word masks of retention-failed cells and their stuck values.
   std::vector<std::uint64_t> stuck_mask_;
   std::vector<std::uint64_t> stuck_value_;
-  /// Per-cell retention V_min derived from the mismatch deviates
-  /// (fixed per instance, like silicon).  The failing set at any supply
-  /// is {cells with V_min > vdd}; it is monotone in vdd, so an equal
-  /// count means an identical set and the size alone detects changes.
-  std::vector<double> cell_vmin_;
   std::size_t stuck_count_ = 0;  ///< current failing-set size
 };
 

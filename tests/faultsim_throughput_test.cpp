@@ -1,0 +1,89 @@
+// Determinism of the campaign throughput engine: the ledger must be a
+// pure function of the campaign config — independent of the worker
+// count (work stealing moves cells between workers and their platform
+// pools), and stable across repeated run() calls on one runner (pooled
+// platforms are reset, not rebuilt).  Byte-compares the CSV and JSON
+// exports, which cover every record field.
+//
+// This test is also the multi-threaded TSan target: under the
+// sanitize-thread preset it drives the executor, the per-worker pools
+// and the shared model-table cache from eight threads.
+#include "faultsim/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+namespace ntc {
+namespace {
+
+faultsim::CampaignConfig small_grid(unsigned threads) {
+  faultsim::CampaignConfig config;
+  config.voltages = {Volt{0.30}, Volt{0.44}};
+  config.schemes = {mitigation::SchemeKind::NoMitigation,
+                    mitigation::SchemeKind::Secded,
+                    mitigation::SchemeKind::Ocean};
+  config.seeds_per_cell = 2;
+  config.fft_points = 16;
+  config.threads = threads;
+
+  faultsim::Scenario burst;
+  burst.name = "burst";
+  burst.spm_events = {faultsim::FaultEvent::read_burst(3, 4, 3),
+                      faultsim::FaultEvent::stuck_at(9, 0x7, 0x5, 0.6)};
+  burst.imem_events = {faultsim::FaultEvent::transient_flip(2, 0x10, 40)};
+  burst.pm_events = {faultsim::FaultEvent::write_burst(1, 0x3)};
+  config.scenarios = {faultsim::Scenario{"background", {}, {}, {}}, burst};
+  return config;
+}
+
+std::string csv_of(faultsim::CampaignRunner& runner) {
+  std::ostringstream out;
+  runner.write_csv(out);
+  return out.str();
+}
+
+std::string json_of(faultsim::CampaignRunner& runner) {
+  std::ostringstream out;
+  runner.write_json(out);
+  return out.str();
+}
+
+TEST(CampaignThroughputTest, LedgerIsByteIdenticalAcrossThreadCounts) {
+  faultsim::CampaignRunner serial(small_grid(1));
+  serial.run();
+  const std::string csv = csv_of(serial);
+  const std::string json = json_of(serial);
+  EXPECT_EQ(serial.records().size(), 2u * 3u * 2u * 2u);
+
+  faultsim::CampaignRunner wide(small_grid(8));
+  wide.run();
+  EXPECT_EQ(csv_of(wide), csv);
+  EXPECT_EQ(json_of(wide), json);
+}
+
+TEST(CampaignThroughputTest, RepeatedRunsOnOneRunnerAreIdentical) {
+  faultsim::CampaignRunner runner(small_grid(3));
+  runner.run();
+  const std::string first_csv = csv_of(runner);
+  const std::string first_json = json_of(runner);
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    runner.run();
+    ASSERT_EQ(csv_of(runner), first_csv) << "repeat " << repeat;
+    ASSERT_EQ(json_of(runner), first_json) << "repeat " << repeat;
+  }
+}
+
+TEST(CampaignThroughputTest, SummaryAccountsEveryRun) {
+  faultsim::CampaignRunner runner(small_grid(4));
+  runner.run();
+  const faultsim::CampaignSummary s = runner.summary();
+  EXPECT_EQ(s.runs, runner.records().size());
+  EXPECT_EQ(s.clean + s.corrected + s.detected_uncorrectable +
+                s.silent_data_corruption + s.system_failure,
+            s.runs);
+}
+
+}  // namespace
+}  // namespace ntc
