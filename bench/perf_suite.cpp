@@ -31,11 +31,14 @@
 #include "ecc/hsiao.hpp"
 #include "ecc/interleave.hpp"
 #include "faultsim/campaign.hpp"
+#include "ocean/runtime.hpp"
+#include "platform_fft_run.hpp"
 #include "reliability/access_model.hpp"
 #include "reliability/noise_margin.hpp"
 #include "sim/ecc_memory.hpp"
 #include "sim/platform.hpp"
 #include "sim/sram_module.hpp"
+#include "workloads/fft.hpp"
 
 namespace {
 
@@ -179,6 +182,15 @@ void bench_raw_access(Suite& suite) {
   suite.run("sram_read_raw_stochastic_0v60", [&](std::uint64_t i) {
     do_not_optimize(healthy->read_raw(static_cast<std::uint32_t>(i) & (kWords - 1)));
   });
+
+  // 256-word raw bursts on the faulty array: the amortized stochastic
+  // draw loop versus 256 read_raw calls.
+  std::uint64_t burst[256];
+  suite.run("sram_burst_read_0v42", [&](std::uint64_t i) {
+    faulty->read_raw_burst((static_cast<std::uint32_t>(i) * 256u) & (kWords - 1),
+                           burst, 256);
+    do_not_optimize(burst[0]);
+  });
 }
 
 void bench_ecc_memory(Suite& suite) {
@@ -199,6 +211,21 @@ void bench_ecc_memory(Suite& suite) {
     do_not_optimize(memory.read_word(static_cast<std::uint32_t>(i) & (kWords - 1),
                                      data));
     do_not_optimize(data);
+  });
+
+  // 256-word bursts through the batch codec kernels.
+  std::uint32_t words[256];
+  for (std::uint32_t i = 0; i < 256; ++i) words[i] = i * 2654435761u;
+  suite.run("eccmem_burst_write", [&](std::uint64_t i) {
+    memory.write_burst((static_cast<std::uint32_t>(i) * 256u) & (kWords - 1),
+                       words);
+    do_not_optimize(words[0]);
+  });
+  suite.run("eccmem_burst_read", [&](std::uint64_t i) {
+    std::uint32_t out[256];
+    do_not_optimize(memory.read_burst(
+        (static_cast<std::uint32_t>(i) * 256u) & (kWords - 1), out));
+    do_not_optimize(out[0]);
   });
 }
 
@@ -226,6 +253,25 @@ void bench_platform_reset(Suite& suite) {
   sim::Platform platform(pc);
   suite.run("platform_reset", [&](std::uint64_t i) {
     platform.reset(i + 1, Volt{0.44});
+    do_not_optimize(platform.total_cycles());
+  });
+}
+
+void bench_fft_platform_run(Suite& suite, bool quick) {
+  // The execution-driven hot path: one full FFT (initialize + all
+  // phases) on the SECDED platform at the safe single-supply operating
+  // point.  Reference-FFT/SNR setup is excluded — this times the
+  // memory pipeline the workload's loads and stores traverse.
+  sim::PlatformConfig config;
+  config.scheme = mitigation::SchemeKind::Secded;
+  config.vdd = Volt{0.60};
+  sim::Platform platform(config);
+  const std::size_t points = quick ? 64 : 1024;
+  workloads::FixedPointFft fft(points);
+  fft.set_input(benchutil::fft_test_signal(points));
+  suite.run("fft_platform_run", [&](std::uint64_t i) {
+    (void)i;
+    do_not_optimize(ocean::run_unprotected(platform, fft));
     do_not_optimize(platform.total_cycles());
   });
 }
@@ -342,6 +388,7 @@ int main(int argc, char** argv) {
   bench_ecc_memory(suite);
   bench_campaign_slice(suite, quick);
   bench_platform_reset(suite);
+  bench_fft_platform_run(suite, quick);
   bench_campaign_throughput(suite, quick);
 
   if (!baseline_path.empty()) annotate_baseline(suite.results(), baseline_path);

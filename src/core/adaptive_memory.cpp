@@ -85,6 +85,34 @@ sim::AccessStatus AdaptiveNtcMemory::write_word(std::uint32_t word_index,
   return memory_.write_word(word_index, data);
 }
 
+sim::AccessStatus AdaptiveNtcMemory::read_burst(
+    std::uint32_t word_index, std::span<std::uint32_t> data) {
+  if (!sim::burst_native_enabled())
+    return MemoryPort::read_burst(word_index, data);
+  if (!config_.recovery.enabled) return memory_.read_burst(word_index, data);
+  sim::AccessStatus status = sim::AccessStatus::Ok;
+  const std::uint32_t n = static_cast<std::uint32_t>(data.size());
+  std::uint32_t off = 0;
+  while (off < n) {
+    std::uint32_t bad = 0;
+    status = sim::worse_status(
+        status, memory_.read_burst_tracked(word_index + off, data.subspan(off),
+                                           bad));
+    if (bad == n - off) break;
+    status = sim::worse_status(
+        status, recover_read(word_index + off + bad, data[off + bad]));
+    off += bad + 1;
+  }
+  return status;
+}
+
+sim::AccessStatus AdaptiveNtcMemory::write_burst(
+    std::uint32_t word_index, std::span<const std::uint32_t> data) {
+  if (!sim::burst_native_enabled())
+    return MemoryPort::write_burst(word_index, data);
+  return memory_.write_burst(word_index, data);
+}
+
 Volt AdaptiveNtcMemory::tick(Second age) {
   NTC_REQUIRE(age.value >= 0.0);
   ++ticks_;

@@ -39,6 +39,18 @@ class NtcMemory final : public sim::MemoryPort {
                                std::uint32_t data) override;
   std::uint32_t word_count() const override;
 
+  /// Native bursts.  Each burst word counts as one access toward the
+  /// scrub interval, and a scrub falling inside the burst splits it at
+  /// exactly the word the per-word loop would have scrubbed before —
+  /// bit-identical to the word-at-a-time fallback.
+  sim::AccessStatus read_burst(std::uint32_t word_index,
+                               std::span<std::uint32_t> data) override;
+  sim::AccessStatus write_burst(std::uint32_t word_index,
+                                std::span<const std::uint32_t> data) override;
+  sim::AccessStatus read_burst_tracked(std::uint32_t word_index,
+                                       std::span<std::uint32_t> data,
+                                       std::uint32_t& first_bad) override;
+
   /// Run-time voltage knob (the controller drives this).
   void set_vdd(Volt vdd);
   Volt vdd() const { return config_.vdd; }

@@ -23,6 +23,19 @@ struct DecodeResult {
   int corrected_bits = 0;  ///< number of bit corrections applied
 };
 
+/// Aggregate outcome of a decode_words() call.  The counters sum the
+/// per-word DecodeResult fields, so folding them into running memory
+/// statistics is bit-identical to folding each word in turn (addition
+/// is order-insensitive).  `first_uncorrectable` is the index of the
+/// first word whose status was DetectedUncorrectable, or `count` when
+/// every word decoded — the burst rollback decision point.
+struct BatchDecodeSummary {
+  std::uint64_t corrected_words = 0;
+  std::uint64_t corrected_bits = 0;
+  std::uint64_t uncorrectable_words = 0;
+  std::size_t first_uncorrectable = 0;
+};
+
 /// A systematic binary block code protecting up to 64 data bits.
 class BlockCode {
  public:
@@ -38,6 +51,31 @@ class BlockCode {
 
   virtual Bits encode(std::uint64_t data) const = 0;
   virtual DecodeResult decode(const Bits& received) const = 0;
+
+  /// Batched raw-codeword kernels for codes whose codeword fits one
+  /// 64-bit word (code_bits() <= 64) — the memory-stack burst path.
+  /// Raw codewords are packed in the low code_bits() of each element
+  /// (the SramModule storage format).  The defaults loop the scalar
+  /// encode/decode; bit-parallel codes override with lane kernels that
+  /// skip the per-word Bits marshalling.  Results must be bit-identical
+  /// to the scalar calls on the same inputs.
+  virtual void encode_batch(const std::uint64_t* data, std::size_t count,
+                            std::uint64_t* out) const;
+  virtual void decode_batch(const std::uint64_t* raw, std::size_t count,
+                            DecodeResult* out) const;
+
+  /// Word-direct burst kernels for 32-bit memory words: no widening
+  /// pass on encode, no per-word DecodeResult intermediates on decode —
+  /// the decoder writes the uint32 data lane directly and returns only
+  /// the aggregate summary.  Defaults chunk through
+  /// encode_batch/decode_batch; SECDED codes override with fused lanes.
+  /// Must be bit-identical to the scalar path (data words, counter
+  /// totals, and the first-uncorrectable index).
+  virtual void encode_words(const std::uint32_t* data, std::size_t count,
+                            std::uint64_t* raw) const;
+  virtual void decode_words(const std::uint64_t* raw, std::size_t count,
+                            std::uint32_t* data,
+                            BatchDecodeSummary& summary) const;
 
   /// Storage overhead: code_bits / data_bits.
   double overhead() const {

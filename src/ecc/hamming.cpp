@@ -65,6 +65,48 @@ HammingSecded::HammingSecded(std::size_t data_bits) : k_(data_bits) {
       syn_tab_[b][v] = static_cast<std::uint8_t>(syn_tab_[b][v & (v - 1)] ^ contrib);
     }
   }
+
+  if (n_ <= 64) {
+    // Byte-LUT lanes for the batch kernels.  Scatter, parity and gather
+    // are all XOR-linear in the input, so each table entry is just the
+    // run-shift kernel applied to one isolated byte.
+    data_bytes_ = (k_ + 7) / 8;
+    auto scatter = [this](std::uint64_t d) {
+      std::uint64_t w = 0;
+      for (const Run& run : runs_)
+        w |= ((d >> run.bit) & run.mask) << run.shift;
+      return w;
+    };
+    auto gather = [this](std::uint64_t c) {
+      std::uint64_t d = 0;
+      for (const Run& run : runs_)
+        d |= ((c >> run.shift) & run.mask) << run.bit;
+      return d;
+    };
+    for (std::size_t b = 0; b < data_bytes_; ++b) {
+      for (std::size_t v = 0; v < 256; ++v) {
+        std::uint64_t w = scatter(static_cast<std::uint64_t>(v) << (b * 8));
+        std::uint64_t parities = 0;
+        for (std::size_t cb = 0; cb < code_bytes_; ++cb)
+          parities ^= syn_tab_[cb][(w >> (cb * 8)) & 0xFFu];
+        for (std::size_t j = 0; j < r_; ++j)
+          w ^= ((parities >> j) & 1u) << (std::size_t{1} << j);
+        enc_tab_[b][v] = w;
+      }
+    }
+    for (std::size_t b = 0; b < code_bytes_; ++b)
+      for (std::size_t v = 0; v < 256; ++v)
+        gather_tab_[b][v] = gather(static_cast<std::uint64_t>(v) << (b * 8));
+    for (std::size_t pos = 1; pos <= m; ++pos)
+      pos_data_[pos] = gather(std::uint64_t{1} << pos);
+    packed_dec_ = k_ <= 56;
+    if (packed_dec_) {
+      for (std::size_t b = 0; b < code_bytes_; ++b)
+        for (std::size_t v = 0; v < 256; ++v)
+          dec_tab_[b][v] = gather_tab_[b][v] |
+                           (static_cast<std::uint64_t>(syn_tab_[b][v]) << 56);
+    }
+  }
 }
 
 std::string HammingSecded::name() const {
@@ -142,6 +184,159 @@ DecodeResult HammingSecded::decode(const Bits& received) const {
     data |= ((c[run.word] >> run.shift) & run.mask) << run.bit;
   result.data = data;
   return result;
+}
+
+void HammingSecded::encode_batch(const std::uint64_t* data, std::size_t count,
+                                 std::uint64_t* out) const {
+  if (n_ > 64) {
+    BlockCode::encode_batch(data, count, out);
+    return;
+  }
+  // n <= 64: every position lives in storage word 0 (all_hi_ == 0), so
+  // a lane is data_bytes_ table XORs (scattered data + parity bits in
+  // one lookup) plus the overall parity.
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t d = data[i];
+    if (k_ < 64) NTC_REQUIRE((d >> k_) == 0);
+    std::uint64_t w = 0;
+    for (std::size_t b = 0; b < data_bytes_; ++b)
+      w ^= enc_tab_[b][(d >> (b * 8)) & 0xFFu];
+    w |= parity64(w);
+    out[i] = w;
+  }
+}
+
+void HammingSecded::decode_batch(const std::uint64_t* raw, std::size_t count,
+                                 DecodeResult* out) const {
+  if (n_ > 64) {
+    BlockCode::decode_batch(raw, count, out);
+    return;
+  }
+  // Fused lane: one pass over the code bytes accumulates the syndrome
+  // and the gathered data together; a single-bit correction is patched
+  // in afterwards via pos_data_ (gather is linear, so gather(w ^ bit)
+  // == gather(w) ^ gather(bit)).
+  const std::size_t m = k_ + r_;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t w0 = raw[i] & all_lo_;
+    std::uint64_t syndrome = 0;
+    std::uint64_t data = 0;
+    for (std::size_t b = 0; b < code_bytes_; ++b) {
+      const std::uint64_t byte = (w0 >> (b * 8)) & 0xFFu;
+      syndrome ^= syn_tab_[b][byte];
+      data ^= gather_tab_[b][byte];
+    }
+    const bool overall = parity64(w0) != 0;
+
+    DecodeResult result;
+    if (syndrome == 0 && !overall) {
+      result.status = DecodeStatus::Ok;
+    } else if (syndrome == 0 && overall) {
+      result.status = DecodeStatus::Corrected;
+      result.corrected_bits = 1;
+    } else if (overall) {
+      if (syndrome <= m) {
+        data ^= pos_data_[syndrome];
+        result.status = DecodeStatus::Corrected;
+        result.corrected_bits = 1;
+      } else {
+        result.status = DecodeStatus::DetectedUncorrectable;
+      }
+    } else {
+      result.status = DecodeStatus::DetectedUncorrectable;
+    }
+    result.data = data;
+    out[i] = result;
+  }
+}
+
+void HammingSecded::encode_words(const std::uint32_t* data, std::size_t count,
+                                 std::uint64_t* raw) const {
+  if (n_ > 64) {
+    BlockCode::encode_words(data, count, raw);
+    return;
+  }
+  // Word-direct lane: no widening pass, and for 32-bit data only the
+  // low data_bytes_ tables contribute.  The 4-byte case (every k in
+  // (24, 32], including the (39,32) memory configuration) is unrolled
+  // with a fixed trip count so the four loads issue in parallel instead
+  // of through the loop's serial XOR chain.
+  if (data_bytes_ == 4 && k_ == 32) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uint32_t d = data[i];
+      std::uint64_t w = (enc_tab_[0][d & 0xFFu] ^ enc_tab_[1][(d >> 8) & 0xFFu]) ^
+                        (enc_tab_[2][(d >> 16) & 0xFFu] ^ enc_tab_[3][d >> 24]);
+      w |= parity64(w);
+      raw[i] = w;
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint32_t d = data[i];
+    if (k_ < 32) NTC_REQUIRE((d >> k_) == 0);
+    std::uint64_t w = 0;
+    for (std::size_t b = 0; b < data_bytes_; ++b)
+      w ^= enc_tab_[b][(d >> (b * 8)) & 0xFFu];
+    w |= parity64(w);
+    raw[i] = w;
+  }
+}
+
+void HammingSecded::decode_words(const std::uint64_t* raw, std::size_t count,
+                                 std::uint32_t* data,
+                                 BatchDecodeSummary& summary) const {
+  if (n_ > 64 || !packed_dec_) {
+    BlockCode::decode_words(raw, count, data, summary);
+    return;
+  }
+  summary = BatchDecodeSummary{};
+  summary.first_uncorrectable = count;
+  // Same fused lane as decode_batch, but through the packed table (one
+  // lookup per code byte yields syndrome and gathered data together)
+  // with the data word and the aggregate counters written directly — no
+  // DecodeResult intermediates.  A SECDED correction is always exactly
+  // one bit, so corrected_bits tracks corrected_words.
+  const std::size_t m = k_ + r_;
+  // Classification tail shared by the unrolled and the generic lane.
+  auto finish = [&](std::size_t i, std::uint64_t w0, std::uint64_t acc) {
+    const std::uint64_t syndrome = acc >> 56;
+    std::uint64_t d = acc & (~std::uint64_t{0} >> 8);
+    const bool overall = parity64(w0) != 0;
+    if (syndrome == 0) {
+      if (overall) {
+        ++summary.corrected_words;
+        ++summary.corrected_bits;
+      }
+    } else if (overall && syndrome <= m) {
+      d ^= pos_data_[syndrome];
+      ++summary.corrected_words;
+      ++summary.corrected_bits;
+    } else {
+      if (summary.uncorrectable_words == 0) summary.first_uncorrectable = i;
+      ++summary.uncorrectable_words;
+    }
+    data[i] = static_cast<std::uint32_t>(d);
+  };
+  if (code_bytes_ == 5) {
+    // (39,32)-class codewords: fixed trip count lets the five table
+    // loads issue in parallel instead of through the serial XOR chain.
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uint64_t w0 = raw[i] & all_lo_;
+      const std::uint64_t acc =
+          (dec_tab_[0][w0 & 0xFFu] ^ dec_tab_[1][(w0 >> 8) & 0xFFu]) ^
+          (dec_tab_[2][(w0 >> 16) & 0xFFu] ^ dec_tab_[3][(w0 >> 24) & 0xFFu]) ^
+          dec_tab_[4][(w0 >> 32) & 0xFFu];
+      finish(i, w0, acc);
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t w0 = raw[i] & all_lo_;
+    std::uint64_t acc = 0;
+    for (std::size_t b = 0; b < code_bytes_; ++b)
+      acc ^= dec_tab_[b][(w0 >> (b * 8)) & 0xFFu];
+    finish(i, w0, acc);
+  }
 }
 
 }  // namespace ntc::ecc

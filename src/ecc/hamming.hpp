@@ -39,6 +39,19 @@ class HammingSecded final : public BlockCode {
   Bits encode(std::uint64_t data) const override;
   DecodeResult decode(const Bits& received) const override;
 
+  /// Single-uint64 lane kernels for codewords that fit one word
+  /// (n <= 64, which covers the (39,32) memory configuration); wider
+  /// codes fall back to the scalar loop.
+  void encode_batch(const std::uint64_t* data, std::size_t count,
+                    std::uint64_t* out) const override;
+  void decode_batch(const std::uint64_t* raw, std::size_t count,
+                    DecodeResult* out) const override;
+  void encode_words(const std::uint32_t* data, std::size_t count,
+                    std::uint64_t* raw) const override;
+  void decode_words(const std::uint64_t* raw, std::size_t count,
+                    std::uint32_t* data,
+                    BatchDecodeSummary& summary) const override;
+
   /// Number of parity bits excluding the overall parity.
   std::size_t hamming_parity_bits() const { return r_; }
 
@@ -69,6 +82,26 @@ class HammingSecded final : public BlockCode {
   std::array<std::array<std::uint8_t, 256>, 9> syn_tab_{};
   std::uint64_t all_lo_ = 0;  // positions 0..m (overall parity cover)
   std::uint64_t all_hi_ = 0;
+
+  // Byte-LUT lanes for the n <= 64 batch kernels (encode/decode are
+  // GF(2)-linear, so per-byte table XOR composition is bit-exact with
+  // the run-shift kernels above).  enc_tab_[b][v]: scattered data bits
+  // plus parity-bit contribution of data byte b holding v (combine
+  // bytes with XOR, then add the overall parity).  gather_tab_[b][v]:
+  // data bits selected by code byte b holding v.  pos_data_[p]: data
+  // bits affected by flipping codeword position p (zero for parity
+  // positions), patching a single-bit correction into a gathered word.
+  std::size_t data_bytes_ = 0;  // ceil(k_ / 8)
+  std::array<std::array<std::uint64_t, 256>, 8> enc_tab_{};
+  std::array<std::array<std::uint64_t, 256>, 8> gather_tab_{};
+  std::array<std::uint64_t, 64> pos_data_{};
+
+  // Fused decode table for k <= 56: gather_tab_ entry with the syn_tab_
+  // entry packed into bits 56..63 (the syndrome is at most 6 bits, data
+  // occupies the low k_ bits, so the fields cannot collide).  One
+  // lookup per code byte instead of two — the decode_words hot lane.
+  bool packed_dec_ = false;
+  std::array<std::array<std::uint64_t, 256>, 8> dec_tab_{};
 };
 
 /// The paper's memory-word configuration.

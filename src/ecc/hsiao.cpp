@@ -142,4 +142,101 @@ DecodeResult HsiaoSecded::decode(const Bits& received) const {
   return result;
 }
 
+void HsiaoSecded::encode_batch(const std::uint64_t* data, std::size_t count,
+                               std::uint64_t* out) const {
+  if (k_ + r_ > 64) {
+    BlockCode::encode_batch(data, count, out);
+    return;
+  }
+  // k + r <= 64 (and r >= 4, so k <= 60): codeword fits word 0 and the
+  // check field never straddles into word 1.
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t d = data[i];
+    if (k_ < 64) NTC_REQUIRE((d >> k_) == 0);
+    std::uint64_t checks = 0;
+    for (std::size_t b = 0; b < data_bytes_; ++b)
+      checks ^= syn_tab_[b][(d >> (b * 8)) & 0xFFu];
+    out[i] = d | (checks << k_);
+  }
+}
+
+void HsiaoSecded::decode_batch(const std::uint64_t* raw, std::size_t count,
+                               DecodeResult* out) const {
+  if (k_ + r_ > 64) {
+    BlockCode::decode_batch(raw, count, out);
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t w0 = raw[i];
+    std::uint64_t syndrome = 0;
+    for (std::size_t b = 0; b < code_bytes_; ++b)
+      syndrome ^= syn_tab_[b][(w0 >> (b * 8)) & 0xFFu];
+    const std::uint8_t syn = static_cast<std::uint8_t>(syndrome);
+    DecodeResult result;
+    if (syn == 0) {
+      result.status = DecodeStatus::Ok;
+    } else if (parity64(syn) != 0) {
+      const std::uint8_t pos = flip_lut_[syn];
+      if (pos != kNoFlip) {
+        w0 ^= std::uint64_t{1} << pos;
+        result.status = DecodeStatus::Corrected;
+        result.corrected_bits = 1;
+      } else {
+        result.status = DecodeStatus::DetectedUncorrectable;
+      }
+    } else {
+      result.status = DecodeStatus::DetectedUncorrectable;
+    }
+    result.data = w0 & data_mask_;
+    out[i] = result;
+  }
+}
+
+void HsiaoSecded::encode_words(const std::uint32_t* data, std::size_t count,
+                               std::uint64_t* raw) const {
+  if (k_ + r_ > 64) {
+    BlockCode::encode_words(data, count, raw);
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t d = data[i];
+    if (k_ < 32) NTC_REQUIRE((d >> k_) == 0);
+    std::uint64_t checks = 0;
+    for (std::size_t b = 0; b < data_bytes_; ++b)
+      checks ^= syn_tab_[b][(d >> (b * 8)) & 0xFFu];
+    raw[i] = d | (checks << k_);
+  }
+}
+
+void HsiaoSecded::decode_words(const std::uint64_t* raw, std::size_t count,
+                               std::uint32_t* data,
+                               BatchDecodeSummary& summary) const {
+  if (k_ + r_ > 64) {
+    BlockCode::decode_words(raw, count, data, summary);
+    return;
+  }
+  summary = BatchDecodeSummary{};
+  summary.first_uncorrectable = count;
+  // Same lane as decode_batch with the data word and aggregate counters
+  // written directly; a SECDED correction is always one bit.
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t w0 = raw[i];
+    std::uint64_t syndrome = 0;
+    for (std::size_t b = 0; b < code_bytes_; ++b)
+      syndrome ^= syn_tab_[b][(w0 >> (b * 8)) & 0xFFu];
+    const std::uint8_t syn = static_cast<std::uint8_t>(syndrome);
+    if (syn != 0) {
+      if (parity64(syn) != 0 && flip_lut_[syn] != kNoFlip) {
+        w0 ^= std::uint64_t{1} << flip_lut_[syn];
+        ++summary.corrected_words;
+        ++summary.corrected_bits;
+      } else {
+        if (summary.uncorrectable_words == 0) summary.first_uncorrectable = i;
+        ++summary.uncorrectable_words;
+      }
+    }
+    data[i] = static_cast<std::uint32_t>(w0 & data_mask_);
+  }
+}
+
 }  // namespace ntc::ecc

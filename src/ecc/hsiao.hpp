@@ -38,6 +38,18 @@ class HsiaoSecded final : public BlockCode {
   Bits encode(std::uint64_t data) const override;
   DecodeResult decode(const Bits& received) const override;
 
+  /// Single-uint64 lane kernels for codewords that fit one word
+  /// (k + r <= 64); wider codes fall back to the scalar loop.
+  void encode_batch(const std::uint64_t* data, std::size_t count,
+                    std::uint64_t* out) const override;
+  void decode_batch(const std::uint64_t* raw, std::size_t count,
+                    DecodeResult* out) const override;
+  void encode_words(const std::uint32_t* data, std::size_t count,
+                    std::uint64_t* raw) const override;
+  void decode_words(const std::uint64_t* raw, std::size_t count,
+                    std::uint32_t* data,
+                    BatchDecodeSummary& summary) const override;
+
   /// Total number of ones in H over the data columns — the XOR-tree
   /// size, which the codec energy model consumes.
   std::size_t h_matrix_ones() const;

@@ -1,5 +1,8 @@
 #include "ocean/protected_buffer.hpp"
 
+#include <span>
+#include <vector>
+
 #include "common/assert.hpp"
 
 namespace ntc::ocean {
@@ -10,19 +13,42 @@ ProtectedBuffer::ProtectedBuffer(sim::EccMemory& pm) : pm_(pm) {
   NTC_REQUIRE_MSG(pm.word_count() >= 2, "PM too small for two slots");
 }
 
+namespace {
+
+/// Burst-read [base, base + out.size()) from `port` into `out`,
+/// counting detected-uncorrectable words by resuming after each one —
+/// the same per-word read order (and fault-model draw order) as a
+/// word-at-a-time copy loop, with burst speed on the clean spans.
+std::uint64_t read_counting_uncorrectable(sim::MemoryPort& port,
+                                          std::uint32_t base,
+                                          std::span<std::uint32_t> out) {
+  std::uint64_t uncorrectable = 0;
+  std::uint32_t off = 0;
+  const std::uint32_t n = static_cast<std::uint32_t>(out.size());
+  while (off < n) {
+    std::uint32_t bad = 0;
+    port.read_burst_tracked(base + off, out.subspan(off), bad);
+    if (bad == n - off) break;
+    ++uncorrectable;
+    off += bad + 1;
+  }
+  return uncorrectable;
+}
+
+}  // namespace
+
 ProtectedBuffer::SaveResult ProtectedBuffer::save_with_crc(
     sim::MemoryPort& spm, workloads::ChunkRef chunk, const ecc::Crc32& crc) {
   NTC_REQUIRE_MSG(chunk.words <= slot_capacity_words(),
                   "chunk exceeds checkpoint slot capacity");
   const std::uint32_t base = slot_base(current_slot_ ^ 1u);  // idle slot
   SaveResult result;
+  std::vector<std::uint32_t> buffer(chunk.words);
+  result.uncorrectable_words =
+      read_counting_uncorrectable(spm, chunk.word_offset, buffer);
+  pm_.write_burst(base, buffer);
   std::uint32_t state = ecc::Crc32::initial();
-  for (std::uint32_t i = 0; i < chunk.words; ++i) {
-    std::uint32_t word = 0;
-    if (spm.read_word(chunk.word_offset + i, word) ==
-        sim::AccessStatus::DetectedUncorrectable)
-      ++result.uncorrectable_words;
-    pm_.write_word(base + i, word);
+  for (const std::uint32_t word : buffer) {
     state = crc.update(state, static_cast<std::uint8_t>(word));
     state = crc.update(state, static_cast<std::uint8_t>(word >> 8));
     state = crc.update(state, static_cast<std::uint8_t>(word >> 16));
@@ -37,14 +63,11 @@ RestoreResult ProtectedBuffer::restore(sim::MemoryPort& spm,
   NTC_REQUIRE(chunk.words <= slot_capacity_words());
   const std::uint32_t base = slot_base(current_slot_);
   RestoreResult result;
-  for (std::uint32_t i = 0; i < chunk.words; ++i) {
-    std::uint32_t word = 0;
-    const sim::AccessStatus status = pm_.read_word(base + i, word);
-    if (status == sim::AccessStatus::DetectedUncorrectable)
-      ++result.uncorrectable_words;
-    spm.write_word(chunk.word_offset + i, word);
-    ++result.words_restored;
-  }
+  std::vector<std::uint32_t> buffer(chunk.words);
+  result.uncorrectable_words =
+      read_counting_uncorrectable(pm_, base, buffer);
+  spm.write_burst(chunk.word_offset, buffer);
+  result.words_restored = chunk.words;
   return result;
 }
 

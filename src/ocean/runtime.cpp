@@ -1,6 +1,7 @@
 #include "ocean/runtime.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "common/assert.hpp"
 
@@ -52,11 +53,10 @@ RestoreResult OceanRuntime::restore_with_escalation(ProtectedBuffer& buffer,
 }
 
 std::uint32_t OceanRuntime::crc_of_chunk(workloads::ChunkRef chunk) {
+  std::vector<std::uint32_t> buffer(chunk.words);
+  platform_.spm().read_burst(chunk.word_offset, buffer);
   std::uint32_t state = ecc::Crc32::initial();
-  sim::MemoryPort& spm = platform_.spm();
-  for (std::uint32_t i = 0; i < chunk.words; ++i) {
-    std::uint32_t word = 0;
-    spm.read_word(chunk.word_offset + i, word);
+  for (const std::uint32_t word : buffer) {
     state = crc_.update(state, static_cast<std::uint8_t>(word));
     state = crc_.update(state, static_cast<std::uint8_t>(word >> 8));
     state = crc_.update(state, static_cast<std::uint8_t>(word >> 16));

@@ -1,8 +1,26 @@
 #include "sim/bus.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 
 namespace ntc::sim {
+
+namespace {
+
+/// First mapped base strictly above `word_index`, or 2^32 when none:
+/// the end of the unmapped gap an errant burst is walking through.
+std::uint64_t next_region_base(const std::vector<BusRegion>& regions,
+                               std::uint32_t word_index) {
+  std::uint64_t next = std::uint64_t{1} << 32;
+  for (const auto& region : regions) {
+    if (region.base_word > word_index)
+      next = std::min(next, static_cast<std::uint64_t>(region.base_word));
+  }
+  return next;
+}
+
+}  // namespace
 
 Bus::Bus(std::uint32_t wait_states) : wait_states_(wait_states) {}
 
@@ -55,6 +73,79 @@ AccessStatus Bus::write_word(std::uint32_t word_index, std::uint32_t data) {
   }
   ++region->writes;
   return region->port->write_word(word_index - region->base_word, data);
+}
+
+AccessStatus Bus::read_burst(std::uint32_t word_index,
+                             std::span<std::uint32_t> data) {
+  if (!burst_native_enabled()) return MemoryPort::read_burst(word_index, data);
+  NTC_REQUIRE_MSG(static_cast<std::uint64_t>(word_index) + data.size() <=
+                      (std::uint64_t{1} << 32),
+                  "burst runs past the 32-bit word address space");
+  cycles_ += static_cast<std::uint64_t>(1 + wait_states_) * data.size();
+  AccessStatus status = AccessStatus::Ok;
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const std::uint32_t index = word_index + static_cast<std::uint32_t>(off);
+    BusRegion* region = find(index);
+    if (region == nullptr) {
+      const std::uint64_t gap_end =
+          std::min(static_cast<std::uint64_t>(word_index) + data.size(),
+                   next_region_base(regions_, index));
+      const std::size_t gap = static_cast<std::size_t>(gap_end - index);
+      decode_errors_ += gap;
+      for (std::size_t i = 0; i < gap; ++i) data[off + i] = 0;
+      status = worse_status(status, AccessStatus::DetectedUncorrectable);
+      off += gap;
+      continue;
+    }
+    const std::uint64_t region_end =
+        static_cast<std::uint64_t>(region->base_word) +
+        region->port->word_count();
+    const std::size_t m = static_cast<std::size_t>(
+        std::min<std::uint64_t>(data.size() - off, region_end - index));
+    region->reads += m;
+    status = worse_status(
+        status, region->port->read_burst(index - region->base_word,
+                                         data.subspan(off, m)));
+    off += m;
+  }
+  return status;
+}
+
+AccessStatus Bus::write_burst(std::uint32_t word_index,
+                              std::span<const std::uint32_t> data) {
+  if (!burst_native_enabled()) return MemoryPort::write_burst(word_index, data);
+  NTC_REQUIRE_MSG(static_cast<std::uint64_t>(word_index) + data.size() <=
+                      (std::uint64_t{1} << 32),
+                  "burst runs past the 32-bit word address space");
+  cycles_ += static_cast<std::uint64_t>(1 + wait_states_) * data.size();
+  AccessStatus status = AccessStatus::Ok;
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const std::uint32_t index = word_index + static_cast<std::uint32_t>(off);
+    BusRegion* region = find(index);
+    if (region == nullptr) {
+      const std::uint64_t gap_end =
+          std::min(static_cast<std::uint64_t>(word_index) + data.size(),
+                   next_region_base(regions_, index));
+      const std::size_t gap = static_cast<std::size_t>(gap_end - index);
+      decode_errors_ += gap;
+      status = worse_status(status, AccessStatus::DetectedUncorrectable);
+      off += gap;
+      continue;
+    }
+    const std::uint64_t region_end =
+        static_cast<std::uint64_t>(region->base_word) +
+        region->port->word_count();
+    const std::size_t m = static_cast<std::size_t>(
+        std::min<std::uint64_t>(data.size() - off, region_end - index));
+    region->writes += m;
+    status = worse_status(
+        status, region->port->write_burst(index - region->base_word,
+                                          data.subspan(off, m)));
+    off += m;
+  }
+  return status;
 }
 
 std::uint32_t Bus::word_count() const {

@@ -35,6 +35,17 @@ class Bus final : public MemoryPort {
   AccessStatus write_word(std::uint32_t word_index, std::uint32_t data) override;
   std::uint32_t word_count() const override;
 
+  /// Native bursts.  A burst crossing a region boundary is split
+  /// deterministically at the boundary and forwarded per-region; words
+  /// falling into unmapped gaps are error-responded individually
+  /// (decode_errors counts each) — a straddling burst is never wrapped
+  /// or silently clipped.  Bursts running past the 32-bit word space
+  /// are rejected (NTC_REQUIRE), matching the fallback path.
+  AccessStatus read_burst(std::uint32_t word_index,
+                          std::span<std::uint32_t> data) override;
+  AccessStatus write_burst(std::uint32_t word_index,
+                           std::span<const std::uint32_t> data) override;
+
   /// Total bus cycles consumed by traffic so far.
   std::uint64_t cycles_consumed() const { return cycles_; }
   const std::vector<BusRegion>& regions() const { return regions_; }

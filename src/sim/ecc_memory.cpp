@@ -1,5 +1,7 @@
 #include "sim/ecc_memory.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 
 namespace ntc::sim {
@@ -50,6 +52,124 @@ AccessStatus EccMemory::read_word(std::uint32_t word_index, std::uint32_t& data)
       return AccessStatus::DetectedUncorrectable;
   }
   return AccessStatus::Ok;
+}
+
+namespace {
+/// Stack-buffer chunk size for the burst codec scratch (256 words keeps
+/// the raw + decode-result buffers ~8 KiB, comfortably in L1).
+constexpr std::uint32_t kCodecChunk = 256;
+}  // namespace
+
+AccessStatus EccMemory::read_burst(std::uint32_t word_index,
+                                   std::span<std::uint32_t> data) {
+  if (!burst_native_enabled()) return MemoryPort::read_burst(word_index, data);
+  NTC_REQUIRE(static_cast<std::uint64_t>(word_index) + data.size() <=
+              array_->words());
+  AccessStatus status = AccessStatus::Ok;
+  std::uint64_t raws[kCodecChunk];
+  if (!code_) {
+    for (std::size_t off = 0; off < data.size(); off += kCodecChunk) {
+      const std::uint32_t m = static_cast<std::uint32_t>(
+          std::min<std::size_t>(data.size() - off, kCodecChunk));
+      array_->read_raw_burst(word_index + static_cast<std::uint32_t>(off), raws,
+                             m);
+      for (std::uint32_t i = 0; i < m; ++i)
+        data[off + i] = static_cast<std::uint32_t>(raws[i]);
+    }
+    return status;
+  }
+  ecc::BatchDecodeSummary summary;
+  for (std::size_t off = 0; off < data.size(); off += kCodecChunk) {
+    const std::uint32_t m = static_cast<std::uint32_t>(
+        std::min<std::size_t>(data.size() - off, kCodecChunk));
+    array_->read_raw_burst(word_index + static_cast<std::uint32_t>(off), raws,
+                           m);
+    code_->decode_words(raws, m, data.data() + off, summary);
+    status = worse_status(status, note_summary(summary));
+  }
+  return status;
+}
+
+AccessStatus EccMemory::note_summary(const ecc::BatchDecodeSummary& summary) {
+  stats_.corrected_words += summary.corrected_words;
+  stats_.corrected_bits += summary.corrected_bits;
+  stats_.uncorrectable_words += summary.uncorrectable_words;
+  if (summary.uncorrectable_words > 0) return AccessStatus::DetectedUncorrectable;
+  if (summary.corrected_words > 0) return AccessStatus::CorrectedError;
+  return AccessStatus::Ok;
+}
+
+AccessStatus EccMemory::write_burst(std::uint32_t word_index,
+                                    std::span<const std::uint32_t> data) {
+  if (!burst_native_enabled()) return MemoryPort::write_burst(word_index, data);
+  NTC_REQUIRE(static_cast<std::uint64_t>(word_index) + data.size() <=
+              array_->words());
+  std::uint64_t raws[kCodecChunk];
+  if (!code_) {
+    for (std::size_t off = 0; off < data.size(); off += kCodecChunk) {
+      const std::uint32_t m = static_cast<std::uint32_t>(
+          std::min<std::size_t>(data.size() - off, kCodecChunk));
+      for (std::uint32_t i = 0; i < m; ++i) raws[i] = data[off + i];
+      array_->write_raw_burst(word_index + static_cast<std::uint32_t>(off),
+                              raws, m);
+    }
+    return AccessStatus::Ok;
+  }
+  for (std::size_t off = 0; off < data.size(); off += kCodecChunk) {
+    const std::uint32_t m = static_cast<std::uint32_t>(
+        std::min<std::size_t>(data.size() - off, kCodecChunk));
+    code_->encode_words(data.data() + off, m, raws);
+    array_->write_raw_burst(word_index + static_cast<std::uint32_t>(off), raws,
+                            m);
+  }
+  return AccessStatus::Ok;
+}
+
+AccessStatus EccMemory::read_burst_tracked(std::uint32_t word_index,
+                                           std::span<std::uint32_t> data,
+                                           std::uint32_t& first_bad) {
+  if (!code_) {
+    // Without a code no word can decode as uncorrectable.
+    const AccessStatus status = read_burst(word_index, data);
+    first_bad = static_cast<std::uint32_t>(data.size());
+    return status;
+  }
+  if (!burst_native_enabled() || !array_->txn_supported())
+    return MemoryPort::read_burst_tracked(word_index, data, first_bad);
+  NTC_REQUIRE(static_cast<std::uint64_t>(word_index) + data.size() <=
+              array_->words());
+  AccessStatus status = AccessStatus::Ok;
+  std::uint64_t raws[kCodecChunk];
+  ecc::BatchDecodeSummary summary;
+  for (std::size_t off = 0; off < data.size(); off += kCodecChunk) {
+    const std::uint32_t m = static_cast<std::uint32_t>(
+        std::min<std::size_t>(data.size() - off, kCodecChunk));
+    const std::uint32_t base = word_index + static_cast<std::uint32_t>(off);
+    // Run the chunk speculatively under a transaction so a mid-chunk
+    // uncorrectable word can be unwound to the exact per-word state.
+    // Stats are only merged once the chunk is known clean, so they need
+    // no rollback of their own.
+    const SramModule::Txn txn = array_->txn_save();
+    array_->read_raw_burst(base, raws, m);
+    code_->decode_words(raws, m, data.data() + off, summary);
+    if (summary.first_uncorrectable == m) {
+      status = worse_status(status, note_summary(summary));
+      continue;
+    }
+    // Roll back and replay word-at-a-time through the failing word:
+    // determinism replays identical draws, and the fault-model state
+    // stops exactly where the per-word loop would.
+    const std::uint32_t bad =
+        static_cast<std::uint32_t>(summary.first_uncorrectable);
+    array_->txn_restore(txn);
+    for (std::uint32_t i = 0; i < bad; ++i)
+      status = worse_status(status, read_word(base + i, data[off + i]));
+    (void)read_word(base + bad, data[off + bad]);
+    first_bad = static_cast<std::uint32_t>(off) + bad;
+    return status;
+  }
+  first_bad = static_cast<std::uint32_t>(data.size());
+  return status;
 }
 
 AccessStatus EccMemory::write_word(std::uint32_t word_index, std::uint32_t data) {

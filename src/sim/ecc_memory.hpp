@@ -34,6 +34,23 @@ class EccMemory final : public MemoryPort {
   AccessStatus write_word(std::uint32_t word_index, std::uint32_t data) override;
   std::uint32_t word_count() const override { return array_->words(); }
 
+  /// Native bursts: raw-burst the array, then batch-decode/encode over
+  /// the code's lane kernels.  Bit-identical to the word-at-a-time
+  /// fallback (raw access draws are per-word in order; decode consumes
+  /// no RNG, so decode-after-raw-burst reordering is unobservable).
+  AccessStatus read_burst(std::uint32_t word_index,
+                          std::span<std::uint32_t> data) override;
+  AccessStatus write_burst(std::uint32_t word_index,
+                           std::span<const std::uint32_t> data) override;
+
+  /// Native tracked burst: chunks run speculatively; a chunk met by a
+  /// detected-uncorrectable word is rolled back (array + injector RNG)
+  /// and replayed word-at-a-time up to the failing word, so the
+  /// observable state stops exactly where the per-word loop would.
+  AccessStatus read_burst_tracked(std::uint32_t word_index,
+                                  std::span<std::uint32_t> data,
+                                  std::uint32_t& first_bad) override;
+
   /// Rewrite every word through the codec (corrects what is
   /// correctable).  Uncorrectable words are counted but left untouched:
   /// their raw bits stay available for recovery at a healthier
@@ -48,6 +65,11 @@ class EccMemory final : public MemoryPort {
   void reset_stats() { stats_ = EccMemoryStats{}; }
 
  private:
+  /// Fold a chunk's batch-decode summary into the stats and return the
+  /// worst status the chunk saw (sums are order-insensitive, so this is
+  /// bit-identical to folding every word in turn).
+  AccessStatus note_summary(const ecc::BatchDecodeSummary& summary);
+
   std::unique_ptr<SramModule> array_;
   std::shared_ptr<const ecc::BlockCode> code_;
   EccMemoryStats stats_;

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 namespace ntc::sim {
 
@@ -13,6 +14,21 @@ enum class AccessStatus {
   CorrectedError,        ///< ECC corrected on the fly
   DetectedUncorrectable, ///< error detected, data invalid (trap/rollback)
 };
+
+/// Aggregate of two per-word statuses: the worse one wins
+/// (DetectedUncorrectable > CorrectedError > Ok).
+constexpr AccessStatus worse_status(AccessStatus a, AccessStatus b) {
+  return static_cast<int>(a) >= static_cast<int>(b) ? a : b;
+}
+
+/// Process-wide kill switch for the native burst implementations: when
+/// disabled, every read_burst/write_burst override delegates to the
+/// word-at-a-time base-class fallback.  The burst-vs-scalar equivalence
+/// suite runs identical workloads under both settings and requires
+/// byte-identical platform state — native bursts must preserve the
+/// per-word path's RNG draw order, counters and energy exactly.
+void set_burst_native_enabled(bool enabled);
+bool burst_native_enabled();
 
 class MemoryPort {
  public:
@@ -25,6 +41,29 @@ class MemoryPort {
   virtual AccessStatus write_word(std::uint32_t word_index,
                                   std::uint32_t data) = 0;
   virtual std::uint32_t word_count() const = 0;
+
+  /// Burst transaction over [word_index, word_index + data.size()).
+  /// The default decomposes into word accesses; native overrides must
+  /// be observably identical to that decomposition (same fault-model
+  /// RNG consumption, same counters, same returned data) and report
+  /// the worst per-word status.  A burst whose end would pass the
+  /// 32-bit word-index space is rejected (NTC_REQUIRE), never wrapped.
+  virtual AccessStatus read_burst(std::uint32_t word_index,
+                                  std::span<std::uint32_t> data);
+  virtual AccessStatus write_burst(std::uint32_t word_index,
+                                   std::span<const std::uint32_t> data);
+
+  /// Burst read that stops at the first DetectedUncorrectable word, so
+  /// a burst-aware initiator can react (retry, scrub, escalate) at the
+  /// exact access position the per-word loop would have: data[0 ..
+  /// first_bad] is filled (the failing word best-effort), fault-model
+  /// state advances only for those words, and the return value
+  /// aggregates the *clean prefix* [0, first_bad).  first_bad ==
+  /// data.size() when every word decodes, in which case the return
+  /// value covers the whole burst.
+  virtual AccessStatus read_burst_tracked(std::uint32_t word_index,
+                                          std::span<std::uint32_t> data,
+                                          std::uint32_t& first_bad);
 };
 
 }  // namespace ntc::sim

@@ -163,6 +163,117 @@ std::uint64_t SramModule::read_raw(std::uint32_t index) {
   return (value ^ flips) & mask();
 }
 
+void SramModule::read_raw_burst(std::uint32_t index, std::uint64_t* out,
+                                std::uint32_t count) {
+  NTC_REQUIRE(static_cast<std::uint64_t>(index) + count <= words());
+  if (count == 0) return;
+  const std::uint64_t msk = mask();
+  if (!flips_possible_ && overlay_cached_) {
+    // Fault-free fast path: the whole range is a masked copy.
+    stats_.reads += count;
+    ctx_.access_count += count;
+    if (overlay_zero_) {
+      for (std::uint32_t i = 0; i < count; ++i)
+        out[i] = data_[index + i] & msk;
+    } else {
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const std::uint64_t m = overlay_mask_[index + i];
+        out[i] = ((data_[index + i] & ~m) | overlay_value_[index + i]) & msk;
+      }
+    }
+    return;
+  }
+  if (injectors_.size() == 1 && stochastic_ && injectors_[0] == stochastic_ &&
+      overlay_cached_) {
+    // Stochastic-only chain: draw the per-word flip masks in word order
+    // (identical stream to per-word access_flips calls) without the
+    // per-access chain walk and virtual dispatch.
+    stats_.reads += count;
+    ctx_.access_count += count;
+    constexpr std::uint32_t kChunk = 64;
+    std::uint64_t flips[kChunk];
+    std::uint64_t flipped_bits = 0;
+    for (std::uint32_t done = 0; done < count;) {
+      const std::uint32_t m = std::min(count - done, kChunk);
+      stochastic_->access_flips_burst(m, flips);
+      for (std::uint32_t i = 0; i < m; ++i) {
+        const std::uint32_t w = index + done + i;
+        const std::uint64_t om = overlay_mask_[w];
+        const std::uint64_t value = (data_[w] & ~om) | overlay_value_[w];
+        flipped_bits +=
+            static_cast<std::uint64_t>(__builtin_popcountll(flips[i]));
+        out[done + i] = (value ^ flips[i]) & msk;
+      }
+      done += m;
+    }
+    stats_.injected_read_flips += flipped_bits;
+    return;
+  }
+  // Scripted injectors attached: their hooks see every access in
+  // per-word order (burst events arm on exact access counts).
+  for (std::uint32_t i = 0; i < count; ++i) out[i] = read_raw(index + i);
+}
+
+void SramModule::write_raw_burst(std::uint32_t index,
+                                 const std::uint64_t* values,
+                                 std::uint32_t count) {
+  NTC_REQUIRE(static_cast<std::uint64_t>(index) + count <= words());
+  if (count == 0) return;
+  const std::uint64_t msk = mask();
+  if (!flips_possible_) {
+    stats_.writes += count;
+    ctx_.access_count += count;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      NTC_REQUIRE((values[i] & ~msk) == 0);
+      data_[index + i] = values[i];
+    }
+    return;
+  }
+  if (injectors_.size() == 1 && stochastic_ && injectors_[0] == stochastic_) {
+    stats_.writes += count;
+    ctx_.access_count += count;
+    constexpr std::uint32_t kChunk = 64;
+    std::uint64_t flips[kChunk];
+    std::uint64_t flipped_bits = 0;
+    for (std::uint32_t done = 0; done < count;) {
+      const std::uint32_t m = std::min(count - done, kChunk);
+      stochastic_->access_flips_burst(m, flips);
+      for (std::uint32_t i = 0; i < m; ++i) {
+        NTC_REQUIRE((values[done + i] & ~msk) == 0);
+        flipped_bits +=
+            static_cast<std::uint64_t>(__builtin_popcountll(flips[i]));
+        data_[index + done + i] = (values[done + i] ^ flips[i]) & msk;
+      }
+      done += m;
+    }
+    stats_.injected_write_flips += flipped_bits;
+    return;
+  }
+  for (std::uint32_t i = 0; i < count; ++i) write_raw(index + i, values[i]);
+}
+
+bool SramModule::txn_supported() const {
+  return injectors_.empty() ||
+         (injectors_.size() == 1 && injectors_[0] == stochastic_);
+}
+
+SramModule::Txn SramModule::txn_save() const {
+  Txn txn;
+  txn.stats = stats_;
+  txn.access_count = ctx_.access_count;
+  if (stochastic_) {
+    txn.rng = stochastic_->rng_state();
+    txn.has_rng = true;
+  }
+  return txn;
+}
+
+void SramModule::txn_restore(const Txn& txn) {
+  stats_ = txn.stats;
+  ctx_.access_count = txn.access_count;
+  if (txn.has_rng) stochastic_->restore_rng(txn.rng);
+}
+
 void SramModule::write_raw(std::uint32_t index, std::uint64_t value) {
   NTC_REQUIRE(index < words());
   NTC_REQUIRE((value & ~mask()) == 0);

@@ -73,6 +73,40 @@ class SramModule {
   std::uint64_t read_raw(std::uint32_t index);
   void write_raw(std::uint32_t index, std::uint64_t value);
 
+  /// Raw burst access over [index, index + count): observably identical
+  /// to `count` consecutive read_raw/write_raw calls — same per-word
+  /// fault-model RNG draw order, same counters — with the chain walk,
+  /// stat updates and overlay probes amortized over the whole range.
+  /// Out-of-range bursts are rejected up front (NTC_REQUIRE), never
+  /// wrapped or clipped.
+  void read_raw_burst(std::uint32_t index, std::uint64_t* out,
+                      std::uint32_t count);
+  void write_raw_burst(std::uint32_t index, const std::uint64_t* values,
+                       std::uint32_t count);
+
+  /// Snapshot of the access-visible mutable state (counters + the
+  /// stochastic model's RNG), used by burst-aware initiators to roll a
+  /// speculative burst back to its start and replay word-at-a-time up
+  /// to a failing word.  Only meaningful while txn_supported().
+  struct Txn {
+    SramStats stats;
+    std::uint64_t access_count = 0;
+    Rng rng{0};
+    bool has_rng = false;
+  };
+
+  /// Rollback is supported only while every injector's access-visible
+  /// state is captured by the snapshot — i.e. the chain is at most the
+  /// stochastic model (scripted scenario injectors carry one-shot event
+  /// state that cannot be rewound).
+  bool txn_supported() const;
+  Txn txn_save() const;
+  void txn_restore(const Txn& txn);
+
+  /// Debug/test view of the raw stored words (no access performed, no
+  /// fault model applied).
+  const std::vector<std::uint64_t>& raw_words() const { return data_; }
+
   const SramStats& stats() const { return stats_; }
   void reset_stats() {
     stats_ = SramStats{};

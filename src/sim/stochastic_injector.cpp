@@ -110,11 +110,7 @@ void StochasticInjector::stuck_overlay(std::uint32_t index,
   value = stuck_value_[index] & stuck_mask_[index];
 }
 
-std::uint64_t StochasticInjector::access_flips(AccessKind kind,
-                                               std::uint32_t index,
-                                               const FaultContext& ctx) {
-  (void)kind, (void)index, (void)ctx;
-  if (p_access_ <= 0.0) return 0;
+std::uint64_t StochasticInjector::draw_flip_mask() {
   // Fast path: with probability (1-p)^bits nothing flips — one uniform
   // draw.  Otherwise rejection-sample the (rare) nonzero flip mask,
   // which preserves the exact per-bit Bernoulli distribution.
@@ -127,6 +123,20 @@ std::uint64_t StochasticInjector::access_flips(AccessKind kind,
     }
   } while (flips == 0);
   return flips;
+}
+
+std::uint64_t StochasticInjector::access_flips(AccessKind kind,
+                                               std::uint32_t index,
+                                               const FaultContext& ctx) {
+  (void)kind, (void)index, (void)ctx;
+  if (p_access_ <= 0.0) return 0;
+  return draw_flip_mask();
+}
+
+void StochasticInjector::access_flips_burst(std::uint32_t count,
+                                            std::uint64_t* flips) {
+  NTC_REQUIRE(p_access_ > 0.0);
+  for (std::uint32_t i = 0; i < count; ++i) flips[i] = draw_flip_mask();
 }
 
 }  // namespace ntc::sim

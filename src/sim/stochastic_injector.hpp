@@ -59,6 +59,19 @@ class StochasticInjector final : public FaultInjector {
   /// supply).
   double p_access() const { return p_access_; }
 
+  /// Fill flips[0..count) with the masks `count` consecutive
+  /// access_flips calls would draw, in the same order (the burst fast
+  /// path; access kind and word index do not enter the distribution).
+  /// Must only be called while p_access() > 0 — the zero-rate case
+  /// draws nothing per word and is handled by the caller's fault-free
+  /// path.
+  void access_flips_burst(std::uint32_t count, std::uint64_t* flips);
+
+  /// RNG snapshot/restore for burst rollback (SramModule::txn_save):
+  /// the flip stream is the injector's only access-visible state.
+  Rng rng_state() const { return rng_; }
+  void restore_rng(const Rng& rng) { rng_ = rng; }
+
   /// Restart as a freshly-constructed instance over `rng`: new silicon
   /// fingerprint, no stuck cells, untouched flip stream — the
   /// Platform::reset fast path.  The caller re-derives the operating
@@ -72,6 +85,7 @@ class StochasticInjector final : public FaultInjector {
  private:
   void materialize_fingerprint();
   void rebuild_stuck_state(std::size_t count);
+  std::uint64_t draw_flip_mask();
 
   reliability::AccessErrorModel access_;
   reliability::NoiseMarginModel retention_;

@@ -1,6 +1,7 @@
 #include "workloads/fft.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "common/assert.hpp"
 
@@ -21,6 +22,10 @@ std::size_t ilog2(std::size_t n) {
 FixedPointFft::FixedPointFft(std::size_t points, std::uint32_t spm_word_offset)
     : points_(points), log2n_(ilog2(points)), base_(spm_word_offset) {
   NTC_REQUIRE(is_power_of_two(points) && points >= 4);
+  twiddles_.reserve(points_ - 1);
+  for (std::size_t len = 2; len <= points_; len <<= 1)
+    for (std::size_t k = 0; k < len / 2; ++k)
+      twiddles_.push_back(twiddle(k, len));
 }
 
 std::string FixedPointFft::name() const {
@@ -36,11 +41,13 @@ void FixedPointFft::set_input(std::vector<std::complex<double>> input) {
 
 ChunkRef FixedPointFft::initialize(sim::MemoryPort& spm) {
   NTC_REQUIRE_MSG(!input_.empty(), "set_input() before initialize()");
+  std::vector<std::uint32_t> words(points_);
   for (std::size_t i = 0; i < points_; ++i) {
     const ComplexQ15 sample{Q15::from_double(input_[i].real()),
                             Q15::from_double(input_[i].imag())};
-    spm.write_word(base_ + static_cast<std::uint32_t>(i), sample.pack());
+    words[i] = sample.pack();
   }
+  spm.write_burst(base_, words);
   return ChunkRef{base_, static_cast<std::uint32_t>(points_)};
 }
 
@@ -64,18 +71,13 @@ PhaseResult FixedPointFft::run_phase(std::size_t index, sim::MemoryPort& spm) {
   result.output = ChunkRef{base_, static_cast<std::uint32_t>(points_)};
   bool fault = false;
 
-  auto load = [&](std::size_t i) {
-    std::uint32_t raw = 0;
-    if (spm.read_word(base_ + static_cast<std::uint32_t>(i), raw) ==
-        sim::AccessStatus::DetectedUncorrectable)
-      fault = true;
-    return ComplexQ15::unpack(raw);
-  };
-  auto store = [&](std::size_t i, ComplexQ15 value) {
-    if (spm.write_word(base_ + static_cast<std::uint32_t>(i), value.pack()) ==
-        sim::AccessStatus::DetectedUncorrectable)
-      fault = true;
-  };
+  // Burst the whole working buffer in, transform locally, burst it
+  // back: one memory transaction per direction per phase instead of one
+  // per butterfly operand.
+  std::vector<std::uint32_t> buffer(points_);
+  if (spm.read_burst(base_, buffer) ==
+      sim::AccessStatus::DetectedUncorrectable)
+    fault = true;
 
   if (index == 0) {
     // Bit-reverse permutation.
@@ -83,46 +85,46 @@ PhaseResult FixedPointFft::run_phase(std::size_t index, sim::MemoryPort& spm) {
       std::size_t bit = points_ >> 1;
       for (; j & bit; bit >>= 1) j ^= bit;
       j ^= bit;
-      if (i < j) {
-        const ComplexQ15 a = load(i);
-        const ComplexQ15 b = load(j);
-        store(i, b);
-        store(j, a);
-      }
+      if (i < j) std::swap(buffer[i], buffer[j]);
       result.compute_cycles += kCyclesPerPermute;
     }
   } else {
     // Butterfly stage `index`: len = 2^index; scale outputs by 1/2 to
     // keep Q15 in range (block-floating behaviour of embedded FFTs).
     const std::size_t len = std::size_t{1} << index;
+    const ComplexQ15* stage_twiddles = twiddles_.data() + (len / 2 - 1);
     for (std::size_t i = 0; i < points_; i += len) {
       for (std::size_t k = 0; k < len / 2; ++k) {
-        const ComplexQ15 w = twiddle(k, len);
-        const ComplexQ15 u = load(i + k);
-        const ComplexQ15 v = load(i + k + len / 2);
+        const ComplexQ15 w = stage_twiddles[k];
+        const ComplexQ15 u = ComplexQ15::unpack(buffer[i + k]);
+        const ComplexQ15 v = ComplexQ15::unpack(buffer[i + k + len / 2]);
         // v * w (complex Q15 multiply).
         const Q15 vr = v.re * w.re - v.im * w.im;
         const Q15 vi = v.re * w.im + v.im * w.re;
         // Scaled butterfly: (u ± vw) / 2.
         const ComplexQ15 out0{(u.re + vr).shr(1), (u.im + vi).shr(1)};
         const ComplexQ15 out1{(u.re - vr).shr(1), (u.im - vi).shr(1)};
-        store(i + k, out0);
-        store(i + k + len / 2, out1);
+        buffer[i + k] = out0.pack();
+        buffer[i + k + len / 2] = out1.pack();
         result.compute_cycles += kCyclesPerButterfly;
       }
     }
   }
+
+  if (spm.write_burst(base_, buffer) ==
+      sim::AccessStatus::DetectedUncorrectable)
+    fault = true;
   result.memory_fault = fault;
   return result;
 }
 
 std::vector<std::complex<double>> FixedPointFft::read_output(
     sim::MemoryPort& spm) const {
+  std::vector<std::uint32_t> words(points_);
+  spm.read_burst(base_, words);
   std::vector<std::complex<double>> out(points_);
   for (std::size_t i = 0; i < points_; ++i) {
-    std::uint32_t raw = 0;
-    spm.read_word(base_ + static_cast<std::uint32_t>(i), raw);
-    const ComplexQ15 sample = ComplexQ15::unpack(raw);
+    const ComplexQ15 sample = ComplexQ15::unpack(words[i]);
     out[i] = {sample.re.to_double(), sample.im.to_double()};
   }
   return out;

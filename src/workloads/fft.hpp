@@ -51,6 +51,10 @@ class FixedPointFft final : public StreamingTask {
   std::size_t log2n_;
   std::uint32_t base_;
   std::vector<std::complex<double>> input_;
+  /// Twiddle factors for every stage, precomputed at construction with
+  /// the same cos/sin → Q15 rounding as the on-demand computation:
+  /// stage with half-length L stores its L factors at [L - 1, 2L - 1).
+  std::vector<ComplexQ15> twiddles_;
 
   ComplexQ15 twiddle(std::size_t k, std::size_t len) const;
 };

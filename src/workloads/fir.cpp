@@ -34,14 +34,14 @@ std::uint32_t FirFilter::output_base() const {
 ChunkRef FirFilter::initialize(sim::MemoryPort& spm) {
   // Q15 samples stored one per 32-bit word (low half), coefficients
   // first so a burst of weak cells cannot silently hit both.
-  for (std::size_t i = 0; i < taps_.size(); ++i) {
-    spm.write_word(coeff_base() + static_cast<std::uint32_t>(i),
-                   static_cast<std::uint16_t>(Q15::from_double(taps_[i]).raw()));
-  }
-  for (std::size_t i = 0; i < input_.size(); ++i) {
-    spm.write_word(input_base() + static_cast<std::uint32_t>(i),
-                   static_cast<std::uint16_t>(Q15::from_double(input_[i]).raw()));
-  }
+  std::vector<std::uint32_t> coeffs(taps_.size());
+  for (std::size_t i = 0; i < taps_.size(); ++i)
+    coeffs[i] = static_cast<std::uint16_t>(Q15::from_double(taps_[i]).raw());
+  spm.write_burst(coeff_base(), coeffs);
+  std::vector<std::uint32_t> samples(input_.size());
+  for (std::size_t i = 0; i < input_.size(); ++i)
+    samples[i] = static_cast<std::uint16_t>(Q15::from_double(input_[i]).raw());
+  spm.write_burst(input_base(), samples);
   return ChunkRef{input_base(), static_cast<std::uint32_t>(input_.size())};
 }
 
@@ -56,28 +56,36 @@ PhaseResult FirFilter::run_phase(std::size_t index, sim::MemoryPort& spm) {
   NTC_REQUIRE(index < phase_count());
   PhaseResult result;
   bool fault = false;
-  auto load_q15 = [&](std::uint32_t word) {
-    std::uint32_t raw = 0;
-    if (spm.read_word(word, raw) == sim::AccessStatus::DetectedUncorrectable)
-      fault = true;
-    return Q15{static_cast<std::int16_t>(raw & 0xFFFFu)};
-  };
   const std::size_t begin = index * block_samples_;
-  for (std::size_t n = begin; n < begin + block_samples_; ++n) {
+  // One burst for the coefficient bank and one for the input window the
+  // block convolves over, instead of re-reading both per tap.
+  std::vector<std::uint32_t> coeffs(taps_.size());
+  if (spm.read_burst(coeff_base(), coeffs) ==
+      sim::AccessStatus::DetectedUncorrectable)
+    fault = true;
+  const std::size_t window_lo =
+      begin >= taps_.size() - 1 ? begin - (taps_.size() - 1) : 0;
+  const std::size_t window_hi = begin + block_samples_;
+  std::vector<std::uint32_t> samples(window_hi - window_lo);
+  if (spm.read_burst(input_base() + static_cast<std::uint32_t>(window_lo),
+                     samples) == sim::AccessStatus::DetectedUncorrectable)
+    fault = true;
+  std::vector<std::uint32_t> output(block_samples_);
+  for (std::size_t n = begin; n < window_hi; ++n) {
     Q15 acc{0};
     for (std::size_t t = 0; t < taps_.size(); ++t) {
       if (n < t) break;
-      const Q15 coeff = load_q15(coeff_base() + static_cast<std::uint32_t>(t));
-      const Q15 sample =
-          load_q15(input_base() + static_cast<std::uint32_t>(n - t));
+      const Q15 coeff{static_cast<std::int16_t>(coeffs[t] & 0xFFFFu)};
+      const Q15 sample{
+          static_cast<std::int16_t>(samples[n - t - window_lo] & 0xFFFFu)};
       acc = acc + coeff * sample;
       result.compute_cycles += kCyclesPerTap;
     }
-    if (spm.write_word(output_base() + static_cast<std::uint32_t>(n),
-                       static_cast<std::uint16_t>(acc.raw())) ==
-        sim::AccessStatus::DetectedUncorrectable)
-      fault = true;
+    output[n - begin] = static_cast<std::uint16_t>(acc.raw());
   }
+  if (spm.write_burst(output_base() + static_cast<std::uint32_t>(begin),
+                      output) == sim::AccessStatus::DetectedUncorrectable)
+    fault = true;
   result.output =
       ChunkRef{output_base() + static_cast<std::uint32_t>(begin),
                static_cast<std::uint32_t>(block_samples_)};
@@ -86,12 +94,11 @@ PhaseResult FirFilter::run_phase(std::size_t index, sim::MemoryPort& spm) {
 }
 
 std::vector<double> FirFilter::read_output(sim::MemoryPort& spm) const {
+  std::vector<std::uint32_t> words(input_.size());
+  spm.read_burst(output_base(), words);
   std::vector<double> out(input_.size());
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    std::uint32_t raw = 0;
-    spm.read_word(output_base() + static_cast<std::uint32_t>(i), raw);
-    out[i] = Q15{static_cast<std::int16_t>(raw & 0xFFFFu)}.to_double();
-  }
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = Q15{static_cast<std::int16_t>(words[i] & 0xFFFFu)}.to_double();
   return out;
 }
 

@@ -16,12 +16,13 @@ std::string MatMul::name() const {
 }
 
 ChunkRef MatMul::initialize(sim::MemoryPort& spm) {
+  std::vector<std::uint32_t> words(a_.size());
   for (std::size_t i = 0; i < a_.size(); ++i)
-    spm.write_word(a_base() + static_cast<std::uint32_t>(i),
-                   static_cast<std::uint32_t>(a_[i]));
+    words[i] = static_cast<std::uint32_t>(a_[i]);
+  spm.write_burst(a_base(), words);
   for (std::size_t i = 0; i < b_.size(); ++i)
-    spm.write_word(b_base() + static_cast<std::uint32_t>(i),
-                   static_cast<std::uint32_t>(b_[i]));
+    words[i] = static_cast<std::uint32_t>(b_[i]);
+  spm.write_burst(b_base(), words);
   return ChunkRef{a_base(), static_cast<std::uint32_t>(2 * n_ * n_)};
 }
 
@@ -36,25 +37,30 @@ PhaseResult MatMul::run_phase(std::size_t index, sim::MemoryPort& spm) {
   NTC_REQUIRE(index < n_);
   PhaseResult result;
   bool fault = false;
-  auto load = [&](std::uint32_t word) {
-    std::uint32_t raw = 0;
-    if (spm.read_word(word, raw) == sim::AccessStatus::DetectedUncorrectable)
-      fault = true;
-    return static_cast<std::int32_t>(raw);
-  };
+  // Burst the A row once and the whole B operand once per phase instead
+  // of re-reading both per multiply-accumulate.
+  std::vector<std::uint32_t> a_row(n_);
+  if (spm.read_burst(a_base() + static_cast<std::uint32_t>(index * n_),
+                     a_row) == sim::AccessStatus::DetectedUncorrectable)
+    fault = true;
+  std::vector<std::uint32_t> b_full(n_ * n_);
+  if (spm.read_burst(b_base(), b_full) ==
+      sim::AccessStatus::DetectedUncorrectable)
+    fault = true;
+  std::vector<std::uint32_t> c_row(n_);
   for (std::size_t j = 0; j < n_; ++j) {
     std::int64_t acc = 0;
     for (std::size_t k = 0; k < n_; ++k) {
-      const std::int32_t av = load(a_base() + static_cast<std::uint32_t>(index * n_ + k));
-      const std::int32_t bv = load(b_base() + static_cast<std::uint32_t>(k * n_ + j));
+      const std::int32_t av = static_cast<std::int32_t>(a_row[k]);
+      const std::int32_t bv = static_cast<std::int32_t>(b_full[k * n_ + j]);
       acc += static_cast<std::int64_t>(av) * bv;
       result.compute_cycles += kCyclesPerMac;
     }
-    if (spm.write_word(c_base() + static_cast<std::uint32_t>(index * n_ + j),
-                       static_cast<std::uint32_t>(static_cast<std::int32_t>(acc))) ==
-        sim::AccessStatus::DetectedUncorrectable)
-      fault = true;
+    c_row[j] = static_cast<std::uint32_t>(static_cast<std::int32_t>(acc));
   }
+  if (spm.write_burst(c_base() + static_cast<std::uint32_t>(index * n_),
+                      c_row) == sim::AccessStatus::DetectedUncorrectable)
+    fault = true;
   result.output = ChunkRef{c_base() + static_cast<std::uint32_t>(index * n_),
                            static_cast<std::uint32_t>(n_)};
   result.memory_fault = fault;
@@ -62,12 +68,11 @@ PhaseResult MatMul::run_phase(std::size_t index, sim::MemoryPort& spm) {
 }
 
 std::vector<std::int32_t> MatMul::read_output(sim::MemoryPort& spm) const {
+  std::vector<std::uint32_t> words(n_ * n_);
+  spm.read_burst(c_base(), words);
   std::vector<std::int32_t> out(n_ * n_);
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    std::uint32_t raw = 0;
-    spm.read_word(c_base() + static_cast<std::uint32_t>(i), raw);
-    out[i] = static_cast<std::int32_t>(raw);
-  }
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = static_cast<std::int32_t>(words[i]);
   return out;
 }
 

@@ -1,0 +1,343 @@
+// Unit tests for the burst-transaction pipeline: native bursts at every
+// layer (SramModule raw bursts, EccMemory batch codec bursts, NtcMemory
+// scrub chunking, AdaptiveNtcMemory recovery resume, Bus boundary
+// splitting) must be observably identical to the word-at-a-time
+// decomposition — same data, same counters, same fault-model RNG
+// consumption.  The process-wide set_burst_native_enabled switch routes
+// the identical call sequence through the base-class fallback for the
+// comparison arm.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/adaptive_memory.hpp"
+#include "core/ntc_memory.hpp"
+#include "ecc/hamming.hpp"
+#include "reliability/access_model.hpp"
+#include "reliability/noise_margin.hpp"
+#include "sim/bus.hpp"
+#include "sim/ecc_memory.hpp"
+#include "sim/sram_module.hpp"
+
+namespace ntc {
+namespace {
+
+/// Scoped native-burst switch; restores the default (native) on exit.
+struct NativeBurstGuard {
+  explicit NativeBurstGuard(bool native) { sim::set_burst_native_enabled(native); }
+  ~NativeBurstGuard() { sim::set_burst_native_enabled(true); }
+};
+
+sim::SramModule make_sram(Volt vdd, bool inject, std::uint64_t seed,
+                          std::uint32_t words = 64,
+                          std::uint32_t stored_bits = 39) {
+  return sim::SramModule("test", words, stored_bits,
+                         reliability::cell_based_40nm_access(),
+                         reliability::cell_based_40nm_retention(), vdd,
+                         Rng(seed), inject);
+}
+
+void expect_same_stats(const sim::SramStats& a, const sim::SramStats& b) {
+  EXPECT_EQ(a.reads, b.reads);
+  EXPECT_EQ(a.writes, b.writes);
+  EXPECT_EQ(a.injected_read_flips, b.injected_read_flips);
+  EXPECT_EQ(a.injected_write_flips, b.injected_write_flips);
+  EXPECT_EQ(a.stuck_bits, b.stuck_bits);
+}
+
+void expect_same_ecc_stats(const sim::EccMemoryStats& a,
+                           const sim::EccMemoryStats& b) {
+  EXPECT_EQ(a.corrected_words, b.corrected_words);
+  EXPECT_EQ(a.corrected_bits, b.corrected_bits);
+  EXPECT_EQ(a.uncorrectable_words, b.uncorrectable_words);
+  EXPECT_EQ(a.scrub_passes, b.scrub_passes);
+}
+
+TEST(SramRawBurst, MatchesPerWordLoop) {
+  // Same seed, same access sequence: `burst` uses the raw burst entry
+  // points, `scalar` the per-word ones.  At 0.42 V the stochastic draw
+  // stream is live, so a single skipped or reordered draw diverges.
+  for (const double v : {0.60, 0.42}) {
+    sim::SramModule burst = make_sram(Volt{v}, /*inject=*/true, 42);
+    sim::SramModule scalar = make_sram(Volt{v}, /*inject=*/true, 42);
+
+    std::vector<std::uint64_t> values(burst.words());
+    std::uint64_t pattern = 0x9E3779B97F4A7C15ull;
+    for (auto& value : values) {
+      value = pattern & ((1ull << 39) - 1);
+      pattern = pattern * 2862933555777941757ull + 3037000493ull;
+    }
+    burst.write_raw_burst(0, values.data(),
+                          static_cast<std::uint32_t>(values.size()));
+    for (std::uint32_t w = 0; w < scalar.words(); ++w)
+      scalar.write_raw(w, values[w]);
+    EXPECT_EQ(burst.raw_words(), scalar.raw_words()) << "v=" << v;
+    expect_same_stats(burst.stats(), scalar.stats());
+
+    std::vector<std::uint64_t> got(burst.words());
+    burst.read_raw_burst(0, got.data(), static_cast<std::uint32_t>(got.size()));
+    for (std::uint32_t w = 0; w < scalar.words(); ++w)
+      EXPECT_EQ(got[w], scalar.read_raw(w)) << "v=" << v << " w=" << w;
+    expect_same_stats(burst.stats(), scalar.stats());
+  }
+}
+
+TEST(SramRawBurst, TxnRestoreReplaysIdenticalDraws) {
+  // Roll a burst back and replay it per-word: determinism must hand the
+  // replay exactly the draws the burst consumed.
+  sim::SramModule mod = make_sram(Volt{0.42}, /*inject=*/true, 7);
+  ASSERT_TRUE(mod.txn_supported());
+  std::vector<std::uint64_t> first(16), replay(16);
+  const sim::SramModule::Txn txn = mod.txn_save();
+  mod.read_raw_burst(0, first.data(), 16);
+  mod.txn_restore(txn);
+  for (std::uint32_t w = 0; w < 16; ++w) replay[w] = mod.read_raw(w);
+  EXPECT_EQ(first, replay);
+}
+
+TEST(EccBurst, MatchesWordFallbackUnderFaults) {
+  // Native bursts (batch codec + raw bursts) versus the identical call
+  // sequence routed through the word-at-a-time fallback.
+  for (const double v : {0.60, 0.42}) {
+    auto code = std::make_shared<ecc::HammingSecded>(32);
+    sim::EccMemory native(std::make_unique<sim::SramModule>(make_sram(
+                              Volt{v}, /*inject=*/true, 11)),
+                          code);
+    sim::EccMemory fallback(std::make_unique<sim::SramModule>(make_sram(
+                                Volt{v}, /*inject=*/true, 11)),
+                            code);
+
+    std::vector<std::uint32_t> data(native.word_count());
+    for (std::size_t i = 0; i < data.size(); ++i)
+      data[i] = static_cast<std::uint32_t>(i * 2654435761u);
+    std::vector<std::uint32_t> got_native(data.size());
+    std::vector<std::uint32_t> got_fallback(data.size());
+
+    sim::AccessStatus ws_native, ws_fallback, rs_native, rs_fallback;
+    {
+      NativeBurstGuard guard(true);
+      ws_native = native.write_burst(0, data);
+      rs_native = native.read_burst(0, got_native);
+    }
+    {
+      NativeBurstGuard guard(false);
+      ws_fallback = fallback.write_burst(0, data);
+      rs_fallback = fallback.read_burst(0, got_fallback);
+    }
+    EXPECT_EQ(ws_native, ws_fallback) << "v=" << v;
+    EXPECT_EQ(rs_native, rs_fallback) << "v=" << v;
+    EXPECT_EQ(got_native, got_fallback) << "v=" << v;
+    EXPECT_EQ(native.array().raw_words(), fallback.array().raw_words());
+    expect_same_stats(native.array().stats(), fallback.array().stats());
+    expect_same_ecc_stats(native.stats(), fallback.stats());
+  }
+}
+
+TEST(EccBurstTracked, StopsAtFirstUncorrectableWord) {
+  // Fault-free array with one double-bit-corrupted codeword (the
+  // SECDED detect-only case): the tracked burst must stop exactly
+  // there with the clean prefix intact and count a single
+  // uncorrectable word (the speculative chunk is rolled back and
+  // replayed per-word).
+  auto code = std::make_shared<ecc::HammingSecded>(32);
+  sim::EccMemory memory(std::make_unique<sim::SramModule>(make_sram(
+                            Volt{0.60}, /*inject=*/false, 1)),
+                        code);
+  ASSERT_TRUE(memory.array().txn_supported());
+  for (std::uint32_t w = 0; w < memory.word_count(); ++w)
+    memory.write_word(w, w * 0x01010101u);
+  const std::uint64_t raw = memory.array().raw_words()[5];
+  memory.array().write_raw(5, raw ^ 0b110ull);  // double error
+
+  std::vector<std::uint32_t> data(16, 0xFFFFFFFFu);
+  std::uint32_t first_bad = 0;
+  const sim::AccessStatus status = memory.read_burst_tracked(0, data, first_bad);
+  EXPECT_EQ(first_bad, 5u);
+  EXPECT_EQ(status, sim::AccessStatus::Ok);  // clean-prefix aggregate
+  for (std::uint32_t w = 0; w < 5; ++w)
+    EXPECT_EQ(data[w], w * 0x01010101u) << "w=" << w;
+  EXPECT_EQ(memory.stats().uncorrectable_words, 1u);
+
+  // Resuming after the bad word covers the rest of the range.
+  const sim::AccessStatus tail = memory.read_burst_tracked(
+      6, std::span<std::uint32_t>(data).subspan(6), first_bad);
+  EXPECT_EQ(tail, sim::AccessStatus::Ok);
+  EXPECT_EQ(first_bad, 10u);
+  for (std::uint32_t w = 6; w < 16; ++w)
+    EXPECT_EQ(data[w], w * 0x01010101u) << "w=" << w;
+}
+
+TEST(NtcBurst, ScrubChunkingMatchesPerWordCadence) {
+  // A scrub interval far smaller than the burst: the native path must
+  // scrub at exactly the word positions the per-word loop would.
+  core::NtcMemoryConfig config;
+  config.bytes = 256;  // 64 words
+  config.scheme = mitigation::SchemeKind::Secded;
+  config.vdd = Volt{0.42};
+  config.scrub_interval_accesses = 10;
+  config.seed = 5;
+  core::NtcMemory native(config);
+  core::NtcMemory fallback(config);
+
+  std::vector<std::uint32_t> data(native.word_count());
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::uint32_t>(i) * 0x9E3779B9u;
+  std::vector<std::uint32_t> got_native(data.size());
+  std::vector<std::uint32_t> got_fallback(data.size());
+  {
+    NativeBurstGuard guard(true);
+    native.write_burst(0, data);
+    native.read_burst(0, got_native);
+    native.read_burst(0, got_native);
+  }
+  {
+    NativeBurstGuard guard(false);
+    fallback.write_burst(0, data);
+    fallback.read_burst(0, got_fallback);
+    fallback.read_burst(0, got_fallback);
+  }
+  EXPECT_GT(native.scrubs_performed(), 0u);
+  EXPECT_EQ(native.scrubs_performed(), fallback.scrubs_performed());
+  EXPECT_EQ(got_native, got_fallback);
+  EXPECT_EQ(native.ecc().array().raw_words(),
+            fallback.ecc().array().raw_words());
+  expect_same_stats(native.array_stats(), fallback.array_stats());
+  expect_same_ecc_stats(native.ecc_stats(), fallback.ecc_stats());
+}
+
+TEST(AdaptiveBurst, RecoveryEscalationMatchesPerWordPath) {
+  // Deep-NTV reads with recovery on: uncorrectable words met mid-burst
+  // must enter the retry/scrub/bump escalation at the same access
+  // positions as the per-word loop.
+  core::AdaptiveConfig config;
+  config.memory.bytes = 256;
+  config.memory.scheme = mitigation::SchemeKind::Secded;
+  config.memory.vdd = Volt{0.40};
+  config.memory.scrub_interval_accesses = 0;
+  config.memory.seed = 9;
+  core::AdaptiveNtcMemory native(config);
+  core::AdaptiveNtcMemory fallback(config);
+
+  std::vector<std::uint32_t> data(native.word_count());
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::uint32_t>(i) * 0x85EBCA6Bu;
+  std::vector<std::uint32_t> got_native(data.size());
+  std::vector<std::uint32_t> got_fallback(data.size());
+  {
+    NativeBurstGuard guard(true);
+    native.write_burst(0, data);
+    for (int sweep = 0; sweep < 20; ++sweep) native.read_burst(0, got_native);
+  }
+  {
+    NativeBurstGuard guard(false);
+    fallback.write_burst(0, data);
+    for (int sweep = 0; sweep < 20; ++sweep)
+      fallback.read_burst(0, got_fallback);
+  }
+  EXPECT_EQ(got_native, got_fallback);
+  EXPECT_EQ(native.vdd().value, fallback.vdd().value);
+  const core::RecoveryStats& a = native.recovery_stats();
+  const core::RecoveryStats& b = fallback.recovery_stats();
+  EXPECT_EQ(a.uncorrectable_reads, b.uncorrectable_reads);
+  EXPECT_EQ(a.read_retries, b.read_retries);
+  EXPECT_EQ(a.retry_recoveries, b.retry_recoveries);
+  EXPECT_EQ(a.scrub_retries, b.scrub_retries);
+  EXPECT_EQ(a.scrub_recoveries, b.scrub_recoveries);
+  EXPECT_EQ(a.voltage_bumps, b.voltage_bumps);
+  EXPECT_EQ(a.bump_recoveries, b.bump_recoveries);
+  EXPECT_EQ(a.unrecovered_reads, b.unrecovered_reads);
+  expect_same_stats(native.memory().array_stats(),
+                    fallback.memory().array_stats());
+  expect_same_ecc_stats(native.memory().ecc_stats(),
+                        fallback.memory().ecc_stats());
+}
+
+class BusBurstTest : public ::testing::Test {
+ protected:
+  BusBurstTest()
+      : low_(std::make_unique<sim::SramModule>(
+            make_sram(Volt{0.60}, /*inject=*/false, 1, 16, 32)),
+            nullptr),
+        high_(std::make_unique<sim::SramModule>(
+            make_sram(Volt{0.60}, /*inject=*/false, 2, 16, 32)),
+            nullptr),
+        bus_(/*wait_states=*/1) {
+    // [0, 16) mapped, [16, 32) unmapped gap, [32, 48) mapped.
+    bus_.map("low", 0, &low_);
+    bus_.map("high", 32, &high_);
+  }
+
+  sim::EccMemory low_;
+  sim::EccMemory high_;
+  sim::Bus bus_;
+};
+
+TEST_F(BusBurstTest, BurstStraddlingRegionsIsSplitDeterministically) {
+  // 40-word burst from 8: 8 words into `low`, a 16-word unmapped gap
+  // (error-responded per word), 16 words into `high`.
+  std::vector<std::uint32_t> data(40);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = 0xA0000000u + static_cast<std::uint32_t>(i);
+  EXPECT_EQ(bus_.write_burst(8, data),
+            sim::AccessStatus::DetectedUncorrectable);
+  EXPECT_EQ(bus_.regions()[0].writes, 8u);
+  EXPECT_EQ(bus_.regions()[1].writes, 16u);
+  EXPECT_EQ(bus_.decode_errors(), 16u);
+  EXPECT_EQ(bus_.cycles_consumed(), 40u * 2u);  // 1 + wait_state per word
+
+  std::vector<std::uint32_t> got(40, 0xFFFFFFFFu);
+  EXPECT_EQ(bus_.read_burst(8, got), sim::AccessStatus::DetectedUncorrectable);
+  EXPECT_EQ(bus_.decode_errors(), 32u);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const std::uint32_t word = 8 + static_cast<std::uint32_t>(i);
+    if (word >= 16 && word < 32) {
+      EXPECT_EQ(got[i], 0u) << "gap word " << word;  // error response
+    } else {
+      EXPECT_EQ(got[i], data[i]) << "word " << word;
+    }
+  }
+
+  // The fallback decomposition produces the same counters and data.
+  sim::EccMemory low2(std::make_unique<sim::SramModule>(
+                          make_sram(Volt{0.60}, false, 1, 16, 32)),
+                      nullptr);
+  sim::EccMemory high2(std::make_unique<sim::SramModule>(
+                           make_sram(Volt{0.60}, false, 2, 16, 32)),
+                       nullptr);
+  sim::Bus bus2(1);
+  bus2.map("low", 0, &low2);
+  bus2.map("high", 32, &high2);
+  std::vector<std::uint32_t> got2(40, 0xFFFFFFFFu);
+  {
+    NativeBurstGuard guard(false);
+    EXPECT_EQ(bus2.write_burst(8, data),
+              sim::AccessStatus::DetectedUncorrectable);
+    EXPECT_EQ(bus2.read_burst(8, got2),
+              sim::AccessStatus::DetectedUncorrectable);
+  }
+  EXPECT_EQ(got2, got);
+  EXPECT_EQ(bus2.cycles_consumed(), bus_.cycles_consumed());
+  EXPECT_EQ(bus2.decode_errors(), bus_.decode_errors());
+  EXPECT_EQ(bus2.regions()[0].reads, bus_.regions()[0].reads);
+  EXPECT_EQ(bus2.regions()[1].reads, bus_.regions()[1].reads);
+  EXPECT_EQ(bus2.regions()[0].writes, bus_.regions()[0].writes);
+  EXPECT_EQ(bus2.regions()[1].writes, bus_.regions()[1].writes);
+}
+
+TEST_F(BusBurstTest, BurstBeyondAddressSpaceIsRejectedNotWrapped) {
+  std::vector<std::uint32_t> data(4, 0);
+  EXPECT_DEATH(bus_.read_burst(0xFFFFFFFEu, data), "32-bit");
+  EXPECT_DEATH(bus_.write_burst(0xFFFFFFFEu, data), "32-bit");
+}
+
+TEST_F(BusBurstTest, BurstEntirelyInGapErrorRespondsEveryWord) {
+  std::vector<std::uint32_t> got(8, 0xFFFFFFFFu);
+  EXPECT_EQ(bus_.read_burst(20, got), sim::AccessStatus::DetectedUncorrectable);
+  EXPECT_EQ(bus_.decode_errors(), 8u);
+  for (const std::uint32_t word : got) EXPECT_EQ(word, 0u);
+}
+
+}  // namespace
+}  // namespace ntc
