@@ -23,6 +23,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -38,6 +39,8 @@
 #include "sim/ecc_memory.hpp"
 #include "sim/platform.hpp"
 #include "sim/sram_module.hpp"
+#include "telemetry/build_info.hpp"
+#include "telemetry/telemetry.hpp"
 #include "workloads/fft.hpp"
 
 namespace {
@@ -294,6 +297,106 @@ void bench_campaign_throughput(Suite& suite, bool quick) {
   });
 }
 
+/// Interleaved A/B measurement of the runtime telemetry cost of `op`:
+/// each pair times op(i) twice back to back, once with the runtime
+/// flag off and once with it on, and the result is the median of the
+/// per-pair time ratios.  Three noise sources are cancelled
+/// deliberately: twin benchmarks timed minutes apart pick up several
+/// percent of slow machine drift, far more than the cost being
+/// measured, while the two sides of a pair run microseconds apart on
+/// identical state; ops whose cost depends on the index — the campaign
+/// slice's per-seed fault draws vary wildly — would otherwise compare
+/// disjoint workloads (both sides of a pair replay the same index);
+/// and the second run of an index is cache-warmer than the first, so
+/// which side goes first alternates by pair parity and the median
+/// lands between the two symmetric half-populations.
+double paired_overhead_pct(const std::function<void(std::uint64_t)>& op,
+                           int pairs) {
+  using clock = std::chrono::steady_clock;
+  telemetry::set_enabled(false);
+  op(0);  // warm both paths off-clock
+  telemetry::set_enabled(true);
+  op(0);
+  const auto time_one = [&](bool enabled, std::uint64_t i) {
+    telemetry::set_enabled(enabled);
+    const auto t0 = clock::now();
+    op(i);
+    return std::chrono::duration<double>(clock::now() - t0).count();
+  };
+  std::vector<double> ratios;
+  ratios.reserve(static_cast<std::size_t>(pairs));
+  for (int k = 0; k < pairs; ++k) {
+    const std::uint64_t i = 1 + static_cast<std::uint64_t>(k);
+    double off_s, on_s;
+    if (k % 2 == 0) {
+      off_s = time_one(false, i);
+      on_s = time_one(true, i);
+    } else {
+      on_s = time_one(true, i);
+      off_s = time_one(false, i);
+    }
+    ratios.push_back(on_s / off_s);
+  }
+  telemetry::set_enabled(false);
+  std::nth_element(ratios.begin(), ratios.begin() + ratios.size() / 2,
+                   ratios.end());
+  return (ratios[ratios.size() / 2] - 1.0) * 100.0;
+}
+
+/// Telemetry-enabled twins of the two tracked transaction-path
+/// benchmarks, plus the paired off/on overhead measurement for each.
+/// The returned (base name, percent) pairs are the recorded proof that
+/// instrumentation costs < 2% on the hot paths (the
+/// "telemetry_overhead_pct" block of BENCH_perf.json).  In a
+/// -DNTC_TELEMETRY=OFF build the call sites compile to nothing, the
+/// twins measure the same code as the originals, and the paired
+/// measurement reads ~0%.
+std::vector<std::pair<std::string, double>> bench_telemetry_overhead(
+    Suite& suite, bool quick) {
+  std::vector<std::pair<std::string, double>> overheads;
+  {
+    sim::PlatformConfig config;
+    config.scheme = mitigation::SchemeKind::Secded;
+    config.vdd = Volt{0.60};
+    sim::Platform platform(config);
+    const std::size_t points = quick ? 64 : 1024;
+    workloads::FixedPointFft fft(points);
+    fft.set_input(benchutil::fft_test_signal(points));
+    const auto op = [&](std::uint64_t i) {
+      (void)i;
+      do_not_optimize(ocean::run_unprotected(platform, fft));
+      do_not_optimize(platform.total_cycles());
+    };
+    telemetry::set_enabled(true);
+    suite.run("fft_platform_run_telemetry", op);
+    telemetry::set_enabled(false);
+    overheads.emplace_back(
+        "fft_platform_run",
+        paired_overhead_pct(op, quick ? 6 : 512));
+  }
+  {
+    faultsim::CampaignConfig config;
+    config.voltages = {Volt{0.44}};
+    config.schemes = {mitigation::SchemeKind::Secded};
+    config.seeds_per_cell = 1;
+    config.fft_points = quick ? 16 : 64;
+    config.threads = 1;
+    const auto op = [&](std::uint64_t i) {
+      faultsim::CampaignConfig run_config = config;
+      run_config.base_seed = i + 1;
+      faultsim::CampaignRunner runner(run_config);
+      do_not_optimize(runner.run());
+    };
+    telemetry::set_enabled(true);
+    suite.run("campaign_grid_slice_telemetry", op);
+    telemetry::set_enabled(false);
+    overheads.emplace_back(
+        "campaign_grid_slice",
+        paired_overhead_pct(op, quick ? 6 : 512));
+  }
+  return overheads;
+}
+
 /// Minimal extraction of {"name": ..., "ns_per_op": ...} pairs from a
 /// previous BENCH_perf.json (written by this program, so the layout is
 /// known; this is not a general JSON parser).
@@ -339,12 +442,21 @@ int count_regressions(const std::vector<BenchResult>& results, double pct) {
 }
 
 void write_json(const std::vector<BenchResult>& results,
+                const std::vector<std::pair<std::string, double>>& overheads,
                 const std::string& path) {
   std::ofstream out(path);
-  out << "[\n";
+  out << "{\n  \"build\": " << telemetry::build_info_json() << ",\n";
+  out << "  \"telemetry_overhead_pct\": {";
+  bool first = true;
+  for (const auto& [base, pct] : overheads) {
+    if (!first) out << ", ";
+    out << "\"" << base << "\": " << pct;
+    first = false;
+  }
+  out << "},\n  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const BenchResult& r = results[i];
-    out << "  {\"name\": \"" << r.name << "\", \"ns_per_op\": " << r.ns_per_op
+    out << "    {\"name\": \"" << r.name << "\", \"ns_per_op\": " << r.ns_per_op
         << ", \"ops_per_sec\": " << r.ops_per_sec;
     if (r.baseline_ns_per_op > 0.0) {
       out << ", \"baseline_ns_per_op\": " << r.baseline_ns_per_op
@@ -353,7 +465,7 @@ void write_json(const std::vector<BenchResult>& results,
     }
     out << "}" << (i + 1 < results.size() ? "," : "") << "\n";
   }
-  out << "]\n";
+  out << "  ]\n}\n";
   std::printf("wrote %zu results to %s\n", results.size(), path.c_str());
 }
 
@@ -390,9 +502,13 @@ int main(int argc, char** argv) {
   bench_platform_reset(suite);
   bench_fft_platform_run(suite, quick);
   bench_campaign_throughput(suite, quick);
+  const auto overheads = bench_telemetry_overhead(suite, quick);
+
+  for (const auto& [base, pct] : overheads)
+    std::printf("telemetry overhead on %-22s %+.2f%%\n", base.c_str(), pct);
 
   if (!baseline_path.empty()) annotate_baseline(suite.results(), baseline_path);
-  write_json(suite.results(), out_path);
+  write_json(suite.results(), overheads, out_path);
   if (regression_pct >= 0.0 &&
       count_regressions(suite.results(), regression_pct) > 0)
     return 1;

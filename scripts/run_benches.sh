@@ -1,10 +1,16 @@
 #!/usr/bin/env bash
 # Build the perf-regression suite in Release mode and refresh
-# BENCH_perf.json at the repo root.  If a previous BENCH_perf.json
-# exists it is passed as the baseline, so the new file carries
-# per-benchmark speedup_vs_baseline annotations — and the run acts as a
-# regression gate: the script exits non-zero when any benchmark is more
-# than ${NTC_BENCH_REGRESSION_PCT:-20}% slower than its baseline entry.
+# BENCH_perf.json at the repo root.  The tracked BENCH_perf.json is the
+# baseline: the new numbers are annotated with speedup_vs_baseline and
+# the run acts as a regression gate — the script exits non-zero when any
+# benchmark is more than ${NTC_BENCH_REGRESSION_PCT:-20}% slower than
+# its baseline entry.
+#
+# A missing or malformed baseline is an error, not a silent skip: a
+# regression gate that quietly runs ungated is worse than one that
+# fails loudly.  Bootstrapping a fresh checkout without a tracked
+# baseline is the one legitimate exception — opt into it explicitly
+# with NTC_BENCH_ALLOW_NO_BASELINE=1.
 #
 # Usage: scripts/run_benches.sh [extra perf_suite args...]
 set -euo pipefail
@@ -13,16 +19,35 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${repo_root}/build-bench"
 out_json="${repo_root}/BENCH_perf.json"
 regression_pct="${NTC_BENCH_REGRESSION_PCT:-20}"
+allow_no_baseline="${NTC_BENCH_ALLOW_NO_BASELINE:-0}"
 
-cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release > /dev/null
-cmake --build "${build_dir}" -j --target perf_suite > /dev/null
+die() {
+  echo "error: $*" >&2
+  exit 1
+}
 
 baseline_args=()
 if [[ -f "${out_json}" ]]; then
+  # Sanity-check the baseline before trusting it: perf_suite's
+  # annotate_baseline quietly matches nothing on garbage input, which
+  # would disable the gate without a word.
+  grep -q '"name"' "${out_json}" && grep -q '"ns_per_op"' "${out_json}" ||
+    die "baseline ${out_json} is malformed (no \"name\"/\"ns_per_op\" entries);
+       restore it from git (git checkout -- BENCH_perf.json) or delete it and
+       re-bootstrap with NTC_BENCH_ALLOW_NO_BASELINE=1"
   cp "${out_json}" "${out_json}.baseline.tmp"
   baseline_args=(--baseline "${out_json}.baseline.tmp"
                  --check-regression "${regression_pct}")
+elif [[ "${allow_no_baseline}" != "1" ]]; then
+  die "baseline ${out_json} not found — the regression gate needs the tracked
+       baseline. Restore it (git checkout -- BENCH_perf.json) or, for a first
+       run on a fresh tree, set NTC_BENCH_ALLOW_NO_BASELINE=1"
+else
+  echo "warning: no baseline ${out_json}; running ungated (bootstrap)" >&2
 fi
+
+cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release > /dev/null
+cmake --build "${build_dir}" -j --target perf_suite > /dev/null
 
 status=0
 "${build_dir}/bench/perf_suite" --out "${out_json}.tmp" \

@@ -1,6 +1,8 @@
 #include "common/executor.hpp"
 
 #include "common/assert.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace ntc {
 
@@ -49,8 +51,24 @@ bool Executor::steal(unsigned self, std::size_t& index) {
 
 void Executor::work(unsigned self,
                     const std::function<void(std::size_t, unsigned)>& fn) {
+  NTC_TELEM_SPAN(span, telemetry::EventKind::ExecutorJob, "executor_job");
+  std::uint64_t executed = 0;
+  std::uint64_t stolen = 0;
   std::size_t index;
-  while (pop_own(self, index) || steal(self, index)) fn(index, self);
+  while (true) {
+    if (pop_own(self, index)) {
+      ++executed;
+    } else if (steal(self, index)) {
+      ++executed;
+      ++stolen;
+    } else {
+      break;
+    }
+    fn(index, self);
+  }
+  span.set_args(executed, stolen);
+  NTC_TELEM_COUNT("ntc_executor_indices_total", executed);
+  NTC_TELEM_COUNT("ntc_executor_steals_total", stolen);
 }
 
 void Executor::worker_loop(unsigned self) {
@@ -79,7 +97,10 @@ void Executor::parallel_for(
     std::size_t n, const std::function<void(std::size_t, unsigned)>& fn) {
   if (n == 0) return;
   if (workers_ == 1) {
+    NTC_TELEM_SPAN(span, telemetry::EventKind::ExecutorJob, "executor_job");
+    span.set_args(n, 0);
     for (std::size_t i = 0; i < n; ++i) fn(i, 0);
+    NTC_TELEM_COUNT("ntc_executor_indices_total", n);
     return;
   }
   {

@@ -2,6 +2,16 @@
 
 #include "common/assert.hpp"
 #include "energy/memory_calculator.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace {
+
+inline std::uint64_t to_mv(ntc::Volt v) {
+  return static_cast<std::uint64_t>(v.value * 1000.0 + 0.5);
+}
+
+}  // namespace
 
 namespace ntc::core {
 
@@ -35,6 +45,9 @@ sim::AccessStatus AdaptiveNtcMemory::read_word(std::uint32_t word_index,
 sim::AccessStatus AdaptiveNtcMemory::recover_read(std::uint32_t word_index,
                                                   std::uint32_t& data) {
   ++recovery_stats_.uncorrectable_reads;
+  NTC_TELEM_EVENT(telemetry::EventKind::Recovery, "recovery_enter",
+                  telemetry::RecoveryStage::Enter, 0);
+  NTC_TELEM_COUNT("ntc_recovery_uncorrectable_reads_total", 1);
 
   // 1. Bounded re-read: transient read flips decorrelate between
   // attempts, so a marginal word often decodes on the second try.
@@ -43,6 +56,8 @@ sim::AccessStatus AdaptiveNtcMemory::recover_read(std::uint32_t word_index,
     if (memory_.read_word(word_index, data) !=
         sim::AccessStatus::DetectedUncorrectable) {
       ++recovery_stats_.retry_recoveries;
+      NTC_TELEM_EVENT(telemetry::EventKind::Recovery, "recovery_retry",
+                      telemetry::RecoveryStage::Retry, 1);
       return sim::AccessStatus::CorrectedError;
     }
   }
@@ -56,6 +71,8 @@ sim::AccessStatus AdaptiveNtcMemory::recover_read(std::uint32_t word_index,
     if (memory_.read_word(word_index, data) !=
         sim::AccessStatus::DetectedUncorrectable) {
       ++recovery_stats_.scrub_recoveries;
+      NTC_TELEM_EVENT(telemetry::EventKind::Recovery, "recovery_scrub",
+                      telemetry::RecoveryStage::ScrubRetry, 1);
       return sim::AccessStatus::CorrectedError;
     }
   }
@@ -64,19 +81,27 @@ sim::AccessStatus AdaptiveNtcMemory::recover_read(std::uint32_t word_index,
   // ladder — marginal stuck cells heal, access-error rates collapse —
   // scrub, and retry.  The canary loop walks the rail back down later.
   for (std::uint32_t b = 0; b < config_.recovery.max_voltage_bumps; ++b) {
+    const Volt old_rail = memory_.vdd();
     const Volt rail = controller_.escalate();
     if (rail.value <= memory_.vdd().value) break;  // ladder capped
     ++recovery_stats_.voltage_bumps;
+    NTC_TELEM_EVENT(telemetry::EventKind::VoltageChange, "recovery_bump",
+                    to_mv(old_rail), to_mv(rail));
+    NTC_TELEM_COUNT("ntc_recovery_voltage_bumps_total", 1);
     memory_.set_vdd(rail);
     memory_.scrub();
     if (memory_.read_word(word_index, data) !=
         sim::AccessStatus::DetectedUncorrectable) {
       ++recovery_stats_.bump_recoveries;
+      NTC_TELEM_EVENT(telemetry::EventKind::Recovery, "recovery_bump",
+                      telemetry::RecoveryStage::VoltageBump, 1);
       return sim::AccessStatus::CorrectedError;
     }
   }
 
   ++recovery_stats_.unrecovered_reads;
+  NTC_TELEM_EVENT(telemetry::EventKind::Recovery, "recovery_failed",
+                  telemetry::RecoveryStage::Failed, 0);
   return sim::AccessStatus::DetectedUncorrectable;
 }
 
@@ -120,6 +145,9 @@ Volt AdaptiveNtcMemory::tick(Second age) {
       controller_.voltage(), age, config_.canary_trials_per_tick);
   const Volt rail = controller_.update(last_canary_rate_);
   if (rail.value != memory_.vdd().value) {
+    NTC_TELEM_EVENT(telemetry::EventKind::VoltageChange, "controller_tick",
+                    to_mv(memory_.vdd()), to_mv(rail));
+    NTC_TELEM_GAUGE("ntc_rail_millivolts", rail.value * 1000.0);
     memory_.set_vdd(rail);
     // A changed rail also changes how close the aged cells are to their
     // limits; a scrub flushes anything the transition disturbed.

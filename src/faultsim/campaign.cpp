@@ -10,6 +10,10 @@
 #include "reliability/model_tables.hpp"
 #include "sim/platform.hpp"
 #include "sim/platform_pool.hpp"
+#include "telemetry/build_info.hpp"
+#include "telemetry/exporters.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
 #include "workloads/fft.hpp"
 #include "workloads/golden.hpp"
 
@@ -107,6 +111,10 @@ void CampaignRunner::compute_golden() {
   // deterministic, so one golden image serves every grid cell (and, the
   // config being fixed at construction, every run() call).
   if (golden_computed_) return;
+  // The reference pass is infrastructure, not the simulation under
+  // observation: recording its bursts would double the trace volume of
+  // a one-trial run and pollute exports with fault-free traffic.
+  NTC_TELEM_MUTE(mute);
   sim::PlatformConfig pc = platform_base_config();
   pc.scheme = mitigation::SchemeKind::NoMitigation;
   pc.pm_bytes = 1024;  // no PM in the reference platform
@@ -131,6 +139,8 @@ RunRecord CampaignRunner::execute_one(const Scenario& scenario,
   record.scenario = scenario.name;
   record.vdd = vdd.value;
   record.seed = seed;
+  NTC_TELEM_SPAN(trial_span, telemetry::EventKind::CampaignTrial,
+                 "campaign_trial");
 
   // A pooled platform plus rearm/reset is observationally identical to
   // the fresh platform-per-run this replaces: the scripted injectors
@@ -224,6 +234,8 @@ RunRecord CampaignRunner::execute_one(const Scenario& scenario,
     record.outcome =
         any_fault_activity ? RunOutcome::Corrected : RunOutcome::Clean;
   }
+  trial_span.set_args(seed, static_cast<std::uint64_t>(record.outcome));
+  NTC_TELEM_COUNT("ntc_campaign_trials_total", 1);
   return record;
 }
 
@@ -298,6 +310,11 @@ std::string csv_field(const std::string& s) {
 }  // namespace
 
 void CampaignRunner::write_csv(std::ostream& out) const {
+  // Build provenance rides along as '#' comment lines.  The values are
+  // process constants, so ledgers stay byte-identical across thread
+  // counts and repeated run() calls (faultsim_throughput_test relies on
+  // that).
+  out << telemetry::build_info_csv_comment();
   out << "scenario,scheme,vdd,seed,outcome,snr_db,corrected_words,"
          "uncorrectable_words,injected_flips,stuck_bits,"
          "scenario_events_fired,ocean_restores,ocean_voltage_escalations,"
@@ -313,9 +330,14 @@ void CampaignRunner::write_csv(std::ostream& out) const {
   }
 }
 
+void CampaignRunner::write_telemetry_jsonl(std::ostream& out) const {
+  telemetry::export_jsonl(out);
+}
+
 void CampaignRunner::write_json(std::ostream& out) const {
   const CampaignSummary s = summary();
-  out << "{\n  \"summary\": {\"runs\": " << s.runs
+  out << "{\n  \"build\": " << telemetry::build_info_json()
+      << ",\n  \"summary\": {\"runs\": " << s.runs
       << ", \"clean\": " << s.clean << ", \"corrected\": " << s.corrected
       << ", \"detected_uncorrectable\": " << s.detected_uncorrectable
       << ", \"silent_data_corruption\": " << s.silent_data_corruption

@@ -124,6 +124,12 @@ class CampaignRunner {
   void write_csv(std::ostream& out) const;
   void write_json(std::ostream& out) const;
 
+  /// Telemetry side-ledger: the recorded trace as JSON lines (build
+  /// record first, then one event per line).  Empty unless telemetry
+  /// was enabled for the run; kept separate from write_json because
+  /// trace timings are wall-clock (not byte-deterministic).
+  void write_telemetry_jsonl(std::ostream& out) const;
+
  private:
   RunRecord execute_one(const Scenario& scenario,
                         mitigation::SchemeKind scheme, Volt vdd,

@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace ntc::ocean {
 
@@ -21,6 +23,8 @@ RestoreResult OceanRuntime::restore_with_escalation(ProtectedBuffer& buffer,
                                                     sim::MemoryPort& spm,
                                                     workloads::ChunkRef chunk,
                                                     OceanRunOutcome& outcome) {
+  NTC_TELEM_SPAN(span, telemetry::EventKind::Restore, "ocean_restore");
+  NTC_TELEM_COUNT("ntc_ocean_restores_total", 1);
   RestoreResult restored = buffer.restore(spm, chunk);
   outcome.stats.restore_uncorrectable_words += restored.uncorrectable_words;
   const std::uint64_t copy_cycles = ProtectedBuffer::copy_cycles(chunk);
@@ -37,6 +41,11 @@ RestoreResult OceanRuntime::restore_with_escalation(ProtectedBuffer& buffer,
         config_.escalation_vmax.value)};
     if (bumped.value <= platform_.config().vdd.value) break;  // rail capped
     ++outcome.stats.voltage_escalations;
+    NTC_TELEM_EVENT(
+        telemetry::EventKind::VoltageChange, "ocean_escalation",
+        static_cast<std::uint64_t>(platform_.config().vdd.value * 1000.0 + 0.5),
+        static_cast<std::uint64_t>(bumped.value * 1000.0 + 0.5));
+    NTC_TELEM_COUNT("ntc_ocean_voltage_escalations_total", 1);
     platform_.set_vdd(bumped);
     platform_.pm()->scrub();
     const std::uint64_t scrub_cycles = 2ull * platform_.pm()->word_count();
@@ -49,6 +58,7 @@ RestoreResult OceanRuntime::restore_with_escalation(ProtectedBuffer& buffer,
     if (restored.ok()) ++outcome.stats.escalation_recoveries;
   }
   if (!restored.ok()) outcome.system_failure = true;
+  span.set_args(chunk.word_offset, restored.uncorrectable_words);
   return restored;
 }
 
@@ -82,7 +92,13 @@ OceanRunOutcome OceanRuntime::run(workloads::StreamingTask& task) {
   workloads::ChunkRef chunk = task.initialize(spm);
   ProtectedBuffer::SaveResult saved;
   for (std::uint32_t attempt = 0;; ++attempt) {
-    saved = buffer.save_with_crc(spm, chunk, crc_);
+    {
+      NTC_TELEM_SPAN(cp, telemetry::EventKind::Checkpoint, "ocean_checkpoint");
+      cp.set_args(chunk.word_offset, chunk.words);
+      saved = buffer.save_with_crc(spm, chunk, crc_);
+    }
+    NTC_TELEM_COUNT("ntc_ocean_checkpoint_words_total", chunk.words);
+    NTC_TELEM_OBSERVE("ntc_ocean_checkpoint_words", chunk.words);
     outcome.stats.checkpoint_words += chunk.words;
     charge_checkpoint(chunk);
     if (saved.clean() || attempt >= config_.max_restore_attempts) break;
@@ -105,8 +121,12 @@ OceanRunOutcome OceanRuntime::run(workloads::StreamingTask& task) {
           config_.crc_cycles_per_word * input.words;
       outcome.stats.protocol_cycles += check_cycles;
       charge(check_cycles);
-      if (crc_of_chunk(input) == expected_crc) break;
+      const bool match = crc_of_chunk(input) == expected_crc;
+      NTC_TELEM_EVENT(telemetry::EventKind::CrcCheck, "ocean_crc_check",
+                      input.word_offset, match ? 0 : 1);
+      if (match) break;
       ++outcome.stats.crc_mismatches;
+      NTC_TELEM_COUNT("ntc_ocean_crc_mismatches_total", 1);
       if (attempt >= config_.max_restore_attempts) break;  // best effort
       ++outcome.stats.restores;
       restore_with_escalation(buffer, spm, input, outcome);
@@ -123,7 +143,14 @@ OceanRunOutcome OceanRuntime::run(workloads::StreamingTask& task) {
       ++outcome.stats.phases_run;
       platform_.add_compute_cycles(result.compute_cycles,
                                    config_.fetches_per_cycle);
-      saved = buffer.save_with_crc(spm, result.output, crc_);
+      {
+        NTC_TELEM_SPAN(cp, telemetry::EventKind::Checkpoint,
+                       "ocean_checkpoint");
+        cp.set_args(result.output.word_offset, result.output.words);
+        saved = buffer.save_with_crc(spm, result.output, crc_);
+      }
+      NTC_TELEM_COUNT("ntc_ocean_checkpoint_words_total", result.output.words);
+      NTC_TELEM_OBSERVE("ntc_ocean_checkpoint_words", result.output.words);
       outcome.stats.checkpoint_words += result.output.words;
       charge_checkpoint(result.output);
       const bool good = !result.memory_fault && saved.clean();

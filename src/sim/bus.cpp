@@ -46,6 +46,15 @@ BusRegion* Bus::find(std::uint32_t word_index) {
   return nullptr;
 }
 
+void Bus::reset_stats() {
+  cycles_ = 0;
+  decode_errors_ = 0;
+  for (auto& region : regions_) {
+    region.reads = 0;
+    region.writes = 0;
+  }
+}
+
 bool Bus::decodes(std::uint32_t word_index) const {
   return const_cast<Bus*>(this)->find(word_index) != nullptr;
 }

@@ -54,6 +54,12 @@ class Bus final : public MemoryPort {
   /// error response, surfaced as DetectedUncorrectable to the master).
   std::uint64_t decode_errors() const { return decode_errors_; }
 
+  /// Zero the traffic counters (cycles, decode errors, per-region
+  /// reads/writes) while keeping the address map.  Platform::reset calls
+  /// this so pooled platforms don't accumulate stale bus stats across
+  /// campaign trials.
+  void reset_stats();
+
   /// True if `word_index` decodes to a mapped region.
   bool decodes(std::uint32_t word_index) const;
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace ntc::sim {
 
@@ -65,6 +67,10 @@ AccessStatus EccMemory::read_burst(std::uint32_t word_index,
   if (!burst_native_enabled()) return MemoryPort::read_burst(word_index, data);
   NTC_REQUIRE(static_cast<std::uint64_t>(word_index) + data.size() <=
               array_->words());
+  // One event per burst; the word count rides in a1 rather than a
+  // histogram observe so the benched hot path pays a single record().
+  NTC_TELEM_EVENT(telemetry::EventKind::MemoryBurst, "ecc_read_burst",
+                  word_index, data.size());
   AccessStatus status = AccessStatus::Ok;
   std::uint64_t raws[kCodecChunk];
   if (!code_) {
@@ -94,6 +100,13 @@ AccessStatus EccMemory::note_summary(const ecc::BatchDecodeSummary& summary) {
   stats_.corrected_words += summary.corrected_words;
   stats_.corrected_bits += summary.corrected_bits;
   stats_.uncorrectable_words += summary.uncorrectable_words;
+  if (summary.corrected_words > 0 || summary.uncorrectable_words > 0) {
+    NTC_TELEM_EVENT(telemetry::EventKind::EccDecode, "ecc_batch_decode",
+                    summary.corrected_words, summary.uncorrectable_words);
+    NTC_TELEM_COUNT("ntc_ecc_corrected_words_total", summary.corrected_words);
+    NTC_TELEM_COUNT("ntc_ecc_uncorrectable_words_total",
+                    summary.uncorrectable_words);
+  }
   if (summary.uncorrectable_words > 0) return AccessStatus::DetectedUncorrectable;
   if (summary.corrected_words > 0) return AccessStatus::CorrectedError;
   return AccessStatus::Ok;
@@ -104,6 +117,8 @@ AccessStatus EccMemory::write_burst(std::uint32_t word_index,
   if (!burst_native_enabled()) return MemoryPort::write_burst(word_index, data);
   NTC_REQUIRE(static_cast<std::uint64_t>(word_index) + data.size() <=
               array_->words());
+  NTC_TELEM_EVENT(telemetry::EventKind::MemoryBurst, "ecc_write_burst",
+                  word_index, data.size());
   std::uint64_t raws[kCodecChunk];
   if (!code_) {
     for (std::size_t off = 0; off < data.size(); off += kCodecChunk) {
@@ -182,6 +197,7 @@ AccessStatus EccMemory::write_word(std::uint32_t word_index, std::uint32_t data)
 }
 
 std::uint64_t EccMemory::scrub() {
+  NTC_TELEM_SPAN(span, telemetry::EventKind::Scrub, "ecc_scrub");
   ++stats_.scrub_passes;
   std::uint64_t uncorrectable = 0;
   for (std::uint32_t w = 0; w < array_->words(); ++w) {
@@ -197,6 +213,8 @@ std::uint64_t EccMemory::scrub() {
     }
     write_word(w, data);
   }
+  span.set_args(array_->words(), uncorrectable);
+  NTC_TELEM_COUNT("ntc_ecc_scrub_passes_total", 1);
   return uncorrectable;
 }
 

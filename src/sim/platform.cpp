@@ -122,6 +122,7 @@ void Platform::reset(std::uint64_t seed, Volt vdd) {
     pm_->array().reset(vdd, Rng(seed).fork(0x30));
     pm_->reset_stats();
   }
+  bus_.reset_stats();
   extra_cycles_ = 0;
   extra_fetches_ = 0;
   cpu_->reset(PlatformMap::kImemBase * 4);

@@ -4,6 +4,8 @@
 
 #include "common/assert.hpp"
 #include "sim/stochastic_injector.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace ntc::sim {
 
@@ -207,6 +209,11 @@ void SramModule::read_raw_burst(std::uint32_t index, std::uint64_t* out,
       done += m;
     }
     stats_.injected_read_flips += flipped_bits;
+    if (flipped_bits > 0) {
+      NTC_TELEM_EVENT(telemetry::EventKind::InjectedFlips, "sram_read_flips",
+                      flipped_bits, count);
+      NTC_TELEM_COUNT("ntc_sram_injected_read_flips_total", flipped_bits);
+    }
     return;
   }
   // Scripted injectors attached: their hooks see every access in
@@ -247,6 +254,11 @@ void SramModule::write_raw_burst(std::uint32_t index,
       done += m;
     }
     stats_.injected_write_flips += flipped_bits;
+    if (flipped_bits > 0) {
+      NTC_TELEM_EVENT(telemetry::EventKind::InjectedFlips, "sram_write_flips",
+                      flipped_bits, count);
+      NTC_TELEM_COUNT("ntc_sram_injected_write_flips_total", flipped_bits);
+    }
     return;
   }
   for (std::uint32_t i = 0; i < count; ++i) write_raw(index + i, values[i]);

@@ -1,0 +1,62 @@
+#include "telemetry/build_info.hpp"
+
+#ifndef NTC_BUILD_GIT_HASH
+#define NTC_BUILD_GIT_HASH "unknown"
+#endif
+#ifndef NTC_BUILD_COMPILER
+#define NTC_BUILD_COMPILER "unknown"
+#endif
+#ifndef NTC_BUILD_TYPE
+#define NTC_BUILD_TYPE "unknown"
+#endif
+#ifndef NTC_BUILD_SANITIZER
+#define NTC_BUILD_SANITIZER "none"
+#endif
+
+#include "telemetry/telemetry.hpp"  // NTC_TELEMETRY
+
+namespace ntc::telemetry {
+
+const BuildInfo& build_info() {
+  static const BuildInfo info{
+      NTC_BUILD_GIT_HASH, NTC_BUILD_COMPILER, NTC_BUILD_TYPE,
+      NTC_BUILD_SANITIZER, NTC_TELEMETRY != 0,
+  };
+  return info;
+}
+
+std::string build_info_json() {
+  // All fields come from the build system (hex hashes, compiler ids,
+  // cache-variable values) — nothing needs JSON escaping.
+  const BuildInfo& b = build_info();
+  std::string out = "{\"git_hash\":\"";
+  out += b.git_hash;
+  out += "\",\"compiler\":\"";
+  out += b.compiler;
+  out += "\",\"build_type\":\"";
+  out += b.build_type;
+  out += "\",\"sanitizer\":\"";
+  out += b.sanitizer;
+  out += "\",\"telemetry\":";
+  out += b.telemetry ? "true" : "false";
+  out += "}";
+  return out;
+}
+
+std::string build_info_csv_comment() {
+  const BuildInfo& b = build_info();
+  std::string out = "# build git_hash=";
+  out += b.git_hash;
+  out += " compiler=";
+  out += b.compiler;
+  out += " build_type=";
+  out += b.build_type;
+  out += " sanitizer=";
+  out += b.sanitizer;
+  out += " telemetry=";
+  out += b.telemetry ? "on" : "off";
+  out += "\n";
+  return out;
+}
+
+}  // namespace ntc::telemetry

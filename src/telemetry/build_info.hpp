@@ -1,0 +1,35 @@
+// Build provenance: which binary produced this export / ledger / bench
+// record.  The values are baked in by the build (see src/CMakeLists.txt
+// NTC_BUILD_* definitions); a standalone compile reports "unknown".
+//
+// Embedded in: telemetry exports (all three formats), campaign CSV
+// ("# build ..." comment lines) and JSON ("build" object) ledgers, and
+// bench/perf_suite output — so a BENCH_perf.json entry or a trace file
+// can always be traced back to a git hash, compiler and sanitizer
+// configuration.  Everything here is process-constant, which keeps the
+// campaign ledgers byte-deterministic across thread counts.
+#pragma once
+
+#include <string>
+
+namespace ntc::telemetry {
+
+struct BuildInfo {
+  const char* git_hash;    ///< short commit hash, "unknown" outside git
+  const char* compiler;    ///< e.g. "GNU 13.3.0"
+  const char* build_type;  ///< CMAKE_BUILD_TYPE, "" for multi-config
+  const char* sanitizer;   ///< NTC_SANITIZE value or "none"
+  bool telemetry;          ///< compile-time NTC_TELEMETRY switch state
+};
+
+const BuildInfo& build_info();
+
+/// One-line JSON object, e.g.
+/// {"git_hash":"abc...","compiler":"GNU 13.3.0",...,"telemetry":true}
+std::string build_info_json();
+
+/// CSV-safe comment block (lines starting with "# build "), terminated
+/// by a newline.  Ledger readers skip '#' lines.
+std::string build_info_csv_comment();
+
+}  // namespace ntc::telemetry

@@ -1,0 +1,29 @@
+// Exporters: drain the recorder + metrics registry into standard
+// formats.  All three are snapshot-based — call them at a quiescent
+// instant (see telemetry.hpp) and they never mutate recorder state, so
+// exporting twice yields the same document.
+//
+//   * export_chrome_trace — Chrome/Perfetto `trace_event` JSON (open
+//     chrome://tracing or https://ui.perfetto.dev and load the file).
+//     Spans become "X" complete events, instants become "i"; event args
+//     carry the kind-specific a0/a1 payloads under descriptive keys.
+//   * export_prometheus — text exposition format: every registered
+//     counter/gauge/histogram plus ntc_telemetry_dropped_events_total
+//     (events lost to ring wrap).  Histogram buckets are cumulative
+//     with le="2^k - 1" upper bounds matching the log2 sharding.
+//   * export_jsonl — one JSON object per line per event, the embeddable
+//     form the campaign ledgers and ad-hoc tooling consume.
+//
+// Every export opens with the build-info record (see build_info.hpp) so
+// a trace file is attributable to the binary that produced it.
+#pragma once
+
+#include <iosfwd>
+
+namespace ntc::telemetry {
+
+void export_chrome_trace(std::ostream& out);
+void export_prometheus(std::ostream& out);
+void export_jsonl(std::ostream& out);
+
+}  // namespace ntc::telemetry

@@ -1,0 +1,147 @@
+// Metrics registry: counters, gauges and log-bucketed histograms,
+// sharded per thread and aggregated on demand.
+//
+// Hot-path cost when enabled is one uncontended relaxed atomic add into
+// the calling thread's shard — no locks, no cross-thread cache-line
+// traffic.  Aggregation (value()/collect()/the Prometheus exporter)
+// walks every registered shard under the registry mutex, including
+// shards of threads that have exited (their totals must keep
+// contributing).  Metric handles are process-lived: look one up once
+// (function-local static at the call site) and reuse it.
+//
+// Histograms are log2-bucketed: a sample `v` lands in bucket
+// bit_width(v), i.e. bucket k holds samples in [2^(k-1), 2^k).  That
+// gives fixed-size shards (65 buckets spanning the whole u64 range) and
+// the half-order-of-magnitude resolution latency/energy profiles need.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.hpp"
+
+namespace ntc::telemetry {
+
+/// Ceilings keep shards fixed-size (a shard is one flat allocation per
+/// thread); registering past a ceiling aborts — raise it deliberately.
+inline constexpr std::size_t kMaxCounters = 128;
+inline constexpr std::size_t kMaxHistograms = 32;
+inline constexpr std::size_t kMaxGauges = 64;
+inline constexpr std::size_t kHistogramBuckets = 65;  ///< bit_width(u64)+1
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1);
+  /// Sum across every thread shard (relaxed reads; exact once the
+  /// writing threads are quiescent).
+  std::uint64_t value() const;
+  const std::string& name() const;
+
+ private:
+  friend Counter& counter(const std::string& name);
+  explicit Counter(std::size_t index) : index_(index) {}
+  std::size_t index_;
+};
+
+/// Last-write-wins instantaneous value (rail voltage, pool depth).
+/// Gauges are set rarely, so they are a single process-wide atomic.
+class Gauge {
+ public:
+  void set(double value);
+  double value() const;
+  const std::string& name() const;
+
+ private:
+  friend Gauge& gauge(const std::string& name);
+  explicit Gauge(std::size_t index) : index_(index) {}
+  std::size_t index_;
+};
+
+class Histogram {
+ public:
+  void observe(std::uint64_t sample);
+  /// Aggregated per-bucket counts (kHistogramBuckets entries).
+  std::vector<std::uint64_t> buckets() const;
+  std::uint64_t count() const;
+  std::uint64_t sum() const;
+  const std::string& name() const;
+
+ private:
+  friend Histogram& histogram(const std::string& name);
+  explicit Histogram(std::size_t index) : index_(index) {}
+  std::size_t index_;
+};
+
+/// Look up or register a metric by name.  Names follow Prometheus
+/// conventions (snake_case, counters end in _total, histograms name
+/// their unit e.g. _ns).  Returned references are process-lived.
+Counter& counter(const std::string& name);
+Gauge& gauge(const std::string& name);
+Histogram& histogram(const std::string& name);
+
+/// Aggregated snapshot for the exporters.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    std::uint64_t value;
+  };
+  struct GaugeValue {
+    std::string name;
+    double value;
+  };
+  struct HistogramValue {
+    std::string name;
+    std::vector<std::uint64_t> buckets;  ///< kHistogramBuckets entries
+    std::uint64_t count;
+    std::uint64_t sum;
+  };
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+};
+
+MetricsSnapshot collect();
+
+}  // namespace ntc::telemetry
+
+#if NTC_TELEMETRY
+/// Bump a named counter when telemetry is enabled.  The registry lookup
+/// happens once per call site (function-local static).
+#define NTC_TELEM_COUNT(name_literal, n)                            \
+  do {                                                              \
+    if (::ntc::telemetry::enabled()) {                              \
+      static ::ntc::telemetry::Counter& ntc_telem_counter_ =        \
+          ::ntc::telemetry::counter(name_literal);                  \
+      ntc_telem_counter_.inc(static_cast<std::uint64_t>(n));        \
+    }                                                               \
+  } while (0)
+/// Record a histogram sample when telemetry is enabled.
+#define NTC_TELEM_OBSERVE(name_literal, sample)                     \
+  do {                                                              \
+    if (::ntc::telemetry::enabled()) {                              \
+      static ::ntc::telemetry::Histogram& ntc_telem_hist_ =         \
+          ::ntc::telemetry::histogram(name_literal);                \
+      ntc_telem_hist_.observe(static_cast<std::uint64_t>(sample));  \
+    }                                                               \
+  } while (0)
+/// Set a named gauge when telemetry is enabled.
+#define NTC_TELEM_GAUGE(name_literal, value)                        \
+  do {                                                              \
+    if (::ntc::telemetry::enabled()) {                              \
+      static ::ntc::telemetry::Gauge& ntc_telem_gauge_ =            \
+          ::ntc::telemetry::gauge(name_literal);                    \
+      ntc_telem_gauge_.set(static_cast<double>(value));             \
+    }                                                               \
+  } while (0)
+#else
+#define NTC_TELEM_COUNT(name_literal, n) \
+  do {                                   \
+  } while (0)
+#define NTC_TELEM_OBSERVE(name_literal, sample) \
+  do {                                          \
+  } while (0)
+#define NTC_TELEM_GAUGE(name_literal, value) \
+  do {                                       \
+  } while (0)
+#endif

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace ntc::workloads {
 
@@ -67,6 +68,8 @@ ComplexQ15 FixedPointFft::twiddle(std::size_t k, std::size_t len) const {
 
 PhaseResult FixedPointFft::run_phase(std::size_t index, sim::MemoryPort& spm) {
   NTC_REQUIRE(index < phase_count());
+  NTC_TELEM_SPAN(span, telemetry::EventKind::Span, "fft_phase");
+  span.set_args(index, points_);
   PhaseResult result;
   result.output = ChunkRef{base_, static_cast<std::uint32_t>(points_)};
   bool fault = false;

@@ -1,6 +1,7 @@
 #include "workloads/fir.hpp"
 
 #include "common/assert.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace ntc::workloads {
 
@@ -54,6 +55,8 @@ ChunkRef FirFilter::input_chunk(std::size_t index) const {
 
 PhaseResult FirFilter::run_phase(std::size_t index, sim::MemoryPort& spm) {
   NTC_REQUIRE(index < phase_count());
+  NTC_TELEM_SPAN(span, telemetry::EventKind::Span, "fir_phase");
+  span.set_args(index, block_samples_);
   PhaseResult result;
   bool fault = false;
   const std::size_t begin = index * block_samples_;

@@ -1,6 +1,7 @@
 #include "workloads/matmul.hpp"
 
 #include "common/assert.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace ntc::workloads {
 
@@ -35,6 +36,8 @@ ChunkRef MatMul::input_chunk(std::size_t index) const {
 
 PhaseResult MatMul::run_phase(std::size_t index, sim::MemoryPort& spm) {
   NTC_REQUIRE(index < n_);
+  NTC_TELEM_SPAN(span, telemetry::EventKind::Span, "matmul_phase");
+  span.set_args(index, n_);
   PhaseResult result;
   bool fault = false;
   // Burst the A row once and the whole B operand once per phase instead

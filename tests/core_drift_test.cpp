@@ -1,0 +1,178 @@
+// Drift-path coverage for the monitor/controller loop (Section IV).
+//
+// The paper's acceptance criterion is at most 1e-15 failures per
+// transaction.  Aging shifts the access model's voltage limit, so the
+// rail that meets the criterion rises over life; the canary monitor is
+// what lets the controller find that crossing at run time.  The pivot
+// these tests exercise: since aging only translates V0, the canary
+// error rate observed *at* the functional array's FIT-crossing voltage
+// is the same at every age — a fixed controller band derived from the
+// 1e-15 target therefore keeps tracking the crossing as the device
+// drifts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/ntcmem.hpp"
+#include "mitigation/word_failure.hpp"
+
+namespace ntc::core {
+namespace {
+
+constexpr double kFitTarget = 1e-15;  // paper: failures per transaction
+
+/// Largest per-bit error probability whose SECDED word failure is still
+/// inside the paper's 1e-15-per-transaction budget (log-domain bisect —
+/// the tail is far below DBL_MIN at these magnitudes).
+double p_bit_at_fit_target() {
+  const auto scheme = mitigation::secded_scheme();
+  const double log_target = std::log(kFitTarget);
+  double lo = 1e-14, hi = 1e-4;  // word failure ~ C(39,2) p^2 brackets this
+  for (int i = 0; i < 200; ++i) {
+    const double mid = std::sqrt(lo * hi);
+    if (mitigation::log_word_failure_probability(scheme, mid) <= log_target)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+/// Supply at which the aged functional array crosses the FIT target.
+Volt fit_crossing_vdd(const reliability::AccessErrorModel& aged) {
+  return aged.vdd_for_p(p_bit_at_fit_target());
+}
+
+/// Canary error rate observed exactly at the FIT crossing: the rate the
+/// controller's upper band must sit at for bump decisions to coincide
+/// with the 1e-15 crossing.
+double canary_rate_at_crossing(const reliability::AccessErrorModel& access,
+                               Volt weakening) {
+  const Volt v_star = fit_crossing_vdd(access);
+  return access.p_bit_err(Volt{v_star.value - weakening.value});
+}
+
+TEST(DriftMonitor, CanaryCrossingRateIsDriftInvariant) {
+  // Aging shifts V0 only, so (V0 + drift - V*) is pinned by the target
+  // probability and the weakening margin adds on top of it — the canary
+  // rate at the crossing must not depend on the accumulated drift.
+  const auto access = reliability::cell_based_40nm_access();
+  const Volt weakening{0.05};
+  const double fresh = canary_rate_at_crossing(access, weakening);
+  ASSERT_GT(fresh, 0.0);
+  for (double drift_v : {0.01, 0.04, 0.08}) {
+    const auto aged = access.aged(Volt{drift_v});
+    const double aged_rate = canary_rate_at_crossing(aged, weakening);
+    EXPECT_NEAR(aged_rate / fresh, 1.0, 1e-6) << "drift " << drift_v;
+    // ...while the crossing voltage itself moves up with the drift.
+    EXPECT_NEAR(fit_crossing_vdd(aged).value,
+                fit_crossing_vdd(access).value + drift_v, 1e-9);
+  }
+}
+
+TEST(DriftMonitor, TrueCanaryRateRisesMonotonicallyWithAge) {
+  CanaryMonitor monitor(reliability::cell_based_40nm_access(),
+                        tech::AgingModel(Volt{0.060}, 0.2));
+  const Volt rail{0.44};
+  double last = monitor.true_error_probability(rail, Second{0});
+  for (double y : {0.1, 0.5, 1.0, 2.0, 5.0, 10.0}) {
+    const double rate = monitor.true_error_probability(rail, years(y));
+    EXPECT_GT(rate, last) << "at " << y << " years";
+    last = rate;
+  }
+}
+
+TEST(DriftController, BumpsTrackTheFitCrossingOverLife) {
+  // Closed loop over ten years with the controller's upper band set to
+  // the canary rate of the 1e-15 crossing.  The adaptive rail must (a)
+  // actually step up as the device ages, (b) keep the functional
+  // array's word failure inside the budget at every epoch, and (c) only
+  // bump when the observed canary rate had crossed the band.
+  const auto access = reliability::cell_based_40nm_access();
+  const tech::AgingModel aging(Volt{0.060}, 0.2);
+  MonitorConfig monitor_config;  // default 0.05 V weakening
+  CanaryMonitor monitor(access, aging, monitor_config);
+
+  const double rate_high =
+      canary_rate_at_crossing(access, monitor_config.weakening);
+  const Volt v_star0 = fit_crossing_vdd(access);
+  // Start one controller step above the fresh crossing, rounded up to
+  // the 10 mV grid, and forbid dipping below it: this test is about the
+  // rising-drift direction.
+  const Volt initial{std::ceil(v_star0.value * 100.0) / 100.0 + 0.01};
+
+  ControllerConfig controller_config;
+  controller_config.rate_high = rate_high;
+  controller_config.rate_low = rate_high * 1e-2;
+  controller_config.v_min = initial;
+  VoltageController controller(initial, controller_config);
+
+  const auto scheme = mitigation::secded_scheme();
+  const double log_target = std::log(kFitTarget);
+  const Second lifetime = years(10.0);
+  const std::size_t epochs = 200;
+  Volt rail = initial;
+  for (std::size_t e = 0; e < epochs; ++e) {
+    // Square-root spacing resolves the fast early aging, mirroring
+    // simulate_lifetime.
+    const double frac = static_cast<double>(e) / (epochs - 1);
+    const Second age{lifetime.value * frac * frac};
+    const double rate = monitor.true_error_probability(rail, age);
+    const Volt before = rail;
+    rail = controller.update(rate);
+    if (rail.value > before.value + 1e-12) {
+      EXPECT_GT(rate, rate_high) << "bump without a band crossing, epoch " << e;
+    }
+    const auto aged = access.aged(aging.drift(age));
+    const double p_bit = aged.p_bit_err(rail);
+    EXPECT_LE(mitigation::log_word_failure_probability(scheme, p_bit),
+              log_target)
+        << "FIT budget violated at epoch " << e << " (age "
+        << age.value / years(1.0).value << " y, rail " << rail.value << " V)";
+  }
+
+  EXPECT_GE(controller.up_steps(), 2u);
+  EXPECT_GT(rail.value, initial.value);
+  // A static design pinned at the fresh rail violates the target by end
+  // of life — the whole reason the monitoring loop exists.
+  const auto eol = access.aged(aging.drift(lifetime));
+  EXPECT_GT(
+      mitigation::log_word_failure_probability(scheme, eol.p_bit_err(initial)),
+      log_target);
+}
+
+TEST(DriftLifetime, TimelineRecordsRisingCanaryRate) {
+  LifetimeConfig config;
+  config.aging = tech::AgingModel(Volt{0.060}, 0.2);
+  config.controller.v_min = Volt{0.40};
+  const LifetimeResult result = simulate_lifetime(config);
+  ASSERT_GE(result.timeline.size(), 20u);
+  const std::size_t decile = result.timeline.size() / 10;
+  double early = 0.0, late = 0.0;
+  for (std::size_t i = 0; i < decile; ++i) {
+    early += result.timeline[i].canary_error_rate;
+    late += result.timeline[result.timeline.size() - 1 - i].canary_error_rate;
+  }
+  EXPECT_GT(late, early);  // sampled rate climbs as the device ages
+  for (std::size_t i = 1; i < result.timeline.size(); ++i) {
+    EXPECT_GT(result.timeline[i].age.value, result.timeline[i - 1].age.value);
+    EXPECT_NEAR(result.timeline[i].static_vdd.value,
+                result.static_guardband_vdd.value, 1e-12);
+  }
+}
+
+TEST(DriftLifetime, StrongerAgingDemandsMoreRail) {
+  LifetimeConfig weak, strong;
+  weak.aging = tech::AgingModel(Volt{0.030}, 0.2);
+  strong.aging = tech::AgingModel(Volt{0.090}, 0.2);
+  weak.controller.v_min = strong.controller.v_min = Volt{0.40};
+  const LifetimeResult weak_result = simulate_lifetime(weak);
+  const LifetimeResult strong_result = simulate_lifetime(strong);
+  EXPECT_GT(strong_result.static_guardband_vdd.value,
+            weak_result.static_guardband_vdd.value);
+  EXPECT_GE(strong_result.final_adaptive_vdd.value,
+            weak_result.final_adaptive_vdd.value);
+}
+
+}  // namespace
+}  // namespace ntc::core

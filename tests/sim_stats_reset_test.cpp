@@ -1,0 +1,210 @@
+// Stats-reset audit across the memory stack: every counter a burst (or
+// scalar) path can increment must also be cleared by the layer's reset
+// entry point, or pooled platforms leak stale traffic into the next
+// campaign trial.  One test per Stats struct — SramStats, EccMemoryStats,
+// Bus traffic, Platform::reset propagation — plus the value-semantic
+// check that OceanRunStats never accumulates across runs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ecc/hamming.hpp"
+#include "ocean/runtime.hpp"
+#include "reliability/access_model.hpp"
+#include "reliability/noise_margin.hpp"
+#include "sim/bus.hpp"
+#include "sim/ecc_memory.hpp"
+#include "sim/platform.hpp"
+#include "sim/sram_module.hpp"
+#include "workloads/fft.hpp"
+
+namespace ntc {
+namespace {
+
+sim::SramModule make_sram(Volt vdd, bool inject, std::uint64_t seed,
+                          std::uint32_t words = 64,
+                          std::uint32_t stored_bits = 39) {
+  return sim::SramModule("test", words, stored_bits,
+                         reliability::cell_based_40nm_access(),
+                         reliability::cell_based_40nm_retention(), vdd,
+                         Rng(seed), inject);
+}
+
+void expect_default_stats(const sim::SramStats& s) {
+  EXPECT_EQ(s.reads, 0u);
+  EXPECT_EQ(s.writes, 0u);
+  EXPECT_EQ(s.injected_read_flips, 0u);
+  EXPECT_EQ(s.injected_write_flips, 0u);
+  EXPECT_EQ(s.stuck_bits, 0u);
+}
+
+TEST(SramStatsReset, ClearsEveryCounterTheBurstPathsIncrement) {
+  // Deep below V0 the stochastic model flips bits on nearly every pass,
+  // so a few whole-array bursts touch all four traffic counters.
+  sim::SramModule sram = make_sram(Volt{0.25}, /*inject=*/true, 42);
+  std::vector<std::uint64_t> values(sram.words(), 0x55AA55AA55ull);
+  std::vector<std::uint64_t> got(sram.words());
+  for (int pass = 0; pass < 50; ++pass) {
+    sram.write_raw_burst(0, values.data(),
+                         static_cast<std::uint32_t>(values.size()));
+    sram.read_raw_burst(0, got.data(), static_cast<std::uint32_t>(got.size()));
+    const sim::SramStats& s = sram.stats();
+    if (s.injected_read_flips > 0 && s.injected_write_flips > 0) break;
+  }
+  const sim::SramStats before = sram.stats();
+  ASSERT_GT(before.reads, 0u);
+  ASSERT_GT(before.writes, 0u);
+  ASSERT_GT(before.injected_read_flips, 0u);
+  ASSERT_GT(before.injected_write_flips, 0u);
+
+  sram.reset_stats();
+  expect_default_stats(sram.stats());
+
+  // Counters restart from zero: one more burst counts exactly once per
+  // word, same as the scalar decomposition would.
+  sram.read_raw_burst(0, got.data(), static_cast<std::uint32_t>(got.size()));
+  EXPECT_EQ(sram.stats().reads, sram.words());
+  EXPECT_EQ(sram.stats().writes, 0u);
+}
+
+TEST(SramStatsReset, FullResetAlsoRestartsTheCounters) {
+  sim::SramModule sram = make_sram(Volt{0.25}, /*inject=*/true, 7);
+  std::vector<std::uint64_t> got(sram.words());
+  sram.read_raw_burst(0, got.data(), static_cast<std::uint32_t>(got.size()));
+  ASSERT_GT(sram.stats().reads, 0u);
+  sram.reset(Volt{0.60}, Rng(8));
+  // At 0.60 V (above V0) the re-derived fault state has no stuck cells,
+  // so the whole struct is back to the as-constructed default.
+  expect_default_stats(sram.stats());
+}
+
+TEST(EccStatsReset, ClearsDecodeAndScrubCounters) {
+  // 0.25 V through the SECDED decoder: bursts produce corrected and
+  // uncorrectable words, a scrub pass bumps scrub_passes.
+  sim::EccMemory memory(
+      std::make_unique<sim::SramModule>(make_sram(Volt{0.25}, true, 42)),
+      std::make_shared<ecc::HammingSecded>(32));
+  std::vector<std::uint32_t> data(memory.word_count());
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::uint32_t>(i * 2654435761u);
+  std::vector<std::uint32_t> got(data.size());
+  for (int pass = 0; pass < 50; ++pass) {
+    memory.write_burst(0, data);
+    memory.read_burst(0, got);
+    if (memory.stats().corrected_words > 0 &&
+        memory.stats().uncorrectable_words > 0)
+      break;
+  }
+  memory.scrub();
+  const sim::EccMemoryStats before = memory.stats();
+  ASSERT_GT(before.corrected_words, 0u);
+  ASSERT_GT(before.corrected_bits, 0u);
+  ASSERT_GT(before.uncorrectable_words, 0u);
+  ASSERT_EQ(before.scrub_passes, 1u);
+
+  memory.reset_stats();
+  EXPECT_EQ(memory.stats().corrected_words, 0u);
+  EXPECT_EQ(memory.stats().corrected_bits, 0u);
+  EXPECT_EQ(memory.stats().uncorrectable_words, 0u);
+  EXPECT_EQ(memory.stats().scrub_passes, 0u);
+}
+
+TEST(BusStatsReset, ClearsTrafficAndKeepsTheAddressMap) {
+  sim::EccMemory low(
+      std::make_unique<sim::SramModule>(make_sram(Volt{0.60}, false, 1, 16, 32)),
+      nullptr);
+  sim::EccMemory high(
+      std::make_unique<sim::SramModule>(make_sram(Volt{0.60}, false, 2, 16, 32)),
+      nullptr);
+  sim::Bus bus(/*wait_states=*/1);
+  bus.map("low", 0, &low);
+  bus.map("high", 32, &high);
+
+  // A straddling burst exercises every bus counter at once: per-region
+  // reads/writes, cycles, and decode errors for the unmapped gap.
+  std::vector<std::uint32_t> data(40, 0xA5A5A5A5u);
+  bus.write_burst(8, data);
+  std::vector<std::uint32_t> got(40);
+  bus.read_burst(8, got);
+  ASSERT_GT(bus.cycles_consumed(), 0u);
+  ASSERT_GT(bus.decode_errors(), 0u);
+  ASSERT_GT(bus.regions()[0].reads, 0u);
+  ASSERT_GT(bus.regions()[0].writes, 0u);
+  ASSERT_GT(bus.regions()[1].reads, 0u);
+  ASSERT_GT(bus.regions()[1].writes, 0u);
+
+  bus.reset_stats();
+  EXPECT_EQ(bus.cycles_consumed(), 0u);
+  EXPECT_EQ(bus.decode_errors(), 0u);
+  for (const sim::BusRegion& region : bus.regions()) {
+    EXPECT_EQ(region.reads, 0u) << region.name;
+    EXPECT_EQ(region.writes, 0u) << region.name;
+  }
+  // The map survives: both regions still decode and route.
+  ASSERT_EQ(bus.regions().size(), 2u);
+  EXPECT_TRUE(bus.decodes(0));
+  EXPECT_TRUE(bus.decodes(32));
+  std::uint32_t word = 0;
+  EXPECT_EQ(bus.read_word(0, word), sim::AccessStatus::Ok);
+  EXPECT_EQ(bus.cycles_consumed(), 2u);  // counting restarts from zero
+}
+
+TEST(PlatformReset, ClearsBusTrafficAlongsideMemoryCounters) {
+  sim::PlatformConfig config;
+  config.scheme = mitigation::SchemeKind::Secded;
+  config.vdd = Volt{0.44};
+  sim::Platform platform(config);
+
+  std::vector<std::uint32_t> data(64, 0xC0FFEEu);
+  platform.bus().write_burst(sim::PlatformMap::kSpmBase, data);
+  std::vector<std::uint32_t> got(64);
+  platform.bus().read_burst(sim::PlatformMap::kSpmBase, got);
+  ASSERT_GT(platform.bus().cycles_consumed(), 0u);
+  ASSERT_GT(platform.spm().array().stats().reads, 0u);
+
+  platform.reset(config.seed, config.vdd);
+  EXPECT_EQ(platform.bus().cycles_consumed(), 0u);
+  EXPECT_EQ(platform.bus().decode_errors(), 0u);
+  for (const sim::BusRegion& region : platform.bus().regions()) {
+    EXPECT_EQ(region.reads, 0u) << region.name;
+    EXPECT_EQ(region.writes, 0u) << region.name;
+  }
+  EXPECT_EQ(platform.spm().array().stats().reads, 0u);
+  EXPECT_EQ(platform.spm().stats().corrected_words, 0u);
+}
+
+TEST(OceanRunStats, AreFreshPerRunNotAccumulated) {
+  // OceanRunOutcome carries its stats by value; a second run on the same
+  // runtime must report the same phase/checkpoint counts, not 2x.
+  sim::PlatformConfig config;
+  config.scheme = mitigation::SchemeKind::Ocean;
+  config.vdd = Volt{1.1};
+  config.pm_bytes = 8 * 1024;
+  config.inject_faults = false;
+  sim::Platform platform(config);
+  ocean::OceanRuntime runtime(platform);
+
+  std::vector<std::complex<double>> signal(256);
+  for (std::size_t i = 0; i < signal.size(); ++i)
+    signal[i] = 0.35 * std::sin(2.0 * M_PI * 11.0 * static_cast<double>(i) /
+                                static_cast<double>(signal.size()));
+  workloads::FixedPointFft first(256);
+  first.set_input(signal);
+  const ocean::OceanRunOutcome a = runtime.run(first);
+  workloads::FixedPointFft second(256);
+  second.set_input(signal);
+  const ocean::OceanRunOutcome b = runtime.run(second);
+  ASSERT_TRUE(a.completed);
+  ASSERT_TRUE(b.completed);
+  EXPECT_GT(a.stats.phases_run, 0u);
+  EXPECT_EQ(b.stats.phases_run, a.stats.phases_run);
+  EXPECT_EQ(b.stats.crc_checks, a.stats.crc_checks);
+  EXPECT_EQ(b.stats.checkpoint_words, a.stats.checkpoint_words);
+}
+
+}  // namespace
+}  // namespace ntc

@@ -1,0 +1,282 @@
+// Telemetry recorder + metrics + exporter semantics (single-threaded).
+//
+// The registry is process-global, so every test starts from
+// reset_for_testing() and leaves the runtime flag off.  Macro-dependent
+// expectations are split on NTC_TELEMETRY: in the no-telemetry build
+// the NTC_TELEM_* call sites compile to nothing and the suite instead
+// proves they really recorded nothing.
+#include "telemetry/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "telemetry/build_info.hpp"
+#include "telemetry/exporters.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace ntc::telemetry {
+namespace {
+
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    reset_for_testing();
+    set_enabled(true);
+  }
+  void TearDown() override {
+    set_enabled(false);
+    reset_for_testing();
+  }
+
+  /// Total events across every thread ring.
+  static std::size_t total_events() {
+    std::size_t n = 0;
+    for (const ThreadTrace& t : snapshot()) n += t.events.size();
+    return n;
+  }
+
+  /// First event matching `name`, or nullptr.
+  static const TraceEvent* find_event(const std::vector<ThreadTrace>& traces,
+                                      const std::string& name) {
+    for (const ThreadTrace& t : traces)
+      for (const TraceEvent& ev : t.events)
+        if (ev.name == name) return &ev;
+    return nullptr;
+  }
+};
+
+TEST_F(TelemetryTest, RecordsTypedEventsInOrder) {
+  record(EventKind::MemoryBurst, "burst_a", 16, 64);
+  record(EventKind::EccDecode, "decode_a", 3, 1);
+  const auto traces = snapshot();
+  ASSERT_EQ(total_events(), 2u);
+  const TraceEvent* burst = find_event(traces, "burst_a");
+  ASSERT_NE(burst, nullptr);
+  EXPECT_EQ(burst->kind, EventKind::MemoryBurst);
+  EXPECT_EQ(burst->a0, 16u);
+  EXPECT_EQ(burst->a1, 64u);
+  const TraceEvent* decode = find_event(traces, "decode_a");
+  ASSERT_NE(decode, nullptr);
+  EXPECT_GE(decode->ts_ns, burst->ts_ns);
+}
+
+TEST_F(TelemetryTest, DisabledRecorderStaysSilent) {
+  set_enabled(false);
+  NTC_TELEM_EVENT(EventKind::Scrub, "silent", 1, 2);
+  NTC_TELEM_COUNT("ntc_test_silent_total", 5);
+  EXPECT_EQ(total_events(), 0u);
+}
+
+TEST_F(TelemetryTest, ScopedSpanMeasuresDuration) {
+  {
+    ScopedSpan span(EventKind::Checkpoint, "span_a");
+    span.set_args(128, 256);
+  }
+  const auto traces = snapshot();
+  const TraceEvent* ev = find_event(traces, "span_a");
+  ASSERT_NE(ev, nullptr);
+  EXPECT_EQ(ev->kind, EventKind::Checkpoint);
+  EXPECT_EQ(ev->a0, 128u);
+  EXPECT_EQ(ev->a1, 256u);
+}
+
+TEST_F(TelemetryTest, SpanCapturesEnabledAtConstruction) {
+  // A span constructed while disabled must not record even if the flag
+  // flips mid-scope (and vice versa must record after a mid-scope
+  // disable) — the decision is taken once, at construction.
+  set_enabled(false);
+  {
+    ScopedSpan span(EventKind::Span, "never");
+    set_enabled(true);
+  }
+  EXPECT_EQ(total_events(), 0u);
+  {
+    ScopedSpan span(EventKind::Span, "always");
+    set_enabled(false);
+  }
+  set_enabled(true);
+  EXPECT_NE(find_event(snapshot(), "always"), nullptr);
+}
+
+TEST_F(TelemetryTest, RingWrapsAndCountsDropped) {
+  // Ring capacities apply to rings created after the call: wrap a fresh
+  // thread's ring, not the main thread's.
+  set_ring_capacity(8);
+  std::uint64_t dropped = 0;
+  std::size_t kept = 0;
+  std::thread t([&] {
+    for (int i = 0; i < 20; ++i) record(EventKind::Span, "wrap");
+    for (const ThreadTrace& trace : snapshot()) {
+      for (const TraceEvent& ev : trace.events)
+        if (ev.name == std::string("wrap")) ++kept;
+      dropped += trace.dropped;
+    }
+  });
+  t.join();
+  set_ring_capacity(16384);
+  EXPECT_EQ(kept, 8u);
+  EXPECT_EQ(dropped, 12u);
+}
+
+TEST_F(TelemetryTest, CountersAggregateAcrossThreads) {
+  Counter& c = counter("ntc_test_counter_total");
+  c.inc(3);
+  std::thread t([&] { c.inc(7); });
+  t.join();
+  EXPECT_EQ(c.value(), 10u);
+  EXPECT_EQ(c.name(), "ntc_test_counter_total");
+  // Same name, same counter.
+  EXPECT_EQ(&counter("ntc_test_counter_total"), &c);
+}
+
+TEST_F(TelemetryTest, HistogramUsesLog2Buckets) {
+  Histogram& h = histogram("ntc_test_latency_ns");
+  h.observe(0);    // bucket 0
+  h.observe(1);    // bucket 1
+  h.observe(2);    // bucket 2: [2, 4)
+  h.observe(3);    // bucket 2
+  h.observe(100);  // bucket 7: [64, 128)
+  const auto buckets = h.buckets();
+  EXPECT_EQ(buckets[0], 1u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 2u);
+  EXPECT_EQ(buckets[7], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 106u);
+}
+
+TEST_F(TelemetryTest, GaugeIsLastWriteWins) {
+  Gauge& g = gauge("ntc_test_rail_volts");
+  g.set(0.44);
+  g.set(0.45);
+  EXPECT_DOUBLE_EQ(g.value(), 0.45);
+}
+
+TEST_F(TelemetryTest, ChromeTraceExportIsWellFormed) {
+  record(EventKind::VoltageChange, "rail \"quoted\"", 440, 450);
+  {
+    ScopedSpan span(EventKind::CampaignTrial, "trial");
+    span.set_args(7, 1);
+  }
+  std::ostringstream out;
+  export_chrome_trace(out);
+  const std::string trace = out.str();
+  EXPECT_EQ(trace.front(), '{');
+  EXPECT_EQ(trace.back(), '}');
+  EXPECT_NE(trace.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(trace.find("\"cat\":\"voltage_change\""), std::string::npos);
+  EXPECT_NE(trace.find("\"old_mv\":440"), std::string::npos);
+  // Quotes in names must be escaped or the JSON is unparseable.
+  EXPECT_NE(trace.find("rail \\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(trace.find("\"build\":{\"git_hash\":"), std::string::npos);
+  // Balanced braces is a cheap structural sanity check.
+  EXPECT_EQ(std::count(trace.begin(), trace.end(), '{'),
+            std::count(trace.begin(), trace.end(), '}'));
+}
+
+TEST_F(TelemetryTest, PrometheusExportListsMetrics) {
+  counter("ntc_test_events_total").inc(4);
+  gauge("ntc_test_volts").set(0.42);
+  Histogram& h = histogram("ntc_test_words");
+  h.observe(3);
+  h.observe(5);
+  std::ostringstream out;
+  export_prometheus(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# TYPE ntc_build_info gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE ntc_test_events_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("ntc_test_events_total 4"), std::string::npos);
+  EXPECT_NE(text.find("ntc_test_volts 0.42"), std::string::npos);
+  // 3 lands in [2,4) (le="3"), 5 in [4,8) (le="7"); buckets cumulate.
+  EXPECT_NE(text.find("ntc_test_words_bucket{le=\"3\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("ntc_test_words_bucket{le=\"7\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("ntc_test_words_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("ntc_test_words_sum 8"), std::string::npos);
+  EXPECT_NE(text.find("ntc_test_words_count 2"), std::string::npos);
+  EXPECT_NE(text.find("ntc_telemetry_dropped_events_total"),
+            std::string::npos);
+}
+
+TEST_F(TelemetryTest, JsonlExportEmitsBuildThenEvents) {
+  record(EventKind::Scrub, "scrub_a", 512, 0);
+  std::ostringstream out;
+  export_jsonl(out);
+  const std::string text = out.str();
+  EXPECT_EQ(text.rfind("{\"record\":\"build\",\"build\":", 0), 0u);
+  EXPECT_NE(text.find("{\"record\":\"event\","), std::string::npos);
+  EXPECT_NE(text.find("\"kind\":\"scrub\""), std::string::npos);
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST_F(TelemetryTest, BuildInfoIsPopulated) {
+  const BuildInfo& b = build_info();
+  EXPECT_NE(std::string(b.git_hash), "");
+  EXPECT_NE(std::string(b.compiler), "");
+  EXPECT_EQ(b.telemetry, NTC_TELEMETRY != 0);
+  const std::string json = build_info_json();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  const std::string comment = build_info_csv_comment();
+  EXPECT_EQ(comment.rfind("# build ", 0), 0u);
+  EXPECT_EQ(comment.back(), '\n');
+}
+
+TEST_F(TelemetryTest, ResetForTestingClearsEverything) {
+  record(EventKind::Span, "gone");
+  counter("ntc_test_reset_total").inc(9);
+  reset_for_testing();
+  EXPECT_EQ(total_events(), 0u);
+  EXPECT_EQ(counter("ntc_test_reset_total").value(), 0u);
+}
+
+#if NTC_TELEMETRY
+TEST_F(TelemetryTest, MacrosRecordWhenCompiledInAndEnabled) {
+  NTC_TELEM_EVENT(EventKind::CrcCheck, "macro_event", 64, 1);
+  NTC_TELEM_COUNT("ntc_test_macro_total", 2);
+  { NTC_TELEM_SPAN(span, EventKind::Restore, "macro_span"); }
+  const auto traces = snapshot();
+  EXPECT_NE(find_event(traces, "macro_event"), nullptr);
+  EXPECT_NE(find_event(traces, "macro_span"), nullptr);
+  EXPECT_EQ(counter("ntc_test_macro_total").value(), 2u);
+}
+
+TEST_F(TelemetryTest, ScopedMuteSilencesOnlyItsScope) {
+  NTC_TELEM_EVENT(EventKind::Span, "before_mute", 0, 0);
+  {
+    NTC_TELEM_MUTE(mute);
+    EXPECT_FALSE(enabled());
+    NTC_TELEM_EVENT(EventKind::Span, "muted", 0, 0);
+    NTC_TELEM_COUNT("ntc_test_muted_total", 3);
+    {
+      NTC_TELEM_MUTE(nested);  // mute depth nests
+      NTC_TELEM_EVENT(EventKind::Span, "muted_nested", 0, 0);
+    }
+    NTC_TELEM_EVENT(EventKind::Span, "still_muted", 0, 0);
+  }
+  NTC_TELEM_EVENT(EventKind::Span, "after_mute", 0, 0);
+  const auto traces = snapshot();
+  EXPECT_NE(find_event(traces, "before_mute"), nullptr);
+  EXPECT_EQ(find_event(traces, "muted"), nullptr);
+  EXPECT_EQ(find_event(traces, "muted_nested"), nullptr);
+  EXPECT_EQ(find_event(traces, "still_muted"), nullptr);
+  EXPECT_NE(find_event(traces, "after_mute"), nullptr);
+  EXPECT_EQ(counter("ntc_test_muted_total").value(), 0u);
+}
+#else
+TEST_F(TelemetryTest, MacrosCompileToNothingWhenSwitchedOff) {
+  NTC_TELEM_EVENT(EventKind::CrcCheck, "macro_event", 64, 1);
+  NTC_TELEM_COUNT("ntc_test_macro_total", 2);
+  { NTC_TELEM_SPAN(span, EventKind::Restore, "macro_span"); }
+  EXPECT_EQ(total_events(), 0u);
+  EXPECT_EQ(counter("ntc_test_macro_total").value(), 0u);
+}
+#endif
+
+}  // namespace
+}  // namespace ntc::telemetry
