@@ -105,10 +105,10 @@ int main() {
       static_cast<unsigned long long>(s.silent_data_corruption),
       static_cast<unsigned long long>(s.system_failure));
 
-  std::ofstream csv("fault_campaign_ledger.csv");
-  runner.write_csv(csv);
-  std::ofstream json("fault_campaign_ledger.json");
-  runner.write_json(json);
+  // Atomic exports: a bench killed mid-dump never leaves a truncated
+  // ledger that downstream tooling would mistake for a complete one.
+  runner.save_csv("fault_campaign_ledger.csv");
+  runner.save_json("fault_campaign_ledger.json");
   std::puts("Ledger written to fault_campaign_ledger.csv / .json");
   return 0;
 }

@@ -26,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/atomic_file.hpp"
 #include "common/rng.hpp"
 #include "ecc/bch.hpp"
 #include "ecc/hamming.hpp"
@@ -444,7 +445,10 @@ int count_regressions(const std::vector<BenchResult>& results, double pct) {
 void write_json(const std::vector<BenchResult>& results,
                 const std::vector<std::pair<std::string, double>>& overheads,
                 const std::string& path) {
-  std::ofstream out(path);
+  // Buffered then committed atomically (tmp + fsync + rename): the
+  // regression harness must never read a BENCH_perf.json a killed run
+  // left half-written.
+  std::ostringstream out;
   out << "{\n  \"build\": " << telemetry::build_info_json() << ",\n";
   out << "  \"telemetry_overhead_pct\": {";
   bool first = true;
@@ -466,7 +470,10 @@ void write_json(const std::vector<BenchResult>& results,
     out << "}" << (i + 1 < results.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
-  std::printf("wrote %zu results to %s\n", results.size(), path.c_str());
+  if (atomic_write_file(path, out.str()))
+    std::printf("wrote %zu results to %s\n", results.size(), path.c_str());
+  else
+    std::printf("FAILED to write %s\n", path.c_str());
 }
 
 }  // namespace

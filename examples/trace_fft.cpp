@@ -10,10 +10,11 @@
 // for the same run are printed to stdout.
 #include <cmath>
 #include <cstdio>
-#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <vector>
 
+#include "common/atomic_file.hpp"
 #include "core/ntcmem.hpp"
 #include "telemetry/exporters.hpp"
 #include "telemetry/telemetry.hpp"
@@ -61,8 +62,9 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(outcome.stats.checkpoint_words),
               static_cast<unsigned long long>(outcome.stats.restores));
 
-  std::ofstream trace(trace_path);
+  std::ostringstream trace;
   telemetry::export_chrome_trace(trace);
+  atomic_write_file(trace_path, trace.str());
   std::printf("wrote %s — open it at chrome://tracing\n", trace_path.c_str());
 
   std::puts("\n== counter totals (Prometheus text format) ==");

@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Multi-process work-queue driver for the crash-safe campaign service.
+#
+# Splits the campaign grid into shards (via `ntc_campaign --plan`),
+# launches N worker processes that claim shards from a shared queue
+# (atomic `mkdir` lock directories — exactly one process serves a shard
+# at a time), and merges the resulting binary segments into the
+# canonical CSV/JSON ledgers.  Because every shard checkpoints into its
+# own append-only segment, the whole driver is crash-safe: kill it (or
+# any worker) at any point and re-running the same command resumes from
+# the exact trial where each shard stopped; completed shards are never
+# re-executed.
+#
+# Usage:
+#   scripts/run_campaign.sh [-j WORKERS] [-d LEDGER_DIR] [-b BUILD_DIR] \
+#       [-- extra ntc_campaign grid/service options]
+#
+# Examples:
+#   scripts/run_campaign.sh -j 4 -d /tmp/campaign
+#   scripts/run_campaign.sh -j 8 -d /tmp/big -- --seeds 64 --seeds-per-shard 8
+set -euo pipefail
+
+jobs=4
+ledger_dir="campaign_ledger"
+build_dir="build"
+while getopts "j:d:b:h" opt; do
+  case "$opt" in
+    j) jobs="$OPTARG" ;;
+    d) ledger_dir="$OPTARG" ;;
+    b) build_dir="$OPTARG" ;;
+    h) sed -n '2,22p' "$0"; exit 0 ;;
+    *) exit 1 ;;
+  esac
+done
+shift $((OPTIND - 1))
+extra_args=("$@")
+
+campaign="$build_dir/tools/ntc_campaign"
+merge="$build_dir/tools/ledger_merge"
+for tool in "$campaign" "$merge"; do
+  if [[ ! -x "$tool" ]]; then
+    echo "error: $tool not built (cmake --build $build_dir)" >&2
+    exit 1
+  fi
+done
+
+mkdir -p "$ledger_dir"
+# The lock queue is scoped to one driver invocation: stale claims from a
+# previous (possibly killed) run are cleared — committed shards are
+# skipped by the tool itself, so clearing locks never redoes work.
+locks="$ledger_dir/locks"
+rm -rf "$locks"
+mkdir -p "$locks"
+
+# Stable shard queue from the deterministic plan.
+mapfile -t shard_ids < <("$campaign" --plan "${extra_args[@]}" | grep -v '^#')
+echo "run_campaign: ${#shard_ids[@]} shards -> $ledger_dir with $jobs workers"
+
+worker() {
+  local wid="$1"
+  local served=0
+  for id in "${shard_ids[@]}"; do
+    # mkdir is atomic on POSIX filesystems: exactly one worker wins.
+    mkdir "$locks/$id" 2>/dev/null || continue
+    "$campaign" --ledger-dir "$ledger_dir" --shards "$id" --quiet \
+      "${extra_args[@]}"
+    served=$((served + 1))
+  done
+  echo "run_campaign: worker $wid served $served shard(s)"
+}
+
+pids=()
+for ((w = 0; w < jobs; ++w)); do
+  worker "$w" &
+  pids+=($!)
+done
+status=0
+for pid in "${pids[@]}"; do
+  wait "$pid" || status=$?
+done
+if [[ $status -ne 0 ]]; then
+  echo "run_campaign: a worker failed (exit $status); segments are intact —" \
+       "re-run the same command to resume" >&2
+  exit "$status"
+fi
+
+"$merge" --dir "$ledger_dir" \
+  --csv "$ledger_dir/ledger.csv" --json "$ledger_dir/ledger.json"
+echo "run_campaign: merged ledger at $ledger_dir/ledger.{csv,json}"

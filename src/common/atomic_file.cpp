@@ -1,0 +1,72 @@
+#include "common/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+
+namespace ntc {
+
+AtomicFile::AtomicFile(std::string path)
+    : path_(std::move(path)), tmp_path_(path_ + ".tmp") {
+  fd_ = ::open(tmp_path_.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd_ < 0) failed_ = true;
+}
+
+AtomicFile::~AtomicFile() {
+  if (fd_ >= 0 || (!committed_ && !failed_)) commit();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool AtomicFile::write(const void* data, std::size_t n) {
+  if (failed_ || fd_ < 0) return false;
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t written = ::write(fd_, p, n);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      failed_ = true;
+      return false;
+    }
+    p += written;
+    n -= static_cast<std::size_t>(written);
+  }
+  return true;
+}
+
+bool AtomicFile::write(std::string_view s) { return write(s.data(), s.size()); }
+
+bool AtomicFile::commit() {
+  if (committed_) return !failed_;
+  if (failed_ || fd_ < 0) {
+    failed_ = true;
+    return false;
+  }
+  committed_ = true;
+  if (::fsync(fd_) != 0) failed_ = true;
+  if (::close(fd_) != 0) failed_ = true;
+  fd_ = -1;
+  if (!failed_ && std::rename(tmp_path_.c_str(), path_.c_str()) != 0)
+    failed_ = true;
+  if (failed_) ::unlink(tmp_path_.c_str());
+  return !failed_;
+}
+
+void AtomicFile::discard() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!committed_) ::unlink(tmp_path_.c_str());
+  committed_ = true;  // nothing left to finalize at destruction
+  failed_ = true;     // the target file was never produced
+}
+
+bool atomic_write_file(const std::string& path, std::string_view contents) {
+  AtomicFile file(path);
+  file.write(contents);
+  return file.commit();
+}
+
+}  // namespace ntc

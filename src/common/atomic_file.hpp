@@ -1,0 +1,53 @@
+// Atomic file finalization: write to `<path>.tmp`, fsync, rename.
+//
+// Every ledger-like artifact this project writes (campaign CSV/JSON,
+// bench baselines, telemetry exports) is consumed by other tooling that
+// treats file existence as completeness.  A plain ofstream that dies
+// mid-write leaves a truncated file that *looks* finished; the pattern
+// here guarantees a reader observes either the old content or the whole
+// new content, never a prefix.  rename(2) on the same filesystem is
+// atomic; the fsync before it ensures the data is durable before the
+// name flips.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace ntc {
+
+/// Streaming variant for writers that produce rows incrementally (see
+/// CsvWriter).  The temporary is visible as `<path>.tmp` while open;
+/// commit() publishes it under `path`.  The destructor commits unless
+/// discard() was called, so scope exit finalizes the file — but a
+/// caller that wants the success/failure verdict calls commit() itself.
+class AtomicFile {
+ public:
+  /// Opens (creates/truncates) `<path>.tmp`.
+  explicit AtomicFile(std::string path);
+  ~AtomicFile();
+  AtomicFile(const AtomicFile&) = delete;
+  AtomicFile& operator=(const AtomicFile&) = delete;
+
+  /// False once the temporary failed to open or a write/commit failed.
+  bool ok() const { return !failed_; }
+  bool write(const void* data, std::size_t n);
+  bool write(std::string_view s);
+
+  /// Flush + fsync + rename over `path`.  Idempotent; returns success.
+  bool commit();
+  /// Abandon: close and unlink the temporary; `path` is untouched.
+  void discard();
+
+ private:
+  std::string path_;
+  std::string tmp_path_;
+  int fd_ = -1;
+  bool committed_ = false;
+  bool failed_ = false;
+};
+
+/// One-shot convenience: atomically replace `path` with `contents`.
+bool atomic_write_file(const std::string& path, std::string_view contents);
+
+}  // namespace ntc

@@ -4,7 +4,7 @@
 
 namespace ntc {
 
-CsvWriter::CsvWriter(const std::string& path) : out_(path) {}
+CsvWriter::CsvWriter(const std::string& path) : file_(path) {}
 
 std::string CsvWriter::escape(const std::string& cell) {
   if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
@@ -17,21 +17,25 @@ std::string CsvWriter::escape(const std::string& cell) {
 }
 
 void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  std::string row;
   for (std::size_t i = 0; i < cells.size(); ++i) {
-    if (i) out_ << ',';
-    out_ << escape(cells[i]);
+    if (i) row += ',';
+    row += escape(cells[i]);
   }
-  out_ << '\n';
+  row += '\n';
+  file_.write(row);
 }
 
 void CsvWriter::write_row(const std::vector<double>& cells) {
   char buf[64];
+  std::string row;
   for (std::size_t i = 0; i < cells.size(); ++i) {
-    if (i) out_ << ',';
+    if (i) row += ',';
     std::snprintf(buf, sizeof buf, "%.9g", cells[i]);
-    out_ << buf;
+    row += buf;
   }
-  out_ << '\n';
+  row += '\n';
+  file_.write(row);
 }
 
 }  // namespace ntc

@@ -2,28 +2,34 @@
 // plotting next to the ASCII tables.
 #pragma once
 
-#include <fstream>
 #include <string>
 #include <vector>
+
+#include "common/atomic_file.hpp"
 
 namespace ntc {
 
 /// Writes rows to a CSV file; quoting is applied when a cell contains a
-/// comma, quote or newline.
+/// comma, quote or newline.  Finalization is atomic: rows accumulate in
+/// `<path>.tmp` and the file appears under `path` only at commit()
+/// (called by the destructor if not already) — a bench killed mid-dump
+/// never leaves a truncated CSV that looks complete.
 class CsvWriter {
  public:
-  /// Opens (truncates) `path`. ok() reports whether the stream is usable.
   explicit CsvWriter(const std::string& path);
 
-  bool ok() const { return static_cast<bool>(out_); }
+  bool ok() const { return file_.ok(); }
 
   void write_row(const std::vector<std::string>& cells);
 
   /// Convenience for numeric series rows.
   void write_row(const std::vector<double>& cells);
 
+  /// Publish the file; idempotent, returns success.
+  bool commit() { return file_.commit(); }
+
  private:
-  std::ofstream out_;
+  AtomicFile file_;
   static std::string escape(const std::string& cell);
 };
 

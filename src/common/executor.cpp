@@ -64,7 +64,17 @@ void Executor::work(unsigned self,
     } else {
       break;
     }
-    fn(index, self);
+    // A throwing cell must not unwind through the worker loop (that
+    // would terminate the process) or leave deques half-drained (the
+    // caller's completion wait would hang).  Capture the first
+    // exception for the join and keep draining — every index still
+    // runs exactly once.
+    try {
+      fn(index, self);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!job_error_) job_error_ = std::current_exception();
+    }
   }
   span.set_args(executed, stolen);
   NTC_TELEM_COUNT("ntc_executor_indices_total", executed);
@@ -99,8 +109,18 @@ void Executor::parallel_for(
   if (workers_ == 1) {
     NTC_TELEM_SPAN(span, telemetry::EventKind::ExecutorJob, "executor_job");
     span.set_args(n, 0);
-    for (std::size_t i = 0; i < n; ++i) fn(i, 0);
+    // Same contract as the threaded path: every index runs, the first
+    // exception is rethrown after the loop.
+    std::exception_ptr error;
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        fn(i, 0);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
     NTC_TELEM_COUNT("ntc_executor_indices_total", n);
+    if (error) std::rethrow_exception(error);
     return;
   }
   {
@@ -116,6 +136,7 @@ void Executor::parallel_for(
       d.tail = n * (w + 1) / workers_;
     }
     job_ = fn;
+    job_error_ = nullptr;
     ++generation_;
   }
   job_cv_.notify_all();
@@ -124,6 +145,11 @@ void Executor::parallel_for(
   // owned cells on the spawned workers to finish (they park after).
   std::unique_lock<std::mutex> lock(mutex_);
   idle_cv_.wait(lock, [&] { return idle_ == workers_ - 1; });
+  if (job_error_) {
+    std::exception_ptr error = job_error_;
+    job_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
 }
 
 }  // namespace ntc

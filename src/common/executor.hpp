@@ -19,6 +19,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -42,6 +43,13 @@ class Executor {
   /// with worker in [0, worker_count()); blocks until all indices have
   /// completed.  Reusable: repeated calls reuse the parked workers.
   /// Not reentrant — one job at a time per Executor.
+  ///
+  /// Exception safety: a throwing fn never terminates the process or
+  /// deadlocks the pool.  The exception is captured where it escapes
+  /// (on any worker), every remaining index still runs — "exactly once
+  /// per index" holds even on the failing path — and the first
+  /// captured exception is rethrown here, on the calling thread, after
+  /// all workers have parked.  The executor stays usable afterwards.
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t, unsigned)>& fn);
 
@@ -73,6 +81,9 @@ class Executor {
   /// chase a pointer into a caller frame that already returned.  The
   /// publish overwrites it only while every spawned worker is parked.
   std::function<void(std::size_t, unsigned)> job_;
+  /// First exception thrown by fn during the current job (guarded by
+  /// mutex_); cleared at job publish, rethrown at join.
+  std::exception_ptr job_error_;
   std::uint64_t generation_ = 0;
   unsigned idle_ = 0;  ///< spawned workers currently parked
   bool shutdown_ = false;

@@ -1,0 +1,148 @@
+#include "common/framing.hpp"
+
+#include <cstring>
+
+namespace ntc {
+
+namespace {
+
+struct Crc32cTable {
+  std::uint32_t entries[256];
+  Crc32cTable() {
+    constexpr std::uint32_t kPolyReflected = 0x82F63B78u;  // 0x1EDC6F41
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? (kPolyReflected ^ (c >> 1)) : (c >> 1);
+      entries[i] = c;
+    }
+  }
+};
+
+const Crc32cTable& crc_table() {
+  static const Crc32cTable table;
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(std::span<const std::uint8_t> bytes) {
+  const Crc32cTable& t = crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::uint8_t b : bytes) c = t.entries[(c ^ b) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+void ByteWriter::put_u16(std::uint16_t v) {
+  bytes_.push_back(static_cast<std::uint8_t>(v));
+  bytes_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::put_u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::put_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::put_f64(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u64(bits);
+}
+
+void ByteWriter::put_string(const std::string& s) {
+  put_u32(static_cast<std::uint32_t>(s.size()));
+  bytes_.insert(bytes_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::put_bytes(std::span<const std::uint8_t> raw) {
+  bytes_.insert(bytes_.end(), raw.begin(), raw.end());
+}
+
+void ByteWriter::patch_u32(std::size_t offset, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    bytes_[offset + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+bool ByteReader::take(std::size_t n, const std::uint8_t** out) {
+  if (!ok_ || bytes_.size() - offset_ < n) {
+    ok_ = false;
+    return false;
+  }
+  *out = bytes_.data() + offset_;
+  offset_ += n;
+  return true;
+}
+
+std::uint8_t ByteReader::get_u8() {
+  const std::uint8_t* p;
+  return take(1, &p) ? p[0] : 0;
+}
+
+std::uint16_t ByteReader::get_u16() {
+  const std::uint8_t* p;
+  if (!take(2, &p)) return 0;
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t ByteReader::get_u32() {
+  const std::uint8_t* p;
+  if (!take(4, &p)) return 0;
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t ByteReader::get_u64() {
+  const std::uint8_t* p;
+  if (!take(8, &p)) return 0;
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+double ByteReader::get_f64() {
+  const std::uint64_t bits = get_u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::string ByteReader::get_string() {
+  const std::uint32_t n = get_u32();
+  const std::uint8_t* p;
+  if (!take(n, &p)) return {};
+  return std::string(reinterpret_cast<const char*>(p), n);
+}
+
+void append_frame(std::vector<std::uint8_t>& out,
+                  std::span<const std::uint8_t> payload) {
+  ByteWriter header;
+  header.put_u32(static_cast<std::uint32_t>(payload.size()));
+  header.put_u32(crc32c(payload));
+  out.insert(out.end(), header.bytes().begin(), header.bytes().end());
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+bool next_frame(std::span<const std::uint8_t> bytes, std::size_t& offset,
+                std::span<const std::uint8_t>& payload) {
+  if (bytes.size() - offset < 8) return false;
+  ByteReader header(bytes.subspan(offset, 8));
+  const std::uint32_t len = header.get_u32();
+  const std::uint32_t crc = header.get_u32();
+  if (len > kMaxFramePayload) return false;
+  if (bytes.size() - offset - 8 < len) return false;
+  std::span<const std::uint8_t> body = bytes.subspan(offset + 8, len);
+  if (crc32c(body) != crc) return false;
+  payload = body;
+  offset += 8 + len;
+  return true;
+}
+
+}  // namespace ntc

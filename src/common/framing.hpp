@@ -1,0 +1,103 @@
+// CRC-framed binary record streams for crash-safe append-only files.
+//
+// The campaign ledger (src/faultsim/ledger.*) streams one record per
+// completed trial to disk; a process killed mid-write (kill -9, OOM,
+// wall-clock limit) leaves at most one torn frame at the tail.  The
+// framing here makes that tail detectable and removable: every frame is
+//
+//   [u32 payload length][u32 CRC-32C of payload][payload bytes]
+//
+// with all integers little-endian.  A reader walks frames until the
+// file ends mid-frame or a CRC mismatches; everything before that point
+// is intact (CRC-32C catches any burst up to 32 bits and all 1-3 bit
+// errors), everything from it on is truncated by the writer before
+// appending resumes.
+//
+// CRC-32C (Castagnoli) is used rather than the IEEE CRC-32 in
+// src/ecc/crc.* deliberately: the ecc library models *simulated*
+// hardware checksums and layers above common cannot be linked from
+// here; the framing checksum is host-side file integrity and keeping
+// the polynomials distinct means a ledger frame can never be confused
+// with a simulated OCEAN chunk CRC.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ntc {
+
+/// CRC-32C (polynomial 0x1EDC6F41, reflected; RFC 3720 §B.4).
+/// crc32c over "123456789" is 0xE3069283.
+std::uint32_t crc32c(std::span<const std::uint8_t> bytes);
+
+/// Little-endian primitive serializer for record payloads.  All sizes
+/// are explicit; doubles travel as IEEE-754 bit patterns so a
+/// round-trip is bit-exact (NaN payloads included).
+class ByteWriter {
+ public:
+  void put_u8(std::uint8_t v) { bytes_.push_back(v); }
+  void put_u16(std::uint16_t v);
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_f64(double v);
+  /// u32 length followed by the raw bytes.
+  void put_string(const std::string& s);
+  void put_bytes(std::span<const std::uint8_t> raw);
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+  std::size_t size() const { return bytes_.size(); }
+  /// Overwrite 4 bytes at `offset` (header length back-patching).
+  void patch_u32(std::size_t offset, std::uint32_t v);
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Bounds-checked little-endian reader.  A read past the end sets
+/// ok() false and returns zero values; callers check ok() once at the
+/// end instead of after every field.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t get_u8();
+  std::uint16_t get_u16();
+  std::uint32_t get_u32();
+  std::uint64_t get_u64();
+  double get_f64();
+  std::string get_string();
+
+  bool ok() const { return ok_; }
+  std::size_t offset() const { return offset_; }
+  std::size_t remaining() const { return bytes_.size() - offset_; }
+
+ private:
+  bool take(std::size_t n, const std::uint8_t** out);
+  std::span<const std::uint8_t> bytes_;
+  std::size_t offset_ = 0;
+  bool ok_ = true;
+};
+
+/// Largest payload a well-formed frame may carry.  A torn or corrupt
+/// length field would otherwise ask the reader to allocate gigabytes;
+/// campaign records are a few hundred bytes.
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 20;
+
+/// Append one [len][crc][payload] frame to `out`.
+void append_frame(std::vector<std::uint8_t>& out,
+                  std::span<const std::uint8_t> payload);
+
+/// Walk the next frame starting at `offset`.  On success advances
+/// `offset` past the frame and fills `payload` (a view into `bytes`).
+/// Returns false — leaving `offset` untouched — when the remaining
+/// bytes do not contain one intact frame: clean end-of-stream, a tail
+/// torn mid-frame, an oversized length, or a CRC mismatch all look the
+/// same to the caller (valid prefix ends here).
+bool next_frame(std::span<const std::uint8_t> bytes, std::size_t& offset,
+                std::span<const std::uint8_t>& payload);
+
+}  // namespace ntc

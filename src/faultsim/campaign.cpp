@@ -4,13 +4,15 @@
 #include <cstdio>
 #include <memory>
 #include <ostream>
+#include <sstream>
 
 #include "common/assert.hpp"
+#include "common/atomic_file.hpp"
 #include "common/fixed_point.hpp"
+#include "faultsim/ledger.hpp"
 #include "reliability/model_tables.hpp"
 #include "sim/platform.hpp"
 #include "sim/platform_pool.hpp"
-#include "telemetry/build_info.hpp"
 #include "telemetry/exporters.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/telemetry.hpp"
@@ -30,29 +32,6 @@ std::vector<std::complex<double>> campaign_signal(std::size_t n) {
            0.18 * std::cos(2.0 * M_PI * 101.0 * t);
   }
   return x;
-}
-
-std::string escape_json(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out.push_back(c);
-        }
-    }
-  }
-  return out;
 }
 
 /// The scripted injectors living on a pooled platform's arrays, rearmed
@@ -239,24 +218,12 @@ RunRecord CampaignRunner::execute_one(const Scenario& scenario,
   return record;
 }
 
-const std::vector<RunRecord>& CampaignRunner::run() {
+ShardPlan CampaignRunner::shard_plan(std::uint32_t seeds_per_shard) const {
+  return make_shard_plan(config_, seeds_per_shard);
+}
+
+void CampaignRunner::prepare() {
   compute_golden();
-
-  struct Cell {
-    const Scenario* scenario;
-    mitigation::SchemeKind scheme;
-    Volt vdd;
-    std::uint64_t seed;
-  };
-  std::vector<Cell> grid;
-  for (const Scenario& scenario : config_.scenarios)
-    for (mitigation::SchemeKind scheme : config_.schemes)
-      for (Volt vdd : config_.voltages)
-        for (std::uint32_t s = 0; s < config_.seeds_per_cell; ++s)
-          grid.push_back(Cell{&scenario, scheme, vdd, config_.base_seed + s});
-
-  records_.assign(grid.size(), RunRecord{});
-
   // Workers and their platform pools persist across run() calls: the
   // executor parks between jobs instead of being respawned, and each
   // worker resets its pooled platforms rather than rebuilding them.
@@ -264,109 +231,92 @@ const std::vector<RunRecord>& CampaignRunner::run() {
     executor_ = std::make_unique<Executor>(config_.threads);
     pools_.resize(executor_->worker_count());
   }
+}
+
+Executor& CampaignRunner::executor() {
+  prepare();
+  return *executor_;
+}
+
+RunRecord CampaignRunner::execute_shard_trial(const Shard& shard,
+                                              std::uint32_t offset,
+                                              unsigned worker) {
+  NTC_REQUIRE(golden_computed_ && worker < pools_.size());
+  NTC_REQUIRE(offset < shard.trial_count);
+  NTC_REQUIRE(shard.scenario_index < config_.scenarios.size());
+  NTC_REQUIRE(shard.scheme_index < config_.schemes.size());
+  NTC_REQUIRE(shard.voltage_index < config_.voltages.size());
+  auto& pool = pools_[worker];
+  if (!pool)
+    pool = std::make_unique<sim::PlatformPool>(platform_base_config());
+  return execute_one(config_.scenarios[shard.scenario_index],
+                     config_.schemes[shard.scheme_index],
+                     config_.voltages[shard.voltage_index],
+                     shard.seed_begin + offset, *pool);
+}
+
+const std::vector<RunRecord>& CampaignRunner::run() {
+  prepare();
+  // One shard per grid cell: trial i of the flat grid is trial
+  // i % seeds_per_cell of shard i / seeds_per_cell, and record_base
+  // arithmetic makes the two enumerations coincide exactly — the
+  // in-process ledger and a merged shard-service ledger are the same
+  // bytes by construction, not by test luck.
+  const ShardPlan plan = shard_plan();
+  records_.assign(plan.total_records, RunRecord{});
+  const std::uint32_t spc = config_.seeds_per_cell;
   // Each record is a pure function of its grid cell (platforms are
   // reset to a seed-determined state before every run), so the ledger
   // is identical whatever the worker count and whoever stole what.
-  executor_->parallel_for(grid.size(), [&](std::size_t i, unsigned worker) {
-    auto& pool = pools_[worker];
-    if (!pool) pool = std::make_unique<sim::PlatformPool>(platform_base_config());
-    const Cell& cell = grid[i];
-    records_[i] =
-        execute_one(*cell.scenario, cell.scheme, cell.vdd, cell.seed, *pool);
-  });
+  executor_->parallel_for(
+      plan.total_records, [&](std::size_t i, unsigned worker) {
+        const Shard& shard = plan.shards[i / spc];
+        records_[i] = execute_shard_trial(
+            shard, static_cast<std::uint32_t>(i % spc), worker);
+      });
   return records_;
 }
 
 CampaignSummary CampaignRunner::summary() const {
-  CampaignSummary s;
-  s.runs = records_.size();
-  for (const RunRecord& r : records_) {
-    switch (r.outcome) {
-      case RunOutcome::Clean: ++s.clean; break;
-      case RunOutcome::Corrected: ++s.corrected; break;
-      case RunOutcome::DetectedUncorrectable: ++s.detected_uncorrectable; break;
-      case RunOutcome::SilentDataCorruption: ++s.silent_data_corruption; break;
-      case RunOutcome::SystemFailure: ++s.system_failure; break;
-    }
-  }
-  return s;
+  return summarize_records(records_);
 }
 
-namespace {
-
-// RFC 4180 quoting: scheme names such as "ECC (SECDED 39,32)" contain
-// commas and would otherwise shift every following column.
-std::string csv_field(const std::string& s) {
-  if (s.find_first_of(",\"\n") == std::string::npos) return s;
-  std::string quoted = "\"";
-  for (char c : s) {
-    if (c == '"') quoted += '"';
-    quoted += c;
-  }
-  quoted += '"';
-  return quoted;
-}
-
-}  // namespace
-
+// The formatters live in faultsim/ledger.cpp so the ledger_merge tool
+// emits the exact same bytes from reduced binary segments.
 void CampaignRunner::write_csv(std::ostream& out) const {
-  // Build provenance rides along as '#' comment lines.  The values are
-  // process constants, so ledgers stay byte-identical across thread
-  // counts and repeated run() calls (faultsim_throughput_test relies on
-  // that).
-  out << telemetry::build_info_csv_comment();
-  out << "scenario,scheme,vdd,seed,outcome,snr_db,corrected_words,"
-         "uncorrectable_words,injected_flips,stuck_bits,"
-         "scenario_events_fired,ocean_restores,ocean_voltage_escalations,"
-         "cycles\n";
-  for (const RunRecord& r : records_) {
-    out << csv_field(r.scenario) << ',' << csv_field(r.scheme) << ','
-        << r.vdd << ',' << r.seed
-        << ',' << to_string(r.outcome) << ',' << r.snr_db << ','
-        << r.corrected_words << ',' << r.uncorrectable_words << ','
-        << r.injected_flips << ',' << r.stuck_bits << ','
-        << r.scenario_events_fired << ',' << r.ocean_restores << ','
-        << r.ocean_voltage_escalations << ',' << r.cycles << '\n';
-  }
+  write_ledger_csv(out, records_);
+}
+
+void CampaignRunner::write_json(std::ostream& out) const {
+  write_ledger_json(out, records_);
 }
 
 void CampaignRunner::write_telemetry_jsonl(std::ostream& out) const {
   telemetry::export_jsonl(out);
 }
 
-void CampaignRunner::write_json(std::ostream& out) const {
-  const CampaignSummary s = summary();
-  out << "{\n  \"build\": " << telemetry::build_info_json()
-      << ",\n  \"summary\": {\"runs\": " << s.runs
-      << ", \"clean\": " << s.clean << ", \"corrected\": " << s.corrected
-      << ", \"detected_uncorrectable\": " << s.detected_uncorrectable
-      << ", \"silent_data_corruption\": " << s.silent_data_corruption
-      << ", \"system_failure\": " << s.system_failure << "},\n  \"runs\": [";
-  for (std::size_t i = 0; i < records_.size(); ++i) {
-    const RunRecord& r = records_[i];
-    out << (i == 0 ? "\n" : ",\n")
-        << "    {\"scenario\": \"" << escape_json(r.scenario)
-        << "\", \"scheme\": \"" << escape_json(r.scheme)
-        << "\", \"vdd\": " << r.vdd << ", \"seed\": " << r.seed
-        << ", \"outcome\": \"" << to_string(r.outcome) << "\", \"snr_db\": ";
-    // JSON has no nan/inf literal; a fully-destroyed output (zero or
-    // NaN-adjacent SNR) must not render the whole ledger unparseable.
-    if (std::isfinite(r.snr_db)) {
-      out << r.snr_db;
-    } else {
-      out << "null";
-    }
-    out
-        << ", \"corrected_words\": " << r.corrected_words
-        << ", \"uncorrectable_words\": " << r.uncorrectable_words
-        << ", \"injected_flips\": " << r.injected_flips
-        << ", \"stuck_bits\": " << r.stuck_bits
-        << ", \"scenario_events_fired\": " << r.scenario_events_fired
-        << ", \"ocean_restores\": " << r.ocean_restores
-        << ", \"ocean_voltage_escalations\": " << r.ocean_voltage_escalations
-        << ", \"cycles\": " << r.cycles << "}";
-  }
-  out << "\n  ]\n}\n";
+namespace {
+
+template <typename WriteFn>
+bool save_atomically(const std::string& path, WriteFn&& write) {
+  std::ostringstream out;
+  write(out);
+  return atomic_write_file(path, out.str());
+}
+
+}  // namespace
+
+bool CampaignRunner::save_csv(const std::string& path) const {
+  return save_atomically(path, [&](std::ostream& out) { write_csv(out); });
+}
+
+bool CampaignRunner::save_json(const std::string& path) const {
+  return save_atomically(path, [&](std::ostream& out) { write_json(out); });
+}
+
+bool CampaignRunner::save_telemetry_jsonl(const std::string& path) const {
+  return save_atomically(path,
+                         [&](std::ostream& out) { write_telemetry_jsonl(out); });
 }
 
 }  // namespace ntc::faultsim

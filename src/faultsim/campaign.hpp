@@ -37,6 +37,7 @@
 #include "common/units.hpp"
 #include "energy/memory_calculator.hpp"
 #include "faultsim/scenario.hpp"
+#include "faultsim/shard.hpp"
 #include "mitigation/scheme.hpp"
 #include "ocean/runtime.hpp"
 
@@ -120,9 +121,40 @@ class CampaignRunner {
   const std::vector<RunRecord>& records() const { return records_; }
   CampaignSummary summary() const;
 
+  // --- shard-level execution (run() and the CampaignService are both
+  // built on these) -------------------------------------------------
+
+  /// The deterministic shard decomposition of this runner's grid (the
+  /// config as normalized at construction).  0 = one shard per cell.
+  ShardPlan shard_plan(std::uint32_t seeds_per_shard = 0) const;
+
+  /// Compute the golden reference and spin up the executor + pool
+  /// slots.  Idempotent; must be called (once, from one thread) before
+  /// any concurrent execute_shard_trial() use — run() and the
+  /// CampaignService do so.
+  void prepare();
+
+  /// Execute trial `offset` of `shard` (seed = shard.seed_begin +
+  /// offset) on worker `worker`'s pooled platform.  Safe to call
+  /// concurrently for distinct workers after prepare().
+  RunRecord execute_shard_trial(const Shard& shard, std::uint32_t offset,
+                                unsigned worker);
+
+  /// The persistent executor (prepare() creates it on first use).
+  Executor& executor();
+
+  const CampaignConfig& config() const { return config_; }
+
   /// Machine-readable ledger exports for the bench harness.
   void write_csv(std::ostream& out) const;
   void write_json(std::ostream& out) const;
+
+  /// Atomic path-based exports (write to `<path>.tmp`, fsync, rename):
+  /// a crash mid-export never leaves a truncated ledger that looks
+  /// complete.  Return false when the write failed.
+  bool save_csv(const std::string& path) const;
+  bool save_json(const std::string& path) const;
+  bool save_telemetry_jsonl(const std::string& path) const;
 
   /// Telemetry side-ledger: the recorded trace as JSON lines (build
   /// record first, then one event per line).  Empty unless telemetry

@@ -1,0 +1,415 @@
+#include "faultsim/ledger.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/framing.hpp"
+#include "telemetry/build_info.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace ntc::faultsim {
+
+namespace {
+
+constexpr char kMagic[8] = {'N', 'T', 'C', 'L', 'D', 'G', 'R', '1'};
+constexpr std::uint32_t kVersion = 1;
+
+enum RecordType : std::uint8_t {
+  kTrialRecord = 1,
+  kShardCommitRecord = 2,
+};
+
+std::vector<std::uint8_t> read_file(const std::string& path, bool& exists) {
+  std::ifstream in(path, std::ios::binary);
+  exists = static_cast<bool>(in);
+  if (!exists) return {};
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+/// Header = magic + framed fields + CRC over everything before the CRC.
+std::vector<std::uint8_t> build_header(const ShardPlan& plan,
+                                       const Shard& shard) {
+  ByteWriter w;
+  w.put_bytes(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(kMagic), sizeof kMagic));
+  w.put_u32(kVersion);
+  const std::size_t len_offset = w.size();
+  w.put_u32(0);  // total header length, patched below
+  w.put_u64(plan.fingerprint);
+  w.put_u64(shard.id);
+  w.put_u64(shard.record_base);
+  w.put_u64(shard.seed_begin);
+  w.put_u32(shard.trial_count);
+  w.put_u64(plan.total_records);
+  w.put_string(telemetry::build_info_json());
+  w.patch_u32(len_offset, static_cast<std::uint32_t>(w.size() + 4));
+  w.put_u32(crc32c(std::span<const std::uint8_t>(w.bytes())));
+  return w.take();
+}
+
+/// Parse the header into `scan`; returns the header length (0 = bad).
+std::uint64_t parse_header(std::span<const std::uint8_t> bytes,
+                           SegmentScan& scan) {
+  if (bytes.size() < sizeof kMagic + 8) return 0;
+  if (__builtin_memcmp(bytes.data(), kMagic, sizeof kMagic) != 0) return 0;
+  ByteReader r(bytes.subspan(sizeof kMagic));
+  const std::uint32_t version = r.get_u32();
+  const std::uint32_t header_len = r.get_u32();
+  if (!r.ok() || version != kVersion) return 0;
+  if (header_len < sizeof kMagic + 12 || header_len > bytes.size()) return 0;
+  ByteReader body(bytes.subspan(0, header_len));
+  body.get_u64();  // magic (validated above)
+  body.get_u32();  // version
+  body.get_u32();  // header_len
+  scan.fingerprint = body.get_u64();
+  scan.shard_id = body.get_u64();
+  scan.record_base = body.get_u64();
+  scan.seed_begin = body.get_u64();
+  scan.trial_count = body.get_u32();
+  scan.total_records = body.get_u64();
+  (void)body.get_string();  // build_info of the producing process
+  const std::size_t crc_offset = body.offset();
+  const std::uint32_t stored_crc = body.get_u32();
+  if (!body.ok() || body.offset() != header_len) return 0;
+  if (crc32c(bytes.subspan(0, crc_offset)) != stored_crc) return 0;
+  scan.header_ok = true;
+  return header_len;
+}
+
+int open_append(const std::string& path) {
+  return ::open(path.c_str(), O_WRONLY | O_APPEND);
+}
+
+void write_all(int fd, const std::uint8_t* p, std::size_t n) {
+  while (n > 0) {
+    const ssize_t written = ::write(fd, p, n);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      NTC_REQUIRE(false && "ledger segment write failed");
+    }
+    p += written;
+    n -= static_cast<std::size_t>(written);
+  }
+}
+
+}  // namespace
+
+void serialize_run_record(ByteWriter& out, const RunRecord& record) {
+  out.put_string(record.scenario);
+  out.put_string(record.scheme);
+  out.put_f64(record.vdd);
+  out.put_u64(record.seed);
+  out.put_u8(static_cast<std::uint8_t>(record.outcome));
+  out.put_f64(record.snr_db);
+  out.put_u64(record.corrected_words);
+  out.put_u64(record.uncorrectable_words);
+  out.put_u64(record.injected_flips);
+  out.put_u64(record.stuck_bits);
+  out.put_u64(record.scenario_events_fired);
+  out.put_u64(record.ocean_restores);
+  out.put_u64(record.ocean_voltage_escalations);
+  out.put_u64(record.cycles);
+}
+
+RunRecord deserialize_run_record(ByteReader& in) {
+  RunRecord r;
+  r.scenario = in.get_string();
+  r.scheme = in.get_string();
+  r.vdd = in.get_f64();
+  r.seed = in.get_u64();
+  r.outcome = static_cast<RunOutcome>(in.get_u8());
+  r.snr_db = in.get_f64();
+  r.corrected_words = in.get_u64();
+  r.uncorrectable_words = in.get_u64();
+  r.injected_flips = in.get_u64();
+  r.stuck_bits = in.get_u64();
+  r.scenario_events_fired = in.get_u64();
+  r.ocean_restores = in.get_u64();
+  r.ocean_voltage_escalations = in.get_u64();
+  r.cycles = in.get_u64();
+  return r;
+}
+
+SegmentScan scan_segment(const std::string& path, bool with_records) {
+  SegmentScan scan;
+  std::vector<std::uint8_t> bytes = read_file(path, scan.exists);
+  if (!scan.exists) return scan;
+  const std::uint64_t header_len = parse_header(bytes, scan);
+  if (header_len == 0) {
+    scan.note = "unreadable or foreign header";
+    scan.torn_bytes = bytes.size();
+    return scan;
+  }
+  std::size_t offset = header_len;
+  std::size_t valid = offset;
+  std::span<const std::uint8_t> payload;
+  while (next_frame(bytes, offset, payload)) {
+    ByteReader r(payload);
+    const std::uint8_t type = r.get_u8();
+    if (type == kTrialRecord) {
+      const std::uint32_t trial_offset = r.get_u32();
+      RunRecord record = deserialize_run_record(r);
+      // Trials are appended strictly in order by one writer; a frame
+      // out of sequence (or trailing a commit) means the file was
+      // tampered with or mis-assembled — the valid prefix ends before
+      // it.
+      if (!r.ok() || scan.completed || trial_offset != scan.trials_durable ||
+          trial_offset >= scan.trial_count) {
+        scan.note = "out-of-sequence trial frame";
+        break;
+      }
+      ++scan.trials_durable;
+      if (with_records) scan.records.push_back(std::move(record));
+    } else if (type == kShardCommitRecord) {
+      const std::uint32_t count = r.get_u32();
+      if (!r.ok() || scan.completed || count != scan.trials_durable) {
+        scan.note = "inconsistent commit frame";
+        break;
+      }
+      scan.completed = true;
+    } else {
+      scan.note = "unknown record type";
+      break;
+    }
+    valid = offset;
+  }
+  scan.valid_bytes = valid;
+  scan.torn_bytes = bytes.size() - valid;
+  if (scan.torn_bytes > 0 && scan.note.empty())
+    scan.note = "torn trailing frame";
+  return scan;
+}
+
+LedgerWriter::LedgerWriter(const std::string& path, const ShardPlan& plan,
+                           const Shard& shard, bool fsync_each_record)
+    : path_(path), fsync_each_record_(fsync_each_record) {
+  fd_ = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_APPEND, 0644);
+  if (fd_ < 0) return;
+  const std::vector<std::uint8_t> header = build_header(plan, shard);
+  write_all(fd_, header.data(), header.size());
+}
+
+LedgerWriter::LedgerWriter(const std::string& path, std::uint64_t valid_bytes,
+                           bool fsync_each_record)
+    : path_(path), fsync_each_record_(fsync_each_record) {
+  // Drop the torn tail first, then append after the valid prefix.
+  if (::truncate(path.c_str(), static_cast<off_t>(valid_bytes)) != 0) return;
+  fd_ = open_append(path);
+}
+
+LedgerWriter::~LedgerWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void LedgerWriter::append_frame_bytes(const std::vector<std::uint8_t>& payload) {
+  NTC_REQUIRE(fd_ >= 0);
+  // One frame, one write(2): O_APPEND makes the append atomic with
+  // respect to the file offset, and a crash tears at most this frame.
+  std::vector<std::uint8_t> framed;
+  framed.reserve(payload.size() + 8);
+  append_frame(framed, std::span<const std::uint8_t>(payload));
+  write_all(fd_, framed.data(), framed.size());
+  if (fsync_each_record_) ::fsync(fd_);
+}
+
+void LedgerWriter::append_trial(std::uint32_t offset,
+                                const RunRecord& record) {
+  ByteWriter w;
+  w.put_u8(kTrialRecord);
+  w.put_u32(offset);
+  serialize_run_record(w, record);
+  append_frame_bytes(w.bytes());
+}
+
+void LedgerWriter::commit(std::uint32_t trial_count) {
+  ByteWriter w;
+  w.put_u8(kShardCommitRecord);
+  w.put_u32(trial_count);
+  append_frame_bytes(w.bytes());
+  NTC_REQUIRE(::fsync(fd_) == 0);
+}
+
+MergedLedger merge_segments(const std::vector<std::string>& paths) {
+  MergedLedger merged;
+  struct Slot {
+    RunRecord record;
+    bool present = false;
+  };
+  std::vector<Slot> slots;
+  bool identity_set = false;
+  for (const std::string& path : paths) {
+    SegmentScan scan = scan_segment(path, /*with_records=*/true);
+    if (!scan.exists) {
+      merged.notes.push_back(path + ": missing");
+      continue;
+    }
+    if (!scan.header_ok) {
+      merged.notes.push_back(path + ": " + scan.note);
+      continue;
+    }
+    if (!identity_set) {
+      merged.fingerprint = scan.fingerprint;
+      merged.total_records = scan.total_records;
+      slots.resize(scan.total_records);
+      identity_set = true;
+    } else if (scan.fingerprint != merged.fingerprint ||
+               scan.total_records != merged.total_records) {
+      merged.notes.push_back(path + ": foreign campaign fingerprint");
+      continue;
+    }
+    if (!scan.completed) merged.incomplete_shards.push_back(scan.shard_id);
+    if (!scan.note.empty()) merged.notes.push_back(path + ": " + scan.note);
+    for (std::uint32_t i = 0; i < scan.trials_durable; ++i) {
+      const std::uint64_t index = scan.record_base + i;
+      if (index >= slots.size()) {
+        merged.notes.push_back(path + ": record index out of range");
+        break;
+      }
+      if (slots[index].present) {
+        ++merged.duplicate_records;  // deterministic re-delivery
+      } else {
+        slots[index].record = std::move(scan.records[i]);
+        slots[index].present = true;
+      }
+    }
+  }
+  merged.records.reserve(slots.size());
+  merged.present.reserve(slots.size());
+  merged.complete = identity_set;
+  for (Slot& slot : slots) {
+    merged.present.push_back(slot.present);
+    if (slot.present) merged.records.push_back(std::move(slot.record));
+    else merged.complete = false;
+  }
+  return merged;
+}
+
+// ---------------------------------------------------------------------------
+// Canonical text exports (moved verbatim from CampaignRunner so the
+// merge tool and the in-process runner share one formatter).
+
+namespace {
+
+std::string escape_json(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+// RFC 4180 quoting: scheme names such as "ECC (SECDED 39,32)" contain
+// commas and would otherwise shift every following column.
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string quoted = "\"";
+  for (char c : s) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+CampaignSummary summarize_records(const std::vector<RunRecord>& records) {
+  CampaignSummary s;
+  s.runs = records.size();
+  for (const RunRecord& r : records) {
+    switch (r.outcome) {
+      case RunOutcome::Clean: ++s.clean; break;
+      case RunOutcome::Corrected: ++s.corrected; break;
+      case RunOutcome::DetectedUncorrectable: ++s.detected_uncorrectable; break;
+      case RunOutcome::SilentDataCorruption: ++s.silent_data_corruption; break;
+      case RunOutcome::SystemFailure: ++s.system_failure; break;
+    }
+  }
+  return s;
+}
+
+void write_ledger_csv(std::ostream& out,
+                      const std::vector<RunRecord>& records) {
+  // Build provenance rides along as '#' comment lines.  The values are
+  // process constants, so ledgers stay byte-identical across thread
+  // counts and repeated run() calls (faultsim_throughput_test relies on
+  // that).
+  out << telemetry::build_info_csv_comment();
+  out << "scenario,scheme,vdd,seed,outcome,snr_db,corrected_words,"
+         "uncorrectable_words,injected_flips,stuck_bits,"
+         "scenario_events_fired,ocean_restores,ocean_voltage_escalations,"
+         "cycles\n";
+  for (const RunRecord& r : records) {
+    out << csv_field(r.scenario) << ',' << csv_field(r.scheme) << ','
+        << r.vdd << ',' << r.seed
+        << ',' << to_string(r.outcome) << ',' << r.snr_db << ','
+        << r.corrected_words << ',' << r.uncorrectable_words << ','
+        << r.injected_flips << ',' << r.stuck_bits << ','
+        << r.scenario_events_fired << ',' << r.ocean_restores << ','
+        << r.ocean_voltage_escalations << ',' << r.cycles << '\n';
+  }
+}
+
+void write_ledger_json(std::ostream& out,
+                       const std::vector<RunRecord>& records) {
+  const CampaignSummary s = summarize_records(records);
+  out << "{\n  \"build\": " << telemetry::build_info_json()
+      << ",\n  \"summary\": {\"runs\": " << s.runs
+      << ", \"clean\": " << s.clean << ", \"corrected\": " << s.corrected
+      << ", \"detected_uncorrectable\": " << s.detected_uncorrectable
+      << ", \"silent_data_corruption\": " << s.silent_data_corruption
+      << ", \"system_failure\": " << s.system_failure << "},\n  \"runs\": [";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const RunRecord& r = records[i];
+    out << (i == 0 ? "\n" : ",\n")
+        << "    {\"scenario\": \"" << escape_json(r.scenario)
+        << "\", \"scheme\": \"" << escape_json(r.scheme)
+        << "\", \"vdd\": " << r.vdd << ", \"seed\": " << r.seed
+        << ", \"outcome\": \"" << to_string(r.outcome) << "\", \"snr_db\": ";
+    // JSON has no nan/inf literal; a fully-destroyed output (zero or
+    // NaN-adjacent SNR) must not render the whole ledger unparseable.
+    if (std::isfinite(r.snr_db)) {
+      out << r.snr_db;
+    } else {
+      out << "null";
+    }
+    out
+        << ", \"corrected_words\": " << r.corrected_words
+        << ", \"uncorrectable_words\": " << r.uncorrectable_words
+        << ", \"injected_flips\": " << r.injected_flips
+        << ", \"stuck_bits\": " << r.stuck_bits
+        << ", \"scenario_events_fired\": " << r.scenario_events_fired
+        << ", \"ocean_restores\": " << r.ocean_restores
+        << ", \"ocean_voltage_escalations\": " << r.ocean_voltage_escalations
+        << ", \"cycles\": " << r.cycles << "}";
+  }
+  out << "\n  ]\n}\n";
+}
+
+}  // namespace ntc::faultsim

@@ -1,0 +1,132 @@
+// Append-only binary ledger segments with checkpointed, exact resume.
+//
+// One segment file per shard.  Layout:
+//
+//   header   magic "NTCLDGR1", version, header length, plan
+//            fingerprint, shard identity (id / record_base /
+//            seed_begin / trial_count), campaign total_records, the
+//            build_info JSON string, CRC-32C over all of it
+//   frames   CRC-framed records (common/framing.hpp), one per event:
+//              Trial       — trial offset + the full RunRecord
+//              ShardCommit — shard completed; always the last frame
+//
+// Trials are appended strictly in offset order by the single worker
+// that owns the shard, so the durable state of a segment is always a
+// prefix: scan_segment() walks frames until the first torn/corrupt
+// byte, and `trials_durable` is exactly the trial the shard resumes
+// from.  A process killed mid-write (kill -9 included) leaves at most
+// one torn frame; LedgerWriter::resume() truncates the file back to
+// the valid prefix before appending continues.  The commit frame is
+// the checkpoint: its presence means the shard never re-runs.
+//
+// merge_segments() reduces any set of segments — any shard count, any
+// completion order, any interleaving of runs that produced them — to
+// the single-process record order via each trial's record_base +
+// offset, which is what keeps the merged CSV/JSON byte-identical to
+// CampaignRunner's in-process exports.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "faultsim/campaign.hpp"
+#include "faultsim/shard.hpp"
+
+namespace ntc {
+class ByteWriter;
+class ByteReader;
+}  // namespace ntc
+
+namespace ntc::faultsim {
+
+/// Serialize/deserialize one RunRecord payload body (shared by the
+/// writer, the scanner and tests; doubles travel as bit patterns so
+/// round-trips are bit-exact).  Deserialization reports malformed
+/// input through the reader's ok() flag.
+void serialize_run_record(ByteWriter& out, const RunRecord& record);
+RunRecord deserialize_run_record(ByteReader& in);
+
+/// What a segment file durably contains.  Never throws: every flavour
+/// of damage (missing file, foreign header, torn tail) degrades to a
+/// shorter valid prefix plus a diagnostic.
+struct SegmentScan {
+  bool exists = false;
+  bool header_ok = false;   ///< magic/version/CRC of the header check out
+  bool completed = false;   ///< commit frame present
+  std::uint32_t trials_durable = 0;
+  std::uint64_t valid_bytes = 0;  ///< resume append point
+  std::uint64_t torn_bytes = 0;   ///< bytes dropped past the valid prefix
+  // Header identity, valid when header_ok:
+  std::uint64_t fingerprint = 0;
+  std::uint64_t shard_id = 0;
+  std::uint64_t record_base = 0;
+  std::uint64_t seed_begin = 0;
+  std::uint32_t trial_count = 0;
+  std::uint64_t total_records = 0;
+  std::vector<RunRecord> records;  ///< filled when with_records
+  std::string note;                ///< human-readable damage diagnostic
+};
+
+SegmentScan scan_segment(const std::string& path, bool with_records);
+
+/// Appends trial and commit frames to one shard's segment.  All writes
+/// go straight to the file descriptor (O_APPEND); commit() fsyncs, and
+/// fsync_each_record extends that durability to every trial.
+class LedgerWriter {
+ public:
+  /// Create/truncate `path` and write a fresh header for `shard`.
+  LedgerWriter(const std::string& path, const ShardPlan& plan,
+               const Shard& shard, bool fsync_each_record);
+  /// Resume an existing segment: truncate to `valid_bytes` (dropping
+  /// any torn tail) and append from there.  The caller has already
+  /// validated the header via scan_segment().
+  LedgerWriter(const std::string& path, std::uint64_t valid_bytes,
+               bool fsync_each_record);
+  ~LedgerWriter();
+  LedgerWriter(const LedgerWriter&) = delete;
+  LedgerWriter& operator=(const LedgerWriter&) = delete;
+
+  bool ok() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+  void append_trial(std::uint32_t offset, const RunRecord& record);
+  /// Checkpoint: the shard is complete and durable.
+  void commit(std::uint32_t trial_count);
+
+ private:
+  void append_frame_bytes(const std::vector<std::uint8_t>& payload);
+  std::string path_;
+  int fd_ = -1;
+  bool fsync_each_record_ = false;
+};
+
+/// Merged view of a set of segments.
+struct MergedLedger {
+  std::vector<RunRecord> records;   ///< dense, single-process order
+  std::vector<bool> present;        ///< per record index
+  std::uint64_t total_records = 0;  ///< from the segment headers
+  std::uint64_t fingerprint = 0;
+  bool complete = false;  ///< every record index present
+  std::uint64_t duplicate_records = 0;  ///< re-delivered identical trials
+  std::vector<std::uint64_t> incomplete_shards;  ///< no commit frame
+  std::vector<std::string> notes;  ///< damage / mismatch diagnostics
+};
+
+/// Reduce segments to record order.  Segments with unreadable or
+/// foreign headers are skipped with a note; torn tails are dropped as
+/// scan_segment does; duplicate deliveries of one record index (a
+/// retried shard re-ran a trial another segment already holds) are
+/// tolerated because trials are deterministic.  Throws nothing.
+MergedLedger merge_segments(const std::vector<std::string>& paths);
+
+/// The canonical text exports, shared verbatim by CampaignRunner and
+/// the ledger_merge tool — the byte-identity of merged and in-process
+/// ledgers rests on there being exactly one formatter.
+void write_ledger_csv(std::ostream& out, const std::vector<RunRecord>& records);
+void write_ledger_json(std::ostream& out,
+                       const std::vector<RunRecord>& records);
+CampaignSummary summarize_records(const std::vector<RunRecord>& records);
+
+}  // namespace ntc::faultsim

@@ -1,0 +1,190 @@
+#include "faultsim/service.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+
+#include "common/assert.hpp"
+#include "faultsim/ledger.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace ntc::faultsim {
+
+namespace {
+
+/// Does this segment's header describe exactly this shard of exactly
+/// this plan?  Anything else (foreign grid, different chunking, stale
+/// layout) must not be resumed into — the shard restarts from zero.
+bool matches_plan(const SegmentScan& scan, const ShardPlan& plan,
+                  const Shard& shard) {
+  return scan.header_ok && scan.fingerprint == plan.fingerprint &&
+         scan.shard_id == shard.id && scan.record_base == shard.record_base &&
+         scan.seed_begin == shard.seed_begin &&
+         scan.trial_count == shard.trial_count &&
+         scan.total_records == plan.total_records;
+}
+
+}  // namespace
+
+CampaignService::CampaignService(CampaignConfig campaign,
+                                 ServiceConfig service)
+    : runner_(std::move(campaign)), service_(std::move(service)) {
+  NTC_REQUIRE(!service_.ledger_dir.empty());
+  NTC_REQUIRE(service_.max_attempts >= 1);
+  // The runner normalizes the config (implicit background scenario);
+  // plan from its copy so indices and fingerprint match execution.
+  plan_ = runner_.shard_plan(service_.seeds_per_shard);
+}
+
+std::vector<std::string> CampaignService::segment_paths() const {
+  std::vector<std::string> paths;
+  paths.reserve(plan_.shards.size());
+  for (const Shard& shard : plan_.shards)
+    paths.push_back(service_.ledger_dir + "/" + shard_segment_name(shard.id));
+  return paths;
+}
+
+ServiceReport CampaignService::run() { return serve(nullptr); }
+
+ServiceReport CampaignService::run_shards(
+    const std::vector<std::uint64_t>& ids) {
+  return serve(&ids);
+}
+
+ServiceReport CampaignService::serve(
+    const std::vector<std::uint64_t>* only_ids) {
+  runner_.prepare();
+  std::error_code ec;
+  std::filesystem::create_directories(service_.ledger_dir, ec);
+  NTC_REQUIRE(!ec && "cannot create ledger directory");
+
+  ServiceReport report;
+  report.shards.resize(plan_.shards.size());
+  report.shards_total = plan_.shards.size();
+  const std::vector<std::string> paths = segment_paths();
+
+  // Serial pre-scan: committed shards are final (their checkpoint frame
+  // is the proof) and are never dispatched again.
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < plan_.shards.size(); ++i) {
+    ShardReport& r = report.shards[i];
+    r.shard_id = plan_.shards[i].id;
+    const SegmentScan scan = scan_segment(paths[i], /*with_records=*/false);
+    if (matches_plan(scan, plan_, plan_.shards[i]) && scan.completed) {
+      r.completed = true;
+      r.trials_durable = scan.trials_durable;
+      r.trials_resumed = scan.trials_durable;
+      continue;
+    }
+    const bool selected =
+        only_ids == nullptr ||
+        std::find(only_ids->begin(), only_ids->end(), plan_.shards[i].id) !=
+            only_ids->end();
+    if (selected) pending.push_back(i);
+  }
+
+  // One in-flight shard per worker; each shard owns its segment file
+  // and its report slot, so the only shared state is the hook counter.
+  std::atomic<std::uint64_t> appended_total{0};
+  runner_.executor().parallel_for(
+      pending.size(), [&](std::size_t i, unsigned worker) {
+        serve_shard_impl(pending[i], worker, report.shards[pending[i]],
+                         appended_total);
+      });
+
+  for (const ShardReport& r : report.shards) {
+    if (r.completed) ++report.shards_completed;
+    if (r.quarantined) ++report.shards_quarantined;
+    if (r.attempts > 0 && r.trials_resumed > 0) ++report.shards_resumed;
+    report.trials_skipped += r.trials_resumed;
+    report.trials_run += r.trials_durable - r.trials_resumed;
+    report.retries += r.attempts > 1 ? r.attempts - 1 : 0;
+    report.torn_bytes_truncated += r.torn_bytes;
+  }
+  return report;
+}
+
+void CampaignService::serve_shard_impl(std::size_t shard_index,
+                                       unsigned worker, ShardReport& report,
+                                       std::atomic<std::uint64_t>& appended) {
+  const Shard& shard = plan_.shards[shard_index];
+  const std::string path =
+      service_.ledger_dir + "/" + shard_segment_name(shard.id);
+  NTC_TELEM_SPAN(span, telemetry::EventKind::CampaignShard, "campaign_shard");
+
+  for (std::uint32_t attempt = 0; attempt < service_.max_attempts; ++attempt) {
+    ++report.attempts;
+    try {
+      if (service_.attempt_hook) service_.attempt_hook(shard, attempt);
+
+      // (Re)scan every attempt: a failed attempt's durable prefix is
+      // progress the retry must not redo.
+      const SegmentScan scan = scan_segment(path, /*with_records=*/false);
+      std::uint32_t start = 0;
+      std::unique_ptr<LedgerWriter> writer;
+      if (scan.exists && matches_plan(scan, plan_, shard)) {
+        if (scan.completed) {  // another process finished it meanwhile
+          report.completed = true;
+          report.trials_durable = scan.trials_durable;
+          return;
+        }
+        report.torn_bytes += scan.torn_bytes;
+        if (scan.torn_bytes > 0)
+          NTC_TELEM_COUNT("ntc_ledger_torn_bytes_total", scan.torn_bytes);
+        start = scan.trials_durable;
+        writer = std::make_unique<LedgerWriter>(path, scan.valid_bytes,
+                                                service_.fsync_each_record);
+      } else {
+        // Fresh shard — or a foreign/corrupt segment, rewritten whole.
+        writer = std::make_unique<LedgerWriter>(path, plan_, shard,
+                                                service_.fsync_each_record);
+      }
+      if (!writer->ok())
+        throw std::runtime_error("cannot open ledger segment " + path);
+      if (attempt == 0) report.trials_resumed = start;
+      NTC_TELEM_COUNT("ntc_campaign_trials_resumed_total", start);
+
+      const auto deadline = std::chrono::steady_clock::now() +
+                            service_.shard_timeout;
+      for (std::uint32_t j = start; j < shard.trial_count; ++j) {
+        const RunRecord record = runner_.execute_shard_trial(shard, j, worker);
+        writer->append_trial(j, record);
+        report.trials_durable = j + 1;
+        if (service_.record_hook)
+          service_.record_hook(shard, appended.fetch_add(1) + 1, path);
+        // Checked between trials only — a trial is never cut mid-run,
+        // and a budget overrun after the last trial still commits.
+        if (service_.shard_timeout.count() > 0 &&
+            j + 1 < shard.trial_count &&
+            std::chrono::steady_clock::now() >= deadline)
+          throw std::runtime_error("shard wall-clock budget exceeded");
+      }
+      writer->commit(shard.trial_count);
+      report.completed = true;
+      span.set_args(shard.id, report.trials_durable - report.trials_resumed);
+      NTC_TELEM_COUNT("ntc_campaign_shards_completed_total", 1);
+      return;
+    } catch (const std::exception& e) {
+      report.last_error = e.what();
+    } catch (...) {
+      report.last_error = "unknown error";
+    }
+    if (attempt + 1 < service_.max_attempts) {
+      NTC_TELEM_COUNT("ntc_campaign_shard_retries_total", 1);
+      const unsigned shift = attempt < 20 ? attempt : 20;
+      std::this_thread::sleep_for(service_.retry_backoff * (1u << shift));
+    }
+  }
+  // Retry budget exhausted: quarantine and report — graceful
+  // degradation, never abort the run.  The durable prefix stays on
+  // disk; a later run (or a raised budget) picks up exactly there.
+  report.quarantined = true;
+  span.set_args(shard.id, report.trials_durable - report.trials_resumed);
+  NTC_TELEM_COUNT("ntc_campaign_shards_quarantined_total", 1);
+}
+
+}  // namespace ntc::faultsim

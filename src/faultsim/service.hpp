@@ -1,0 +1,122 @@
+// Crash-safe campaign service: resumable sharded execution with
+// shard-level fault tolerance.
+//
+// CampaignService turns a campaign grid into first-class resumable
+// work.  The grid is split by make_shard_plan() into deterministic
+// shards; each shard streams its trials to an append-only CRC-framed
+// segment in `ledger_dir` (faultsim/ledger.hpp) and commits a
+// checkpoint frame on completion.  run() scans the directory first, so
+// a process killed at any point — including kill -9 mid-write, which
+// leaves a torn trailing frame the scan detects and the writer
+// truncates — resumes from the exact trial where it stopped; committed
+// shards are never re-executed.
+//
+// Shards execute on the runner's persistent Executor, one in-flight
+// shard per worker.  Failure containment is per shard: an attempt that
+// throws (a trial, the injected test hook, or the wall-clock budget)
+// is retried with exponential backoff, resuming from the trials
+// already durable, and a shard that exhausts its retry budget is
+// *quarantined* — recorded in the report with its last error, counted
+// in telemetry, and skipped — never allowed to abort the run.
+//
+// Multiple processes may serve one ledger_dir as long as each shard is
+// claimed by at most one process at a time (scripts/run_campaign.sh
+// does this with lock directories); segments are per-shard files, so
+// processes never share an append target.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "faultsim/campaign.hpp"
+#include "faultsim/shard.hpp"
+
+namespace ntc::faultsim {
+
+struct ServiceConfig {
+  /// Directory holding one segment per shard (created if absent).
+  std::string ledger_dir;
+  /// Seed-range chunk per shard; 0 = one shard per grid cell.
+  std::uint32_t seeds_per_shard = 0;
+  /// Attempts per shard before quarantine (>= 1).
+  std::uint32_t max_attempts = 3;
+  /// Sleep before retry k is backoff * 2^k (k = 0 for the first retry).
+  std::chrono::milliseconds retry_backoff{5};
+  /// Wall-clock budget per attempt, checked between trials (an attempt
+  /// never cuts a trial mid-flight); 0 = unlimited.  A timed-out
+  /// attempt keeps its durable trials, so retries make forward
+  /// progress even when the budget only admits part of a shard.
+  std::chrono::milliseconds shard_timeout{0};
+  /// fsync after every trial frame (commit frames always fsync).
+  /// Resume after kill -9 works either way — the page cache survives
+  /// process death — this extends durability to power loss.
+  bool fsync_each_record = false;
+
+  // --- test / driver seams -----------------------------------------
+  /// Invoked at the start of every attempt; throwing makes the attempt
+  /// fail (deterministic transient-fault injection for tests).
+  std::function<void(const Shard&, std::uint32_t attempt)> attempt_hook;
+  /// Invoked after every durable trial frame with the running count of
+  /// trials this process appended and the segment path (the kill
+  /// harness uses it to die mid-shard at an exact record).
+  std::function<void(const Shard&, std::uint64_t appended,
+                     const std::string& segment_path)>
+      record_hook;
+};
+
+struct ShardReport {
+  std::uint64_t shard_id = 0;
+  std::uint32_t attempts = 0;       ///< attempts made by this run
+  std::uint32_t trials_durable = 0; ///< committed to the segment
+  std::uint32_t trials_resumed = 0; ///< durable before this run touched it
+  bool completed = false;
+  bool quarantined = false;
+  std::uint64_t torn_bytes = 0;  ///< damaged tail bytes truncated on open
+  std::string last_error;
+};
+
+struct ServiceReport {
+  std::vector<ShardReport> shards;  ///< plan order, every shard
+  std::uint64_t shards_total = 0;
+  std::uint64_t shards_completed = 0;    ///< committed (this run or before)
+  std::uint64_t shards_resumed = 0;      ///< continued from durable trials
+  std::uint64_t shards_quarantined = 0;
+  std::uint64_t trials_run = 0;          ///< executed by this run
+  std::uint64_t trials_skipped = 0;      ///< durable before this run
+  std::uint64_t retries = 0;
+  std::uint64_t torn_bytes_truncated = 0;
+  bool all_completed() const {
+    return shards_completed == shards_total;
+  }
+};
+
+class CampaignService {
+ public:
+  CampaignService(CampaignConfig campaign, ServiceConfig service);
+
+  const ShardPlan& plan() const { return plan_; }
+  /// Segment paths in plan order (merge_segments input).
+  std::vector<std::string> segment_paths() const;
+
+  /// Serve every shard not yet checkpointed in ledger_dir.
+  ServiceReport run();
+  /// Serve only the given shard ids (a work-queue process's claim);
+  /// unknown ids are ignored.  Reports still cover the whole plan.
+  ServiceReport run_shards(const std::vector<std::uint64_t>& ids);
+
+ private:
+  ServiceReport serve(const std::vector<std::uint64_t>* only_ids);
+  void serve_shard_impl(std::size_t shard_index, unsigned worker,
+                        ShardReport& report,
+                        std::atomic<std::uint64_t>& appended);
+
+  CampaignRunner runner_;
+  ServiceConfig service_;
+  ShardPlan plan_;
+};
+
+}  // namespace ntc::faultsim

@@ -1,0 +1,141 @@
+#include "faultsim/shard.hpp"
+
+#include <cstdio>
+
+#include "common/assert.hpp"
+#include "faultsim/campaign.hpp"
+
+namespace ntc::faultsim {
+
+namespace {
+
+/// Incremental FNV-1a (64-bit).  Fed field-by-field below; every field
+/// is hashed with its width so adjacent values cannot alias.
+struct Fnv {
+  std::uint64_t state = 0xcbf29ce484222325ull;
+  void mix_byte(std::uint8_t b) {
+    state ^= b;
+    state *= 0x100000001b3ull;
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) mix_byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void f64(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof v);
+    __builtin_memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  void str(const std::string& s) {
+    u64(s.size());
+    for (char c : s) mix_byte(static_cast<std::uint8_t>(c));
+  }
+};
+
+void hash_events(Fnv& h, const std::vector<FaultEvent>& events) {
+  h.u64(events.size());
+  for (const FaultEvent& e : events) {
+    h.u64(static_cast<std::uint64_t>(e.kind));
+    h.u64(e.word);
+    h.u64(e.span);
+    h.u64(e.bit_mask);
+    h.u64(e.stuck_value);
+    h.u64(e.arm_at_access);
+    h.u64(e.disarm_at_access);
+    h.f64(e.heal_at_v);
+    h.u64(e.once ? 1 : 0);
+  }
+}
+
+}  // namespace
+
+std::uint64_t config_fingerprint(const CampaignConfig& config) {
+  Fnv h;
+  h.u64(config.voltages.size());
+  for (Volt v : config.voltages) h.f64(v.value);
+  h.u64(config.schemes.size());
+  for (mitigation::SchemeKind s : config.schemes)
+    h.u64(static_cast<std::uint64_t>(s));
+  // An empty scenario list runs the implicit background scenario; hash
+  // both spellings identically so a fingerprint taken before
+  // CampaignRunner normalizes the config still matches one taken after.
+  if (config.scenarios.empty()) {
+    h.u64(1);
+    h.str("background");
+    hash_events(h, {});
+    hash_events(h, {});
+    hash_events(h, {});
+  } else {
+    h.u64(config.scenarios.size());
+    for (const Scenario& s : config.scenarios) {
+      h.str(s.name);
+      hash_events(h, s.spm_events);
+      hash_events(h, s.imem_events);
+      hash_events(h, s.pm_events);
+    }
+  }
+  h.u64(config.base_seed);
+  h.u64(config.seeds_per_cell);
+  h.u64(config.fft_points);
+  h.u64(static_cast<std::uint64_t>(config.style));
+  h.f64(config.clock.value);
+  h.u64(config.stochastic_background ? 1 : 0);
+  h.u64(config.ocean.max_restore_attempts);
+  h.u64(config.ocean.crc_cycles_per_word);
+  h.f64(config.ocean.fetches_per_cycle);
+  h.u64(config.ocean.max_voltage_escalations);
+  h.f64(config.ocean.escalation_step.value);
+  h.f64(config.ocean.escalation_vmax.value);
+  return h.state;
+}
+
+ShardPlan make_shard_plan(const CampaignConfig& config,
+                          std::uint32_t seeds_per_shard) {
+  NTC_REQUIRE(config.seeds_per_cell >= 1);
+  const std::uint32_t spc = config.seeds_per_cell;
+  const std::uint32_t sps =
+      seeds_per_shard == 0 ? spc : std::min(seeds_per_shard, spc);
+  const std::uint32_t chunks_per_cell = (spc + sps - 1) / sps;
+  const std::size_t n_scenarios =
+      config.scenarios.empty() ? 1 : config.scenarios.size();
+
+  ShardPlan plan;
+  plan.seeds_per_shard = sps;
+  {
+    Fnv h;
+    h.u64(config_fingerprint(config));
+    h.u64(sps);
+    plan.fingerprint = h.state;
+  }
+
+  std::uint64_t cell = 0;
+  for (std::uint32_t scen = 0; scen < n_scenarios; ++scen) {
+    for (std::uint32_t scheme = 0; scheme < config.schemes.size(); ++scheme) {
+      for (std::uint32_t volt = 0; volt < config.voltages.size(); ++volt) {
+        for (std::uint32_t chunk = 0; chunk < chunks_per_cell; ++chunk) {
+          Shard shard;
+          shard.id = cell * chunks_per_cell + chunk;
+          shard.scenario_index = scen;
+          shard.scheme_index = scheme;
+          shard.voltage_index = volt;
+          shard.seed_begin = config.base_seed + chunk * sps;
+          shard.trial_count = std::min(sps, spc - chunk * sps);
+          shard.record_base = cell * spc + chunk * sps;
+          plan.shards.push_back(shard);
+        }
+        ++cell;
+      }
+    }
+  }
+  plan.total_records = cell * spc;
+  return plan;
+}
+
+std::string shard_segment_name(std::uint64_t shard_id) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "shard-%06llu.ntcl",
+                static_cast<unsigned long long>(shard_id));
+  return buf;
+}
+
+}  // namespace ntc::faultsim

@@ -1,0 +1,69 @@
+// Deterministic shard decomposition of a campaign grid.
+//
+// A campaign grid is the cross product scenario x scheme x voltage x
+// seed, enumerated in exactly that nesting order (CampaignRunner::run
+// has always ledgered it that way).  A shard is a contiguous seed range
+// of one grid cell: the unit of checkpointing, retry and cross-process
+// distribution.  Everything about a shard is a pure function of the
+// campaign config and the seeds-per-shard chunking —
+//
+//   id           — dense index in enumeration order, stable across
+//                  processes, restarts and shard-subset runs;
+//   seed_begin   — absolute first Monte-Carlo seed of the range;
+//   record_base  — index of the shard's first trial in the merged
+//                  ledger, so segments merge back into the exact
+//                  single-process record order no matter which worker
+//                  or process ran which shard, in what order;
+//
+// — which is what makes exact resume possible: a killed run re-derives
+// the identical plan and continues from the trial its segments prove
+// durable.  The fingerprint ties segments to the plan that produced
+// them; a segment whose header fingerprint disagrees was produced by a
+// different grid (or chunking) and must not be resumed into.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ntc::faultsim {
+
+struct CampaignConfig;
+
+struct Shard {
+  std::uint64_t id = 0;
+  std::uint32_t scenario_index = 0;
+  std::uint32_t scheme_index = 0;
+  std::uint32_t voltage_index = 0;
+  std::uint64_t seed_begin = 0;    ///< absolute seed of trial 0
+  std::uint32_t trial_count = 0;   ///< seeds covered by this shard
+  std::uint64_t record_base = 0;   ///< merged-ledger index of trial 0
+};
+
+struct ShardPlan {
+  std::vector<Shard> shards;
+  std::uint64_t total_records = 0;
+  std::uint32_t seeds_per_shard = 0;
+  /// Hash of the grid definition plus the chunking; segment headers
+  /// carry it so resume and merge reject foreign segments.
+  std::uint64_t fingerprint = 0;
+};
+
+/// Build the plan for `config`.  `seeds_per_shard` = 0 uses
+/// config.seeds_per_cell (one shard per grid cell).  Empty
+/// config.scenarios counts as the single implicit "background" scenario
+/// CampaignRunner substitutes.
+ShardPlan make_shard_plan(const CampaignConfig& config,
+                          std::uint32_t seeds_per_shard = 0);
+
+/// FNV-1a hash over every result-affecting field of the config
+/// (voltages, schemes, scenario scripts, seeds, workload size, memory
+/// style, clock, OCEAN knobs).  Deliberately excludes `threads`: the
+/// ledger is thread-count invariant, so segments written at different
+/// worker counts interoperate.
+std::uint64_t config_fingerprint(const CampaignConfig& config);
+
+/// Canonical segment file name for a shard: "shard-000042.ntcl".
+std::string shard_segment_name(std::uint64_t shard_id);
+
+}  // namespace ntc::faultsim

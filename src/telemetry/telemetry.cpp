@@ -233,6 +233,7 @@ const char* to_string(EventKind kind) {
     case EventKind::Recovery: return "recovery";
     case EventKind::CampaignTrial: return "campaign_trial";
     case EventKind::ExecutorJob: return "executor_job";
+    case EventKind::CampaignShard: return "campaign_shard";
   }
   return "?";
 }

@@ -60,6 +60,7 @@ enum class EventKind : std::uint8_t {
   Recovery,        ///< a0 = RecoveryStage, a1 = 1 if the stage recovered
   CampaignTrial,   ///< span; a0 = seed, a1 = RunOutcome ordinal
   ExecutorJob,     ///< span; a0 = indices executed, a1 = indices stolen
+  CampaignShard,   ///< span; a0 = shard id, a1 = trials executed
 };
 
 const char* to_string(EventKind kind);

@@ -1,0 +1,105 @@
+#include "common/atomic_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace ntc {
+namespace {
+
+namespace fs = std::filesystem;
+
+class AtomicFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/ntc_atomic_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  std::string path(const std::string& name) const { return dir_ + "/" + name; }
+  static std::string slurp(const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+  }
+  std::string dir_;
+};
+
+TEST_F(AtomicFileTest, CommitPublishesExactly) {
+  const std::string target = path("out.csv");
+  AtomicFile file(target);
+  ASSERT_TRUE(file.ok());
+  EXPECT_TRUE(file.write("header\n"));
+  EXPECT_TRUE(file.write("row,1\n"));
+  EXPECT_FALSE(fs::exists(target)) << "target must not appear before commit";
+  EXPECT_TRUE(fs::exists(target + ".tmp"));
+  EXPECT_TRUE(file.commit());
+  EXPECT_EQ(slurp(target), "header\nrow,1\n");
+  EXPECT_FALSE(fs::exists(target + ".tmp"));
+}
+
+TEST_F(AtomicFileTest, CommitIsIdempotent) {
+  const std::string target = path("twice.txt");
+  AtomicFile file(target);
+  file.write("payload");
+  EXPECT_TRUE(file.commit());
+  EXPECT_TRUE(file.commit());
+  EXPECT_EQ(slurp(target), "payload");
+}
+
+TEST_F(AtomicFileTest, DestructorCommits) {
+  const std::string target = path("scoped.txt");
+  {
+    AtomicFile file(target);
+    file.write("on scope exit");
+  }
+  EXPECT_EQ(slurp(target), "on scope exit");
+}
+
+TEST_F(AtomicFileTest, DiscardLeavesOldContent) {
+  const std::string target = path("keep.json");
+  ASSERT_TRUE(atomic_write_file(target, "{\"old\": true}"));
+  {
+    AtomicFile file(target);
+    file.write("{\"incomplete\":");
+    file.discard();
+  }
+  EXPECT_EQ(slurp(target), "{\"old\": true}");
+  EXPECT_FALSE(fs::exists(target + ".tmp"));
+}
+
+TEST_F(AtomicFileTest, ReplaceIsAllOrNothing) {
+  const std::string target = path("ledger.csv");
+  ASSERT_TRUE(atomic_write_file(target, "version,1\n"));
+  ASSERT_TRUE(atomic_write_file(target, "version,2\nmore,rows\n"));
+  EXPECT_EQ(slurp(target), "version,2\nmore,rows\n");
+}
+
+TEST_F(AtomicFileTest, UnwritableDirectoryFails) {
+  AtomicFile file(dir_ + "/no/such/subdir/out.txt");
+  EXPECT_FALSE(file.ok());
+  EXPECT_FALSE(file.write("x"));
+  EXPECT_FALSE(file.commit());
+  EXPECT_FALSE(atomic_write_file(dir_ + "/no/such/subdir/out.txt", "x"));
+}
+
+TEST_F(AtomicFileTest, HandlesBinaryAndEmptyContent) {
+  const std::string target = path("bin.dat");
+  std::string blob("\0\x01\xff payload \n\r\0", 14);
+  ASSERT_TRUE(atomic_write_file(target, blob));
+  EXPECT_EQ(slurp(target), blob);
+  ASSERT_TRUE(atomic_write_file(target, ""));
+  EXPECT_EQ(slurp(target), "");
+}
+
+}  // namespace
+}  // namespace ntc

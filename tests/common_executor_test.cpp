@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cstdint>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 namespace ntc {
@@ -75,6 +76,48 @@ TEST(ExecutorTest, ResultsIndependentOfWorkerCount) {
   const auto serial = run(1);
   EXPECT_EQ(run(2), serial);
   EXPECT_EQ(run(7), serial);
+}
+
+TEST(ExecutorTest, ThrowingJobPropagatesAtJoin) {
+  // A trial that throws must not terminate() (worker thread) or
+  // deadlock (lost completion): the first exception is rethrown on the
+  // caller's thread after every index has run.
+  for (unsigned threads : {1u, 4u}) {
+    Executor executor(threads);
+    constexpr std::size_t kN = 200;
+    std::vector<std::atomic<int>> hits(kN);
+    EXPECT_THROW(
+        executor.parallel_for(kN,
+                              [&](std::size_t i, unsigned) {
+                                hits[i].fetch_add(1,
+                                                  std::memory_order_relaxed);
+                                if (i == 97)
+                                  throw std::runtime_error("trial 97 failed");
+                              }),
+        std::runtime_error)
+        << "threads " << threads;
+    for (std::size_t i = 0; i < kN; ++i)
+      EXPECT_EQ(hits[i].load(), 1)
+          << "index " << i << " must still run exactly once @" << threads;
+  }
+}
+
+TEST(ExecutorTest, ExceptionMessageAndReusabilitySurvive) {
+  Executor executor(3);
+  try {
+    executor.parallel_for(8, [&](std::size_t i, unsigned) {
+      if (i == 5) throw std::runtime_error("shard 5 exploded");
+    });
+    FAIL() << "expected the job's exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "shard 5 exploded");
+  }
+  // The executor must be fully usable after a throwing batch.
+  std::atomic<int> count{0};
+  executor.parallel_for(100, [&](std::size_t, unsigned) {
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 100);
 }
 
 TEST(ExecutorTest, UnbalancedWorkGetsStolen) {

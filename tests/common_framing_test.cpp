@@ -1,0 +1,137 @@
+#include "common/framing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ntc {
+namespace {
+
+std::span<const std::uint8_t> as_bytes(const std::string& s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 check value for the Castagnoli polynomial.
+  EXPECT_EQ(crc32c(as_bytes("123456789")), 0xE3069283u);
+  EXPECT_EQ(crc32c({}), 0u);
+  // 32 zero bytes — another published iSCSI test vector.
+  const std::vector<std::uint8_t> zeros(32, 0);
+  EXPECT_EQ(crc32c(zeros), 0x8A9136AAu);
+}
+
+TEST(Crc32cTest, SensitiveToEveryByte) {
+  std::vector<std::uint8_t> data(64);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::uint8_t>(i * 7 + 1);
+  const std::uint32_t reference = crc32c(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] ^= 0x40;
+    EXPECT_NE(crc32c(data), reference) << "flip at byte " << i;
+    data[i] ^= 0x40;
+  }
+  EXPECT_EQ(crc32c(data), reference);
+}
+
+TEST(ByteWriterReaderTest, RoundTripsAllTypes) {
+  ByteWriter writer;
+  writer.put_u8(0xAB);
+  writer.put_u16(0xBEEF);
+  writer.put_u32(0xDEADBEEFu);
+  writer.put_u64(0x0123456789ABCDEFull);
+  writer.put_f64(-273.15);
+  writer.put_string("near-threshold \"ledger\"\n");
+  const std::vector<std::uint8_t> bytes = writer.take();
+
+  ByteReader reader(bytes);
+  EXPECT_EQ(reader.get_u8(), 0xAB);
+  EXPECT_EQ(reader.get_u16(), 0xBEEF);
+  EXPECT_EQ(reader.get_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.get_u64(), 0x0123456789ABCDEFull);
+  EXPECT_DOUBLE_EQ(reader.get_f64(), -273.15);
+  EXPECT_EQ(reader.get_string(), "near-threshold \"ledger\"\n");
+  EXPECT_TRUE(reader.ok());
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(ByteWriterReaderTest, PatchU32RewritesInPlace) {
+  ByteWriter writer;
+  const std::size_t slot = writer.size();
+  writer.put_u32(0);
+  writer.put_string("payload");
+  writer.patch_u32(slot, 0xCAFEF00Du);
+  ByteReader reader(writer.bytes());
+  EXPECT_EQ(reader.get_u32(), 0xCAFEF00Du);
+  EXPECT_EQ(reader.get_string(), "payload");
+}
+
+TEST(ByteReaderTest, TruncationFlagsNotOk) {
+  ByteWriter writer;
+  writer.put_u64(42);
+  std::vector<std::uint8_t> bytes = writer.take();
+  bytes.resize(5);  // cut mid-integer
+  ByteReader reader(bytes);
+  EXPECT_EQ(reader.get_u64(), 0u);
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(FrameTest, RoundTripsMultipleFrames) {
+  std::vector<std::uint8_t> buffer;
+  const std::vector<std::uint8_t> a{1, 2, 3};
+  const std::vector<std::uint8_t> b{};
+  const std::vector<std::uint8_t> c(300, 0x5A);
+  append_frame(buffer, a);
+  append_frame(buffer, b);
+  append_frame(buffer, c);
+
+  std::size_t offset = 0;
+  std::span<const std::uint8_t> payload;
+  ASSERT_TRUE(next_frame(buffer, offset, payload));
+  EXPECT_EQ(std::vector<std::uint8_t>(payload.begin(), payload.end()), a);
+  ASSERT_TRUE(next_frame(buffer, offset, payload));
+  EXPECT_TRUE(payload.empty());
+  ASSERT_TRUE(next_frame(buffer, offset, payload));
+  EXPECT_EQ(std::vector<std::uint8_t>(payload.begin(), payload.end()), c);
+  EXPECT_FALSE(next_frame(buffer, offset, payload));
+  EXPECT_EQ(offset, buffer.size());
+}
+
+TEST(FrameTest, TornTailStopsWithoutAdvancing) {
+  std::vector<std::uint8_t> buffer;
+  append_frame(buffer, std::vector<std::uint8_t>{9, 8, 7});
+  const std::size_t good_end = buffer.size();
+  append_frame(buffer, std::vector<std::uint8_t>(50, 0xEE));
+  buffer.resize(good_end + 12);  // second frame torn mid-payload
+
+  std::size_t offset = 0;
+  std::span<const std::uint8_t> payload;
+  ASSERT_TRUE(next_frame(buffer, offset, payload));
+  EXPECT_EQ(offset, good_end);
+  EXPECT_FALSE(next_frame(buffer, offset, payload));
+  EXPECT_EQ(offset, good_end) << "torn frame must not consume bytes";
+}
+
+TEST(FrameTest, CorruptPayloadFailsCrc) {
+  std::vector<std::uint8_t> buffer;
+  append_frame(buffer, std::vector<std::uint8_t>{10, 20, 30, 40});
+  buffer[buffer.size() - 2] ^= 0x01;  // flip one payload bit
+  std::size_t offset = 0;
+  std::span<const std::uint8_t> payload;
+  EXPECT_FALSE(next_frame(buffer, offset, payload));
+  EXPECT_EQ(offset, 0u);
+}
+
+TEST(FrameTest, OversizeLengthRejected) {
+  // A header claiming an absurd payload length (e.g. garbage from a
+  // crash) must read as torn, not trigger a huge allocation.
+  std::vector<std::uint8_t> buffer(8, 0xFF);
+  std::size_t offset = 0;
+  std::span<const std::uint8_t> payload;
+  EXPECT_FALSE(next_frame(buffer, offset, payload));
+  EXPECT_EQ(offset, 0u);
+}
+
+}  // namespace
+}  // namespace ntc

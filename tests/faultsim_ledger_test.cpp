@@ -1,0 +1,279 @@
+#include "faultsim/ledger.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/framing.hpp"
+#include "faultsim/shard.hpp"
+
+namespace ntc::faultsim {
+namespace {
+
+namespace fs = std::filesystem;
+
+RunRecord sample_record(std::uint64_t seed) {
+  RunRecord record;
+  record.scenario = "burst \"quoted\", with comma\nand newline";
+  record.scheme = "OCEAN";
+  record.vdd = 0.31;
+  record.seed = seed;
+  record.outcome = RunOutcome::Corrected;
+  record.snr_db = 42.125;
+  record.corrected_words = 3;
+  record.uncorrectable_words = 1;
+  record.injected_flips = 7;
+  record.stuck_bits = 2;
+  record.scenario_events_fired = 4;
+  record.ocean_restores = 1;
+  record.ocean_voltage_escalations = 0;
+  record.cycles = 123456789;
+  return record;
+}
+
+ShardPlan tiny_plan(std::uint32_t trials) {
+  ShardPlan plan;
+  plan.total_records = trials * 2;
+  plan.seeds_per_shard = trials;
+  plan.fingerprint = 0xFEEDFACECAFEF00Dull;
+  Shard first;
+  first.id = 0;
+  first.seed_begin = 1;
+  first.trial_count = trials;
+  first.record_base = 0;
+  Shard second = first;
+  second.id = 1;
+  second.voltage_index = 1;
+  second.record_base = trials;
+  plan.shards = {first, second};
+  return plan;
+}
+
+class LedgerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/ntc_ledger_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  std::string seg(std::uint64_t id) const {
+    return dir_ + "/" + shard_segment_name(id);
+  }
+  std::string dir_;
+};
+
+TEST(RunRecordSerdeTest, RoundTripsBitExactly) {
+  const RunRecord original = sample_record(99);
+  ByteWriter writer;
+  serialize_run_record(writer, original);
+  ByteReader reader(writer.bytes());
+  const RunRecord copy = deserialize_run_record(reader);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(copy.scenario, original.scenario);
+  EXPECT_EQ(copy.scheme, original.scheme);
+  EXPECT_DOUBLE_EQ(copy.vdd, original.vdd);
+  EXPECT_EQ(copy.seed, original.seed);
+  EXPECT_EQ(copy.outcome, original.outcome);
+  EXPECT_DOUBLE_EQ(copy.snr_db, original.snr_db);
+  EXPECT_EQ(copy.corrected_words, original.corrected_words);
+  EXPECT_EQ(copy.uncorrectable_words, original.uncorrectable_words);
+  EXPECT_EQ(copy.injected_flips, original.injected_flips);
+  EXPECT_EQ(copy.stuck_bits, original.stuck_bits);
+  EXPECT_EQ(copy.scenario_events_fired, original.scenario_events_fired);
+  EXPECT_EQ(copy.ocean_restores, original.ocean_restores);
+  EXPECT_EQ(copy.ocean_voltage_escalations,
+            original.ocean_voltage_escalations);
+  EXPECT_EQ(copy.cycles, original.cycles);
+}
+
+TEST(RunRecordSerdeTest, NanSnrSurvives) {
+  RunRecord original = sample_record(1);
+  original.snr_db = std::nan("");
+  ByteWriter writer;
+  serialize_run_record(writer, original);
+  ByteReader reader(writer.bytes());
+  const RunRecord copy = deserialize_run_record(reader);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_TRUE(std::isnan(copy.snr_db));
+}
+
+TEST_F(LedgerTest, WriteScanRoundTrip) {
+  const ShardPlan plan = tiny_plan(3);
+  {
+    LedgerWriter writer(seg(0), plan, plan.shards[0], false);
+    ASSERT_TRUE(writer.ok());
+    for (std::uint32_t i = 0; i < 3; ++i)
+      writer.append_trial(i, sample_record(plan.shards[0].seed_begin + i));
+    writer.commit(3);
+  }
+  const SegmentScan scan = scan_segment(seg(0), true);
+  EXPECT_TRUE(scan.exists);
+  EXPECT_TRUE(scan.header_ok);
+  EXPECT_TRUE(scan.completed);
+  EXPECT_EQ(scan.trials_durable, 3u);
+  EXPECT_EQ(scan.torn_bytes, 0u);
+  EXPECT_EQ(scan.fingerprint, plan.fingerprint);
+  EXPECT_EQ(scan.shard_id, 0u);
+  EXPECT_EQ(scan.record_base, 0u);
+  EXPECT_EQ(scan.seed_begin, 1u);
+  EXPECT_EQ(scan.trial_count, 3u);
+  EXPECT_EQ(scan.total_records, plan.total_records);
+  ASSERT_EQ(scan.records.size(), 3u);
+  EXPECT_EQ(scan.records[2].seed, 3u);
+}
+
+TEST_F(LedgerTest, MissingSegmentScansEmpty) {
+  const SegmentScan scan = scan_segment(seg(7), true);
+  EXPECT_FALSE(scan.exists);
+  EXPECT_FALSE(scan.header_ok);
+  EXPECT_FALSE(scan.completed);
+  EXPECT_EQ(scan.trials_durable, 0u);
+}
+
+TEST_F(LedgerTest, TornTailIsDetectedAndResumeTruncatesIt) {
+  const ShardPlan plan = tiny_plan(4);
+  {
+    LedgerWriter writer(seg(0), plan, plan.shards[0], false);
+    writer.append_trial(0, sample_record(1));
+    writer.append_trial(1, sample_record(2));
+    // No commit: the process "died" here.
+  }
+  // Simulate the torn frame a crash mid-write leaves behind: a header
+  // promising more payload than follows.
+  {
+    std::ofstream torn(seg(0), std::ios::binary | std::ios::app);
+    const char garbage[] = {64, 0, 0, 0, '\xde', '\xad', 1, 2, 3};
+    torn.write(garbage, sizeof garbage);
+  }
+  SegmentScan scan = scan_segment(seg(0), true);
+  EXPECT_TRUE(scan.header_ok);
+  EXPECT_FALSE(scan.completed);
+  EXPECT_EQ(scan.trials_durable, 2u);
+  EXPECT_EQ(scan.torn_bytes, 9u);
+  ASSERT_EQ(scan.records.size(), 2u);
+
+  // Resume: truncate the tail, append the missing trials, commit.
+  {
+    LedgerWriter writer(seg(0), scan.valid_bytes, false);
+    ASSERT_TRUE(writer.ok());
+    writer.append_trial(2, sample_record(3));
+    writer.append_trial(3, sample_record(4));
+    writer.commit(4);
+  }
+  scan = scan_segment(seg(0), true);
+  EXPECT_TRUE(scan.completed);
+  EXPECT_EQ(scan.trials_durable, 4u);
+  EXPECT_EQ(scan.torn_bytes, 0u);
+  for (std::uint32_t i = 0; i < 4; ++i)
+    EXPECT_EQ(scan.records[i].seed, i + 1);
+}
+
+TEST_F(LedgerTest, CorruptHeaderIsRejected) {
+  const ShardPlan plan = tiny_plan(2);
+  {
+    LedgerWriter writer(seg(0), plan, plan.shards[0], false);
+    writer.append_trial(0, sample_record(1));
+    writer.commit(1);
+  }
+  // Flip a byte inside the header region.
+  {
+    std::fstream file(seg(0),
+                      std::ios::binary | std::ios::in | std::ios::out);
+    file.seekp(20);
+    char byte = 0;
+    file.seekg(20);
+    file.get(byte);
+    byte ^= 0x01;
+    file.seekp(20);
+    file.put(byte);
+  }
+  const SegmentScan scan = scan_segment(seg(0), true);
+  EXPECT_TRUE(scan.exists);
+  EXPECT_FALSE(scan.header_ok);
+  EXPECT_EQ(scan.trials_durable, 0u);
+  EXPECT_FALSE(scan.note.empty());
+}
+
+TEST_F(LedgerTest, MergeReassemblesRecordOrderFromAnySegmentOrder) {
+  const ShardPlan plan = tiny_plan(3);
+  for (const Shard& shard : plan.shards) {
+    LedgerWriter writer(seg(shard.id), plan, shard, false);
+    for (std::uint32_t i = 0; i < shard.trial_count; ++i) {
+      RunRecord record = sample_record(shard.seed_begin + i);
+      record.cycles = shard.record_base + i;  // tag with global index
+      writer.append_trial(i, record);
+    }
+    writer.commit(shard.trial_count);
+  }
+  // Present the segments in reverse order; the merge must not care.
+  const MergedLedger merged = merge_segments({seg(1), seg(0)});
+  EXPECT_TRUE(merged.complete);
+  EXPECT_EQ(merged.duplicate_records, 0u);
+  EXPECT_TRUE(merged.incomplete_shards.empty());
+  ASSERT_EQ(merged.records.size(), 6u);
+  for (std::uint64_t i = 0; i < 6; ++i)
+    EXPECT_EQ(merged.records[i].cycles, i) << "record order must be global";
+}
+
+TEST_F(LedgerTest, MergeReportsIncompleteAndToleratesDuplicates) {
+  const ShardPlan plan = tiny_plan(2);
+  {
+    LedgerWriter writer(seg(0), plan, plan.shards[0], false);
+    writer.append_trial(0, sample_record(1));
+    writer.append_trial(1, sample_record(2));
+    writer.commit(2);
+  }
+  {
+    // Shard 1: only one durable trial, no commit.
+    LedgerWriter writer(seg(1), plan, plan.shards[1], false);
+    writer.append_trial(0, sample_record(1));
+  }
+  MergedLedger merged = merge_segments({seg(0), seg(1)});
+  EXPECT_FALSE(merged.complete);
+  ASSERT_EQ(merged.incomplete_shards.size(), 1u);
+  EXPECT_EQ(merged.incomplete_shards[0], 1u);
+  EXPECT_EQ(merged.records.size(), 3u);
+
+  // A duplicate delivery of shard 0 (same bytes under another name)
+  // must be tolerated: trials are deterministic, first delivery wins.
+  fs::copy_file(seg(0), dir_ + "/copy.ntcl");
+  merged = merge_segments({seg(0), seg(1), dir_ + "/copy.ntcl"});
+  EXPECT_EQ(merged.duplicate_records, 2u);
+  EXPECT_EQ(merged.records.size(), 3u);
+}
+
+TEST_F(LedgerTest, MergeSkipsForeignSegmentsWithNote) {
+  const ShardPlan plan = tiny_plan(2);
+  ShardPlan foreign = plan;
+  foreign.fingerprint ^= 0x1234;
+  {
+    LedgerWriter writer(seg(0), plan, plan.shards[0], false);
+    writer.append_trial(0, sample_record(1));
+    writer.append_trial(1, sample_record(2));
+    writer.commit(2);
+  }
+  {
+    LedgerWriter writer(seg(1), foreign, foreign.shards[1], false);
+    writer.append_trial(0, sample_record(1));
+    writer.append_trial(1, sample_record(2));
+    writer.commit(2);
+  }
+  const MergedLedger merged = merge_segments({seg(0), seg(1)});
+  EXPECT_FALSE(merged.complete);
+  EXPECT_EQ(merged.records.size(), 2u);
+  EXPECT_EQ(merged.fingerprint, plan.fingerprint);
+  ASSERT_FALSE(merged.notes.empty());
+}
+
+}  // namespace
+}  // namespace ntc::faultsim

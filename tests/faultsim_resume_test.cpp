@@ -1,0 +1,191 @@
+// End-to-end crash/resume harness: runs the real ntc_campaign tool as
+// a child process, kills it with SIGKILL mid-shard (the tool raises it
+// on itself after an exact number of durable trials, optionally after
+// planting a torn half-frame), re-runs it to resume, and proves the
+// merged ledger is byte-identical to an uninterrupted run — at 1 and 8
+// workers, regardless of which shards the kill interrupted.
+//
+// Tool paths come from the build system (NTC_CAMPAIGN_TOOL /
+// NTC_LEDGER_MERGE_TOOL compile definitions); fork+exec rather than
+// fork alone so the test stays sanitizer-clean.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct ChildResult {
+  bool signaled = false;
+  int signal = 0;
+  int exit_code = -1;
+};
+
+ChildResult run_tool(const std::string& tool,
+                     const std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  std::vector<std::string> storage;
+  storage.push_back(tool);
+  storage.insert(storage.end(), args.begin(), args.end());
+  for (std::string& s : storage) argv.push_back(s.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    // Quiet child: the kill harness output is noise in test logs.
+    const int null_fd = ::open("/dev/null", O_WRONLY);
+    if (null_fd >= 0) {
+      ::dup2(null_fd, STDOUT_FILENO);
+      ::close(null_fd);
+    }
+    ::execv(tool.c_str(), argv.data());
+    ::_exit(127);
+  }
+  ChildResult result;
+  if (pid < 0) return result;
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  if (WIFSIGNALED(status)) {
+    result.signaled = true;
+    result.signal = WTERMSIG(status);
+  } else if (WIFEXITED(status)) {
+    result.exit_code = WEXITSTATUS(status);
+  }
+  return result;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class ResumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/ntc_resume_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  std::vector<std::string> grid_args(const std::string& ledger_dir,
+                                     unsigned workers) const {
+    return {"--ledger-dir", ledger_dir,
+            "--fft-points", "16",
+            "--seeds",      "4",
+            "--workers",    std::to_string(workers),
+            "--quiet"};
+  }
+
+  void merge(const std::string& ledger_dir, const std::string& tag) {
+    const ChildResult result = run_tool(
+        NTC_LEDGER_MERGE_TOOL,
+        {"--dir", ledger_dir, "--quiet",
+         "--csv", dir_ + "/" + tag + ".csv",
+         "--json", dir_ + "/" + tag + ".json"});
+    ASSERT_FALSE(result.signaled);
+    ASSERT_EQ(result.exit_code, 0) << "merge must see a complete ledger";
+  }
+
+  // The uninterrupted reference run for `workers`, merged to text.
+  void reference(unsigned workers, std::string& csv, std::string& json) {
+    const std::string ledger = dir_ + "/ref" + std::to_string(workers);
+    const ChildResult result =
+        run_tool(NTC_CAMPAIGN_TOOL, grid_args(ledger, workers));
+    ASSERT_FALSE(result.signaled);
+    ASSERT_EQ(result.exit_code, 0);
+    merge(ledger, "ref" + std::to_string(workers));
+    csv = slurp(dir_ + "/ref" + std::to_string(workers) + ".csv");
+    json = slurp(dir_ + "/ref" + std::to_string(workers) + ".json");
+    ASSERT_FALSE(csv.empty());
+    ASSERT_FALSE(json.empty());
+  }
+
+  void kill_resume_case(unsigned workers, int kill_after, bool torn_tail) {
+    SCOPED_TRACE("workers=" + std::to_string(workers) +
+                 " kill_after=" + std::to_string(kill_after) +
+                 " torn=" + std::to_string(torn_tail));
+    std::string want_csv, want_json;
+    reference(workers, want_csv, want_json);
+
+    const std::string ledger = dir_ + "/killed";
+    fs::remove_all(ledger);
+    std::vector<std::string> args = grid_args(ledger, workers);
+    args.insert(args.end(),
+                {"--kill-after-trials", std::to_string(kill_after)});
+    if (torn_tail) args.push_back("--torn-tail");
+    const ChildResult killed = run_tool(NTC_CAMPAIGN_TOOL, args);
+    ASSERT_TRUE(killed.signaled) << "harness child must die by signal";
+    ASSERT_EQ(killed.signal, SIGKILL);
+
+    // Resume with the normal arguments; then merge and compare bytes.
+    const ChildResult resumed =
+        run_tool(NTC_CAMPAIGN_TOOL, grid_args(ledger, workers));
+    ASSERT_FALSE(resumed.signaled);
+    ASSERT_EQ(resumed.exit_code, 0);
+    merge(ledger, "killed");
+    EXPECT_EQ(slurp(dir_ + "/killed.csv"), want_csv)
+        << "merged CSV after kill+resume must be byte-identical";
+    EXPECT_EQ(slurp(dir_ + "/killed.json"), want_json)
+        << "merged JSON after kill+resume must be byte-identical";
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ResumeTest, KillMidShardThenResumeSingleWorker) {
+  kill_resume_case(1, 5, /*torn_tail=*/false);
+}
+
+TEST_F(ResumeTest, KillMidShardWithTornTailSingleWorker) {
+  kill_resume_case(1, 9, /*torn_tail=*/true);
+}
+
+TEST_F(ResumeTest, KillMidShardThenResumeEightWorkers) {
+  // With 8 workers several shards are mid-flight when the process dies:
+  // every interrupted segment must resume, every completed one skip.
+  kill_resume_case(8, 13, /*torn_tail=*/false);
+}
+
+TEST_F(ResumeTest, KillMidShardWithTornTailEightWorkers) {
+  kill_resume_case(8, 7, /*torn_tail=*/true);
+}
+
+TEST_F(ResumeTest, RepeatedKillsStillConverge) {
+  // Crash-loop: kill after 3, then after 6, then finish.  Each pass
+  // makes durable progress; the final ledger is still exact.
+  std::string want_csv, want_json;
+  reference(1, want_csv, want_json);
+
+  const std::string ledger = dir_ + "/crashloop";
+  for (int kill_after : {3, 6}) {
+    std::vector<std::string> args = grid_args(ledger, 1);
+    args.insert(args.end(),
+                {"--kill-after-trials", std::to_string(kill_after),
+                 "--torn-tail"});
+    const ChildResult killed = run_tool(NTC_CAMPAIGN_TOOL, args);
+    ASSERT_TRUE(killed.signaled);
+  }
+  const ChildResult finished = run_tool(NTC_CAMPAIGN_TOOL, grid_args(ledger, 1));
+  ASSERT_EQ(finished.exit_code, 0);
+  merge(ledger, "crashloop");
+  EXPECT_EQ(slurp(dir_ + "/crashloop.csv"), want_csv);
+  EXPECT_EQ(slurp(dir_ + "/crashloop.json"), want_json);
+}
+
+}  // namespace

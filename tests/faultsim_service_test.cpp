@@ -1,0 +1,228 @@
+#include "faultsim/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "faultsim/campaign.hpp"
+#include "faultsim/ledger.hpp"
+
+namespace ntc::faultsim {
+namespace {
+
+namespace fs = std::filesystem;
+
+CampaignConfig small_grid(unsigned threads) {
+  CampaignConfig config;
+  config.voltages = {Volt{0.30}, Volt{0.44}};
+  config.schemes = {mitigation::SchemeKind::NoMitigation,
+                    mitigation::SchemeKind::Secded};
+  Scenario burst;
+  burst.name = "burst";
+  burst.spm_events = {FaultEvent::read_burst(3, 4, 3)};
+  config.scenarios = {Scenario{"background", {}, {}, {}}, burst};
+  config.seeds_per_cell = 2;
+  config.fft_points = 16;
+  config.threads = threads;
+  return config;
+}
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/ntc_service_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  ServiceConfig service_config(const std::string& subdir) const {
+    ServiceConfig config;
+    config.ledger_dir = dir_ + "/" + subdir;
+    config.retry_backoff = std::chrono::milliseconds(1);
+    return config;
+  }
+  std::string dir_;
+};
+
+std::string csv_of(const std::vector<RunRecord>& records) {
+  std::ostringstream out;
+  write_ledger_csv(out, records);
+  return out.str();
+}
+
+std::string json_of(const std::vector<RunRecord>& records) {
+  std::ostringstream out;
+  write_ledger_json(out, records);
+  return out.str();
+}
+
+TEST_F(ServiceTest, MergedLedgerMatchesInProcessRunByteForByte) {
+  for (unsigned threads : {1u, 8u}) {
+    // Reference: the plain in-process campaign.
+    CampaignRunner reference(small_grid(threads));
+    const std::vector<RunRecord>& expected = reference.run();
+
+    CampaignService service(small_grid(threads),
+                            service_config("t" + std::to_string(threads)));
+    const ServiceReport report = service.run();
+    EXPECT_TRUE(report.all_completed()) << "threads " << threads;
+    EXPECT_EQ(report.shards_total, 8u);
+    EXPECT_EQ(report.trials_run, 16u);
+    EXPECT_EQ(report.trials_skipped, 0u);
+
+    const MergedLedger merged = merge_segments(service.segment_paths());
+    ASSERT_TRUE(merged.complete) << "threads " << threads;
+    EXPECT_EQ(csv_of(merged.records), csv_of(expected))
+        << "CSV must be byte-identical at " << threads << " threads";
+    EXPECT_EQ(json_of(merged.records), json_of(expected))
+        << "JSON must be byte-identical at " << threads << " threads";
+  }
+}
+
+TEST_F(ServiceTest, SeedChunkingAndShardSubsetsReachTheSameBytes) {
+  CampaignRunner reference(small_grid(1));
+  const std::string expected_csv = csv_of(reference.run());
+
+  // Chunk each 2-seed cell into two 1-seed shards, then serve the odd
+  // and even halves as separate "processes" against one directory.
+  ServiceConfig config = service_config("chunked");
+  config.seeds_per_shard = 1;
+  CampaignService service(small_grid(2), config);
+  ASSERT_EQ(service.plan().shards.size(), 16u);
+  std::vector<std::uint64_t> evens, odds;
+  for (const Shard& shard : service.plan().shards)
+    (shard.id % 2 ? odds : evens).push_back(shard.id);
+
+  ServiceReport first = service.run_shards(evens);
+  EXPECT_FALSE(first.all_completed());
+  EXPECT_EQ(first.shards_completed, 8u);
+
+  CampaignService second_process(small_grid(2), config);
+  ServiceReport second = second_process.run_shards(odds);
+  EXPECT_TRUE(second.all_completed()) << "evens durable + odds just served";
+  EXPECT_EQ(second.trials_skipped, 8u);
+
+  const MergedLedger merged = merge_segments(service.segment_paths());
+  ASSERT_TRUE(merged.complete);
+  EXPECT_EQ(csv_of(merged.records), expected_csv);
+}
+
+TEST_F(ServiceTest, SecondRunSkipsEverything) {
+  CampaignService service(small_grid(2), service_config("rerun"));
+  ASSERT_TRUE(service.run().all_completed());
+
+  CampaignService again(small_grid(2), service_config("rerun"));
+  const ServiceReport report = again.run();
+  EXPECT_TRUE(report.all_completed());
+  EXPECT_EQ(report.trials_run, 0u) << "committed shards must never re-run";
+  EXPECT_EQ(report.trials_skipped, 16u);
+}
+
+TEST_F(ServiceTest, TransientFailureIsRetriedToCompletion) {
+  ServiceConfig config = service_config("retry");
+  config.max_attempts = 3;
+  config.attempt_hook = [](const Shard& shard, std::uint32_t attempt) {
+    if (shard.id == 2 && attempt == 0)
+      throw std::runtime_error("injected transient fault");
+  };
+  CampaignService service(small_grid(2), config);
+  const ServiceReport report = service.run();
+  EXPECT_TRUE(report.all_completed());
+  EXPECT_EQ(report.retries, 1u);
+  EXPECT_EQ(report.shards[2].attempts, 2u);
+  EXPECT_FALSE(report.shards[2].quarantined);
+}
+
+TEST_F(ServiceTest, ExhaustedRetryBudgetQuarantinesWithoutAbortingTheRun) {
+  ServiceConfig config = service_config("quarantine");
+  config.max_attempts = 2;
+  config.attempt_hook = [](const Shard& shard, std::uint32_t) {
+    if (shard.id == 5) throw std::runtime_error("hard shard failure");
+  };
+  CampaignService service(small_grid(4), config);
+  const ServiceReport report = service.run();  // must not throw
+  EXPECT_FALSE(report.all_completed());
+  EXPECT_EQ(report.shards_quarantined, 1u);
+  EXPECT_EQ(report.shards_completed, 7u);
+  ASSERT_GT(report.shards.size(), 5u);
+  EXPECT_TRUE(report.shards[5].quarantined);
+  EXPECT_EQ(report.shards[5].attempts, 2u);
+  EXPECT_EQ(report.shards[5].last_error, "hard shard failure");
+  EXPECT_EQ(report.retries, 1u);
+
+  // Every other shard's work is durable and merge degrades gracefully.
+  const MergedLedger merged = merge_segments(service.segment_paths());
+  EXPECT_FALSE(merged.complete);
+  EXPECT_EQ(merged.records.size(), 14u);
+
+  // A later run with the failure gone completes just the hole.
+  ServiceConfig healed = service_config("quarantine");
+  CampaignService retry_service(small_grid(4), healed);
+  const ServiceReport healed_report = retry_service.run();
+  EXPECT_TRUE(healed_report.all_completed());
+  EXPECT_EQ(healed_report.trials_run, 2u);
+  EXPECT_TRUE(merge_segments(retry_service.segment_paths()).complete);
+}
+
+TEST_F(ServiceTest, TimeoutKeepsDurableProgressAcrossAttempts) {
+  ServiceConfig config = service_config("timeout");
+  config.max_attempts = 2;
+  config.shard_timeout = std::chrono::milliseconds(1);
+  config.record_hook = [](const Shard& shard, std::uint64_t,
+                          const std::string&) {
+    if (shard.id == 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  };
+  CampaignConfig grid = small_grid(1);
+  grid.seeds_per_cell = 4;  // 4 trials per shard, 1 admitted per attempt
+  CampaignService service(grid, config);
+  const ServiceReport report = service.run();
+
+  const ShardReport& slow = report.shards[0];
+  EXPECT_TRUE(slow.quarantined) << "two 1-trial attempts cannot finish 4";
+  EXPECT_EQ(slow.attempts, 2u);
+  EXPECT_EQ(slow.trials_durable, 2u)
+      << "each timed-out attempt must keep its durable trial";
+  EXPECT_EQ(slow.trials_resumed, 0u) << "nothing was durable before this run";
+
+  // The durable prefix survives: a run without the slowdown finishes
+  // from trial 2, never redoing 0 or 1.
+  ServiceConfig healed = service_config("timeout");
+  CampaignService finish(grid, healed);
+  const ServiceReport final_report = finish.run();
+  EXPECT_TRUE(final_report.all_completed());
+  EXPECT_EQ(final_report.shards[0].trials_resumed, 2u);
+}
+
+TEST_F(ServiceTest, ForeignSegmentIsRestartedNotResumed) {
+  // Serve a grid, then serve a *different* grid into the same
+  // directory: the fingerprint mismatch must force fresh segments, not
+  // resume into foreign data.
+  CampaignService first(small_grid(1), service_config("foreign"));
+  ASSERT_TRUE(first.run().all_completed());
+
+  CampaignConfig other = small_grid(1);
+  other.base_seed = 77;
+  CampaignService second(other, service_config("foreign"));
+  const ServiceReport report = second.run();
+  EXPECT_TRUE(report.all_completed());
+  EXPECT_EQ(report.trials_skipped, 0u)
+      << "foreign segments must not be treated as durable progress";
+
+  const MergedLedger merged = merge_segments(second.segment_paths());
+  ASSERT_TRUE(merged.complete);
+  for (const RunRecord& record : merged.records) EXPECT_GE(record.seed, 77u);
+}
+
+}  // namespace
+}  // namespace ntc::faultsim

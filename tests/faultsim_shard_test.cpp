@@ -1,0 +1,143 @@
+#include "faultsim/shard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "faultsim/campaign.hpp"
+
+namespace ntc::faultsim {
+namespace {
+
+CampaignConfig small_config() {
+  CampaignConfig config;
+  config.voltages = {Volt{0.30}, Volt{0.44}, Volt{0.60}};
+  config.schemes = {mitigation::SchemeKind::NoMitigation,
+                    mitigation::SchemeKind::Secded};
+  Scenario burst;
+  burst.name = "burst";
+  burst.spm_events = {FaultEvent::read_burst(3, 4, 3)};
+  config.scenarios = {Scenario{"background", {}, {}, {}}, burst};
+  config.base_seed = 10;
+  config.seeds_per_cell = 6;
+  config.fft_points = 32;
+  return config;
+}
+
+TEST(ShardPlanTest, CoversGridExactlyOncePerCell) {
+  const CampaignConfig config = small_config();
+  const ShardPlan plan = make_shard_plan(config);
+  // 2 scenarios x 2 schemes x 3 voltages, one shard per cell.
+  ASSERT_EQ(plan.shards.size(), 12u);
+  EXPECT_EQ(plan.total_records, 12u * 6u);
+  EXPECT_EQ(plan.seeds_per_shard, 6u);
+
+  std::set<std::uint64_t> ids;
+  std::set<std::uint64_t> bases;
+  for (const Shard& shard : plan.shards) {
+    EXPECT_EQ(shard.id, plan.shards[shard.id].id) << "ids must be dense";
+    EXPECT_EQ(shard.trial_count, 6u);
+    EXPECT_EQ(shard.seed_begin, config.base_seed);
+    EXPECT_LT(shard.scenario_index, 2u);
+    EXPECT_LT(shard.scheme_index, 2u);
+    EXPECT_LT(shard.voltage_index, 3u);
+    ids.insert(shard.id);
+    bases.insert(shard.record_base);
+  }
+  EXPECT_EQ(ids.size(), plan.shards.size());
+  EXPECT_EQ(bases.size(), plan.shards.size());
+
+  // Enumeration order: scenario outermost, then scheme, then voltage —
+  // record_base must advance in exactly that nesting.
+  for (std::size_t i = 0; i < plan.shards.size(); ++i)
+    EXPECT_EQ(plan.shards[i].record_base, i * 6u);
+  EXPECT_EQ(plan.shards[1].voltage_index, 1u);
+  EXPECT_EQ(plan.shards[3].scheme_index, 1u);
+  EXPECT_EQ(plan.shards[6].scenario_index, 1u);
+}
+
+TEST(ShardPlanTest, SeedChunkingSplitsCells) {
+  const CampaignConfig config = small_config();  // 6 seeds per cell
+  const ShardPlan plan = make_shard_plan(config, 4);
+  // Each cell splits into chunks of 4 and 2 seeds.
+  ASSERT_EQ(plan.shards.size(), 24u);
+  EXPECT_EQ(plan.total_records, 72u);
+  for (std::size_t i = 0; i < plan.shards.size(); i += 2) {
+    const Shard& head = plan.shards[i];
+    const Shard& tail = plan.shards[i + 1];
+    EXPECT_EQ(head.trial_count, 4u);
+    EXPECT_EQ(tail.trial_count, 2u);
+    EXPECT_EQ(tail.seed_begin, head.seed_begin + 4);
+    EXPECT_EQ(tail.record_base, head.record_base + 4);
+    EXPECT_EQ(tail.scenario_index, head.scenario_index);
+    EXPECT_EQ(tail.scheme_index, head.scheme_index);
+    EXPECT_EQ(tail.voltage_index, head.voltage_index);
+  }
+  // Chunking changes the plan identity even though the grid is the same.
+  EXPECT_NE(plan.fingerprint, make_shard_plan(config).fingerprint);
+  // Oversized chunk clamps to the cell: identical to the unchunked plan.
+  EXPECT_EQ(make_shard_plan(config, 100).fingerprint,
+            make_shard_plan(config).fingerprint);
+}
+
+TEST(ShardPlanTest, EmptyScenariosMatchImplicitBackground) {
+  CampaignConfig with = small_config();
+  with.scenarios = {Scenario{"background", {}, {}, {}}};
+  CampaignConfig without = small_config();
+  without.scenarios.clear();
+  EXPECT_EQ(make_shard_plan(with).fingerprint,
+            make_shard_plan(without).fingerprint);
+  EXPECT_EQ(make_shard_plan(without).shards.size(), 6u);
+}
+
+TEST(ConfigFingerprintTest, SensitiveToResultAffectingFields) {
+  const CampaignConfig base = small_config();
+  const std::uint64_t reference = config_fingerprint(base);
+  EXPECT_EQ(config_fingerprint(small_config()), reference) << "deterministic";
+
+  CampaignConfig mutated = small_config();
+  mutated.base_seed = 11;
+  EXPECT_NE(config_fingerprint(mutated), reference);
+
+  mutated = small_config();
+  mutated.seeds_per_cell = 7;
+  EXPECT_NE(config_fingerprint(mutated), reference);
+
+  mutated = small_config();
+  mutated.fft_points = 64;
+  EXPECT_NE(config_fingerprint(mutated), reference);
+
+  mutated = small_config();
+  mutated.voltages[1] = Volt{0.45};
+  EXPECT_NE(config_fingerprint(mutated), reference);
+
+  mutated = small_config();
+  mutated.schemes.push_back(mitigation::SchemeKind::Ocean);
+  EXPECT_NE(config_fingerprint(mutated), reference);
+
+  mutated = small_config();
+  mutated.scenarios[1].spm_events[0] = FaultEvent::read_burst(3, 4, 4);
+  EXPECT_NE(config_fingerprint(mutated), reference);
+
+  mutated = small_config();
+  mutated.stochastic_background = !mutated.stochastic_background;
+  EXPECT_NE(config_fingerprint(mutated), reference);
+}
+
+TEST(ConfigFingerprintTest, ThreadCountInvariant) {
+  CampaignConfig config = small_config();
+  config.threads = 1;
+  const std::uint64_t one = config_fingerprint(config);
+  config.threads = 8;
+  EXPECT_EQ(config_fingerprint(config), one)
+      << "segments written at different worker counts must interoperate";
+}
+
+TEST(ShardSegmentNameTest, StableZeroPaddedNames) {
+  EXPECT_EQ(shard_segment_name(0), "shard-000000.ntcl");
+  EXPECT_EQ(shard_segment_name(42), "shard-000042.ntcl");
+  EXPECT_EQ(shard_segment_name(1234567), "shard-1234567.ntcl");
+}
+
+}  // namespace
+}  // namespace ntc::faultsim

@@ -1,0 +1,125 @@
+// ledger_merge — reduce binary campaign ledger segments to CSV/JSON.
+//
+// Reads every shard segment of a ledger directory (or an explicit file
+// list), orders the trials by their merged-ledger index and emits the
+// canonical text ledgers — byte-identical to what CampaignRunner's
+// in-process write_csv/write_json produce for the same grid, no matter
+// how many shards there were, which processes ran them, in what order
+// they completed or how their runs interleaved (the shared formatter
+// in faultsim/ledger.cpp is what pins the bytes).
+//
+//   ledger_merge --dir DIR [--csv PATH] [--json PATH] [--allow-partial]
+//   ledger_merge seg1.ntcl seg2.ntcl ... [--csv PATH] ...
+//
+// "-" as a path writes to stdout.  Text outputs to real paths are
+// finalized atomically (tmp + fsync + rename).  Exit codes: 0 merged
+// and complete; 3 incomplete (missing records or uncommitted shards)
+// without --allow-partial; 1 usage or I/O error.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/atomic_file.hpp"
+#include "faultsim/ledger.hpp"
+
+using namespace ntc;
+using namespace ntc::faultsim;
+
+namespace {
+
+bool emit(const std::string& path, const std::string& contents) {
+  if (path == "-") {
+    std::cout << contents;
+    return true;
+  }
+  if (!atomic_write_file(path, contents)) {
+    std::fprintf(stderr, "ledger_merge: cannot write %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> segments;
+  std::string dir, csv_path, json_path;
+  bool allow_partial = false;
+  bool quiet = false;
+
+  auto need_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s needs a value\n", argv[i]);
+      std::exit(1);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--dir") dir = need_value(i);
+    else if (arg == "--csv") csv_path = need_value(i);
+    else if (arg == "--json") json_path = need_value(i);
+    else if (arg == "--allow-partial") allow_partial = true;
+    else if (arg == "--quiet") quiet = true;
+    else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return 1;
+    } else segments.push_back(arg);
+  }
+  if (!dir.empty()) {
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(dir, ec))
+      if (entry.path().extension() == ".ntcl")
+        segments.push_back(entry.path().string());
+    if (ec) {
+      std::fprintf(stderr, "ledger_merge: cannot read %s\n", dir.c_str());
+      return 1;
+    }
+    // Directory iteration order is unspecified; the merge is order-
+    // insensitive, but sort anyway so diagnostics print stably.
+    std::sort(segments.begin(), segments.end());
+  }
+  if (segments.empty()) {
+    std::fprintf(stderr,
+                 "usage: ledger_merge --dir DIR | segments... "
+                 "[--csv PATH] [--json PATH] [--allow-partial]\n");
+    return 1;
+  }
+
+  const MergedLedger merged = merge_segments(segments);
+  for (const std::string& note : merged.notes)
+    std::fprintf(stderr, "ledger_merge: note: %s\n", note.c_str());
+  if (!quiet) {
+    std::fprintf(stderr,
+                 "ledger_merge: %zu segments, %zu/%llu records, %zu "
+                 "uncommitted shards, %llu duplicate deliveries\n",
+                 segments.size(), merged.records.size(),
+                 static_cast<unsigned long long>(merged.total_records),
+                 merged.incomplete_shards.size(),
+                 static_cast<unsigned long long>(merged.duplicate_records));
+  }
+  if (!merged.complete && !allow_partial) {
+    std::fprintf(stderr,
+                 "ledger_merge: ledger incomplete (quarantined or still "
+                 "running shards?) — pass --allow-partial to export anyway\n");
+    return 3;
+  }
+
+  bool ok = true;
+  if (!csv_path.empty()) {
+    std::ostringstream out;
+    write_ledger_csv(out, merged.records);
+    ok = emit(csv_path, out.str()) && ok;
+  }
+  if (!json_path.empty()) {
+    std::ostringstream out;
+    write_ledger_json(out, merged.records);
+    ok = emit(json_path, out.str()) && ok;
+  }
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,253 @@
+// ntc_campaign — crash-safe sharded campaign runner CLI.
+//
+// Runs a campaign grid as resumable shards against a ledger directory
+// (one CRC-framed binary segment per shard, see faultsim/ledger.hpp).
+// Re-invoking with the same arguments resumes exactly: committed
+// shards are skipped, a shard interrupted mid-write (kill -9 included)
+// continues from its last durable trial.  Multiple processes may run
+// disjoint --shards subsets against one directory —
+// scripts/run_campaign.sh is the stock work-queue driver, and
+// tools/ledger_merge reduces the segments to the canonical CSV/JSON.
+//
+//   ntc_campaign --ledger-dir DIR [grid options] [service options]
+//   ntc_campaign --plan [grid options]        # print the shard table
+//
+// Grid options (the grid IS the identity — resume requires the same):
+//   --fft-points N        workload size, power of two      [64]
+//   --seeds N             Monte-Carlo seeds per grid cell  [8]
+//   --base-seed N         first seed                       [1]
+//   --voltages a,b,...    supply sweep in volts            [0.30,0.44]
+//   --schemes a,b,...     none|secded|ocean                [secded,ocean]
+//   --scenarios a,b,...   background|burst|stuck           [background,burst]
+//   --stochastic 0|1      analytic fault model underneath  [1]
+// Service options:
+//   --seeds-per-shard N   seed-range chunk per shard (0 = cell) [0]
+//   --workers N           executor workers (0 = hardware)  [0]
+//   --shards a,b,...      serve only these shard ids (work queue claim)
+//   --max-attempts N      retry budget per shard           [3]
+//   --backoff-ms N        base retry backoff               [5]
+//   --timeout-ms N        per-shard attempt wall budget    [0 = off]
+//   --fsync-each-record   fsync every trial frame
+// Crash-harness options (tests/faultsim_resume_test.cpp):
+//   --kill-after-trials N raise SIGKILL after the Nth trial appended
+//   --torn-tail           first append a garbage partial frame (torn
+//                         record the resuming scan must truncate)
+//   --fail-shard ID       throw on every attempt of shard ID
+//                         (quarantine demonstration)
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "faultsim/service.hpp"
+
+using namespace ntc;
+using namespace ntc::faultsim;
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& arg) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : arg) {
+    if (c == ',') {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+Scenario builtin_scenario(const std::string& name) {
+  if (name == "background") return Scenario{"background", {}, {}, {}};
+  if (name == "burst") {
+    Scenario s;
+    s.name = "burst";
+    s.spm_events = {FaultEvent::read_burst(3, 4, 3),
+                    FaultEvent::stuck_at(9, 0x7, 0x5, 0.6)};
+    s.imem_events = {FaultEvent::transient_flip(2, 0x10, 40)};
+    s.pm_events = {FaultEvent::write_burst(1, 0x3)};
+    return s;
+  }
+  if (name == "stuck") {
+    Scenario s;
+    s.name = "stuck";
+    s.spm_events = {FaultEvent::stuck_at(7, 1ull << 4, 0)};
+    return s;
+  }
+  std::fprintf(stderr, "unknown scenario '%s'\n", name.c_str());
+  std::exit(1);
+}
+
+mitigation::SchemeKind parse_scheme(const std::string& name) {
+  if (name == "none" || name == "nomitigation")
+    return mitigation::SchemeKind::NoMitigation;
+  if (name == "secded") return mitigation::SchemeKind::Secded;
+  if (name == "ocean") return mitigation::SchemeKind::Ocean;
+  std::fprintf(stderr, "unknown scheme '%s'\n", name.c_str());
+  std::exit(1);
+}
+
+/// Append a deliberately torn frame: a length/CRC header promising 64
+/// payload bytes, followed by only 5 — exactly what a crash mid-write
+/// leaves behind.
+void append_torn_tail(const std::string& segment_path) {
+  const int fd = ::open(segment_path.c_str(), O_WRONLY | O_APPEND);
+  if (fd < 0) return;
+  const unsigned char torn[] = {64, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef,
+                                1,  2, 3, 4,  5};
+  [[maybe_unused]] ssize_t n = ::write(fd, torn, sizeof torn);
+  ::close(fd);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CampaignConfig campaign;
+  campaign.fft_points = 64;
+  campaign.seeds_per_cell = 8;
+  campaign.voltages = {Volt{0.30}, Volt{0.44}};
+  campaign.schemes = {mitigation::SchemeKind::Secded,
+                      mitigation::SchemeKind::Ocean};
+  campaign.scenarios = {builtin_scenario("background"),
+                        builtin_scenario("burst")};
+
+  ServiceConfig service;
+  bool plan_only = false;
+  bool quiet = false;
+  std::vector<std::uint64_t> only_shards;
+  bool have_subset = false;
+  long long kill_after = -1;
+  bool torn_tail = false;
+  long long fail_shard = -1;
+
+  auto need_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s needs a value\n", argv[i]);
+      std::exit(1);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--plan") plan_only = true;
+    else if (arg == "--quiet") quiet = true;
+    else if (arg == "--ledger-dir") service.ledger_dir = need_value(i);
+    else if (arg == "--fft-points") campaign.fft_points = std::stoul(need_value(i));
+    else if (arg == "--seeds") campaign.seeds_per_cell = std::stoul(need_value(i));
+    else if (arg == "--base-seed") campaign.base_seed = std::stoull(need_value(i));
+    else if (arg == "--stochastic") campaign.stochastic_background = std::stoi(need_value(i)) != 0;
+    else if (arg == "--workers") campaign.threads = std::stoul(need_value(i));
+    else if (arg == "--voltages") {
+      campaign.voltages.clear();
+      for (const std::string& v : split_csv(need_value(i)))
+        campaign.voltages.push_back(Volt{std::stod(v)});
+    } else if (arg == "--schemes") {
+      campaign.schemes.clear();
+      for (const std::string& s : split_csv(need_value(i)))
+        campaign.schemes.push_back(parse_scheme(s));
+    } else if (arg == "--scenarios") {
+      campaign.scenarios.clear();
+      for (const std::string& s : split_csv(need_value(i)))
+        campaign.scenarios.push_back(builtin_scenario(s));
+    } else if (arg == "--seeds-per-shard") {
+      service.seeds_per_shard = std::stoul(need_value(i));
+    } else if (arg == "--shards") {
+      have_subset = true;
+      for (const std::string& s : split_csv(need_value(i)))
+        only_shards.push_back(std::stoull(s));
+    } else if (arg == "--max-attempts") {
+      service.max_attempts = std::stoul(need_value(i));
+    } else if (arg == "--backoff-ms") {
+      service.retry_backoff = std::chrono::milliseconds(std::stol(need_value(i)));
+    } else if (arg == "--timeout-ms") {
+      service.shard_timeout = std::chrono::milliseconds(std::stol(need_value(i)));
+    } else if (arg == "--fsync-each-record") {
+      service.fsync_each_record = true;
+    } else if (arg == "--kill-after-trials") {
+      kill_after = std::stoll(need_value(i));
+    } else if (arg == "--torn-tail") {
+      torn_tail = true;
+    } else if (arg == "--fail-shard") {
+      fail_shard = std::stoll(need_value(i));
+    } else {
+      std::fprintf(stderr, "unknown option '%s' (see header comment)\n",
+                   arg.c_str());
+      return 1;
+    }
+  }
+
+  if (plan_only) {
+    // The service requires a ledger dir; for --plan any value works.
+    CampaignService svc(campaign, [&] {
+      ServiceConfig c = service;
+      if (c.ledger_dir.empty()) c.ledger_dir = ".";
+      return c;
+    }());
+    const ShardPlan& plan = svc.plan();
+    std::printf("# fingerprint %016llx, %llu shards, %llu records\n",
+                static_cast<unsigned long long>(plan.fingerprint),
+                static_cast<unsigned long long>(plan.shards.size()),
+                static_cast<unsigned long long>(plan.total_records));
+    for (const Shard& s : plan.shards)
+      std::printf("%llu\n", static_cast<unsigned long long>(s.id));
+    return 0;
+  }
+  if (service.ledger_dir.empty()) {
+    std::fprintf(stderr, "--ledger-dir is required (or use --plan)\n");
+    return 1;
+  }
+
+  if (kill_after >= 0) {
+    service.record_hook = [kill_after, torn_tail](
+                              const Shard&, std::uint64_t appended,
+                              const std::string& segment_path) {
+      if (static_cast<long long>(appended) == kill_after) {
+        if (torn_tail) append_torn_tail(segment_path);
+        ::raise(SIGKILL);  // uncatchable: the real thing, not a stand-in
+      }
+    };
+  }
+  if (fail_shard >= 0) {
+    service.attempt_hook = [fail_shard](const Shard& shard, std::uint32_t) {
+      if (shard.id == static_cast<std::uint64_t>(fail_shard))
+        throw std::runtime_error("injected shard failure (--fail-shard)");
+    };
+  }
+
+  CampaignService svc(campaign, service);
+  const ServiceReport report =
+      have_subset ? svc.run_shards(only_shards) : svc.run();
+
+  if (!quiet) {
+    std::printf(
+        "shards %llu: %llu completed (%llu resumed), %llu quarantined | "
+        "trials: %llu run, %llu skipped | retries %llu, torn bytes %llu\n",
+        static_cast<unsigned long long>(report.shards_total),
+        static_cast<unsigned long long>(report.shards_completed),
+        static_cast<unsigned long long>(report.shards_resumed),
+        static_cast<unsigned long long>(report.shards_quarantined),
+        static_cast<unsigned long long>(report.trials_run),
+        static_cast<unsigned long long>(report.trials_skipped),
+        static_cast<unsigned long long>(report.retries),
+        static_cast<unsigned long long>(report.torn_bytes_truncated));
+    for (const ShardReport& s : report.shards)
+      if (s.quarantined)
+        std::printf(
+            "QUARANTINED shard %llu after %u attempts (%u trials durable): "
+            "%s\n",
+            static_cast<unsigned long long>(s.shard_id), s.attempts,
+            s.trials_durable, s.last_error.c_str());
+  }
+  // Quarantines degrade gracefully — the run itself still succeeded.
+  return 0;
+}
