@@ -425,7 +425,10 @@ void annotate_baseline(std::vector<BenchResult>& results,
 }
 
 /// Count benchmarks slower than baseline * (1 + pct/100); entries
-/// without a baseline (new benchmarks) are skipped.
+/// without a baseline (new benchmarks) are skipped.  On any failure the
+/// full per-bench delta table goes to stderr — one number in context
+/// beats hunting through two JSON files to see whether the regression
+/// is isolated or the whole suite drifted.
 int count_regressions(const std::vector<BenchResult>& results, double pct) {
   int regressed = 0;
   for (const BenchResult& r : results) {
@@ -437,6 +440,24 @@ int count_regressions(const std::vector<BenchResult>& results, double pct) {
                    "by more than %.0f%%\n",
                    r.name.c_str(), r.ns_per_op, r.baseline_ns_per_op, pct);
       ++regressed;
+    }
+  }
+  if (regressed > 0) {
+    std::fprintf(stderr,
+                 "\n%-32s %14s %14s %9s\n"
+                 "---------------------------------------------------------"
+                 "-------------\n",
+                 "benchmark", "baseline ns/op", "current ns/op", "delta");
+    for (const BenchResult& r : results) {
+      if (r.baseline_ns_per_op <= 0.0) {
+        std::fprintf(stderr, "%-32s %14s %14.2f %9s\n", r.name.c_str(), "-",
+                     r.ns_per_op, "new");
+        continue;
+      }
+      const double delta_pct =
+          (r.ns_per_op / r.baseline_ns_per_op - 1.0) * 100.0;
+      std::fprintf(stderr, "%-32s %14.2f %14.2f %+8.1f%%\n", r.name.c_str(),
+                   r.baseline_ns_per_op, r.ns_per_op, delta_pct);
     }
   }
   return regressed;

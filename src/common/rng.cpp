@@ -36,6 +36,26 @@ std::uint64_t Rng::next_u64() {
   return result;
 }
 
+void Rng::fill_u64(std::span<std::uint64_t> out) {
+  // Hoist the engine state into locals so the hot loop runs out of
+  // registers; the result stream is exactly out.size() next_u64 steps.
+  std::uint64_t s0 = s_[0], s1 = s_[1], s2 = s_[2], s3 = s_[3];
+  for (std::uint64_t& slot : out) {
+    slot = rotl(s0 + s3, 23) + s0;
+    const std::uint64_t t = s1 << 17;
+    s2 ^= s0;
+    s3 ^= s1;
+    s1 ^= s2;
+    s0 ^= s3;
+    s2 ^= t;
+    s3 = rotl(s3, 45);
+  }
+  s_[0] = s0;
+  s_[1] = s1;
+  s_[2] = s2;
+  s_[3] = s3;
+}
+
 double Rng::uniform() {
   // 53 high bits -> double in [0, 1).
   return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 namespace ntc {
 
@@ -22,6 +23,14 @@ class Rng {
 
   /// Raw 64 random bits.
   std::uint64_t next_u64();
+
+  /// Bulk generation: fills `out` with exactly out.size() consecutive
+  /// next_u64() draws, leaving the engine in the same state as that
+  /// many scalar calls.  The guarantee is bit-exact stream identity —
+  /// batched consumers (SoA flip-mask generation, the batched campaign
+  /// engine) may interleave fill_u64 with scalar draws freely without
+  /// perturbing any downstream seed-reproducible experiment.
+  void fill_u64(std::span<std::uint64_t> out);
 
   /// Uniform in [0, 1).
   double uniform();

@@ -1,0 +1,707 @@
+#include "faultsim/batch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+#include "common/assert.hpp"
+#include "common/fixed_point.hpp"
+#include "ecc/bch.hpp"
+#include "ecc/hamming.hpp"
+#include "energy/memory_calculator.hpp"
+#include "ocean/runtime.hpp"
+#include "reliability/model_tables.hpp"
+#include "sim/stochastic_injector.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
+#include "workloads/fft.hpp"
+#include "workloads/golden.hpp"
+
+namespace ntc::faultsim {
+
+namespace {
+
+/// The SECDED code instance used to encode golden raws and decode dirty
+/// words during replay.  Platform keeps its own shared singleton, but
+/// the codec is stateless and deterministic, so a second instance is
+/// bit-identical; a function-local static spares rebuilding the decode
+/// tables per engine.
+const ecc::HammingSecded& replay_secded() {
+  static const ecc::HammingSecded code(32);
+  return code;
+}
+
+/// Bit-exact replica of one array's StochasticInjector flip-draw
+/// sequence: one gate uniform per word access in order; a gate miss
+/// draws the nonzero mask via the shared conditional-chain sampler.
+/// The bulk scan mirrors StochasticInjector::access_flips_burst —
+/// fill_u64 gate chunks with snapshot/rewind on a flip — so the
+/// consumed stream is identical to per-word draw_flip_mask calls,
+/// which is what the scalar trial's per-word chain walk performs
+/// (scenario injectors pin the chain length above one, disabling the
+/// array's own burst fast path).
+class FlipStream {
+ public:
+  FlipStream(const Rng& rng, double p_access, std::uint32_t stored_bits)
+      : rng_(rng),
+        p_access_(p_access),
+        p_no_flip_(std::pow(1.0 - p_access, static_cast<double>(stored_bits))),
+        stored_bits_(stored_bits) {}
+
+  /// Scan `count` consecutive word accesses; invoke on_flip(offset,
+  /// mask) for every access that draws a (nonzero) flip mask.
+  template <typename Fn>
+  void scan(std::uint64_t count, Fn&& on_flip) {
+    constexpr std::uint32_t kGateChunk = 128;
+    std::uint64_t gates[kGateChunk];
+    std::uint64_t i = 0;
+    while (i < count) {
+      const std::uint32_t n = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(count - i, kGateChunk));
+      const Rng snapshot = rng_;
+      rng_.fill_u64({gates, n});
+      std::uint32_t flip_at = n;
+      for (std::uint32_t j = 0; j < n; ++j) {
+        if (static_cast<double>(gates[j] >> 11) * 0x1.0p-53 >= p_no_flip_) {
+          flip_at = j;
+          break;
+        }
+      }
+      if (flip_at == n) {
+        i += n;
+        continue;
+      }
+      rng_ = snapshot;
+      for (std::uint32_t j = 0; j <= flip_at; ++j) rng_.next_u64();
+      on_flip(i + flip_at, draw_nonzero());
+      i += flip_at + 1;
+    }
+  }
+
+ private:
+  std::uint64_t draw_nonzero() {
+    return sim::draw_conditional_nonzero_flips(rng_, p_access_, stored_bits_);
+  }
+
+  Rng rng_;
+  double p_access_;
+  double p_no_flip_;
+  std::uint32_t stored_bits_;
+};
+
+inline std::uint64_t popcount64(std::uint64_t x) {
+  return static_cast<std::uint64_t>(__builtin_popcountll(x));
+}
+
+/// A retention-stuck word: `value` is already masked by `mask`.
+struct StuckWord {
+  std::uint32_t word = 0;
+  std::uint64_t mask = 0;
+  std::uint64_t value = 0;
+};
+
+}  // namespace
+
+/// Everything seed-invariant about one array of the traced platform.
+struct BatchEngine::ArrayParams {
+  reliability::AccessErrorModel access;
+  reliability::NoiseMarginModel retention;
+  std::uint32_t words;
+  std::uint32_t stored_bits;
+  std::uint64_t salt;
+  /// Supplies at or above this provably retain every cell (the
+  /// StochasticInjector lazy-fingerprint bound).
+  double lazy_safe_vdd;
+};
+
+/// One logical memory transaction of the golden trace.
+struct BatchEngine::SchemeState {
+  struct Txn {
+    bool is_write = false;
+    std::uint32_t base = 0;
+    std::uint32_t count = 0;
+    std::uint32_t offset = 0;  ///< index into spm_logical / spm_raw
+  };
+
+  std::once_flag once;
+  bool valid = false;
+  std::string scheme_name;
+  bool coded_spm = false;  ///< SPM words carry the SECDED code
+  std::uint64_t cycles = 0;
+
+  /// SPM transactions in program order with the golden data: the
+  /// logical word every read returned / every write stored, plus its
+  /// raw (encoded) image for the error algebra.
+  std::vector<Txn> spm_txns;
+  std::vector<std::uint32_t> spm_logical;
+  std::vector<std::uint64_t> spm_raw;
+
+  /// The PM is write-only on the convergent OCEAN path (restores never
+  /// run), so its replay needs only the flip-draw sequence length.
+  std::uint64_t pm_write_words = 0;
+  bool pm_read_seen = false;  ///< capture saw a PM read -> not batchable
+
+  std::optional<ArrayParams> spm;
+  std::optional<ArrayParams> imem;
+  std::optional<ArrayParams> pm;
+
+  void add_spm(bool is_write, std::uint32_t base, const std::uint32_t* data,
+               std::uint32_t count) {
+    spm_logical.insert(spm_logical.end(), data, data + count);
+    if (!spm_txns.empty()) {
+      Txn& prev = spm_txns.back();
+      if (prev.is_write == is_write && base == prev.base + prev.count) {
+        prev.count += count;
+        return;
+      }
+    }
+    spm_txns.push_back(Txn{is_write, base, count,
+                           static_cast<std::uint32_t>(spm_logical.size()) -
+                               count});
+  }
+};
+
+namespace {
+
+/// TraceSink adapter feeding SchemeState::add_spm.
+struct SpmTraceSink final : sim::EccMemory::TraceSink {
+  explicit SpmTraceSink(BatchEngine::SchemeState& state) : state(state) {}
+  void on_access(bool is_write, std::uint32_t base, const std::uint32_t* data,
+                 std::uint32_t count) override {
+    state.add_spm(is_write, base, data, count);
+  }
+  BatchEngine::SchemeState& state;
+};
+
+/// PM sink: the convergent replay only needs the write-word sequence
+/// length; any read disqualifies the trace (it would mean a restore ran
+/// on the fault-free capture, i.e. the trace is not convergent).
+struct PmTraceSink final : sim::EccMemory::TraceSink {
+  explicit PmTraceSink(BatchEngine::SchemeState& state) : state(state) {}
+  void on_access(bool is_write, std::uint32_t base, const std::uint32_t* data,
+                 std::uint32_t count) override {
+    (void)base, (void)data;
+    if (is_write) {
+      state.pm_write_words += count;
+    } else {
+      state.pm_read_seen = true;
+    }
+  }
+  BatchEngine::SchemeState& state;
+};
+
+/// Fault-free in-memory scratchpad that records the transaction stream:
+/// the capture vehicle for the non-OCEAN schemes, where no platform
+/// machinery is needed at all — the FFT's address stream and data are
+/// what the trace consists of.
+struct RecordingPort final : sim::MemoryPort {
+  RecordingPort(std::uint32_t words, BatchEngine::SchemeState& state)
+      : store(words, 0), state(state) {}
+
+  sim::AccessStatus read_word(std::uint32_t word_index,
+                              std::uint32_t& data) override {
+    data = store[word_index];
+    state.add_spm(false, word_index, &data, 1);
+    return sim::AccessStatus::Ok;
+  }
+  sim::AccessStatus write_word(std::uint32_t word_index,
+                               std::uint32_t data) override {
+    store[word_index] = data;
+    state.add_spm(true, word_index, &data, 1);
+    return sim::AccessStatus::Ok;
+  }
+  std::uint32_t word_count() const override {
+    return static_cast<std::uint32_t>(store.size());
+  }
+  sim::AccessStatus read_burst(std::uint32_t word_index,
+                               std::span<std::uint32_t> data) override {
+    std::copy_n(store.begin() + word_index, data.size(), data.begin());
+    state.add_spm(false, word_index, data.data(),
+                  static_cast<std::uint32_t>(data.size()));
+    return sim::AccessStatus::Ok;
+  }
+  sim::AccessStatus write_burst(std::uint32_t word_index,
+                                std::span<const std::uint32_t> data) override {
+    std::copy(data.begin(), data.end(), store.begin() + word_index);
+    state.add_spm(true, word_index, data.data(),
+                  static_cast<std::uint32_t>(data.size()));
+    return sim::AccessStatus::Ok;
+  }
+
+  std::vector<std::uint32_t> store;
+  BatchEngine::SchemeState& state;
+};
+
+/// Process-wide registry of captured traces (the ModelTableCache
+/// pattern): a capture is seed-invariant, so runners over the same
+/// workload shape and platform geometry share one immutable
+/// SchemeState.  Entries are tiny (the trace of one workload run) and
+/// the key space is bounded by the distinct configurations a process
+/// runs, so nothing is ever evicted.
+struct TraceCacheEntry {
+  std::mutex mutex;
+  std::unordered_map<std::string, std::shared_ptr<BatchEngine::SchemeState>>
+      traces;
+};
+
+TraceCacheEntry& trace_cache() {
+  static TraceCacheEntry cache;
+  return cache;
+}
+
+BatchEngine::ArrayParams make_array_params(energy::MemoryStyle style,
+                                           std::uint32_t bytes,
+                                           std::uint32_t stored_bits,
+                                           std::uint64_t salt) {
+  energy::MemoryCalculator calc(style, energy::MemoryGeometry{bytes / 4, 32});
+  reliability::NoiseMarginModel retention = calc.retention_model();
+  const double bound = Rng::max_normal_magnitude();
+  const double lazy_safe =
+      std::max(retention.cell_retention_vmin(-bound).value,
+               retention.cell_retention_vmin(bound).value);
+  return BatchEngine::ArrayParams{calc.access_model(), std::move(retention),
+                                  bytes / 4, stored_bits, salt, lazy_safe};
+}
+
+}  // namespace
+
+BatchEngine::BatchEngine(const CampaignConfig& config,
+                         sim::PlatformConfig base_platform,
+                         const std::vector<std::complex<double>>& signal,
+                         const std::vector<std::complex<double>>& reference,
+                         const std::vector<std::uint32_t>& golden,
+                         std::shared_ptr<reliability::ModelTableCache> tables)
+    : config_(config),
+      base_platform_(std::move(base_platform)),
+      signal_(signal),
+      reference_(reference),
+      golden_(golden),
+      tables_(std::move(tables)) {
+  NTC_REQUIRE(golden_.size() == config_.fft_points);
+  // The convergent-trial SNR: every trial whose readback decodes to the
+  // golden words measures exactly this value, computed with the same
+  // unpack/scale expressions as the scalar readback loop.
+  const double scale = 1.0 / static_cast<double>(config_.fft_points);
+  std::vector<std::complex<double>> measured(config_.fft_points);
+  for (std::size_t i = 0; i < config_.fft_points; ++i) {
+    const ComplexQ15 q = ComplexQ15::unpack(golden_[i]);
+    measured[i] =
+        std::complex<double>(q.re.to_double(), q.im.to_double()) / scale;
+  }
+  golden_snr_db_ = workloads::snr_db(measured, reference_);
+
+  schemes_.reserve(config_.schemes.size());
+  TraceCacheEntry& cache = trace_cache();
+  for (std::size_t i = 0; i < config_.schemes.size(); ++i) {
+    const std::string key = trace_key(config_.schemes[i]);
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    std::shared_ptr<SchemeState>& slot = cache.traces[key];
+    if (!slot) slot = std::make_shared<SchemeState>();
+    schemes_.push_back(slot);
+  }
+}
+
+std::string BatchEngine::trace_key(mitigation::SchemeKind kind) const {
+  // Everything the capture reads must appear here: the workload shape
+  // (fft_points determines the campaign signal and with it the golden
+  // image), the platform geometry and technology the array models
+  // derive from, the capture supply and clock (OCEAN cycle totals),
+  // and the OCEAN protocol knobs that shape the checkpoint/CRC
+  // transaction stream.  A config field the capture starts reading
+  // later must join this key.
+  const ocean::OceanConfig& oc = config_.ocean;
+  char key[256];
+  std::snprintf(
+      key, sizeof key,
+      "%d|%zu|%d|%a|%a|%u|%u|%u|%u|%llu|%a|%u|%a|%a", static_cast<int>(kind),
+      config_.fft_points, static_cast<int>(base_platform_.memory_style),
+      base_platform_.clock.value, base_platform_.vdd.value,
+      base_platform_.spm_bytes, base_platform_.imem_bytes,
+      base_platform_.pm_bytes, oc.max_restore_attempts,
+      static_cast<unsigned long long>(oc.crc_cycles_per_word),
+      oc.fetches_per_cycle, oc.max_voltage_escalations,
+      oc.escalation_step.value, oc.escalation_vmax.value);
+  return key;
+}
+
+BatchEngine::~BatchEngine() = default;
+
+bool BatchEngine::eligible(const Shard& shard) const {
+  // Scripted scenario events arm on array access counters and mutate
+  // one-shot injector state the trace replay does not model; only the
+  // implicit no-event "background" scenario is batchable.
+  const Scenario& scenario = config_.scenarios[shard.scenario_index];
+  return scenario.spm_events.empty() && scenario.imem_events.empty() &&
+         scenario.pm_events.empty();
+}
+
+BatchEngine::SchemeState& BatchEngine::scheme_state(
+    std::uint32_t scheme_index) {
+  SchemeState& state = *schemes_[scheme_index];
+  std::call_once(state.once, [&] {
+    capture_scheme(state, config_.schemes[scheme_index]);
+  });
+  return state;
+}
+
+void BatchEngine::capture_scheme(SchemeState& state,
+                                 mitigation::SchemeKind kind) {
+  // The capture is infrastructure, not the simulation under observation
+  // (same policy as the golden-reference pass).
+  NTC_TELEM_MUTE(mute);
+  if (kind == mitigation::SchemeKind::Ocean) {
+    capture_ocean(state);
+  } else {
+    capture_plain(state, kind);
+  }
+  if (!state.valid) return;
+  // Pre-encode the golden raw image of every traced word once: replay
+  // only ever XORs per-trial errors onto these.
+  state.spm_raw.resize(state.spm_logical.size());
+  if (state.coded_spm) {
+    replay_secded().encode_words(state.spm_logical.data(),
+                                 state.spm_logical.size(),
+                                 state.spm_raw.data());
+  } else {
+    std::copy(state.spm_logical.begin(), state.spm_logical.end(),
+              state.spm_raw.begin());
+  }
+}
+
+void BatchEngine::capture_plain(SchemeState& state,
+                                mitigation::SchemeKind kind) {
+  const bool secded = kind == mitigation::SchemeKind::Secded;
+  state.scheme_name = secded ? mitigation::secded_scheme().name
+                             : mitigation::no_mitigation().name;
+  state.coded_spm = secded;
+  state.spm = make_array_params(base_platform_.memory_style,
+                                base_platform_.spm_bytes, secded ? 39 : 32,
+                                0x20);
+  state.imem = make_array_params(base_platform_.memory_style,
+                                 base_platform_.imem_bytes, secded ? 39 : 32,
+                                 0x10);
+
+  workloads::FixedPointFft fft(config_.fft_points);
+  fft.set_input(signal_);
+  RecordingPort port(base_platform_.spm_bytes / 4, state);
+  fft.initialize(port);
+  std::uint64_t cycles = 0;
+  bool memory_fault = false;
+  for (std::size_t phase = 0; phase < fft.phase_count(); ++phase) {
+    const workloads::PhaseResult result = fft.run_phase(phase, port);
+    cycles += result.compute_cycles;
+    memory_fault = memory_fault || result.memory_fault;
+  }
+  // The scalar trial's readback pass traverses the memory path too —
+  // synthesize the identical word-sequence read.
+  std::vector<std::uint32_t> readback(config_.fft_points);
+  for (std::size_t i = 0; i < config_.fft_points; ++i)
+    port.read_word(static_cast<std::uint32_t>(i), readback[i]);
+  state.cycles = cycles;
+  state.valid = !memory_fault && readback == golden_;
+}
+
+void BatchEngine::capture_ocean(SchemeState& state) {
+  state.scheme_name = mitigation::ocean_scheme().name;
+  state.coded_spm = true;  // SPM keeps SECDED under OCEAN
+  state.spm = make_array_params(base_platform_.memory_style,
+                                base_platform_.spm_bytes, 39, 0x20);
+  state.imem = make_array_params(base_platform_.memory_style,
+                                 base_platform_.imem_bytes, 39, 0x10);
+  const std::uint32_t pm_bits =
+      static_cast<std::uint32_t>(ecc::ocean_buffer_code().code_bits());
+  state.pm = make_array_params(base_platform_.memory_style,
+                               base_platform_.pm_bytes, pm_bits, 0x30);
+
+  // The OCEAN protocol interleaves checkpoint DMA and CRC sweeps with
+  // the workload, so the trace is captured from a real (fault-free)
+  // platform run with sinks on both arrays.
+  sim::PlatformConfig pc = base_platform_;
+  pc.scheme = mitigation::SchemeKind::Ocean;
+  pc.inject_faults = false;
+  sim::Platform platform(pc);
+  SpmTraceSink spm_sink(state);
+  PmTraceSink pm_sink(state);
+  platform.spm().set_trace_sink(&spm_sink);
+  platform.pm()->set_trace_sink(&pm_sink);
+
+  workloads::FixedPointFft fft(config_.fft_points);
+  fft.set_input(signal_);
+  ocean::OceanRuntime runtime(platform, config_.ocean);
+  const ocean::OceanRunOutcome outcome = runtime.run(fft);
+
+  std::vector<std::uint32_t> readback(config_.fft_points);
+  for (std::size_t i = 0; i < config_.fft_points; ++i)
+    platform.spm().read_word(static_cast<std::uint32_t>(i), readback[i]);
+  platform.spm().set_trace_sink(nullptr);
+  platform.pm()->set_trace_sink(nullptr);
+
+  state.cycles = platform.total_cycles();
+  state.valid = outcome.completed && !outcome.system_failure &&
+                outcome.stats.crc_mismatches == 0 &&
+                outcome.stats.restores == 0 && !state.pm_read_seen &&
+                readback == golden_;
+}
+
+bool BatchEngine::replay_trial(const SchemeState& state, Volt vdd,
+                               std::uint64_t seed, RunRecord& out) const {
+  const bool stochastic = base_platform_.inject_faults;
+  std::uint64_t stuck_bits = 0;
+  std::uint64_t injected_flips = 0;
+  std::uint64_t corrected_words = 0;
+
+  // --- per-array fault-state derivation, exactly the scalar reset path:
+  // stream = Rng(seed).fork(salt); sigma fingerprint via fork(0x51d3)
+  // through the shared table cache; stuck values via fork(0x57).
+  const auto derive =
+      [&](const ArrayParams& ap, Rng& stream, double& p_access,
+          std::shared_ptr<const reliability::RetentionVminTable>& table,
+          std::size_t& failing) {
+        stream = Rng(seed).fork(ap.salt);
+        p_access = 0.0;
+        table = nullptr;
+        failing = 0;
+        if (!stochastic) return;
+        p_access = tables_->p_access(ap.access, vdd);
+        if (vdd.value < ap.lazy_safe_vdd) {
+          const std::uint64_t sigma_seed = stream.fork(0x51d3).seed();
+          table = tables_->retention_vmin(
+              ap.retention, sigma_seed,
+              static_cast<std::size_t>(ap.words) * ap.stored_bits);
+          failing = table->failing_count(vdd);
+        }
+      };
+
+  Rng stream{0};
+  double p_access = 0.0;
+  std::shared_ptr<const reliability::RetentionVminTable> table;
+  std::size_t failing = 0;
+
+  // Instruction memory: never accessed by the execution-driven FFT
+  // (fetches are charged as counts, not transactions), so it
+  // contributes only its stuck-cell population to the record.
+  derive(*state.imem, stream, p_access, table, failing);
+  stuck_bits += failing;
+
+  // Protected memory: write-only on the convergent path, so the replay
+  // reduces to the write-flip draw sequence (masks are counted but no
+  // word is ever read back).
+  if (state.pm) {
+    derive(*state.pm, stream, p_access, table, failing);
+    stuck_bits += failing;
+    if (p_access > 0.0 && state.pm_write_words > 0) {
+      FlipStream flips(stream, p_access, state.pm->stored_bits);
+      flips.scan(state.pm_write_words,
+                 [&](std::uint64_t, std::uint64_t mask) {
+                   injected_flips += popcount64(mask);
+                 });
+    }
+  }
+
+  // --- scratchpad: the traced transaction walk.
+  derive(*state.spm, stream, p_access, table, failing);
+  stuck_bits += failing;
+
+  // Sparse stuck state, rebuilt exactly like rebuild_stuck_state: the
+  // failing cells are the first `failing` of the descending-V_min table,
+  // revisited in ascending cell order for the value redraw.
+  std::vector<StuckWord> stuck;
+  if (failing > 0) {
+    std::vector<std::uint32_t> cells(table->cell_desc.begin(),
+                                     table->cell_desc.begin() + failing);
+    std::sort(cells.begin(), cells.end());
+    Rng stuck_rng = stream.fork(0x57);
+    const std::uint32_t bits = state.spm->stored_bits;
+    for (const std::uint32_t cell : cells) {
+      const std::uint32_t word = cell / bits;
+      const std::uint64_t bit = std::uint64_t{1} << (cell % bits);
+      if (stuck.empty() || stuck.back().word != word)
+        stuck.push_back(StuckWord{word, 0, 0});
+      stuck.back().mask |= bit;
+      if (stuck_rng.bernoulli(0.5)) stuck.back().value |= bit;
+    }
+  }
+
+  // Persistent word errors relative to the golden raw image.  The array
+  // reset commits the stuck overlay into the zeroed words, so a stuck
+  // word deviates by its stuck value until first (re)written; after a
+  // write the deviation is exactly the write-flip mask.
+  std::map<std::uint32_t, std::uint64_t> werr;
+  for (const StuckWord& sw : stuck)
+    if (sw.value != 0) werr.emplace(sw.word, sw.value);
+
+  FlipStream flips(stream, p_access, state.spm->stored_bits);
+  const bool draws = stochastic && p_access > 0.0;
+
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> txn_flips;
+  std::vector<std::uint32_t> dirty_words;
+  std::vector<std::uint64_t> dirty_raw;
+  std::vector<std::uint32_t> dirty_data;
+
+  const auto stuck_lower = [&](std::uint32_t word) {
+    return std::lower_bound(stuck.begin(), stuck.end(), word,
+                            [](const StuckWord& sw, std::uint32_t w) {
+                              return sw.word < w;
+                            });
+  };
+
+  for (const SchemeState::Txn& txn : state.spm_txns) {
+    const std::uint32_t end = txn.base + txn.count;
+    txn_flips.clear();
+    if (draws) {
+      flips.scan(txn.count, [&](std::uint64_t at, std::uint64_t mask) {
+        txn_flips.emplace_back(static_cast<std::uint32_t>(at), mask);
+        injected_flips += popcount64(mask);
+      });
+    }
+    if (txn.is_write) {
+      // Every written word latches cleanly except where a write flip
+      // landed: clean writes erase the word's persistent error, flipped
+      // ones replace it with the flip mask.
+      if (!werr.empty())
+        werr.erase(werr.lower_bound(txn.base), werr.lower_bound(end));
+      for (const auto& [at, mask] : txn_flips) werr[txn.base + at] = mask;
+      continue;
+    }
+
+    // Read: gather the words whose raw image can deviate from golden.
+    const auto stuck_it = stuck_lower(txn.base);
+    const bool stuck_in_range =
+        stuck_it != stuck.end() && stuck_it->word < end;
+    const auto werr_it = werr.lower_bound(txn.base);
+    const bool werr_in_range = werr_it != werr.end() && werr_it->first < end;
+    if (txn_flips.empty() && !stuck_in_range && !werr_in_range) continue;
+
+    dirty_words.clear();
+    for (auto it = stuck_it; it != stuck.end() && it->word < end; ++it)
+      dirty_words.push_back(it->word);
+    for (auto it = werr_it; it != werr.end() && it->first < end; ++it)
+      dirty_words.push_back(it->first);
+    for (const auto& [at, mask] : txn_flips)
+      dirty_words.push_back(txn.base + at);
+    std::sort(dirty_words.begin(), dirty_words.end());
+    dirty_words.erase(std::unique(dirty_words.begin(), dirty_words.end()),
+                      dirty_words.end());
+
+    dirty_raw.clear();
+    std::vector<std::uint32_t> decode_words_idx;
+    for (const std::uint32_t word : dirty_words) {
+      std::uint64_t m = 0, v = 0;
+      const auto sit = stuck_lower(word);
+      if (sit != stuck.end() && sit->word == word) {
+        m = sit->mask;
+        v = sit->value;
+      }
+      std::uint64_t we = 0;
+      if (const auto wit = werr.find(word); wit != werr.end())
+        we = wit->second;
+      std::uint64_t flip = 0;
+      const auto fit = std::lower_bound(
+          txn_flips.begin(), txn_flips.end(), word - txn.base,
+          [](const auto& a, std::uint32_t at) { return a.first < at; });
+      if (fit != txn_flips.end() && fit->first == word - txn.base)
+        flip = fit->second;
+      const std::uint64_t golden_raw =
+          state.spm_raw[txn.offset + (word - txn.base)];
+      // raw-as-read = ((golden ^ werr) & ~m | v) ^ flip; its deviation
+      // from the golden raw:
+      const std::uint64_t error =
+          (we & ~m) ^ ((golden_raw & m) ^ v) ^ flip;
+      if (error == 0) continue;
+      if (!state.coded_spm) return false;  // bare word corrupted -> peel
+      dirty_raw.push_back(golden_raw ^ error);
+      decode_words_idx.push_back(word);
+    }
+    if (dirty_raw.empty()) continue;
+    dirty_data.resize(dirty_raw.size());
+    ecc::BatchDecodeSummary summary;
+    replay_secded().decode_words(dirty_raw.data(), dirty_raw.size(),
+                                 dirty_data.data(), summary);
+    if (summary.uncorrectable_words > 0) return false;
+    for (std::size_t i = 0; i < decode_words_idx.size(); ++i) {
+      const std::uint32_t word = decode_words_idx[i];
+      if (dirty_data[i] != state.spm_logical[txn.offset + (word - txn.base)])
+        return false;  // miscorrection: downstream data diverges
+    }
+    corrected_words += summary.corrected_words;
+  }
+
+  // Convergent: every traced read returned the golden data, so the
+  // outcome, SNR and cycle count are the trace's.
+  out.vdd = vdd.value;
+  out.seed = seed;
+  out.snr_db = golden_snr_db_;
+  out.cycles = state.cycles;
+  out.corrected_words = corrected_words;
+  out.uncorrectable_words = 0;
+  out.injected_flips = injected_flips;
+  out.stuck_bits = stuck_bits;
+  out.scenario_events_fired = 0;
+  out.ocean_restores = 0;
+  out.ocean_voltage_escalations = 0;
+  const bool any_fault_activity =
+      corrected_words > 0 || injected_flips > 0 || stuck_bits > 0;
+  out.outcome =
+      any_fault_activity ? RunOutcome::Corrected : RunOutcome::Clean;
+  return true;
+}
+
+void BatchEngine::run_batch(const Shard& shard, std::uint32_t offset,
+                            std::uint32_t count, RunRecord* out,
+                            std::vector<std::uint32_t>& peel) {
+  NTC_REQUIRE(shard.scheme_index < config_.schemes.size());
+  NTC_REQUIRE(static_cast<std::uint64_t>(offset) + count <=
+              shard.trial_count);
+  SchemeState& state = scheme_state(shard.scheme_index);
+  batched_trials_.fetch_add(count, std::memory_order_relaxed);
+  if (!state.valid) {
+    for (std::uint32_t k = 0; k < count; ++k) peel.push_back(k);
+    peeled_trials_.fetch_add(count, std::memory_order_relaxed);
+    return;
+  }
+  const Scenario& scenario = config_.scenarios[shard.scenario_index];
+  const Volt vdd = config_.voltages[shard.voltage_index];
+  std::uint32_t convergent = 0;
+  for (std::uint32_t k = 0; k < count; ++k) {
+    RunRecord record;
+    if (replay_trial(state, vdd, shard.seed_begin + offset + k, record)) {
+      // Keep the one-trace-span-per-trial invariant the scalar path
+      // establishes: convergent trials emit theirs here (the replay
+      // cost is spread over the whole chunk, so the span times only
+      // the settle), peeled trials get theirs from the scalar rerun.
+      NTC_TELEM_SPAN(trial_span, telemetry::EventKind::CampaignTrial,
+                     "campaign_trial");
+      record.scenario = scenario.name;
+      record.scheme = state.scheme_name;
+      out[k] = std::move(record);
+      ++convergent;
+    } else {
+      peel.push_back(k);
+    }
+  }
+  convergent_trials_.fetch_add(convergent, std::memory_order_relaxed);
+  peeled_trials_.fetch_add(count - convergent, std::memory_order_relaxed);
+  if (convergent > 0) {
+    // The scalar path counts trials one by one; the batch path settles
+    // its convergent trials in bulk (peeled ones are re-counted by the
+    // scalar rerun).
+    NTC_TELEM_COUNT("ntc_campaign_trials_total", convergent);
+    NTC_TELEM_COUNT("ntc_batch_trials_total", convergent);
+  }
+  if (count - convergent > 0)
+    NTC_TELEM_COUNT("ntc_batch_peeled_trials_total", count - convergent);
+}
+
+BatchStats BatchEngine::stats() const {
+  BatchStats stats;
+  stats.batched_trials = batched_trials_.load(std::memory_order_relaxed);
+  stats.convergent_trials =
+      convergent_trials_.load(std::memory_order_relaxed);
+  stats.peeled_trials = peeled_trials_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace ntc::faultsim

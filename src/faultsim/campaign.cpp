@@ -1,7 +1,9 @@
 #include "faultsim/campaign.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <ostream>
 #include <sstream>
@@ -9,6 +11,7 @@
 #include "common/assert.hpp"
 #include "common/atomic_file.hpp"
 #include "common/fixed_point.hpp"
+#include "faultsim/batch.hpp"
 #include "faultsim/ledger.hpp"
 #include "reliability/model_tables.hpp"
 #include "sim/platform.hpp"
@@ -40,6 +43,27 @@ struct InjectorSet {
   std::shared_ptr<ScenarioInjector> spm;
   std::shared_ptr<ScenarioInjector> imem;
   std::shared_ptr<ScenarioInjector> pm;  ///< null unless the platform has a PM
+};
+
+/// Plain array standing in for the reference platform's scratchpad: at
+/// NoMitigation with injection off the memory path is bit-transparent
+/// storage, so the golden pass needs no platform at all.
+struct GoldenPort final : sim::MemoryPort {
+  explicit GoldenPort(std::uint32_t words) : store(words, 0) {}
+  sim::AccessStatus read_word(std::uint32_t word_index,
+                              std::uint32_t& data) override {
+    data = store[word_index];
+    return sim::AccessStatus::Ok;
+  }
+  sim::AccessStatus write_word(std::uint32_t word_index,
+                               std::uint32_t data) override {
+    store[word_index] = data;
+    return sim::AccessStatus::Ok;
+  }
+  std::uint32_t word_count() const override {
+    return static_cast<std::uint32_t>(store.size());
+  }
+  std::vector<std::uint32_t> store;
 };
 
 }  // namespace
@@ -88,25 +112,21 @@ sim::PlatformConfig CampaignRunner::platform_base_config() const {
 void CampaignRunner::compute_golden() {
   // Fault-free reference pass: the fixed-point pipeline is
   // deterministic, so one golden image serves every grid cell (and, the
-  // config being fixed at construction, every run() call).
+  // config being fixed at construction, every run() call).  A bare
+  // array replaces the NoMitigation platform this used to build — the
+  // fault-free raw path stores and returns words verbatim, so the image
+  // is bit-identical and prepare() sheds a whole platform construction.
   if (golden_computed_) return;
-  // The reference pass is infrastructure, not the simulation under
-  // observation: recording its bursts would double the trace volume of
-  // a one-trial run and pollute exports with fault-free traffic.
-  NTC_TELEM_MUTE(mute);
-  sim::PlatformConfig pc = platform_base_config();
-  pc.scheme = mitigation::SchemeKind::NoMitigation;
-  pc.pm_bytes = 1024;  // no PM in the reference platform
-  pc.inject_faults = false;
-  sim::Platform platform(pc);
-
+  GoldenPort port(platform_base_config().spm_bytes / 4);
   workloads::FixedPointFft fft(config_.fft_points);
   fft.set_input(signal_);
-  ocean::run_unprotected(platform, fft);
+  fft.initialize(port);
+  for (std::size_t phase = 0; phase < fft.phase_count(); ++phase)
+    (void)fft.run_phase(phase, port);
 
   golden_.resize(config_.fft_points);
   for (std::size_t i = 0; i < config_.fft_points; ++i)
-    platform.spm().read_word(static_cast<std::uint32_t>(i), golden_[i]);
+    port.read_word(static_cast<std::uint32_t>(i), golden_[i]);
   golden_computed_ = true;
 }
 
@@ -231,6 +251,18 @@ void CampaignRunner::prepare() {
     executor_ = std::make_unique<Executor>(config_.threads);
     pools_.resize(executor_->worker_count());
   }
+  if (!batch_) {
+    if (const char* env = std::getenv("NTC_BATCH_TRIALS")) {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(env, &end, 10);
+      if (end != env && *end == '\0' && v > 0)
+        batch_width_ = static_cast<std::uint32_t>(
+            std::min<unsigned long>(v, 4096));
+    }
+    batch_ = std::make_unique<BatchEngine>(config_, platform_base_config(),
+                                           signal_, reference_, golden_,
+                                           tables_);
+  }
 }
 
 Executor& CampaignRunner::executor() {
@@ -255,6 +287,31 @@ RunRecord CampaignRunner::execute_shard_trial(const Shard& shard,
                      shard.seed_begin + offset, *pool);
 }
 
+void CampaignRunner::execute_shard_trials(const Shard& shard,
+                                          std::uint32_t offset,
+                                          std::uint32_t count, unsigned worker,
+                                          RunRecord* out) {
+  if (count == 0) return;
+  if (!sim::batch_enabled() || !batch_ || !batch_->eligible(shard)) {
+    for (std::uint32_t k = 0; k < count; ++k)
+      out[k] = execute_shard_trial(shard, offset + k, worker);
+    return;
+  }
+  std::vector<std::uint32_t> peel;
+  batch_->run_batch(shard, offset, count, out, peel);
+  for (const std::uint32_t k : peel)
+    out[k] = execute_shard_trial(shard, offset + k, worker);
+}
+
+std::uint32_t CampaignRunner::batch_chunk_width(const Shard& shard) const {
+  (void)shard;
+  return batch_width_;
+}
+
+BatchStats CampaignRunner::batch_stats() const {
+  return batch_ ? batch_->stats() : BatchStats{};
+}
+
 const std::vector<RunRecord>& CampaignRunner::run() {
   prepare();
   // One shard per grid cell: trial i of the flat grid is trial
@@ -265,14 +322,23 @@ const std::vector<RunRecord>& CampaignRunner::run() {
   const ShardPlan plan = shard_plan();
   records_.assign(plan.total_records, RunRecord{});
   const std::uint32_t spc = config_.seeds_per_cell;
-  // Each record is a pure function of its grid cell (platforms are
-  // reset to a seed-determined state before every run), so the ledger
-  // is identical whatever the worker count and whoever stole what.
+  // Work items are batch-width trial chunks so eligible cells go
+  // through the trace-replay engine.  Each record remains a pure
+  // function of its grid cell (batched trials are byte-identical to
+  // scalar ones; platforms are reset to a seed-determined state before
+  // every scalar run), so the ledger is identical whatever the worker
+  // count, the chunking, and whoever stole what.
+  const std::uint32_t width = std::min(batch_width_, spc);
+  const std::size_t chunks_per_shard = (spc + width - 1) / width;
   executor_->parallel_for(
-      plan.total_records, [&](std::size_t i, unsigned worker) {
-        const Shard& shard = plan.shards[i / spc];
-        records_[i] = execute_shard_trial(
-            shard, static_cast<std::uint32_t>(i % spc), worker);
+      plan.shards.size() * chunks_per_shard,
+      [&](std::size_t i, unsigned worker) {
+        const Shard& shard = plan.shards[i / chunks_per_shard];
+        const std::uint32_t offset =
+            static_cast<std::uint32_t>(i % chunks_per_shard) * width;
+        const std::uint32_t count = std::min(width, spc - offset);
+        execute_shard_trials(shard, offset, count, worker,
+                             records_.data() + shard.record_base + offset);
       });
   return records_;
 }

@@ -51,6 +51,9 @@ struct PlatformConfig;
 
 namespace ntc::faultsim {
 
+class BatchEngine;
+struct BatchStats;
+
 enum class RunOutcome {
   Clean,
   Corrected,
@@ -140,6 +143,27 @@ class CampaignRunner {
   RunRecord execute_shard_trial(const Shard& shard, std::uint32_t offset,
                                 unsigned worker);
 
+  /// Execute trials [offset, offset + count) of `shard` into
+  /// out[0..count): the batched replay engine (faultsim/batch.hpp)
+  /// handles eligible shards while sim::batch_enabled(); trials it
+  /// peels — and every trial of ineligible shards, or with the
+  /// kill-switch off — run through the scalar execute_shard_trial
+  /// reference path.  Byte-identical to `count` scalar calls, with the
+  /// same concurrency contract.
+  void execute_shard_trials(const Shard& shard, std::uint32_t offset,
+                            std::uint32_t count, unsigned worker,
+                            RunRecord* out);
+
+  /// Preferred trial-chunk width for execute_shard_trials callers that
+  /// interleave durable appends with execution (the CampaignService):
+  /// the NTC_BATCH_TRIALS environment override, default 64, clamped to
+  /// [1, 4096] at prepare().
+  std::uint32_t batch_chunk_width(const Shard& shard) const;
+
+  /// Batch-path counters (all zero before prepare() or with the engine
+  /// never engaged).
+  BatchStats batch_stats() const;
+
   /// The persistent executor (prepare() creates it on first use).
   Executor& executor();
 
@@ -178,6 +202,10 @@ class CampaignRunner {
 
   /// Campaign-wide immutable model tables shared by every platform.
   std::shared_ptr<reliability::ModelTableCache> tables_;
+  /// Trace-replay batch engine (built at prepare(); one per runner so
+  /// captured traces are shared by every worker).
+  std::unique_ptr<BatchEngine> batch_;
+  std::uint32_t batch_width_ = 64;  ///< NTC_BATCH_TRIALS, parsed once
   /// Parked between run() calls; created on first use.
   std::unique_ptr<Executor> executor_;
   /// One private pool per executor worker (index = worker id).

@@ -150,18 +150,31 @@ void CampaignService::serve_shard_impl(std::size_t shard_index,
 
       const auto deadline = std::chrono::steady_clock::now() +
                             service_.shard_timeout;
-      for (std::uint32_t j = start; j < shard.trial_count; ++j) {
-        const RunRecord record = runner_.execute_shard_trial(shard, j, worker);
-        writer->append_trial(j, record);
-        report.trials_durable = j + 1;
-        if (service_.record_hook)
-          service_.record_hook(shard, appended.fetch_add(1) + 1, path);
-        // Checked between trials only — a trial is never cut mid-run,
-        // and a budget overrun after the last trial still commits.
-        if (service_.shard_timeout.count() > 0 &&
-            j + 1 < shard.trial_count &&
-            std::chrono::steady_clock::now() >= deadline)
-          throw std::runtime_error("shard wall-clock budget exceeded");
+      // Trials execute in batch-width chunks (the trace-replay engine's
+      // unit of work) but stay durable one record at a time: each trial
+      // is appended — and the hook fired — individually, so a crash or
+      // timeout mid-chunk loses at most the not-yet-appended tail,
+      // which the deterministic rerun reproduces byte-identically.
+      const std::uint32_t width =
+          std::max<std::uint32_t>(1, runner_.batch_chunk_width(shard));
+      std::vector<RunRecord> chunk(std::min(width, shard.trial_count));
+      for (std::uint32_t j = start; j < shard.trial_count;) {
+        const std::uint32_t count = std::min(width, shard.trial_count - j);
+        runner_.execute_shard_trials(shard, j, count, worker, chunk.data());
+        for (std::uint32_t k = 0; k < count; ++k) {
+          writer->append_trial(j + k, chunk[k]);
+          report.trials_durable = j + k + 1;
+          if (service_.record_hook)
+            service_.record_hook(shard, appended.fetch_add(1) + 1, path);
+          // Checked between appends only — a trial is never cut
+          // mid-run, and a budget overrun after the last trial still
+          // commits.
+          if (service_.shard_timeout.count() > 0 &&
+              j + k + 1 < shard.trial_count &&
+              std::chrono::steady_clock::now() >= deadline)
+            throw std::runtime_error("shard wall-clock budget exceeded");
+        }
+        j += count;
       }
       writer->commit(shard.trial_count);
       report.completed = true;

@@ -37,11 +37,13 @@ AccessStatus EccMemory::read_word(std::uint32_t word_index, std::uint32_t& data)
   const std::uint64_t raw = array_->read_raw(word_index);
   if (!code_) {
     data = static_cast<std::uint32_t>(raw);
+    if (trace_sink_) trace_sink_->on_access(false, word_index, &data, 1);
     return AccessStatus::Ok;
   }
   const ecc::DecodeResult result =
       code_->decode(unpack_codeword(raw, code_->code_bits()));
   data = static_cast<std::uint32_t>(result.data);
+  if (trace_sink_) trace_sink_->on_access(false, word_index, &data, 1);
   switch (result.status) {
     case ecc::DecodeStatus::Ok:
       return AccessStatus::Ok;
@@ -82,6 +84,9 @@ AccessStatus EccMemory::read_burst(std::uint32_t word_index,
       for (std::uint32_t i = 0; i < m; ++i)
         data[off + i] = static_cast<std::uint32_t>(raws[i]);
     }
+    if (trace_sink_)
+      trace_sink_->on_access(false, word_index, data.data(),
+                             static_cast<std::uint32_t>(data.size()));
     return status;
   }
   ecc::BatchDecodeSummary summary;
@@ -93,6 +98,9 @@ AccessStatus EccMemory::read_burst(std::uint32_t word_index,
     code_->decode_words(raws, m, data.data() + off, summary);
     status = worse_status(status, note_summary(summary));
   }
+  if (trace_sink_)
+    trace_sink_->on_access(false, word_index, data.data(),
+                           static_cast<std::uint32_t>(data.size()));
   return status;
 }
 
@@ -128,6 +136,9 @@ AccessStatus EccMemory::write_burst(std::uint32_t word_index,
       array_->write_raw_burst(word_index + static_cast<std::uint32_t>(off),
                               raws, m);
     }
+    if (trace_sink_)
+      trace_sink_->on_access(true, word_index, data.data(),
+                             static_cast<std::uint32_t>(data.size()));
     return AccessStatus::Ok;
   }
   for (std::size_t off = 0; off < data.size(); off += kCodecChunk) {
@@ -137,6 +148,9 @@ AccessStatus EccMemory::write_burst(std::uint32_t word_index,
     array_->write_raw_burst(word_index + static_cast<std::uint32_t>(off), raws,
                             m);
   }
+  if (trace_sink_)
+    trace_sink_->on_access(true, word_index, data.data(),
+                           static_cast<std::uint32_t>(data.size()));
   return AccessStatus::Ok;
 }
 
@@ -169,6 +183,7 @@ AccessStatus EccMemory::read_burst_tracked(std::uint32_t word_index,
     code_->decode_words(raws, m, data.data() + off, summary);
     if (summary.first_uncorrectable == m) {
       status = worse_status(status, note_summary(summary));
+      if (trace_sink_) trace_sink_->on_access(false, base, data.data() + off, m);
       continue;
     }
     // Roll back and replay word-at-a-time through the failing word:
@@ -190,9 +205,11 @@ AccessStatus EccMemory::read_burst_tracked(std::uint32_t word_index,
 AccessStatus EccMemory::write_word(std::uint32_t word_index, std::uint32_t data) {
   if (!code_) {
     array_->write_raw(word_index, data);
+    if (trace_sink_) trace_sink_->on_access(true, word_index, &data, 1);
     return AccessStatus::Ok;
   }
   array_->write_raw(word_index, pack_codeword(code_->encode(data), code_->code_bits()));
+  if (trace_sink_) trace_sink_->on_access(true, word_index, &data, 1);
   return AccessStatus::Ok;
 }
 

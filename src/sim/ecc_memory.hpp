@@ -25,10 +25,26 @@ struct EccMemoryStats {
 
 class EccMemory final : public MemoryPort {
  public:
+  /// Observer for the logical access stream.  The batched campaign
+  /// engine installs one on a fault-free platform to capture the golden
+  /// transaction trace (array, direction, word range, decoded data) a
+  /// workload generates; replaying that trace against per-trial fault
+  /// state is what lets trials skip the full platform pipeline.  The
+  /// sink sees each public transaction once (a native burst as one
+  /// call, the word-at-a-time fallback as per-word calls — the same
+  /// flat word sequence either way) and is never invoked when null.
+  struct TraceSink {
+    virtual ~TraceSink() = default;
+    virtual void on_access(bool is_write, std::uint32_t base,
+                           const std::uint32_t* data, std::uint32_t count) = 0;
+  };
+
   /// `code` may be null for an unprotected (no-mitigation) memory; the
   /// array must then store exactly 32 bits per word.
   EccMemory(std::unique_ptr<SramModule> array,
             std::shared_ptr<const ecc::BlockCode> code);
+
+  void set_trace_sink(TraceSink* sink) { trace_sink_ = sink; }
 
   AccessStatus read_word(std::uint32_t word_index, std::uint32_t& data) override;
   AccessStatus write_word(std::uint32_t word_index, std::uint32_t data) override;
@@ -73,6 +89,7 @@ class EccMemory final : public MemoryPort {
   std::unique_ptr<SramModule> array_;
   std::shared_ptr<const ecc::BlockCode> code_;
   EccMemoryStats stats_;
+  TraceSink* trace_sink_ = nullptr;
 };
 
 /// Pack the low `bits` of a Bits codeword into a uint64 (and back) for

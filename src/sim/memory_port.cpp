@@ -11,6 +11,7 @@ namespace {
 // Relaxed is enough: the flag is a test harness switch, flipped only
 // between runs, never racing an access in a correctness-relevant way.
 std::atomic<bool> g_burst_native{true};
+std::atomic<bool> g_batch_enabled{true};
 
 void require_no_wrap(std::uint32_t word_index, std::size_t words) {
   NTC_REQUIRE_MSG(static_cast<std::uint64_t>(word_index) + words <=
@@ -26,6 +27,14 @@ void set_burst_native_enabled(bool enabled) {
 
 bool burst_native_enabled() {
   return g_burst_native.load(std::memory_order_relaxed);
+}
+
+void set_batch_enabled(bool enabled) {
+  g_batch_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool batch_enabled() {
+  return g_batch_enabled.load(std::memory_order_relaxed);
 }
 
 AccessStatus MemoryPort::read_burst(std::uint32_t word_index,

@@ -30,6 +30,15 @@ constexpr AccessStatus worse_status(AccessStatus a, AccessStatus b) {
 void set_burst_native_enabled(bool enabled);
 bool burst_native_enabled();
 
+/// Process-wide kill switch for the batched Monte-Carlo campaign
+/// engine (faultsim/batch).  When disabled, CampaignRunner executes
+/// every trial on the scalar execute_shard_trial reference path.  The
+/// batched engine must produce per-trial ledger records byte-identical
+/// to the scalar path; this switch exists for the equivalence harness
+/// and as an operational escape hatch.
+void set_batch_enabled(bool enabled);
+bool batch_enabled();
+
 class MemoryPort {
  public:
   virtual ~MemoryPort() = default;

@@ -112,17 +112,14 @@ void StochasticInjector::stuck_overlay(std::uint32_t index,
 
 std::uint64_t StochasticInjector::draw_flip_mask() {
   // Fast path: with probability (1-p)^bits nothing flips — one uniform
-  // draw.  Otherwise rejection-sample the (rare) nonzero flip mask,
-  // which preserves the exact per-bit Bernoulli distribution.
+  // draw.  Otherwise draw the (rare) nonzero mask by the exact
+  // conditional chain, which preserves the per-bit Bernoulli law.
   if (rng_.uniform() < p_no_flip_) return 0;
-  std::uint64_t flips = 0;
-  do {
-    flips = 0;
-    for (std::uint32_t b = 0; b < stored_bits_; ++b) {
-      if (rng_.bernoulli(p_access_)) flips |= std::uint64_t{1} << b;
-    }
-  } while (flips == 0);
-  return flips;
+  return draw_nonzero_flips();
+}
+
+std::uint64_t StochasticInjector::draw_nonzero_flips() {
+  return draw_conditional_nonzero_flips(rng_, p_access_, stored_bits_);
 }
 
 std::uint64_t StochasticInjector::access_flips(AccessKind kind,
@@ -136,7 +133,38 @@ std::uint64_t StochasticInjector::access_flips(AccessKind kind,
 void StochasticInjector::access_flips_burst(std::uint32_t count,
                                             std::uint64_t* flips) {
   NTC_REQUIRE(p_access_ > 0.0);
-  for (std::uint32_t i = 0; i < count; ++i) flips[i] = draw_flip_mask();
+  // SoA bulk path: one fill_u64 per chunk supplies the gate uniforms
+  // for up to kGateChunk words at once.  A chunk with no flip (the
+  // overwhelmingly common case at campaign voltages) consumes exactly
+  // one engine step per word, identical to the scalar loop.  On a flip
+  // the engine rewinds to the chunk snapshot, re-consumes the gate
+  // draws scalar-style through the flipping word, draws the nonzero
+  // mask, and the scan resumes on the next word — so the draw stream
+  // stays bit-exact against per-word draw_flip_mask calls.
+  constexpr std::uint32_t kGateChunk = 128;
+  std::uint64_t gates[kGateChunk];
+  std::uint32_t i = 0;
+  while (i < count) {
+    const std::uint32_t n = std::min(count - i, kGateChunk);
+    const Rng snapshot = rng_;
+    rng_.fill_u64({gates, n});
+    std::uint32_t flip_at = n;
+    for (std::uint32_t j = 0; j < n; ++j) {
+      if (static_cast<double>(gates[j] >> 11) * 0x1.0p-53 >= p_no_flip_) {
+        flip_at = j;
+        break;
+      }
+      flips[i + j] = 0;
+    }
+    if (flip_at == n) {
+      i += n;
+      continue;
+    }
+    rng_ = snapshot;
+    for (std::uint32_t j = 0; j <= flip_at; ++j) rng_.next_u64();
+    flips[i + flip_at] = draw_nonzero_flips();
+    i += flip_at + 1;
+  }
 }
 
 }  // namespace ntc::sim

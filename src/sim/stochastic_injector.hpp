@@ -25,6 +25,7 @@
 // redraw order are preserved by construction.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -36,6 +37,39 @@
 #include "sim/fault_injector.hpp"
 
 namespace ntc::sim {
+
+/// The nonzero flip mask for one word access: `stored_bits` iid
+/// Bernoulli(p_access) bits conditioned on at least one being set.
+/// Sampled by an exact conditional chain rather than rejection: while
+/// no bit has flipped yet, bit b flips with p / (1 - (1-p)^(bits-b)) —
+/// the product telescopes back to the iid-conditioned law exactly —
+/// and once one has, the remaining bits are plain Bernoulli(p).  This
+/// consumes exactly `stored_bits` engine steps; the rejection sampler
+/// it replaces consumed an expected 1/(1-(1-p)^bits) full rounds,
+/// millions of steps per mask at campaign probabilities.  Shared by
+/// the scalar injector and the batched trace-replay engine
+/// (faultsim/batch.cpp) so the two stay draw-for-draw identical.
+inline std::uint64_t draw_conditional_nonzero_flips(
+    Rng& rng, double p_access, std::uint32_t stored_bits) {
+  std::uint64_t flips = 0;
+  // -expm1(k*log1p(-p)) = 1 - (1-p)^k without the cancellation the
+  // direct power suffers at tiny p.
+  const double log_q = std::log1p(-p_access);
+  for (std::uint32_t b = 0; b < stored_bits; ++b) {
+    if (flips == 0) {
+      const double p_first =
+          p_access /
+          -std::expm1(static_cast<double>(stored_bits - b) * log_q);
+      const bool hit = rng.uniform() < p_first;
+      // The final chain step has p_first == 1 exactly; guard the
+      // floating-point edge so the mask can never come out zero.
+      if (hit || b + 1 == stored_bits) flips |= std::uint64_t{1} << b;
+    } else if (rng.bernoulli(p_access)) {
+      flips |= std::uint64_t{1} << b;
+    }
+  }
+  return flips;
+}
 
 class StochasticInjector final : public FaultInjector {
  public:
@@ -86,6 +120,7 @@ class StochasticInjector final : public FaultInjector {
   void materialize_fingerprint();
   void rebuild_stuck_state(std::size_t count);
   std::uint64_t draw_flip_mask();
+  std::uint64_t draw_nonzero_flips();
 
   reliability::AccessErrorModel access_;
   reliability::NoiseMarginModel retention_;

@@ -1,0 +1,159 @@
+// Byte-identity of the batched Monte-Carlo engine against the scalar
+// reference path.
+//
+// The contract under test (faultsim/batch.hpp): with batching enabled,
+// every campaign ledger — CSV and JSON, any thread count, any chunking
+// — is byte-for-byte the ledger the scalar execute_shard_trial path
+// produces, because each trial either replays to the identical
+// RunRecord or peels onto the scalar path.  The suites below diff full
+// exports across the sim::set_batch_enabled kill-switch at healthy and
+// collapsed supplies, check that divergent trials actually peel (and
+// convergent ones actually batch), and that ineligible scripted
+// scenarios bypass the engine entirely.
+#include "faultsim/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "faultsim/campaign.hpp"
+#include "sim/memory_port.hpp"
+
+namespace ntc::faultsim {
+namespace {
+
+/// Restore the process-global kill-switch whatever a test does.
+struct BatchSwitchGuard {
+  bool prev = sim::batch_enabled();
+  ~BatchSwitchGuard() { sim::set_batch_enabled(prev); }
+};
+
+struct LedgerExport {
+  std::string csv;
+  std::string json;
+  CampaignSummary summary;
+  BatchStats stats;
+};
+
+LedgerExport run_campaign(const CampaignConfig& config, bool batch) {
+  BatchSwitchGuard guard;
+  sim::set_batch_enabled(batch);
+  CampaignRunner runner(config);
+  runner.run();
+  LedgerExport out;
+  std::ostringstream csv, json;
+  runner.write_csv(csv);
+  runner.write_json(json);
+  out.csv = csv.str();
+  out.json = json.str();
+  out.summary = runner.summary();
+  out.stats = runner.batch_stats();
+  return out;
+}
+
+CampaignConfig grid_config() {
+  CampaignConfig config;
+  config.fft_points = 32;
+  config.seeds_per_cell = 4;
+  config.schemes = {mitigation::SchemeKind::NoMitigation,
+                    mitigation::SchemeKind::Secded,
+                    mitigation::SchemeKind::Ocean};
+  config.voltages = {Volt{0.42}, Volt{0.60}};
+  config.stochastic_background = true;
+  config.threads = 1;
+  return config;
+}
+
+TEST(FaultsimBatch, BackgroundGridByteIdenticalToScalar) {
+  const CampaignConfig config = grid_config();
+  const LedgerExport batched = run_campaign(config, /*batch=*/true);
+  const LedgerExport scalar = run_campaign(config, /*batch=*/false);
+
+  EXPECT_EQ(batched.csv, scalar.csv);
+  EXPECT_EQ(batched.json, scalar.json);
+  EXPECT_EQ(batched.summary.runs, scalar.summary.runs);
+
+  // The engine actually engaged: every background shard is eligible,
+  // and the healthy-supply half of the grid must replay convergently.
+  EXPECT_EQ(batched.stats.batched_trials,
+            batched.stats.convergent_trials + batched.stats.peeled_trials);
+  EXPECT_GT(batched.stats.batched_trials, 0u);
+  EXPECT_GT(batched.stats.convergent_trials, 0u);
+
+  // The kill-switch forces everything scalar.
+  EXPECT_EQ(scalar.stats.batched_trials, 0u);
+  EXPECT_EQ(scalar.stats.peeled_trials, 0u);
+}
+
+TEST(FaultsimBatch, DivergentTrialsPeelByteIdentically) {
+  // A collapsed supply (0.30 V: access flips every few hundred words,
+  // a handful of retention-stuck cells per array): most NoMitigation
+  // trials corrupt a read and must peel onto the scalar path, OCEAN
+  // trials that take a restore peel too, while SECDED mostly absorbs
+  // the damage and stays batched.
+  CampaignConfig config = grid_config();
+  config.voltages = {Volt{0.30}, Volt{0.42}};
+
+  const LedgerExport batched = run_campaign(config, /*batch=*/true);
+  const LedgerExport scalar = run_campaign(config, /*batch=*/false);
+
+  EXPECT_EQ(batched.csv, scalar.csv);
+  EXPECT_EQ(batched.json, scalar.json);
+
+  // Both populations exist — the batch path carried real work and the
+  // peel path really exercised the divergence handoff — and the two
+  // modes classify identically.
+  EXPECT_GT(batched.stats.peeled_trials, 0u);
+  EXPECT_GT(batched.stats.convergent_trials, 0u);
+  EXPECT_EQ(batched.summary.clean, scalar.summary.clean);
+  EXPECT_EQ(batched.summary.corrected, scalar.summary.corrected);
+  EXPECT_EQ(batched.summary.detected_uncorrectable,
+            scalar.summary.detected_uncorrectable);
+  EXPECT_EQ(batched.summary.silent_data_corruption,
+            scalar.summary.silent_data_corruption);
+  EXPECT_EQ(batched.summary.system_failure, scalar.summary.system_failure);
+}
+
+TEST(FaultsimBatch, ThreadedRunMatchesSingleThreadByteForByte) {
+  CampaignConfig config = grid_config();
+  const LedgerExport single = run_campaign(config, /*batch=*/true);
+  config.threads = 8;
+  const LedgerExport threaded = run_campaign(config, /*batch=*/true);
+  EXPECT_EQ(single.csv, threaded.csv);
+  EXPECT_EQ(single.json, threaded.json);
+  EXPECT_EQ(single.stats.convergent_trials, threaded.stats.convergent_trials);
+  EXPECT_EQ(single.stats.peeled_trials, threaded.stats.peeled_trials);
+}
+
+TEST(FaultsimBatch, ChunkWidthDoesNotChangeTheLedger) {
+  // NTC_BATCH_TRIALS only re-chunks the work; records are per-trial
+  // pure functions either way.
+  CampaignConfig config = grid_config();
+  const LedgerExport wide = run_campaign(config, /*batch=*/true);
+  setenv("NTC_BATCH_TRIALS", "3", /*overwrite=*/1);
+  const LedgerExport narrow = run_campaign(config, /*batch=*/true);
+  unsetenv("NTC_BATCH_TRIALS");
+  EXPECT_EQ(wide.csv, narrow.csv);
+  EXPECT_EQ(wide.stats.convergent_trials, narrow.stats.convergent_trials);
+}
+
+TEST(FaultsimBatch, ScriptedScenariosBypassTheEngine) {
+  // Scenario events arm on access counters the trace replay does not
+  // model; such shards must take the scalar path outright.
+  CampaignConfig config = grid_config();
+  config.schemes = {mitigation::SchemeKind::Secded};
+  Scenario scripted;
+  scripted.name = "stuck-word";
+  scripted.spm_events.push_back(
+      FaultEvent::stuck_at(3, /*bit_mask=*/0x1, /*stuck_value=*/0x1));
+  config.scenarios = {scripted};
+
+  const LedgerExport batched = run_campaign(config, /*batch=*/true);
+  const LedgerExport scalar = run_campaign(config, /*batch=*/false);
+  EXPECT_EQ(batched.csv, scalar.csv);
+  EXPECT_EQ(batched.stats.batched_trials, 0u);
+}
+
+}  // namespace
+}  // namespace ntc::faultsim

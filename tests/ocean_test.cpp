@@ -108,15 +108,17 @@ TEST(OceanRuntime, CompletesCleanRunWithoutRestores) {
 }
 
 TEST(OceanRuntime, ProtectsQualityAtStressVoltage) {
-  // At 0.40 V the raw scratchpad sees frequent word errors; OCEAN must
-  // deliver a much better transform than the unprotected run.
+  // At 0.36 V the raw scratchpad reliably collects dozens of access
+  // flips over the transform (expected corrupted words ~30, so no seed
+  // escapes clean); OCEAN must deliver a much better transform than
+  // the unprotected run.
   const auto reference = workloads::reference_fft(test_signal(1024));
 
   auto run_once = [&](bool protect) {
     sim::PlatformConfig config;
     config.scheme = protect ? mitigation::SchemeKind::Ocean
                             : mitigation::SchemeKind::NoMitigation;
-    config.vdd = Volt{0.40};
+    config.vdd = Volt{0.36};
     config.pm_bytes = 8 * 1024;
     config.seed = 33;
     sim::Platform platform(config);

@@ -44,9 +44,11 @@ TEST(InjectorStats, StochasticWriteFlipRateMatchesReadFlipRate) {
   // Same word, same access count, same model: the two counters must
   // estimate the same per-access flip rate (Eq. 5 applies to the latch
   // on both directions of the port).
+  // Enough accesses that the expected flip count (~500) puts the 15%
+  // band at >3 Poisson sigma — the estimate, not the seed, decides.
   const Volt vdd{0.40};
   const double p = reliability::cell_based_40nm_access().p_bit_err(vdd);
-  const int accesses = 100000;
+  const int accesses = 4000000;
 
   SramModule reader = make_sram(vdd, /*inject=*/true, 7);
   reader.write_raw(0, 0);

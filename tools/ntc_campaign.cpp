@@ -20,6 +20,8 @@
 //   --schemes a,b,...     none|secded|ocean                [secded,ocean]
 //   --scenarios a,b,...   background|burst|stuck           [background,burst]
 //   --stochastic 0|1      analytic fault model underneath  [1]
+//   --batch 0|1           batched trace-replay trial engine
+//                         (sim::set_batch_enabled)         [1]
 // Service options:
 //   --seeds-per-shard N   seed-range chunk per shard (0 = cell) [0]
 //   --workers N           executor workers (0 = hardware)  [0]
@@ -46,6 +48,7 @@
 #include <vector>
 
 #include "faultsim/service.hpp"
+#include "sim/memory_port.hpp"
 
 using namespace ntc;
 using namespace ntc::faultsim;
@@ -146,6 +149,7 @@ int main(int argc, char** argv) {
     else if (arg == "--seeds") campaign.seeds_per_cell = std::stoul(need_value(i));
     else if (arg == "--base-seed") campaign.base_seed = std::stoull(need_value(i));
     else if (arg == "--stochastic") campaign.stochastic_background = std::stoi(need_value(i)) != 0;
+    else if (arg == "--batch") sim::set_batch_enabled(std::stoi(need_value(i)) != 0);
     else if (arg == "--workers") campaign.threads = std::stoul(need_value(i));
     else if (arg == "--voltages") {
       campaign.voltages.clear();
