@@ -11,11 +11,14 @@
 //
 // --quick shrinks iteration counts so the tier-2 ctest smoke label can
 // execute the binary in milliseconds; --baseline annotates each entry
-// with the speedup over a previous BENCH_perf.json.
+// with the speedup over a previous BENCH_perf.json.  Each benchmark is
+// measured NTC_BENCH_REPEATS times (default 5) and the median is
+// reported, so one scheduler hiccup cannot fake a regression.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <functional>
@@ -27,7 +30,10 @@
 #include <vector>
 
 #include "common/atomic_file.hpp"
+#include "common/cpu.hpp"
+#include "common/framing.hpp"
 #include "common/rng.hpp"
+#include "common/simd.hpp"
 #include "ecc/bch.hpp"
 #include "ecc/hamming.hpp"
 #include "ecc/hsiao.hpp"
@@ -60,31 +66,53 @@ struct BenchResult {
   double baseline_ns_per_op = 0.0;  // 0 = no baseline entry
 };
 
+/// Measurement repetitions per benchmark; the reported ns/op is the
+/// median over the repetitions.
+int bench_repeats() {
+  static const int repeats = [] {
+    if (const char* env = std::getenv("NTC_BENCH_REPEATS")) {
+      const int v = std::atoi(env);
+      if (v >= 1) return v;
+    }
+    return 5;
+  }();
+  return repeats;
+}
+
 class Suite {
  public:
   explicit Suite(double min_time_s) : min_time_s_(min_time_s) {}
 
-  /// Run `op(i)` repeatedly until at least min_time_s has elapsed (with
-  /// batch doubling) and record the mean ns per call.
+  /// Measure `op` bench_repeats() times — each repetition runs op(i)
+  /// until at least min_time_s has elapsed (with batch doubling) and
+  /// yields its mean ns per call — and record the median repetition.
   void run(const std::string& name, const std::function<void(std::uint64_t)>& op) {
     using clock = std::chrono::steady_clock;
     // Warm caches and let the first-touch page faults happen off-clock.
     op(0);
-    std::uint64_t batch = 1;
-    double elapsed_s = 0.0;
-    std::uint64_t total_ops = 0;
     std::uint64_t i = 1;
-    while (elapsed_s < min_time_s_) {
-      const auto start = clock::now();
-      for (std::uint64_t b = 0; b < batch; ++b) op(i++);
-      elapsed_s += std::chrono::duration<double>(clock::now() - start).count();
-      total_ops += batch;
-      if (batch < (std::uint64_t{1} << 30)) batch *= 2;
+    std::vector<double> samples;
+    samples.reserve(static_cast<std::size_t>(bench_repeats()));
+    for (int rep = 0; rep < bench_repeats(); ++rep) {
+      std::uint64_t batch = 1;
+      double elapsed_s = 0.0;
+      std::uint64_t total_ops = 0;
+      while (elapsed_s < min_time_s_) {
+        const auto start = clock::now();
+        for (std::uint64_t b = 0; b < batch; ++b) op(i++);
+        elapsed_s +=
+            std::chrono::duration<double>(clock::now() - start).count();
+        total_ops += batch;
+        if (batch < (std::uint64_t{1} << 30)) batch *= 2;
+      }
+      samples.push_back(elapsed_s * 1e9 / static_cast<double>(total_ops));
     }
+    std::nth_element(samples.begin(), samples.begin() + samples.size() / 2,
+                     samples.end());
     BenchResult result;
     result.name = name;
-    result.ns_per_op = elapsed_s * 1e9 / static_cast<double>(total_ops);
-    result.ops_per_sec = static_cast<double>(total_ops) / elapsed_s;
+    result.ns_per_op = samples[samples.size() / 2];
+    result.ops_per_sec = 1e9 / result.ns_per_op;
     results_.push_back(result);
     std::printf("%-34s %12.2f ns/op %14.0f ops/s\n", name.c_str(),
                 result.ns_per_op, result.ops_per_sec);
@@ -159,6 +187,94 @@ void bench_codecs(Suite& suite) {
   decode_bench("bch56_decode_2err", bch, 2);
   decode_bench("interleaved4x16_decode_clean", interleaved, 0);
   decode_bench("interleaved4x16_decode_4err", interleaved, 4);
+}
+
+/// The vectorized kernels against their scalar twins: the dispatch
+/// kill switch is the only thing toggled between the two runs, so each
+/// pair times the identical call on identical inputs.
+void bench_simd_kernels(Suite& suite) {
+  const bool prior = sim::simd_enabled();
+  const auto run_pair = [&](const std::string& vec_name,
+                            const std::string& scalar_name,
+                            const std::function<void(std::uint64_t)>& op) {
+    sim::set_simd_enabled(true);
+    suite.run(vec_name, op);
+    sim::set_simd_enabled(false);
+    suite.run(scalar_name, op);
+  };
+
+  // Word-batch codec kernels over a mostly-clean 4096-word buffer with
+  // a single-bit error sprinkled every 97th word — the memory-read
+  // profile the clean-span dispatch is built for.
+  const ecc::HammingSecded hamming(32);
+  const ecc::HsiaoSecded hsiao(32);
+  constexpr std::size_t kWords = 4096;
+  std::vector<std::uint32_t> data(kWords), out(kWords);
+  for (std::size_t i = 0; i < kWords; ++i)
+    data[i] = static_cast<std::uint32_t>(i * 2654435761u);
+  std::vector<std::uint64_t> hsiao_raw(kWords), hamming_raw(kWords);
+  hsiao.encode_words(data.data(), kWords, hsiao_raw.data());
+  hamming.encode_words(data.data(), kWords, hamming_raw.data());
+  for (std::size_t i = 0; i < kWords; i += 97) {
+    hsiao_raw[i] ^= std::uint64_t{1} << (i % 39);
+    hamming_raw[i] ^= std::uint64_t{1} << (i % 39);
+  }
+  ecc::BatchDecodeSummary summary;
+  run_pair("hsiao39_decode_words_simd", "hsiao39_decode_words_scalar",
+           [&](std::uint64_t) {
+             hsiao.decode_words(hsiao_raw.data(), kWords, out.data(), summary);
+             do_not_optimize(summary);
+           });
+  run_pair("hamming39_decode_words_simd", "hamming39_decode_words_scalar",
+           [&](std::uint64_t) {
+             hamming.decode_words(hamming_raw.data(), kWords, out.data(),
+                                  summary);
+             do_not_optimize(summary);
+           });
+  std::vector<std::uint64_t> enc_out(kWords);
+  run_pair("hsiao39_encode_words_simd", "hsiao39_encode_words_scalar",
+           [&](std::uint64_t) {
+             hsiao.encode_words(data.data(), kWords, enc_out.data());
+             do_not_optimize(enc_out[0]);
+           });
+  run_pair("hamming39_encode_words_simd", "hamming39_encode_words_scalar",
+           [&](std::uint64_t) {
+             hamming.encode_words(data.data(), kWords, enc_out.data());
+             do_not_optimize(enc_out[0]);
+           });
+
+  // Ledger-framing CRC over a 4 KiB payload: SSE4.2 crc32 instruction
+  // stream versus the byte table.
+  std::vector<std::uint8_t> payload(4096);
+  Rng crc_rng(0xC3C32C);
+  for (auto& b : payload)
+    b = static_cast<std::uint8_t>(crc_rng.uniform_u64(256));
+  const auto crc_op = [&](std::uint64_t) {
+    do_not_optimize(crc32c({payload.data(), payload.size()}));
+  };
+  run_pair("crc32c_4k", "crc32c_4k_table", crc_op);
+
+  // The batch engine's deviation algebra over one full 64-word chunk.
+  constexpr std::size_t kDev = 64;
+  std::vector<std::uint64_t> golden(kDev), werr(kDev), mask(kDev),
+      value(kDev), flip(kDev), error(kDev);
+  Rng dev_rng(0xDE71A);
+  for (std::size_t i = 0; i < kDev; ++i) {
+    golden[i] = dev_rng.next_u64() & ((std::uint64_t{1} << 39) - 1);
+    mask[i] = dev_rng.next_u64() & dev_rng.next_u64() & dev_rng.next_u64();
+    value[i] = dev_rng.next_u64() & mask[i];
+    werr[i] = (i % 5 == 0) ? (std::uint64_t{1} << (i % 39)) : 0;
+    flip[i] = (i % 7 == 0) ? (std::uint64_t{1} << ((i * 3) % 39)) : 0;
+  }
+  const auto dev_op = [&](std::uint64_t) {
+    do_not_optimize(simd::deviation_sweep(golden.data(), werr.data(),
+                                          mask.data(), value.data(),
+                                          flip.data(), kDev, error.data()));
+    do_not_optimize(error[0]);
+  };
+  run_pair("batch_deviation_sweep", "batch_deviation_sweep_scalar", dev_op);
+
+  sim::set_simd_enabled(prior);
 }
 
 void bench_raw_access(Suite& suite) {
@@ -355,6 +471,20 @@ double paired_overhead_pct(const std::function<void(std::uint64_t)>& op,
 std::vector<std::pair<std::string, double>> bench_telemetry_overhead(
     Suite& suite, bool quick) {
   std::vector<std::pair<std::string, double>> overheads;
+  // Like ns_per_op, the paired measurement is repeated
+  // NTC_BENCH_REPEATS times and the median recorded: one 512-pair draw
+  // still moves a few tenths of a percent run-to-run on a busy host,
+  // which matters when the budget under test is a 2% ceiling.
+  const auto median_overhead =
+      [&](const std::function<void(std::uint64_t)>& op) {
+        std::vector<double> draws;
+        draws.reserve(static_cast<std::size_t>(bench_repeats()));
+        for (int rep = 0; rep < bench_repeats(); ++rep)
+          draws.push_back(paired_overhead_pct(op, quick ? 6 : 512));
+        std::nth_element(draws.begin(), draws.begin() + draws.size() / 2,
+                         draws.end());
+        return draws[draws.size() / 2];
+      };
   {
     sim::PlatformConfig config;
     config.scheme = mitigation::SchemeKind::Secded;
@@ -371,9 +501,7 @@ std::vector<std::pair<std::string, double>> bench_telemetry_overhead(
     telemetry::set_enabled(true);
     suite.run("fft_platform_run_telemetry", op);
     telemetry::set_enabled(false);
-    overheads.emplace_back(
-        "fft_platform_run",
-        paired_overhead_pct(op, quick ? 6 : 512));
+    overheads.emplace_back("fft_platform_run", median_overhead(op));
   }
   {
     faultsim::CampaignConfig config;
@@ -391,9 +519,7 @@ std::vector<std::pair<std::string, double>> bench_telemetry_overhead(
     telemetry::set_enabled(true);
     suite.run("campaign_grid_slice_telemetry", op);
     telemetry::set_enabled(false);
-    overheads.emplace_back(
-        "campaign_grid_slice",
-        paired_overhead_pct(op, quick ? 6 : 512));
+    overheads.emplace_back("campaign_grid_slice", median_overhead(op));
   }
   return overheads;
 }
@@ -507,6 +633,10 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--features") == 0) {
+      // Detection probe for scripts: print the feature string and exit.
+      std::printf("%s\n", cpu_feature_string());
+      return 0;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
@@ -522,8 +652,11 @@ int main(int argc, char** argv) {
     }
   }
 
+  std::printf("cpu features: %s  (%d repetitions per benchmark, median)\n",
+              cpu_feature_string(), bench_repeats());
   Suite suite(quick ? 1e-4 : 0.25);
   bench_codecs(suite);
+  bench_simd_kernels(suite);
   bench_raw_access(suite);
   bench_ecc_memory(suite);
   bench_campaign_slice(suite, quick);

@@ -49,6 +49,8 @@ fi
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release > /dev/null
 cmake --build "${build_dir}" -j --target perf_suite > /dev/null
 
+echo "detected cpu features: $("${build_dir}/bench/perf_suite" --features)"
+
 status=0
 "${build_dir}/bench/perf_suite" --out "${out_json}.tmp" \
   "${baseline_args[@]}" "$@" || status=$?

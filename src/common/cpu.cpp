@@ -1,0 +1,33 @@
+#include "common/cpu.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace ntc::sim {
+
+namespace {
+
+bool simd_env_default() {
+  const char* env = std::getenv("NTC_SIMD");
+  return env == nullptr || std::strcmp(env, "0") != 0;
+}
+
+// Function-local so a static initializer in another TU that consults
+// the switch sees the env-derived default rather than a zero.
+std::atomic<bool>& simd_flag() {
+  static std::atomic<bool> flag{simd_env_default()};
+  return flag;
+}
+
+}  // namespace
+
+void set_simd_enabled(bool enabled) {
+  simd_flag().store(enabled, std::memory_order_relaxed);
+}
+
+bool simd_enabled() {
+  return simd_flag().load(std::memory_order_relaxed);
+}
+
+}  // namespace ntc::sim

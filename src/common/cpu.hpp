@@ -1,0 +1,91 @@
+// Runtime CPU feature detection plus the SIMD dispatch kill-switch.
+//
+// The kernel layers (ecc codecs, batch deviation algebra, injector gate
+// scans, framing CRC-32C) each keep their scalar reference path and
+// consult simd_avx2_active()/simd_sse42_active() to take a vector
+// variant.  Three independent gates must pass:
+//   * compiled for x86-64 under GCC/Clang (NTC_X86_SIMD),
+//   * the CPU advertises the feature (probed once per process),
+//   * the runtime kill-switch sim::simd_enabled() is on.
+// The switch mirrors sim::set_burst_native / sim::set_batch_enabled:
+// scalar is the oracle, and flipping it must never change observable
+// results — every vector kernel is bit-exact by construction and the
+// equivalence/byte-identity suites prove it.
+//
+// Detection is header-inline (no ntc_common link edge) so the
+// bottom-layer telemetry library can stamp cpu_feature_string() into
+// build_info records.
+#pragma once
+
+#include <cstdio>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define NTC_X86_SIMD 1
+#else
+#define NTC_X86_SIMD 0
+#endif
+
+namespace ntc {
+
+/// CPU features the kernels dispatch on, probed once per process.
+struct CpuFeatures {
+  bool sse42 = false;  ///< crc32 instruction (hardware CRC-32C)
+  bool avx2 = false;   ///< 256-bit integer lanes (vpshufb nibble LUTs)
+  bool bmi2 = false;   ///< pext/pdep (the Hamming lanes' run
+                       ///< permutation); those kernels need avx2+bmi2
+};
+
+inline const CpuFeatures& cpu_features() {
+  static const CpuFeatures features = [] {
+    CpuFeatures f;
+#if NTC_X86_SIMD
+    f.sse42 = __builtin_cpu_supports("sse4.2") != 0;
+    f.avx2 = __builtin_cpu_supports("avx2") != 0;
+    f.bmi2 = __builtin_cpu_supports("bmi2") != 0;
+#endif
+    return f;
+  }();
+  return features;
+}
+
+/// "sse4.2+avx2+bmi2" on a full-featured host, "scalar" when nothing is
+/// available.  Process-constant and kill-switch independent, so ledgers
+/// stamped with it stay byte-identical across sim::set_simd_enabled.
+inline const char* cpu_feature_string() {
+  static const char* const str = [] {
+    static char buf[32];
+    const CpuFeatures& f = cpu_features();
+    int n = 0;
+    const auto append = [&](const char* name) {
+      n += std::snprintf(buf + n, sizeof buf - static_cast<std::size_t>(n),
+                         "%s%s", n > 0 ? "+" : "", name);
+    };
+    if (f.sse42) append("sse4.2");
+    if (f.avx2) append("avx2");
+    if (f.bmi2) append("bmi2");
+    if (n == 0) std::snprintf(buf, sizeof buf, "scalar");
+    return static_cast<const char*>(buf);
+  }();
+  return str;
+}
+
+namespace sim {
+
+/// Runtime kill-switch over every SIMD kernel variant.  Defaults to on;
+/// the NTC_SIMD environment knob ("0" disables, anything else enables)
+/// sets the initial value, mirroring the burst/batch conventions.
+void set_simd_enabled(bool enabled);
+bool simd_enabled();
+
+}  // namespace sim
+
+/// Dispatch predicates: true when a vector variant should be taken.
+inline bool simd_avx2_active() {
+  return NTC_X86_SIMD != 0 && cpu_features().avx2 && sim::simd_enabled();
+}
+
+inline bool simd_sse42_active() {
+  return NTC_X86_SIMD != 0 && cpu_features().sse42 && sim::simd_enabled();
+}
+
+}  // namespace ntc

@@ -2,6 +2,9 @@
 
 #include <cstring>
 
+#include "common/cpu.hpp"
+#include "common/simd.hpp"
+
 namespace ntc {
 
 namespace {
@@ -24,13 +27,26 @@ const Crc32cTable& crc_table() {
   return table;
 }
 
+/// Raw state update (pre/post XORs applied by the public wrappers).
+std::uint32_t crc32c_state(std::uint32_t state,
+                           std::span<const std::uint8_t> bytes) {
+  if (simd_sse42_active())
+    return simd::crc32c_hw(state, bytes.data(), bytes.size());
+  const Crc32cTable& t = crc_table();
+  for (std::uint8_t b : bytes)
+    state = t.entries[(state ^ b) & 0xFFu] ^ (state >> 8);
+  return state;
+}
+
 }  // namespace
 
 std::uint32_t crc32c(std::span<const std::uint8_t> bytes) {
-  const Crc32cTable& t = crc_table();
-  std::uint32_t c = 0xFFFFFFFFu;
-  for (std::uint8_t b : bytes) c = t.entries[(c ^ b) & 0xFFu] ^ (c >> 8);
-  return c ^ 0xFFFFFFFFu;
+  return crc32c_state(0xFFFFFFFFu, bytes) ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32c_update(std::uint32_t crc,
+                            std::span<const std::uint8_t> bytes) {
+  return crc32c_state(crc ^ 0xFFFFFFFFu, bytes) ^ 0xFFFFFFFFu;
 }
 
 void ByteWriter::put_u16(std::uint16_t v) {

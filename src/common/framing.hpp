@@ -30,8 +30,17 @@
 namespace ntc {
 
 /// CRC-32C (polynomial 0x1EDC6F41, reflected; RFC 3720 §B.4).
-/// crc32c over "123456789" is 0xE3069283.
+/// crc32c over "123456789" is 0xE3069283.  Dispatches to the SSE4.2
+/// crc32 instruction (simd::crc32c_hw) when simd_sse42_active(); the
+/// byte-table loop is the scalar oracle and both are bit-identical, so
+/// ledger segments written under either dispatch mode interoperate.
 std::uint32_t crc32c(std::span<const std::uint8_t> bytes);
+
+/// Incremental form: crc32c(A || B) == crc32c_update(crc32c(A), B).
+/// Seed the chain with crc32c({}) — i.e. 0 — or simply the first
+/// chunk's crc32c.  Same dispatch rules as crc32c.
+std::uint32_t crc32c_update(std::uint32_t crc,
+                            std::span<const std::uint8_t> bytes);
 
 /// Little-endian primitive serializer for record payloads.  All sizes
 /// are explicit; doubles travel as IEEE-754 bit patterns so a

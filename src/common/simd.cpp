@@ -1,0 +1,247 @@
+#include "common/simd.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/assert.hpp"
+#include "common/cpu.hpp"
+
+#if NTC_X86_SIMD
+#include <immintrin.h>
+#endif
+
+namespace ntc::simd {
+
+std::uint64_t gate_threshold(double p) {
+  if (p <= 0.0) return 0;
+  if (p >= 1.0) return std::uint64_t{1} << 53;
+  // p * 2^53 is a power-of-two scaling, hence exact for every finite p
+  // (subnormals included), so ceil() lands on the exact threshold.
+  return static_cast<std::uint64_t>(std::ceil(p * 0x1.0p53));
+}
+
+namespace {
+
+std::uint32_t find_first_gate_scalar(const std::uint64_t* gates,
+                                     std::uint32_t n,
+                                     std::uint64_t threshold) {
+  for (std::uint32_t j = 0; j < n; ++j)
+    if ((gates[j] >> 11) >= threshold) return j;
+  return n;
+}
+
+std::uint64_t deviation_sweep_scalar(const std::uint64_t* golden,
+                                     const std::uint64_t* werr,
+                                     const std::uint64_t* mask,
+                                     const std::uint64_t* value,
+                                     const std::uint64_t* flip, std::size_t n,
+                                     std::uint64_t* error) {
+  std::uint64_t dirty = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t e =
+        (werr[i] & ~mask[i]) ^ ((golden[i] & mask[i]) ^ value[i]) ^ flip[i];
+    error[i] = e;
+    if (e != 0) dirty |= std::uint64_t{1} << i;
+  }
+  return dirty;
+}
+
+#if NTC_X86_SIMD
+
+__attribute__((target("avx2"))) std::uint32_t find_first_gate_avx2(
+    const std::uint64_t* gates, std::uint32_t n, std::uint64_t threshold) {
+  // threshold >= 1 here (0 is resolved by the dispatcher) and shifted
+  // gate values are < 2^53, so the signed compare cannot wrap:
+  // (g >> 11) >= T  <=>  (g >> 11) > T - 1.
+  const __m256i limit =
+      _mm256_set1_epi64x(static_cast<long long>(threshold - 1));
+  std::uint32_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    __m256i g =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(gates + j));
+    g = _mm256_srli_epi64(g, 11);
+    const __m256i hit = _mm256_cmpgt_epi64(g, limit);
+    const int lanes = _mm256_movemask_pd(_mm256_castsi256_pd(hit));
+    if (lanes != 0)
+      return j + static_cast<std::uint32_t>(__builtin_ctz(
+                     static_cast<unsigned>(lanes)));
+  }
+  return j + find_first_gate_scalar(gates + j, n - j, threshold);
+}
+
+__attribute__((target("avx2"))) std::uint64_t deviation_sweep_avx2(
+    const std::uint64_t* golden, const std::uint64_t* werr,
+    const std::uint64_t* mask, const std::uint64_t* value,
+    const std::uint64_t* flip, std::size_t n, std::uint64_t* error) {
+  const __m256i zero = _mm256_setzero_si256();
+  std::uint64_t dirty = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i g =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(golden + i));
+    const __m256i we =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(werr + i));
+    const __m256i m =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mask + i));
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(value + i));
+    const __m256i f =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(flip + i));
+    __m256i e = _mm256_andnot_si256(m, we);
+    e = _mm256_xor_si256(e, _mm256_and_si256(g, m));
+    e = _mm256_xor_si256(e, v);
+    e = _mm256_xor_si256(e, f);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(error + i), e);
+    const int clean =
+        _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(e, zero)));
+    dirty |= static_cast<std::uint64_t>(~clean & 0xF) << i;
+  }
+  if (i < n)
+    dirty |= deviation_sweep_scalar(golden + i, werr + i, mask + i, value + i,
+                                    flip + i, n - i, error + i)
+             << i;
+  return dirty;
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32C stream kernel.  Advancing a reflected CRC state over one zero
+// byte is a GF(2)-linear operator on the 32 state bits; shift tables
+// for kCrcLane and 2*kCrcLane zero bytes (built once by squaring that
+// operator) recombine three independently-accumulated lanes:
+//   F(s, A||B||C) = L^(2B)(F(s,A)) ^ L^B(F(0,B)) ^ F(0,C).
+
+constexpr std::size_t kCrcLane = 1024;  // bytes per interleaved stream
+static_assert((kCrcLane & (kCrcLane - 1)) == 0, "squaring count below");
+
+struct CrcShift {
+  std::uint32_t by_lane[4][256];   // state advance over kCrcLane zeros
+  std::uint32_t by_2lane[4][256];  // ... over 2 * kCrcLane zeros
+};
+
+std::uint32_t crc32c_byte_entry(std::uint32_t v) {
+  std::uint32_t c = v;
+  for (int k = 0; k < 8; ++k)
+    c = (c & 1u) != 0 ? (c >> 1) ^ 0x82F63B78u : c >> 1;
+  return c;
+}
+
+std::uint32_t apply32(const std::uint32_t m[32], std::uint32_t x) {
+  std::uint32_t r = 0;
+  for (int b = 0; x != 0; ++b, x >>= 1)
+    if ((x & 1u) != 0) r ^= m[b];
+  return r;
+}
+
+void mat_square(const std::uint32_t in[32], std::uint32_t out[32]) {
+  for (int b = 0; b < 32; ++b) out[b] = apply32(in, in[b]);
+}
+
+void bake_tables(const std::uint32_t op[32], std::uint32_t tab[4][256]) {
+  for (int k = 0; k < 4; ++k)
+    for (std::uint32_t v = 0; v < 256; ++v)
+      tab[k][v] = apply32(op, v << (8 * k));
+}
+
+const CrcShift& crc_shift_tables() {
+  static const CrcShift tables = [] {
+    // One-zero-byte step on unit vectors: bits 0..7 feed the byte
+    // table, bits 8..31 shift down.
+    std::uint32_t op[32];
+    for (int b = 0; b < 8; ++b) op[b] = crc32c_byte_entry(1u << b);
+    for (int b = 8; b < 32; ++b) op[b] = 1u << (b - 8);
+    std::uint32_t tmp[32];
+    for (std::size_t span = 1; span < kCrcLane; span *= 2) {
+      mat_square(op, tmp);
+      std::memcpy(op, tmp, sizeof op);
+    }
+    CrcShift t;
+    bake_tables(op, t.by_lane);
+    mat_square(op, tmp);
+    std::memcpy(op, tmp, sizeof op);
+    bake_tables(op, t.by_2lane);
+    return t;
+  }();
+  return tables;
+}
+
+inline std::uint32_t apply_shift(const std::uint32_t tab[4][256],
+                                 std::uint32_t c) {
+  return tab[0][c & 0xFF] ^ tab[1][(c >> 8) & 0xFF] ^
+         tab[2][(c >> 16) & 0xFF] ^ tab[3][c >> 24];
+}
+
+__attribute__((target("sse4.2"))) std::uint32_t crc32c_hw_impl(
+    std::uint32_t state, const std::uint8_t* data, std::size_t len,
+    const CrcShift& shift) {
+  std::uint64_t c = state;
+  while (len >= 3 * kCrcLane) {
+    std::uint64_t a = c, b = 0, d = 0;
+    for (std::size_t i = 0; i < kCrcLane; i += 8) {
+      std::uint64_t wa, wb, wd;
+      std::memcpy(&wa, data + i, 8);
+      std::memcpy(&wb, data + kCrcLane + i, 8);
+      std::memcpy(&wd, data + 2 * kCrcLane + i, 8);
+      a = _mm_crc32_u64(a, wa);
+      b = _mm_crc32_u64(b, wb);
+      d = _mm_crc32_u64(d, wd);
+    }
+    c = apply_shift(shift.by_2lane, static_cast<std::uint32_t>(a)) ^
+        apply_shift(shift.by_lane, static_cast<std::uint32_t>(b)) ^
+        static_cast<std::uint32_t>(d);
+    data += 3 * kCrcLane;
+    len -= 3 * kCrcLane;
+  }
+  while (len >= 8) {
+    std::uint64_t w;
+    std::memcpy(&w, data, 8);
+    c = _mm_crc32_u64(c, w);
+    data += 8;
+    len -= 8;
+  }
+  std::uint32_t c32 = static_cast<std::uint32_t>(c);
+  while (len > 0) {
+    c32 = _mm_crc32_u8(c32, *data++);
+    --len;
+  }
+  return c32;
+}
+
+#endif  // NTC_X86_SIMD
+
+}  // namespace
+
+std::uint32_t find_first_gate(const std::uint64_t* gates, std::uint32_t n,
+                              std::uint64_t threshold) {
+  if (threshold == 0) return 0;  // p <= 0: the first word always fires
+#if NTC_X86_SIMD
+  if (simd_avx2_active()) return find_first_gate_avx2(gates, n, threshold);
+#endif
+  return find_first_gate_scalar(gates, n, threshold);
+}
+
+std::uint64_t deviation_sweep(const std::uint64_t* golden,
+                              const std::uint64_t* werr,
+                              const std::uint64_t* mask,
+                              const std::uint64_t* value,
+                              const std::uint64_t* flip, std::size_t n,
+                              std::uint64_t* error) {
+  NTC_REQUIRE(n <= 64);
+#if NTC_X86_SIMD
+  if (simd_avx2_active())
+    return deviation_sweep_avx2(golden, werr, mask, value, flip, n, error);
+#endif
+  return deviation_sweep_scalar(golden, werr, mask, value, flip, n, error);
+}
+
+std::uint32_t crc32c_hw(std::uint32_t state, const std::uint8_t* data,
+                        std::size_t len) {
+#if NTC_X86_SIMD
+  return crc32c_hw_impl(state, data, len, crc_shift_tables());
+#else
+  (void)data, (void)len;
+  NTC_REQUIRE_MSG(false, "crc32c_hw needs x86-64; gate on simd_sse42_active");
+  return state;
+#endif
+}
+
+}  // namespace ntc::simd

@@ -1,0 +1,51 @@
+// Shared SIMD kernels with scalar twins: access-flip gate scans, batch
+// deviation algebra, and the hardware CRC-32C stream.
+//
+// Dispatch convention (see common/cpu.hpp): every entry point here
+// dispatches internally on the feature predicates, and the scalar twin
+// it falls back to is bit-exact with the vector path by construction —
+// the gate compare is proved exact in integer form below, the deviation
+// sweep is pure GF(2) algebra, and the crc32 instruction implements the
+// same reflected-Castagnoli recurrence as the byte table.  Flipping
+// sim::set_simd_enabled therefore never changes observable results;
+// tests/common_simd_test.cpp crosses every kernel over the switch.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ntc::simd {
+
+/// Exact integer threshold for the access-flip gate.  Gate draws are
+/// 53-bit uniforms u = g >> 11, compared as (double)u * 0x1.0p-53 >= p.
+/// Because scaling by 2^-53 is exact for u < 2^53, that holds iff
+/// u >= ceil(p * 2^53), which this returns (clamped: p <= 0 maps to 0 —
+/// every word fires — and p >= 1 maps to 2^53, which no draw reaches).
+std::uint64_t gate_threshold(double p);
+
+/// First index j in [0, n) with (gates[j] >> 11) >= threshold, or n.
+/// AVX2 vpcmpgtq + movemask when active; integer scalar loop otherwise.
+std::uint32_t find_first_gate(const std::uint64_t* gates, std::uint32_t n,
+                              std::uint64_t threshold);
+
+/// Batch-engine deviation algebra over SoA columns:
+///   error[i] = (werr[i] & ~mask[i]) ^ ((golden[i] & mask[i]) ^ value[i])
+///              ^ flip[i]
+/// Returns the dirty bitmap (bit i set iff error[i] != 0).  n <= 64;
+/// callers sweep longer traces in 64-word chunks.
+std::uint64_t deviation_sweep(const std::uint64_t* golden,
+                              const std::uint64_t* werr,
+                              const std::uint64_t* mask,
+                              const std::uint64_t* value,
+                              const std::uint64_t* flip, std::size_t n,
+                              std::uint64_t* error);
+
+/// Raw CRC-32C state update (no init/final XOR) on the SSE4.2 crc32
+/// instruction: three interleaved 1 KiB streams recombined through
+/// precomputed GF(2) shift tables, sequential crc32q/crc32b remainder.
+/// Callers guarantee simd_sse42_active(); bit-identical to the table
+/// loop in common/framing.cpp.
+std::uint32_t crc32c_hw(std::uint32_t state, const std::uint8_t* data,
+                        std::size_t len);
+
+}  // namespace ntc::simd

@@ -1,7 +1,9 @@
 #include "ecc/hamming.hpp"
 
+#include <algorithm>
 #include <bit>
 
+#include "common/cpu.hpp"
 #include "ecc/bitops.hpp"
 
 namespace ntc::ecc {
@@ -105,6 +107,52 @@ HammingSecded::HammingSecded(std::size_t data_bits) : k_(data_bits) {
         for (std::size_t v = 0; v < 256; ++v)
           dec_tab_[b][v] = gather_tab_[b][v] |
                            (static_cast<std::uint64_t>(syn_tab_[b][v]) << 56);
+    }
+
+    // Nibble-split vector tables for the (39,32) memory configuration.
+    // Syndromes fit 6 bits, so bit 7 is free to carry the byte's own
+    // parity: folding the ext tables leaves each lane's low byte zero
+    // exactly when syndrome == 0 and the overall parity is even.
+    if (k_ == 32 && n_ == 39) {
+      for (int b = 0; b < 5; ++b) {
+        for (int v = 0; v < 16; ++v) {
+          const auto plo =
+              static_cast<std::uint8_t>((std::popcount(static_cast<unsigned>(v)) & 1)
+                                        << 7);
+          simd_.ext_lo[b][v] = static_cast<std::uint8_t>(
+              syn_tab_[b][static_cast<std::size_t>(v)] | plo);
+          simd_.ext_hi[b][v] = static_cast<std::uint8_t>(
+              syn_tab_[b][static_cast<std::size_t>(v) << 4] | plo);
+        }
+      }
+      // Encoder parity-byte tables, decomposed from enc_tab_ (linear in
+      // the data): bit 0 is the overall-parity contribution of the
+      // scattered nibble plus its induced check bits, bits 1+j the
+      // check-bit values at positions 2^j — the pdep source order for
+      // parity_sel's ascending set bits {0, 1, 2, 4, 8, 16, 32}.
+      auto par_byte = [this](std::uint64_t e) {
+        std::uint8_t p = static_cast<std::uint8_t>(parity64(e));
+        for (std::size_t j = 0; j < r_; ++j)
+          p |= static_cast<std::uint8_t>(((e >> (std::size_t{1} << j)) & 1u)
+                                         << (1 + j));
+        return p;
+      };
+      for (int b = 0; b < 4; ++b) {
+        for (int v = 0; v < 16; ++v) {
+          simd_.par_lo[b][v] = par_byte(enc_tab_[b][static_cast<std::size_t>(v)]);
+          simd_.par_hi[b][v] =
+              par_byte(enc_tab_[b][static_cast<std::size_t>(v) << 4]);
+        }
+      }
+      simd_.all_lo = all_lo_;
+      for (const Run& run : runs_)
+        simd_.data_mask |= run.mask << run.shift;
+      simd_.parity_sel = 1;
+      for (std::size_t j = 0; j < r_; ++j)
+        simd_.parity_sel |= std::uint64_t{1} << (std::size_t{1} << j);
+      // The vector lanes permute the runs with pext/pdep; without BMI2
+      // the scalar LUT lane stays the faster path anyway.
+      simd_ok_ = cpu_features().bmi2;
     }
   }
 }
@@ -262,7 +310,10 @@ void HammingSecded::encode_words(const std::uint32_t* data, std::size_t count,
   // with a fixed trip count so the four loads issue in parallel instead
   // of through the loop's serial XOR chain.
   if (data_bytes_ == 4 && k_ == 32) {
-    for (std::size_t i = 0; i < count; ++i) {
+    std::size_t start = 0;
+    if (simd_ok_ && simd_avx2_active())
+      start = hamming39_encode_words(simd_, data, count, raw);
+    for (std::size_t i = start; i < count; ++i) {
       const std::uint32_t d = data[i];
       std::uint64_t w = (enc_tab_[0][d & 0xFFu] ^ enc_tab_[1][(d >> 8) & 0xFFu]) ^
                         (enc_tab_[2][(d >> 16) & 0xFFu] ^ enc_tab_[3][d >> 24]);
@@ -320,14 +371,28 @@ void HammingSecded::decode_words(const std::uint64_t* raw, std::size_t count,
   if (code_bytes_ == 5) {
     // (39,32)-class codewords: fixed trip count lets the five table
     // loads issue in parallel instead of through the serial XOR chain.
-    for (std::size_t i = 0; i < count; ++i) {
+    const auto decode_one = [&](std::size_t i) {
       const std::uint64_t w0 = raw[i] & all_lo_;
       const std::uint64_t acc =
           (dec_tab_[0][w0 & 0xFFu] ^ dec_tab_[1][(w0 >> 8) & 0xFFu]) ^
           (dec_tab_[2][(w0 >> 16) & 0xFFu] ^ dec_tab_[3][(w0 >> 24) & 0xFFu]) ^
           dec_tab_[4][(w0 >> 32) & 0xFFu];
       finish(i, w0, acc);
+    };
+    if (simd_ok_ && simd_avx2_active()) {
+      // Vector clean spans; any 8-word block with a suspect lane (and
+      // the sub-block tail) re-runs through the scalar classifier in
+      // index order, so counters and first_uncorrectable match the
+      // scalar loop exactly.
+      std::size_t i = 0;
+      while (i < count) {
+        i += hamming39_decode_clean_span(simd_, raw + i, count - i, data + i);
+        const std::size_t stop = std::min(count, i + 8);
+        for (; i < stop; ++i) decode_one(i);
+      }
+      return;
     }
+    for (std::size_t i = 0; i < count; ++i) decode_one(i);
     return;
   }
   for (std::size_t i = 0; i < count; ++i) {

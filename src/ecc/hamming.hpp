@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "ecc/code.hpp"
+#include "ecc/secded_simd.hpp"
 
 namespace ntc::ecc {
 
@@ -102,6 +103,12 @@ class HammingSecded final : public BlockCode {
   // lookup per code byte instead of two — the decode_words hot lane.
   bool packed_dec_ = false;
   std::array<std::array<std::uint64_t, 256>, 8> dec_tab_{};
+
+  // AVX2 nibble-LUT lanes for the (39,32) instance; the word kernels
+  // dispatch on simd_ok_ && simd_avx2_active() and keep the scalar
+  // loops above as the oracle (see ecc/secded_simd.hpp).
+  Hamming39Simd simd_{};
+  bool simd_ok_ = false;
 };
 
 /// The paper's memory-word configuration.

@@ -1,7 +1,9 @@
 #include "ecc/hsiao.hpp"
 
+#include <algorithm>
 #include <bit>
 
+#include "common/cpu.hpp"
 #include "ecc/bitops.hpp"
 
 namespace ntc::ecc {
@@ -78,6 +80,19 @@ HsiaoSecded::HsiaoSecded(std::size_t data_bits) : k_(data_bits) {
     flip_lut_[column_[i]] = static_cast<std::uint8_t>(i);
   for (std::size_t j = 0; j < r_; ++j)
     flip_lut_[std::size_t{1} << j] = static_cast<std::uint8_t>(k_ + j);
+
+  // Nibble-split vector tables for the (39,32) memory configuration:
+  // syn_tab_[b][v] == syn_tab_[b][v & 0x0F] ^ syn_tab_[b][v & 0xF0] by
+  // GF(2) linearity, so the two 16-entry halves reconstruct it exactly.
+  if (k_ == 32 && r_ == 7) {
+    for (int b = 0; b < 5; ++b) {
+      for (int v = 0; v < 16; ++v) {
+        simd_.syn_lo[b][v] = syn_tab_[b][static_cast<std::size_t>(v)];
+        simd_.syn_hi[b][v] = syn_tab_[b][static_cast<std::size_t>(v) << 4];
+      }
+    }
+    simd_ok_ = true;
+  }
 }
 
 std::string HsiaoSecded::name() const {
@@ -198,7 +213,10 @@ void HsiaoSecded::encode_words(const std::uint32_t* data, std::size_t count,
     BlockCode::encode_words(data, count, raw);
     return;
   }
-  for (std::size_t i = 0; i < count; ++i) {
+  std::size_t start = 0;
+  if (simd_ok_ && simd_avx2_active())
+    start = hsiao39_encode_words(simd_, data, count, raw);
+  for (std::size_t i = start; i < count; ++i) {
     const std::uint64_t d = data[i];
     if (k_ < 32) NTC_REQUIRE((d >> k_) == 0);
     std::uint64_t checks = 0;
@@ -219,7 +237,7 @@ void HsiaoSecded::decode_words(const std::uint64_t* raw, std::size_t count,
   summary.first_uncorrectable = count;
   // Same lane as decode_batch with the data word and aggregate counters
   // written directly; a SECDED correction is always one bit.
-  for (std::size_t i = 0; i < count; ++i) {
+  const auto decode_one = [&](std::size_t i) {
     std::uint64_t w0 = raw[i];
     std::uint64_t syndrome = 0;
     for (std::size_t b = 0; b < code_bytes_; ++b)
@@ -236,7 +254,21 @@ void HsiaoSecded::decode_words(const std::uint64_t* raw, std::size_t count,
       }
     }
     data[i] = static_cast<std::uint32_t>(w0 & data_mask_);
+  };
+  if (simd_ok_ && simd_avx2_active()) {
+    // Vector clean spans; any 8-word block with a suspect lane (and the
+    // sub-block tail) re-runs through the scalar classifier in index
+    // order, so counters and first_uncorrectable match the scalar loop
+    // exactly.
+    std::size_t i = 0;
+    while (i < count) {
+      i += hsiao39_decode_clean_span(simd_, raw + i, count - i, data + i);
+      const std::size_t stop = std::min(count, i + 8);
+      for (; i < stop; ++i) decode_one(i);
+    }
+    return;
   }
+  for (std::size_t i = 0; i < count; ++i) decode_one(i);
 }
 
 }  // namespace ntc::ecc

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "ecc/code.hpp"
+#include "ecc/secded_simd.hpp"
 
 namespace ntc::ecc {
 
@@ -76,6 +77,12 @@ class HsiaoSecded final : public BlockCode {
   std::size_t data_bytes_ = 0;                ///< ceil(k_ / 8)
   std::array<std::array<std::uint8_t, 256>, 9> syn_tab_{};
   std::array<std::uint8_t, 256> flip_lut_{};  ///< syndrome -> codeword flip position
+
+  // AVX2 nibble-LUT lanes for the (39,32) instance; the word kernels
+  // dispatch on simd_ok_ && simd_avx2_active() and keep the scalar
+  // loops above as the oracle (see ecc/secded_simd.hpp).
+  Hsiao39Simd simd_{};
+  bool simd_ok_ = false;
 };
 
 }  // namespace ntc::ecc

@@ -1,0 +1,237 @@
+#include "ecc/secded_simd.hpp"
+
+#include "common/cpu.hpp"
+
+#if NTC_X86_SIMD
+#include <immintrin.h>
+#endif
+
+namespace ntc::ecc {
+
+#if NTC_X86_SIMD
+
+namespace {
+
+__attribute__((target("avx2"))) inline __m256i bcast16(
+    const std::uint8_t (&tab)[16]) {
+  return _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(tab)));
+}
+
+/// XOR-fold five per-byte nibble-LUT contributions into the low byte of
+/// each u64 lane.  Contribution b is wanted only at byte position b, so
+/// instead of masking each to its byte and byte-folding at the end,
+/// shift each whole contribution down so its byte b lands at byte 0 and
+/// XOR; garbage above byte 0 is masked once.
+__attribute__((target("avx2"))) inline __m256i fold_syndrome_u64(
+    const __m256i lo_tab[5], const __m256i hi_tab[5], __m256i w) {
+  const __m256i nib = _mm256_set1_epi8(0x0F);
+  const __m256i lo = _mm256_and_si256(w, nib);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(w, 4), nib);
+  __m256i acc = _mm256_setzero_si256();
+  for (int b = 0; b < 5; ++b) {
+    const __m256i contrib =
+        _mm256_xor_si256(_mm256_shuffle_epi8(lo_tab[b], lo),
+                         _mm256_shuffle_epi8(hi_tab[b], hi));
+    acc = _mm256_xor_si256(
+        acc, b == 0 ? contrib : _mm256_srli_epi64(contrib, 8 * b));
+  }
+  return _mm256_and_si256(acc, _mm256_set1_epi64x(0xFF));
+}
+
+/// Same shape over u32 lanes and four byte positions: folds each lane's
+/// per-byte LUT contributions into its low byte.
+__attribute__((target("avx2"))) inline __m256i fold_checks_u32(
+    const __m256i lo_tab[4], const __m256i hi_tab[4], __m256i d) {
+  const __m256i nib = _mm256_set1_epi8(0x0F);
+  const __m256i lo = _mm256_and_si256(d, nib);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(d, 4), nib);
+  __m256i acc = _mm256_setzero_si256();
+  for (int b = 0; b < 4; ++b) {
+    const __m256i contrib =
+        _mm256_xor_si256(_mm256_shuffle_epi8(lo_tab[b], lo),
+                         _mm256_shuffle_epi8(hi_tab[b], hi));
+    acc = _mm256_xor_si256(
+        acc, b == 0 ? contrib : _mm256_srli_epi32(contrib, 8 * b));
+  }
+  return _mm256_and_si256(acc, _mm256_set1_epi32(0xFF));
+}
+
+/// Pack the low 32 bits of eight u64 lanes (two vectors) into one
+/// vector of eight u32 words.
+__attribute__((target("avx2"))) inline __m256i pack_low32(__m256i w0,
+                                                          __m256i w1) {
+  const __m256i idx = _mm256_setr_epi32(0, 2, 4, 6, 0, 2, 4, 6);
+  const __m128i lo = _mm256_castsi256_si128(
+      _mm256_permutevar8x32_epi32(w0, idx));
+  const __m128i hi = _mm256_castsi256_si128(
+      _mm256_permutevar8x32_epi32(w1, idx));
+  return _mm256_set_m128i(hi, lo);
+}
+
+__attribute__((target("avx2"))) std::size_t hsiao39_decode_avx2(
+    const Hsiao39Simd& t, const std::uint64_t* raw, std::size_t count,
+    std::uint32_t* data) {
+  __m256i lo_tab[5], hi_tab[5];
+  for (int b = 0; b < 5; ++b) {
+    lo_tab[b] = bcast16(t.syn_lo[b]);
+    hi_tab[b] = bcast16(t.syn_hi[b]);
+  }
+  std::size_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    const __m256i w0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(raw + i));
+    const __m256i w1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(raw + i + 4));
+    const __m256i suspect =
+        _mm256_or_si256(fold_syndrome_u64(lo_tab, hi_tab, w0),
+                        fold_syndrome_u64(lo_tab, hi_tab, w1));
+    if (!_mm256_testz_si256(suspect, suspect)) break;
+    // Clean Hsiao words extract as their low 32 bits verbatim.
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(data + i),
+                        pack_low32(w0, w1));
+  }
+  return i;
+}
+
+__attribute__((target("avx2"))) std::size_t hsiao39_encode_avx2(
+    const Hsiao39Simd& t, const std::uint32_t* data, std::size_t count,
+    std::uint64_t* raw) {
+  __m256i lo_tab[4], hi_tab[4];
+  for (int b = 0; b < 4; ++b) {
+    lo_tab[b] = bcast16(t.syn_lo[b]);
+    hi_tab[b] = bcast16(t.syn_hi[b]);
+  }
+  std::size_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    const __m256i checks = fold_checks_u32(lo_tab, hi_tab, d);
+    // Widen data and checks to u64 lanes: raw = data | checks << 32.
+    const __m256i d_lo = _mm256_cvtepu32_epi64(_mm256_castsi256_si128(d));
+    const __m256i d_hi = _mm256_cvtepu32_epi64(_mm256_extracti128_si256(d, 1));
+    const __m256i c_lo =
+        _mm256_cvtepu32_epi64(_mm256_castsi256_si128(checks));
+    const __m256i c_hi =
+        _mm256_cvtepu32_epi64(_mm256_extracti128_si256(checks, 1));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(raw + i),
+        _mm256_or_si256(d_lo, _mm256_slli_epi64(c_lo, 32)));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(raw + i + 4),
+        _mm256_or_si256(d_hi, _mm256_slli_epi64(c_hi, 32)));
+  }
+  return i;
+}
+
+__attribute__((target("avx2,bmi2"))) std::size_t hamming39_decode_avx2bmi2(
+    const Hamming39Simd& t, const std::uint64_t* raw, std::size_t count,
+    std::uint32_t* data) {
+  __m256i lo_tab[5], hi_tab[5];
+  for (int b = 0; b < 5; ++b) {
+    lo_tab[b] = bcast16(t.ext_lo[b]);
+    hi_tab[b] = bcast16(t.ext_hi[b]);
+  }
+  const __m256i all_lo = _mm256_set1_epi64x(static_cast<long long>(t.all_lo));
+  const std::uint64_t dmask = t.data_mask;
+  std::size_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    const __m256i w0 = _mm256_and_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(raw + i)),
+        all_lo);
+    const __m256i w1 = _mm256_and_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(raw + i + 4)),
+        all_lo);
+    // Folded low byte per lane: syndrome | overall-parity << 7 — zero
+    // iff the lane is a clean codeword.
+    const __m256i suspect =
+        _mm256_or_si256(fold_syndrome_u64(lo_tab, hi_tab, w0),
+                        fold_syndrome_u64(lo_tab, hi_tab, w1));
+    if (!_mm256_testz_si256(suspect, suspect)) break;
+    // Clean lanes: the run gather is one pext (data_mask selects only
+    // data positions, so stray bits above the code are ignored).
+    for (int j = 0; j < 8; ++j)
+      data[i + j] = static_cast<std::uint32_t>(_pext_u64(raw[i + j], dmask));
+  }
+  return i;
+}
+
+__attribute__((target("avx2,bmi2"))) std::size_t hamming39_encode_avx2bmi2(
+    const Hamming39Simd& t, const std::uint32_t* data, std::size_t count,
+    std::uint64_t* raw) {
+  __m256i lo_tab[4], hi_tab[4];
+  for (int b = 0; b < 4; ++b) {
+    lo_tab[b] = bcast16(t.par_lo[b]);
+    hi_tab[b] = bcast16(t.par_hi[b]);
+  }
+  const std::uint64_t dmask = t.data_mask;
+  const std::uint64_t psel = t.parity_sel;
+  alignas(32) std::uint32_t par[8];
+  std::size_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    // One parity byte per lane: overall parity at bit 0, check bits
+    // 2^0..2^5 at bits 1..6, ready to pdep through parity_sel.
+    _mm256_store_si256(reinterpret_cast<__m256i*>(par),
+                       fold_checks_u32(lo_tab, hi_tab, d));
+    for (int j = 0; j < 8; ++j)
+      raw[i + j] =
+          _pdep_u64(data[i + j], dmask) | _pdep_u64(par[j], psel);
+  }
+  return i;
+}
+
+}  // namespace
+
+std::size_t hsiao39_decode_clean_span(const Hsiao39Simd& t,
+                                      const std::uint64_t* raw,
+                                      std::size_t count, std::uint32_t* data) {
+  return hsiao39_decode_avx2(t, raw, count, data);
+}
+
+std::size_t hsiao39_encode_words(const Hsiao39Simd& t,
+                                 const std::uint32_t* data, std::size_t count,
+                                 std::uint64_t* raw) {
+  return hsiao39_encode_avx2(t, data, count, raw);
+}
+
+std::size_t hamming39_decode_clean_span(const Hamming39Simd& t,
+                                        const std::uint64_t* raw,
+                                        std::size_t count,
+                                        std::uint32_t* data) {
+  if (!cpu_features().bmi2) return 0;
+  return hamming39_decode_avx2bmi2(t, raw, count, data);
+}
+
+std::size_t hamming39_encode_words(const Hamming39Simd& t,
+                                   const std::uint32_t* data,
+                                   std::size_t count, std::uint64_t* raw) {
+  if (!cpu_features().bmi2) return 0;
+  return hamming39_encode_avx2bmi2(t, data, count, raw);
+}
+
+#else  // !NTC_X86_SIMD
+
+std::size_t hsiao39_decode_clean_span(const Hsiao39Simd&,
+                                      const std::uint64_t*, std::size_t,
+                                      std::uint32_t*) {
+  return 0;
+}
+std::size_t hsiao39_encode_words(const Hsiao39Simd&, const std::uint32_t*,
+                                 std::size_t, std::uint64_t*) {
+  return 0;
+}
+std::size_t hamming39_decode_clean_span(const Hamming39Simd&,
+                                        const std::uint64_t*, std::size_t,
+                                        std::uint32_t*) {
+  return 0;
+}
+std::size_t hamming39_encode_words(const Hamming39Simd&, const std::uint32_t*,
+                                   std::size_t, std::uint64_t*) {
+  return 0;
+}
+
+#endif  // NTC_X86_SIMD
+
+}  // namespace ntc::ecc

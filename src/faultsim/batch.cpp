@@ -1,6 +1,7 @@
 #include "faultsim/batch.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdio>
 #include <map>
@@ -9,6 +10,7 @@
 
 #include "common/assert.hpp"
 #include "common/fixed_point.hpp"
+#include "common/simd.hpp"
 #include "ecc/bch.hpp"
 #include "ecc/hamming.hpp"
 #include "energy/memory_calculator.hpp"
@@ -48,7 +50,8 @@ class FlipStream {
   FlipStream(const Rng& rng, double p_access, std::uint32_t stored_bits)
       : rng_(rng),
         p_access_(p_access),
-        p_no_flip_(std::pow(1.0 - p_access, static_cast<double>(stored_bits))),
+        threshold_(simd::gate_threshold(
+            std::pow(1.0 - p_access, static_cast<double>(stored_bits)))),
         stored_bits_(stored_bits) {}
 
   /// Scan `count` consecutive word accesses; invoke on_flip(offset,
@@ -63,13 +66,10 @@ class FlipStream {
           std::min<std::uint64_t>(count - i, kGateChunk));
       const Rng snapshot = rng_;
       rng_.fill_u64({gates, n});
-      std::uint32_t flip_at = n;
-      for (std::uint32_t j = 0; j < n; ++j) {
-        if (static_cast<double>(gates[j] >> 11) * 0x1.0p-53 >= p_no_flip_) {
-          flip_at = j;
-          break;
-        }
-      }
+      // Integer-exact gate compare (see simd::gate_threshold); the
+      // vector and scalar scans agree with the double compare bit for
+      // bit, so the drawn stream is kill-switch-invariant.
+      const std::uint32_t flip_at = simd::find_first_gate(gates, n, threshold_);
       if (flip_at == n) {
         i += n;
         continue;
@@ -88,7 +88,7 @@ class FlipStream {
 
   Rng rng_;
   double p_access_;
-  double p_no_flip_;
+  std::uint64_t threshold_;  ///< gate fires when (u >> 11) >= threshold_
   std::uint32_t stored_bits_;
 };
 
@@ -540,6 +540,10 @@ bool BatchEngine::replay_trial(const SchemeState& state, Volt vdd,
   std::vector<std::uint32_t> dirty_words;
   std::vector<std::uint64_t> dirty_raw;
   std::vector<std::uint32_t> dirty_data;
+  std::vector<std::uint32_t> decode_words_idx;
+  // Column (SoA) buffers for the vectorized deviation algebra.
+  std::vector<std::uint64_t> dev_golden, dev_werr, dev_mask, dev_value,
+      dev_flip, dev_error;
 
   const auto stuck_lower = [&](std::uint32_t word) {
     return std::lower_bound(stuck.begin(), stuck.end(), word,
@@ -586,9 +590,19 @@ bool BatchEngine::replay_trial(const SchemeState& state, Volt vdd,
     dirty_words.erase(std::unique(dirty_words.begin(), dirty_words.end()),
                       dirty_words.end());
 
-    dirty_raw.clear();
-    std::vector<std::uint32_t> decode_words_idx;
-    for (const std::uint32_t word : dirty_words) {
+    // Gather the algebra inputs into columns, then sweep them with the
+    // vector kernel: raw-as-read = ((golden ^ werr) & ~m | v) ^ flip,
+    // so its deviation from the golden raw is
+    //   (we & ~m) ^ ((golden_raw & m) ^ v) ^ flip.
+    const std::size_t total = dirty_words.size();
+    dev_golden.resize(total);
+    dev_werr.resize(total);
+    dev_mask.resize(total);
+    dev_value.resize(total);
+    dev_flip.resize(total);
+    dev_error.resize(total);
+    for (std::size_t wi = 0; wi < total; ++wi) {
+      const std::uint32_t word = dirty_words[wi];
       std::uint64_t m = 0, v = 0;
       const auto sit = stuck_lower(word);
       if (sit != stuck.end() && sit->word == word) {
@@ -604,16 +618,28 @@ bool BatchEngine::replay_trial(const SchemeState& state, Volt vdd,
           [](const auto& a, std::uint32_t at) { return a.first < at; });
       if (fit != txn_flips.end() && fit->first == word - txn.base)
         flip = fit->second;
-      const std::uint64_t golden_raw =
-          state.spm_raw[txn.offset + (word - txn.base)];
-      // raw-as-read = ((golden ^ werr) & ~m | v) ^ flip; its deviation
-      // from the golden raw:
-      const std::uint64_t error =
-          (we & ~m) ^ ((golden_raw & m) ^ v) ^ flip;
-      if (error == 0) continue;
+      dev_golden[wi] = state.spm_raw[txn.offset + (word - txn.base)];
+      dev_werr[wi] = we;
+      dev_mask[wi] = m;
+      dev_value[wi] = v;
+      dev_flip[wi] = flip;
+    }
+    dirty_raw.clear();
+    decode_words_idx.clear();
+    for (std::size_t base = 0; base < total; base += 64) {
+      const std::size_t n = std::min<std::size_t>(64, total - base);
+      const std::uint64_t dirty = simd::deviation_sweep(
+          dev_golden.data() + base, dev_werr.data() + base,
+          dev_mask.data() + base, dev_value.data() + base,
+          dev_flip.data() + base, n, dev_error.data() + base);
+      if (dirty == 0) continue;
       if (!state.coded_spm) return false;  // bare word corrupted -> peel
-      dirty_raw.push_back(golden_raw ^ error);
-      decode_words_idx.push_back(word);
+      for (std::uint64_t bits = dirty; bits != 0; bits &= bits - 1) {
+        const std::size_t idx =
+            base + static_cast<std::size_t>(std::countr_zero(bits));
+        dirty_raw.push_back(dev_golden[idx] ^ dev_error[idx]);
+        decode_words_idx.push_back(dirty_words[idx]);
+      }
     }
     if (dirty_raw.empty()) continue;
     dirty_data.resize(dirty_raw.size());
@@ -668,12 +694,6 @@ void BatchEngine::run_batch(const Shard& shard, std::uint32_t offset,
   for (std::uint32_t k = 0; k < count; ++k) {
     RunRecord record;
     if (replay_trial(state, vdd, shard.seed_begin + offset + k, record)) {
-      // Keep the one-trace-span-per-trial invariant the scalar path
-      // establishes: convergent trials emit theirs here (the replay
-      // cost is spread over the whole chunk, so the span times only
-      // the settle), peeled trials get theirs from the scalar rerun.
-      NTC_TELEM_SPAN(trial_span, telemetry::EventKind::CampaignTrial,
-                     "campaign_trial");
       record.scenario = scenario.name;
       record.scheme = state.scheme_name;
       out[k] = std::move(record);
@@ -685,6 +705,13 @@ void BatchEngine::run_batch(const Shard& shard, std::uint32_t offset,
   convergent_trials_.fetch_add(convergent, std::memory_order_relaxed);
   peeled_trials_.fetch_add(count - convergent, std::memory_order_relaxed);
   if (convergent > 0) {
+    // Keep the one-trace-event-per-trial invariant the scalar path
+    // establishes, but settle the whole chunk with a single bulk record
+    // — a per-trial ScopedSpan inside the replay loop costs two clock
+    // reads per trial, which showed up as >3% campaign overhead.
+    // Peeled trials get their span from the scalar rerun.
+    NTC_TELEM_EVENTS(telemetry::EventKind::CampaignTrial, "campaign_trial",
+                     convergent, shard.seed_begin + offset, 0);
     // The scalar path counts trials one by one; the batch path settles
     // its convergent trials in bulk (peeled ones are re-counted by the
     // scalar rerun).

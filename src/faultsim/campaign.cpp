@@ -117,6 +117,10 @@ void CampaignRunner::compute_golden() {
   // fault-free raw path stores and returns words verbatim, so the image
   // is bit-identical and prepare() sheds a whole platform construction.
   if (golden_computed_) return;
+  // Muted like the batch engine's golden record pass: the fault-free
+  // reference run's workload spans are not campaign telemetry, and the
+  // clock reads they cost show up as pure overhead on small grids.
+  NTC_TELEM_MUTE(mute);
   GoldenPort port(platform_base_config().spm_bytes / 4);
   workloads::FixedPointFft fft(config_.fft_points);
   fft.set_input(signal_);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/assert.hpp"
+#include "common/simd.hpp"
 
 namespace ntc::sim {
 
@@ -40,6 +41,7 @@ void StochasticInjector::reseed(Rng rng) {
   }
   p_access_ = 0.0;
   p_no_flip_ = 1.0;
+  gate_threshold_ = simd::gate_threshold(p_no_flip_);
 }
 
 void StochasticInjector::materialize_fingerprint() {
@@ -58,6 +60,7 @@ void StochasticInjector::on_operating_point(const FaultContext& ctx) {
   p_access_ = tables_ ? tables_->p_access(access_, ctx.vdd)
                       : access_.p_bit_err(ctx.vdd);
   p_no_flip_ = std::pow(1.0 - p_access_, static_cast<double>(stored_bits_));
+  gate_threshold_ = simd::gate_threshold(p_no_flip_);
   if (!vmin_) {
     if (ctx.vdd.value >= lazy_safe_vdd_) return;  // failing set provably empty
     materialize_fingerprint();
@@ -148,14 +151,11 @@ void StochasticInjector::access_flips_burst(std::uint32_t count,
     const std::uint32_t n = std::min(count - i, kGateChunk);
     const Rng snapshot = rng_;
     rng_.fill_u64({gates, n});
-    std::uint32_t flip_at = n;
-    for (std::uint32_t j = 0; j < n; ++j) {
-      if (static_cast<double>(gates[j] >> 11) * 0x1.0p-53 >= p_no_flip_) {
-        flip_at = j;
-        break;
-      }
-      flips[i + j] = 0;
-    }
+    // Integer-exact gate compare (see simd::gate_threshold): the vector
+    // and scalar scans agree with the double compare bit for bit.
+    const std::uint32_t flip_at =
+        simd::find_first_gate(gates, n, gate_threshold_);
+    std::fill_n(flips + i, flip_at, std::uint64_t{0});
     if (flip_at == n) {
       i += n;
       continue;

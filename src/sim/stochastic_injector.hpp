@@ -129,6 +129,11 @@ class StochasticInjector final : public FaultInjector {
   std::shared_ptr<reliability::ModelTableCache> tables_;
   double p_access_ = 0.0;
   double p_no_flip_ = 1.0;  ///< (1 - p_access)^stored_bits, fast path
+  /// Integer image of p_no_flip_ for the burst gate scan: a 53-bit
+  /// uniform u gates a flip when (u >> 11) >= gate_threshold_
+  /// (simd::gate_threshold keeps this exactly equivalent to the
+  /// double compare draw_flip_mask performs).
+  std::uint64_t gate_threshold_ = std::uint64_t{1} << 53;
 
   /// Supplies at or above this provably retain every cell whatever the
   /// (undrawn) deviates are: V_min of a cell at the Box-Muller bound.

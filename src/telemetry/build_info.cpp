@@ -13,14 +13,15 @@
 #define NTC_BUILD_SANITIZER "none"
 #endif
 
+#include "common/cpu.hpp"           // header-only: keeps telemetry bottom-layer
 #include "telemetry/telemetry.hpp"  // NTC_TELEMETRY
 
 namespace ntc::telemetry {
 
 const BuildInfo& build_info() {
   static const BuildInfo info{
-      NTC_BUILD_GIT_HASH, NTC_BUILD_COMPILER, NTC_BUILD_TYPE,
-      NTC_BUILD_SANITIZER, NTC_TELEMETRY != 0,
+      NTC_BUILD_GIT_HASH, NTC_BUILD_COMPILER,  NTC_BUILD_TYPE,
+      NTC_BUILD_SANITIZER, NTC_TELEMETRY != 0, cpu_feature_string(),
   };
   return info;
 }
@@ -39,7 +40,9 @@ std::string build_info_json() {
   out += b.sanitizer;
   out += "\",\"telemetry\":";
   out += b.telemetry ? "true" : "false";
-  out += "}";
+  out += ",\"simd\":\"";
+  out += b.simd;
+  out += "\"}";
   return out;
 }
 
@@ -55,6 +58,8 @@ std::string build_info_csv_comment() {
   out += b.sanitizer;
   out += " telemetry=";
   out += b.telemetry ? "on" : "off";
+  out += " simd=";
+  out += b.simd;
   out += "\n";
   return out;
 }

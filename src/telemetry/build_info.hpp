@@ -20,6 +20,11 @@ struct BuildInfo {
   const char* build_type;  ///< CMAKE_BUILD_TYPE, "" for multi-config
   const char* sanitizer;   ///< NTC_SANITIZE value or "none"
   bool telemetry;          ///< compile-time NTC_TELEMETRY switch state
+  /// Detected CPU SIMD features, e.g. "sse4.2+avx2+bmi2" or "scalar".
+  /// Detection only — deliberately independent of the sim::simd_enabled
+  /// kill switch, which may change at run time; results are bit-exact
+  /// across both, so the ledger stays byte-identical either way.
+  const char* simd;
 };
 
 const BuildInfo& build_info();

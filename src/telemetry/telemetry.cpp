@@ -29,26 +29,24 @@ std::atomic<bool> g_enabled{false};
 thread_local int t_muted = 0;
 }
 
-void set_enabled(bool on) {
-  detail::g_enabled.store(on, std::memory_order_relaxed);
-}
-
 // ---------------------------------------------------------------------------
-// Clock: TSC where available (a now_ns() call is ~8 ns versus ~20 ns
-// for clock_gettime), calibrated once against steady_clock over a 1 ms
-// busy window at first telemetry use.  Only instrumented runs pay the
-// one-time calibration — every call site is gated on enabled().
+// Clock: TSC where available, calibrated once against steady_clock over
+// a 1 ms busy window when telemetry is first enabled.  Record sites
+// store now_raw() ticks verbatim; snapshot() converts to nanoseconds,
+// so the per-event timestamp cost is the TSC read alone.  Eager
+// calibration (from set_enabled) pins the epoch before any event can be
+// recorded, keeping every stored tick >= ticks0.
+
+#if !defined(__x86_64__)
+std::uint64_t now_raw() {
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+#endif
 
 namespace {
 
-inline std::uint64_t raw_ticks() {
-#if defined(__x86_64__)
-  return __rdtsc();
-#else
-  return static_cast<std::uint64_t>(
-      std::chrono::steady_clock::now().time_since_epoch().count());
-#endif
-}
+inline std::uint64_t raw_ticks() { return now_raw(); }
 
 struct ClockState {
   std::uint64_t ticks0 = 0;
@@ -80,12 +78,34 @@ const ClockState& clock_state() {
   return state;
 }
 
+/// Convert a stored now_raw() sample to epoch-relative nanoseconds.
+/// Samples predating calibration (impossible once set_enabled has run,
+/// defensive otherwise) clamp to the epoch.
+inline std::uint64_t ticks_to_ns(std::uint64_t raw, const ClockState& c) {
+  return raw >= c.ticks0
+             ? static_cast<std::uint64_t>(
+                   static_cast<double>(raw - c.ticks0) * c.ns_per_tick)
+             : 0;
+}
+
+/// Convert a tick interval (span duration) to nanoseconds.
+inline std::uint64_t tick_delta_ns(std::uint64_t delta, const ClockState& c) {
+  return static_cast<std::uint64_t>(static_cast<double>(delta) *
+                                    c.ns_per_tick);
+}
+
 }  // namespace
+
+void set_enabled(bool on) {
+  // Calibrate before the flag flips: recording is gated on enabled(),
+  // so every stored tick postdates the epoch.
+  if (on) clock_state();
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
 
 std::uint64_t now_ns() {
   const ClockState& c = clock_state();
-  return static_cast<std::uint64_t>(
-      static_cast<double>(raw_ticks() - c.ticks0) * c.ns_per_tick);
+  return ticks_to_ns(raw_ticks(), c);
 }
 
 // ---------------------------------------------------------------------------
@@ -93,7 +113,11 @@ std::uint64_t now_ns() {
 
 namespace {
 
-constexpr std::size_t kDefaultRingCapacity = 16384;
+// 4096 events keep a thread's ring under 200 KiB so the slot writes of
+// a hot instrumented loop stay cache-resident; at transaction
+// granularity that still retains thousands of bursts/spans.  Deeper
+// retention is one set_ring_capacity() call away.
+constexpr std::size_t kDefaultRingCapacity = 4096;
 
 struct ThreadState {
   explicit ThreadState(std::uint32_t id, std::size_t ring_capacity)
@@ -158,12 +182,15 @@ void set_ring_capacity(std::size_t events) {
   r.ring_capacity = events;
 }
 
+// The record family stores now_raw() ticks in ts_ns/dur_ns; snapshot()
+// rewrites both to nanoseconds before events leave the recorder.
+
 void record(EventKind kind, const char* name, std::uint64_t a0,
             std::uint64_t a1) {
   ThreadState& st = tls_state();
   const std::uint64_t h = st.head.load(std::memory_order_relaxed);
   TraceEvent& ev = st.ring[h & (st.ring.size() - 1)];
-  ev.ts_ns = now_ns();
+  ev.ts_ns = now_raw();
   ev.dur_ns = 0;
   ev.a0 = a0;
   ev.a1 = a1;
@@ -172,14 +199,14 @@ void record(EventKind kind, const char* name, std::uint64_t a0,
   st.head.store(h + 1, std::memory_order_release);
 }
 
-void record_span(EventKind kind, const char* name, std::uint64_t begin_ns,
+void record_span(EventKind kind, const char* name, std::uint64_t begin_raw,
                  std::uint64_t a0, std::uint64_t a1) {
   ThreadState& st = tls_state();
-  const std::uint64_t now = now_ns();
+  const std::uint64_t now = now_raw();
   const std::uint64_t h = st.head.load(std::memory_order_relaxed);
   TraceEvent& ev = st.ring[h & (st.ring.size() - 1)];
-  ev.ts_ns = begin_ns;
-  ev.dur_ns = now >= begin_ns ? now - begin_ns : 0;
+  ev.ts_ns = begin_raw;
+  ev.dur_ns = now >= begin_raw ? now - begin_raw : 0;
   ev.a0 = a0;
   ev.a1 = a1;
   ev.name = name;
@@ -187,7 +214,31 @@ void record_span(EventKind kind, const char* name, std::uint64_t begin_ns,
   st.head.store(h + 1, std::memory_order_release);
 }
 
+void record_bulk(EventKind kind, const char* name, std::uint64_t count,
+                 std::uint64_t a0, std::uint64_t a1) {
+  if (count == 0) return;
+  ThreadState& st = tls_state();
+  const std::uint64_t cap = st.ring.size();
+  const std::uint64_t ts = now_raw();
+  const std::uint64_t h = st.head.load(std::memory_order_relaxed);
+  // Writing more than `cap` identical events would only overwrite our
+  // own slots; head still advances by the full count so the wrap shows
+  // up as dropped events, same as the one-at-a-time path.
+  const std::uint64_t n = count < cap ? count : cap;
+  for (std::uint64_t k = count - n; k < count; ++k) {
+    TraceEvent& ev = st.ring[(h + k) & (cap - 1)];
+    ev.ts_ns = ts;
+    ev.dur_ns = 0;
+    ev.a0 = a0;
+    ev.a1 = a1;
+    ev.name = name;
+    ev.kind = kind;
+  }
+  st.head.store(h + count, std::memory_order_release);
+}
+
 std::vector<ThreadTrace> snapshot() {
+  const ClockState& clk = clock_state();
   RegistryState& r = registry();
   std::lock_guard<std::mutex> lock(r.mutex);
   std::vector<ThreadTrace> out;
@@ -200,8 +251,14 @@ std::vector<ThreadTrace> snapshot() {
     const std::uint64_t n = h < cap ? h : cap;
     trace.dropped = h - n;
     trace.events.reserve(n);
-    for (std::uint64_t i = h - n; i < h; ++i)
-      trace.events.push_back(st->ring[i & (cap - 1)]);
+    for (std::uint64_t i = h - n; i < h; ++i) {
+      TraceEvent ev = st->ring[i & (cap - 1)];
+      // Rings hold raw ticks (see the record family); events leave the
+      // recorder in nanoseconds.
+      ev.ts_ns = ticks_to_ns(ev.ts_ns, clk);
+      ev.dur_ns = tick_delta_ns(ev.dur_ns, clk);
+      trace.events.push_back(ev);
+    }
     out.push_back(std::move(trace));
   }
   return out;

@@ -104,10 +104,20 @@ inline bool enabled() {
 }
 void set_enabled(bool on);
 
-/// Monotonic nanoseconds since the process-wide recorder epoch (first
-/// telemetry use).  Uses the TSC where available; calibrated against
-/// steady_clock at export time.
+/// Monotonic nanoseconds since the process-wide recorder epoch (set
+/// when telemetry is first enabled).  Uses the TSC where available,
+/// calibrated once against steady_clock.
 std::uint64_t now_ns();
+
+/// Raw clock sample in unconverted ticks.  The recording hot path
+/// stores these verbatim and snapshot() converts to nanoseconds, so a
+/// record site pays one TSC read and nothing else for its timestamp —
+/// no calibration lookup, no tick-to-ns arithmetic.
+#if defined(__x86_64__)
+inline std::uint64_t now_raw() { return __builtin_ia32_rdtsc(); }
+#else
+std::uint64_t now_raw();  // steady_clock ns; defined in telemetry.cpp
+#endif
 
 // ---------------------------------------------------------------------------
 // Recording
@@ -116,13 +126,24 @@ std::uint64_t now_ns();
 void record(EventKind kind, const char* name, std::uint64_t a0 = 0,
             std::uint64_t a1 = 0);
 
-/// Record a completed span [begin_ns, now).
-void record_span(EventKind kind, const char* name, std::uint64_t begin_ns,
+/// Record a completed span [begin_raw, now) — `begin_raw` is a
+/// now_raw() sample taken at span entry.
+void record_span(EventKind kind, const char* name, std::uint64_t begin_raw,
+                 std::uint64_t a0 = 0, std::uint64_t a1 = 0);
+
+/// Record `count` identical instant events with one timestamp read and
+/// one ring publish — the bulk form for loops whose per-iteration work
+/// is too cheap to carry a ScopedSpan (e.g. batch-replayed campaign
+/// trials).  Exports see `count` ordinary events, so event-count
+/// invariants hold whichever form the producer used.
+void record_bulk(EventKind kind, const char* name, std::uint64_t count,
                  std::uint64_t a0 = 0, std::uint64_t a1 = 0);
 
 /// Events to retain per thread before the ring wraps (oldest events are
 /// overwritten; wrapped counts are reported as dropped).  Applies to
-/// rings created after the call.  Power of two; default 16384.
+/// rings created after the call.  Power of two; default 4096 — small
+/// enough that the ring's slot writes stay cache-resident under the
+/// recorder's <2% overhead budget.
 void set_ring_capacity(std::size_t events);
 
 /// Drop every recorded event and zero every metric — fresh start for a
@@ -155,11 +176,11 @@ class ScopedSpan {
       active_ = true;
       kind_ = kind;
       name_ = name;
-      begin_ns_ = now_ns();
+      begin_raw_ = now_raw();
     }
   }
   ~ScopedSpan() {
-    if (active_) record_span(kind_, name_, begin_ns_, a0_, a1_);
+    if (active_) record_span(kind_, name_, begin_raw_, a0_, a1_);
   }
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
@@ -173,7 +194,7 @@ class ScopedSpan {
   bool active_ = false;
   EventKind kind_ = EventKind::Span;
   const char* name_ = nullptr;
-  std::uint64_t begin_ns_ = 0;
+  std::uint64_t begin_raw_ = 0;
   std::uint64_t a0_ = 0;
   std::uint64_t a1_ = 0;
 };
@@ -214,6 +235,15 @@ struct NullMute {};
                                static_cast<std::uint64_t>(a0),        \
                                static_cast<std::uint64_t>(a1));       \
   } while (0)
+/// Record `count` identical instant events in one ring publish.
+#define NTC_TELEM_EVENTS(kind, name, count, a0, a1)                    \
+  do {                                                                 \
+    if (::ntc::telemetry::enabled())                                   \
+      ::ntc::telemetry::record_bulk((kind), (name),                    \
+                                    static_cast<std::uint64_t>(count), \
+                                    static_cast<std::uint64_t>(a0),    \
+                                    static_cast<std::uint64_t>(a1));   \
+  } while (0)
 /// Declare a scoped span named `var` (NullSpan when compiled out).
 #define NTC_TELEM_SPAN(var, kind, name) \
   ::ntc::telemetry::ScopedSpan var((kind), (name))
@@ -224,6 +254,9 @@ struct NullMute {};
 #else
 #define NTC_TELEM_EVENT(kind, name, a0, a1) \
   do {                                      \
+  } while (0)
+#define NTC_TELEM_EVENTS(kind, name, count, a0, a1) \
+  do {                                              \
   } while (0)
 #define NTC_TELEM_SPAN(var, kind, name) ::ntc::telemetry::NullSpan var
 #define NTC_TELEM_ON() (false)

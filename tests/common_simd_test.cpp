@@ -1,0 +1,231 @@
+// The SIMD kernel layer's contracts (common/cpu.hpp, common/simd.hpp):
+// runtime dispatch obeys the sim::set_simd_enabled kill switch, and
+// every vector kernel is bit-exact against its scalar twin — the gate
+// scan against the double compare it replaces, the deviation sweep
+// against the per-word algebra, and the hardware CRC-32C against the
+// byte table.  On hosts without the required ISA the dispatchers stay
+// scalar and these tests degenerate to scalar-vs-scalar, which keeps
+// them meaningful (never vacuously skipped) everywhere.
+#include "common/simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/cpu.hpp"
+#include "common/framing.hpp"
+#include "common/rng.hpp"
+
+namespace ntc {
+namespace {
+
+/// Restore the process-global kill-switch whatever a test does.
+struct SimdSwitchGuard {
+  bool prev = sim::simd_enabled();
+  ~SimdSwitchGuard() { sim::set_simd_enabled(prev); }
+};
+
+TEST(CpuFeatures, DetectionIsStableAndStringIsConsistent) {
+  const CpuFeatures& f = cpu_features();
+  const CpuFeatures& again = cpu_features();
+  EXPECT_EQ(f.sse42, again.sse42);
+  EXPECT_EQ(f.avx2, again.avx2);
+  EXPECT_EQ(f.bmi2, again.bmi2);
+  const std::string s = cpu_feature_string();
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(s == "scalar", !f.sse42 && !f.avx2 && !f.bmi2);
+  EXPECT_EQ(s.find("avx2") != std::string::npos, f.avx2);
+}
+
+TEST(SimdKillSwitch, GatesTheActiveProbes) {
+  SimdSwitchGuard guard;
+  sim::set_simd_enabled(false);
+  EXPECT_FALSE(sim::simd_enabled());
+  EXPECT_FALSE(simd_avx2_active());
+  EXPECT_FALSE(simd_sse42_active());
+  sim::set_simd_enabled(true);
+  EXPECT_TRUE(sim::simd_enabled());
+  // Active only when the hardware actually has the feature.
+  EXPECT_EQ(simd_avx2_active(), cpu_features().avx2);
+  EXPECT_EQ(simd_sse42_active(), cpu_features().sse42);
+}
+
+TEST(GateThreshold, IntegerCompareMatchesDoubleCompare) {
+  // The burst scan's contract: (u >> 11) >= gate_threshold(p) iff
+  // (double)(u >> 11) * 2^-53 >= p, for every uniform u.
+  Rng rng(0x6A7E);
+  std::vector<double> ps = {0.0,  1e-300, 1e-18, 0.1, 0.5,
+                            0.99, 1.0 - 1e-16, 1.0, 2.0, -1.0};
+  // Probabilities of the exact form the injector computes.
+  for (int i = 0; i < 20; ++i)
+    ps.push_back(std::pow(1.0 - rng.uniform() * 1e-3, 39.0 * 1024));
+  for (const double p : ps) {
+    const std::uint64_t threshold = simd::gate_threshold(p);
+    for (int k = 0; k < 2000; ++k) {
+      const std::uint64_t u = rng.next_u64();
+      const bool via_double = static_cast<double>(u >> 11) * 0x1.0p-53 >= p;
+      const bool via_int = (u >> 11) >= threshold;
+      ASSERT_EQ(via_int, via_double) << "p=" << p << " u=" << u;
+    }
+    // Boundary values around the threshold itself.
+    for (std::int64_t d = -2; d <= 2; ++d) {
+      const std::uint64_t x =
+          threshold + static_cast<std::uint64_t>(d);
+      if (x > (std::uint64_t{1} << 53)) continue;
+      const std::uint64_t u = x << 11;
+      ASSERT_EQ((u >> 11) >= threshold,
+                static_cast<double>(u >> 11) * 0x1.0p-53 >= p)
+          << "p=" << p << " boundary offset " << d;
+    }
+  }
+}
+
+TEST(FindFirstGate, MatchesScalarScanAcrossKillSwitch) {
+  SimdSwitchGuard guard;
+  Rng rng(0xF157);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint32_t n = static_cast<std::uint32_t>(rng.uniform_u64(129));
+    std::vector<std::uint64_t> gates(n);
+    for (auto& g : gates) g = rng.next_u64();
+    const double p = trial % 3 == 0 ? 1.0 - 1e-5 : rng.uniform();
+    const std::uint64_t threshold = simd::gate_threshold(p);
+    // Scalar reference: first index whose gate fires.
+    std::uint32_t expect = n;
+    for (std::uint32_t j = 0; j < n; ++j) {
+      if ((gates[j] >> 11) >= threshold) {
+        expect = j;
+        break;
+      }
+    }
+    sim::set_simd_enabled(true);
+    EXPECT_EQ(simd::find_first_gate(gates.data(), n, threshold), expect);
+    sim::set_simd_enabled(false);
+    EXPECT_EQ(simd::find_first_gate(gates.data(), n, threshold), expect);
+  }
+  // p <= 0 (threshold 0) fires on the first word regardless of data.
+  std::uint64_t one = 0;
+  EXPECT_EQ(simd::find_first_gate(&one, 1, simd::gate_threshold(0.0)), 0u);
+}
+
+TEST(DeviationSweep, MatchesScalarAlgebraAcrossKillSwitch) {
+  SimdSwitchGuard guard;
+  Rng rng(0xD311A);
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                              std::size_t{4}, std::size_t{5}, std::size_t{7},
+                              std::size_t{31}, std::size_t{63},
+                              std::size_t{64}}) {
+    std::vector<std::uint64_t> golden(n), werr(n), mask(n), value(n), flip(n);
+    std::vector<std::uint64_t> error_on(n), error_off(n), error_ref(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      golden[i] = rng.next_u64();
+      mask[i] = rng.next_u64() & rng.next_u64();
+      value[i] = rng.next_u64() & mask[i];
+      // Mix clean and dirty lanes: a clean lane needs the algebra to
+      // cancel exactly.
+      if (i % 2 == 0) {
+        werr[i] = 0;
+        flip[i] = 0;
+        value[i] = golden[i] & mask[i];
+      } else {
+        werr[i] = rng.next_u64() & rng.next_u64() & rng.next_u64();
+        flip[i] = i % 4 == 1 ? (std::uint64_t{1} << (i % 39)) : 0;
+      }
+    }
+    std::uint64_t dirty_ref = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      error_ref[i] = (werr[i] & ~mask[i]) ^ ((golden[i] & mask[i]) ^ value[i]) ^
+                     flip[i];
+      if (error_ref[i] != 0) dirty_ref |= std::uint64_t{1} << i;
+    }
+    sim::set_simd_enabled(true);
+    const std::uint64_t dirty_on =
+        simd::deviation_sweep(golden.data(), werr.data(), mask.data(),
+                              value.data(), flip.data(), n, error_on.data());
+    sim::set_simd_enabled(false);
+    const std::uint64_t dirty_off =
+        simd::deviation_sweep(golden.data(), werr.data(), mask.data(),
+                              value.data(), flip.data(), n, error_off.data());
+    EXPECT_EQ(dirty_on, dirty_ref) << "n=" << n;
+    EXPECT_EQ(dirty_off, dirty_ref) << "n=" << n;
+    EXPECT_EQ(error_on, error_ref) << "n=" << n;
+    EXPECT_EQ(error_off, error_ref) << "n=" << n;
+  }
+}
+
+TEST(Crc32cSimd, HardwareAndTablePathsAgreeOnRandomLengths) {
+  SimdSwitchGuard guard;
+  Rng rng(0xC3C);
+  // Lengths straddling every kernel regime: empty, sub-word, the 8-byte
+  // loop, and multiple 3 KiB interleave blocks (3 * kCrcLane = 3072).
+  for (const std::size_t len :
+       {std::size_t{0}, std::size_t{1}, std::size_t{7}, std::size_t{8},
+        std::size_t{9}, std::size_t{63}, std::size_t{1024}, std::size_t{3071},
+        std::size_t{3072}, std::size_t{3073}, std::size_t{6144},
+        std::size_t{6200}, std::size_t{10000}}) {
+    std::vector<std::uint8_t> data(len);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform_u64(256));
+    sim::set_simd_enabled(true);
+    const std::uint32_t hw = crc32c(data);
+    sim::set_simd_enabled(false);
+    const std::uint32_t table = crc32c(data);
+    EXPECT_EQ(hw, table) << "len=" << len;
+  }
+}
+
+TEST(Crc32cSimd, Rfc3720VectorsPassInBothModes) {
+  SimdSwitchGuard guard;
+  const std::vector<std::uint8_t> zeros(32, 0);
+  const std::vector<std::uint8_t> ones(32, 0xFF);
+  std::vector<std::uint8_t> incrementing(32), decrementing(32);
+  for (std::uint8_t i = 0; i < 32; ++i) {
+    incrementing[i] = i;
+    decrementing[i] = static_cast<std::uint8_t>(0x1F - i);
+  }
+  const std::uint8_t check[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  for (const bool on : {true, false}) {
+    sim::set_simd_enabled(on);
+    EXPECT_EQ(crc32c(zeros), 0x8A9136AAu) << "simd=" << on;
+    EXPECT_EQ(crc32c(ones), 0x62A8AB43u) << "simd=" << on;
+    EXPECT_EQ(crc32c(incrementing), 0x46DD794Eu) << "simd=" << on;
+    EXPECT_EQ(crc32c(decrementing), 0x113FDB5Cu) << "simd=" << on;
+    EXPECT_EQ(crc32c({check, sizeof check}), 0xE3069283u) << "simd=" << on;
+  }
+}
+
+TEST(Crc32cSimd, ChunkedUpdateEqualsOneShotAcrossModes) {
+  SimdSwitchGuard guard;
+  Rng rng(0x5EED);
+  std::vector<std::uint8_t> data(8192);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform_u64(256));
+  sim::set_simd_enabled(true);
+  const std::uint32_t reference = crc32c(data);
+  for (const bool on : {true, false}) {
+    sim::set_simd_enabled(on);
+    // Uneven chunking, including zero-length spans.
+    std::uint32_t crc = crc32c({data.data(), 0});
+    std::size_t at = 0;
+    std::size_t step = 1;
+    while (at < data.size()) {
+      const std::size_t n = std::min(step, data.size() - at);
+      crc = crc32c_update(crc, {data.data() + at, n});
+      crc = crc32c_update(crc, {data.data() + at, 0});  // no-op append
+      at += n;
+      step = step * 3 + 1;
+    }
+    EXPECT_EQ(crc, reference) << "simd=" << on;
+  }
+  // Crossing modes mid-stream must also agree: the state format is
+  // shared between the two kernels.
+  sim::set_simd_enabled(true);
+  std::uint32_t crc = crc32c({data.data(), 1000});
+  sim::set_simd_enabled(false);
+  crc = crc32c_update(crc, {data.data() + 1000, data.size() - 1000});
+  EXPECT_EQ(crc, reference);
+}
+
+}  // namespace
+}  // namespace ntc

@@ -17,6 +17,7 @@
 #include <sstream>
 #include <string>
 
+#include "common/cpu.hpp"
 #include "faultsim/campaign.hpp"
 #include "sim/memory_port.hpp"
 
@@ -27,6 +28,12 @@ namespace {
 struct BatchSwitchGuard {
   bool prev = sim::batch_enabled();
   ~BatchSwitchGuard() { sim::set_batch_enabled(prev); }
+};
+
+/// Same, for the SIMD dispatch kill-switch.
+struct SimdSwitchGuard {
+  bool prev = sim::simd_enabled();
+  ~SimdSwitchGuard() { sim::set_simd_enabled(prev); }
 };
 
 struct LedgerExport {
@@ -136,6 +143,49 @@ TEST(FaultsimBatch, ChunkWidthDoesNotChangeTheLedger) {
   unsetenv("NTC_BATCH_TRIALS");
   EXPECT_EQ(wide.csv, narrow.csv);
   EXPECT_EQ(wide.stats.convergent_trials, narrow.stats.convergent_trials);
+}
+
+TEST(FaultsimBatch, SimdKillSwitchKeepsLedgerByteIdentical) {
+  // The vector kernels (deviation sweep, gate scan, SECDED word lanes,
+  // ledger CRC) must be bit-exact against their scalar twins end to
+  // end: the full ledger — convergent trials, peeled trials, and the
+  // collapsed-supply population together — cannot move a byte when the
+  // dispatch flips.  On non-SIMD hosts both runs are scalar and the
+  // test degenerates to determinism.
+  SimdSwitchGuard simd_guard;
+  CampaignConfig config = grid_config();
+  config.voltages = {Volt{0.30}, Volt{0.42}, Volt{0.60}};
+  sim::set_simd_enabled(true);
+  const LedgerExport on = run_campaign(config, /*batch=*/true);
+  sim::set_simd_enabled(false);
+  const LedgerExport off = run_campaign(config, /*batch=*/true);
+  EXPECT_EQ(on.csv, off.csv);
+  EXPECT_EQ(on.json, off.json);
+  // Not just the records: the peel decisions themselves are invariant.
+  EXPECT_EQ(on.stats.convergent_trials, off.stats.convergent_trials);
+  EXPECT_EQ(on.stats.peeled_trials, off.stats.peeled_trials);
+
+  // The scalar trial path (injector burst scans, EccMemory word
+  // kernels) dispatches too — crossing both kill-switches at once must
+  // still reproduce the same ledger.
+  sim::set_simd_enabled(true);
+  const LedgerExport scalar_on = run_campaign(config, /*batch=*/false);
+  EXPECT_EQ(scalar_on.csv, on.csv);
+}
+
+TEST(FaultsimBatch, SimdKillSwitchByteIdenticalAtEightThreads) {
+  SimdSwitchGuard simd_guard;
+  CampaignConfig config = grid_config();
+  config.voltages = {Volt{0.30}, Volt{0.42}, Volt{0.60}};
+  config.threads = 8;
+  sim::set_simd_enabled(true);
+  const LedgerExport on = run_campaign(config, /*batch=*/true);
+  sim::set_simd_enabled(false);
+  const LedgerExport off = run_campaign(config, /*batch=*/true);
+  EXPECT_EQ(on.csv, off.csv);
+  EXPECT_EQ(on.json, off.json);
+  EXPECT_EQ(on.stats.convergent_trials, off.stats.convergent_trials);
+  EXPECT_EQ(on.stats.peeled_trials, off.stats.peeled_trials);
 }
 
 TEST(FaultsimBatch, ScriptedScenariosBypassTheEngine) {

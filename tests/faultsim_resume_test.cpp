@@ -217,6 +217,38 @@ TEST_F(ResumeTest, KillMidBatchResumesAcrossEngineModes) {
   }
 }
 
+TEST_F(ResumeTest, KillWithTornTailResumesAcrossSimdModes) {
+  // Same torn-tail crash protocol, crossing the SIMD dispatch instead
+  // of the engine: trials computed by the vector kernels before the
+  // SIGKILL must merge byte-identically with trials recomputed (and a
+  // torn frame CRC re-validated) by the scalar twins, and vice versa.
+  // On hosts without the ISA both legs run scalar and the test reduces
+  // to the plain torn-tail case.
+  std::string want_csv, want_json;
+  reference(1, want_csv, want_json);
+
+  for (const bool simd_first : {true, false}) {
+    SCOPED_TRACE(simd_first ? "simd->scalar" : "scalar->simd");
+    const std::string ledger = dir_ + "/crosssimd";
+    fs::remove_all(ledger);
+    std::vector<std::string> args = grid_args(ledger, 1);
+    args.insert(args.end(), {"--simd", simd_first ? "1" : "0",
+                             "--kill-after-trials", "5", "--torn-tail"});
+    const ChildResult killed = run_tool(NTC_CAMPAIGN_TOOL, args);
+    ASSERT_TRUE(killed.signaled);
+    ASSERT_EQ(killed.signal, SIGKILL);
+
+    std::vector<std::string> resume_args = grid_args(ledger, 1);
+    resume_args.insert(resume_args.end(), {"--simd", simd_first ? "0" : "1"});
+    const ChildResult resumed = run_tool(NTC_CAMPAIGN_TOOL, resume_args);
+    ASSERT_FALSE(resumed.signaled);
+    ASSERT_EQ(resumed.exit_code, 0);
+    merge(ledger, "crosssimd");
+    EXPECT_EQ(slurp(dir_ + "/crosssimd.csv"), want_csv);
+    EXPECT_EQ(slurp(dir_ + "/crosssimd.json"), want_json);
+  }
+}
+
 TEST_F(ResumeTest, RepeatedKillsStillConverge) {
   // Crash-loop: kill after 3, then after 6, then finish.  Each pass
   // makes durable progress; the final ledger is still exact.

@@ -117,7 +117,7 @@ TEST_F(TelemetryTest, RingWrapsAndCountsDropped) {
     }
   });
   t.join();
-  set_ring_capacity(16384);
+  set_ring_capacity(4096);  // restore the default
   EXPECT_EQ(kept, 8u);
   EXPECT_EQ(dropped, 12u);
 }

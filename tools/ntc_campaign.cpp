@@ -22,6 +22,9 @@
 //   --stochastic 0|1      analytic fault model underneath  [1]
 //   --batch 0|1           batched trace-replay trial engine
 //                         (sim::set_batch_enabled)         [1]
+//   --simd 0|1            vectorized kernels where the CPU supports
+//                         them (sim::set_simd_enabled; results are
+//                         bit-identical either way)        [1]
 // Service options:
 //   --seeds-per-shard N   seed-range chunk per shard (0 = cell) [0]
 //   --workers N           executor workers (0 = hardware)  [0]
@@ -47,6 +50,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cpu.hpp"
 #include "faultsim/service.hpp"
 #include "sim/memory_port.hpp"
 
@@ -150,6 +154,7 @@ int main(int argc, char** argv) {
     else if (arg == "--base-seed") campaign.base_seed = std::stoull(need_value(i));
     else if (arg == "--stochastic") campaign.stochastic_background = std::stoi(need_value(i)) != 0;
     else if (arg == "--batch") sim::set_batch_enabled(std::stoi(need_value(i)) != 0);
+    else if (arg == "--simd") sim::set_simd_enabled(std::stoi(need_value(i)) != 0);
     else if (arg == "--workers") campaign.threads = std::stoul(need_value(i));
     else if (arg == "--voltages") {
       campaign.voltages.clear();
