@@ -39,6 +39,8 @@
 #include "ecc/hsiao.hpp"
 #include "ecc/interleave.hpp"
 #include "faultsim/campaign.hpp"
+#include "multitile/sharded_fft.hpp"
+#include "multitile/tiled_platform.hpp"
 #include "ocean/runtime.hpp"
 #include "platform_fft_run.hpp"
 #include "reliability/access_model.hpp"
@@ -396,6 +398,55 @@ void bench_fft_platform_run(Suite& suite, bool quick) {
   });
 }
 
+void bench_multitile(Suite& suite, bool quick) {
+  // The tiled campaign's per-trial hot path: a 4-tile / 4-bank sharded
+  // FFT on a pooled platform, reset to a fresh (seed, vdd) per run —
+  // gather bursts, arbiter epoch replays and the banked SECDED decode
+  // all included.
+  const std::size_t points = quick ? 64 : 1024;
+  multitile::TiledPlatformConfig config;
+  config.tile_schemes.assign(4, mitigation::SchemeKind::Secded);
+  config.banks = 4;
+  config.vdd = Volt{0.60};
+  config.inject_faults = false;
+  config.shared_bytes = std::max<std::uint32_t>(
+      8 * 1024, static_cast<std::uint32_t>(points) * 4);
+  multitile::TiledPlatform platform(config);
+  const std::vector<std::complex<double>> signal =
+      benchutil::fft_test_signal(points);
+  suite.run("tiled_fft_4x4", [&](std::uint64_t i) {
+    platform.reset(i + 1, Volt{0.60});
+    multitile::ShardedFft fft(platform, points);
+    fft.set_input(signal);
+    do_not_optimize(fft.run());
+    do_not_optimize(platform.total_cycles());
+  });
+
+  // The interconnect in isolation: four tiles burst the shared array
+  // through their links and hit the barrier, at 4, 2 and 1 banks — the
+  // arbiter replay cost from no contention to full serialization.
+  std::vector<std::unique_ptr<multitile::TiledPlatform>> sweep;
+  for (const std::uint32_t banks : {4u, 2u, 1u}) {
+    multitile::TiledPlatformConfig swept = config;
+    swept.banks = banks;
+    sweep.push_back(std::make_unique<multitile::TiledPlatform>(swept));
+  }
+  std::vector<std::uint32_t> burst(64);
+  for (std::size_t i = 0; i < burst.size(); ++i)
+    burst[i] = static_cast<std::uint32_t>(i * 2654435761u);
+  suite.run("bank_contention_sweep", [&](std::uint64_t i) {
+    (void)i;
+    for (auto& p : sweep) {
+      for (std::uint32_t t = 0; t < p->tile_count(); ++t) {
+        p->link(t).write_burst(t * 64u, burst);
+        p->add_compute_cycles(t, 64);
+      }
+      p->barrier();
+      do_not_optimize(p->contention_cycles());
+    }
+  });
+}
+
 void bench_campaign_throughput(Suite& suite, bool quick) {
   // Steady-state campaign throughput: one persistent runner executing
   // its grid over and over, reusing parked executor workers and pooled
@@ -662,6 +713,7 @@ int main(int argc, char** argv) {
   bench_campaign_slice(suite, quick);
   bench_platform_reset(suite);
   bench_fft_platform_run(suite, quick);
+  bench_multitile(suite, quick);
   bench_campaign_throughput(suite, quick);
   const auto overheads = bench_telemetry_overhead(suite, quick);
 

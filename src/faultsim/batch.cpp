@@ -330,6 +330,10 @@ std::string BatchEngine::trace_key(mitigation::SchemeKind kind) const {
 BatchEngine::~BatchEngine() = default;
 
 bool BatchEngine::eligible(const Shard& shard) const {
+  // Tile-mix cells (scheme axis past the classic schemes) run the
+  // sharded multi-tile path, which the single-platform trace replay
+  // does not model.
+  if (shard.scheme_index >= config_.schemes.size()) return false;
   // Scripted scenario events arm on array access counters and mutate
   // one-shot injector state the trace replay does not model; only the
   // implicit no-event "background" scenario is batchable.

@@ -13,6 +13,8 @@
 #include "common/fixed_point.hpp"
 #include "faultsim/batch.hpp"
 #include "faultsim/ledger.hpp"
+#include "multitile/sharded_fft.hpp"
+#include "multitile/tiled_pool.hpp"
 #include "reliability/model_tables.hpp"
 #include "sim/platform.hpp"
 #include "sim/platform_pool.hpp"
@@ -45,6 +47,49 @@ struct InjectorSet {
   std::shared_ptr<ScenarioInjector> pm;  ///< null unless the platform has a PM
 };
 
+/// Per-array injectors of a pooled TiledPlatform: one per shared-memory
+/// bank, one per tile I-mem, one per OCEAN tile PM.
+struct TiledInjectorSet {
+  std::vector<std::shared_ptr<ScenarioInjector>> banks;
+  std::vector<std::shared_ptr<ScenarioInjector>> imems;
+  std::vector<std::shared_ptr<ScenarioInjector>> pms;  ///< null per non-OCEAN tile
+};
+
+/// Translate a scenario's scratchpad script onto the banked arrays.
+/// Word-addressed events land on the bank the interleave map assigns
+/// their word (the event's word becomes the in-bank offset); column
+/// faults are physical per-array defects and replicate on every bank.
+/// At one bank the map is the identity, so the classic script arrives
+/// verbatim — the 1x1 ledger-identity hinge.  Row spans are NOT split
+/// across banks: a RowStuck models a physical row defect, which after
+/// banking lives inside one array.
+std::vector<std::vector<FaultEvent>> split_spm_events(
+    const std::vector<FaultEvent>& events,
+    const multitile::BankedMemory& banks) {
+  std::vector<std::vector<FaultEvent>> out(banks.bank_count());
+  for (const FaultEvent& e : events) {
+    if (e.kind == FaultEvent::Kind::ColumnStuck) {
+      for (auto& bank_events : out) bank_events.push_back(e);
+    } else {
+      const multitile::BankAddress a = banks.map(e.word);
+      FaultEvent moved = e;
+      moved.word = a.offset;
+      out[a.bank].push_back(moved);
+    }
+  }
+  return out;
+}
+
+const char* short_scheme_label(mitigation::SchemeKind kind) {
+  switch (kind) {
+    case mitigation::SchemeKind::NoMitigation: return "none";
+    case mitigation::SchemeKind::Secded: return "secded";
+    case mitigation::SchemeKind::Ocean: return "ocean";
+    case mitigation::SchemeKind::Custom: return "custom";
+  }
+  return "?";
+}
+
 /// Plain array standing in for the reference platform's scratchpad: at
 /// NoMitigation with injection off the memory path is bit-transparent
 /// storage, so the golden pass needs no platform at all.
@@ -68,6 +113,45 @@ struct GoldenPort final : sim::MemoryPort {
 
 }  // namespace
 
+TileMixSpec normalize_tile_mix(TileMixSpec mix) {
+  NTC_REQUIRE_MSG(mix.tiles >= 1 && (mix.tiles & (mix.tiles - 1)) == 0,
+                  "tile count must be a power of two");
+  NTC_REQUIRE_MSG(mix.banks >= 1 && (mix.banks & (mix.banks - 1)) == 0,
+                  "bank count must be a power of two");
+  if (mix.schemes.empty())
+    mix.schemes.push_back(mitigation::SchemeKind::Secded);
+  NTC_REQUIRE_MSG(mix.schemes.size() <= mix.tiles,
+                  "more per-tile schemes than tiles");
+  const std::size_t given = mix.schemes.size();
+  for (std::size_t t = given; t < mix.tiles; ++t)
+    mix.schemes.push_back(mix.schemes[t % given]);
+  if (mix.name.empty()) {
+    if (mix.tiles == 1 && mix.banks == 1) {
+      // The degenerate mix IS the classic platform; carrying the classic
+      // scheme name keeps its ledger rows byte-identical.
+      switch (mix.schemes.front()) {
+        case mitigation::SchemeKind::Secded:
+          mix.name = mitigation::secded_scheme().name;
+          break;
+        case mitigation::SchemeKind::Ocean:
+          mix.name = mitigation::ocean_scheme().name;
+          break;
+        default:
+          mix.name = mitigation::no_mitigation().name;
+          break;
+      }
+    } else {
+      mix.name = "t" + std::to_string(mix.tiles) + "b" +
+                 std::to_string(mix.banks) + ":";
+      for (std::size_t t = 0; t < mix.schemes.size(); ++t) {
+        if (t > 0) mix.name += '+';
+        mix.name += short_scheme_label(mix.schemes[t]);
+      }
+    }
+  }
+  return mix;
+}
+
 const char* to_string(RunOutcome outcome) {
   switch (outcome) {
     case RunOutcome::Clean: return "clean";
@@ -83,10 +167,16 @@ CampaignRunner::CampaignRunner(CampaignConfig config)
     : config_(std::move(config)),
       tables_(std::make_shared<reliability::ModelTableCache>()) {
   NTC_REQUIRE(!config_.voltages.empty());
-  NTC_REQUIRE(!config_.schemes.empty());
+  NTC_REQUIRE(!config_.schemes.empty() || !config_.tile_mixes.empty());
   NTC_REQUIRE(config_.seeds_per_cell >= 1);
   NTC_REQUIRE(config_.fft_points >= 4 &&
               (config_.fft_points & (config_.fft_points - 1)) == 0);
+  for (TileMixSpec& mix : config_.tile_mixes) {
+    mix = normalize_tile_mix(std::move(mix));
+    NTC_REQUIRE_MSG(config_.fft_points % mix.tiles == 0 &&
+                        config_.fft_points / mix.tiles >= 4,
+                    "tile mix needs at least 4 FFT points per tile");
+  }
   if (config_.scenarios.empty())
     config_.scenarios.push_back(Scenario{"background", {}, {}, {}});
   signal_ = campaign_signal(config_.fft_points);
@@ -242,6 +332,153 @@ RunRecord CampaignRunner::execute_one(const Scenario& scenario,
   return record;
 }
 
+multitile::TiledPlatformConfig CampaignRunner::tiled_base_config(
+    const TileMixSpec& mix) const {
+  multitile::TiledPlatformConfig tc;
+  tc.memory_style = config_.style;
+  tc.tile_schemes = mix.schemes;
+  tc.banks = mix.banks;
+  tc.vdd = config_.voltages.front();
+  tc.clock = config_.clock;
+  // Same geometry rules as platform_base_config: a 1-tile/1-bank mix
+  // must build byte-for-byte the arrays the classic platform builds.
+  tc.shared_bytes = std::max<std::uint32_t>(
+      8 * 1024, static_cast<std::uint32_t>(config_.fft_points) * 4);
+  tc.pm_bytes = static_cast<std::uint32_t>(config_.fft_points) * 8;
+  tc.seed = config_.base_seed;
+  tc.inject_faults = config_.stochastic_background;
+  tc.tables = tables_;
+  return tc;
+}
+
+RunRecord CampaignRunner::execute_one_tiled(const Scenario& scenario,
+                                            std::size_t mix_index, Volt vdd,
+                                            std::uint64_t seed,
+                                            multitile::TiledPool& pool) const {
+  const TileMixSpec& mix = config_.tile_mixes[mix_index];
+  RunRecord record;
+  record.scenario = scenario.name;
+  record.vdd = vdd.value;
+  record.seed = seed;
+  NTC_TELEM_SPAN(trial_span, telemetry::EventKind::CampaignTrial,
+                 "campaign_trial");
+
+  multitile::TiledPool::Slot& slot =
+      pool.acquire(mix_index, [&] { return tiled_base_config(mix); });
+  multitile::TiledPlatform& platform = *slot.platform;
+  if (!slot.client_state) {
+    auto injectors = std::make_shared<TiledInjectorSet>();
+    injectors->banks.resize(platform.bank_count());
+    for (std::uint32_t b = 0; b < platform.bank_count(); ++b) {
+      injectors->banks[b] =
+          std::make_shared<ScenarioInjector>(std::vector<FaultEvent>{});
+      platform.shared().banks().bank(b).attach_injector(injectors->banks[b]);
+    }
+    injectors->imems.resize(platform.tile_count());
+    injectors->pms.resize(platform.tile_count());
+    for (std::uint32_t t = 0; t < platform.tile_count(); ++t) {
+      injectors->imems[t] =
+          std::make_shared<ScenarioInjector>(std::vector<FaultEvent>{});
+      platform.imem(t).array().attach_injector(injectors->imems[t]);
+      if (platform.pm(t) != nullptr) {
+        injectors->pms[t] =
+            std::make_shared<ScenarioInjector>(std::vector<FaultEvent>{});
+        platform.pm(t)->array().attach_injector(injectors->pms[t]);
+      }
+    }
+    slot.client_state = injectors;
+  }
+  TiledInjectorSet& injectors =
+      *static_cast<TiledInjectorSet*>(slot.client_state.get());
+  // Scratchpad events route through the bank map; each private I-mem
+  // (and each OCEAN PM) replays the classic per-array script, so every
+  // tile faces the fault environment the single-core platform faced.
+  const std::vector<std::vector<FaultEvent>> per_bank =
+      split_spm_events(scenario.spm_events, platform.shared().banks());
+  for (std::uint32_t b = 0; b < platform.bank_count(); ++b)
+    injectors.banks[b]->rearm(per_bank[b]);
+  for (std::uint32_t t = 0; t < platform.tile_count(); ++t) {
+    injectors.imems[t]->rearm(scenario.imem_events);
+    if (injectors.pms[t]) injectors.pms[t]->rearm(scenario.pm_events);
+  }
+  platform.reset(seed, vdd);
+  record.scheme = mix.name;
+
+  multitile::ShardedFft fft(platform, config_.fft_points, config_.ocean);
+  fft.set_input(signal_);
+  const multitile::ShardedFft::RunResult run = fft.run();
+  record.ocean_restores = run.ocean_restores;
+  record.ocean_voltage_escalations = run.ocean_voltage_escalations;
+  // OCEAN tiles signal detection through CRC mismatches, unprotected
+  // tiles (and the cross-shard stages) through faulted phases — the
+  // union is the classic "detected" signal.
+  const std::uint64_t faulted_phases = run.faulted_phases + run.crc_mismatches;
+
+  // Readback in logical order through the decoding shared-memory path,
+  // exactly like the classic readback through the scratchpad.
+  std::vector<std::uint32_t> measured_words(config_.fft_points);
+  std::vector<std::complex<double>> measured(config_.fft_points);
+  for (std::size_t i = 0; i < config_.fft_points; ++i) {
+    platform.shared().read_word(
+        fft.physical_index(static_cast<std::uint32_t>(i)), measured_words[i]);
+    const ComplexQ15 q = ComplexQ15::unpack(measured_words[i]);
+    measured[i] = std::complex<double>(q.re.to_double(), q.im.to_double()) /
+                  fft.output_scale();
+  }
+  record.snr_db = workloads::snr_db(measured, reference_);
+  record.cycles = platform.total_cycles();
+  record.contention_cycles = platform.contention_cycles();
+
+  for (std::size_t r = 0; r < platform.shared().region_count(); ++r) {
+    const sim::EccMemoryStats& stats = platform.shared().region(r).stats;
+    record.corrected_words += stats.corrected_words;
+    record.uncorrectable_words += stats.uncorrectable_words;
+  }
+  for (std::uint32_t b = 0; b < platform.bank_count(); ++b) {
+    const sim::SramStats& stats = platform.shared().banks().bank(b).stats();
+    record.injected_flips +=
+        stats.injected_read_flips + stats.injected_write_flips;
+    record.stuck_bits += stats.stuck_bits;
+  }
+  auto tally = [&](const sim::EccMemory* mem) {
+    if (mem == nullptr) return;
+    record.corrected_words += mem->stats().corrected_words;
+    record.uncorrectable_words += mem->stats().uncorrectable_words;
+    record.injected_flips += mem->array().stats().injected_read_flips +
+                             mem->array().stats().injected_write_flips;
+    record.stuck_bits += mem->array().stats().stuck_bits;
+  };
+  for (std::uint32_t t = 0; t < platform.tile_count(); ++t) {
+    tally(&platform.imem(t));
+    tally(platform.pm(t));
+  }
+  for (const auto& injector : injectors.banks)
+    record.scenario_events_fired += injector->events_fired();
+  for (const auto& injector : injectors.imems)
+    record.scenario_events_fired += injector->events_fired();
+  for (const auto& injector : injectors.pms)
+    if (injector) record.scenario_events_fired += injector->events_fired();
+
+  const bool output_ok = measured_words == golden_;
+  const bool detected = record.uncorrectable_words > 0 || faulted_phases > 0;
+  const bool any_fault_activity =
+      detected || record.corrected_words > 0 || record.injected_flips > 0 ||
+      record.stuck_bits > 0 || record.scenario_events_fired > 0 ||
+      record.ocean_restores > 0;
+  if (run.system_failure) {
+    record.outcome = RunOutcome::SystemFailure;
+  } else if (!output_ok) {
+    record.outcome = detected ? RunOutcome::DetectedUncorrectable
+                              : RunOutcome::SilentDataCorruption;
+  } else {
+    record.outcome =
+        any_fault_activity ? RunOutcome::Corrected : RunOutcome::Clean;
+  }
+  trial_span.set_args(seed, static_cast<std::uint64_t>(record.outcome));
+  NTC_TELEM_COUNT("ntc_campaign_trials_total", 1);
+  return record;
+}
+
 ShardPlan CampaignRunner::shard_plan(std::uint32_t seeds_per_shard) const {
   return make_shard_plan(config_, seeds_per_shard);
 }
@@ -254,6 +491,7 @@ void CampaignRunner::prepare() {
   if (!executor_) {
     executor_ = std::make_unique<Executor>(config_.threads);
     pools_.resize(executor_->worker_count());
+    tiled_pools_.resize(executor_->worker_count());
   }
   if (!batch_) {
     if (const char* env = std::getenv("NTC_BATCH_TRIALS")) {
@@ -280,8 +518,17 @@ RunRecord CampaignRunner::execute_shard_trial(const Shard& shard,
   NTC_REQUIRE(golden_computed_ && worker < pools_.size());
   NTC_REQUIRE(offset < shard.trial_count);
   NTC_REQUIRE(shard.scenario_index < config_.scenarios.size());
-  NTC_REQUIRE(shard.scheme_index < config_.schemes.size());
+  NTC_REQUIRE(shard.scheme_index <
+              config_.schemes.size() + config_.tile_mixes.size());
   NTC_REQUIRE(shard.voltage_index < config_.voltages.size());
+  if (shard.scheme_index >= config_.schemes.size()) {
+    auto& tiled_pool = tiled_pools_[worker];
+    if (!tiled_pool) tiled_pool = std::make_unique<multitile::TiledPool>();
+    return execute_one_tiled(config_.scenarios[shard.scenario_index],
+                             shard.scheme_index - config_.schemes.size(),
+                             config_.voltages[shard.voltage_index],
+                             shard.seed_begin + offset, *tiled_pool);
+  }
   auto& pool = pools_[worker];
   if (!pool)
     pool = std::make_unique<sim::PlatformPool>(platform_base_config());

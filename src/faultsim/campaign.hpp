@@ -48,6 +48,10 @@ namespace ntc::sim {
 class PlatformPool;
 struct PlatformConfig;
 }
+namespace ntc::multitile {
+class TiledPool;
+struct TiledPlatformConfig;
+}
 
 namespace ntc::faultsim {
 
@@ -64,9 +68,39 @@ enum class RunOutcome {
 
 const char* to_string(RunOutcome outcome);
 
+/// One multi-tile platform configuration on the campaign's scheme axis:
+/// `tiles` cores with per-tile mitigation share a `banks`-way banked
+/// scratchpad behind the arbitrated interconnect, and every trial runs
+/// the sharded FFT instead of the sequential one.
+struct TileMixSpec {
+  std::uint32_t tiles = 1;  ///< power of two
+  std::uint32_t banks = 1;  ///< power of two
+  /// Per-tile schemes; shorter lists cycle across the tiles, empty
+  /// defaults to SECDED everywhere.
+  std::vector<mitigation::SchemeKind> schemes;
+  /// Ledger scheme-column label; derived when empty.  A 1-tile/1-bank
+  /// mix takes the classic scheme name ("OCEAN", ...), which is what
+  /// keeps its ledger byte-identical to the classic platform path;
+  /// larger mixes read "t4b2:secded+ocean+...".
+  std::string name;
+};
+
+/// The spelled-out form of a mix: schemes cycle-extended to one entry
+/// per tile, the name derived when empty.  CampaignRunner normalizes
+/// its config through this at construction, and config_fingerprint
+/// hashes through it, so fingerprints taken before and after
+/// normalization agree (same contract as the implicit background
+/// scenario).
+TileMixSpec normalize_tile_mix(TileMixSpec mix);
+
 struct CampaignConfig {
   std::vector<Volt> voltages{Volt{0.44}};
   std::vector<mitigation::SchemeKind> schemes{mitigation::SchemeKind::Secded};
+  /// Multi-tile grid points, appended after `schemes` on the scheme
+  /// axis (the grid iterates schemes first, then mixes, so a classic
+  /// config's shard plan — and its fingerprint — is untouched when this
+  /// is empty).
+  std::vector<TileMixSpec> tile_mixes;
   /// Scripted scenarios; when empty a single no-event "background"
   /// scenario runs (stochastic model only).
   std::vector<Scenario> scenarios;
@@ -98,6 +132,10 @@ struct RunRecord {
   std::uint64_t ocean_restores = 0;
   std::uint64_t ocean_voltage_escalations = 0;
   std::uint64_t cycles = 0;
+  /// Tile-cycles lost to bank contention (multi-tile mixes; always 0 on
+  /// the classic single-core path).  Appended last so classic ledgers
+  /// keep their field order.
+  std::uint64_t contention_cycles = 0;
 };
 
 struct CampaignSummary {
@@ -190,8 +228,15 @@ class CampaignRunner {
   RunRecord execute_one(const Scenario& scenario,
                         mitigation::SchemeKind scheme, Volt vdd,
                         std::uint64_t seed, sim::PlatformPool& pool) const;
+  /// The multi-tile counterpart: runs the sharded FFT on the mix's
+  /// TiledPlatform (pooled per worker, keyed by mix index).
+  RunRecord execute_one_tiled(const Scenario& scenario, std::size_t mix_index,
+                              Volt vdd, std::uint64_t seed,
+                              multitile::TiledPool& pool) const;
   void compute_golden();
   sim::PlatformConfig platform_base_config() const;
+  multitile::TiledPlatformConfig tiled_base_config(
+      const TileMixSpec& mix) const;
 
   CampaignConfig config_;
   std::vector<std::complex<double>> signal_;
@@ -210,6 +255,9 @@ class CampaignRunner {
   std::unique_ptr<Executor> executor_;
   /// One private pool per executor worker (index = worker id).
   std::vector<std::unique_ptr<sim::PlatformPool>> pools_;
+  /// Per-worker TiledPlatform pools (slot key = tile-mix index); only
+  /// populated when the config carries tile mixes.
+  std::vector<std::unique_ptr<multitile::TiledPool>> tiled_pools_;
 };
 
 }  // namespace ntc::faultsim

@@ -120,6 +120,7 @@ void serialize_run_record(ByteWriter& out, const RunRecord& record) {
   out.put_u64(record.ocean_restores);
   out.put_u64(record.ocean_voltage_escalations);
   out.put_u64(record.cycles);
+  out.put_u64(record.contention_cycles);
 }
 
 RunRecord deserialize_run_record(ByteReader& in) {
@@ -138,6 +139,7 @@ RunRecord deserialize_run_record(ByteReader& in) {
   r.ocean_restores = in.get_u64();
   r.ocean_voltage_escalations = in.get_u64();
   r.cycles = in.get_u64();
+  r.contention_cycles = in.get_u64();
   return r;
 }
 
@@ -364,7 +366,7 @@ void write_ledger_csv(std::ostream& out,
   out << "scenario,scheme,vdd,seed,outcome,snr_db,corrected_words,"
          "uncorrectable_words,injected_flips,stuck_bits,"
          "scenario_events_fired,ocean_restores,ocean_voltage_escalations,"
-         "cycles\n";
+         "cycles,contention_cycles\n";
   for (const RunRecord& r : records) {
     out << csv_field(r.scenario) << ',' << csv_field(r.scheme) << ','
         << r.vdd << ',' << r.seed
@@ -372,7 +374,8 @@ void write_ledger_csv(std::ostream& out,
         << r.corrected_words << ',' << r.uncorrectable_words << ','
         << r.injected_flips << ',' << r.stuck_bits << ','
         << r.scenario_events_fired << ',' << r.ocean_restores << ','
-        << r.ocean_voltage_escalations << ',' << r.cycles << '\n';
+        << r.ocean_voltage_escalations << ',' << r.cycles << ','
+        << r.contention_cycles << '\n';
   }
 }
 
@@ -407,7 +410,8 @@ void write_ledger_json(std::ostream& out,
         << ", \"scenario_events_fired\": " << r.scenario_events_fired
         << ", \"ocean_restores\": " << r.ocean_restores
         << ", \"ocean_voltage_escalations\": " << r.ocean_voltage_escalations
-        << ", \"cycles\": " << r.cycles << "}";
+        << ", \"cycles\": " << r.cycles
+        << ", \"contention_cycles\": " << r.contention_cycles << "}";
   }
   out << "\n  ]\n}\n";
 }

@@ -74,6 +74,23 @@ std::uint64_t config_fingerprint(const CampaignConfig& config) {
       hash_events(h, s.pm_events);
     }
   }
+  // Tile mixes extend the scheme axis; hashed only when present so
+  // every classic (mix-free) campaign keeps its historical fingerprint
+  // and its on-disk ledgers stay resumable.  Hashing the normalized
+  // spelling makes fingerprints agree before and after CampaignRunner
+  // fills in defaults.
+  if (!config.tile_mixes.empty()) {
+    h.u64(config.tile_mixes.size());
+    for (const TileMixSpec& raw : config.tile_mixes) {
+      const TileMixSpec mix = normalize_tile_mix(raw);
+      h.u64(mix.tiles);
+      h.u64(mix.banks);
+      h.u64(mix.schemes.size());
+      for (mitigation::SchemeKind s : mix.schemes)
+        h.u64(static_cast<std::uint64_t>(s));
+      h.str(mix.name);
+    }
+  }
   h.u64(config.base_seed);
   h.u64(config.seeds_per_cell);
   h.u64(config.fft_points);
@@ -98,6 +115,10 @@ ShardPlan make_shard_plan(const CampaignConfig& config,
   const std::uint32_t chunks_per_cell = (spc + sps - 1) / sps;
   const std::size_t n_scenarios =
       config.scenarios.empty() ? 1 : config.scenarios.size();
+  // Scheme axis = classic schemes, then tile mixes (mix m at index
+  // schemes.size() + m).
+  const std::size_t n_schemes =
+      config.schemes.size() + config.tile_mixes.size();
 
   ShardPlan plan;
   plan.seeds_per_shard = sps;
@@ -110,7 +131,7 @@ ShardPlan make_shard_plan(const CampaignConfig& config,
 
   std::uint64_t cell = 0;
   for (std::uint32_t scen = 0; scen < n_scenarios; ++scen) {
-    for (std::uint32_t scheme = 0; scheme < config.schemes.size(); ++scheme) {
+    for (std::uint32_t scheme = 0; scheme < n_schemes; ++scheme) {
       for (std::uint32_t volt = 0; volt < config.voltages.size(); ++volt) {
         for (std::uint32_t chunk = 0; chunk < chunks_per_cell; ++chunk) {
           Shard shard;

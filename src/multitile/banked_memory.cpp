@@ -1,0 +1,81 @@
+#include "multitile/banked_memory.hpp"
+
+#include <string>
+
+#include "common/assert.hpp"
+
+namespace ntc::multitile {
+
+namespace {
+
+bool is_power_of_two(std::uint32_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+std::uint32_t ilog2(std::uint32_t n) {
+  std::uint32_t l = 0;
+  while ((std::uint32_t{1} << l) < n) ++l;
+  return l;
+}
+
+}  // namespace
+
+BankedMemory::BankedMemory(BankedMemoryConfig config)
+    : config_(std::move(config)), shift_(ilog2(config_.banks)) {
+  NTC_REQUIRE(is_power_of_two(config_.banks));
+  NTC_REQUIRE(config_.interleave_words >= 1);
+  NTC_REQUIRE(config_.total_words %
+                  (config_.banks * config_.interleave_words) ==
+              0);
+  NTC_REQUIRE(config_.stored_bits >= 32 && config_.stored_bits <= 64);
+  const std::uint32_t per_bank = config_.total_words / config_.banks;
+  banks_.reserve(config_.banks);
+  for (std::uint32_t b = 0; b < config_.banks; ++b) {
+    // Bank 0 of a 1-bank memory IS the classic scratchpad: same name,
+    // geometry and RNG stream as Platform's "spm" array.
+    const std::string name =
+        config_.banks == 1 ? "spm" : "bank" + std::to_string(b);
+    energy::MemoryCalculator calc(config_.style,
+                                  energy::MemoryGeometry{per_bank, 32});
+    banks_.push_back(std::make_unique<sim::SramModule>(
+        name, per_bank, config_.stored_bits, calc.access_model(),
+        calc.retention_model(), config_.vdd, Rng(config_.seed).fork(bank_salt(b)),
+        config_.inject_faults, config_.tables));
+  }
+}
+
+BankAddress BankedMemory::map(std::uint32_t word) const {
+  if (config_.banks == 1) return BankAddress{0, word};
+  const std::uint32_t g = config_.interleave_words;
+  const std::uint32_t block = word / g;
+  std::uint32_t folded = block;
+  for (std::uint32_t x = block >> shift_; x != 0; x >>= shift_) folded ^= x;
+  return BankAddress{folded & (config_.banks - 1),
+                     (block / config_.banks) * g + word % g};
+}
+
+std::uint64_t BankedMemory::read_raw(std::uint32_t word) {
+  const BankAddress a = map(word);
+  return banks_[a.bank]->read_raw(a.offset);
+}
+
+void BankedMemory::write_raw(std::uint32_t word, std::uint64_t value) {
+  const BankAddress a = map(word);
+  banks_[a.bank]->write_raw(a.offset, value);
+}
+
+void BankedMemory::reset(std::uint64_t seed, Volt vdd) {
+  config_.seed = seed;
+  config_.vdd = vdd;
+  for (std::uint32_t b = 0; b < config_.banks; ++b)
+    banks_[b]->reset(vdd, Rng(seed).fork(bank_salt(b)));
+}
+
+void BankedMemory::set_vdd(Volt vdd) {
+  config_.vdd = vdd;
+  for (auto& bank : banks_) bank->set_vdd(vdd);
+}
+
+void BankedMemory::reset_stats() {
+  for (auto& bank : banks_) bank->reset_stats();
+}
+
+}  // namespace ntc::multitile

@@ -1,0 +1,282 @@
+#include "multitile/sharded_fft.hpp"
+
+#include <cmath>
+#include <span>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace ntc::multitile {
+
+namespace {
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+std::uint32_t ilog2(std::size_t n) {
+  std::uint32_t l = 0;
+  while ((std::size_t{1} << l) < n) ++l;
+  return l;
+}
+
+using workloads::FixedPointFft;
+
+}  // namespace
+
+ShardedFft::ShardedFft(TiledPlatform& platform, std::size_t points,
+                       ocean::OceanConfig ocean_config)
+    : platform_(platform),
+      points_(points),
+      log2n_(ilog2(points)),
+      ocean_(ocean_config) {
+  NTC_REQUIRE(is_power_of_two(points_) && points_ >= 4);
+  const std::uint32_t tiles = platform_.tile_count();
+  NTC_REQUIRE_MSG(points_ % tiles == 0 && points_ / tiles >= 4,
+                  "need at least 4 FFT points per tile");
+  shard_words_ = static_cast<std::uint32_t>(points_ / tiles);
+  region_words_ = platform_.shared().region_words();
+  NTC_REQUIRE_MSG(shard_words_ <= region_words_,
+                  "tile shard must fit its shared-memory region");
+  // Same table, layout and Q15 rounding as FixedPointFft's constructor.
+  twiddles_.reserve(points_ - 1);
+  for (std::size_t len = 2; len <= points_; len <<= 1) {
+    for (std::size_t k = 0; k < len / 2; ++k) {
+      const double angle =
+          -2.0 * M_PI * static_cast<double>(k) / static_cast<double>(len);
+      twiddles_.push_back(ComplexQ15{Q15::from_double(std::cos(angle)),
+                                     Q15::from_double(std::sin(angle))});
+    }
+  }
+}
+
+void ShardedFft::set_input(std::vector<std::complex<double>> input) {
+  NTC_REQUIRE(input.size() == points_);
+  input_ = std::move(input);
+}
+
+std::uint32_t ShardedFft::bit_reverse(std::uint32_t x, std::uint32_t bits) {
+  std::uint32_t r = 0;
+  for (std::uint32_t b = 0; b < bits; ++b) r |= ((x >> b) & 1u) << (bits - 1 - b);
+  return r;
+}
+
+ShardedFft::RunResult ShardedFft::run_single_tile() {
+  // One tile IS the classic platform: run the sequential FFT through
+  // the tile's host so the OCEAN protocol, cycle charges and memory
+  // traffic replay the single-core campaign path exactly.
+  RunResult result;
+  FixedPointFft fft(points_, 0);
+  fft.set_input(input_);
+  TiledPlatform::TileHost host = platform_.host(0);
+  if (platform_.tile_scheme(0) == mitigation::SchemeKind::Ocean) {
+    ocean::OceanRuntime runtime(host, ocean_);
+    const ocean::OceanRunOutcome outcome = runtime.run(fft);
+    result.completed = outcome.completed;
+    result.system_failure = outcome.system_failure;
+    result.ocean_restores = outcome.stats.restores;
+    result.ocean_voltage_escalations = outcome.stats.voltage_escalations;
+    result.crc_mismatches = outcome.stats.crc_mismatches;
+  } else {
+    result.faulted_phases = ocean::run_unprotected(host, fft);
+    result.completed = true;
+  }
+  platform_.barrier();
+  return result;
+}
+
+bool ShardedFft::gather_all(std::uint32_t tile, std::vector<std::uint32_t>& out) {
+  bool fault = false;
+  TileLink& link = platform_.link(tile);
+  for (std::uint32_t s = 0; s < platform_.tile_count(); ++s) {
+    const std::span<std::uint32_t> dst(
+        out.data() + static_cast<std::size_t>(s) * shard_words_, shard_words_);
+    if (link.read_burst(region_base(s), dst) ==
+        sim::AccessStatus::DetectedUncorrectable)
+      fault = true;
+  }
+  return fault;
+}
+
+/// The shard-local butterfly stages (global stages with len <= W) as a
+/// StreamingTask over one tile's region, so OCEAN tiles run them under
+/// the unmodified checkpoint protocol.  Data is staged by the sharded
+/// driver, so initialize() only names the chunk.
+class ShardedFft::TileLocalStages final : public workloads::StreamingTask {
+ public:
+  TileLocalStages(ShardedFft& fft, std::uint32_t tile)
+      : fft_(fft), tile_(tile) {}
+
+  std::string name() const override {
+    return "sharded FFT local stages (tile " + std::to_string(tile_) + ")";
+  }
+  std::size_t phase_count() const override {
+    return ilog2(fft_.shard_words_);
+  }
+  workloads::ChunkRef initialize(sim::MemoryPort&) override { return chunk(); }
+  workloads::ChunkRef input_chunk(std::size_t) const override {
+    return chunk();
+  }
+
+  workloads::PhaseResult run_phase(std::size_t index,
+                                   sim::MemoryPort& spm) override {
+    workloads::PhaseResult result;
+    result.output = chunk();
+    bool fault = false;
+    const std::uint32_t words = fft_.shard_words_;
+    std::vector<std::uint32_t> buffer(words);
+    if (spm.read_burst(fft_.region_base(tile_), buffer) ==
+        sim::AccessStatus::DetectedUncorrectable)
+      fault = true;
+
+    // Global stage index + 1: len <= W, so every butterfly block lies
+    // inside the shard and the global twiddle index equals the local
+    // one.  Arithmetic is FixedPointFft::run_phase verbatim.
+    const std::size_t len = std::size_t{1} << (index + 1);
+    const ComplexQ15* stage_twiddles = fft_.twiddles_.data() + (len / 2 - 1);
+    for (std::size_t i = 0; i < words; i += len) {
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const ComplexQ15 w = stage_twiddles[k];
+        const ComplexQ15 u = ComplexQ15::unpack(buffer[i + k]);
+        const ComplexQ15 v = ComplexQ15::unpack(buffer[i + k + len / 2]);
+        const Q15 vr = v.re * w.re - v.im * w.im;
+        const Q15 vi = v.re * w.im + v.im * w.re;
+        const ComplexQ15 out0{(u.re + vr).shr(1), (u.im + vi).shr(1)};
+        const ComplexQ15 out1{(u.re - vr).shr(1), (u.im - vi).shr(1)};
+        buffer[i + k] = out0.pack();
+        buffer[i + k + len / 2] = out1.pack();
+        result.compute_cycles += FixedPointFft::kCyclesPerButterfly;
+      }
+    }
+
+    if (spm.write_burst(fft_.region_base(tile_), buffer) ==
+        sim::AccessStatus::DetectedUncorrectable)
+      fault = true;
+    result.memory_fault = fault;
+    return result;
+  }
+
+ private:
+  workloads::ChunkRef chunk() const {
+    return workloads::ChunkRef{fft_.region_base(tile_), fft_.shard_words_};
+  }
+
+  ShardedFft& fft_;
+  std::uint32_t tile_;
+};
+
+ShardedFft::RunResult ShardedFft::run() {
+  NTC_REQUIRE_MSG(!input_.empty(), "set_input() before run()");
+  const std::uint32_t tiles = platform_.tile_count();
+  if (tiles == 1) return run_single_tile();
+
+  RunResult result;
+  result.completed = true;
+  const std::uint32_t W = shard_words_;
+
+  // Staging epoch: each tile packs and writes its own input shard.
+  {
+    std::vector<std::uint32_t> words(W);
+    for (std::uint32_t t = 0; t < tiles; ++t) {
+      for (std::uint32_t i = 0; i < W; ++i) {
+        const std::complex<double>& sample =
+            input_[static_cast<std::size_t>(t) * W + i];
+        words[i] = ComplexQ15{Q15::from_double(sample.real()),
+                              Q15::from_double(sample.imag())}
+                       .pack();
+      }
+      platform_.link(t).write_burst(region_base(t), words);
+    }
+    platform_.barrier();
+  }
+
+  std::vector<std::vector<std::uint32_t>> outs(
+      tiles, std::vector<std::uint32_t>(W));
+  std::vector<std::uint32_t> gathered(points_);
+  std::vector<bool> fault(tiles, false);
+
+  auto commit_shards = [&]() {
+    // Write epoch: every tile stores only its own shard, so the
+    // gather/compute epoch above never races a producer.
+    for (std::uint32_t t = 0; t < tiles; ++t) {
+      if (platform_.link(t).write_burst(region_base(t), outs[t]) ==
+          sim::AccessStatus::DetectedUncorrectable)
+        fault[t] = true;
+      if (fault[t]) ++result.faulted_phases;
+    }
+    platform_.barrier();
+  };
+
+  // Phase 0 — bit-reverse permutation: out[x] = in[reverse(x)], the
+  // sources scatter across every shard, so gather-all then write-own.
+  for (std::uint32_t t = 0; t < tiles; ++t) {
+    fault[t] = gather_all(t, gathered);
+    const std::uint32_t base = t * W;
+    for (std::uint32_t i = 0; i < W; ++i)
+      outs[t][i] = gathered[bit_reverse(base + i, log2n_)];
+    platform_.add_compute_cycles(
+        t, static_cast<std::uint64_t>(W) * FixedPointFft::kCyclesPerPermute,
+        1.0);
+  }
+  platform_.barrier();
+  commit_shards();
+
+  // Shard-local stages (len <= W): private butterflies, OCEAN tiles
+  // under the checkpoint protocol, one shared contention epoch.
+  for (std::uint32_t t = 0; t < tiles; ++t) {
+    TileLocalStages task(*this, t);
+    TiledPlatform::TileHost host = platform_.host(t);
+    if (platform_.tile_scheme(t) == mitigation::SchemeKind::Ocean) {
+      ocean::OceanRuntime runtime(host, ocean_);
+      const ocean::OceanRunOutcome outcome = runtime.run(task);
+      if (!outcome.completed) result.completed = false;
+      if (outcome.system_failure) result.system_failure = true;
+      result.ocean_restores += outcome.stats.restores;
+      result.ocean_voltage_escalations += outcome.stats.voltage_escalations;
+      result.crc_mismatches += outcome.stats.crc_mismatches;
+    } else {
+      result.faulted_phases += ocean::run_unprotected(host, task, 1.0);
+    }
+  }
+  platform_.barrier();
+
+  // Cross-shard stages (len > W): every butterfly partner lives in
+  // another shard.  Gather-all, compute this shard's half-butterflies
+  // (each output charged the full butterfly cost — the pair work is
+  // genuinely duplicated across the two owning tiles), write-own.
+  for (std::uint32_t stage = ilog2(W) + 1; stage <= log2n_; ++stage) {
+    const std::uint32_t len = std::uint32_t{1} << stage;
+    const std::uint32_t half = len >> 1;
+    for (std::uint32_t t = 0; t < tiles; ++t) {
+      fault[t] = gather_all(t, gathered);
+      const std::uint32_t base = t * W;
+      for (std::uint32_t i = 0; i < W; ++i) {
+        const std::uint32_t x = base + i;
+        const std::uint32_t k = x & (half - 1);
+        const ComplexQ15 w = twiddles_[half - 1 + k];
+        ComplexQ15 out;
+        if ((x & half) == 0) {
+          const ComplexQ15 u = ComplexQ15::unpack(gathered[x]);
+          const ComplexQ15 v = ComplexQ15::unpack(gathered[x + half]);
+          const Q15 vr = v.re * w.re - v.im * w.im;
+          const Q15 vi = v.re * w.im + v.im * w.re;
+          out = ComplexQ15{(u.re + vr).shr(1), (u.im + vi).shr(1)};
+        } else {
+          const ComplexQ15 u = ComplexQ15::unpack(gathered[x - half]);
+          const ComplexQ15 v = ComplexQ15::unpack(gathered[x]);
+          const Q15 vr = v.re * w.re - v.im * w.im;
+          const Q15 vi = v.re * w.im + v.im * w.re;
+          out = ComplexQ15{(u.re - vr).shr(1), (u.im - vi).shr(1)};
+        }
+        outs[t][i] = out.pack();
+      }
+      platform_.add_compute_cycles(
+          t, static_cast<std::uint64_t>(W) * FixedPointFft::kCyclesPerButterfly,
+          1.0);
+    }
+    platform_.barrier();
+    commit_shards();
+  }
+
+  return result;
+}
+
+}  // namespace ntc::multitile

@@ -1,0 +1,106 @@
+// Sharded multi-tile FFT over the banked shared scratchpad.
+//
+// The N-point transform splits into T = tile-count shards of W = N/T
+// consecutive logical indices; tile t owns logical indices
+// [tW, (t+1)W), stored in its region of the shared memory at physical
+// word addr(x) = (x / W) * region_words + (x % W).  The classic
+// radix-2 stage structure decomposes cleanly:
+//
+//   stage 0 (bit-reverse)  : gather-all, then write own shard;
+//   stages with len <= W   : butterflies stay inside one shard — each
+//                            tile runs them privately, OCEAN tiles
+//                            under their checkpoint protocol;
+//   stages with len >  W   : every butterfly partner lives in another
+//                            shard — gather-all, compute own outputs,
+//                            write own shard (unprotected: the working
+//                            set is the whole array, which no tile's
+//                            protected buffer could checkpoint).
+//
+// Every phase ends at a platform barrier, so the arbiter prices the
+// tiles' merged bank traffic; all tiles read during gather epochs and
+// write only their own shard during write epochs, so there are no
+// cross-tile write hazards and the result is bit-exact against the
+// sequential FixedPointFft on fault-free runs whatever the tile/bank
+// counts.  Butterfly arithmetic, twiddle rounding and the per-element
+// cycle charges reuse FixedPointFft's exact definitions.
+//
+// With one tile the class simply runs FixedPointFft through the tile's
+// host (OCEAN runtime for an OCEAN tile), reproducing the classic
+// single-core campaign path operation for operation.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "common/fixed_point.hpp"
+#include "multitile/tiled_platform.hpp"
+#include "ocean/runtime.hpp"
+#include "workloads/fft.hpp"
+
+namespace ntc::multitile {
+
+class ShardedFft {
+ public:
+  /// `points` must be a power of two with at least 4 points per tile.
+  ShardedFft(TiledPlatform& platform, std::size_t points,
+             ocean::OceanConfig ocean_config = {});
+
+  /// Set the time-domain input (Q15 range), length = points.
+  void set_input(std::vector<std::complex<double>> input);
+
+  struct RunResult {
+    bool completed = false;
+    bool system_failure = false;  ///< any tile's OCEAN restore exhausted
+    /// Unprotected (tile, phase) executions that met an uncorrectable
+    /// access — the "detected" signal of None/SECDED tiles and of the
+    /// cross-shard stages.
+    std::uint64_t faulted_phases = 0;
+    std::uint64_t ocean_restores = 0;
+    std::uint64_t ocean_voltage_escalations = 0;
+    std::uint64_t crc_mismatches = 0;
+  };
+
+  /// Execute the transform; barriers close every phase epoch, so
+  /// platform.total_cycles()/contention_cycles() are final afterwards.
+  RunResult run();
+
+  /// Physical shared-memory word of logical element x (the campaign
+  /// readback and tests address results through this).
+  std::uint32_t physical_index(std::uint32_t logical) const {
+    return (logical / shard_words_) * region_words_ + logical % shard_words_;
+  }
+
+  /// Scaling the fixed-point pipeline applies (1/N).
+  double output_scale() const {
+    return 1.0 / static_cast<double>(points_);
+  }
+
+  std::size_t points() const { return points_; }
+  std::uint32_t shard_words() const { return shard_words_; }
+
+ private:
+  class TileLocalStages;
+
+  RunResult run_single_tile();
+  /// Gather the whole logical array through tile t's link into `out`
+  /// (ascending shard order); returns true on an uncorrectable word.
+  bool gather_all(std::uint32_t tile, std::vector<std::uint32_t>& out);
+  std::uint32_t region_base(std::uint32_t tile) const {
+    return tile * region_words_;
+  }
+  static std::uint32_t bit_reverse(std::uint32_t x, std::uint32_t bits);
+
+  TiledPlatform& platform_;
+  std::size_t points_;
+  std::uint32_t log2n_;
+  std::uint32_t shard_words_;   ///< W = points / tiles
+  std::uint32_t region_words_;  ///< stride between tile regions
+  ocean::OceanConfig ocean_;
+  std::vector<std::complex<double>> input_;
+  /// Twiddle table with FixedPointFft's exact layout and rounding:
+  /// stage of half-length L at [L - 1, 2L - 1).
+  std::vector<ComplexQ15> twiddles_;
+};
+
+}  // namespace ntc::multitile

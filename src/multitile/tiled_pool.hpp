@@ -1,0 +1,42 @@
+// Pool of TiledPlatform arenas for campaign workers.
+//
+// Mirrors sim::PlatformPool: one slot per campaign tile-mix, platforms
+// constructed on first use and reused across grid cells via
+// TiledPlatform::reset, with an opaque client_state hook the campaign
+// uses to keep scenario injectors attached across runs.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "multitile/tiled_platform.hpp"
+
+namespace ntc::multitile {
+
+class TiledPool {
+ public:
+  struct Slot {
+    std::unique_ptr<TiledPlatform> platform;
+    /// Client hook: survives with the slot (e.g. the injector set
+    /// attached to the platform's arrays).
+    std::shared_ptr<void> client_state;
+  };
+
+  /// The slot for mix index `key`; `make` supplies the configuration
+  /// when the slot is first used.
+  Slot& acquire(std::size_t key,
+                const std::function<TiledPlatformConfig()>& make) {
+    if (key >= slots_.size()) slots_.resize(key + 1);
+    if (!slots_[key].platform)
+      slots_[key].platform = std::make_unique<TiledPlatform>(make());
+    return slots_[key];
+  }
+
+  std::size_t size() const { return slots_.size(); }
+
+ private:
+  std::vector<Slot> slots_;
+};
+
+}  // namespace ntc::multitile

@@ -9,14 +9,21 @@
 
 namespace ntc::ocean {
 
+OceanRuntime::OceanRuntime(OceanHost& host, OceanConfig config)
+    : host_(host), config_(config) {
+  NTC_REQUIRE_MSG(host_.pm() != nullptr,
+                  "OCEAN runtime needs a host with a protected memory");
+}
+
 OceanRuntime::OceanRuntime(sim::Platform& platform, OceanConfig config)
-    : platform_(platform), config_(config) {
-  NTC_REQUIRE_MSG(platform.pm() != nullptr,
+    : owned_host_(std::make_unique<PlatformOceanHost>(platform)),
+      host_(*owned_host_), config_(config) {
+  NTC_REQUIRE_MSG(host_.pm() != nullptr,
                   "OCEAN runtime needs a platform with a protected memory");
 }
 
 void OceanRuntime::charge(std::uint64_t cycles) {
-  platform_.add_compute_cycles(cycles, /*fetches_per_cycle=*/0.25);
+  host_.add_compute_cycles(cycles, /*fetches_per_cycle=*/0.25);
 }
 
 RestoreResult OceanRuntime::restore_with_escalation(ProtectedBuffer& buffer,
@@ -36,19 +43,18 @@ RestoreResult OceanRuntime::restore_with_escalation(ProtectedBuffer& buffer,
     // re-derives the stuck population), a scrub rewrites what just
     // became correctable, and the restore is retried at the safer
     // operating point.
-    const Volt bumped{std::min(
-        platform_.config().vdd.value + config_.escalation_step.value,
-        config_.escalation_vmax.value)};
-    if (bumped.value <= platform_.config().vdd.value) break;  // rail capped
+    const Volt bumped{std::min(host_.vdd().value + config_.escalation_step.value,
+                               config_.escalation_vmax.value)};
+    if (bumped.value <= host_.vdd().value) break;  // rail capped
     ++outcome.stats.voltage_escalations;
     NTC_TELEM_EVENT(
         telemetry::EventKind::VoltageChange, "ocean_escalation",
-        static_cast<std::uint64_t>(platform_.config().vdd.value * 1000.0 + 0.5),
+        static_cast<std::uint64_t>(host_.vdd().value * 1000.0 + 0.5),
         static_cast<std::uint64_t>(bumped.value * 1000.0 + 0.5));
     NTC_TELEM_COUNT("ntc_ocean_voltage_escalations_total", 1);
-    platform_.set_vdd(bumped);
-    platform_.pm()->scrub();
-    const std::uint64_t scrub_cycles = 2ull * platform_.pm()->word_count();
+    host_.set_vdd(bumped);
+    host_.pm()->scrub();
+    const std::uint64_t scrub_cycles = 2ull * host_.pm()->word_count();
     outcome.stats.protocol_cycles += scrub_cycles;
     charge(scrub_cycles);
     restored = buffer.restore(spm, chunk);
@@ -64,7 +70,7 @@ RestoreResult OceanRuntime::restore_with_escalation(ProtectedBuffer& buffer,
 
 std::uint32_t OceanRuntime::crc_of_chunk(workloads::ChunkRef chunk) {
   std::vector<std::uint32_t> buffer(chunk.words);
-  platform_.spm().read_burst(chunk.word_offset, buffer);
+  host_.data_port().read_burst(chunk.word_offset, buffer);
   std::uint32_t state = ecc::Crc32::initial();
   for (const std::uint32_t word : buffer) {
     state = crc_.update(state, static_cast<std::uint8_t>(word));
@@ -77,8 +83,8 @@ std::uint32_t OceanRuntime::crc_of_chunk(workloads::ChunkRef chunk) {
 
 OceanRunOutcome OceanRuntime::run(workloads::StreamingTask& task) {
   OceanRunOutcome outcome;
-  ProtectedBuffer buffer(*platform_.pm());
-  sim::MemoryPort& spm = platform_.spm();
+  ProtectedBuffer buffer(*host_.pm());
+  sim::MemoryPort& spm = host_.data_port();
 
   auto charge_checkpoint = [&](workloads::ChunkRef c) {
     const std::uint64_t cycles = ProtectedBuffer::copy_cycles(c) +
@@ -141,8 +147,8 @@ OceanRunOutcome OceanRuntime::run(workloads::StreamingTask& task) {
     for (std::uint32_t attempt = 0;; ++attempt) {
       result = task.run_phase(phase, spm);
       ++outcome.stats.phases_run;
-      platform_.add_compute_cycles(result.compute_cycles,
-                                   config_.fetches_per_cycle);
+      host_.add_compute_cycles(result.compute_cycles,
+                               config_.fetches_per_cycle);
       {
         NTC_TELEM_SPAN(cp, telemetry::EventKind::Checkpoint,
                        "ocean_checkpoint");
@@ -169,18 +175,24 @@ OceanRunOutcome OceanRuntime::run(workloads::StreamingTask& task) {
   return outcome;
 }
 
-std::uint64_t run_unprotected(sim::Platform& platform,
-                              workloads::StreamingTask& task,
+std::uint64_t run_unprotected(OceanHost& host, workloads::StreamingTask& task,
                               double fetches_per_cycle) {
-  sim::MemoryPort& spm = platform.spm();
+  sim::MemoryPort& spm = host.data_port();
   task.initialize(spm);
   std::uint64_t faulted_phases = 0;
   for (std::size_t phase = 0; phase < task.phase_count(); ++phase) {
     const workloads::PhaseResult result = task.run_phase(phase, spm);
-    platform.add_compute_cycles(result.compute_cycles, fetches_per_cycle);
+    host.add_compute_cycles(result.compute_cycles, fetches_per_cycle);
     if (result.memory_fault) ++faulted_phases;
   }
   return faulted_phases;
+}
+
+std::uint64_t run_unprotected(sim::Platform& platform,
+                              workloads::StreamingTask& task,
+                              double fetches_per_cycle) {
+  PlatformOceanHost host(platform);
+  return run_unprotected(host, task, fetches_per_cycle);
 }
 
 }  // namespace ntc::ocean

@@ -7,7 +7,15 @@
 // is restored from the protected buffer instead of re-running its
 // producer.  All checkpoint, check and restore work is charged to the
 // platform's cycle/energy accounting.
+//
+// The runtime talks to its execution environment through the OceanHost
+// interface — a data port, a protected memory, a cycle sink and the
+// (single) supply rail — so the same protocol runs unchanged on the
+// classic single-core sim::Platform and on one tile of a
+// multitile::TiledPlatform.
 #pragma once
+
+#include <memory>
 
 #include "ecc/crc.hpp"
 #include "ocean/protected_buffer.hpp"
@@ -53,10 +61,50 @@ struct OceanRunOutcome {
   OceanRunStats stats;
 };
 
+/// Execution environment the OCEAN protocol runs against.  The classic
+/// adapter wraps sim::Platform; multitile::TiledPlatform exposes one
+/// host per tile (data port = the tile's arbitrated shared-memory link,
+/// PM = the tile-private protected buffer, set_vdd = the shared rail).
+class OceanHost {
+ public:
+  virtual ~OceanHost() = default;
+  /// The working memory the streaming task reads and writes.
+  virtual sim::MemoryPort& data_port() = 0;
+  /// The BCH-protected checkpoint memory (never null for OCEAN hosts).
+  virtual sim::EccMemory* pm() = 0;
+  /// Charge workload/protocol cycles (and the implied I-mem fetches).
+  virtual void add_compute_cycles(std::uint64_t cycles,
+                                  double fetches_per_cycle) = 0;
+  /// Current supply voltage of the (single) rail.
+  virtual Volt vdd() const = 0;
+  /// Raise/lower the single rail (affects every array sharing it).
+  virtual void set_vdd(Volt vdd) = 0;
+};
+
+/// OceanHost over the classic single-core platform.
+class PlatformOceanHost final : public OceanHost {
+ public:
+  explicit PlatformOceanHost(sim::Platform& platform) : platform_(platform) {}
+  sim::MemoryPort& data_port() override { return platform_.spm(); }
+  sim::EccMemory* pm() override { return platform_.pm(); }
+  void add_compute_cycles(std::uint64_t cycles,
+                          double fetches_per_cycle) override {
+    platform_.add_compute_cycles(cycles, fetches_per_cycle);
+  }
+  Volt vdd() const override { return platform_.config().vdd; }
+  void set_vdd(Volt vdd) override { platform_.set_vdd(vdd); }
+
+ private:
+  sim::Platform& platform_;
+};
+
 class OceanRuntime {
  public:
-  /// The platform must be built with SchemeKind::Ocean (it owns the PM).
-  OceanRuntime(sim::Platform& platform, OceanConfig config = {});
+  /// The host must expose a protected memory (pm() != nullptr).
+  explicit OceanRuntime(OceanHost& host, OceanConfig config = {});
+  /// Convenience: the platform must be built with SchemeKind::Ocean
+  /// (it owns the PM).  Wraps it in an internal PlatformOceanHost.
+  explicit OceanRuntime(sim::Platform& platform, OceanConfig config = {});
 
   /// Run the task to completion under OCEAN protection.
   OceanRunOutcome run(workloads::StreamingTask& task);
@@ -71,7 +119,8 @@ class OceanRuntime {
                                         workloads::ChunkRef chunk,
                                         OceanRunOutcome& outcome);
 
-  sim::Platform& platform_;
+  std::unique_ptr<OceanHost> owned_host_;  ///< Platform-ctor adapter
+  OceanHost& host_;
   OceanConfig config_;
   ecc::Crc32 crc_;
 };
@@ -80,6 +129,8 @@ class OceanRuntime {
 /// phases execute back to back with no checkpoint protocol; compute
 /// cycles and fetches are charged identically.  Returns the number of
 /// phases that reported an uncorrectable memory fault.
+std::uint64_t run_unprotected(OceanHost& host, workloads::StreamingTask& task,
+                              double fetches_per_cycle = 1.0);
 std::uint64_t run_unprotected(sim::Platform& platform,
                               workloads::StreamingTask& task,
                               double fetches_per_cycle = 1.0);

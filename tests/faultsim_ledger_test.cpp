@@ -34,6 +34,7 @@ RunRecord sample_record(std::uint64_t seed) {
   record.ocean_restores = 1;
   record.ocean_voltage_escalations = 0;
   record.cycles = 123456789;
+  record.contention_cycles = 4242;
   return record;
 }
 
@@ -94,6 +95,7 @@ TEST(RunRecordSerdeTest, RoundTripsBitExactly) {
   EXPECT_EQ(copy.ocean_voltage_escalations,
             original.ocean_voltage_escalations);
   EXPECT_EQ(copy.cycles, original.cycles);
+  EXPECT_EQ(copy.contention_cycles, original.contention_cycles);
 }
 
 TEST(RunRecordSerdeTest, NanSnrSurvives) {

@@ -1,0 +1,243 @@
+// Multi-tile campaign equivalence, end-to-end through the real tools:
+//
+//  * a 1-tile / 1-bank TiledPlatform campaign produces merged ledgers
+//    (CSV and JSON) byte-identical to the classic Platform path — same
+//    seeds, same scenarios, at 1 and 8 workers — proving the tiled
+//    datapath reproduces the classic one operation for operation;
+//  * a SIGKILL mid-campaign over a tiles x banks grid resumes to a
+//    merged ledger byte-identical to the uninterrupted run.
+//
+// Same child-process protocol as faultsim_resume_test: tool paths come
+// from the build system (NTC_CAMPAIGN_TOOL / NTC_LEDGER_MERGE_TOOL),
+// fork+exec keeps the harness sanitizer-clean.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct ChildResult {
+  bool signaled = false;
+  int signal = 0;
+  int exit_code = -1;
+};
+
+ChildResult run_tool(const std::string& tool,
+                     const std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  std::vector<std::string> storage;
+  storage.push_back(tool);
+  storage.insert(storage.end(), args.begin(), args.end());
+  for (std::string& s : storage) argv.push_back(s.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    const int null_fd = ::open("/dev/null", O_WRONLY);
+    if (null_fd >= 0) {
+      ::dup2(null_fd, STDOUT_FILENO);
+      ::close(null_fd);
+    }
+    ::execv(tool.c_str(), argv.data());
+    ::_exit(127);
+  }
+  ChildResult result;
+  if (pid < 0) return result;
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  if (WIFSIGNALED(status)) {
+    result.signaled = true;
+    result.signal = WTERMSIG(status);
+  } else if (WIFEXITED(status)) {
+    result.exit_code = WEXITSTATUS(status);
+  }
+  return result;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class MultitileEquivalenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/ntc_mtile_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  void merge(const std::string& ledger_dir, const std::string& tag) {
+    const ChildResult result = run_tool(
+        NTC_LEDGER_MERGE_TOOL,
+        {"--dir", ledger_dir, "--quiet",
+         "--csv", dir_ + "/" + tag + ".csv",
+         "--json", dir_ + "/" + tag + ".json"});
+    ASSERT_FALSE(result.signaled);
+    ASSERT_EQ(result.exit_code, 0) << "merge must see a complete ledger";
+  }
+
+  std::vector<std::string> base_args(const std::string& ledger_dir,
+                                     unsigned workers) const {
+    return {"--ledger-dir", ledger_dir,
+            "--fft-points", "16",
+            "--seeds",      "3",
+            "--workers",    std::to_string(workers),
+            "--quiet"};
+  }
+
+  // Run the campaign tool to completion and merge its ledger to text.
+  void campaign(const std::vector<std::string>& extra, const std::string& tag,
+                unsigned workers) {
+    std::vector<std::string> args = base_args(dir_ + "/" + tag, workers);
+    args.insert(args.end(), extra.begin(), extra.end());
+    const ChildResult result = run_tool(NTC_CAMPAIGN_TOOL, args);
+    ASSERT_FALSE(result.signaled);
+    ASSERT_EQ(result.exit_code, 0);
+    merge(dir_ + "/" + tag, tag);
+  }
+
+  std::string dir_;
+};
+
+TEST_F(MultitileEquivalenceTest, OneTileOneBankMatchesClassicByteForByte) {
+  // Per scheme (the per-tile mix of a 1x1 platform IS a single classic
+  // scheme): the tiled campaign's merged CSV and JSON must be
+  // byte-identical to the classic path's, at 1 and at 8 workers.
+  // Scenarios default to background + burst, so the scripted-injector
+  // translation is exercised alongside the stochastic model.
+  for (const char* scheme : {"secded", "ocean"}) {
+    for (const unsigned workers : {1u, 8u}) {
+      SCOPED_TRACE(std::string(scheme) + " workers=" +
+                   std::to_string(workers));
+      const std::string classic_tag =
+          std::string("classic_") + scheme + "_" + std::to_string(workers);
+      const std::string tiled_tag =
+          std::string("tiled_") + scheme + "_" + std::to_string(workers);
+      campaign({"--schemes", scheme}, classic_tag, workers);
+      campaign({"--schemes", scheme, "--tiles", "1", "--banks", "1"},
+               tiled_tag, workers);
+
+      const std::string classic_csv = slurp(dir_ + "/" + classic_tag + ".csv");
+      ASSERT_FALSE(classic_csv.empty());
+      EXPECT_EQ(slurp(dir_ + "/" + tiled_tag + ".csv"), classic_csv)
+          << "1x1 tiled CSV must be byte-identical to classic";
+      EXPECT_EQ(slurp(dir_ + "/" + tiled_tag + ".json"),
+                slurp(dir_ + "/" + classic_tag + ".json"))
+          << "1x1 tiled JSON must be byte-identical to classic";
+    }
+  }
+}
+
+TEST_F(MultitileEquivalenceTest, TiledLedgerCarriesContentionCycles) {
+  // A real 4-tile grid writes the new trailing column; some trial on
+  // the 1-bank axis must have stalled.
+  campaign({"--schemes", "none,secded,ocean", "--tiles", "4",
+            "--banks", "4,1"},
+           "grid", 1);
+  const std::string csv = slurp(dir_ + "/grid.csv");
+  ASSERT_FALSE(csv.empty());
+  std::istringstream lines(csv);
+  std::string line;
+  // Skip the leading '#' build-comment lines to the column header.
+  while (std::getline(lines, line) && !line.empty() && line[0] == '#') {
+  }
+  ASSERT_NE(line.find(",contention_cycles"), std::string::npos)
+      << "column header must carry the new trailing field";
+  // At least one data row ends in a nonzero contention count.
+  bool nonzero = false;
+  std::size_t rows = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    ++rows;
+    const std::size_t comma = line.rfind(',');
+    ASSERT_NE(comma, std::string::npos);
+    if (line.substr(comma + 1) != "0") nonzero = true;
+  }
+  EXPECT_GT(rows, 0u);
+  EXPECT_TRUE(nonzero) << "4 tiles never stalled - arbiter not wired?";
+}
+
+TEST_F(MultitileEquivalenceTest, KillResumeOverTileGridSingleWorker) {
+  // SIGKILL lands mid-shard in a tiles x banks grid; the resumed run
+  // must converge to the uninterrupted ledger byte for byte (pooled
+  // tiled platforms rebuilt from the ledger's durable trial count).
+  const std::vector<std::string> grid = {"--schemes", "none,secded,ocean",
+                                         "--tiles", "4", "--banks", "4,1"};
+  campaign(grid, "ref", 1);
+  const std::string want_csv = slurp(dir_ + "/ref.csv");
+  const std::string want_json = slurp(dir_ + "/ref.json");
+  ASSERT_FALSE(want_csv.empty());
+
+  for (const int kill_after : {5, 9}) {
+    SCOPED_TRACE("kill_after=" + std::to_string(kill_after));
+    const std::string ledger = dir_ + "/killed";
+    fs::remove_all(ledger);
+    std::vector<std::string> args = base_args(ledger, 1);
+    args.insert(args.end(), grid.begin(), grid.end());
+    args.insert(args.end(),
+                {"--kill-after-trials", std::to_string(kill_after),
+                 "--torn-tail"});
+    const ChildResult killed = run_tool(NTC_CAMPAIGN_TOOL, args);
+    ASSERT_TRUE(killed.signaled) << "harness child must die by signal";
+    ASSERT_EQ(killed.signal, SIGKILL);
+
+    std::vector<std::string> resume_args = base_args(ledger, 1);
+    resume_args.insert(resume_args.end(), grid.begin(), grid.end());
+    const ChildResult resumed = run_tool(NTC_CAMPAIGN_TOOL, resume_args);
+    ASSERT_FALSE(resumed.signaled);
+    ASSERT_EQ(resumed.exit_code, 0);
+    merge(ledger, "killed");
+    EXPECT_EQ(slurp(dir_ + "/killed.csv"), want_csv)
+        << "merged CSV after kill+resume must be byte-identical";
+    EXPECT_EQ(slurp(dir_ + "/killed.json"), want_json)
+        << "merged JSON after kill+resume must be byte-identical";
+  }
+}
+
+TEST_F(MultitileEquivalenceTest, KillResumeOverTileGridEightWorkers) {
+  // Eight workers leave several tiled shards mid-flight at the kill;
+  // every interrupted segment must resume on a fresh pooled platform
+  // and still converge.
+  const std::vector<std::string> grid = {"--schemes", "none,secded,ocean",
+                                         "--tiles", "4", "--banks", "4,1"};
+  campaign(grid, "ref8", 8);
+  const std::string want_csv = slurp(dir_ + "/ref8.csv");
+  ASSERT_FALSE(want_csv.empty());
+
+  const std::string ledger = dir_ + "/killed8";
+  std::vector<std::string> args = base_args(ledger, 8);
+  args.insert(args.end(), grid.begin(), grid.end());
+  args.insert(args.end(), {"--kill-after-trials", "11"});
+  const ChildResult killed = run_tool(NTC_CAMPAIGN_TOOL, args);
+  ASSERT_TRUE(killed.signaled);
+  ASSERT_EQ(killed.signal, SIGKILL);
+
+  std::vector<std::string> resume_args = base_args(ledger, 8);
+  resume_args.insert(resume_args.end(), grid.begin(), grid.end());
+  const ChildResult resumed = run_tool(NTC_CAMPAIGN_TOOL, resume_args);
+  ASSERT_FALSE(resumed.signaled);
+  ASSERT_EQ(resumed.exit_code, 0);
+  merge(ledger, "killed8");
+  EXPECT_EQ(slurp(dir_ + "/killed8.csv"), want_csv);
+  EXPECT_EQ(slurp(dir_ + "/killed8.json"), slurp(dir_ + "/ref8.json"));
+}
+
+}  // namespace

@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "ecc/hamming.hpp"
+#include "multitile/arbiter.hpp"
+#include "multitile/tiled_platform.hpp"
 #include "ocean/runtime.hpp"
 #include "reliability/access_model.hpp"
 #include "reliability/noise_margin.hpp"
@@ -175,6 +177,88 @@ TEST(PlatformReset, ClearsBusTrafficAlongsideMemoryCounters) {
   }
   EXPECT_EQ(platform.spm().array().stats().reads, 0u);
   EXPECT_EQ(platform.spm().stats().corrected_words, 0u);
+}
+
+TEST(ArbiterStatsReset, ClearsContentionCountersAndPendingEpoch) {
+  // Two tiles slamming one bank in the same epoch must stall; reset()
+  // has to zero every counter the replay incremented AND drop the
+  // half-logged epoch so the next one starts clean.
+  multitile::ArbiterConfig config;
+  config.tiles = 2;
+  config.banks = 1;
+  multitile::Arbiter arbiter(config);
+  arbiter.log_access(0, 0, 8);
+  arbiter.log_access(1, 0, 8);
+  arbiter.add_compute(0, 4);
+  arbiter.add_compute(1, 4);
+  arbiter.end_epoch();
+  const multitile::ArbiterStats before = arbiter.stats();
+  ASSERT_EQ(before.epochs, 1u);
+  ASSERT_EQ(before.requests, 2u);
+  ASSERT_EQ(before.beats, 16u);
+  ASSERT_GT(before.contention_cycles, 0u);
+  ASSERT_GT(before.makespan_cycles, 0u);
+  ASSERT_GT(arbiter.tile_stall_cycles()[0] + arbiter.tile_stall_cycles()[1],
+            0u);
+  ASSERT_GT(arbiter.bank_busy_cycles()[0], 0u);
+
+  // Plant a pending (un-barriered) epoch, then reset.
+  arbiter.log_access(0, 0, 8);
+  arbiter.log_access(1, 0, 8);
+  arbiter.reset();
+  EXPECT_EQ(arbiter.stats().epochs, 0u);
+  EXPECT_EQ(arbiter.stats().requests, 0u);
+  EXPECT_EQ(arbiter.stats().beats, 0u);
+  EXPECT_EQ(arbiter.stats().contention_cycles, 0u);
+  EXPECT_EQ(arbiter.stats().makespan_cycles, 0u);
+  for (std::uint64_t stall : arbiter.tile_stall_cycles())
+    EXPECT_EQ(stall, 0u);
+  for (std::uint64_t busy : arbiter.bank_busy_cycles())
+    EXPECT_EQ(busy, 0u);
+
+  // The planted requests must be gone: a compute-only epoch stalls
+  // nothing and costs exactly its compute maximum.
+  arbiter.add_compute(0, 5);
+  arbiter.add_compute(1, 3);
+  EXPECT_EQ(arbiter.end_epoch(), 5u);
+  EXPECT_EQ(arbiter.stats().contention_cycles, 0u);
+}
+
+TEST(TiledPlatformReset, ClearsContentionAlongsideMemoryCounters) {
+  // A 2-tile / 1-bank platform with contended traffic: reset() must put
+  // cycles, contention and every memory counter back to the fresh
+  // as-constructed state (same contract as sim::Platform::reset).
+  multitile::TiledPlatformConfig config;
+  config.tile_schemes = {mitigation::SchemeKind::Secded,
+                         mitigation::SchemeKind::Secded};
+  config.banks = 1;
+  config.vdd = Volt{0.60};
+  config.inject_faults = false;
+  multitile::TiledPlatform platform(config);
+
+  std::vector<std::uint32_t> data(32, 0xC0FFEEu);
+  platform.link(0).write_burst(0, data);
+  platform.link(1).write_burst(32, data);
+  platform.add_compute_cycles(0, 100);
+  platform.add_compute_cycles(1, 100);
+  platform.barrier();
+  ASSERT_GT(platform.total_cycles(), 0u);
+  ASSERT_GT(platform.contention_cycles(), 0u);
+  ASSERT_GT(platform.tile_fetches(0), 0u);
+  ASSERT_GT(platform.shared().banks().bank(0).stats().writes, 0u);
+
+  platform.reset(config.seed, config.vdd);
+  EXPECT_EQ(platform.total_cycles(), 0u);
+  EXPECT_EQ(platform.contention_cycles(), 0u);
+  EXPECT_EQ(platform.tile_fetches(0), 0u);
+  EXPECT_EQ(platform.tile_fetches(1), 0u);
+  EXPECT_EQ(platform.shared().banks().bank(0).stats().reads, 0u);
+  EXPECT_EQ(platform.shared().banks().bank(0).stats().writes, 0u);
+  for (std::size_t r = 0; r < platform.shared().region_count(); ++r) {
+    EXPECT_EQ(platform.shared().region(r).stats.corrected_words, 0u);
+    EXPECT_EQ(platform.shared().region(r).stats.uncorrectable_words, 0u);
+  }
+  EXPECT_EQ(platform.imem(0).array().stats().reads, 0u);
 }
 
 TEST(OceanRunStats, AreFreshPerRunNotAccumulated) {

@@ -25,6 +25,13 @@
 //   --simd 0|1            vectorized kernels where the CPU supports
 //                         them (sim::set_simd_enabled; results are
 //                         bit-identical either way)        [1]
+//   --tiles a,b,...       multi-tile platform sweep: each entry T runs
+//                         the sharded FFT on T tiles (powers of two);
+//                         the --schemes list becomes the per-tile
+//                         mitigation mix (cycled across tiles) instead
+//                         of a classic scheme axis
+//   --banks a,b,...       banked shared-memory sweep crossed with
+//                         --tiles (powers of two; requires --tiles) [1]
 // Service options:
 //   --seeds-per-shard N   seed-range chunk per shard (0 = cell) [0]
 //   --workers N           executor workers (0 = hardware)  [0]
@@ -58,6 +65,41 @@ using namespace ntc;
 using namespace ntc::faultsim;
 
 namespace {
+
+/// Reject bad flag values with a diagnostic instead of an abort from
+/// deep inside the campaign engine (or an uncaught std::stoul throw).
+[[noreturn]] void usage_error(const std::string& message) {
+  std::fprintf(stderr, "ntc_campaign: %s (see header comment for usage)\n",
+               message.c_str());
+  std::exit(1);
+}
+
+std::uint64_t parse_uint(const std::string& value, const char* flag) {
+  try {
+    std::size_t pos = 0;
+    const unsigned long long v = std::stoull(value, &pos);
+    if (pos != value.size() || value.empty() || value[0] == '-')
+      throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    usage_error(std::string(flag) + " needs an unsigned integer, got '" +
+                value + "'");
+  }
+}
+
+double parse_double(const std::string& value, const char* flag) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(value, &pos);
+    if (pos != value.size() || value.empty())
+      throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    usage_error(std::string(flag) + " needs a number, got '" + value + "'");
+  }
+}
+
+bool is_power_of_two(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
 
 std::vector<std::string> split_csv(const std::string& arg) {
   std::vector<std::string> out;
@@ -137,11 +179,11 @@ int main(int argc, char** argv) {
   bool torn_tail = false;
   long long fail_shard = -1;
 
+  std::vector<std::uint32_t> tiles_list;
+  std::vector<std::uint32_t> banks_list;
+
   auto need_value = [&](int& i) -> std::string {
-    if (i + 1 >= argc) {
-      std::fprintf(stderr, "%s needs a value\n", argv[i]);
-      std::exit(1);
-    }
+    if (i + 1 >= argc) usage_error(std::string(argv[i]) + " needs a value");
     return argv[++i];
   };
   for (int i = 1; i < argc; ++i) {
@@ -149,17 +191,17 @@ int main(int argc, char** argv) {
     if (arg == "--plan") plan_only = true;
     else if (arg == "--quiet") quiet = true;
     else if (arg == "--ledger-dir") service.ledger_dir = need_value(i);
-    else if (arg == "--fft-points") campaign.fft_points = std::stoul(need_value(i));
-    else if (arg == "--seeds") campaign.seeds_per_cell = std::stoul(need_value(i));
-    else if (arg == "--base-seed") campaign.base_seed = std::stoull(need_value(i));
-    else if (arg == "--stochastic") campaign.stochastic_background = std::stoi(need_value(i)) != 0;
-    else if (arg == "--batch") sim::set_batch_enabled(std::stoi(need_value(i)) != 0);
-    else if (arg == "--simd") sim::set_simd_enabled(std::stoi(need_value(i)) != 0);
-    else if (arg == "--workers") campaign.threads = std::stoul(need_value(i));
+    else if (arg == "--fft-points") campaign.fft_points = parse_uint(need_value(i), "--fft-points");
+    else if (arg == "--seeds") campaign.seeds_per_cell = static_cast<std::uint32_t>(parse_uint(need_value(i), "--seeds"));
+    else if (arg == "--base-seed") campaign.base_seed = parse_uint(need_value(i), "--base-seed");
+    else if (arg == "--stochastic") campaign.stochastic_background = parse_uint(need_value(i), "--stochastic") != 0;
+    else if (arg == "--batch") sim::set_batch_enabled(parse_uint(need_value(i), "--batch") != 0);
+    else if (arg == "--simd") sim::set_simd_enabled(parse_uint(need_value(i), "--simd") != 0);
+    else if (arg == "--workers") campaign.threads = static_cast<unsigned>(parse_uint(need_value(i), "--workers"));
     else if (arg == "--voltages") {
       campaign.voltages.clear();
       for (const std::string& v : split_csv(need_value(i)))
-        campaign.voltages.push_back(Volt{std::stod(v)});
+        campaign.voltages.push_back(Volt{parse_double(v, "--voltages")});
     } else if (arg == "--schemes") {
       campaign.schemes.clear();
       for (const std::string& s : split_csv(need_value(i)))
@@ -168,31 +210,81 @@ int main(int argc, char** argv) {
       campaign.scenarios.clear();
       for (const std::string& s : split_csv(need_value(i)))
         campaign.scenarios.push_back(builtin_scenario(s));
+    } else if (arg == "--tiles") {
+      for (const std::string& t : split_csv(need_value(i)))
+        tiles_list.push_back(
+            static_cast<std::uint32_t>(parse_uint(t, "--tiles")));
+    } else if (arg == "--banks") {
+      for (const std::string& b : split_csv(need_value(i)))
+        banks_list.push_back(
+            static_cast<std::uint32_t>(parse_uint(b, "--banks")));
     } else if (arg == "--seeds-per-shard") {
-      service.seeds_per_shard = std::stoul(need_value(i));
+      service.seeds_per_shard = static_cast<std::uint32_t>(
+          parse_uint(need_value(i), "--seeds-per-shard"));
     } else if (arg == "--shards") {
       have_subset = true;
       for (const std::string& s : split_csv(need_value(i)))
-        only_shards.push_back(std::stoull(s));
+        only_shards.push_back(parse_uint(s, "--shards"));
     } else if (arg == "--max-attempts") {
-      service.max_attempts = std::stoul(need_value(i));
+      service.max_attempts = static_cast<std::uint32_t>(
+          parse_uint(need_value(i), "--max-attempts"));
     } else if (arg == "--backoff-ms") {
-      service.retry_backoff = std::chrono::milliseconds(std::stol(need_value(i)));
+      service.retry_backoff = std::chrono::milliseconds(
+          parse_uint(need_value(i), "--backoff-ms"));
     } else if (arg == "--timeout-ms") {
-      service.shard_timeout = std::chrono::milliseconds(std::stol(need_value(i)));
+      service.shard_timeout = std::chrono::milliseconds(
+          parse_uint(need_value(i), "--timeout-ms"));
     } else if (arg == "--fsync-each-record") {
       service.fsync_each_record = true;
     } else if (arg == "--kill-after-trials") {
-      kill_after = std::stoll(need_value(i));
+      kill_after = static_cast<long long>(
+          parse_uint(need_value(i), "--kill-after-trials"));
     } else if (arg == "--torn-tail") {
       torn_tail = true;
     } else if (arg == "--fail-shard") {
-      fail_shard = std::stoll(need_value(i));
+      fail_shard = static_cast<long long>(
+          parse_uint(need_value(i), "--fail-shard"));
     } else {
-      std::fprintf(stderr, "unknown option '%s' (see header comment)\n",
-                   arg.c_str());
-      return 1;
+      usage_error("unknown option '" + arg + "'");
     }
+  }
+
+  // --tiles turns the scheme list into per-tile mitigation mixes (one
+  // grid point per tiles x banks combination); contradictory requests
+  // are rejected here, before the campaign engine can assert deep in a
+  // worker.
+  if (!campaign.fft_points || !is_power_of_two(campaign.fft_points))
+    usage_error("--fft-points must be a power of two, got " +
+                std::to_string(campaign.fft_points));
+  if (campaign.seeds_per_cell == 0) usage_error("--seeds must be at least 1");
+  if (!tiles_list.empty()) {
+    if (banks_list.empty()) banks_list.push_back(1);
+    for (const std::uint32_t tiles : tiles_list) {
+      if (!is_power_of_two(tiles))
+        usage_error("--tiles entries must be powers of two >= 1, got " +
+                    std::to_string(tiles));
+      if (campaign.schemes.size() > tiles)
+        usage_error("--schemes lists " +
+                    std::to_string(campaign.schemes.size()) +
+                    " per-tile schemes but --tiles includes a " +
+                    std::to_string(tiles) + "-tile platform");
+      if (campaign.fft_points % tiles != 0 ||
+          campaign.fft_points / tiles < 4)
+        usage_error("--fft-points " + std::to_string(campaign.fft_points) +
+                    " leaves fewer than 4 points per tile at --tiles " +
+                    std::to_string(tiles));
+    }
+    for (const std::uint32_t banks : banks_list)
+      if (!is_power_of_two(banks))
+        usage_error("--banks entries must be powers of two >= 1, got " +
+                    std::to_string(banks));
+    for (const std::uint32_t tiles : tiles_list)
+      for (const std::uint32_t banks : banks_list)
+        campaign.tile_mixes.push_back(
+            TileMixSpec{tiles, banks, campaign.schemes, ""});
+    campaign.schemes.clear();
+  } else if (!banks_list.empty()) {
+    usage_error("--banks requires --tiles");
   }
 
   if (plan_only) {
